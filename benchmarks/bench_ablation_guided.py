@@ -1,0 +1,102 @@
+"""Ablation 2 (Section 4.7): good-tree-guided search vs. blind search.
+
+DiffProv uses the good tree as a guide, so its work is linear in |T_G|
+and it replays once per round.  The naive alternative enumerates
+combinations of mutable base-tuple changes, replaying after each try —
+exponential in the number of faults.  We measure both on SDN-style
+programs with one and two faults.
+"""
+
+import time
+
+from conftest import emit
+
+from repro.core import DiffProv
+from repro.core.blindsearch import blind_search, candidate_changes
+from repro.datalog import parse_program, parse_tuple
+from repro.replay import Execution
+
+PROGRAM = """
+table stim(Id, Y) event immutable.
+table cfg(K, V) mutable.
+table stage1(Id, Y) event.
+table stage2(Id, Y) event.
+table final(Id).
+table fallback(Id).
+
+r1 stage1(Id, Y) :- stim(Id, Y), cfg('first', Y).
+r2 stage2(Id, Y) :- stage1(Id, Y), cfg('second', Y).
+r3 final(Id) :- stage2(Id, Y), cfg('third', Y).
+r4 fallback(Id) :- stim(Id, Y).
+"""
+
+NOISE_KEYS = 12  # unrelated config entries enlarging the search space
+
+
+def build(faults):
+    """A good run and a bad run with ``faults`` broken stages.
+
+    The noise config entries differ between the runs (as real deployed
+    configurations do), so the blind search must consider them all as
+    candidate changes — that is exactly what blows its search space up.
+    """
+    program = parse_program(PROGRAM)
+    good = Execution(program, name="good")
+    bad = Execution(program, name="bad")
+    good_id, bad_id = 1, 2
+    for execution, broken, offset in ((good, 0, 0), (bad, faults, 100)):
+        for index in range(NOISE_KEYS):
+            execution.insert(parse_tuple(f"cfg('noise{index}', {index + offset})"))
+        for stage_index, stage in enumerate(("first", "second", "third")):
+            value = 5 if stage_index >= broken else 6 + stage_index
+            execution.insert(parse_tuple(f"cfg('{stage}', {value})"))
+    good.insert(parse_tuple(f"stim({good_id}, 5)"))
+    bad.insert(parse_tuple(f"stim({bad_id}, 5)"))
+    return program, good, bad, good_id, bad_id
+
+
+def test_guided_vs_blind(benchmark):
+    rows = []
+
+    def run():
+        rows.clear()
+        for faults in (1, 2):
+            program, good, bad, good_id, bad_id = build(faults)
+            good_event = parse_tuple(f"final({good_id})")
+            bad_event = parse_tuple(f"fallback({bad_id})")
+            expected = parse_tuple(f"final({bad_id})")
+
+            started = time.perf_counter()
+            report = DiffProv(program).diagnose(good, bad, good_event, bad_event)
+            guided_seconds = time.perf_counter() - started
+            guided_replays = report.replays
+
+            anchor = bad.log.index_of_insert(parse_tuple(f"stim({bad_id}, 5)"))
+            started = time.perf_counter()
+            blind = blind_search(good, bad, expected, anchor)
+            blind_seconds = time.perf_counter() - started
+
+            rows.append(
+                {
+                    "faults": faults,
+                    "candidates": len(candidate_changes(good, bad)),
+                    "guided_replays": guided_replays,
+                    "guided_s": round(guided_seconds, 4),
+                    "blind_attempts": blind.attempts,
+                    "blind_s": round(blind_seconds, 4),
+                    "both_correct": report.success and blind.found,
+                }
+            )
+        return rows
+
+    benchmark.pedantic(run, rounds=1, iterations=1)
+    emit("Ablation: guided (DiffProv) vs blind search", rows)
+    benchmark.extra_info["rows"] = rows
+
+    one, two = rows
+    assert one["both_correct"] and two["both_correct"]
+    # Guided work grows by one round per fault ...
+    assert two["guided_replays"] <= one["guided_replays"] + 2
+    # ... while blind attempts explode combinatorially.
+    assert two["blind_attempts"] > 8 * one["blind_attempts"]
+    assert two["blind_attempts"] > 20 * two["guided_replays"]

@@ -1,0 +1,83 @@
+"""Ablation 3 (Section 5): runtime vs. query-time provenance capture.
+
+The logging engine can either materialize provenance while the system
+runs ("runtime" mode: every packet pays; queries are instant) or log
+base events only and reconstruct provenance by replay when a query
+arrives ("query-time" mode: cheap at runtime, the paper's choice since
+diagnostic queries are rare).  The benchmark measures both sides of the
+trade.
+"""
+
+import time
+
+from conftest import emit
+
+from repro.provenance.query import provenance_query
+from repro.replay import Execution
+from repro.scenarios.sdn1 import figure1_topology, install_figure1_config
+from repro.sdn import model
+from repro.sdn.traces import TraceConfig, synthetic_trace
+
+PACKETS = 200
+
+
+def build(mode):
+    program = model.sdn_program()
+    execution = Execution(program, mode=mode)
+    install_figure1_config(execution, figure1_topology(), "4.3.2.0/24")
+    trace = synthetic_trace(
+        TraceConfig(count=PACKETS, src_prefixes=("4.3.2.0/23",), seed=9)
+    )
+    started = time.perf_counter()
+    last_event = None
+    for index, packet in enumerate(trace):
+        execution.insert(
+            model.packet("s1", index, packet.src, packet.dst), mutable=False
+        )
+    runtime_seconds = time.perf_counter() - started
+    return execution, runtime_seconds
+
+
+def query_time(execution):
+    # Query the last packet that reached web1.
+    deliveries = None
+    started = time.perf_counter()
+    graph = execution.graph
+    live = graph.live_tuples("delivered")
+    tree = provenance_query(graph, live[-1])
+    seconds = time.perf_counter() - started
+    return seconds, tree.size()
+
+
+def test_logging_modes(benchmark):
+    rows = []
+
+    def run():
+        rows.clear()
+        for mode in ("runtime", "query-time"):
+            execution, runtime_seconds = build(mode)
+            first_query_seconds, size = query_time(execution)
+            second_query_seconds, _ = query_time(execution)
+            rows.append(
+                {
+                    "mode": mode,
+                    "runtime_s": round(runtime_seconds, 4),
+                    "first_query_s": round(first_query_seconds, 4),
+                    "repeat_query_s": round(second_query_seconds, 5),
+                    "tree": size,
+                }
+            )
+        return rows
+
+    benchmark.pedantic(run, rounds=1, iterations=1)
+    emit("Ablation: runtime vs query-time provenance capture", rows)
+    benchmark.extra_info["rows"] = rows
+
+    runtime_row = rows[0]
+    query_row = rows[1]
+    # Query-time mode is cheaper while the system runs ...
+    assert query_row["runtime_s"] < runtime_row["runtime_s"]
+    # ... but pays a replay on the first diagnostic query.
+    assert query_row["first_query_s"] > runtime_row["first_query_s"]
+    # Both modes answer the same tree.
+    assert runtime_row["tree"] == query_row["tree"]

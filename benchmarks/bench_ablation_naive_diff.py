@@ -1,0 +1,59 @@
+"""Ablation 1 (Section 2.5): taint equivalence vs. naive comparison.
+
+Without the taint-based equivalence relation, small differences at the
+leaves (headers, timestamps) cascade into a butterfly effect: the plain
+diff reports differences almost everywhere, and DiffProv itself — run
+with taints disabled — can no longer even align the seeds and fails.
+"""
+
+from conftest import emit, get_scenario
+
+from repro.core import DiffProvOptions
+from repro.provenance.diff import tree_edit_distance
+
+
+def test_naive_diff_blowup(benchmark):
+    rows = []
+
+    def sweep():
+        rows.clear()
+        for name in ("SDN1", "SDN4"):
+            scenario = get_scenario(name)
+            good, bad = scenario.trees()
+            report = scenario.diagnose()
+            rows.append(
+                {
+                    "scenario": name,
+                    "good_tree": good.size(),
+                    "bad_tree": bad.size(),
+                    "plain_diff": scenario.plain_diff_size(),
+                    "edit_distance": tree_edit_distance(good, bad),
+                    "diffprov": report.num_changes,
+                }
+            )
+        return rows
+
+    benchmark.pedantic(sweep, rounds=1, iterations=1)
+    emit("Ablation: naive diff vs DiffProv", rows)
+    benchmark.extra_info["rows"] = rows
+
+    for row in rows:
+        # The strawmen report tens of differences; DiffProv reports the
+        # root cause only.
+        assert row["plain_diff"] > max(row["good_tree"], row["bad_tree"])
+        assert row["edit_distance"] > 5 * row["diffprov"]
+        assert row["diffprov"] <= 2
+
+
+def test_diffprov_without_taints_fails(benchmark):
+    scenario = get_scenario("SDN1")
+
+    def run():
+        scenario.good_execution._materialized = None
+        return scenario.diagnose(DiffProvOptions(enable_taint=False, max_rounds=3))
+
+    report = benchmark.pedantic(run, rounds=1, iterations=1)
+    # Without APPLYTAINT the expected counterparts are the good run's
+    # literal tuples (wrong packet headers), so alignment cannot finish.
+    assert not report.success
+    benchmark.extra_info["failure"] = report.failure_category

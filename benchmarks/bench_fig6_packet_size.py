@@ -1,0 +1,55 @@
+"""Figure 6: log growth rate vs. packet size at 1 Gbps.
+
+Paper shape: the logging rate *decreases* as packets grow, because the
+log stores a fixed-size record per packet — bigger packets mean fewer
+packets (and records) per second at a fixed bit rate.
+"""
+
+from conftest import emit
+
+from repro.replay.log import PACKET_RECORD_BYTES, EventLog
+from repro.sdn import model
+from repro.sdn.traces import TraceConfig, packets_for_rate, synthetic_trace
+
+RATE_MBPS = 1000  # 1 Gbps
+PACKET_SIZES = [500, 750, 1000, 1250, 1500]
+WINDOW_SECONDS = 0.01
+
+
+def test_fig6_packet_size(benchmark):
+    rows = []
+
+    def sweep():
+        rows.clear()
+        for size in PACKET_SIZES:
+            count = packets_for_rate(RATE_MBPS, size, WINDOW_SECONDS)
+            trace = synthetic_trace(TraceConfig(count=min(count, 20_000), seed=size))
+            log = EventLog()
+            for index, packet in enumerate(trace):
+                log.append(
+                    "insert",
+                    model.packet("border", index, packet.src, packet.dst),
+                    mutable=False,
+                    size=PACKET_RECORD_BYTES,
+                )
+            scale = count / max(1, len(trace))
+            log_mbps = log.total_bytes * scale * 8 / WINDOW_SECONDS / 1e6
+            rows.append(
+                {
+                    "packet_size": size,
+                    "packets_per_window": count,
+                    "log_mbps": round(log_mbps, 3),
+                }
+            )
+        return rows
+
+    benchmark.pedantic(sweep, rounds=1, iterations=1)
+    emit("Figure 6: logging rate vs packet size at 1 Gbps", rows)
+    benchmark.extra_info["rows"] = rows
+
+    # Strictly decreasing in packet size.
+    for previous, current in zip(rows, rows[1:]):
+        assert current["log_mbps"] < previous["log_mbps"], (previous, current)
+
+    # 3x larger packets -> ~3x lower logging rate.
+    assert rows[0]["log_mbps"] / rows[-1]["log_mbps"] > 2.5

@@ -1,0 +1,65 @@
+"""Figure 8: decomposition of DiffProv's reasoning time.
+
+Paper shape: the actual reasoning takes milliseconds (3.8 ms worst
+case); detecting the first divergence and making missing tuples appear
+dominate it (taint tracking + formula evaluation), while seed finding
+is negligible.
+"""
+
+from conftest import SCENARIO_ORDER, emit, get_scenario
+
+from repro.core import DiffProv
+
+
+def decompose(scenario):
+    scenario.good_execution._materialized = None
+    if scenario.bad_execution is not scenario.good_execution:
+        scenario.bad_execution._materialized = None
+    report = DiffProv(scenario.program).diagnose(
+        scenario.good_execution,
+        scenario.bad_execution,
+        scenario.good_event,
+        scenario.bad_event,
+        scenario.good_time,
+        scenario.bad_time,
+    )
+    return report
+
+
+def test_fig8_reasoning_decomposition(benchmark):
+    rows = []
+
+    def sweep():
+        rows.clear()
+        for name in SCENARIO_ORDER:
+            report = decompose(get_scenario(name))
+            timings = report.timings
+            rows.append(
+                {
+                    "scenario": name,
+                    "find_seed_ms": round(timings.get("find_seed", 0) * 1000, 3),
+                    "divergence_ms": round(timings.get("divergence", 0) * 1000, 3),
+                    "make_appear_ms": round(
+                        timings.get("make_appear", 0) * 1000, 3
+                    ),
+                    "reasoning_ms": round(report.reasoning_seconds * 1000, 3),
+                    "replay_ms": round(
+                        (timings.get("replay", 0) + timings.get("query", 0))
+                        * 1000,
+                        1,
+                    ),
+                }
+            )
+        return rows
+
+    benchmark.pedantic(sweep, rounds=1, iterations=1)
+    emit("Figure 8: reasoning time decomposition (milliseconds)", rows)
+    benchmark.extra_info["rows"] = rows
+
+    for row in rows:
+        # Reasoning is small in absolute terms and vs. replay.
+        assert row["reasoning_ms"] < row["replay_ms"], row
+        # Seed finding is the cheapest phase.
+        assert row["find_seed_ms"] <= max(
+            row["divergence_ms"], row["make_appear_ms"]
+        ) or row["find_seed_ms"] < 1.0, row

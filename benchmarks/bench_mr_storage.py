@@ -1,0 +1,58 @@
+"""Section 6.5 (MapReduce side): logs stay tiny because they hold only
+metadata.
+
+Paper numbers: 26 kB of log for a 12.8 GB Wikipedia input, 1.5 kB for a
+1 GB corpus.  Shape: the log size is essentially *independent* of the
+input size — it records the 235 config entries, the mapper signature,
+and the input file's path + checksum, never the contents.
+"""
+
+from conftest import emit
+
+from repro.mapreduce.config import JobConfig
+from repro.mapreduce.corpus import generate_corpus
+from repro.mapreduce.hdfs import HDFS
+from repro.mapreduce.job import ImperativeMapReduceExecution
+from repro.mapreduce.wordcount import CORRECT_MAPPER
+
+CORPUS_LINES = [50, 500, 5000]
+
+
+def log_size_for(lines):
+    hdfs = HDFS()
+    stored = hdfs.write("/in.txt", generate_corpus(lines=lines))
+    execution = ImperativeMapReduceExecution(
+        "job", hdfs, "/in.txt", JobConfig(), CORRECT_MAPPER
+    )
+    return stored.size_bytes, execution.log.total_bytes
+
+
+def test_mr_log_is_metadata_only(benchmark):
+    rows = []
+
+    def sweep():
+        rows.clear()
+        for lines in CORPUS_LINES:
+            input_bytes, log_bytes = log_size_for(lines)
+            rows.append(
+                {
+                    "corpus_lines": lines,
+                    "input_bytes": input_bytes,
+                    "log_bytes": log_bytes,
+                    "ratio": round(log_bytes / input_bytes, 4),
+                }
+            )
+        return rows
+
+    benchmark.pedantic(sweep, rounds=1, iterations=1)
+    emit("Section 6.5: MapReduce log size vs input size", rows)
+    benchmark.extra_info["rows"] = rows
+
+    # The log does not grow with the input (metadata only): a 100x
+    # larger corpus leaves the log unchanged.
+    sizes = [row["log_bytes"] for row in rows]
+    assert max(sizes) == min(sizes)
+    # And it is small in absolute terms (the paper's is kilobytes).
+    assert sizes[0] < 32_000
+    # While the input grows by ~100x.
+    assert rows[-1]["input_bytes"] > 50 * rows[0]["input_bytes"]

@@ -1,0 +1,54 @@
+"""Query-time scaling: turnaround vs. log length (Section 6.6's claim).
+
+"Query time is dominated by the time it takes to replay the log and to
+reconstruct the relevant part of the provenance graph."  Consequently
+the turnaround of a DiffProv query should grow roughly linearly with
+the amount of logged traffic, while the reasoning share stays flat —
+that is what this sweep verifies on SDN1 with increasing background
+load.
+"""
+
+from conftest import emit
+
+from repro.scenarios.sdn1 import SDN1BrokenFlowEntry
+
+
+def run_at(background):
+    scenario = SDN1BrokenFlowEntry(background_packets=background).setup()
+    report = scenario.diagnose()
+    assert report.success
+    replay_seconds = report.timings.get("replay", 0.0) + report.timings.get(
+        "query", 0.0
+    )
+    return {
+        "background_packets": background,
+        "log_entries": len(scenario.bad_execution.log),
+        "total_s": round(report.total_seconds, 4),
+        "replay_s": round(replay_seconds, 4),
+        "reasoning_ms": round(report.reasoning_seconds * 1000, 2),
+    }
+
+
+def test_turnaround_scales_with_log(benchmark):
+    rows = []
+
+    def sweep():
+        rows.clear()
+        for background in (10, 40, 160):
+            rows.append(run_at(background))
+        return rows
+
+    benchmark.pedantic(sweep, rounds=1, iterations=1)
+    emit("Scaling: DiffProv turnaround vs logged traffic", rows)
+    benchmark.extra_info["rows"] = rows
+
+    small, medium, large = rows
+    # Replay dominates at every scale ...
+    for row in rows:
+        assert row["replay_s"] > 0.5 * row["total_s"], row
+    # ... and grows with the log ...
+    assert large["replay_s"] > medium["replay_s"] > small["replay_s"]
+    # ... roughly linearly: 16x the traffic costs well under 100x.
+    assert large["total_s"] < 100 * max(small["total_s"], 1e-4)
+    # The reasoning stays in the milliseconds regardless of load.
+    assert all(row["reasoning_ms"] < 50 for row in rows)

@@ -1,0 +1,42 @@
+"""Section 2.4: the Outages mailing-list survey statistics.
+
+Paper numbers: 89 posts, 64 diagnostic, 45 with a reference event
+(70.3%), 10 of which live in another administrative domain (35 usable);
+partial failures are the most prevalent category.
+"""
+
+from conftest import emit
+
+from repro.survey import analyze, build_corpus
+
+
+def test_survey_statistics(benchmark):
+    stats = benchmark.pedantic(
+        lambda: analyze(build_corpus()), rounds=3, iterations=1
+    )
+    rows = [
+        {
+            "total": stats.total,
+            "diagnostic": stats.diagnostic,
+            "with_reference": stats.with_reference,
+            "pct": round(stats.reference_fraction * 100, 1),
+            "cross_domain": stats.cross_domain,
+            "in_domain": stats.in_domain,
+            "partial": stats.by_category.get("partial", 0),
+            "sudden": stats.by_category.get("sudden", 0),
+            "intermittent": stats.by_category.get("intermittent", 0),
+        }
+    ]
+    emit("Section 2.4: Outages survey", rows)
+    benchmark.extra_info["rows"] = rows
+
+    assert stats.total == 89
+    assert stats.diagnostic == 64
+    assert stats.with_reference == 45
+    assert round(stats.reference_fraction * 100, 1) == 70.3
+    assert stats.cross_domain == 10
+    assert stats.in_domain == 35
+    # Partial failures are the most prevalent category.
+    assert stats.by_category["partial"] == max(stats.by_category.values())
+    # Both reference-finding strategies appear.
+    assert set(stats.by_strategy) == {"look-back-in-time", "sibling-system"}

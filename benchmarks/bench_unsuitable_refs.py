@@ -1,0 +1,28 @@
+"""Section 6.3: ten queries with unsuitable reference events.
+
+Paper shape: every query fails with a typed error — three because the
+seeds have different types, seven because alignment would require
+changing immutable tuples — and the output indicates what aspect of the
+reference caused the problem.
+"""
+
+from conftest import emit
+
+from repro.scenarios.unsuitable import UnsuitableReferenceStudy
+
+
+def test_unsuitable_references(benchmark):
+    study = UnsuitableReferenceStudy(background_packets=8, corpus_lines=14)
+    outcomes = benchmark.pedantic(study.run, rounds=1, iterations=1)
+    tally = UnsuitableReferenceStudy.tally(outcomes)
+    rows = [
+        {"scenario": o.scenario, "category": o.category} for o in outcomes
+    ]
+    emit("Section 6.3: unsuitable-reference queries", rows)
+    emit("tally", [tally])
+    benchmark.extra_info["tally"] = tally
+
+    assert len(outcomes) == 10
+    assert all(not o.success for o in outcomes)
+    assert tally == {"seed-type-mismatch": 3, "immutable-change-required": 7}
+    assert all(o.message for o in outcomes)

@@ -1,0 +1,62 @@
+"""Shared fixtures and reporting helpers for the benchmark harness.
+
+Every benchmark regenerates one table or figure of the paper.  Numbers
+are attached to the pytest-benchmark report via ``extra_info`` and also
+printed (run with ``-s`` to see the tables inline).
+"""
+
+import pytest
+
+from repro.scenarios import ALL_SCENARIOS
+
+SCENARIO_ORDER = [
+    "SDN1",
+    "SDN2",
+    "SDN3",
+    "SDN4",
+    "MR1-D",
+    "MR2-D",
+    "MR1-I",
+    "MR2-I",
+]
+
+_SCENARIO_PARAMS = {
+    "SDN1": {"background_packets": 20},
+    "SDN2": {"background_packets": 20},
+    "SDN3": {"background_packets": 20},
+    "SDN4": {"background_packets": 20},
+    "MR1-D": {"corpus_lines": 20},
+    "MR2-D": {"corpus_lines": 20},
+    "MR1-I": {"corpus_lines": 20},
+    "MR2-I": {"corpus_lines": 20},
+}
+
+_cache = {}
+
+
+def get_scenario(name):
+    """Build (and cache) a scenario at benchmark scale."""
+    if name not in _cache:
+        scenario = ALL_SCENARIOS[name](**_SCENARIO_PARAMS.get(name, {}))
+        scenario.setup()
+        _cache[name] = scenario
+    return _cache[name]
+
+
+@pytest.fixture(params=SCENARIO_ORDER)
+def scenario(request):
+    return get_scenario(request.param)
+
+
+def emit(title, rows):
+    """Print a small aligned table of benchmark results."""
+    if not rows:
+        return
+    keys = list(rows[0])
+    widths = {
+        k: max(len(str(k)), *(len(str(r[k])) for r in rows)) for k in keys
+    }
+    print(f"\n== {title} ==")
+    print("  ".join(str(k).ljust(widths[k]) for k in keys))
+    for row in rows:
+        print("  ".join(str(row[k]).ljust(widths[k]) for k in keys))

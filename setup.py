@@ -1,0 +1,7 @@
+"""Legacy setup shim: enables `python setup.py develop` on offline
+machines that lack the `wheel` package (PEP 660 editable installs need
+it; `develop` does not)."""
+
+from setuptools import setup
+
+setup()

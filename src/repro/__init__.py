@@ -1,0 +1,84 @@
+"""repro — a reproduction of "The Good, the Bad, and the Differences:
+Better Network Diagnostics with Differential Provenance" (SIGCOMM 2016).
+
+The package layers, bottom to top:
+
+- :mod:`repro.datalog` — an NDlog engine (the RapidNet stand-in);
+- :mod:`repro.provenance` — the temporal provenance graph, recorders
+  for inferred / reported / external-specification modes, and the
+  naive tree-diff baselines;
+- :mod:`repro.replay` — base-event logging, deterministic replay,
+  checkpoints;
+- :mod:`repro.core` — the DiffProv algorithm itself;
+- :mod:`repro.sdn`, :mod:`repro.mapreduce` — the two evaluation
+  substrates (declarative OpenFlow model + black-box emulator, and the
+  instrumented WordCount runtime);
+- :mod:`repro.scenarios` — the paper's diagnostic scenarios;
+- :mod:`repro.survey` — the Section 2.4 Outages survey.
+
+Quickstart::
+
+    from repro import DiffProv, Execution
+    from repro.datalog import parse_program, parse_tuple
+
+    program = parse_program(...)
+    execution = Execution(program)
+    ...
+    report = DiffProv(program).diagnose(execution, execution, good, bad)
+    print(report.summary())
+"""
+
+from .addresses import IPv4Address, Prefix, ip, prefix
+from .core import DiffProv, DiffProvOptions, DiagnosisReport
+from .datalog import Engine, Tuple, parse_program, parse_rule, parse_tuple
+from .errors import (
+    DiagnosisFailure,
+    ImmutableChangeRequired,
+    NonInvertibleError,
+    ParseError,
+    ReproError,
+    SeedTypeMismatch,
+)
+from .provenance import (
+    ProvenanceGraph,
+    ProvenanceRecorder,
+    ProvenanceTree,
+    naive_diff,
+    provenance_query,
+    tree_edit_distance,
+)
+from .replay import Change, Checkpointer, EventLog, Execution
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "IPv4Address",
+    "Prefix",
+    "ip",
+    "prefix",
+    "DiffProv",
+    "DiffProvOptions",
+    "DiagnosisReport",
+    "Engine",
+    "Tuple",
+    "parse_program",
+    "parse_rule",
+    "parse_tuple",
+    "ReproError",
+    "ParseError",
+    "DiagnosisFailure",
+    "SeedTypeMismatch",
+    "ImmutableChangeRequired",
+    "NonInvertibleError",
+    "ProvenanceGraph",
+    "ProvenanceRecorder",
+    "ProvenanceTree",
+    "provenance_query",
+    "naive_diff",
+    "tree_edit_distance",
+    "Change",
+    "Checkpointer",
+    "EventLog",
+    "Execution",
+    "__version__",
+]

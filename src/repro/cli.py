@@ -1,0 +1,326 @@
+"""The ``diffprov`` command-line debugger.
+
+Subcommands::
+
+    diffprov scenarios                 list the built-in scenarios
+    diffprov diagnose SDN1             run DiffProv on a scenario
+    diffprov autoref DNS               diagnose with a discovered reference
+    diffprov tree SDN1 --side bad      print a provenance tree (--dot for
+                                       Graphviz, --diff for Figure 2 style)
+    diffprov export DNS --out g.jsonl  dump a provenance graph
+    diffprov table1                    regenerate Table 1
+    diffprov survey                    the Section 2.4 survey statistics
+    diffprov unsuitable                the Section 6.3 reference study
+    diffprov stanford                  the Section 6.7 complex network
+
+Each subcommand prints human-readable output; ``--json`` emits
+machine-readable results instead.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import List, Optional
+
+from . import survey as survey_module
+from .core.diffprov import DiffProvOptions
+from .scenarios import ALL_SCENARIOS
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="diffprov",
+        description="Differential provenance debugger (SIGCOMM'16 reproduction)",
+    )
+    parser.add_argument("--json", action="store_true", help="emit JSON output")
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    commands.add_parser("scenarios", help="list built-in diagnostic scenarios")
+
+    diagnose = commands.add_parser("diagnose", help="run DiffProv on a scenario")
+    diagnose.add_argument("scenario", choices=sorted(ALL_SCENARIOS))
+    diagnose.add_argument(
+        "--max-rounds", type=int, default=10, help="round limit (default 10)"
+    )
+    diagnose.add_argument(
+        "--no-taint",
+        action="store_true",
+        help="disable taint formulas (ablation; expect failure)",
+    )
+    diagnose.add_argument(
+        "--minimize",
+        action="store_true",
+        help="greedy minimality post-pass on the returned changes",
+    )
+
+    autoref = commands.add_parser(
+        "autoref", help="diagnose without an operator-supplied reference"
+    )
+    autoref.add_argument("scenario", choices=sorted(ALL_SCENARIOS))
+    autoref.add_argument(
+        "--limit", type=int, default=10, help="candidates to try (default 10)"
+    )
+
+    tree = commands.add_parser("tree", help="print a provenance tree")
+    tree.add_argument("scenario", choices=sorted(ALL_SCENARIOS))
+    tree.add_argument("--side", choices=("good", "bad"), default="bad")
+    tree.add_argument(
+        "--view", choices=("tuple", "vertex"), default="tuple",
+        help="collapsed tuple view (default) or the full vertex tree",
+    )
+    tree.add_argument(
+        "--dot",
+        action="store_true",
+        help="emit Graphviz DOT instead of text (Figure 2 style)",
+    )
+    tree.add_argument(
+        "--diff",
+        action="store_true",
+        help="with --dot: draw both trees, shared vertexes green",
+    )
+
+    export = commands.add_parser(
+        "export", help="dump a scenario's provenance graph as JSON lines"
+    )
+    export.add_argument("scenario", choices=sorted(ALL_SCENARIOS))
+    export.add_argument("--out", required=True, help="output path (.jsonl)")
+    export.add_argument(
+        "--side", choices=("good", "bad"), default="bad",
+        help="which execution's graph to dump (default bad)",
+    )
+
+    commands.add_parser("table1", help="regenerate Table 1")
+    commands.add_parser("survey", help="Section 2.4 survey statistics")
+    commands.add_parser("unsuitable", help="Section 6.3 unsuitable-reference study")
+
+    stanford = commands.add_parser(
+        "stanford", help="Section 6.7 complex-network diagnosis"
+    )
+    stanford.add_argument(
+        "--full-scale",
+        action="store_true",
+        help="use the paper's 757k-entry configuration (slow)",
+    )
+    stanford.add_argument("--background", type=int, default=120)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    handler = {
+        "scenarios": _cmd_scenarios,
+        "diagnose": _cmd_diagnose,
+        "tree": _cmd_tree,
+        "autoref": _cmd_autoref,
+        "export": _cmd_export,
+        "table1": _cmd_table1,
+        "survey": _cmd_survey,
+        "unsuitable": _cmd_unsuitable,
+        "stanford": _cmd_stanford,
+    }[args.command]
+    return handler(args)
+
+
+def _emit(args, data, text: str) -> int:
+    try:
+        if args.json:
+            print(json.dumps(data, indent=2, default=str))
+        else:
+            print(text)
+    except BrokenPipeError:
+        # Downstream (e.g. `| head`) closed the pipe; not an error.
+        try:
+            sys.stdout.close()
+        except Exception:
+            pass
+    return 0
+
+
+def _cmd_scenarios(args) -> int:
+    rows = [
+        {"name": name, "description": cls.description}
+        for name, cls in sorted(ALL_SCENARIOS.items())
+    ]
+    text = "\n".join(f"{row['name']:8s} {row['description']}" for row in rows)
+    return _emit(args, rows, text)
+
+
+def _cmd_diagnose(args) -> int:
+    scenario = ALL_SCENARIOS[args.scenario]()
+    options = DiffProvOptions(
+        max_rounds=args.max_rounds,
+        enable_taint=not args.no_taint,
+        minimize=getattr(args, "minimize", False),
+    )
+    report = scenario.diagnose(options)
+    data = {
+        "scenario": args.scenario,
+        "success": report.success,
+        "changes": [change.describe() for change in report.changes],
+        "rounds": len(report.rounds),
+        "failure": report.failure_category,
+        "timings": report.timings,
+    }
+    return _emit(args, data, report.summary())
+
+
+def _cmd_tree(args) -> int:
+    from .provenance.viz import diff_to_dot, tree_to_dot
+
+    scenario = ALL_SCENARIOS[args.scenario]()
+    good, bad = scenario.trees()
+    tree = good if args.side == "good" else bad
+    if args.dot:
+        if args.diff:
+            text = diff_to_dot(good, bad, title=args.scenario)
+        else:
+            text = tree_to_dot(tree, title=f"{args.scenario}:{args.side}")
+    elif args.view == "tuple":
+        text = tree.tuple_root.render()
+    else:
+        text = tree.render()
+    data = {"scenario": args.scenario, "side": args.side, "size": tree.size()}
+    return _emit(args, data, text)
+
+
+def _cmd_autoref(args) -> int:
+    from .core.autoref import auto_diagnose
+
+    scenario = ALL_SCENARIOS[args.scenario]().setup()
+    result = auto_diagnose(
+        scenario.program,
+        scenario.good_execution,
+        scenario.bad_execution,
+        scenario.bad_event,
+        limit=args.limit,
+    )
+    data = {
+        "scenario": args.scenario,
+        "found": result.found,
+        "reference": str(result.reference) if result.reference else None,
+        "tried": len(result.tried),
+        "changes": [c.describe() for c in result.report.changes]
+        if result.found
+        else [],
+    }
+    if result.found:
+        text = (
+            f"discovered reference: {result.reference}\n"
+            f"(after trying {len(result.tried)} candidate(s))\n"
+            + result.report.summary()
+        )
+    else:
+        text = f"no suitable reference among {len(result.tried)} candidates"
+    return _emit(args, data, text)
+
+
+def _cmd_export(args) -> int:
+    from .provenance.serialize import dump_graph
+
+    scenario = ALL_SCENARIOS[args.scenario]().setup()
+    execution = (
+        scenario.good_execution if args.side == "good"
+        else scenario.bad_execution
+    )
+    records = dump_graph(execution.graph, args.out)
+    data = {"scenario": args.scenario, "out": args.out, "records": records}
+    return _emit(args, data, f"wrote {records} records to {args.out}")
+
+
+def _cmd_table1(args) -> int:
+    rows = []
+    for name in ("SDN1", "SDN2", "SDN3", "SDN4", "MR1-D", "MR2-D", "MR1-I", "MR2-I"):
+        scenario = ALL_SCENARIOS[name]()
+        row = scenario.table1_row()
+        rows.append(
+            {
+                "scenario": name,
+                "good_tree": row["good_tree"],
+                "bad_tree": row["bad_tree"],
+                "plain_diff": row["plain_diff"],
+                "diffprov": "/".join(str(c) for c in row["diffprov_per_round"])
+                or str(row["diffprov"]),
+            }
+        )
+    header = f"{'Query':8s} {'Good':>6s} {'Bad':>6s} {'Diff':>6s} {'DiffProv':>9s}"
+    lines = [header, "-" * len(header)]
+    for row in rows:
+        lines.append(
+            f"{row['scenario']:8s} {row['good_tree']:>6d} {row['bad_tree']:>6d} "
+            f"{row['plain_diff']:>6d} {row['diffprov']:>9s}"
+        )
+    return _emit(args, rows, "\n".join(lines))
+
+
+def _cmd_survey(args) -> int:
+    stats = survey_module.paper_stats()
+    data = {
+        "total": stats.total,
+        "diagnostic": stats.diagnostic,
+        "with_reference": stats.with_reference,
+        "reference_fraction": round(stats.reference_fraction, 3),
+        "cross_domain": stats.cross_domain,
+        "in_domain": stats.in_domain,
+        "by_category": stats.by_category,
+        "by_strategy": stats.by_strategy,
+    }
+    text = (
+        f"posts: {stats.total}, diagnostic: {stats.diagnostic}, "
+        f"with reference: {stats.with_reference} "
+        f"({stats.reference_fraction:.1%}), cross-domain: {stats.cross_domain}, "
+        f"usable in-domain: {stats.in_domain}\n"
+        f"categories: {stats.by_category}\nstrategies: {stats.by_strategy}"
+    )
+    return _emit(args, data, text)
+
+
+def _cmd_unsuitable(args) -> int:
+    from .scenarios.unsuitable import UnsuitableReferenceStudy
+
+    study = UnsuitableReferenceStudy()
+    outcomes = study.run()
+    tally = UnsuitableReferenceStudy.tally(outcomes)
+    data = {
+        "queries": [
+            {"scenario": o.scenario, "category": o.category, "message": o.message}
+            for o in outcomes
+        ],
+        "tally": tally,
+    }
+    lines = [
+        f"{o.scenario:7s} {o.category:28s} {o.message[:70]}" for o in outcomes
+    ]
+    lines.append(f"tally: {tally}")
+    return _emit(args, data, "\n".join(lines))
+
+
+def _cmd_stanford(args) -> int:
+    from .scenarios.stanford import StanfordForwardingError
+
+    scenario = StanfordForwardingError(
+        full_scale=args.full_scale, background_packets=args.background
+    )
+    report = scenario.diagnose()
+    good, bad = scenario.trees()
+    data = {
+        "entries": scenario.config.total_entries(),
+        "good_tree": good.size(),
+        "bad_tree": bad.size(),
+        "plain_diff": scenario.plain_diff_size(),
+        "success": report.success,
+        "changes": [change.describe() for change in report.changes],
+    }
+    text = (
+        f"configuration: {data['entries']} entries; trees: "
+        f"{data['good_tree']}/{data['bad_tree']} vertexes, plain diff "
+        f"{data['plain_diff']}\n" + report.summary()
+    )
+    return _emit(args, data, text)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,31 @@
+"""DiffProv: differential provenance (the paper's contribution).
+
+Given a "bad" event and a similar "good" reference event, DiffProv
+aligns their provenance trees and returns the set of mutable base-tuple
+changes Δ(B→G) that makes the bad execution behave like the good one —
+usually a single broken flow entry or configuration value.
+
+Public entry point::
+
+    from repro.core import DiffProv
+
+    debugger = DiffProv(program)
+    report = debugger.diagnose(good_exec, bad_exec, good_event, bad_event)
+    print(report.summary())
+"""
+
+from .diffprov import DiffProv, DiffProvOptions
+from .report import DiagnosisReport, RoundInfo
+from .seeds import find_seed
+from .taint import TaintAnnotation
+from .equivalence import EquivalenceRelation
+
+__all__ = [
+    "DiffProv",
+    "DiffProvOptions",
+    "DiagnosisReport",
+    "RoundInfo",
+    "find_seed",
+    "TaintAnnotation",
+    "EquivalenceRelation",
+]

@@ -1,0 +1,121 @@
+"""Automatic reference-event discovery (Section 4.9, future work).
+
+The paper relies on the operator to supply the reference event but
+notes that the process could be automated, inspired by ATPG's test
+packets and Everflow's guided probes.  This module implements the
+search: given the bad event, it proposes candidate reference events
+from the provenance graph — same event type, similar headers, different
+outcome — ranks them by similarity, and runs DiffProv against each
+until a diagnosis succeeds with a non-empty Δ.
+
+Candidates that align with *zero* changes are skipped: they are events
+the network already treats consistently with the bad one, so they
+cannot explain the anomaly (they are the "events we knew were suitable
+references" the paper filters the other way around in Section 6.3).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from ..datalog.tuples import Tuple
+from .diffprov import DiffProv, DiffProvOptions
+from .report import DiagnosisReport
+
+__all__ = ["ReferenceCandidate", "AutoReferenceResult", "auto_diagnose",
+           "propose_references"]
+
+
+class ReferenceCandidate:
+    """A candidate reference event with its similarity score."""
+
+    __slots__ = ("event", "score")
+
+    def __init__(self, event: Tuple, score: float):
+        self.event = event
+        self.score = score
+
+    def __repr__(self):
+        return f"ReferenceCandidate({self.event}, score={self.score:.2f})"
+
+
+class AutoReferenceResult:
+    """Outcome of an automatic reference search."""
+
+    __slots__ = ("report", "reference", "tried")
+
+    def __init__(
+        self,
+        report: Optional[DiagnosisReport],
+        reference: Optional[Tuple],
+        tried: Sequence[ReferenceCandidate],
+    ):
+        self.report = report
+        self.reference = reference
+        self.tried = list(tried)
+
+    @property
+    def found(self) -> bool:
+        return self.report is not None and self.report.success
+
+    def __repr__(self):
+        state = f"reference={self.reference}" if self.found else "no reference"
+        return f"AutoReferenceResult({state}, tried={len(self.tried)})"
+
+
+def similarity(bad_event: Tuple, candidate: Tuple) -> float:
+    """Field-agreement score between two same-table events.
+
+    Equal fields score 1 each; the paper's guidance is "as similar as
+    possible" *but with a different outcome*, so identical tuples are
+    excluded by the caller.
+    """
+    return sum(
+        1.0 for a, b in zip(bad_event.args, candidate.args) if a == b
+    )
+
+
+def propose_references(
+    graph, bad_event: Tuple, limit: int = 10
+) -> List[ReferenceCandidate]:
+    """Ranked candidate reference events from a provenance graph.
+
+    Candidates share the bad event's table (the same kind of outcome)
+    but are distinct tuples; ranking is by header similarity, ties
+    broken deterministically.
+    """
+    candidates = []
+    for tup in graph.live_tuples(bad_event.table):
+        if tup == bad_event or tup.arity != bad_event.arity:
+            continue
+        candidates.append(ReferenceCandidate(tup, similarity(bad_event, tup)))
+    candidates.sort(key=lambda c: (-c.score, str(c.event)))
+    return candidates[:limit]
+
+
+def auto_diagnose(
+    program,
+    good_execution,
+    bad_execution,
+    bad_event: Tuple,
+    options: Optional[DiffProvOptions] = None,
+    limit: int = 10,
+) -> AutoReferenceResult:
+    """Diagnose ``bad_event`` without an operator-supplied reference.
+
+    ``good_execution`` is where references are searched for — typically
+    the same execution as the bad one (partial failures) or an earlier
+    one (sudden failures).  Returns the first successful diagnosis with
+    a non-empty Δ, together with every candidate that was tried.
+    """
+    debugger = DiffProv(program, options)
+    graph = good_execution.graph
+    tried: List[ReferenceCandidate] = []
+    for candidate in propose_references(graph, bad_event, limit):
+        tried.append(candidate)
+        report = debugger.diagnose(
+            good_execution, bad_execution, candidate.event, bad_event
+        )
+        if report.success and report.num_changes > 0:
+            return AutoReferenceResult(report, candidate.event, tried)
+    return AutoReferenceResult(None, None, tried)

@@ -1,0 +1,773 @@
+"""The DiffProv algorithm (Section 4 / Figure 3 of the paper).
+
+The implementation follows the paper's three-step structure:
+
+1. **FINDSEED** — locate the external stimuli of both trees and check
+   that they have the same type (:mod:`repro.core.seeds`).
+2. **Align** — walk the good tree's seed→root branch, predicting via
+   taint formulas which tuples *should* exist in the bad execution; the
+   first prediction that fails is the divergence (FIRSTDIV).
+3. **MAKEAPPEAR / UPDATETREE** — use the good tree as a guide to make
+   the missing tuple appear: repair failing conditions, insert missing
+   mutable base tuples, remove selector blockers; then replay the bad
+   log on a clone with the accumulated changes and repeat until the
+   trees are equivalent.
+
+Using the good tree as a guide reduces an exponential search over
+combinations of base-tuple changes to a walk that is linear in the size
+of the good tree (Section 4.7).
+"""
+
+from __future__ import annotations
+
+import time as _time
+from contextlib import contextmanager
+from typing import Dict, List, Optional, Sequence, Set
+
+from ..datalog.engine import match_atom
+from ..datalog.expr import Var
+from ..datalog.rules import Program, Rule
+from ..datalog.tuples import TableKind, Tuple
+from ..errors import (
+    DiagnosisFailure,
+    EvaluationError,
+    ImmutableChangeRequired,
+    NonInvertibleError,
+    ReproError,
+    SeedTypeMismatch,
+)
+from ..provenance.query import provenance_query
+from ..provenance.tree import TupleNode
+from ..replay.execution import Execution
+from ..replay.replayer import Change, ReplayResult
+from .equivalence import EquivalenceRelation
+from .repair import repair_condition
+from .report import DiagnosisReport, RoundInfo
+from .seeds import find_seed
+from .taint import TaintAnnotation
+
+__all__ = ["DiffProvOptions", "DiffProv"]
+
+
+class DiffProvOptions:
+    """Tuning knobs; the defaults match the paper's prototype.
+
+    The disable flags exist for the ablation benchmarks: without taint
+    formulas DiffProv degenerates to a literal tree comparison, and
+    without inversion it must give up on rules whose fields are only
+    reachable through computations.
+    """
+
+    __slots__ = (
+        "max_rounds",
+        "enable_taint",
+        "enable_repair",
+        "enable_inversion",
+        "verify",
+        "max_competitors",
+        "minimize",
+    )
+
+    def __init__(
+        self,
+        max_rounds: int = 10,
+        enable_taint: bool = True,
+        enable_repair: bool = True,
+        enable_inversion: bool = True,
+        verify: bool = True,
+        max_competitors: int = 3,
+        minimize: bool = False,
+    ):
+        self.max_rounds = max_rounds
+        self.enable_taint = enable_taint
+        self.enable_repair = enable_repair
+        self.enable_inversion = enable_inversion
+        self.verify = verify
+        self.max_competitors = max_competitors
+        # Section 4.9 ("Minimality"): Δ(B→G) is not necessarily minimal
+        # because DiffProv only follows the good tree's derivations.
+        # With minimize=True a greedy post-pass drops every change whose
+        # removal still leaves the trees aligned (one replay per
+        # candidate change).
+        self.minimize = minimize
+
+
+class DiffProv:
+    """A differential provenance debugger for one NDlog program."""
+
+    def __init__(self, program: Program, options: Optional[DiffProvOptions] = None):
+        self.program = program
+        self.options = options or DiffProvOptions()
+
+    # ------------------------------------------------------------------
+    # Entry point.
+    # ------------------------------------------------------------------
+
+    def diagnose(
+        self,
+        good: Execution,
+        bad: Execution,
+        good_event: Tuple,
+        bad_event: Tuple,
+        good_time: Optional[int] = None,
+        bad_time: Optional[int] = None,
+    ) -> DiagnosisReport:
+        """Run the full DiffProv loop; never raises diagnosis failures —
+        they come back as a typed failure report (Section 4.7)."""
+        timings: Dict[str, float] = {}
+        state = _DiagnosisState(self, good, bad, timings)
+        try:
+            return state.run(good_event, bad_event, good_time, bad_time)
+        except (DiagnosisFailure, NonInvertibleError) as failure:
+            return state.failure_report(failure)
+
+    # Convenience: the vertex-count comparison used by Table 1.
+    def tree_sizes(
+        self,
+        good: Execution,
+        bad: Execution,
+        good_event: Tuple,
+        bad_event: Tuple,
+    ):
+        good_tree = provenance_query(good.graph, good_event)
+        bad_tree = provenance_query(bad.graph, bad_event)
+        return good_tree.size(), bad_tree.size()
+
+
+class _DiagnosisState:
+    """Mutable state of one diagnose() call."""
+
+    def __init__(self, debugger: DiffProv, good: Execution, bad: Execution, timings):
+        self.debugger = debugger
+        self.program = debugger.program
+        self.options = debugger.options
+        self.good = good
+        self.bad = bad
+        self.timings = timings
+        self.changes: List[Change] = []
+        self.rounds: List[RoundInfo] = []
+        self.good_tree_size = 0
+        self.bad_tree_size = 0
+        self.good_seed: Optional[TupleNode] = None
+        self.bad_seed: Optional[TupleNode] = None
+        self.equiv: Optional[EquivalenceRelation] = None
+        self.replays = 0
+
+    @contextmanager
+    def _timed(self, key: str):
+        started = _time.perf_counter()
+        try:
+            yield
+        finally:
+            self.timings[key] = (
+                self.timings.get(key, 0.0) + _time.perf_counter() - started
+            )
+
+    # ------------------------------------------------------------------
+    # Main loop.
+    # ------------------------------------------------------------------
+
+    def run(self, good_event, bad_event, good_time, bad_time) -> DiagnosisReport:
+        with self._timed("query"):
+            good_result = self.good.materialize()
+            if self.bad is self.good:
+                bad_result = good_result
+            else:
+                bad_result = self.bad.materialize()
+            good_tree = provenance_query(good_result.graph, good_event, good_time)
+            bad_tree = provenance_query(bad_result.graph, bad_event, bad_time)
+            self.good_tree_size = good_tree.size()
+            self.bad_tree_size = bad_tree.size()
+
+        with self._timed("find_seed"):
+            self.good_seed = find_seed(good_tree.tuple_root)
+            self.bad_seed = find_seed(bad_tree.tuple_root)
+        if (
+            self.good_seed.tuple.table != self.bad_seed.tuple.table
+            or self.good_seed.tuple.arity != self.bad_seed.tuple.arity
+        ):
+            raise SeedTypeMismatch(self.good_seed.tuple, self.bad_seed.tuple)
+
+        with self._timed("divergence"):
+            annotation = TaintAnnotation(
+                self.program,
+                good_tree.tuple_root,
+                self.good_seed,
+                enabled=self.options.enable_taint,
+            )
+            self.equiv = EquivalenceRelation(annotation, self.bad_seed.tuple)
+        # Figure 3: "if s_G ≄ s_B then FAIL".  With taints enabled the
+        # seeds are equivalent by definition (identity formulas); with
+        # taints disabled literal comparison applies and alignment that
+        # preserves s_B is impossible.
+        if not self.equiv.tuples_equivalent(self.good_seed, self.bad_seed.tuple):
+            raise DiagnosisFailure(
+                f"seeds {self.good_seed.tuple} and {self.bad_seed.tuple} are "
+                f"not equivalent under the equivalence relation; alignment "
+                f"cannot preserve the bad seed"
+            )
+
+        path = self.good_seed.path_to_root()
+        anchor_index = self.bad.log.index_of_insert(self.bad_seed.tuple)
+        replayed = bad_result
+
+        for round_number in range(1, self.options.max_rounds + 1):
+            anchor_time = self._anchor_time(replayed)
+            with self._timed("divergence"):
+                divergent = self._find_divergence(
+                    path, good_tree.tuple_root, replayed, anchor_time
+                )
+            if divergent is None:
+                if self.options.minimize and self.changes:
+                    self._minimize(path, good_tree.tuple_root, anchor_index)
+                return self._success_report(anchor_index)
+            with self._timed("make_appear"):
+                new_changes: List[Change] = []
+                self._make_appear(divergent, replayed, anchor_time, new_changes)
+            self.rounds.append(
+                RoundInfo(
+                    round_number,
+                    divergent.tuple,
+                    self.equiv.expected_tuple(divergent),
+                    new_changes,
+                )
+            )
+            if not new_changes:
+                raise DiagnosisFailure(
+                    f"no further changes found, but trees still diverge at "
+                    f"{divergent.tuple} (expected "
+                    f"{self.equiv.expected_tuple(divergent)}); the system may "
+                    f"be non-deterministic at this point"
+                )
+            with self._timed("replay"):
+                replayed = self.bad.replay(self.changes, anchor_index)
+                self.replays += 1
+        return self.failure_report(None)
+
+    def _minimize(self, path, good_root, anchor_index) -> None:
+        """Greedy minimality post-pass (Section 4.9).
+
+        For each accumulated change, first try dropping it entirely;
+        failing that, try narrowing a modification to its insertion
+        (competitor removals are proposed from the atom pattern alone,
+        so a rule condition may already exclude the competitor at
+        runtime, making its removal unnecessary).  A candidate is kept
+        only if the trees stop aligning without it.
+        """
+        for change in list(self.changes):
+            alternatives = [[c for c in self.changes if c is not change]]
+            if change.is_modification:
+                narrowed = Change(insert=change.insert, reason=change.reason)
+                alternatives.append(
+                    [narrowed if c is change else c for c in self.changes]
+                )
+            for trial in alternatives:
+                if self._aligned_with(trial, path, good_root, anchor_index):
+                    self.changes = trial
+                    break
+
+    def _aligned_with(self, trial, path, good_root, anchor_index) -> bool:
+        with self._timed("replay"):
+            replayed = self.bad.replay(trial, anchor_index)
+            self.replays += 1
+        anchor_time = self._anchor_time(replayed)
+        with self._timed("minimize"):
+            divergent = self._find_divergence(
+                path, good_root, replayed, anchor_time
+            )
+        return divergent is None
+
+    # ------------------------------------------------------------------
+    # FIRSTDIV: walking the seed→root branch.
+    # ------------------------------------------------------------------
+
+    def _anchor_time(self, replayed: ReplayResult) -> int:
+        appears = replayed.graph.appears_of(self.bad_seed.tuple)
+        if not appears:
+            return 0
+        return min(vertex.time for vertex in appears)
+
+    def _find_divergence(
+        self,
+        path: Sequence[TupleNode],
+        good_root: TupleNode,
+        replayed: ReplayResult,
+        anchor_time: int,
+    ) -> Optional[TupleNode]:
+        for node in path:
+            if not self._expected_alive(node, replayed, anchor_time):
+                return node
+        # The whole stimulus branch is reproduced; verify the full trees.
+        expected_root = self.equiv.expected_tuple(good_root)
+        exist = replayed.graph.exist_at(expected_root)
+        if exist is None:
+            return good_root
+        bad_root = provenance_query(replayed.graph, expected_root).tuple_root
+        return self.equiv.first_divergence(good_root, bad_root)
+
+    # ------------------------------------------------------------------
+    # MAKEAPPEAR (Section 4.5).
+    # ------------------------------------------------------------------
+
+    def _make_appear(
+        self,
+        node: TupleNode,
+        replayed: ReplayResult,
+        anchor_time: int,
+        new_changes: List[Change],
+        parent_env: Optional[Dict[str, object]] = None,
+    ) -> None:
+        if self._expected_alive(node, replayed, anchor_time):
+            return
+        if node.is_base:
+            self._change_base(node, replayed, new_changes, parent_env)
+            return
+        rule = self._rule_of(node)
+        env = None
+        if rule is not None and not rule.is_aggregate:
+            env = self._bad_side_env(rule, node)
+            if self.options.enable_repair:
+                self._repair_conditions(rule, node, env)
+            # Section 4.5: propagate the parent's taints down to the
+            # other children.  A sibling base tuple can share a tainted
+            # variable with the head (e.g. the replica name joining a
+            # query to its zone-transfer state), so its expected
+            # counterpart must be computed from the bad-side binding,
+            # not taken literally from the good tree.
+            self._propagate_to_children(rule, node, env)
+        for child in node.children:
+            self._make_appear(child, replayed, anchor_time, new_changes, env)
+        if rule is not None and not rule.is_aggregate:
+            self._remove_blockers(rule, node, replayed, new_changes)
+
+    def _expected_alive(
+        self, node: TupleNode, replayed: ReplayResult, anchor_time: int
+    ) -> bool:
+        """Whether a node's expected counterpart exists when needed.
+
+        Base (state) tuples must exist *at* the moment the stimulus
+        enters the system — a flapping entry that was withdrawn before
+        the bad event but re-announced later counts as missing
+        (Section 4.8's "as of" semantics).  Derived tuples come into
+        being after the stimulus, so any interval from the anchor on
+        qualifies.
+        """
+        expected = self.equiv.expected_tuple(node)
+        if node.is_base:
+            schema = self.program.schemas.get(expected.table)
+            if schema is not None and schema.kind == TableKind.EVENT:
+                # Base events (the seed itself) are instants, not
+                # intervals; anything from the anchor on qualifies.
+                return replayed.graph.alive_during(expected, anchor_time)
+            return replayed.graph.alive_at(expected, anchor_time)
+        return replayed.graph.alive_during(expected, anchor_time)
+
+    def _propagate_to_children(
+        self, rule: Rule, node: TupleNode, env: Dict[str, object]
+    ) -> None:
+        """Record overrides for children whose expected tuples change
+        under the bad-side binding (PROPTAINT downward + APPLYTAINT)."""
+        for atom, child in zip(rule.body, node.children):
+            expected = self._instantiate_atom(atom, env)
+            if expected is None:
+                continue
+            if expected != self.equiv.expected_tuple(child):
+                self.equiv.add_override(child.tuple, expected)
+
+    def _instantiate_atom(self, atom, env: Dict[str, object]) -> Optional[Tuple]:
+        args = []
+        for arg in atom.args:
+            try:
+                value = arg.evaluate(env)
+            except EvaluationError:
+                return None
+            args.append(value)
+        return Tuple(atom.table, args)
+
+    def _change_base(
+        self,
+        node: TupleNode,
+        replayed: ReplayResult,
+        new_changes: List[Change],
+        parent_env: Optional[Dict[str, object]] = None,
+    ) -> None:
+        expected = self.equiv.expected_tuple(node)
+        if not self._base_mutable(node, expected):
+            raise ImmutableChangeRequired(
+                expected,
+                reason=f"counterpart of {node.tuple} in the good tree",
+            )
+        competitors = self._competitors(node, replayed, expected, parent_env)
+        change = Change(
+            insert=expected,
+            remove=competitors,
+            reason=(
+                f"missing base tuple: the good tree derives through "
+                f"{node.tuple}, whose counterpart {expected} does not exist "
+                f"in the bad execution"
+            ),
+        )
+        self._add_change(change, new_changes)
+
+    def _base_mutable(self, node: TupleNode, expected: Tuple) -> bool:
+        if node.mutable is not None:
+            return node.mutable
+        schema = self.program.schemas.get(expected.table)
+        return schema.mutable if schema is not None else True
+
+    def _add_change(self, change: Change, new_changes: List[Change]) -> None:
+        if change in self.changes:
+            return
+        self.changes.append(change)
+        new_changes.append(change)
+
+    # -- competitor removal ---------------------------------------------------
+
+    def _competitors(
+        self,
+        node: TupleNode,
+        replayed: ReplayResult,
+        expected: Tuple,
+        parent_env: Optional[Dict[str, object]] = None,
+    ) -> tuple:
+        """Existing bad-side base tuples occupying the same rule slot.
+
+        When the rule's body atom is functional (no argmax selector and
+        the slot is anchored by other bindings), a conflicting tuple
+        must be removed along with the insertion — e.g. replacing the
+        wrong ``mapreduce.job.reduces`` value rather than having two.
+        """
+        parent = node.parent
+        if parent is None or parent.derivation is None:
+            return ()
+        rule = self._rule_of(parent)
+        if rule is None or rule.is_aggregate:
+            return ()
+        try:
+            index = parent.children.index(node)
+        except ValueError:
+            return ()
+        if index >= len(rule.body):
+            return ()
+        atom = rule.body[index]
+        if atom.selector is not None:
+            return ()
+        # Anchor the slot.  Two kinds of variables identify *which*
+        # tuple the slot holds and are pinned to their bad-side values:
+        # join variables (shared with other body atoms) and head
+        # variables the equivalence mapping rewrote (seed identity,
+        # e.g. the replica name) — another replica's state must never
+        # be mistaken for a competitor.  Variables whose value is the
+        # same in both runs are the slot's payload — the config value,
+        # the code version — and stay free, so the wrong occupant is
+        # found and replaced.
+        shared = set()
+        for other_index, other_atom in enumerate(rule.body):
+            if other_index != index:
+                shared |= other_atom.variables()
+        good_env = parent.derivation.env if parent.derivation else {}
+        env: Dict[str, object] = {}
+        if parent_env is not None:
+            for name in atom.variables():
+                if name not in parent_env:
+                    continue
+                rewritten = (
+                    name in good_env and good_env[name] != parent_env[name]
+                )
+                if name in shared or rewritten:
+                    env[name] = parent_env[name]
+        for sibling_index, (sibling_atom, sibling) in enumerate(
+            zip(rule.body, parent.children)
+        ):
+            if sibling_index == index:
+                continue
+            match_atom(sibling_atom, self.equiv.expected_tuple(sibling), env)
+        competitors = []
+        for candidate in self._live_base_tuples(replayed, atom.table):
+            if candidate == expected:
+                continue
+            candidate_env = dict(env)
+            if match_atom(atom, candidate, candidate_env):
+                competitors.append(candidate)
+        if len(competitors) > self.options.max_competitors:
+            # Too many matches: the slot is not functional; removing
+            # them would change unrelated behaviour.
+            return ()
+        immutable = [
+            c for c in competitors if not replayed.engine.is_mutable(c)
+        ]
+        if immutable:
+            return ()
+        return tuple(competitors)
+
+    def _live_base_tuples(self, replayed: ReplayResult, table: str):
+        store = replayed.engine.store
+        for tup in store.tuples(table):
+            record = store.record(tup)
+            if record is not None and record.is_base:
+                yield tup
+
+    # -- condition repair -------------------------------------------------------
+
+    def _rule_of(self, node: TupleNode) -> Optional[Rule]:
+        if node.rule is None:
+            return None
+        try:
+            return self.program.rule(node.rule)
+        except Exception:
+            return None
+
+    def _bad_side_env(self, rule: Rule, node: TupleNode) -> Dict[str, object]:
+        """The rule binding as it must look in the bad execution.
+
+        Tainted variables evaluate their formulas under the bad seed;
+        untainted ones keep the good run's values.  The binding is then
+        unified with the node's *expected* head tuple, so that taints
+        propagated down from an ancestor (or repairs recorded as
+        overrides) reach this rule's variables too — without this, a
+        sibling base tuple two levels below the divergence would still
+        be predicted with the good run's literal values.
+        """
+        env_good = node.derivation.env if node.derivation is not None else {}
+        var_formulas = self.equiv.annotation.var_formulas_for(node)
+        env: Dict[str, object] = {}
+        for name, value in env_good.items():
+            formula = var_formulas.get(name)
+            if formula is None:
+                env[name] = value
+            else:
+                env[name] = formula.evaluate(self.equiv.seed_env)
+        expected_head = self.equiv.expected_tuple(node)
+        for arg, value in zip(rule.head.args, expected_head.args):
+            if isinstance(arg, Var):
+                env[arg.name] = value
+        return env
+
+    def _repair_conditions(
+        self, rule: Rule, node: TupleNode, env: Dict[str, object]
+    ) -> None:
+        repairable = self._repairable_vars(rule, node)
+        for condition in rule.conditions:
+            try:
+                ok = condition.holds(env)
+            except EvaluationError:
+                ok = False
+            if ok:
+                continue
+            result = repair_condition(
+                condition, env, set(repairable), self.options.enable_inversion
+            )
+            if result is None:
+                raise NonInvertibleError(
+                    f"condition {condition} fails in the bad execution and "
+                    f"offers no mutable field to repair",
+                    attempted=(condition, dict(env)),
+                )
+            variable, value = result
+            # Register the repair as a field rewrite on every child
+            # slot the variable binds: all tuples carrying the old
+            # value there (e.g. every flow entry compiled from the
+            # repaired policy) are expected with the new one.  The
+            # caller's downward propagation then instantiates this
+            # node's own children from the updated binding.
+            old_value = env.get(variable)
+            for child, field_index in repairable.get(variable, ()):
+                self.equiv.add_field_rewrite(
+                    child.tuple.table, field_index, old_value, value
+                )
+            env[variable] = value
+
+    def _repairable_vars(self, rule: Rule, node: TupleNode):
+        """Variables bound to fields of changeable, untainted children.
+
+        Mutable base children can be changed directly; *derived*
+        children qualify too — repairing their field produces an
+        expected tuple whose own MAKEAPPEAR recursion pushes the change
+        down to the mutable base tuples it derives from (e.g. a flow
+        entry computed by the controller: the repair lands on the
+        policy).  Immutable base children are off limits.
+        """
+        var_formulas = self.equiv.annotation.var_formulas_for(node)
+        result: Dict[str, List] = {}
+        for atom, child in zip(rule.body, node.children):
+            if child.is_base and not self._base_mutable(child, child.tuple):
+                continue
+            for index, arg in enumerate(atom.args):
+                if isinstance(arg, Var) and arg.name not in var_formulas:
+                    result.setdefault(arg.name, []).append((child, index))
+        return result
+
+    # -- selector blockers ----------------------------------------------------
+
+    def _remove_blockers(
+        self,
+        rule: Rule,
+        node: TupleNode,
+        replayed: ReplayResult,
+        new_changes: List[Change],
+    ) -> None:
+        """Ensure argmax selectors would pick the expected tuples.
+
+        In the bad execution a competing tuple (e.g. an overlapping
+        higher-priority flow entry) may win the best-match selection
+        and hijack the derivation; such blockers are removed if mutable.
+        """
+        for index, atom in enumerate(rule.body):
+            if atom.selector is None or index >= len(node.children):
+                continue
+            expected_child = self.equiv.expected_tuple(node.children[index])
+            env_anchor: Dict[str, object] = {}
+            for sibling_index, (sibling_atom, sibling) in enumerate(
+                zip(rule.body, node.children)
+            ):
+                if sibling_index == index:
+                    continue
+                match_atom(
+                    sibling_atom, self.equiv.expected_tuple(sibling), env_anchor
+                )
+            excluded: Set[Tuple] = set()
+            for change in self.changes:
+                excluded.update(change.remove)
+            while True:
+                winner = self._select_winner(
+                    atom, rule, env_anchor, expected_child, replayed, excluded
+                )
+                if winner is None or winner == expected_child:
+                    break
+                removals = self._blocker_removals(winner, replayed)
+                if removals is None:
+                    raise ImmutableChangeRequired(
+                        winner,
+                        reason=(
+                            f"it wins the {atom.selector} selection over the "
+                            f"expected {expected_child}"
+                        ),
+                    )
+                change = Change(
+                    remove=removals,
+                    reason=(
+                        f"{winner} wins the best-match selection in rule "
+                        f"{rule.name!r} and diverts the derivation away from "
+                        f"{expected_child}"
+                    ),
+                )
+                self._add_change(change, new_changes)
+                excluded.add(winner)
+
+    def _blocker_removals(self, winner: Tuple, replayed: ReplayResult):
+        """Base-tuple removals that make a blocking tuple disappear.
+
+        A blocker that is itself derived (a flow entry computed by the
+        controller) cannot be removed directly — replay would simply
+        re-derive it.  Instead its derivation is traced to the mutable
+        base tuples it rests on (the policy).  Returns None when the
+        blocker is pinned by immutable state only.
+        """
+        store = replayed.engine.store
+        record = store.record(winner)
+        if record is not None and record.is_base:
+            if not replayed.engine.is_mutable(winner):
+                return None
+            return [winner]
+        # Find a derivation of the winner and pull out its mutable
+        # base supports, recursing through derived members.
+        derivations = [
+            info
+            for info in replayed.graph.derivations.values()
+            if info.head == winner
+        ]
+        if not derivations:
+            return None
+        removals: List[Tuple] = []
+        for member in derivations[0].body:
+            member_record = store.record(member)
+            if member_record is None or not member_record.is_base:
+                continue
+            if replayed.engine.is_mutable(member):
+                removals.append(member)
+        return removals or None
+
+    def _select_winner(
+        self,
+        atom,
+        rule: Rule,
+        env_anchor: Dict[str, object],
+        expected_child: Tuple,
+        replayed: ReplayResult,
+        excluded: Set[Tuple],
+    ) -> Optional[Tuple]:
+        candidates = list(replayed.engine.store.tuples(atom.table))
+        if expected_child not in candidates:
+            candidates.append(expected_child)
+        best = None
+        best_key = None
+        for candidate in candidates:
+            if candidate in excluded:
+                continue
+            env = dict(env_anchor)
+            if not match_atom(atom, candidate, env):
+                continue
+            if not self._conditions_hold(rule, env):
+                continue
+            try:
+                key = tuple(k.evaluate(env) for k in atom.selector.keys)
+            except EvaluationError:
+                continue
+            ranked = (key, _stable_key(candidate))
+            if best_key is None or ranked > best_key:
+                best_key = ranked
+                best = candidate
+        return best
+
+    def _conditions_hold(self, rule: Rule, env: Dict[str, object]) -> bool:
+        for condition in rule.conditions:
+            if condition.variables() - env.keys():
+                continue
+            try:
+                if not condition.holds(env):
+                    return False
+            except EvaluationError:
+                return False
+        return True
+
+    # ------------------------------------------------------------------
+    # Reports.
+    # ------------------------------------------------------------------
+
+    def _success_report(self, anchor_index) -> DiagnosisReport:
+        # Success is only declared after _find_divergence found the full
+        # trees equivalent on a replay that already incorporated every
+        # accumulated change — i.e. the diagnosis is verified by
+        # construction whenever the verify option is on.
+        verified = self.options.verify
+        return DiagnosisReport(
+            success=True,
+            changes=self.changes,
+            rounds=self.rounds,
+            failure=None,
+            timings=self.timings,
+            good_tree_size=self.good_tree_size,
+            bad_tree_size=self.bad_tree_size,
+            good_seed=self.good_seed.tuple if self.good_seed else None,
+            bad_seed=self.bad_seed.tuple if self.bad_seed else None,
+            replays=self.replays,
+            verified=verified,
+        )
+
+    def failure_report(self, failure: Optional[Exception]) -> DiagnosisReport:
+        return DiagnosisReport(
+            success=False,
+            changes=self.changes,
+            rounds=self.rounds,
+            failure=failure,
+            timings=self.timings,
+            good_tree_size=self.good_tree_size,
+            bad_tree_size=self.bad_tree_size,
+            good_seed=self.good_seed.tuple if self.good_seed else None,
+            bad_seed=self.bad_seed.tuple if self.bad_seed else None,
+            replays=self.replays,
+        )
+
+
+def _stable_key(tup: Tuple):
+    return tuple((type(a).__name__, str(a)) for a in tup.args)

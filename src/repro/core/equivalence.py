@@ -1,0 +1,116 @@
+"""The equivalence relation between good-tree and bad-tree tuples.
+
+Two tuples are equivalent when the bad-side tuple matches what
+APPLYTAINT predicts from the good-side tuple: tainted fields evaluate
+their formulas under the *bad* seed, untainted fields must match the
+good run literally (Sections 3.3 and 4.3).
+
+Repairs made by MAKEAPPEAR (e.g. widening an overly specific prefix)
+are recorded as *overrides*, so the repaired tuple is treated as the
+equivalent counterpart of the good tuple from then on.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from ..datalog.tuples import Tuple
+from ..errors import EvaluationError
+from ..provenance.tree import TupleNode
+from .taint import TaintAnnotation, seed_env
+
+__all__ = ["EquivalenceRelation"]
+
+
+class EquivalenceRelation:
+    """Maps good-tree nodes to their expected bad-side tuples."""
+
+    def __init__(self, annotation: TaintAnnotation, bad_seed_tuple: Tuple):
+        self.annotation = annotation
+        self.bad_seed_tuple = bad_seed_tuple
+        self.seed_env = seed_env(bad_seed_tuple)
+        # Repairs: good tuple -> the bad-side tuple that stands in for it.
+        self.overrides: Dict[Tuple, Tuple] = {}
+        # Field rewrites: (table, field index, old value) -> new value.
+        # A condition repair changes a *base* value (e.g. a policy's
+        # prefix); every tuple that carries the old value in that slot —
+        # all the flow entries compiled from the policy — must be
+        # expected with the repaired value.
+        self.field_rewrites: Dict[tuple, object] = {}
+
+    # -- expected tuples -----------------------------------------------------
+
+    def expected_tuple(self, node: TupleNode) -> Tuple:
+        """APPLYTAINT: the bad-side counterpart of a good-tree node."""
+        override = self.overrides.get(node.tuple)
+        if override is not None:
+            return override
+        formulas = self.annotation.formulas_for(node)
+        args = []
+        table = node.tuple.table
+        for index, (value, formula) in enumerate(
+            zip(node.tuple.args, formulas)
+        ):
+            if formula is not None:
+                value = formula.evaluate(self.seed_env)
+            if self.field_rewrites:
+                value = self.field_rewrites.get((table, index, value), value)
+            args.append(value)
+        return Tuple(table, args)
+
+    def add_override(self, good_tuple: Tuple, replacement: Tuple) -> None:
+        self.overrides[good_tuple] = replacement
+
+    def add_field_rewrite(self, table: str, index: int, old, new) -> None:
+        """Register a repair of one field value across the whole tree."""
+        if old != new:
+            self.field_rewrites[(table, index, old)] = new
+
+    # -- equivalence checks ----------------------------------------------------
+
+    def tuples_equivalent(self, node: TupleNode, candidate: Tuple) -> bool:
+        if node.tuple.table != candidate.table:
+            return False
+        if node.tuple.arity != candidate.arity:
+            return False
+        try:
+            return self.expected_tuple(node) == candidate
+        except EvaluationError:
+            return False
+
+    def subtrees_equivalent(self, good: TupleNode, bad: TupleNode) -> bool:
+        """Recursive equivalence of two provenance subtrees.
+
+        Requires equivalent tuples, the same deriving rule, and
+        pairwise-equivalent children (children are ordered by the
+        rule's body atoms, identically in both trees).
+        """
+        if not self.tuples_equivalent(good, bad.tuple):
+            return False
+        if good.rule != bad.rule:
+            return False
+        if len(good.children) != len(bad.children):
+            return False
+        return all(
+            self.subtrees_equivalent(gc, bc)
+            for gc, bc in zip(good.children, bad.children)
+        )
+
+    def first_divergence(
+        self, good: TupleNode, bad: TupleNode
+    ) -> Optional[TupleNode]:
+        """The shallowest good-tree node whose bad counterpart diverges.
+
+        Used when the divergence is off the seed path: returns the
+        good-tree node to MAKEAPPEAR, or None if the trees are
+        equivalent.
+        """
+        if not self.tuples_equivalent(good, bad.tuple) or good.rule != bad.rule:
+            return good
+        if len(good.children) != len(bad.children):
+            return good
+        for gc, bc in zip(good.children, bad.children):
+            divergence = self.first_divergence(gc, bc)
+            if divergence is not None:
+                return divergence
+        return None

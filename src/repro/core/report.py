@@ -1,0 +1,155 @@
+"""Diagnosis reports: what DiffProv hands back to the operator.
+
+A report either carries the root-cause changes Δ(B→G), or a typed
+failure in the taxonomy of Section 4.7 (seed-type mismatch, immutable
+change required, non-invertible computation) together with enough
+context for the operator to pick a better reference event.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from ..datalog.tuples import Tuple
+from ..errors import (
+    DiagnosisFailure,
+    ImmutableChangeRequired,
+    NonInvertibleError,
+    SeedTypeMismatch,
+)
+from ..replay.replayer import Change
+
+__all__ = ["RoundInfo", "DiagnosisReport", "FAILURE_CATEGORIES"]
+
+FAILURE_CATEGORIES = (
+    "seed-type-mismatch",
+    "immutable-change-required",
+    "non-invertible",
+    "stuck",
+    "max-rounds",
+)
+
+
+class RoundInfo:
+    """One roll-back/roll-forward round of the DiffProv loop."""
+
+    __slots__ = ("number", "divergence", "expected", "changes")
+
+    def __init__(
+        self,
+        number: int,
+        divergence: Optional[Tuple],
+        expected: Optional[Tuple],
+        changes: Sequence[Change],
+    ):
+        self.number = number
+        self.divergence = divergence
+        self.expected = expected
+        self.changes = list(changes)
+
+    def __repr__(self):
+        return (
+            f"RoundInfo(#{self.number}, divergence={self.divergence}, "
+            f"{len(self.changes)} changes)"
+        )
+
+
+class DiagnosisReport:
+    """The outcome of one differential provenance query."""
+
+    def __init__(
+        self,
+        success: bool,
+        changes: Sequence[Change],
+        rounds: Sequence[RoundInfo],
+        failure: Optional[Exception] = None,
+        timings: Optional[Dict[str, float]] = None,
+        good_tree_size: int = 0,
+        bad_tree_size: int = 0,
+        good_seed: Optional[Tuple] = None,
+        bad_seed: Optional[Tuple] = None,
+        replays: int = 0,
+        verified: bool = False,
+    ):
+        self.success = success
+        self.changes = list(changes)
+        self.rounds = list(rounds)
+        self.failure = failure
+        self.timings = dict(timings or {})
+        self.good_tree_size = good_tree_size
+        self.bad_tree_size = bad_tree_size
+        self.good_seed = good_seed
+        self.bad_seed = bad_seed
+        self.replays = replays
+        self.verified = verified
+
+    # -- derived views -----------------------------------------------------
+
+    @property
+    def num_changes(self) -> int:
+        """Size of the diagnosis — the "DiffProv" row of Table 1."""
+        return len(self.changes)
+
+    @property
+    def changes_per_round(self) -> List[int]:
+        return [len(r.changes) for r in self.rounds if r.changes]
+
+    @property
+    def failure_category(self) -> Optional[str]:
+        if self.success:
+            return None
+        if isinstance(self.failure, SeedTypeMismatch):
+            return "seed-type-mismatch"
+        if isinstance(self.failure, ImmutableChangeRequired):
+            return "immutable-change-required"
+        if isinstance(self.failure, NonInvertibleError):
+            return "non-invertible"
+        if isinstance(self.failure, DiagnosisFailure):
+            return "stuck"
+        return "max-rounds" if self.failure is None else "stuck"
+
+    @property
+    def total_seconds(self) -> float:
+        return sum(self.timings.values())
+
+    @property
+    def reasoning_seconds(self) -> float:
+        """Time in DiffProv proper, excluding replay and tree queries."""
+        return sum(
+            seconds
+            for key, seconds in self.timings.items()
+            if key not in ("replay", "query")
+        )
+
+    def root_causes(self) -> List[str]:
+        return [change.describe() for change in self.changes]
+
+    def summary(self) -> str:
+        lines = []
+        if self.success:
+            lines.append(
+                f"DiffProv identified {self.num_changes} root-cause "
+                f"change(s) in {len(self.rounds)} round(s):"
+            )
+            for change in self.changes:
+                lines.append(f"  - {change.describe()}")
+            if self.verified:
+                lines.append("  (verified: applying the changes aligns the trees)")
+        else:
+            lines.append(f"DiffProv failed: {self.failure_category}")
+            if self.failure is not None:
+                lines.append(f"  {self.failure}")
+            if self.changes:
+                lines.append("  attempted changes so far:")
+                for change in self.changes:
+                    lines.append(f"  - {change.describe()}")
+        lines.append(
+            f"  trees: good={self.good_tree_size} vertexes, "
+            f"bad={self.bad_tree_size} vertexes; "
+            f"seeds: {self.good_seed} / {self.bad_seed}"
+        )
+        return "\n".join(lines)
+
+    def __repr__(self):
+        state = "success" if self.success else f"failure:{self.failure_category}"
+        return f"DiagnosisReport({state}, {self.num_changes} changes)"

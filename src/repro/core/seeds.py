@@ -1,0 +1,42 @@
+"""FINDSEED — locating the external stimulus of a provenance tree.
+
+Networks respond to stimuli: there is one "special" branch of every
+provenance tree that traces how the stimulus (an incoming packet, a
+submitted job) made its way through the system, while the other
+branches hold the reasons for each step (Section 4.2).  Each derivation
+was triggered by the *last* of its preconditions to appear, so the seed
+is found by repeatedly descending into the child with the highest
+APPEAR timestamp.
+"""
+
+from __future__ import annotations
+
+from ..provenance.tree import TupleNode
+
+__all__ = ["find_seed", "seed_path"]
+
+
+def find_seed(root: TupleNode) -> TupleNode:
+    """The seed (triggering base event) of a provenance tree.
+
+    Prefers the derivation's recorded trigger (the precondition that
+    appeared last and fired the rule); when no trigger is recorded the
+    descent falls back to the child with the highest APPEAR timestamp,
+    which is the same thing computed from the graph.
+    """
+    node = root
+    while node.children:
+        trigger = node.trigger_child()
+        if trigger is not None:
+            node = trigger
+            continue
+        node = max(
+            node.children,
+            key=lambda child: (child.appear_time, -node.children.index(child)),
+        )
+    return node
+
+
+def seed_path(root: TupleNode) -> list:
+    """Seed-to-root path: the tree's "special" stimulus branch."""
+    return find_seed(root).path_to_root()

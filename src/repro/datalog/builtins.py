@@ -1,0 +1,225 @@
+"""Registry of builtin functions usable in NDlog rule bodies.
+
+Each builtin has a forward implementation and, optionally, *inverses*:
+given the function's result and the remaining arguments, an inverse
+reconstructs candidate values for one argument position.  Inverses are
+what let DiffProv propagate taints downward through rule computations
+(Section 4.5 of the paper); functions without a registered inverse make
+DiffProv fail with the "attempted change" clue (Section 4.7).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Optional
+
+from ..addresses import IPv4Address, Prefix
+from ..errors import EvaluationError
+
+__all__ = ["Builtin", "register", "get", "call", "has_inverse", "BUILTINS"]
+
+
+@dataclass
+class Builtin:
+    """A registered builtin function.
+
+    ``inverses`` maps an argument index to a callable
+    ``inverse(result, other_args) -> list of candidate values`` where
+    ``other_args`` is a dict of the *known* argument values by index.
+    """
+
+    name: str
+    fn: Callable
+    arity: int
+    inverses: Dict[int, Callable] = field(default_factory=dict)
+    doc: str = ""
+
+
+BUILTINS: Dict[str, Builtin] = {}
+
+
+def register(
+    name: str,
+    fn: Callable,
+    arity: int,
+    inverses: Optional[Dict[int, Callable]] = None,
+    doc: str = "",
+) -> Builtin:
+    """Register (or replace) a builtin function."""
+    builtin = Builtin(name, fn, arity, dict(inverses or {}), doc)
+    BUILTINS[name] = builtin
+    return builtin
+
+
+def get(name: str) -> Builtin:
+    try:
+        return BUILTINS[name]
+    except KeyError:
+        raise EvaluationError(f"unknown builtin function {name!r}") from None
+
+
+def call(name: str, args):
+    builtin = get(name)
+    if builtin.arity >= 0 and len(args) != builtin.arity:
+        raise EvaluationError(
+            f"builtin {name!r} expects {builtin.arity} args, got {len(args)}"
+        )
+    return builtin.fn(*args)
+
+
+def has_inverse(name: str, index: int) -> bool:
+    builtin = BUILTINS.get(name)
+    return builtin is not None and index in builtin.inverses
+
+
+# ---------------------------------------------------------------------------
+# Standard library of builtins.
+# ---------------------------------------------------------------------------
+
+
+def _fnv1a64(data: bytes) -> int:
+    value = 0xCBF29CE484222325
+    for byte in data:
+        value ^= byte
+        value = (value * 0x100000001B3) & 0xFFFFFFFFFFFFFFFF
+    return value
+
+
+def stable_hash(value) -> int:
+    """A deterministic, process-independent hash (FNV-1a over repr)."""
+    if isinstance(value, int):
+        data = value.to_bytes(16, "little", signed=True)
+    else:
+        data = str(value).encode("utf-8")
+    return _fnv1a64(data)
+
+
+def _hash_mod(value, modulus):
+    if modulus <= 0:
+        raise EvaluationError(f"hash_mod with non-positive modulus {modulus}")
+    return stable_hash(value) % modulus
+
+
+def _checksum(value):
+    return f"{_fnv1a64(str(value).encode('utf-8')):016x}"
+
+
+def _as_ip(value) -> IPv4Address:
+    if isinstance(value, IPv4Address):
+        return value
+    return IPv4Address(value)
+
+
+def _as_prefix(value) -> Prefix:
+    if isinstance(value, Prefix):
+        return value
+    return Prefix(value)
+
+
+def _ip_in_prefix(addr, pfx) -> bool:
+    return _as_prefix(pfx).contains(_as_ip(addr))
+
+
+def _ip_last_octet(addr) -> int:
+    return _as_ip(addr).last_octet()
+
+
+def _ip_octet(addr, index) -> int:
+    return _as_ip(addr).octets()[index]
+
+
+def _prefix_len(pfx) -> int:
+    return _as_prefix(pfx).length
+
+
+def _make_prefix(addr, length) -> Prefix:
+    return Prefix(_as_ip(addr), length)
+
+
+def _make_prefix_inverse_addr(result, other_args):
+    # make_prefix(addr, len) == result  =>  addr could be the network
+    # address of the prefix (the canonical preimage).
+    return [_as_prefix(result).network]
+
+
+def _sq(x):
+    return x * x
+
+
+def _sq_inverse(result, other_args):
+    # Multiple preimages: DiffProv tries all of them (Section 4.5).
+    if isinstance(result, int) and result >= 0:
+        root = int(result**0.5)
+        while root * root < result:
+            root += 1
+        if root * root != result:
+            return []
+        return [root, -root] if root else [0]
+    return []
+
+
+def _concat(a, b):
+    return f"{a}{b}"
+
+
+def _identity(x):
+    return x
+
+
+register("hash_mod", _hash_mod, 2, doc="Deterministic hash of arg0 modulo arg1.")
+register("checksum", _checksum, 1, doc="FNV-1a64 checksum as hex string.")
+register(
+    "ip_in_prefix",
+    _ip_in_prefix,
+    2,
+    doc="True iff the address (arg0) is inside the prefix (arg1).",
+)
+register("ip_last_octet", _ip_last_octet, 1, doc="Last octet of an IPv4 address.")
+register("ip_octet", _ip_octet, 2, doc="The arg1-th octet of an IPv4 address.")
+register("prefix_len", _prefix_len, 1, doc="Mask length of a prefix.")
+register(
+    "make_prefix",
+    _make_prefix,
+    2,
+    inverses={0: _make_prefix_inverse_addr},
+    doc="Build a prefix from an address and a mask length.",
+)
+register(
+    "sq",
+    _sq,
+    1,
+    inverses={0: _sq_inverse},
+    doc="Square; its inverse demonstrates multi-preimage handling.",
+)
+register(
+    "concat",
+    _concat,
+    2,
+    doc="String concatenation (not invertible).",
+)
+register(
+    "identity",
+    _identity,
+    1,
+    inverses={0: lambda result, other: [result]},
+    doc="Identity function.",
+)
+
+
+def _ecmp_choice(seed, flow_key, n):
+    """Which of n equal-cost paths a flow takes, given the device seed.
+
+    ECMP is deterministic *given the seed* (Section 4.9): replay-based
+    debugging works as long as the seed is part of the recorded state.
+    """
+    if n <= 0:
+        raise EvaluationError(f"ecmp_choice with non-positive fan-out {n}")
+    return stable_hash((str(seed), str(flow_key))) % n
+
+
+register(
+    "ecmp_choice",
+    _ecmp_choice,
+    3,
+    doc="Deterministic ECMP path choice from (seed, flow key, fan-out).",
+)

@@ -1,0 +1,456 @@
+"""Deterministic delta-driven evaluator for NDlog programs.
+
+The engine processes a FIFO queue of base-tuple insertions/deletions and
+derived-tuple appearances.  Each dequeued item advances a logical clock,
+so every run of the same program over the same input sequence produces
+the identical sequence of events — the determinism assumption that both
+deterministic replay (Section 5) and DiffProv's roll-back/roll-forward
+reasoning (Section 2.6) rest on.
+
+A recorder (see :mod:`repro.provenance.recorder`) can be attached to
+observe INSERT/DELETE/APPEAR/DISAPPEAR/DERIVE/UNDERIVE events as they
+happen; the engine itself keeps no provenance.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Dict, Iterable, Iterator, List, Optional, Tuple as PyTuple
+
+from ..errors import EvaluationError, SchemaError
+from .aggregates import evaluate_aggregates
+from .expr import Const, Expr, Var
+from .rules import Atom, Program, Rule
+from .state import Derivation, Store, sort_key
+from .tuples import TableKind, Tuple
+
+__all__ = ["Engine", "GLOBAL_NODE"]
+
+GLOBAL_NODE = "_"
+
+
+class Engine:
+    """Evaluates an NDlog :class:`Program` over a stream of base events."""
+
+    def __init__(self, program: Program, recorder=None):
+        self.program = program
+        self.recorder = recorder
+        self.store = Store(program.schemas)
+        self._queue: deque = deque()
+        self._clock = 0
+        self._next_derivation_id = 1
+        self._located_tables = self._find_located_tables()
+        self._validate_event_usage()
+
+    # -- public API ----------------------------------------------------------
+
+    @property
+    def now(self) -> int:
+        return self._clock
+
+    def node_of(self, tup: Tuple) -> str:
+        """The node a tuple lives on (its location field, if located)."""
+        if tup.table in self._located_tables and tup.args:
+            return str(tup.args[0])
+        return GLOBAL_NODE
+
+    def insert(self, tup: Tuple, mutable: Optional[bool] = None) -> None:
+        """Enqueue a base-tuple insertion (processed by :meth:`run`)."""
+        self._check(tup)
+        self._queue.append(("base_insert", tup, mutable))
+
+    def delete(self, tup: Tuple) -> None:
+        """Enqueue a base-tuple deletion."""
+        self._check(tup)
+        self._queue.append(("base_delete", tup))
+
+    def run(self) -> int:
+        """Drain the queue to a fixpoint; returns events processed."""
+        processed = 0
+        while self._queue:
+            self._step()
+            processed += 1
+        return processed
+
+    def insert_and_run(self, tup: Tuple, mutable: Optional[bool] = None) -> int:
+        self.insert(tup, mutable)
+        return self.run()
+
+    def fire_aggregates(self) -> int:
+        """Evaluate aggregate rules once (barrier semantics) and run.
+
+        Used by batch workloads (MapReduce) where aggregates are only
+        meaningful after all contributions have arrived.  Returns the
+        number of aggregate tuples derived.
+        """
+        derived = 0
+        for rule, head, contributors, env in evaluate_aggregates(
+            self.program, self.store
+        ):
+            # The trigger is the contribution that appeared last — the
+            # precondition that would have completed the aggregate.
+            trigger_index = max(
+                range(len(contributors)),
+                key=lambda i: (self._appear_time(contributors[i]), -i),
+            )
+            derivation = self._make_derivation(
+                rule, head, contributors, env, trigger_index=trigger_index
+            )
+            self._record_derive(derivation)
+            self._queue.append(("derived", derivation))
+            derived += 1
+        self.run()
+        return derived
+
+    def lookup(self, table: str) -> List[Tuple]:
+        """Live tuples of a state table, deterministically ordered."""
+        return self.store.tuples(table)
+
+    def _appear_time(self, tup: Tuple) -> int:
+        record = self.store.record(tup)
+        if record is None or record.appear_time is None:
+            return -1
+        return record.appear_time
+
+    def exists(self, tup: Tuple) -> bool:
+        return self.store.alive(tup)
+
+    def is_mutable(self, tup: Tuple) -> bool:
+        return self.store.is_mutable(tup)
+
+    # -- queue processing ------------------------------------------------------
+
+    def _tick(self) -> int:
+        self._clock += 1
+        return self._clock
+
+    def _step(self) -> None:
+        item = self._queue.popleft()
+        kind = item[0]
+        if kind == "base_insert":
+            self._process_base_insert(item[1], item[2])
+        elif kind == "base_delete":
+            self._process_base_delete(item[1])
+        elif kind == "derived":
+            self._process_derived(item[1])
+        else:  # pragma: no cover - defensive
+            raise EvaluationError(f"unknown queue item {kind!r}")
+
+    def _process_base_insert(self, tup: Tuple, mutable: Optional[bool]) -> None:
+        time = self._tick()
+        node = self.node_of(tup)
+        schema = self.program.schema(tup.table)
+        if self.recorder is not None:
+            effective = mutable if mutable is not None else schema.mutable
+            self.recorder.on_insert(node, tup, time, effective)
+        if schema.kind == TableKind.EVENT:
+            if self.recorder is not None:
+                self.recorder.on_appear(node, tup, time, ("insert", None))
+            self._fire_rules(tup, time)
+            return
+        appeared = self.store.add_base_support(tup, time, mutable)
+        if appeared:
+            if self.recorder is not None:
+                self.recorder.on_appear(node, tup, time, ("insert", None))
+            self._fire_rules(tup, time)
+
+    def _process_base_delete(self, tup: Tuple) -> None:
+        time = self._tick()
+        node = self.node_of(tup)
+        schema = self.program.schema(tup.table)
+        if schema.kind == TableKind.EVENT:
+            raise SchemaError(f"cannot delete event tuple {tup}")
+        if self.recorder is not None:
+            self.recorder.on_delete(node, tup, time)
+        disappeared = self.store.remove_base_support(tup)
+        if disappeared:
+            if self.recorder is not None:
+                self.recorder.on_disappear(node, tup, time, ("delete", None))
+            self._cascade_disappear(tup)
+
+    def _process_derived(self, derivation: Derivation) -> None:
+        time = self._tick()
+        head = derivation.head
+        node = self.node_of(head)
+        schema = self.program.schema(head.table)
+        if schema.kind == TableKind.EVENT:
+            if self.recorder is not None:
+                self.recorder.on_appear(node, head, time, ("derive", derivation))
+            self._fire_rules(head, time)
+            return
+        appeared = self.store.add_derivation(derivation, time)
+        if appeared:
+            if self.recorder is not None:
+                self.recorder.on_appear(node, head, time, ("derive", derivation))
+            self._fire_rules(head, time)
+
+    def _cascade_disappear(self, tup: Tuple) -> None:
+        """Underive everything that depended on a vanished tuple."""
+        worklist = deque([tup])
+        while worklist:
+            gone = worklist.popleft()
+            for derivation_id in sorted(self.store.dependents_of(gone)):
+                derivation = self.store.derivations[derivation_id]
+                time = self._tick()
+                head = derivation.head
+                node = self.node_of(head)
+                disappeared = self.store.remove_derivation(derivation_id)
+                if self.recorder is not None:
+                    self.recorder.on_underive(
+                        self.node_of(derivation.trigger), derivation, time
+                    )
+                if disappeared:
+                    if self.recorder is not None:
+                        self.recorder.on_disappear(
+                            node, head, time, ("underive", derivation)
+                        )
+                    worklist.append(head)
+
+    # -- rule firing -------------------------------------------------------------
+
+    def _fire_rules(self, delta: Tuple, time: int) -> None:
+        for rule in self.program.rules_triggered_by(delta.table):
+            for trigger_index, atom in enumerate(rule.body):
+                if atom.table != delta.table:
+                    continue
+                for env, body in self._bindings(rule, trigger_index, delta):
+                    head = self._evaluate_head(rule.head, env)
+                    derivation = self._make_derivation(
+                        rule, head, body, env, trigger_index, time
+                    )
+                    self._record_derive(derivation)
+                    self._queue.append(("derived", derivation))
+
+    def _make_derivation(
+        self,
+        rule: Rule,
+        head: Tuple,
+        body: Iterable[Tuple],
+        env: Dict[str, object],
+        trigger_index: int,
+        time: Optional[int] = None,
+    ) -> Derivation:
+        revocable = all(
+            self.program.schema(atom.table).kind == TableKind.STATE
+            for atom in rule.body
+        ) and not rule.is_aggregate
+        derivation = Derivation(
+            self._next_derivation_id,
+            rule.name,
+            head,
+            tuple(body),
+            env,
+            trigger_index,
+            time if time is not None else self._clock,
+            revocable,
+        )
+        self._next_derivation_id += 1
+        return derivation
+
+    def _record_derive(self, derivation: Derivation) -> None:
+        if self.recorder is not None:
+            node = self.node_of(derivation.trigger)
+            self.recorder.on_derive(node, derivation, derivation.time)
+
+    def _evaluate_head(self, head: Atom, env: Dict[str, object]) -> Tuple:
+        args = [arg.evaluate(env) for arg in head.args]
+        return Tuple(head.table, args)
+
+    # -- join machinery ----------------------------------------------------------
+
+    def _bindings(
+        self, rule: Rule, trigger_index: int, delta: Tuple
+    ) -> Iterator[PyTuple[Dict[str, object], PyTuple]]:
+        """All complete bindings of ``rule`` with ``delta`` at the trigger.
+
+        Yields ``(env, body_tuples)`` pairs in deterministic order; body
+        tuples are ordered to match ``rule.body``.
+        """
+        env: Dict[str, object] = {}
+        if not _match_atom(rule.body[trigger_index], delta, env):
+            return
+        pending_assigns = list(rule.assignments)
+        pending_conds = list(rule.conditions)
+        if not self._settle(env, pending_assigns, pending_conds):
+            return
+        remaining = [i for i in range(len(rule.body)) if i != trigger_index]
+        slots: List[Optional[Tuple]] = [None] * len(rule.body)
+        slots[trigger_index] = delta
+        yield from self._extend(
+            rule, remaining, slots, env, pending_assigns, pending_conds
+        )
+
+    def _extend(self, rule, remaining, slots, env, assigns, conds):
+        if not remaining:
+            if assigns or conds:
+                env = dict(env)
+                if not self._settle(env, list(assigns), list(conds), final=True):
+                    return
+            yield env, tuple(slots)
+            return
+        index = remaining[0]
+        atom = rule.body[index]
+        candidates = self._candidates(atom, env, assigns, conds)
+        for candidate, new_env, new_assigns, new_conds in candidates:
+            slots[index] = candidate
+            yield from self._extend(
+                rule, remaining[1:], slots, new_env, new_assigns, new_conds
+            )
+            slots[index] = None
+
+    def _candidates(self, atom: Atom, env, assigns, conds):
+        """Matching stored tuples for a body atom, selector applied.
+
+        Each yielded element carries the extended environment and the
+        not-yet-consumed assignments/conditions.  When the atom has a
+        bound argument (a constant, or a variable the join already
+        bound), the store's equality index serves the candidates
+        instead of a table scan.
+        """
+        matched = []
+        for candidate in self._access_path(atom, env):
+            new_env = dict(env)
+            if not _match_atom(atom, candidate, new_env):
+                continue
+            new_assigns = list(assigns)
+            new_conds = list(conds)
+            if not self._settle(new_env, new_assigns, new_conds):
+                continue
+            matched.append((candidate, new_env, new_assigns, new_conds))
+        if atom.selector is None or not matched:
+            return matched
+        # argmax selection: keep the single best candidate.  Key
+        # expressions may reference any bound variable; ties are broken
+        # by the candidate tuple's own order for determinism.
+        def selector_key(entry):
+            candidate, new_env, _, _ = entry
+            keys = tuple(key.evaluate(new_env) for key in atom.selector.keys)
+            return (keys, sort_key(candidate))
+
+        best = max(matched, key=selector_key)
+        return [best]
+
+    def _access_path(self, atom: Atom, env) -> List[Tuple]:
+        """Pick index lookup vs. table scan for a body atom."""
+        for position, arg in enumerate(atom.args):
+            if isinstance(arg, Const):
+                return self.store.tuples_matching(
+                    atom.table, position, arg.value
+                )
+            if isinstance(arg, Var) and arg.name in env:
+                return self.store.tuples_matching(
+                    atom.table, position, env[arg.name]
+                )
+        return self.store.tuples(atom.table)
+
+    def _settle(self, env, assigns, conds, final: bool = False) -> bool:
+        """Evaluate assignments/conditions whose variables are bound.
+
+        Mutates ``env``, ``assigns`` and ``conds`` in place; returns
+        False as soon as a condition fails.  With ``final=True`` it is
+        an error for anything to remain unbound.
+        """
+        progress = True
+        while progress:
+            progress = False
+            for assignment in list(assigns):
+                if assignment.expr.variables() <= env.keys():
+                    value = assignment.expr.evaluate(env)
+                    if assignment.var in env:
+                        if env[assignment.var] != value:
+                            return False
+                    else:
+                        env[assignment.var] = value
+                    assigns.remove(assignment)
+                    progress = True
+            for condition in list(conds):
+                if condition.variables() <= env.keys():
+                    try:
+                        ok = condition.holds(env)
+                    except EvaluationError:
+                        ok = False
+                    if not ok:
+                        return False
+                    conds.remove(condition)
+                    progress = True
+        if final and (assigns or conds):
+            raise EvaluationError(
+                f"unbound variables remain in {assigns or conds}"
+            )
+        return True
+
+    # -- validation -----------------------------------------------------------
+
+    def _check(self, tup: Tuple) -> None:
+        schema = self.program.schemas.get(tup.table)
+        if schema is None:
+            raise SchemaError(f"unknown table {tup.table!r}")
+        if tup.arity != schema.arity:
+            raise SchemaError(
+                f"tuple {tup} has arity {tup.arity}, expected {schema.arity}"
+            )
+
+    def _find_located_tables(self) -> frozenset:
+        located = set()
+        for rule in self.program.rules:
+            for atom in (rule.head, *rule.body):
+                if atom.location is not None:
+                    located.add(atom.table)
+        return frozenset(located)
+
+    def _validate_event_usage(self) -> None:
+        for rule in self.program.rules:
+            event_atoms = [
+                atom
+                for atom in rule.body
+                if self.program.schema(atom.table).kind == TableKind.EVENT
+            ]
+            if len(event_atoms) > 1:
+                raise SchemaError(
+                    f"rule {rule.name!r} joins two event tables "
+                    f"({', '.join(a.table for a in event_atoms)}); event "
+                    f"tuples are transient and cannot be joined"
+                )
+            if rule.is_aggregate and event_atoms:
+                raise SchemaError(
+                    f"aggregate rule {rule.name!r} cannot read event tables"
+                )
+
+
+def _match_atom(atom: Atom, tup: Tuple, env: Dict[str, object]) -> bool:
+    """Match a body atom against a concrete tuple, extending ``env``."""
+    if atom.table != tup.table or atom.arity != tup.arity:
+        return False
+    for arg, value in zip(atom.args, tup.args):
+        if isinstance(arg, Var):
+            bound = env.get(arg.name, _UNSET)
+            if bound is _UNSET:
+                env[arg.name] = value
+            elif bound != value:
+                return False
+        elif isinstance(arg, Const):
+            if arg.value != value:
+                return False
+        elif isinstance(arg, Expr):
+            free = arg.variables() - env.keys()
+            if free:
+                return False
+            if arg.evaluate(env) != value:
+                return False
+        else:  # pragma: no cover - defensive
+            raise EvaluationError(f"bad body atom argument {arg!r}")
+    return True
+
+
+class _Unset:
+    __slots__ = ()
+
+    def __repr__(self):  # pragma: no cover
+        return "<unset>"
+
+
+_UNSET = _Unset()
+
+# Public alias: the matching primitive is also used by DiffProv when it
+# searches the bad execution for competitor/blocker tuples.
+match_atom = _match_atom

@@ -1,0 +1,447 @@
+"""Expression AST used in rule heads, assignments, and taint formulas.
+
+Expressions support three operations that DiffProv depends on:
+
+- ``evaluate(env)`` — concrete evaluation under a variable binding;
+- ``substitute(mapping)`` — symbolic substitution of variables by other
+  expressions (this is how taint formulas are composed as they travel
+  up the provenance tree, Section 4.4 of the paper);
+- :func:`invert` — solving ``expr == target`` for one variable, which
+  is how taints are propagated *down* to sibling tuples when DiffProv
+  makes missing tuples appear (Section 4.5).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List
+
+from ..errors import EvaluationError, NonInvertibleError
+from . import builtins as _builtins
+
+__all__ = [
+    "Expr",
+    "Const",
+    "Var",
+    "BinOp",
+    "Call",
+    "invert",
+    "fold",
+]
+
+
+class Expr:
+    """Abstract base class for expressions."""
+
+    __slots__ = ()
+
+    def evaluate(self, env: Dict[str, object]):
+        raise NotImplementedError
+
+    def variables(self) -> frozenset:
+        raise NotImplementedError
+
+    def substitute(self, mapping: Dict[str, "Expr"]) -> "Expr":
+        raise NotImplementedError
+
+    def __ne__(self, other):
+        result = self.__eq__(other)
+        if result is NotImplemented:
+            return result
+        return not result
+
+
+class Const(Expr):
+    """A literal constant."""
+
+    __slots__ = ("value",)
+
+    def __init__(self, value):
+        self.value = value
+
+    def evaluate(self, env):
+        return self.value
+
+    def variables(self):
+        return frozenset()
+
+    def substitute(self, mapping):
+        return self
+
+    def __eq__(self, other):
+        if isinstance(other, Const):
+            return type(self.value) is type(other.value) and self.value == other.value
+        return NotImplemented
+
+    def __hash__(self):
+        return hash(("Const", type(self.value).__name__, self.value))
+
+    def __repr__(self):
+        return f"Const({self.value!r})"
+
+    def __str__(self):
+        if isinstance(self.value, bool):
+            # NDlog spells booleans lowercase; Python's True/False would
+            # re-parse as variables.
+            return "true" if self.value else "false"
+        if isinstance(self.value, str):
+            return repr(self.value)
+        return str(self.value)
+
+
+class Var(Expr):
+    """A variable reference.
+
+    In rules, names are ordinary rule variables.  In taint formulas,
+    names follow the convention ``$i`` for field ``i`` of the seed
+    tuple (Section 4.3).
+    """
+
+    __slots__ = ("name",)
+
+    def __init__(self, name: str):
+        self.name = name
+
+    def evaluate(self, env):
+        try:
+            return env[self.name]
+        except KeyError:
+            raise EvaluationError(f"unbound variable {self.name!r}") from None
+
+    def variables(self):
+        return frozenset([self.name])
+
+    def substitute(self, mapping):
+        return mapping.get(self.name, self)
+
+    def __eq__(self, other):
+        if isinstance(other, Var):
+            return self.name == other.name
+        return NotImplemented
+
+    def __hash__(self):
+        return hash(("Var", self.name))
+
+    def __repr__(self):
+        return f"Var({self.name!r})"
+
+    def __str__(self):
+        return self.name
+
+
+_OPS = {
+    "+": lambda a, b: a + b,
+    "-": lambda a, b: a - b,
+    "*": lambda a, b: a * b,
+    "/": None,  # exact division, handled specially
+    "%": lambda a, b: a % b,
+    "&": lambda a, b: a & b,
+    "|": lambda a, b: a | b,
+    "^": lambda a, b: a ^ b,
+    "<<": lambda a, b: a << b,
+    ">>": lambda a, b: a >> b,
+}
+
+
+class BinOp(Expr):
+    """A binary arithmetic/bitwise operation."""
+
+    __slots__ = ("op", "left", "right")
+
+    def __init__(self, op: str, left: Expr, right: Expr):
+        if op not in _OPS:
+            raise EvaluationError(f"unknown operator {op!r}")
+        self.op = op
+        self.left = left
+        self.right = right
+
+    def evaluate(self, env):
+        left = self.left.evaluate(env)
+        right = self.right.evaluate(env)
+        if self.op == "/":
+            return _exact_div(left, right)
+        try:
+            return _OPS[self.op](left, right)
+        except TypeError as exc:
+            raise EvaluationError(
+                f"cannot apply {self.op!r} to {left!r} and {right!r}"
+            ) from exc
+        except ZeroDivisionError:
+            raise EvaluationError(f"division by zero in {self}") from None
+
+    def variables(self):
+        return self.left.variables() | self.right.variables()
+
+    def substitute(self, mapping):
+        return BinOp(self.op, self.left.substitute(mapping), self.right.substitute(mapping))
+
+    def __eq__(self, other):
+        if isinstance(other, BinOp):
+            return (self.op, self.left, self.right) == (other.op, other.left, other.right)
+        return NotImplemented
+
+    def __hash__(self):
+        return hash(("BinOp", self.op, self.left, self.right))
+
+    def __repr__(self):
+        return f"BinOp({self.op!r}, {self.left!r}, {self.right!r})"
+
+    def __str__(self):
+        return f"({self.left} {self.op} {self.right})"
+
+
+class Call(Expr):
+    """A call to a registered builtin function."""
+
+    __slots__ = ("name", "args")
+
+    def __init__(self, name: str, args: Iterable[Expr]):
+        self.name = name
+        self.args = tuple(args)
+
+    def evaluate(self, env):
+        return _builtins.call(self.name, [arg.evaluate(env) for arg in self.args])
+
+    def variables(self):
+        result = frozenset()
+        for arg in self.args:
+            result |= arg.variables()
+        return result
+
+    def substitute(self, mapping):
+        return Call(self.name, [arg.substitute(mapping) for arg in self.args])
+
+    def __eq__(self, other):
+        if isinstance(other, Call):
+            return (self.name, self.args) == (other.name, other.args)
+        return NotImplemented
+
+    def __hash__(self):
+        return hash(("Call", self.name, self.args))
+
+    def __repr__(self):
+        return f"Call({self.name!r}, {list(self.args)!r})"
+
+    def __str__(self):
+        return f"{self.name}({', '.join(str(a) for a in self.args)})"
+
+
+def _exact_div(left, right):
+    """Exact division: keeps ``/`` invertible over the integers."""
+    if right == 0:
+        raise EvaluationError("division by zero")
+    if isinstance(left, int) and isinstance(right, int):
+        quotient, remainder = divmod(left, right)
+        if remainder:
+            raise EvaluationError(f"{left} is not divisible by {right}")
+        return quotient
+    return left / right
+
+
+def fold(expr: Expr) -> Expr:
+    """Constant-fold an expression (best effort, purely structural)."""
+    if isinstance(expr, BinOp):
+        left = fold(expr.left)
+        right = fold(expr.right)
+        if isinstance(left, Const) and isinstance(right, Const):
+            return Const(BinOp(expr.op, left, right).evaluate({}))
+        return BinOp(expr.op, left, right)
+    if isinstance(expr, Call):
+        args = [fold(arg) for arg in expr.args]
+        if all(isinstance(arg, Const) for arg in args):
+            return Const(Call(expr.name, args).evaluate({}))
+        return Call(expr.name, args)
+    return expr
+
+
+def invert(expr: Expr, var: str, target: Expr) -> List[Expr]:
+    """Solve ``expr == target`` for ``var``.
+
+    Returns the list of candidate expressions for ``var`` (several when
+    the computation has multiple preimages, e.g. ``sq``).  Raises
+    :class:`NonInvertibleError` when the computation cannot be inverted
+    (Section 4.7's third failure mode); the error carries the attempted
+    equation as a diagnostic clue.
+    """
+    if var not in expr.variables():
+        raise NonInvertibleError(
+            f"variable {var!r} does not occur in {expr}", attempted=(expr, target)
+        )
+
+    if isinstance(expr, Var):
+        return [target]
+
+    if isinstance(expr, BinOp):
+        in_left = var in expr.left.variables()
+        in_right = var in expr.right.variables()
+        if in_left and in_right:
+            raise NonInvertibleError(
+                f"variable {var!r} occurs on both sides of {expr}",
+                attempted=(expr, target),
+            )
+        if in_left:
+            return _invert_binop_left(expr, var, target)
+        return _invert_binop_right(expr, var, target)
+
+    if isinstance(expr, Call):
+        positions = [i for i, arg in enumerate(expr.args) if var in arg.variables()]
+        if len(positions) != 1:
+            raise NonInvertibleError(
+                f"variable {var!r} occurs in {len(positions)} arguments of {expr}",
+                attempted=(expr, target),
+            )
+        index = positions[0]
+        builtin = _builtins.get(expr.name)
+        inverse = builtin.inverses.get(index)
+        if inverse is None:
+            raise NonInvertibleError(
+                f"builtin {expr.name!r} has no inverse for argument {index}",
+                attempted=(expr, target),
+            )
+        # The inverse works on concrete values; wrap it as a deferred
+        # call so the caller can evaluate it under any seed binding.
+        return [_InverseCall(expr, index, target, candidate) for candidate in
+                range(_count_candidates(expr, index, target))] or [
+            _InverseCall(expr, index, target, 0)
+        ]
+
+    raise NonInvertibleError(f"cannot invert {expr!r}", attempted=(expr, target))
+
+
+def _invert_binop_left(expr: BinOp, var: str, target: Expr) -> List[Expr]:
+    op, right = expr.op, expr.right
+    if op == "+":
+        return invert(expr.left, var, BinOp("-", target, right))
+    if op == "-":
+        return invert(expr.left, var, BinOp("+", target, right))
+    if op == "*":
+        return invert(expr.left, var, BinOp("/", target, right))
+    if op == "/":
+        return invert(expr.left, var, BinOp("*", target, right))
+    if op == "^":
+        return invert(expr.left, var, BinOp("^", target, right))
+    if op == "<<":
+        return invert(expr.left, var, BinOp(">>", target, right))
+    raise NonInvertibleError(
+        f"operator {op!r} is not invertible on its left operand",
+        attempted=(expr, target),
+    )
+
+
+def _invert_binop_right(expr: BinOp, var: str, target: Expr) -> List[Expr]:
+    op, left = expr.op, expr.left
+    if op == "+":
+        return invert(expr.right, var, BinOp("-", target, left))
+    if op == "-":
+        return invert(expr.right, var, BinOp("-", left, target))
+    if op == "*":
+        return invert(expr.right, var, BinOp("/", target, left))
+    if op == "/":
+        return invert(expr.right, var, BinOp("/", left, target))
+    if op == "^":
+        return invert(expr.right, var, BinOp("^", target, left))
+    raise NonInvertibleError(
+        f"operator {op!r} is not invertible on its right operand",
+        attempted=(expr, target),
+    )
+
+
+class _InverseCall(Expr):
+    """Deferred inverse of a builtin call.
+
+    ``candidate`` selects which preimage to use when the inverse has
+    several (e.g. the two square roots).
+    """
+
+    __slots__ = ("call", "index", "target", "candidate")
+
+    def __init__(self, call: Call, index: int, target: Expr, candidate: int):
+        self.call = call
+        self.index = index
+        self.target = target
+        self.candidate = candidate
+
+    def evaluate(self, env):
+        builtin = _builtins.get(self.call.name)
+        inverse = builtin.inverses[self.index]
+        other_args = {
+            i: arg.evaluate(env)
+            for i, arg in enumerate(self.call.args)
+            if i != self.index
+        }
+        candidates = inverse(self.target.evaluate(env), other_args)
+        if not candidates:
+            raise EvaluationError(
+                f"no preimage of {self.call.name} for {self.target}"
+            )
+        if self.candidate >= len(candidates):
+            raise EvaluationError(
+                f"preimage #{self.candidate} of {self.call.name} does not exist"
+            )
+        value = candidates[self.candidate]
+        # The recovered value may itself feed a nested expression; solve
+        # the remainder recursively on concrete values.
+        inner = self.call.args[self.index]
+        if isinstance(inner, Var):
+            return value
+        free = inner.variables()
+        if len(free) != 1:
+            raise EvaluationError(f"cannot finish inverting {inner}")
+        var = next(iter(free))
+        solutions = invert(inner, var, Const(value))
+        return solutions[0].evaluate(env)
+
+    def variables(self):
+        result = self.target.variables()
+        for i, arg in enumerate(self.call.args):
+            if i != self.index:
+                result |= arg.variables()
+        return result
+
+    def substitute(self, mapping):
+        return _InverseCall(
+            self.call.substitute(mapping),
+            self.index,
+            self.target.substitute(mapping),
+            self.candidate,
+        )
+
+    def __eq__(self, other):
+        if isinstance(other, _InverseCall):
+            return (self.call, self.index, self.target, self.candidate) == (
+                other.call,
+                other.index,
+                other.target,
+                other.candidate,
+            )
+        return NotImplemented
+
+    def __hash__(self):
+        return hash(("_InverseCall", self.call, self.index, self.target, self.candidate))
+
+    def __str__(self):
+        return f"{self.call.name}^-1[{self.index}#{self.candidate}]({self.target})"
+
+    def __repr__(self):
+        return (
+            f"_InverseCall({self.call!r}, {self.index}, {self.target!r}, "
+            f"{self.candidate})"
+        )
+
+
+def _count_candidates(call: Call, index: int, target: Expr) -> int:
+    """How many preimage candidates to enumerate for a builtin inverse.
+
+    When the target is concrete we can ask the inverse directly; when
+    symbolic we conservatively enumerate two (enough for the builtins
+    shipped here, and extra candidates fail cleanly at evaluation).
+    """
+    builtin = _builtins.get(call.name)
+    inverse = builtin.inverses[index]
+    try:
+        other_args = {
+            i: arg.evaluate({}) for i, arg in enumerate(call.args) if i != index
+        }
+        concrete = inverse(target.evaluate({}), other_args)
+        return len(concrete)
+    except EvaluationError:
+        return 2

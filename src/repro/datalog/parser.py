@@ -1,0 +1,389 @@
+"""Parser for the textual NDlog dialect used throughout the repro.
+
+The grammar (informally)::
+
+    program    := (decl | rule)*
+    decl       := "table" name "(" Field, ... ")" ["event"|"state"]
+                  ["mutable"|"immutable"] "."
+    rule       := RuleName headatom ":-" bodyitem ("," bodyitem)* "."
+    headatom   := name "(" headterm, ... ")"
+    headterm   := expr | agg "<" expr-or-* ">"
+    bodyitem   := atom [selector] | Var ":=" expr | condition
+    atom       := name "(" ["@"]term, ... ")"
+    selector   := "argmax" "<" expr, ... ">"
+    condition  := expr cmpop expr | boolean-builtin-call
+
+Variables start with an uppercase letter; table and function names with
+a lowercase letter.  Literals include integers, single/double-quoted
+strings, ``true``/``false``, dotted IPv4 addresses (``1.2.3.4``), and
+prefixes (``1.2.3.0/24``).  Comments run from ``//`` to end of line.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, List, Optional
+
+from ..addresses import IPv4Address, Prefix
+from ..errors import ParseError
+from .expr import BinOp, Call, Const, Expr, Var
+from .rules import AggSpec, Assignment, Atom, Condition, Program, Rule, Selector
+from .tuples import TableKind, TableSchema, Tuple
+
+__all__ = ["parse_program", "parse_rule", "parse_tuple", "parse_expr"]
+
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<ws>\s+)
+  | (?P<comment>//[^\n]*)
+  | (?P<prefix>\d+\.\d+\.\d+\.\d+/\d+)
+  | (?P<ip>\d+\.\d+\.\d+\.\d+)
+  | (?P<number>-?\d+)
+  | (?P<string>'[^']*'|"[^"]*")
+  | (?P<name>[$a-zA-Z_][a-zA-Z0-9_']*)
+  | (?P<punct>:=|:-|==|!=|<=|>=|<<|>>|[()@,.<>*/%+\-&|^])
+    """,
+    re.VERBOSE,
+)
+
+_AGG_KINDS = set(AggSpec.KINDS)
+
+
+class _Token:
+    __slots__ = ("kind", "text", "line")
+
+    def __init__(self, kind: str, text: str, line: int):
+        self.kind = kind
+        self.text = text
+        self.line = line
+
+    def __repr__(self):
+        return f"_Token({self.kind!r}, {self.text!r}, line={self.line})"
+
+
+def _tokenize(text: str) -> List[_Token]:
+    tokens: List[_Token] = []
+    line = 1
+    pos = 0
+    while pos < len(text):
+        match = _TOKEN_RE.match(text, pos)
+        if match is None:
+            raise ParseError(f"unexpected character {text[pos]!r}", line)
+        pos = match.end()
+        kind = match.lastgroup
+        value = match.group()
+        line += value.count("\n")
+        if kind in ("ws", "comment"):
+            continue
+        tokens.append(_Token(kind, value, line))
+    return tokens
+
+
+class _Parser:
+    """Recursive-descent parser over the token stream."""
+
+    def __init__(self, tokens: List[_Token], tables: Optional[Dict[str, TableSchema]] = None):
+        self.tokens = tokens
+        self.pos = 0
+        self.tables: Dict[str, TableSchema] = dict(tables or {})
+
+    # -- token helpers -----------------------------------------------------
+
+    def peek(self, offset: int = 0) -> Optional[_Token]:
+        index = self.pos + offset
+        return self.tokens[index] if index < len(self.tokens) else None
+
+    def next(self) -> _Token:
+        token = self.peek()
+        if token is None:
+            raise ParseError("unexpected end of input")
+        self.pos += 1
+        return token
+
+    def expect(self, text: str) -> _Token:
+        token = self.next()
+        if token.text != text:
+            raise ParseError(f"expected {text!r}, got {token.text!r}", token.line)
+        return token
+
+    def at(self, text: str) -> bool:
+        token = self.peek()
+        return token is not None and token.text == text
+
+    # -- program -----------------------------------------------------------
+
+    def parse_program(self) -> Program:
+        rules: List[Rule] = []
+        while self.peek() is not None:
+            if self.at("table"):
+                schema = self.parse_decl()
+                self.tables[schema.name] = schema
+            else:
+                rules.append(self.parse_rule())
+        return Program(self.tables, rules)
+
+    def parse_decl(self) -> TableSchema:
+        self.expect("table")
+        name_token = self.next()
+        name = name_token.text
+        self.expect("(")
+        fields: List[str] = []
+        while not self.at(")"):
+            fields.append(self.next().text)
+            if self.at(","):
+                self.next()
+        self.expect(")")
+        kind = TableKind.STATE
+        mutable = True
+        while not self.at("."):
+            modifier = self.next()
+            if modifier.text == "event":
+                kind = TableKind.EVENT
+            elif modifier.text == "state":
+                kind = TableKind.STATE
+            elif modifier.text == "mutable":
+                mutable = True
+            elif modifier.text == "immutable":
+                mutable = False
+            else:
+                raise ParseError(
+                    f"unknown table modifier {modifier.text!r}", modifier.line
+                )
+        self.expect(".")
+        return TableSchema(name, fields, kind=kind, mutable=mutable)
+
+    # -- rules ---------------------------------------------------------------
+
+    def parse_rule(self) -> Rule:
+        name_token = self.next()
+        if name_token.kind != "name":
+            raise ParseError(f"expected rule name, got {name_token.text!r}", name_token.line)
+        head = self.parse_atom(is_head=True)
+        self.expect(":-")
+        body: List[Atom] = []
+        assignments: List[Assignment] = []
+        conditions: List[Condition] = []
+        while True:
+            self.parse_body_item(body, assignments, conditions)
+            if self.at(","):
+                self.next()
+                continue
+            break
+        self.expect(".")
+        return Rule(name_token.text, head, body, assignments, conditions)
+
+    def parse_body_item(self, body, assignments, conditions):
+        token = self.peek()
+        follower = self.peek(1)
+        if token is None:
+            raise ParseError("unexpected end of input in rule body")
+        if token.kind == "name" and follower is not None and follower.text == ":=":
+            # Assignment to a variable.
+            if not _is_variable(token.text):
+                raise ParseError(
+                    f"assignment target {token.text!r} must be a variable",
+                    token.line,
+                )
+            self.next()
+            self.next()
+            assignments.append(Assignment(token.text, self.parse_expr()))
+            return
+        if (
+            token.kind == "name"
+            and not _is_variable(token.text)
+            and follower is not None
+            and follower.text == "("
+            and token.text in self.tables
+        ):
+            atom = self.parse_atom(is_head=False)
+            if self.at("argmax"):
+                self.next()
+                self.expect("<")
+                keys = [self.parse_expr()]
+                while self.at(","):
+                    self.next()
+                    keys.append(self.parse_expr())
+                self.expect(">")
+                atom.selector = Selector(keys)
+            body.append(atom)
+            return
+        # Otherwise: a condition (comparison or boolean call).
+        left = self.parse_expr()
+        token = self.peek()
+        if token is not None and token.text in ("==", "!=", "<", "<=", ">", ">="):
+            op = self.next().text
+            right = self.parse_expr()
+            conditions.append(Condition(op, left, right))
+        else:
+            conditions.append(Condition("call", left))
+
+    def parse_atom(self, is_head: bool) -> Atom:
+        name_token = self.next()
+        if name_token.kind != "name" or _is_variable(name_token.text):
+            raise ParseError(
+                f"expected table name, got {name_token.text!r}", name_token.line
+            )
+        self.expect("(")
+        args: List[object] = []
+        location: Optional[str] = None
+        index = 0
+        while not self.at(")"):
+            if self.at("@"):
+                self.next()
+                if index != 0:
+                    raise ParseError(
+                        "location specifier @ only allowed on the first argument",
+                        name_token.line,
+                    )
+                term = self.parse_expr()
+                if not isinstance(term, (Var, Const)):
+                    raise ParseError(
+                        "location must be a variable or constant", name_token.line
+                    )
+                location = term.name if isinstance(term, Var) else str(term.value)
+                args.append(term)
+            elif is_head and self._at_aggregate():
+                args.append(self.parse_aggregate())
+            else:
+                args.append(self.parse_expr())
+            index += 1
+            if self.at(","):
+                self.next()
+        self.expect(")")
+        return Atom(name_token.text, args, location=location)
+
+    def _at_aggregate(self) -> bool:
+        token = self.peek()
+        follower = self.peek(1)
+        return (
+            token is not None
+            and token.kind == "name"
+            and token.text in _AGG_KINDS
+            and follower is not None
+            and follower.text == "<"
+        )
+
+    def parse_aggregate(self) -> AggSpec:
+        kind = self.next().text
+        self.expect("<")
+        if self.at("*"):
+            self.next()
+            expr: Optional[Expr] = None
+        else:
+            expr = self.parse_expr()
+        self.expect(">")
+        return AggSpec(kind, expr)
+
+    # -- expressions -------------------------------------------------------
+
+    _PRECEDENCE = [
+        ("|",),
+        ("^",),
+        ("&",),
+        ("<<", ">>"),
+        ("+", "-"),
+        ("*", "/", "%"),
+    ]
+
+    def parse_expr(self, level: int = 0) -> Expr:
+        if level == len(self._PRECEDENCE):
+            return self.parse_primary()
+        ops = self._PRECEDENCE[level]
+        left = self.parse_expr(level + 1)
+        while True:
+            token = self.peek()
+            if token is None or token.text not in ops:
+                return left
+            op = self.next().text
+            right = self.parse_expr(level + 1)
+            left = BinOp(op, left, right)
+
+    def parse_primary(self) -> Expr:
+        token = self.next()
+        if token.text == "(":
+            expr = self.parse_expr()
+            self.expect(")")
+            return expr
+        if token.text == "-":
+            inner = self.parse_primary()
+            if isinstance(inner, Const) and isinstance(inner.value, int):
+                return Const(-inner.value)
+            return BinOp("-", Const(0), inner)
+        if token.kind == "number":
+            return Const(int(token.text))
+        if token.kind == "string":
+            return Const(token.text[1:-1])
+        if token.kind == "ip":
+            return Const(IPv4Address(token.text))
+        if token.kind == "prefix":
+            return Const(Prefix(token.text))
+        if token.kind == "name":
+            if token.text == "true":
+                return Const(True)
+            if token.text == "false":
+                return Const(False)
+            if self.at("(") and not _is_variable(token.text):
+                self.next()
+                args: List[Expr] = []
+                while not self.at(")"):
+                    args.append(self.parse_expr())
+                    if self.at(","):
+                        self.next()
+                self.expect(")")
+                return Call(token.text, args)
+            if _is_variable(token.text):
+                return Var(token.text)
+            # A bare lowercase name is treated as a symbolic constant.
+            return Const(token.text)
+        raise ParseError(f"unexpected token {token.text!r}", token.line)
+
+
+def _is_variable(name: str) -> bool:
+    # ``$i`` names are the seed-field variables of taint formulas
+    # (Section 4.3); they parse as ordinary variables.
+    return bool(name) and (name[0].isupper() or name[0] in "_$")
+
+
+def parse_program(text: str) -> Program:
+    """Parse a full NDlog program (table declarations + rules)."""
+    return _Parser(_tokenize(text)).parse_program()
+
+
+def parse_rule(text: str, tables: Dict[str, TableSchema]) -> Rule:
+    """Parse a single rule against existing table declarations."""
+    parser = _Parser(_tokenize(text), tables)
+    rule = parser.parse_rule()
+    if parser.peek() is not None:
+        raise ParseError(f"trailing input after rule: {parser.peek().text!r}")
+    return rule
+
+
+def parse_expr(text: str) -> Expr:
+    """Parse a standalone expression."""
+    parser = _Parser(_tokenize(text))
+    expr = parser.parse_expr()
+    if parser.peek() is not None:
+        raise ParseError(f"trailing input after expression: {parser.peek().text!r}")
+    return expr
+
+
+def parse_tuple(text: str) -> Tuple:
+    """Parse a ground tuple like ``flowEntry('s1', 5, 1.2.3.0/24, 8)``."""
+    parser = _Parser(_tokenize(text))
+    name_token = parser.next()
+    if name_token.kind != "name" or _is_variable(name_token.text):
+        raise ParseError(f"expected table name, got {name_token.text!r}", name_token.line)
+    parser.expect("(")
+    args: List[object] = []
+    while not parser.at(")"):
+        if parser.at("@"):
+            parser.next()
+        expr = parser.parse_expr()
+        value = expr.evaluate({})
+        args.append(value)
+        if parser.at(","):
+            parser.next()
+    parser.expect(")")
+    if parser.peek() is not None:
+        raise ParseError(f"trailing input after tuple: {parser.peek().text!r}")
+    return Tuple(name_token.text, args)

@@ -1,0 +1,268 @@
+"""Tuple storage with support counting.
+
+Derived tuples are kept alive by *supports*: a base insertion, or an
+active derivation.  When the last support disappears, the tuple
+disappears and the loss cascades to everything derived from it (the
+paper models this as UNDERIVE/DISAPPEAR vertexes, Section 3.2).
+
+Derivations triggered by *event* tuples (packets, job submissions) are
+permanent: once a packet has caused a flow entry to be used, deleting
+the flow entry later does not retroactively un-forward the packet.
+Only derivations whose bodies consist entirely of state tuples are
+revocable.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set, Tuple as PyTuple
+
+from ..errors import SchemaError
+from .tuples import TableSchema, Tuple
+
+__all__ = ["Derivation", "TupleRecord", "Store", "sort_key"]
+
+
+def sort_key(tup: Tuple):
+    """A deterministic total order over tuples of mixed value types."""
+    return tuple((type(a).__name__, str(a)) for a in tup.args)
+
+
+class Derivation:
+    """One firing of a rule: the head, the body tuples, the binding."""
+
+    __slots__ = (
+        "id",
+        "rule_name",
+        "head",
+        "body",
+        "env",
+        "trigger_index",
+        "time",
+        "revocable",
+        "active",
+    )
+
+    def __init__(
+        self,
+        id: int,
+        rule_name: str,
+        head: Tuple,
+        body: PyTuple,
+        env: Dict[str, object],
+        trigger_index: int,
+        time: int,
+        revocable: bool,
+    ):
+        self.id = id
+        self.rule_name = rule_name
+        self.head = head
+        self.body = tuple(body)
+        self.env = dict(env)
+        self.trigger_index = trigger_index
+        self.time = time
+        self.revocable = revocable
+        self.active = True
+
+    @property
+    def trigger(self) -> Tuple:
+        return self.body[self.trigger_index]
+
+    def __repr__(self):
+        return (
+            f"Derivation(#{self.id} {self.rule_name}: {self.head} :- "
+            f"{', '.join(str(b) for b in self.body)} @t{self.time})"
+        )
+
+
+class TupleRecord:
+    """Liveness bookkeeping for a stored tuple."""
+
+    __slots__ = ("tuple", "base_supports", "mutable", "derivations", "appear_time")
+
+    def __init__(self, tup: Tuple):
+        self.tuple = tup
+        self.base_supports = 0
+        self.mutable: Optional[bool] = None
+        self.derivations: Set[int] = set()
+        self.appear_time: Optional[int] = None
+
+    @property
+    def alive(self) -> bool:
+        return self.base_supports > 0 or bool(self.derivations)
+
+    @property
+    def is_base(self) -> bool:
+        return self.base_supports > 0
+
+
+class Store:
+    """All live state tuples, indexed by table, plus derivation records."""
+
+    def __init__(self, schemas: Dict[str, TableSchema]):
+        self.schemas = schemas
+        self._tables: Dict[str, Dict[Tuple, TupleRecord]] = {
+            name: {} for name in schemas
+        }
+        self.derivations: Dict[int, Derivation] = {}
+        # Reverse index: body tuple -> ids of active revocable derivations
+        # that depend on it.
+        self._dependents: Dict[Tuple, Set[int]] = {}
+        # Join acceleration: a cached sorted view per table, plus
+        # lazily-built equality indexes on (table, arg position) that
+        # serve body atoms with a bound argument (e.g. the constant key
+        # of a configuration lookup) without scanning the table.
+        self._sorted_cache: Dict[str, List[Tuple]] = {}
+        self._indexes: Dict[PyTuple[str, int], Dict[object, Set[Tuple]]] = {}
+
+    # -- queries -------------------------------------------------------------
+
+    def record(self, tup: Tuple) -> Optional[TupleRecord]:
+        table = self._tables.get(tup.table)
+        if table is None:
+            return None
+        return table.get(tup)
+
+    def alive(self, tup: Tuple) -> bool:
+        record = self.record(tup)
+        return record is not None and record.alive
+
+    def tuples(self, table: str) -> List[Tuple]:
+        """Live tuples of a table, in deterministic order (cached)."""
+        cached = self._sorted_cache.get(table)
+        if cached is None:
+            records = self._tables.get(table)
+            if records is None:
+                raise SchemaError(f"unknown table {table!r}")
+            cached = [rec.tuple for rec in records.values() if rec.alive]
+            cached.sort(key=sort_key)
+            self._sorted_cache[table] = cached
+        # Callers may mutate their view; hand out a copy.
+        return list(cached)
+
+    def tuples_matching(self, table: str, position: int, value) -> List[Tuple]:
+        """Live tuples of a table with ``args[position] == value``.
+
+        Served from a lazily-built equality index; the first call for a
+        (table, position) pair builds it, later liveness changes keep
+        it current.
+        """
+        key = (table, position)
+        index = self._indexes.get(key)
+        if index is None:
+            index = {}
+            for tup in self.tuples(table):
+                if position < tup.arity:
+                    index.setdefault(tup.args[position], set()).add(tup)
+            self._indexes[key] = index
+        matches = index.get(value)
+        if not matches:
+            return []
+        return sorted(matches, key=sort_key)
+
+    def _note_liveness_change(self, tup: Tuple, alive: bool) -> None:
+        self._sorted_cache.pop(tup.table, None)
+        for (table, position), index in self._indexes.items():
+            if table != tup.table or position >= tup.arity:
+                continue
+            bucket = index.setdefault(tup.args[position], set())
+            if alive:
+                bucket.add(tup)
+            else:
+                bucket.discard(tup)
+
+    def all_tuples(self) -> List[Tuple]:
+        result: List[Tuple] = []
+        for name in sorted(self._tables):
+            result.extend(self.tuples(name))
+        return result
+
+    def base_tuples(self) -> List[Tuple]:
+        result: List[Tuple] = []
+        for name in sorted(self._tables):
+            result.extend(
+                rec.tuple
+                for rec in self._tables[name].values()
+                if rec.alive and rec.is_base
+            )
+        result.sort(key=lambda t: (t.table, sort_key(t)))
+        return result
+
+    def is_mutable(self, tup: Tuple) -> bool:
+        record = self.record(tup)
+        if record is not None and record.mutable is not None:
+            return record.mutable
+        schema = self.schemas.get(tup.table)
+        return schema.mutable if schema is not None else True
+
+    def dependents_of(self, tup: Tuple) -> Set[int]:
+        return set(self._dependents.get(tup, ()))
+
+    # -- mutation ------------------------------------------------------------
+
+    def add_base_support(
+        self, tup: Tuple, time: int, mutable: Optional[bool]
+    ) -> bool:
+        """Add a base support; returns True if the tuple newly appeared."""
+        record = self._record_for(tup)
+        was_alive = record.alive
+        record.base_supports += 1
+        if mutable is not None:
+            record.mutable = mutable
+        if not was_alive:
+            record.appear_time = time
+            self._note_liveness_change(tup, alive=True)
+        return not was_alive
+
+    def remove_base_support(self, tup: Tuple) -> bool:
+        """Drop one base support; returns True if the tuple disappeared."""
+        record = self.record(tup)
+        if record is None or record.base_supports <= 0:
+            return False
+        record.base_supports -= 1
+        if not record.alive:
+            self._note_liveness_change(tup, alive=False)
+            return True
+        return False
+
+    def add_derivation(self, derivation: Derivation, time: int) -> bool:
+        """Register a derivation; returns True if the head newly appeared."""
+        self.derivations[derivation.id] = derivation
+        record = self._record_for(derivation.head)
+        was_alive = record.alive
+        record.derivations.add(derivation.id)
+        if not was_alive:
+            record.appear_time = time
+            self._note_liveness_change(derivation.head, alive=True)
+        if derivation.revocable:
+            for body_tuple in derivation.body:
+                self._dependents.setdefault(body_tuple, set()).add(derivation.id)
+        return not was_alive
+
+    def remove_derivation(self, derivation_id: int) -> bool:
+        """Deactivate a derivation; returns True if the head disappeared."""
+        derivation = self.derivations.get(derivation_id)
+        if derivation is None or not derivation.active:
+            return False
+        derivation.active = False
+        for body_tuple in derivation.body:
+            dependents = self._dependents.get(body_tuple)
+            if dependents is not None:
+                dependents.discard(derivation_id)
+        record = self.record(derivation.head)
+        if record is None:
+            return False
+        record.derivations.discard(derivation_id)
+        if not record.alive:
+            self._note_liveness_change(derivation.head, alive=False)
+            return True
+        return False
+
+    def _record_for(self, tup: Tuple) -> TupleRecord:
+        table = self._tables.get(tup.table)
+        if table is None:
+            raise SchemaError(f"unknown table {tup.table!r}")
+        record = table.get(tup)
+        if record is None:
+            record = TupleRecord(tup)
+            table[tup] = record
+        return record

@@ -1,0 +1,92 @@
+"""Exception hierarchy shared across the repro package.
+
+Every error raised by the library derives from :class:`ReproError`, so
+callers can catch a single type at API boundaries.  The DiffProv
+algorithm additionally uses a small family of *diagnostic failures*
+(Section 4.7 of the paper): these are expected outcomes that carry
+structured information the operator can act on, rather than bugs.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro package."""
+
+
+class ParseError(ReproError):
+    """An NDlog program or policy could not be parsed."""
+
+    def __init__(self, message: str, line: int | None = None):
+        self.line = line
+        if line is not None:
+            message = f"line {line}: {message}"
+        super().__init__(message)
+
+
+class SchemaError(ReproError):
+    """A tuple does not match its table schema."""
+
+
+class EvaluationError(ReproError):
+    """A rule body could not be evaluated (bad types, missing builtin)."""
+
+
+class NonInvertibleError(ReproError):
+    """An expression could not be inverted for taint propagation.
+
+    Carries the *attempted change* (Section 4.7): DiffProv surfaces the
+    expression it failed to invert as a diagnostic clue.
+    """
+
+    def __init__(self, message: str, attempted=None):
+        super().__init__(message)
+        self.attempted = attempted
+
+
+class DiagnosisFailure(ReproError):
+    """Base class for expected DiffProv failures (Section 4.7)."""
+
+
+class SeedTypeMismatch(DiagnosisFailure):
+    """The seeds of the good and bad trees have different types.
+
+    The two trees are not comparable; the operator must pick a more
+    suitable reference event.
+    """
+
+    def __init__(self, good_seed, bad_seed):
+        self.good_seed = good_seed
+        self.bad_seed = bad_seed
+        super().__init__(
+            f"seed type mismatch: good seed is {good_seed.table!r}, "
+            f"bad seed is {bad_seed.table!r}; the reference event is not "
+            f"comparable with the event of interest"
+        )
+
+
+class ImmutableChangeRequired(DiagnosisFailure):
+    """Aligning the trees would require changing an immutable tuple.
+
+    There is no valid solution, but the required change is surfaced so
+    the operator can pick a better reference (Section 4.7).
+    """
+
+    def __init__(self, tup, reason: str = ""):
+        self.tuple = tup
+        msg = f"aligning the trees requires changing immutable tuple {tup}"
+        if reason:
+            msg += f" ({reason})"
+        super().__init__(msg)
+
+
+class ReplayDivergence(ReproError):
+    """A replay produced a different event sequence than the log.
+
+    Indicates non-determinism in the primary system (Section 4.9); the
+    point of divergence is suggested as a potential race condition.
+    """
+
+    def __init__(self, message: str, at=None):
+        self.at = at
+        super().__init__(message)

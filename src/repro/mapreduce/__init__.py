@@ -1,0 +1,43 @@
+"""MapReduce substrate (the Hadoop 2.7.1 stand-in).
+
+Two implementations of the classical WordCount job:
+
+- a **declarative** NDlog model (:mod:`repro.mapreduce.declarative`),
+  evaluated on the engine with inferred provenance — the paper's
+  MR1-D / MR2-D setup;
+- an **imperative** runtime (:mod:`repro.mapreduce.job`) instrumented
+  to *report* its dependencies (input file checksums, the mapper's
+  bytecode signature, 235 configuration entries, and per-key-value
+  data flow) to the provenance recorder — the MR1-I / MR2-I setup.
+"""
+
+from .hdfs import HDFS, HDFSFile
+from .config import JobConfig, REDUCES_KEY
+from .wordcount import MAPPERS, mapper_checksum, MAPPER_SOURCES
+from .declarative import (
+    mapreduce_program,
+    job_run,
+    word_occurrence,
+    mapper_code,
+    job_config_tuple,
+    load_words,
+)
+from .job import WordCountJob, ImperativeMapReduceExecution
+
+__all__ = [
+    "HDFS",
+    "HDFSFile",
+    "JobConfig",
+    "REDUCES_KEY",
+    "MAPPERS",
+    "MAPPER_SOURCES",
+    "mapper_checksum",
+    "mapreduce_program",
+    "job_run",
+    "word_occurrence",
+    "mapper_code",
+    "job_config_tuple",
+    "load_words",
+    "WordCountJob",
+    "ImperativeMapReduceExecution",
+]

@@ -1,0 +1,106 @@
+"""A Hadoop-like job configuration with 235 entries.
+
+The paper's instrumentation reports all 235 configuration entries as
+base tuples, which is what lets DiffProv pinpoint
+``mapreduce.job.reduces`` among them when a config change is the root
+cause (MR1).  The default entries below mirror the real Hadoop 2.7
+namespace in shape; only a handful influence the WordCount pipeline,
+the rest are realistic noise.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, Tuple as PyTuple
+
+from ..errors import ReproError
+
+__all__ = ["JobConfig", "REDUCES_KEY", "DEFAULT_ENTRY_COUNT"]
+
+REDUCES_KEY = "mapreduce.job.reduces"
+DEFAULT_ENTRY_COUNT = 235
+
+_PREFIXES = (
+    "mapreduce.map",
+    "mapreduce.reduce",
+    "mapreduce.task",
+    "mapreduce.job",
+    "mapreduce.jobhistory",
+    "yarn.app.mapreduce.am",
+    "mapreduce.shuffle",
+    "mapreduce.input.fileinputformat",
+    "mapreduce.output.fileoutputformat",
+    "mapreduce.client",
+)
+
+_SUFFIXES = (
+    "memory.mb", "java.opts", "cpu.vcores", "speculative", "maxattempts",
+    "sort.mb", "sort.factor", "timeout", "log.level", "skip.maxrecords",
+    "combine.minspills", "merge.percent", "buffer.percent", "parallelcopies",
+    "connect.timeout", "read.timeout", "input.limit", "output.compress",
+    "counters.limit", "ubertask.enable", "queue.name", "priority",
+    "classpath", "env",
+)
+
+
+def _default_entries() -> Dict[str, object]:
+    entries: Dict[str, object] = {REDUCES_KEY: 2}
+    index = 0
+    while len(entries) < DEFAULT_ENTRY_COUNT:
+        prefix = _PREFIXES[index % len(_PREFIXES)]
+        suffix = _SUFFIXES[(index // len(_PREFIXES)) % len(_SUFFIXES)]
+        serial = index // (len(_PREFIXES) * len(_SUFFIXES))
+        key = f"{prefix}.{suffix}" + (f".{serial}" if serial else "")
+        if key not in entries:
+            entries[key] = _default_value(index)
+        index += 1
+    return entries
+
+
+def _default_value(index: int):
+    cycle = index % 4
+    if cycle == 0:
+        return 1024 + (index % 7) * 256
+    if cycle == 1:
+        return index % 2 == 0
+    if cycle == 2:
+        return f"default-{index}"
+    return index % 60 + 1
+
+
+class JobConfig:
+    """The configuration of one job: a realistic 235-entry map."""
+
+    def __init__(self, overrides: Dict[str, object] = None):
+        self._entries = _default_entries()
+        for key, value in (overrides or {}).items():
+            self._entries[key] = value
+
+    def get(self, key: str):
+        try:
+            return self._entries[key]
+        except KeyError:
+            raise ReproError(f"unknown configuration key {key!r}") from None
+
+    def set(self, key: str, value) -> None:
+        self._entries[key] = value
+
+    @property
+    def reduces(self) -> int:
+        return int(self.get(REDUCES_KEY))
+
+    def items(self) -> Iterator[PyTuple[str, object]]:
+        return iter(sorted(self._entries.items()))
+
+    def copy(self) -> "JobConfig":
+        clone = JobConfig()
+        clone._entries = dict(self._entries)
+        return clone
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._entries
+
+    def __repr__(self):
+        return f"JobConfig({len(self)} entries, reduces={self.reduces})"

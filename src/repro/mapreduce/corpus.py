@@ -1,0 +1,65 @@
+"""Deterministic text corpora for the WordCount scenarios.
+
+The paper runs WordCount over Wikipedia dumps and a 1 GB text corpus;
+the content itself is irrelevant to the diagnosis, so we generate
+deterministic Zipf-flavoured text with a fixed vocabulary.  The corpus
+is built so that common words also appear at line starts — which is
+what makes the MR2 bug (first word of each line dropped) observable in
+the counts.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List
+
+__all__ = ["VOCABULARY", "generate_corpus", "word_counts", "first_word_counts"]
+
+VOCABULARY = [
+    "the", "of", "and", "to", "in", "a", "is", "that", "for", "it",
+    "network", "packet", "switch", "route", "flow", "entry", "controller",
+    "provenance", "query", "replay", "table", "rule", "config", "debug",
+    "trace", "link", "port", "host", "server", "cluster", "job", "task",
+    "mapper", "reducer", "shuffle", "count", "word", "line", "input",
+    "output", "data", "system", "event", "state", "graph", "tree", "seed",
+    "diff", "cause", "root",
+]
+
+
+def generate_corpus(lines: int = 40, words_per_line: int = 8, seed: int = 5) -> str:
+    """Deterministic text with Zipf-distributed word frequencies."""
+    rng = random.Random(seed)
+    weights = [1.0 / (rank + 1) for rank in range(len(VOCABULARY))]
+    total = sum(weights)
+    weights = [w / total for w in weights]
+    rows: List[str] = []
+    for line_number in range(lines):
+        # Rotate common words through the line-start position so the
+        # MR2 bug (dropping the first word) visibly changes counts.
+        first = VOCABULARY[line_number % 10]
+        rest = rng.choices(VOCABULARY, weights=weights, k=words_per_line - 1)
+        rows.append(" ".join([first] + rest))
+    return "\n".join(rows)
+
+
+def word_counts(text: str) -> Dict[str, int]:
+    """Ground-truth word counts of a corpus (correct mapper)."""
+    from .wordcount import split_words
+
+    counts: Dict[str, int] = {}
+    for line in text.splitlines():
+        for word in split_words(line):
+            counts[word] = counts.get(word, 0) + 1
+    return counts
+
+
+def first_word_counts(text: str) -> Dict[str, int]:
+    """How often each word appears at the start of a line."""
+    from .wordcount import split_words
+
+    counts: Dict[str, int] = {}
+    for line in text.splitlines():
+        words = split_words(line)
+        if words:
+            counts[words[0]] = counts.get(words[0], 0) + 1
+    return counts

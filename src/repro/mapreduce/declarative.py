@@ -1,0 +1,110 @@
+"""The declarative (NDlog) model of the WordCount pipeline.
+
+Used directly by the MR1-D / MR2-D scenarios (provenance *inferred*
+from the rules, as in RapidNet) and as the dependency vocabulary that
+the instrumented imperative runtime *reports* against (MR1-I / MR2-I) —
+the reported derivations reference these rule names, so DiffProv
+reasons identically over both.
+
+Pipeline::
+
+    jobRun(Job, File)                            -- job submission (the seed)
+    wordOcc(File, Line, Pos, Word)               -- input data (immutable)
+    mapperCode(Ver, Cksum)                       -- deployed mapper (mutable)
+    jobConfig(Key, Val)                          -- 235 entries (mutable)
+      map    -> emit(Job, File, Line, Pos, Word)
+      shuffle-> wordAt(R, Job, Word, File, Line, Pos)  R = hash(Word) % reduces
+      reduce -> wordcount(R, Job, Word, count<*>)
+      outp   -> output(R, Job, Word, Count)
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..datalog.parser import parse_program
+from ..datalog.rules import Program
+from ..datalog.tuples import Tuple
+from .hdfs import HDFSFile
+from .wordcount import split_words
+
+__all__ = [
+    "MAPREDUCE_PROGRAM_TEXT",
+    "mapreduce_program",
+    "job_run",
+    "word_occurrence",
+    "mapper_code",
+    "job_config_tuple",
+    "wordcount_output",
+    "load_words",
+]
+
+MAPREDUCE_PROGRAM_TEXT = """
+table jobRun(Job, File) event immutable.
+table wordOcc(File, Line, Pos, Word) immutable.
+table mapperCode(Ver, Cksum) mutable.
+table jobConfig(Key, Val) mutable.
+table emit(Job, File, Line, Pos, Word) event.
+table wordAt(R, Job, Word, File, Line, Pos).
+table wordcount(R, Job, Word, Count).
+table output(R, Job, Word, Count).
+
+map emit(Job, File, Line, Pos, Word) :- jobRun(Job, File),
+    wordOcc(File, Line, Pos, Word),
+    mapperCode(Ver, Cksum),
+    mapper_emits(Ver, Pos) == true.
+
+shuffle wordAt(R, Job, Word, File, Line, Pos) :-
+    emit(Job, File, Line, Pos, Word),
+    jobConfig('mapreduce.job.reduces', N),
+    R := hash_mod(Word, N).
+
+reduce wordcount(R, Job, Word, count<*>) :- wordAt(R, Job, Word, File, Line, Pos).
+
+outp output(R, Job, Word, Count) :- wordcount(R, Job, Word, Count).
+"""
+
+
+def mapreduce_program() -> Program:
+    """A fresh copy of the MapReduce program."""
+    return parse_program(MAPREDUCE_PROGRAM_TEXT)
+
+
+# -- tuple constructors ----------------------------------------------------
+
+
+def job_run(job: str, file: str) -> Tuple:
+    """The job-submission event — the seed of every MapReduce tree."""
+    return Tuple("jobRun", [job, file])
+
+
+def word_occurrence(file: str, line: int, pos: int, word: str) -> Tuple:
+    return Tuple("wordOcc", [file, line, pos, word])
+
+
+def mapper_code(version: str, checksum: str) -> Tuple:
+    """The deployed mapper, identified by its bytecode signature.
+
+    Deployment state is cluster-wide (not keyed by job), which is what
+    lets a reference job from the past explain the current one."""
+    return Tuple("mapperCode", [version, checksum])
+
+
+def job_config_tuple(key: str, value) -> Tuple:
+    """One of the 235 cluster configuration entries."""
+    return Tuple("jobConfig", [key, value])
+
+
+def wordcount_output(reducer: int, job: str, word: str, count: int) -> Tuple:
+    return Tuple("output", [reducer, job, word, count])
+
+
+def load_words(stored: HDFSFile) -> List[Tuple]:
+    """The input file as immutable ``wordOcc`` base tuples."""
+    tuples: List[Tuple] = []
+    for line_number, line in enumerate(stored.lines):
+        for position, word in enumerate(split_words(line)):
+            tuples.append(
+                word_occurrence(stored.path, line_number, position, word)
+            )
+    return tuples

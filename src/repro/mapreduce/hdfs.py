@@ -1,0 +1,85 @@
+"""A checksummed file store (the HDFS stand-in).
+
+The paper's logging engine records only the *metadata* of input files —
+path and checksum — and the replay engine re-identifies the files by
+checksum at query time, which is why MapReduce logs stay tiny
+(Section 6.5).  Checksums are cached at write time; the latency
+ablation of Section 6.4 compares this against recomputing them on every
+read.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from ..datalog.builtins import call as builtin_call
+from ..errors import ReproError
+
+__all__ = ["HDFSFile", "HDFS"]
+
+
+class HDFSFile:
+    """One stored file: lines of text plus a content checksum."""
+
+    __slots__ = ("path", "lines", "checksum")
+
+    def __init__(self, path: str, lines: List[str], checksum: str):
+        self.path = path
+        self.lines = list(lines)
+        self.checksum = checksum
+
+    @property
+    def size_bytes(self) -> int:
+        return sum(len(line) + 1 for line in self.lines)
+
+    def __repr__(self):
+        return f"HDFSFile({self.path!r}, {len(self.lines)} lines, {self.checksum})"
+
+
+class HDFS:
+    """An in-process file store with write-time checksum caching."""
+
+    def __init__(self, cache_checksums: bool = True):
+        self.cache_checksums = cache_checksums
+        self._files: Dict[str, HDFSFile] = {}
+        self.checksum_computations = 0
+
+    def write(self, path: str, text: str) -> HDFSFile:
+        lines = text.splitlines()
+        checksum = self._compute_checksum(lines)
+        stored = HDFSFile(path, lines, checksum)
+        self._files[path] = stored
+        return stored
+
+    def read(self, path: str) -> HDFSFile:
+        stored = self._files.get(path)
+        if stored is None:
+            raise ReproError(f"no such HDFS file: {path!r}")
+        if not self.cache_checksums:
+            # The unoptimized prototype recomputes the checksum on every
+            # read; Section 6.4 measures the cost of exactly this.
+            stored = HDFSFile(
+                stored.path, stored.lines, self._compute_checksum(stored.lines)
+            )
+            self._files[path] = stored
+        return stored
+
+    def checksum_of(self, path: str) -> str:
+        return self.read(path).checksum
+
+    def exists(self, path: str) -> bool:
+        return path in self._files
+
+    def paths(self) -> List[str]:
+        return sorted(self._files)
+
+    def find_by_checksum(self, checksum: str) -> Optional[HDFSFile]:
+        """Replay-time lookup: identify an input file by its checksum."""
+        for stored in self._files.values():
+            if stored.checksum == checksum:
+                return stored
+        return None
+
+    def _compute_checksum(self, lines: List[str]) -> str:
+        self.checksum_computations += 1
+        return builtin_call("checksum", ["\n".join(lines)])

@@ -1,0 +1,294 @@
+"""The imperative WordCount runtime, instrumented for provenance.
+
+This is the Hadoop stand-in of MR1-I / MR2-I: a conventional
+map-shuffle-reduce job written in plain Python, with reporting hooks
+(the paper's "< 200 lines of code" instrumentation) that describe its
+data flow to the provenance recorder at the level of individual
+key-value pairs, input file checksums, the mapper's bytecode signature,
+and all 235 configuration entries.  The reported derivations reference
+the rule names of the declarative model, so DiffProv reasons about both
+implementations identically.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple as PyTuple
+
+from ..datalog.builtins import call as builtin_call
+from ..datalog.tuples import Tuple
+from ..errors import ReproError
+from ..provenance.recorder import ProvenanceRecorder
+from ..replay.log import EventLog
+from ..replay.replayer import Change
+from ..replay.reported import ReportedExecution
+from . import declarative
+from .config import REDUCES_KEY, JobConfig
+from .hdfs import HDFS
+from .wordcount import MAPPERS, mapper_checksum, split_words
+
+__all__ = ["WordCountJob", "ImperativeMapReduceExecution"]
+
+_MAPPER_NODE = "mapper-0"
+
+
+class WordCountJob:
+    """One WordCount job run over the imperative runtime."""
+
+    def __init__(
+        self,
+        job_id: str,
+        hdfs: HDFS,
+        input_path: str,
+        config: JobConfig,
+        mapper_version: str,
+    ):
+        if mapper_version not in MAPPERS:
+            raise ReproError(f"unknown mapper version {mapper_version!r}")
+        self.job_id = job_id
+        self.hdfs = hdfs
+        self.input_path = input_path
+        self.config = config
+        self.mapper_version = mapper_version
+        self.outputs: Dict[PyTuple[int, str], int] = {}
+
+    # -- the primary system ----------------------------------------------------
+
+    def run(self, recorder: Optional[ProvenanceRecorder] = None) -> Dict:
+        """Execute the job; report provenance when a recorder is given."""
+        stored = self.hdfs.read(self.input_path)
+        reducers = self.config.reduces
+        mapper = MAPPERS[self.mapper_version]
+        reporter = _Reporter(self, recorder) if recorder is not None else None
+        if reporter is not None:
+            reporter.job_started(stored)
+
+        # Map phase: one mapper call per line; the instrumentation
+        # attributes each emission to its word position in the line.
+        emissions: List[PyTuple[int, int, str]] = []
+        for line_number, line in enumerate(stored.lines):
+            emitted = [word for word, _ in mapper(line)]
+            positions = _attribute_positions(line, emitted)
+            for position, word in positions:
+                emissions.append((line_number, position, word))
+                if reporter is not None:
+                    reporter.emitted(line_number, position, word)
+
+        # Shuffle phase: partition by a deterministic hash of the word.
+        partitions: Dict[PyTuple[int, str], List[PyTuple[int, int]]] = {}
+        for line_number, position, word in emissions:
+            reducer = builtin_call("hash_mod", [word, reducers])
+            partitions.setdefault((reducer, word), []).append(
+                (line_number, position)
+            )
+            if reporter is not None:
+                reporter.shuffled(line_number, position, word, reducer, reducers)
+
+        # Reduce phase: count per word, then write the output records.
+        self.outputs = {}
+        for (reducer, word) in sorted(partitions):
+            occurrences = partitions[(reducer, word)]
+            count = len(occurrences)
+            self.outputs[(reducer, word)] = count
+            if reporter is not None:
+                reporter.reduced(reducer, word, occurrences, count)
+        return self.outputs
+
+
+def _attribute_positions(line: str, emitted: List[str]) -> List[PyTuple[int, str]]:
+    """Match the mapper's emissions back to word positions in the line.
+
+    Emissions are matched greedily left-to-right against the tokenized
+    line, so dropped words (the v2 bug) simply leave gaps.
+    """
+    words = split_words(line)
+    positions: List[PyTuple[int, str]] = []
+    cursor = 0
+    for word in emitted:
+        while cursor < len(words) and words[cursor] != word:
+            cursor += 1
+        if cursor >= len(words):
+            raise ReproError(
+                f"mapper emitted {word!r}, which is not in the line tail"
+            )
+        positions.append((cursor, word))
+        cursor += 1
+    return positions
+
+
+class _Reporter:
+    """The instrumentation hooks (reported-provenance mode)."""
+
+    def __init__(self, job: WordCountJob, recorder: ProvenanceRecorder):
+        self.job = job
+        self.recorder = recorder
+        self.job_tuple: Optional[Tuple] = None
+        self.code_tuple: Optional[Tuple] = None
+        self.config_tuples: Dict[str, Tuple] = {}
+        self.word_tuples: Dict[PyTuple[int, int], Tuple] = {}
+        self.emit_tuples: Dict[PyTuple[int, int], Tuple] = {}
+        self.word_at: Dict[PyTuple[int, int], Tuple] = {}
+
+    def job_started(self, stored) -> None:
+        job_id = self.job.job_id
+        for key, value in self.job.config.items():
+            tup = declarative.job_config_tuple(key, value)
+            self.config_tuples[key] = tup
+            self.recorder.report_insert(_MAPPER_NODE, tup, mutable=True)
+        checksum = mapper_checksum(self.job.mapper_version)
+        self.code_tuple = declarative.mapper_code(
+            self.job.mapper_version, checksum
+        )
+        self.recorder.report_insert(_MAPPER_NODE, self.code_tuple, mutable=True)
+        for line_number, line in enumerate(stored.lines):
+            for position, word in enumerate(split_words(line)):
+                tup = declarative.word_occurrence(
+                    stored.path, line_number, position, word
+                )
+                self.word_tuples[(line_number, position)] = tup
+                self.recorder.report_insert(_MAPPER_NODE, tup, mutable=False)
+        # Reported last, so it is the latest-appearing precondition of
+        # every map derivation — i.e. the seed (Section 4.2).
+        self.job_tuple = declarative.job_run(job_id, stored.path)
+        self.recorder.report_insert(_MAPPER_NODE, self.job_tuple, mutable=False)
+
+    def emitted(self, line: int, position: int, word: str) -> None:
+        head = Tuple(
+            "emit", [self.job.job_id, self.job.input_path, line, position, word]
+        )
+        self.emit_tuples[(line, position)] = head
+        self.recorder.report_derive(
+            _MAPPER_NODE,
+            head,
+            "map",
+            # Body order matches the declarative rule's atoms.
+            [self.job_tuple, self.word_tuples[(line, position)], self.code_tuple],
+            env={
+                "Job": self.job.job_id,
+                "File": self.job.input_path,
+                "Line": line,
+                "Pos": position,
+                "Word": word,
+                "Ver": self.job.mapper_version,
+                "Cksum": mapper_checksum(self.job.mapper_version),
+            },
+        )
+
+    def shuffled(
+        self, line: int, position: int, word: str, reducer: int, reducers: int
+    ) -> None:
+        head = Tuple(
+            "wordAt",
+            [reducer, self.job.job_id, word, self.job.input_path, line, position],
+        )
+        self.word_at[(line, position)] = head
+        self.recorder.report_derive(
+            f"reducer-{reducer}",
+            head,
+            "shuffle",
+            [self.emit_tuples[(line, position)], self.config_tuples[REDUCES_KEY]],
+            env={
+                "Job": self.job.job_id,
+                "File": self.job.input_path,
+                "Line": line,
+                "Pos": position,
+                "Word": word,
+                "N": reducers,
+                "R": reducer,
+            },
+        )
+
+    def reduced(self, reducer: int, word: str, occurrences, count: int) -> None:
+        node = f"reducer-{reducer}"
+        contributions = [self.word_at[occ] for occ in occurrences]
+        count_tuple = Tuple("wordcount", [reducer, self.job.job_id, word, count])
+        self.recorder.report_derive(node, count_tuple, "reduce", contributions)
+        output_tuple = Tuple("output", [reducer, self.job.job_id, word, count])
+        self.recorder.report_derive(node, output_tuple, "outp", [count_tuple])
+
+
+class ImperativeMapReduceExecution(ReportedExecution):
+    """A replayable, instrumented WordCount job.
+
+    The event log holds only metadata — config entries, the mapper
+    signature, and the input file's path + checksum — which is why the
+    paper's MapReduce logs are a few kilobytes for gigabytes of input
+    (Section 6.5).  Replay re-identifies the input in HDFS by checksum
+    and re-runs the job with any base-tuple changes applied.
+    """
+
+    def __init__(
+        self,
+        job_id: str,
+        hdfs: HDFS,
+        input_path: str,
+        config: JobConfig,
+        mapper_version: str,
+    ):
+        self.job_id = job_id
+        self.hdfs = hdfs
+        self.input_path = input_path
+        self.base_config = config
+        self.base_mapper_version = mapper_version
+        log = self._build_log()
+        super().__init__(
+            name=f"mapreduce:{job_id}",
+            runner=self._run_with_changes,
+            log=log,
+            program=declarative.mapreduce_program(),
+        )
+
+    def _build_log(self) -> EventLog:
+        log = EventLog()
+        for key, value in self.base_config.items():
+            log.append(
+                "insert",
+                declarative.job_config_tuple(key, value),
+                mutable=True,
+            )
+        log.append(
+            "insert",
+            declarative.mapper_code(
+                self.base_mapper_version,
+                mapper_checksum(self.base_mapper_version),
+            ),
+            mutable=True,
+        )
+        checksum = self.hdfs.checksum_of(self.input_path)
+        log.append(
+            "insert", Tuple("fileMeta", [self.input_path, checksum]), mutable=False
+        )
+        log.append(
+            "insert",
+            declarative.job_run(self.job_id, self.input_path),
+            mutable=False,
+        )
+        return log
+
+    def _run_with_changes(self, changes: List[Change]) -> ProvenanceRecorder:
+        config = self.base_config.copy()
+        mapper_version = self.base_mapper_version
+        for change in changes:
+            for removed in change.remove:
+                if removed.table == "jobConfig":
+                    # Removal alone resets nothing; the paired insert
+                    # below supplies the replacement value.
+                    continue
+            if change.insert is None:
+                continue
+            tup = change.insert
+            if tup.table == "jobConfig":
+                key, value = tup.args
+                config.set(key, value)
+            elif tup.table == "mapperCode":
+                mapper_version = tup.args[0]
+            else:
+                raise ReproError(
+                    f"imperative runtime cannot apply change to {tup.table!r}"
+                )
+        recorder = ProvenanceRecorder()
+        job = WordCountJob(
+            self.job_id, self.hdfs, self.input_path, config, mapper_version
+        )
+        job.run(recorder)
+        self.last_outputs = job.outputs
+        return recorder

@@ -1,0 +1,99 @@
+"""WordCount mappers, including the buggy deployment of MR2.
+
+Mapper versions are identified by the checksum of their source (the
+stand-in for Hadoop's Java bytecode signature).  Version ``v1`` is the
+correct mapper; ``v2`` is the MR2 bug: it drops the first word of every
+line.  The ``mapper_emits`` builtin exposes the versions' emission
+behaviour to the declarative model so both implementations stay in
+lockstep.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Callable, Dict, Iterator, List, Tuple as PyTuple
+
+from ..datalog import builtins as _builtins
+from ..errors import ReproError
+
+__all__ = [
+    "split_words",
+    "MAPPERS",
+    "MAPPER_SOURCES",
+    "mapper_checksum",
+    "CORRECT_MAPPER",
+    "BUGGY_MAPPER",
+]
+
+CORRECT_MAPPER = "v1"
+BUGGY_MAPPER = "v2"
+
+_WORD_RE = re.compile(r"[A-Za-z0-9']+")
+
+
+def split_words(line: str) -> List[str]:
+    """Tokenize one line into lowercase words."""
+    return [w.lower() for w in _WORD_RE.findall(line)]
+
+
+def mapper_v1(line: str) -> Iterator[PyTuple[str, int]]:
+    """The correct mapper: every word of the line counts once."""
+    for word in split_words(line):
+        yield word, 1
+
+
+def mapper_v2(line: str) -> Iterator[PyTuple[str, int]]:
+    """The buggy mapper (MR2): skips the first word of each line.
+
+    The bug mimics an off-by-one over the token index in the rewritten
+    user code the paper's industrial collaborator deployed.
+    """
+    for position, word in enumerate(split_words(line)):
+        if position == 0:
+            continue
+        yield word, 1
+
+
+MAPPERS: Dict[str, Callable] = {
+    CORRECT_MAPPER: mapper_v1,
+    BUGGY_MAPPER: mapper_v2,
+}
+
+# The source strings stand in for Java bytecode: their checksum is the
+# "bytecode signature" the instrumentation reports.
+MAPPER_SOURCES: Dict[str, str] = {
+    CORRECT_MAPPER: (
+        "for (String word : tokenize(line)) { context.write(word, ONE); }"
+    ),
+    BUGGY_MAPPER: (
+        "String[] words = tokenize(line); "
+        "for (int i = 1; i < words.length; i++) "
+        "{ context.write(words[i], ONE); }"
+    ),
+}
+
+
+def mapper_checksum(version: str) -> str:
+    """The bytecode-signature stand-in for a mapper version."""
+    try:
+        source = MAPPER_SOURCES[version]
+    except KeyError:
+        raise ReproError(f"unknown mapper version {version!r}") from None
+    return _builtins.call("checksum", [source])
+
+
+def _mapper_emits(version: str, position: int) -> bool:
+    """Whether a mapper version emits the word at ``position`` in a line."""
+    if version == CORRECT_MAPPER:
+        return True
+    if version == BUGGY_MAPPER:
+        return position > 0
+    raise ReproError(f"unknown mapper version {version!r}")
+
+
+_builtins.register(
+    "mapper_emits",
+    _mapper_emits,
+    2,
+    doc="True iff the given mapper version emits the word at a position.",
+)

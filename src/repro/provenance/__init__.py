@@ -1,0 +1,37 @@
+"""Temporal provenance: the seven-vertex graph of Section 3.2.
+
+The graph is built incrementally at runtime by a
+:class:`~repro.provenance.recorder.ProvenanceRecorder` attached to an
+engine (*inferred* mode), fed explicitly through the recorder's
+``report`` API (*reported* mode, used by the instrumented MapReduce
+runtime), or reconstructed from packet traces by the
+*external-specification* recorder in :mod:`repro.provenance.external`
+(black-box mode, used for the complex-network scenario).
+"""
+
+from .vertices import Vertex, VertexKind
+from .graph import ProvenanceGraph
+from .recorder import ProvenanceRecorder
+from .tree import ProvenanceTree, TupleNode
+from .query import provenance_query
+from .diff import naive_diff, tree_edit_distance
+from .serialize import dump_graph, load_graph
+from .viz import diff_to_dot, tree_to_dot
+from .distributed import PartitionedProvenance
+
+__all__ = [
+    "Vertex",
+    "VertexKind",
+    "ProvenanceGraph",
+    "ProvenanceRecorder",
+    "ProvenanceTree",
+    "TupleNode",
+    "provenance_query",
+    "naive_diff",
+    "tree_edit_distance",
+    "dump_graph",
+    "load_graph",
+    "tree_to_dot",
+    "diff_to_dot",
+    "PartitionedProvenance",
+]

@@ -1,0 +1,145 @@
+"""The naive tree-comparison strawman of Section 2.5.
+
+Two baselines are provided:
+
+- :func:`naive_diff` — compare the two trees vertex by vertex (by a
+  timestamp-insensitive label) and report everything that differs.
+  Small differences at the leaves cascade into a "butterfly effect"
+  higher up, so the diff is routinely *larger* than either tree —
+  Table 1's "Plain tree diff" row.
+
+- :func:`tree_edit_distance` — the classical ordered tree edit
+  distance (Zhang–Shasha), the "tree-based edit distance algorithm"
+  the paper cites [5] and argues against.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Callable, List
+
+from .tree import ProvenanceTree, TreeNode
+from .vertices import Vertex
+
+__all__ = ["vertex_label", "naive_diff", "tree_edit_distance"]
+
+
+def vertex_label(vertex: Vertex) -> tuple:
+    """A timestamp-insensitive label for tree comparison.
+
+    Timestamps always differ between two executions, so comparing them
+    would flag every vertex; the strawman at least masks those.
+    """
+    return (vertex.kind.value, vertex.node, vertex.tuple.table, vertex.tuple.args,
+            vertex.rule)
+
+
+def naive_diff(
+    good: ProvenanceTree,
+    bad: ProvenanceTree,
+    label: Callable[[Vertex], tuple] = vertex_label,
+) -> List[tuple]:
+    """Vertexes present in one tree but not the other (multiset diff).
+
+    Returns the combined list of differing labels; ``len()`` of the
+    result is the "Plain tree diff" count reported in Table 1.
+    """
+    good_counts = Counter(label(n.vertex) for n in good.root.walk())
+    bad_counts = Counter(label(n.vertex) for n in bad.root.walk())
+    only_good = good_counts - bad_counts
+    only_bad = bad_counts - good_counts
+    result: List[tuple] = []
+    for lbl, count in sorted(only_good.items(), key=lambda kv: str(kv[0])):
+        result.extend([lbl] * count)
+    for lbl, count in sorted(only_bad.items(), key=lambda kv: str(kv[0])):
+        result.extend([lbl] * count)
+    return result
+
+
+def tree_edit_distance(
+    good: ProvenanceTree,
+    bad: ProvenanceTree,
+    label: Callable[[Vertex], tuple] = vertex_label,
+) -> int:
+    """Ordered tree edit distance (Zhang–Shasha, 1989).
+
+    Unit costs for insert/delete/relabel.  Quadratic in tree size, so
+    use on moderate trees only (the paper's point is precisely that
+    edit distance does not give useful diagnostics, however efficiently
+    it is computed).
+    """
+    return _zhang_shasha(good.root, bad.root, label)
+
+
+def _zhang_shasha(
+    root_a: TreeNode, root_b: TreeNode, label: Callable[[Vertex], tuple]
+) -> int:
+    nodes_a, lmld_a, keyroots_a = _index(root_a)
+    nodes_b, lmld_b, keyroots_b = _index(root_b)
+    size_a, size_b = len(nodes_a), len(nodes_b)
+    dist = [[0] * size_b for _ in range(size_a)]
+
+    def cost(i: int, j: int) -> int:
+        return 0 if label(nodes_a[i].vertex) == label(nodes_b[j].vertex) else 1
+
+    for ka in keyroots_a:
+        for kb in keyroots_b:
+            _treedist(ka, kb, nodes_a, nodes_b, lmld_a, lmld_b, dist, cost)
+    return dist[size_a - 1][size_b - 1]
+
+
+def _index(root: TreeNode):
+    """Postorder nodes, leftmost-leaf-descendant indices, keyroots."""
+    nodes: List[TreeNode] = []
+
+    def postorder(node: TreeNode) -> int:
+        first = None
+        for child in node.children:
+            leftmost = postorder(child)
+            if first is None:
+                first = leftmost
+        nodes.append(node)
+        index = len(nodes) - 1
+        lmld.append(first if first is not None else index)
+        return lmld[index]
+
+    lmld: List[int] = []
+    postorder(root)
+    keyroots = []
+    seen = set()
+    for index in range(len(nodes) - 1, -1, -1):
+        if lmld[index] not in seen:
+            keyroots.append(index)
+            seen.add(lmld[index])
+    keyroots.sort()
+    return nodes, lmld, keyroots
+
+
+def _treedist(i, j, nodes_a, nodes_b, lmld_a, lmld_b, dist, cost):
+    li, lj = lmld_a[i], lmld_b[j]
+    rows = i - li + 2
+    cols = j - lj + 2
+    forest = [[0] * cols for _ in range(rows)]
+    for a in range(1, rows):
+        forest[a][0] = forest[a - 1][0] + 1
+    for b in range(1, cols):
+        forest[0][b] = forest[0][b - 1] + 1
+    for a in range(1, rows):
+        for b in range(1, cols):
+            node_a = li + a - 1
+            node_b = lj + b - 1
+            if lmld_a[node_a] == li and lmld_b[node_b] == lj:
+                forest[a][b] = min(
+                    forest[a - 1][b] + 1,
+                    forest[a][b - 1] + 1,
+                    forest[a - 1][b - 1] + cost(node_a, node_b),
+                )
+                dist[node_a][node_b] = forest[a][b]
+            else:
+                fa = lmld_a[node_a] - li
+                fb = lmld_b[node_b] - lj
+                forest[a][b] = min(
+                    forest[a - 1][b] + 1,
+                    forest[a][b - 1] + 1,
+                    forest[fa][fb] + dist[node_a][node_b],
+                )

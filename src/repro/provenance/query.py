@@ -1,0 +1,37 @@
+"""Classic provenance queries — the "Y!" baseline of the evaluation.
+
+``provenance_query(graph, event)`` returns the full provenance tree of
+a single event, exactly what systems like ExSPAN and Y! answer.  Table 1
+and Figure 7 compare DiffProv against these single-tree queries.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..datalog.tuples import Tuple
+from ..errors import ReproError
+from .graph import ProvenanceGraph
+from .tree import ProvenanceTree
+
+__all__ = ["provenance_query"]
+
+
+def provenance_query(
+    graph: ProvenanceGraph, event: Tuple, time: Optional[int] = None
+) -> ProvenanceTree:
+    """The provenance tree of ``event`` as of ``time`` (default: latest).
+
+    Raises :class:`ReproError` when the event never occurred — a
+    provenance system can only explain events it has observed.  (The
+    paper's Y! extends this to *missing* events via negative
+    provenance; that is out of scope here, and DiffProv does not need
+    it.)
+    """
+    root = graph.exist_at(event, time)
+    if root is None:
+        raise ReproError(
+            f"event {event} was never observed"
+            + (f" at time {time}" if time is not None else "")
+        )
+    return ProvenanceTree(graph, root)

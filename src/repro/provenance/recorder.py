@@ -1,0 +1,218 @@
+"""Provenance recorder: builds the graph while the system runs.
+
+Supports the first two of the paper's three extraction modes
+(Section 5):
+
+- **inferred** — attach the recorder to a
+  :class:`repro.datalog.engine.Engine`; the engine invokes the ``on_*``
+  callbacks and the recorder mirrors every event into the graph.
+
+- **reported** — an instrumented system (the imperative MapReduce
+  runtime) calls the ``report_*`` methods explicitly.  The recorder
+  maintains its own logical clock in this mode.
+
+The third mode (external specifications over packet traces) lives in
+:mod:`repro.provenance.external`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence
+
+from ..datalog.state import Derivation
+from ..datalog.tuples import Tuple
+from ..errors import ReproError
+from .graph import DerivationInfo, ProvenanceGraph
+from .vertices import VertexKind
+
+__all__ = ["ProvenanceRecorder"]
+
+
+class ProvenanceRecorder:
+    """Builds a :class:`ProvenanceGraph` from engine or reported events."""
+
+    def __init__(self, graph: Optional[ProvenanceGraph] = None):
+        self.graph = graph if graph is not None else ProvenanceGraph()
+        self._clock = 0  # used only by the report_* (instrumented) API
+        self._next_reported_id = -1  # reported derivations count downward
+
+    # ------------------------------------------------------------------
+    # Inferred mode: callbacks invoked by the engine.
+    # ------------------------------------------------------------------
+
+    def on_insert(self, node: str, tup: Tuple, time: int, mutable: bool) -> None:
+        self.graph.add_vertex(
+            VertexKind.INSERT, node, tup, time, mutable=mutable
+        )
+        self._bump(time)
+
+    def on_delete(self, node: str, tup: Tuple, time: int) -> None:
+        self.graph.add_vertex(VertexKind.DELETE, node, tup, time)
+        self._bump(time)
+
+    def on_appear(self, node: str, tup: Tuple, time: int, cause) -> None:
+        kind, payload = cause
+        if kind == "insert":
+            parent = self.graph.latest_insert(tup)
+            children = [parent] if parent is not None else []
+        elif kind == "derive":
+            derive_vertex = self.graph.derive_vertex(payload.id)
+            children = [derive_vertex] if derive_vertex is not None else []
+        else:  # pragma: no cover - defensive
+            raise ReproError(f"unknown appear cause {kind!r}")
+        appear = self.graph.add_vertex(
+            VertexKind.APPEAR, node, tup, time, children=children
+        )
+        self.graph.add_vertex(
+            VertexKind.EXIST, node, tup, time, children=[appear]
+        )
+        self._bump(time)
+
+    def on_disappear(self, node: str, tup: Tuple, time: int, cause) -> None:
+        kind, payload = cause
+        children = []
+        if kind == "underive" and payload is not None:
+            derive_vertex = self.graph.derive_vertex(payload.id)
+            if derive_vertex is not None:
+                children = [derive_vertex]
+        self.graph.close_exist(tup, time)
+        self.graph.add_vertex(
+            VertexKind.DISAPPEAR, node, tup, time, children=children
+        )
+        self._bump(time)
+
+    def on_derive(self, node: str, derivation: Derivation, time: int) -> None:
+        info = DerivationInfo(
+            derivation.id,
+            derivation.rule_name,
+            derivation.head,
+            derivation.body,
+            derivation.env,
+            derivation.trigger_index,
+            time,
+        )
+        self._add_derive(node, info, time)
+
+    def on_underive(self, node: str, derivation: Derivation, time: int) -> None:
+        derive_vertex = self.graph.derive_vertex(derivation.id)
+        children = [derive_vertex] if derive_vertex is not None else []
+        self.graph.add_vertex(
+            VertexKind.UNDERIVE,
+            node,
+            derivation.head,
+            time,
+            children=children,
+            rule=derivation.rule_name,
+            derivation_id=derivation.id,
+        )
+        self._bump(time)
+
+    # ------------------------------------------------------------------
+    # Reported mode: explicit instrumentation hooks.
+    # ------------------------------------------------------------------
+
+    def report_insert(
+        self,
+        node: str,
+        tup: Tuple,
+        mutable: bool = True,
+        time: Optional[int] = None,
+    ) -> None:
+        """Report a base tuple (external input / configuration state)."""
+        time = self._reported_time(time)
+        self.on_insert(node, tup, time, mutable)
+        self.on_appear(node, tup, time, ("insert", None))
+
+    def report_delete(self, node: str, tup: Tuple, time: Optional[int] = None) -> None:
+        time = self._reported_time(time)
+        self.on_delete(node, tup, time)
+        self.graph.close_exist(tup, time)
+        self.graph.add_vertex(VertexKind.DISAPPEAR, node, tup, time)
+
+    def report_derive(
+        self,
+        node: str,
+        head: Tuple,
+        rule_name: str,
+        body: Sequence[Tuple],
+        env: Optional[Dict[str, object]] = None,
+        trigger_index: Optional[int] = None,
+        time: Optional[int] = None,
+    ) -> DerivationInfo:
+        """Report a dependency: ``head`` was computed from ``body``.
+
+        Every body tuple must have been reported (or derived) earlier —
+        an instrumented system reports dependencies in causal order.
+        """
+        time = self._reported_time(time)
+        body = tuple(body)
+        for member in body:
+            if self.graph.exist_at(member, time) is None:
+                raise ReproError(
+                    f"reported derivation of {head} depends on {member}, "
+                    f"which has never been reported"
+                )
+        if trigger_index is None:
+            trigger_index = self._latest_appearing(body, time)
+        info = DerivationInfo(
+            self._next_reported_id,
+            rule_name,
+            head,
+            body,
+            env or {},
+            trigger_index,
+            time,
+        )
+        self._next_reported_id -= 1
+        self._add_derive(node, info, time)
+        self.on_appear(node, head, time, ("derive", info))
+        return info
+
+    # ------------------------------------------------------------------
+    # Shared internals.
+    # ------------------------------------------------------------------
+
+    def _add_derive(self, node: str, info: DerivationInfo, time: int) -> None:
+        self.graph.add_derivation(info)
+        children = []
+        for member in info.body:
+            exist = self.graph.exist_at(member, time)
+            if exist is None:
+                # The body member should exist when the rule fires; fall
+                # back to its latest interval so the graph stays connected.
+                exist = self.graph.exist_at(member)
+            if exist is not None:
+                children.append(exist)
+        self.graph.add_vertex(
+            VertexKind.DERIVE,
+            node,
+            info.head,
+            time,
+            children=children,
+            rule=info.rule_name,
+            derivation_id=info.id,
+        )
+        self._bump(time)
+
+    def _latest_appearing(self, body, time: int) -> int:
+        best_index = 0
+        best_time = -1
+        for index, member in enumerate(body):
+            appears = self.graph.appears_of(member)
+            relevant = [v.time for v in appears if v.time <= time]
+            appeared = max(relevant) if relevant else -1
+            if appeared > best_time:
+                best_time = appeared
+                best_index = index
+        return best_index
+
+    def _reported_time(self, time: Optional[int]) -> int:
+        if time is not None:
+            self._bump(time)
+            return time
+        self._clock += 1
+        return self._clock
+
+    def _bump(self, time: int) -> None:
+        if time > self._clock:
+            self._clock = time

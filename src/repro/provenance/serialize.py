@@ -1,0 +1,139 @@
+"""Persistence for provenance graphs.
+
+A graph is written as JSON lines — one record per vertex, edge list,
+and derivation — so recorded provenance can be archived and queried
+offline (diagnostic queries are rare; the paper ages logs out over
+time, and an operator may want to keep the provenance of an incident
+after the logs are gone).
+
+Values inside tuples are encoded with a small codec that round-trips
+ints, strings, booleans, IPv4 addresses, and prefixes.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List
+
+from ..addresses import IPv4Address, Prefix
+from ..datalog.tuples import Tuple
+from ..errors import ReproError
+from .graph import DerivationInfo, ProvenanceGraph
+from .vertices import VertexKind
+
+__all__ = ["encode_value", "decode_value", "dump_graph", "load_graph"]
+
+
+def encode_value(value):
+    """JSON-encode one tuple field value."""
+    if isinstance(value, bool) or isinstance(value, (int, str)):
+        return value
+    if isinstance(value, IPv4Address):
+        return {"$ip": str(value)}
+    if isinstance(value, Prefix):
+        return {"$pfx": str(value)}
+    if isinstance(value, float):
+        return {"$f": value}
+    raise ReproError(f"cannot serialize value {value!r} of {type(value)}")
+
+
+def decode_value(encoded):
+    if isinstance(encoded, dict):
+        if "$ip" in encoded:
+            return IPv4Address(encoded["$ip"])
+        if "$pfx" in encoded:
+            return Prefix(encoded["$pfx"])
+        if "$f" in encoded:
+            return float(encoded["$f"])
+        raise ReproError(f"unknown encoded value {encoded!r}")
+    return encoded
+
+
+def _encode_tuple(tup: Tuple) -> Dict:
+    return {"t": tup.table, "a": [encode_value(v) for v in tup.args]}
+
+
+def _decode_tuple(data: Dict) -> Tuple:
+    return Tuple(data["t"], [decode_value(v) for v in data["a"]])
+
+
+def dump_graph(graph: ProvenanceGraph, path: str) -> int:
+    """Write a graph as JSON lines; returns the number of records."""
+    records = 0
+    with open(path, "w", encoding="utf-8") as handle:
+        for vertex in graph.vertices:
+            record = {
+                "kind": "vertex",
+                "id": vertex.id,
+                "vk": vertex.kind.value,
+                "node": vertex.node,
+                "tuple": _encode_tuple(vertex.tuple),
+                "time": vertex.time,
+                "end": vertex.end_time,
+                "rule": vertex.rule,
+                "did": vertex.derivation_id,
+                "mutable": vertex.mutable,
+                "children": [c.id for c in graph.children(vertex)],
+            }
+            handle.write(json.dumps(record) + "\n")
+            records += 1
+        for info in graph.derivations.values():
+            record = {
+                "kind": "derivation",
+                "id": info.id,
+                "rule": info.rule_name,
+                "head": _encode_tuple(info.head),
+                "body": [_encode_tuple(t) for t in info.body],
+                "env": {k: encode_value(v) for k, v in info.env.items()},
+                "trigger": info.trigger_index,
+                "time": info.time,
+            }
+            handle.write(json.dumps(record) + "\n")
+            records += 1
+    return records
+
+
+def load_graph(path: str) -> ProvenanceGraph:
+    """Rebuild a graph from a JSON-lines dump."""
+    graph = ProvenanceGraph()
+    pending_edges: List = []
+    with open(path, "r", encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if not line:
+                continue
+            record = json.loads(line)
+            if record["kind"] == "vertex":
+                vertex = graph.add_vertex(
+                    VertexKind(record["vk"]),
+                    record["node"],
+                    _decode_tuple(record["tuple"]),
+                    record["time"],
+                    end_time=record["end"],
+                    rule=record["rule"],
+                    derivation_id=record["did"],
+                    mutable=record["mutable"],
+                )
+                if vertex.id != record["id"]:
+                    raise ReproError(
+                        f"vertex ids must be dense and ordered "
+                        f"(got {record['id']}, expected {vertex.id})"
+                    )
+                pending_edges.append((vertex, record["children"]))
+            elif record["kind"] == "derivation":
+                graph.add_derivation(
+                    DerivationInfo(
+                        record["id"],
+                        record["rule"],
+                        _decode_tuple(record["head"]),
+                        tuple(_decode_tuple(t) for t in record["body"]),
+                        {k: decode_value(v) for k, v in record["env"].items()},
+                        record["trigger"],
+                        record["time"],
+                    )
+                )
+            else:
+                raise ReproError(f"unknown record kind {record['kind']!r}")
+    for vertex, child_ids in pending_edges:
+        graph.set_children(vertex, [graph.vertices[i] for i in child_ids])
+    return graph

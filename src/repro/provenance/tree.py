@@ -1,0 +1,251 @@
+"""Provenance trees: the per-event projection of the graph.
+
+The provenance of an event ``e`` is the tree rooted at ``e``'s vertex
+in which each vertex's children are its direct causes (Section 2.1).
+Because the graph is a DAG, shared sub-provenance is *duplicated* when
+projected into a tree — this is why the paper's trees have hundreds of
+vertexes even on small networks, and our vertex counts follow the same
+convention.
+
+Two views are provided:
+
+- the **vertex view** (:class:`TreeNode`): every
+  INSERT/APPEAR/EXIST/DERIVE vertex is a tree node.  Table 1 counts
+  these.
+- the **tuple view** (:class:`TupleNode`): EXIST→APPEAR→{INSERT|DERIVE}
+  chains are collapsed to one node per tuple instance.  The DiffProv
+  algorithm walks this view.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Optional
+
+from ..datalog.tuples import Tuple
+from ..errors import ReproError
+from .graph import DerivationInfo, ProvenanceGraph
+from .vertices import Vertex, VertexKind
+
+__all__ = ["TreeNode", "TupleNode", "ProvenanceTree"]
+
+
+class TreeNode:
+    """A vertex-view tree node."""
+
+    __slots__ = ("vertex", "children", "parent")
+
+    def __init__(self, vertex: Vertex, children: Optional[List["TreeNode"]] = None):
+        self.vertex = vertex
+        self.children = children if children is not None else []
+        self.parent: Optional[TreeNode] = None
+
+    def size(self) -> int:
+        return 1 + sum(child.size() for child in self.children)
+
+    def walk(self) -> Iterator["TreeNode"]:
+        yield self
+        for child in self.children:
+            yield from child.walk()
+
+    def render(self, indent: int = 0, max_depth: Optional[int] = None) -> str:
+        lines = [("  " * indent) + self.vertex.label()]
+        if max_depth is None or indent < max_depth:
+            for child in self.children:
+                lines.append(child.render(indent + 1, max_depth))
+        return "\n".join(lines)
+
+    def __repr__(self):
+        return f"TreeNode({self.vertex.label()}, {len(self.children)} children)"
+
+
+class TupleNode:
+    """A tuple-view tree node: one tuple instance plus how it came to be."""
+
+    __slots__ = (
+        "tuple",
+        "node",
+        "rule",
+        "derivation",
+        "children",
+        "parent",
+        "appear_time",
+        "mutable",
+        "exist_vertex",
+    )
+
+    def __init__(
+        self,
+        tup: Tuple,
+        node: str,
+        rule: Optional[str],
+        derivation: Optional[DerivationInfo],
+        appear_time: int,
+        mutable: Optional[bool],
+        exist_vertex: Optional[Vertex],
+    ):
+        self.tuple = tup
+        self.node = node
+        self.rule = rule
+        self.derivation = derivation
+        self.children: List[TupleNode] = []
+        self.parent: Optional[TupleNode] = None
+        self.appear_time = appear_time
+        self.mutable = mutable
+        self.exist_vertex = exist_vertex
+
+    @property
+    def is_base(self) -> bool:
+        return self.rule is None
+
+    @property
+    def trigger_index(self) -> Optional[int]:
+        return self.derivation.trigger_index if self.derivation is not None else None
+
+    def trigger_child(self) -> Optional["TupleNode"]:
+        """The child that triggered this node's derivation."""
+        if self.derivation is None or not self.children:
+            return None
+        index = self.derivation.trigger_index
+        if 0 <= index < len(self.children):
+            return self.children[index]
+        return None
+
+    def size(self) -> int:
+        return 1 + sum(child.size() for child in self.children)
+
+    def walk(self) -> Iterator["TupleNode"]:
+        yield self
+        for child in self.children:
+            yield from child.walk()
+
+    def leaves(self) -> Iterator["TupleNode"]:
+        if not self.children:
+            yield self
+        else:
+            for child in self.children:
+                yield from child.leaves()
+
+    def path_to_root(self) -> List["TupleNode"]:
+        path = [self]
+        while path[-1].parent is not None:
+            path.append(path[-1].parent)
+        return path
+
+    def render(self, indent: int = 0) -> str:
+        via = f" via {self.rule}" if self.rule else " (base)"
+        lines = [("  " * indent) + f"{self.tuple}{via} @t{self.appear_time}"]
+        for child in self.children:
+            lines.append(child.render(indent + 1))
+        return "\n".join(lines)
+
+    def __repr__(self):
+        return f"TupleNode({self.tuple}, rule={self.rule!r})"
+
+
+class ProvenanceTree:
+    """The provenance of one event: vertex view + tuple view."""
+
+    def __init__(self, graph: ProvenanceGraph, root_vertex: Vertex):
+        self.graph = graph
+        self.root = self._project(root_vertex, depth=0)
+        self.tuple_root = self._tuple_view(self.root)
+
+    # -- vertex view ------------------------------------------------------
+
+    _MAX_DEPTH = 100_000
+
+    def _project(self, vertex: Vertex, depth: int) -> TreeNode:
+        if depth > self._MAX_DEPTH:  # pragma: no cover - defensive
+            raise ReproError("provenance projection exceeded depth bound")
+        node = TreeNode(vertex)
+        for child_vertex in self.graph.children(vertex):
+            child = self._project(child_vertex, depth + 1)
+            child.parent = node
+            node.children.append(child)
+        return node
+
+    def size(self) -> int:
+        """Number of vertexes in the (expanded) provenance tree."""
+        return self.root.size()
+
+    def render(self, max_depth: Optional[int] = None) -> str:
+        return self.root.render(max_depth=max_depth)
+
+    # -- tuple view -------------------------------------------------------
+
+    def _tuple_view(self, node: TreeNode) -> TupleNode:
+        """Collapse EXIST→APPEAR→{INSERT, DERIVE} chains."""
+        vertex = node.vertex
+        if vertex.kind == VertexKind.EXIST:
+            appear = _single_child(node, (VertexKind.APPEAR,))
+            return self._tuple_view(appear) if appear else self._leaf(node)
+        if vertex.kind == VertexKind.APPEAR:
+            cause = _single_child(node, (VertexKind.INSERT, VertexKind.DERIVE))
+            if cause is None:
+                return self._leaf(node)
+            if cause.vertex.kind == VertexKind.INSERT:
+                return TupleNode(
+                    vertex.tuple,
+                    vertex.node,
+                    None,
+                    None,
+                    vertex.time,
+                    cause.vertex.mutable,
+                    _exist_ancestor(node),
+                )
+            # DERIVE
+            derive = cause
+            info = self.graph.derivations.get(derive.vertex.derivation_id)
+            result = TupleNode(
+                vertex.tuple,
+                vertex.node,
+                derive.vertex.rule,
+                info,
+                vertex.time,
+                None,
+                _exist_ancestor(node),
+            )
+            for child in derive.children:
+                child_node = self._tuple_view(child)
+                child_node.parent = result
+                result.children.append(child_node)
+            return result
+        if vertex.kind == VertexKind.DERIVE:
+            info = self.graph.derivations.get(vertex.derivation_id)
+            result = TupleNode(
+                vertex.tuple, vertex.node, vertex.rule, info, vertex.time, None, None
+            )
+            for child in node.children:
+                child_node = self._tuple_view(child)
+                child_node.parent = result
+                result.children.append(child_node)
+            return result
+        return self._leaf(node)
+
+    def _leaf(self, node: TreeNode) -> TupleNode:
+        vertex = node.vertex
+        return TupleNode(
+            vertex.tuple,
+            vertex.node,
+            None,
+            None,
+            vertex.time,
+            vertex.mutable,
+            vertex if vertex.kind == VertexKind.EXIST else None,
+        )
+
+
+def _single_child(node: TreeNode, kinds) -> Optional[TreeNode]:
+    for child in node.children:
+        if child.vertex.kind in kinds:
+            return child
+    return None
+
+
+def _exist_ancestor(node: TreeNode) -> Optional[Vertex]:
+    current = node
+    while current is not None:
+        if current.vertex.kind == VertexKind.EXIST:
+            return current.vertex
+        current = current.parent
+    return None

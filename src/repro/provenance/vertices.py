@@ -1,0 +1,100 @@
+"""The seven provenance vertex types of Section 3.2.
+
+- ``INSERT(n, τ, t)`` / ``DELETE(n, τ, t)``: base tuple τ was inserted
+  (deleted) on node n at time t;
+- ``EXIST(n, τ, [t1, t2])``: τ existed on n from t1 to t2;
+- ``DERIVE(n, τ, R, t)`` / ``UNDERIVE(n, τ, R, t)``: τ was derived
+  (underived) via rule R on n at t;
+- ``APPEAR(n, τ, t)`` / ``DISAPPEAR(n, τ, t)``: τ appeared
+  (disappeared) on n at t.
+
+Having INSERT, APPEAR and EXIST as separate vertexes looks redundant
+but is load-bearing: DiffProv's seed search walks APPEAR timestamps
+(Section 4.2), while equivalence checks and tree alignment operate on
+EXIST intervals.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Optional
+
+from ..datalog.tuples import Tuple
+
+__all__ = ["VertexKind", "Vertex"]
+
+
+class VertexKind(enum.Enum):
+    INSERT = "INSERT"
+    DELETE = "DELETE"
+    EXIST = "EXIST"
+    DERIVE = "DERIVE"
+    UNDERIVE = "UNDERIVE"
+    APPEAR = "APPEAR"
+    DISAPPEAR = "DISAPPEAR"
+
+
+class Vertex:
+    """One vertex in the temporal provenance graph."""
+
+    __slots__ = (
+        "id",
+        "kind",
+        "node",
+        "tuple",
+        "time",
+        "end_time",
+        "rule",
+        "derivation_id",
+        "mutable",
+    )
+
+    def __init__(
+        self,
+        id: int,
+        kind: VertexKind,
+        node: str,
+        tup: Tuple,
+        time: int,
+        end_time: Optional[int] = None,
+        rule: Optional[str] = None,
+        derivation_id: Optional[int] = None,
+        mutable: Optional[bool] = None,
+    ):
+        self.id = id
+        self.kind = kind
+        self.node = node
+        self.tuple = tup
+        self.time = time
+        self.end_time = end_time
+        self.rule = rule
+        self.derivation_id = derivation_id
+        self.mutable = mutable
+
+    @property
+    def is_open(self) -> bool:
+        """Whether this is an EXIST interval that has not closed."""
+        return self.kind == VertexKind.EXIST and self.end_time is None
+
+    def covers(self, time: int) -> bool:
+        """Whether an EXIST interval covers the given instant."""
+        if self.kind != VertexKind.EXIST:
+            return self.time == time
+        if time < self.time:
+            return False
+        return self.end_time is None or time <= self.end_time
+
+    def label(self) -> str:
+        """Human-readable label used in rendered trees."""
+        if self.kind == VertexKind.EXIST:
+            end = "now" if self.end_time is None else str(self.end_time)
+            return f"EXIST({self.node}, {self.tuple}, [{self.time}, {end}])"
+        if self.kind in (VertexKind.DERIVE, VertexKind.UNDERIVE):
+            return (
+                f"{self.kind.value}({self.node}, {self.tuple}, "
+                f"{self.rule}, {self.time})"
+            )
+        return f"{self.kind.value}({self.node}, {self.tuple}, {self.time})"
+
+    def __repr__(self):
+        return f"Vertex(#{self.id} {self.label()})"

@@ -1,0 +1,93 @@
+"""Graphviz (DOT) rendering of provenance trees.
+
+``tree_to_dot`` draws one tree in the style of the paper's Figure 2(a);
+``diff_to_dot`` draws the good and bad trees side by side with shared
+vertexes green and differing ones red, like Figures 2(b) and 2(c) — the
+picture that motivates why a naive diff is useless and differential
+provenance is needed.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import List
+
+from .diff import vertex_label
+from .tree import ProvenanceTree, TreeNode
+from .vertices import VertexKind
+
+__all__ = ["tree_to_dot", "diff_to_dot"]
+
+_SHAPES = {
+    VertexKind.INSERT: "box",
+    VertexKind.DELETE: "box",
+    VertexKind.EXIST: "ellipse",
+    VertexKind.DERIVE: "hexagon",
+    VertexKind.UNDERIVE: "hexagon",
+    VertexKind.APPEAR: "ellipse",
+    VertexKind.DISAPPEAR: "ellipse",
+}
+
+
+def _escape(text: str) -> str:
+    return text.replace("\\", "\\\\").replace('"', '\\"')
+
+
+def _emit_tree(lines: List[str], root: TreeNode, prefix: str, colors=None):
+    counter = [0]
+
+    def walk(node: TreeNode) -> str:
+        name = f"{prefix}{counter[0]}"
+        counter[0] += 1
+        vertex = node.vertex
+        color = ""
+        if colors is not None:
+            color = f', style=filled, fillcolor="{colors(vertex)}"'
+        shape = _SHAPES.get(vertex.kind, "ellipse")
+        lines.append(
+            f'  {name} [label="{_escape(vertex.label())}", '
+            f"shape={shape}{color}];"
+        )
+        for child in node.children:
+            child_name = walk(child)
+            lines.append(f"  {name} -> {child_name};")
+        return name
+
+    walk(root)
+
+
+def tree_to_dot(tree: ProvenanceTree, title: str = "provenance") -> str:
+    """One provenance tree as a DOT digraph."""
+    lines = [f'digraph "{_escape(title)}" {{', "  rankdir=TB;"]
+    _emit_tree(lines, tree.root, "v")
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def diff_to_dot(
+    good: ProvenanceTree,
+    bad: ProvenanceTree,
+    title: str = "differential provenance",
+) -> str:
+    """Both trees, shared vertexes green and differing ones red.
+
+    Sharing is determined by the same timestamp-insensitive labels the
+    naive diff uses, so the picture shows exactly what that strawman
+    sees — including the butterfly effect of red spreading up the tree.
+    """
+    good_counts = Counter(vertex_label(n.vertex) for n in good.root.walk())
+    bad_counts = Counter(vertex_label(n.vertex) for n in bad.root.walk())
+    shared = set((good_counts & bad_counts).keys())
+
+    def colors(vertex):
+        return "palegreen" if vertex_label(vertex) in shared else "lightcoral"
+
+    lines = [f'digraph "{_escape(title)}" {{', "  rankdir=TB;"]
+    lines.append('  subgraph cluster_good { label="good (T_G)";')
+    _emit_tree(lines, good.root, "g", colors)
+    lines.append("  }")
+    lines.append('  subgraph cluster_bad { label="bad (T_B)";')
+    _emit_tree(lines, bad.root, "b", colors)
+    lines.append("  }")
+    lines.append("}")
+    return "\n".join(lines)

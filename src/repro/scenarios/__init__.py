@@ -1,0 +1,56 @@
+"""Diagnostic scenarios (Section 6.2).
+
+Four SDN scenarios and four MapReduce scenarios, each an executable
+reconstruction of a realistic bug, plus the Section 6.7 complex-network
+scenario.  Every scenario exposes a good and a bad event and can be
+diagnosed with DiffProv or with the baselines.
+"""
+
+from .base import Scenario
+from .sdn1 import SDN1BrokenFlowEntry
+from .sdn2 import SDN2MultiControllerInconsistency
+from .sdn3 import SDN3UnexpectedRuleExpiration
+from .sdn4 import SDN4MultipleFaultyEntries
+from .mr import (
+    MR1DeclarativeConfigChange,
+    MR2DeclarativeCodeChange,
+    MR1ImperativeConfigChange,
+    MR2ImperativeCodeChange,
+)
+from .stanford import StanfordForwardingError
+from .dns import DNSStaleReplica
+from .flap import FlappingRoute
+from .controller import SDN1WithController, SDN2WithController
+
+ALL_SCENARIOS = {
+    "SDN1": SDN1BrokenFlowEntry,
+    "SDN2": SDN2MultiControllerInconsistency,
+    "SDN3": SDN3UnexpectedRuleExpiration,
+    "SDN4": SDN4MultipleFaultyEntries,
+    "MR1-D": MR1DeclarativeConfigChange,
+    "MR2-D": MR2DeclarativeCodeChange,
+    "MR1-I": MR1ImperativeConfigChange,
+    "MR2-I": MR2ImperativeCodeChange,
+    "DNS": DNSStaleReplica,
+    "FLAP": FlappingRoute,
+    "SDN1-C": SDN1WithController,
+    "SDN2-C": SDN2WithController,
+}
+
+__all__ = [
+    "Scenario",
+    "SDN1BrokenFlowEntry",
+    "SDN2MultiControllerInconsistency",
+    "SDN3UnexpectedRuleExpiration",
+    "SDN4MultipleFaultyEntries",
+    "MR1DeclarativeConfigChange",
+    "MR2DeclarativeCodeChange",
+    "MR1ImperativeConfigChange",
+    "MR2ImperativeCodeChange",
+    "StanfordForwardingError",
+    "DNSStaleReplica",
+    "FlappingRoute",
+    "SDN1WithController",
+    "SDN2WithController",
+    "ALL_SCENARIOS",
+]

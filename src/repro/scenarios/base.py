@@ -1,0 +1,120 @@
+"""The scenario harness.
+
+A Scenario builds one or two logged executions containing a fault, and
+names a good and a bad event.  On top of that it offers the three
+diagnostic techniques compared in Table 1: classic provenance queries
+(the Y! baseline), the plain tree diff strawman, and DiffProv.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple as PyTuple
+
+from ..core.diffprov import DiffProv, DiffProvOptions
+from ..core.report import DiagnosisReport
+from ..datalog.rules import Program
+from ..datalog.tuples import Tuple
+from ..errors import ReproError
+from ..provenance.diff import naive_diff
+from ..provenance.query import provenance_query
+from ..provenance.tree import ProvenanceTree
+from ..replay.execution import Execution
+
+__all__ = ["Scenario"]
+
+
+class Scenario:
+    """Base class for diagnostic scenarios."""
+
+    name: str = "scenario"
+    description: str = ""
+
+    def __init__(self, **params):
+        self.params = params
+        self.program: Optional[Program] = None
+        self.good_execution: Optional[Execution] = None
+        self.bad_execution: Optional[Execution] = None
+        self.good_event: Optional[Tuple] = None
+        self.bad_event: Optional[Tuple] = None
+        self.good_time: Optional[int] = None
+        self.bad_time: Optional[int] = None
+        self._built = False
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def build(self) -> None:
+        """Construct executions and events; set the attributes above."""
+        raise NotImplementedError
+
+    def setup(self) -> "Scenario":
+        if not self._built:
+            self.build()
+            self._check_built()
+            self._built = True
+        return self
+
+    def _check_built(self) -> None:
+        missing = [
+            attr
+            for attr in (
+                "program",
+                "good_execution",
+                "bad_execution",
+                "good_event",
+                "bad_event",
+            )
+            if getattr(self, attr) is None
+        ]
+        if missing:
+            raise ReproError(
+                f"scenario {self.name!r} did not set: {', '.join(missing)}"
+            )
+
+    # -- the three diagnostic techniques ---------------------------------------
+
+    def trees(self) -> PyTuple[ProvenanceTree, ProvenanceTree]:
+        """The good and bad provenance trees (classic 'Y!' queries)."""
+        self.setup()
+        good = provenance_query(
+            self.good_execution.graph, self.good_event, self.good_time
+        )
+        bad = provenance_query(
+            self.bad_execution.graph, self.bad_event, self.bad_time
+        )
+        return good, bad
+
+    def plain_diff_size(self) -> int:
+        """Size of the naive tree diff (the Section 2.5 strawman)."""
+        good, bad = self.trees()
+        return len(naive_diff(good, bad))
+
+    def diagnose(self, options: Optional[DiffProvOptions] = None) -> DiagnosisReport:
+        """Run DiffProv on the scenario's good/bad events."""
+        self.setup()
+        debugger = DiffProv(self.program, options)
+        return debugger.diagnose(
+            self.good_execution,
+            self.bad_execution,
+            self.good_event,
+            self.bad_event,
+            self.good_time,
+            self.bad_time,
+        )
+
+    def table1_row(self, options: Optional[DiffProvOptions] = None) -> Dict:
+        """The scenario's row of Table 1."""
+        good, bad = self.trees()
+        report = self.diagnose(options)
+        return {
+            "scenario": self.name,
+            "good_tree": good.size(),
+            "bad_tree": bad.size(),
+            "plain_diff": self.plain_diff_size(),
+            "diffprov": report.num_changes,
+            "diffprov_per_round": report.changes_per_round,
+            "success": report.success,
+            "report": report,
+        }
+
+    def __repr__(self):
+        return f"{type(self).__name__}(name={self.name!r})"

@@ -1,0 +1,161 @@
+"""SDN scenarios with a declarative controller in the loop.
+
+These replay SDN1 and SDN2 with flow entries *derived* from operator
+policies by the ``inst`` rule (see
+:mod:`repro.sdn.declarative_controller`).  Provenance now reaches into
+the controller program — "associate each flow entry with the parts of
+the controller program that were used to compute it" (Section 1) — and
+DiffProv's root causes are the policies themselves:
+
+- **SDN1-C**: the untrusted-subnet policy carries the /24 typo; the
+  diagnosis is the corrected *policy*, not any single compiled entry.
+- **SDN2-C**: a second controller app installs an overlapping
+  higher-priority policy; the hijacking flow entry is derived state, so
+  the diagnosis traces through its derivation to remove the policy.
+"""
+
+from __future__ import annotations
+
+from ..replay.execution import Execution
+from ..sdn import model
+from ..sdn.declarative_controller import (
+    controller_program,
+    next_hop_tuples,
+    policy,
+)
+from ..sdn.topology import Topology
+from ..sdn.traces import TraceConfig, synthetic_trace
+from .base import Scenario
+
+__all__ = ["SDN1WithController", "SDN2WithController"]
+
+
+def _controller_topology() -> Topology:
+    topo = Topology("controller")
+    for name in ("s1", "s2", "s3", "s4"):
+        topo.add_switch(name)
+    topo.add_host("web1", "172.16.0.1")
+    topo.add_host("web2", "172.16.0.2")
+    topo.add_host("scrubber", "172.16.0.9")
+    topo.add_link("s1", "s2")
+    topo.add_link("s2", "s3")
+    topo.add_link("s3", "s4")
+    topo.add_link("s2", "web1")
+    topo.add_link("s4", "web2")
+    topo.add_link("s3", "scrubber")
+    return topo
+
+
+class _ControllerScenario(Scenario):
+    """Shared wiring/routing construction."""
+
+    SERVICE_DST = "172.16.0.80"
+
+    def _start(self):
+        topo = _controller_topology()
+        self.topology = topo
+        self.program = controller_program()
+        execution = Execution(self.program, name=self.name)
+        for tup in topo.wiring_tuples():
+            execution.insert(tup, mutable=False)
+        for tup in next_hop_tuples(topo):
+            execution.insert(tup, mutable=False)
+        return topo, execution
+
+    def _background(self, execution, count, seed):
+        trace = synthetic_trace(
+            TraceConfig(
+                count=count,
+                src_prefixes=("10.0.0.0/8",),
+                dst_prefixes=("172.16.0.0/24",),
+                seed=seed,
+            )
+        )
+        pkt = 0
+        for packet in trace:
+            pkt += 1
+            execution.insert(
+                model.packet("s1", pkt, packet.src, packet.dst), mutable=False
+            )
+        return pkt
+
+
+class SDN1WithController(_ControllerScenario):
+    name = "SDN1-C"
+    description = "SDN1 with the broken prefix inside a controller policy"
+
+    GOOD_SRC = "4.3.2.1"
+    BAD_SRC = "4.3.3.1"
+
+    def build(self) -> None:
+        topo, execution = self._start()
+        # The operator's intent is 4.3.2.0/23; she typed /24.
+        self.broken_policy = policy(
+            "untrusted", 10, "4.3.2.0/24", "0.0.0.0/0", "web1"
+        )
+        execution.insert(self.broken_policy, mutable=True)
+        execution.insert(
+            policy("general", 1, "0.0.0.0/0", "0.0.0.0/0", "web2"),
+            mutable=True,
+        )
+        pkt = self._background(
+            execution, self.params.get("background_packets", 15), seed=23
+        )
+        self.good_pkt, self.bad_pkt = pkt + 1, pkt + 2
+        execution.insert(
+            model.packet("s1", self.good_pkt, self.GOOD_SRC, self.SERVICE_DST),
+            mutable=False,
+        )
+        execution.insert(
+            model.packet("s1", self.bad_pkt, self.BAD_SRC, self.SERVICE_DST),
+            mutable=False,
+        )
+        self.good_execution = execution
+        self.bad_execution = execution
+        self.good_event = model.delivered(
+            "web1", self.good_pkt, self.GOOD_SRC, self.SERVICE_DST
+        )
+        self.bad_event = model.delivered(
+            "web2", self.bad_pkt, self.BAD_SRC, self.SERVICE_DST
+        )
+
+
+class SDN2WithController(_ControllerScenario):
+    name = "SDN2-C"
+    description = "SDN2 with the hijacking rule installed by a second app"
+
+    GOOD_SRC = "10.1.1.1"
+    BAD_SRC = "4.3.1.1"
+
+    def build(self) -> None:
+        topo, execution = self._start()
+        execution.insert(
+            policy("webapp", 5, "0.0.0.0/0", "172.16.0.0/24", "web2"),
+            mutable=True,
+        )
+        pkt = self._background(
+            execution, self.params.get("background_packets", 15), seed=29
+        )
+        self.good_pkt = pkt + 1
+        execution.insert(
+            model.packet("s1", self.good_pkt, self.GOOD_SRC, self.SERVICE_DST),
+            mutable=False,
+        )
+        # The second app deploys its (too broad) scrubbing policy.
+        self.hijack_policy = policy(
+            "secapp", 10, "4.3.0.0/16", "0.0.0.0/0", "scrubber"
+        )
+        execution.insert(self.hijack_policy, mutable=True)
+        self.bad_pkt = self.good_pkt + 1
+        execution.insert(
+            model.packet("s1", self.bad_pkt, self.BAD_SRC, self.SERVICE_DST),
+            mutable=False,
+        )
+        self.good_execution = execution
+        self.bad_execution = execution
+        self.good_event = model.delivered(
+            "web2", self.good_pkt, self.GOOD_SRC, self.SERVICE_DST
+        )
+        self.bad_event = model.delivered(
+            "scrubber", self.bad_pkt, self.BAD_SRC, self.SERVICE_DST
+        )

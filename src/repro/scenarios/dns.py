@@ -1,0 +1,127 @@
+"""DNS partial failure: stale records on some replicas (Section 2.4).
+
+The most prevalent problem class in the paper's Outages survey is the
+partial failure, and its flagship example is DNS: "a batch of DNS
+servers contained expired entries, while records on other servers were
+up to date".  This scenario models a zone served by several replicas
+that load their records from zone transfers; two replicas are stuck on
+an old zone serial, so they answer queries with the outdated address.
+
+The reference event is a query answered correctly by an up-to-date
+replica — the "different system or service that coexists with the
+malfunctioning system" strategy.  DiffProv's diagnosis is the stale
+replica's zone-transfer state: ``transferred(ns-a, zone, 1) ->
+transferred(ns-a, zone, 2)``.
+
+This scenario also demonstrates that nothing in the debugger is
+SDN-specific: the same algorithm runs over any NDlog-modelled system.
+"""
+
+from __future__ import annotations
+
+from ..addresses import IPv4Address
+from ..datalog.parser import parse_program
+from ..datalog.tuples import Tuple
+from ..replay.execution import Execution
+from .base import Scenario
+
+__all__ = ["DNSStaleReplica", "dns_program", "DNS_PROGRAM_TEXT"]
+
+DNS_PROGRAM_TEXT = """
+// A query arriving at a replica (immutable: clients are not ours).
+table query(Srv, QId, Name) event immutable.
+// The publisher's zone content, versioned by serial (immutable data).
+table zoneRecord(Zone, Serial, Name, Addr) immutable.
+// Which serial each replica has transferred (mutable operator state).
+table transferred(Srv, Zone, Serial) mutable.
+// Records a replica can serve, and the answers it gives.
+table served(Srv, Name, Addr, Serial).
+table response(Srv, QId, Name, Addr).
+
+load served(Srv, Name, Addr, Serial) :- transferred(Srv, Zone, Serial),
+    zoneRecord(Zone, Serial, Name, Addr).
+
+// A replica answers from the freshest record it has for the name.
+answer response(Srv, QId, Name, Addr) :- query(Srv, QId, Name),
+    served(Srv, Name, Addr, Serial) argmax<Serial>.
+"""
+
+ZONE = "example.com"
+OLD_ADDR = "198.51.100.10"
+NEW_ADDR = "203.0.113.10"
+
+
+def dns_program():
+    """A fresh copy of the DNS replica program."""
+    return parse_program(DNS_PROGRAM_TEXT)
+
+
+def zone_record(serial: int, name: str, addr) -> Tuple:
+    return Tuple("zoneRecord", [ZONE, serial, name, IPv4Address(addr)])
+
+
+def transferred(server: str, serial: int) -> Tuple:
+    return Tuple("transferred", [server, ZONE, serial])
+
+
+def query(server: str, query_id: int, name: str) -> Tuple:
+    return Tuple("query", [server, query_id, name])
+
+
+def response(server: str, query_id: int, name: str, addr) -> Tuple:
+    return Tuple("response", [server, query_id, name, IPv4Address(addr)])
+
+
+class DNSStaleReplica(Scenario):
+    name = "DNS"
+    description = "Stale zone transfers on some replicas (partial failure)"
+
+    STALE_SERVERS = ("ns-a", "ns-b")
+    FRESH_SERVER = "ns-c"
+    NAME = "www"
+
+    def build(self) -> None:
+        queries = self.params.get("background_queries", 12)
+        self.program = dns_program()
+        execution = Execution(self.program, name="dns")
+
+        # Zone content: serial 1 is the old publication, serial 2 the
+        # current one (www moved to a new address).
+        for serial, addr in ((1, OLD_ADDR), (2, NEW_ADDR)):
+            execution.insert(zone_record(serial, self.NAME, addr), mutable=False)
+            execution.insert(
+                zone_record(serial, "mail", "192.0.2.25"), mutable=False
+            )
+        # ns-a and ns-b are stuck on serial 1; ns-c transferred serial 2.
+        for server in self.STALE_SERVERS:
+            execution.insert(transferred(server, 1), mutable=True)
+        execution.insert(transferred(self.FRESH_SERVER, 2), mutable=True)
+
+        # Background queries against all replicas.
+        servers = (*self.STALE_SERVERS, self.FRESH_SERVER)
+        query_id = 0
+        for index in range(queries):
+            query_id += 1
+            execution.insert(
+                query(servers[index % 3], query_id, "mail"), mutable=False
+            )
+        # The two observations the operator compares.
+        query_id += 1
+        self.good_query = query_id
+        execution.insert(
+            query(self.FRESH_SERVER, query_id, self.NAME), mutable=False
+        )
+        query_id += 1
+        self.bad_query = query_id
+        execution.insert(
+            query(self.STALE_SERVERS[0], query_id, self.NAME), mutable=False
+        )
+
+        self.good_execution = execution
+        self.bad_execution = execution
+        self.good_event = response(
+            self.FRESH_SERVER, self.good_query, self.NAME, NEW_ADDR
+        )
+        self.bad_event = response(
+            self.STALE_SERVERS[0], self.bad_query, self.NAME, OLD_ADDR
+        )

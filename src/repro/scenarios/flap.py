@@ -1,0 +1,108 @@
+"""Intermittent failure: a flapping route (Section 2.4's third class).
+
+"The rest were intermittent failures, where a service was experiencing
+instability but was not rendered completely useless.  For instance, one
+post said that diagnostic queries sometimes succeeded, sometimes failed
+silently, and sometimes took an extremely long time."  The paper's
+introduction gives the canonical networking cause: a route that flaps,
+e.g. a BGP "disagree gadget".
+
+Here a primary route entry is repeatedly withdrawn and re-announced
+while probes flow through the network.  Probes during up-phases reach
+the service (any of them can serve as the reference); probes during
+down-phases fall to a backup route and land on a sorry-server.  The
+temporal provenance graph keeps one EXIST interval per up-phase, so
+both kinds of events remain explainable, and DiffProv's diagnosis is
+the withdrawn route itself — re-announced just before the failed probe.
+"""
+
+from __future__ import annotations
+
+from ..addresses import Prefix
+from ..replay.execution import Execution
+from ..sdn import model
+from ..sdn.topology import Topology
+from .base import Scenario
+
+__all__ = ["FlappingRoute"]
+
+
+class FlappingRoute(Scenario):
+    name = "FLAP"
+    description = "A route flaps; probes intermittently reach a sorry-server"
+
+    PROBE_SRC = "10.0.0.5"
+    SERVICE_DST = "172.16.5.80"
+
+    def build(self) -> None:
+        flaps = self.params.get("flaps", 3)
+        probes_per_phase = self.params.get("probes_per_phase", 2)
+
+        topo = Topology("flap")
+        for name in ("edge", "core"):
+            topo.add_switch(name)
+        topo.add_host("service", self.SERVICE_DST)
+        topo.add_host("sorry", "172.16.5.99")
+        topo.add_link("edge", "core")
+        topo.add_link("core", "service")
+        topo.add_link("core", "sorry")
+        self.topology = topo
+
+        self.program = model.sdn_program()
+        execution = Execution(self.program, name="flap")
+        for tup in topo.wiring_tuples():
+            execution.insert(tup, mutable=False)
+        any_pfx = Prefix("0.0.0.0/0")
+        primary = model.flow_entry(
+            "core", 10, any_pfx, Prefix("172.16.5.80/32"), topo.port("core", "service")
+        )
+        self.primary_route = primary
+        for entry in (
+            model.flow_entry("edge", 1, any_pfx, any_pfx, topo.port("edge", "core")),
+            primary,
+            # The backup that catches traffic while the route is down.
+            model.flow_entry("core", 1, any_pfx, any_pfx, topo.port("core", "sorry")),
+        ):
+            execution.insert(entry, mutable=True)
+
+        pkt = 0
+        self.up_probes = []
+        self.down_probes = []
+        for _ in range(flaps):
+            # Up phase: probes reach the service.
+            for _ in range(probes_per_phase):
+                pkt += 1
+                self.up_probes.append(pkt)
+                execution.insert(
+                    model.packet("edge", pkt, self.PROBE_SRC, self.SERVICE_DST),
+                    mutable=False,
+                )
+            # The route flaps down ...
+            execution.delete(primary)
+            for _ in range(probes_per_phase):
+                pkt += 1
+                self.down_probes.append(pkt)
+                execution.insert(
+                    model.packet("edge", pkt, self.PROBE_SRC, self.SERVICE_DST),
+                    mutable=False,
+                )
+            # ... and comes back.
+            execution.insert(primary, mutable=True)
+        # One final down-phase so the failure is current.
+        execution.delete(primary)
+        pkt += 1
+        self.down_probes.append(pkt)
+        execution.insert(
+            model.packet("edge", pkt, self.PROBE_SRC, self.SERVICE_DST),
+            mutable=False,
+        )
+
+        self.good_execution = execution
+        self.bad_execution = execution
+        # Reference: the last successful probe; problem: the last failed one.
+        self.good_event = model.delivered(
+            "service", self.up_probes[-1], self.PROBE_SRC, self.SERVICE_DST
+        )
+        self.bad_event = model.delivered(
+            "sorry", self.down_probes[-1], self.PROBE_SRC, self.SERVICE_DST
+        )

@@ -1,0 +1,197 @@
+"""The MapReduce scenarios (MR1 and MR2, declarative and imperative).
+
+- **MR1** (configuration change): the user accidentally changed the
+  number of reducers, so almost every word lands on a different reducer
+  than in the reference job.  Root cause: ``mapreduce.job.reduces``.
+- **MR2** (code change): a newly deployed mapper omits the first word
+  of each line, so counts differ.  Root cause: the mapper code version,
+  identified by its bytecode signature.
+
+Each bug is evaluated against a declarative NDlog model (``-D``,
+provenance inferred by the engine) and the instrumented imperative
+runtime (``-I``, provenance reported by hooks).
+"""
+
+from __future__ import annotations
+
+from ..datalog.builtins import call as builtin_call
+from ..errors import ReproError
+from ..mapreduce import declarative
+from ..mapreduce.config import REDUCES_KEY, JobConfig
+from ..mapreduce.corpus import first_word_counts, generate_corpus, word_counts
+from ..mapreduce.hdfs import HDFS
+from ..mapreduce.job import ImperativeMapReduceExecution
+from ..mapreduce.wordcount import (
+    BUGGY_MAPPER,
+    CORRECT_MAPPER,
+    mapper_checksum,
+)
+from ..replay.execution import Execution
+from .base import Scenario
+
+__all__ = [
+    "MR1DeclarativeConfigChange",
+    "MR2DeclarativeCodeChange",
+    "MR1ImperativeConfigChange",
+    "MR2ImperativeCodeChange",
+]
+
+INPUT_PATH = "/corpus/input.txt"
+GOOD_JOB = "job-ref"
+BAD_JOB = "job-buggy"
+
+
+def _pick_query_word(text: str, good_reduces: int, bad_reduces: int) -> str:
+    """A frequent word whose output record visibly shows the bug.
+
+    For MR2 the word must open some line (so the buggy mapper changes
+    its count); for MR1 its partition must move between the reference
+    and the changed reducer count (the paper's "almost all words end up
+    at a different reducer").
+    """
+    counts = word_counts(text)
+    first = first_word_counts(text)
+    candidates = [w for w in first if counts[w] >= 5]
+    if good_reduces != bad_reduces:
+        candidates = [
+            w
+            for w in candidates
+            if builtin_call("hash_mod", [w, good_reduces])
+            != builtin_call("hash_mod", [w, bad_reduces])
+        ]
+    if not candidates:
+        raise ReproError("corpus has no suitable query word")
+    return max(candidates, key=lambda w: (counts[w], w))
+
+
+class _MRScenarioBase(Scenario):
+    """Shared corpus construction and event selection."""
+
+    def _make_corpus(self) -> str:
+        lines = self.params.get("corpus_lines", 40)
+        words_per_line = self.params.get("words_per_line", 8)
+        return generate_corpus(lines=lines, words_per_line=words_per_line)
+
+    def _events_for(
+        self,
+        text: str,
+        good_reduces: int,
+        bad_reduces: int,
+        bad_mapper: str,
+    ) -> None:
+        """Compute the good/bad output records to query."""
+        word = _pick_query_word(text, good_reduces, bad_reduces)
+        self.query_word = word
+        counts = word_counts(text)
+        good_count = counts[word]
+        if bad_mapper == CORRECT_MAPPER:
+            bad_count = good_count
+        else:
+            bad_count = good_count - first_word_counts(text).get(word, 0)
+        good_reducer = builtin_call("hash_mod", [word, good_reduces])
+        bad_reducer = builtin_call("hash_mod", [word, bad_reduces])
+        self.good_event = declarative.wordcount_output(
+            good_reducer, GOOD_JOB, word, good_count
+        )
+        self.bad_event = declarative.wordcount_output(
+            bad_reducer, BAD_JOB, word, bad_count
+        )
+
+
+class _DeclarativeMRScenario(_MRScenarioBase):
+    """Runs both jobs on the NDlog engine (inferred provenance)."""
+
+    good_reduces = 2
+    bad_reduces = 2
+    bad_mapper = CORRECT_MAPPER
+
+    def build(self) -> None:
+        text = self._make_corpus()
+        hdfs = HDFS()
+        stored = hdfs.write(INPUT_PATH, text)
+        self.hdfs = hdfs
+        self.program = declarative.mapreduce_program()
+        self.good_execution = self._run_job(
+            GOOD_JOB, stored, self.good_reduces, CORRECT_MAPPER
+        )
+        self.bad_execution = self._run_job(
+            BAD_JOB, stored, self.bad_reduces, self.bad_mapper
+        )
+        self._events_for(
+            text, self.good_reduces, self.bad_reduces, self.bad_mapper
+        )
+
+    def _run_job(self, job_id, stored, reduces, mapper_version) -> Execution:
+        execution = Execution(self.program, name=f"{self.name}:{job_id}")
+        config = JobConfig({REDUCES_KEY: reduces})
+        for key, value in config.items():
+            execution.insert(
+                declarative.job_config_tuple(key, value), mutable=True
+            )
+        execution.insert(
+            declarative.mapper_code(
+                mapper_version, mapper_checksum(mapper_version)
+            ),
+            mutable=True,
+        )
+        for tup in declarative.load_words(stored):
+            execution.insert(tup, mutable=False)
+        execution.insert(declarative.job_run(job_id, stored.path), mutable=False)
+        execution.barrier()
+        return execution
+
+
+class _ImperativeMRScenario(_MRScenarioBase):
+    """Runs both jobs on the instrumented runtime (reported provenance)."""
+
+    good_reduces = 2
+    bad_reduces = 2
+    bad_mapper = CORRECT_MAPPER
+
+    def build(self) -> None:
+        text = self._make_corpus()
+        hdfs = HDFS()
+        stored = hdfs.write(INPUT_PATH, text)
+        self.hdfs = hdfs
+        self.program = declarative.mapreduce_program()
+        self.good_execution = ImperativeMapReduceExecution(
+            GOOD_JOB,
+            hdfs,
+            stored.path,
+            JobConfig({REDUCES_KEY: self.good_reduces}),
+            CORRECT_MAPPER,
+        )
+        self.bad_execution = ImperativeMapReduceExecution(
+            BAD_JOB,
+            hdfs,
+            stored.path,
+            JobConfig({REDUCES_KEY: self.bad_reduces}),
+            self.bad_mapper,
+        )
+        self._events_for(
+            text, self.good_reduces, self.bad_reduces, self.bad_mapper
+        )
+
+
+class MR1DeclarativeConfigChange(_DeclarativeMRScenario):
+    name = "MR1-D"
+    description = "Reducer count changed accidentally (declarative model)"
+    bad_reduces = 4
+
+
+class MR2DeclarativeCodeChange(_DeclarativeMRScenario):
+    name = "MR2-D"
+    description = "Buggy mapper drops first word of each line (declarative)"
+    bad_mapper = BUGGY_MAPPER
+
+
+class MR1ImperativeConfigChange(_ImperativeMRScenario):
+    name = "MR1-I"
+    description = "Reducer count changed accidentally (instrumented Hadoop)"
+    bad_reduces = 4
+
+
+class MR2ImperativeCodeChange(_ImperativeMRScenario):
+    name = "MR2-I"
+    description = "Buggy mapper drops first word of each line (instrumented)"
+    bad_mapper = BUGGY_MAPPER

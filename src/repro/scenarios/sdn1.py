@@ -1,0 +1,142 @@
+"""SDN1: broken (overly specific) flow entry — the paper's Section 2
+running example.
+
+The operator wants web server #2 to handle most HTTP requests, but
+requests from the untrusted subnet 4.3.2.0/23 must go to web server #1,
+which is co-located with a DPI device fed by mirrored traffic from S6.
+She configures S2 with a specific rule R1 for the untrusted subnet and
+a general rule R2 for everything else — but writes the subnet as
+4.3.2.0/24 instead of /23.  Requests from 4.3.2.1 still reach server #1
+(the good event); requests from 4.3.3.1 fall through to R2 and arrive
+at server #2 (the bad event).
+"""
+
+from __future__ import annotations
+
+from ..addresses import Prefix
+from ..replay.execution import Execution
+from ..sdn import model
+from ..sdn.topology import Topology
+from ..sdn.traces import TraceConfig, synthetic_trace
+from .base import Scenario
+
+__all__ = ["SDN1BrokenFlowEntry"]
+
+MIRROR_GROUP = -1
+
+
+def figure1_topology() -> Topology:
+    """The six-switch network of Figure 1."""
+    topo = Topology("figure1")
+    for name in ("s1", "s2", "s3", "s4", "s5", "s6"):
+        topo.add_switch(name)
+    topo.add_host("web1", "172.16.0.1")
+    topo.add_host("web2", "172.16.0.2")
+    topo.add_host("dpi", "172.16.0.9")
+    topo.add_link("s1", "s2")
+    topo.add_link("s2", "s3")
+    topo.add_link("s3", "s4")
+    topo.add_link("s4", "s5")
+    topo.add_link("s2", "s6")
+    topo.add_link("s5", "web2")
+    topo.add_link("s6", "web1")
+    topo.add_link("s6", "dpi")
+    return topo
+
+
+def install_figure1_config(
+    execution: Execution, topo: Topology, untrusted_prefix
+) -> None:
+    """Wiring plus the flow tables of Figure 1.
+
+    ``untrusted_prefix`` is what the operator typed for rule R1 —
+    passing 4.3.2.0/24 injects the fault, 4.3.2.0/23 is the intent.
+    """
+    for tup in topo.wiring_tuples():
+        execution.insert(tup, mutable=False)
+    any_pfx = Prefix("0.0.0.0/0")
+    entries = [
+        # s1: everything towards s2.
+        model.flow_entry("s1", 1, any_pfx, any_pfx, topo.port("s1", "s2")),
+        # s2: R1 (specific, untrusted -> s6) and R2 (general -> s3).
+        model.flow_entry(
+            "s2", 10, Prefix(untrusted_prefix), any_pfx, topo.port("s2", "s6")
+        ),
+        model.flow_entry("s2", 1, any_pfx, any_pfx, topo.port("s2", "s3")),
+        # s3, s4: forward along the chain towards web2.
+        model.flow_entry("s3", 1, any_pfx, any_pfx, topo.port("s3", "s4")),
+        model.flow_entry("s4", 1, any_pfx, any_pfx, topo.port("s4", "s5")),
+        # s5: deliver to web2.
+        model.flow_entry("s5", 1, any_pfx, any_pfx, topo.port("s5", "web2")),
+        # s6: mirror to web1 and the DPI device (a group action).
+        model.flow_entry("s6", 1, any_pfx, any_pfx, MIRROR_GROUP),
+    ]
+    for entry in entries:
+        execution.insert(entry, mutable=True)
+    execution.insert(
+        model.group_entry("s6", MIRROR_GROUP, topo.port("s6", "web1")),
+        mutable=True,
+    )
+    execution.insert(
+        model.group_entry("s6", MIRROR_GROUP, topo.port("s6", "dpi")),
+        mutable=True,
+    )
+
+
+class SDN1BrokenFlowEntry(Scenario):
+    name = "SDN1"
+    description = "Broken flow entry: overly specific untrusted-subnet rule"
+
+    GOOD_SRC = "4.3.2.1"
+    BAD_SRC = "4.3.3.1"
+    SERVICE_DST = "172.16.0.80"
+
+    def build(self) -> None:
+        background = self.params.get("background_packets", 30)
+        self.topology = figure1_topology()
+        self.program = model.sdn_program()
+        execution = Execution(self.program, name="sdn1")
+        install_figure1_config(
+            execution, self.topology, untrusted_prefix="4.3.2.0/24"
+        )
+
+        pkt_id = 0
+        # Background traffic from trusted subnets (replayed trace load).
+        trace = synthetic_trace(
+            TraceConfig(
+                count=background,
+                src_prefixes=("10.0.0.0/8", "192.168.0.0/16"),
+                dst_prefixes=("172.16.0.0/24",),
+                seed=7,
+            )
+        )
+        for trace_packet in trace:
+            pkt_id += 1
+            execution.insert(
+                model.packet("s1", pkt_id, trace_packet.src, trace_packet.dst),
+                mutable=False,
+                size=None,
+            )
+        # The good packet: from 4.3.2.1, matches R1, reaches web1.
+        pkt_id += 1
+        self.good_pkt = pkt_id
+        execution.insert(
+            model.packet("s1", pkt_id, self.GOOD_SRC, self.SERVICE_DST),
+            mutable=False,
+        )
+        # The bad packet: from 4.3.3.1, misses R1, lands on web2.
+        pkt_id += 1
+        self.bad_pkt = pkt_id
+        execution.insert(
+            model.packet("s1", pkt_id, self.BAD_SRC, self.SERVICE_DST),
+            mutable=False,
+        )
+
+        self.good_execution = execution
+        self.bad_execution = execution
+        self.good_event = model.delivered(
+            "web1", self.good_pkt, self.GOOD_SRC, self.SERVICE_DST
+        )
+        self.bad_event = model.delivered(
+            "web2", self.bad_pkt, self.BAD_SRC, self.SERVICE_DST
+        )

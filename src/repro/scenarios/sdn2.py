@@ -1,0 +1,105 @@
+"""SDN2: multi-controller inconsistency.
+
+Two controller apps that are unaware of each other configure the same
+switch.  App A (prio 5) sends web traffic to the web server; app B
+(prio 10, a security app) sends traffic from a suspicious source range
+to a scrubber.  B's header space is too broad and overlaps legitimate
+traffic, so some of it is hijacked to the scrubber.  The good event is
+a legitimate request outside the overlap; the bad event is a
+legitimate request inside it.
+"""
+
+from __future__ import annotations
+
+from ..addresses import Prefix
+from ..replay.execution import Execution
+from ..sdn import model
+from ..sdn.topology import Topology
+from ..sdn.traces import TraceConfig, synthetic_trace
+from .base import Scenario
+
+__all__ = ["SDN2MultiControllerInconsistency"]
+
+
+class SDN2MultiControllerInconsistency(Scenario):
+    name = "SDN2"
+    description = "Two controller apps install conflicting, overlapping rules"
+
+    GOOD_SRC = "10.1.1.1"
+    BAD_SRC = "4.3.1.1"  # legitimate, but inside app B's too-broad range
+    SERVICE_DST = "172.16.0.80"
+
+    def build(self) -> None:
+        background = self.params.get("background_packets", 30)
+        topo = Topology("sdn2")
+        for name in ("s1", "s2", "s3"):
+            topo.add_switch(name)
+        topo.add_host("web", "172.16.0.80")
+        topo.add_host("scrubber", "172.16.0.99")
+        topo.add_link("s1", "s2")
+        topo.add_link("s2", "s3")
+        topo.add_link("s3", "web")
+        topo.add_link("s2", "scrubber")
+        self.topology = topo
+
+        self.program = model.sdn_program()
+        execution = Execution(self.program, name="sdn2")
+        for tup in topo.wiring_tuples():
+            execution.insert(tup, mutable=False)
+        any_pfx = Prefix("0.0.0.0/0")
+        entries = [
+            model.flow_entry("s1", 1, any_pfx, any_pfx, topo.port("s1", "s2")),
+            # App A: web traffic towards the web server.
+            model.flow_entry(
+                "s2", 5, any_pfx, Prefix("172.16.0.0/24"), topo.port("s2", "s3")
+            ),
+            # App B: overly broad suspicious range -> scrubber (the fault:
+            # 4.3.0.0/16 also covers legitimate sources like 4.3.1.1).
+            model.flow_entry(
+                "s2",
+                10,
+                Prefix("4.3.0.0/16"),
+                any_pfx,
+                topo.port("s2", "scrubber"),
+            ),
+            model.flow_entry("s3", 1, any_pfx, any_pfx, topo.port("s3", "web")),
+        ]
+        for entry in entries:
+            execution.insert(entry, mutable=True)
+
+        pkt_id = 0
+        trace = synthetic_trace(
+            TraceConfig(
+                count=background,
+                src_prefixes=("10.0.0.0/8",),
+                dst_prefixes=("172.16.0.0/24",),
+                seed=11,
+            )
+        )
+        for trace_packet in trace:
+            pkt_id += 1
+            execution.insert(
+                model.packet("s1", pkt_id, trace_packet.src, trace_packet.dst),
+                mutable=False,
+            )
+        pkt_id += 1
+        self.good_pkt = pkt_id
+        execution.insert(
+            model.packet("s1", pkt_id, self.GOOD_SRC, self.SERVICE_DST),
+            mutable=False,
+        )
+        pkt_id += 1
+        self.bad_pkt = pkt_id
+        execution.insert(
+            model.packet("s1", pkt_id, self.BAD_SRC, self.SERVICE_DST),
+            mutable=False,
+        )
+
+        self.good_execution = execution
+        self.bad_execution = execution
+        self.good_event = model.delivered(
+            "web", self.good_pkt, self.GOOD_SRC, self.SERVICE_DST
+        )
+        self.bad_event = model.delivered(
+            "scrubber", self.bad_pkt, self.BAD_SRC, self.SERVICE_DST
+        )

@@ -1,0 +1,97 @@
+"""SDN3: unexpected rule expiration.
+
+A multicast rule streams video to two subscriber hosts via a group
+action.  When the rule expires, the traffic falls through to a
+lower-priority unicast rule and is delivered to a wrong host.  The good
+example is a packet observed *in the past*, before the expiration —
+which is exactly what the temporal provenance graph can still explain
+(Section 3.2).
+"""
+
+from __future__ import annotations
+
+from ..addresses import Prefix
+from ..replay.execution import Execution
+from ..sdn import model
+from ..sdn.topology import Topology
+from .base import Scenario
+
+__all__ = ["SDN3UnexpectedRuleExpiration"]
+
+VIDEO_GROUP = -2
+
+
+class SDN3UnexpectedRuleExpiration(Scenario):
+    name = "SDN3"
+    description = "Multicast rule expires; traffic falls to a unicast rule"
+
+    STREAM_SRC = "10.9.9.9"
+    MULTICAST_DST = "239.0.0.1"
+
+    def build(self) -> None:
+        background = self.params.get("background_packets", 20)
+        topo = Topology("sdn3")
+        for name in ("s1", "s2"):
+            topo.add_switch(name)
+        topo.add_host("sub1", "172.16.1.1")
+        topo.add_host("sub2", "172.16.1.2")
+        topo.add_host("other", "172.16.1.3")
+        topo.add_link("s1", "s2")
+        topo.add_link("s2", "sub1")
+        topo.add_link("s2", "sub2")
+        topo.add_link("s2", "other")
+        self.topology = topo
+
+        self.program = model.sdn_program()
+        execution = Execution(self.program, name="sdn3")
+        for tup in topo.wiring_tuples():
+            execution.insert(tup, mutable=False)
+        any_pfx = Prefix("0.0.0.0/0")
+        multicast_entry = model.flow_entry(
+            "s2", 10, any_pfx, Prefix("239.0.0.1/32"), VIDEO_GROUP
+        )
+        entries = [
+            model.flow_entry("s1", 1, any_pfx, any_pfx, topo.port("s1", "s2")),
+            multicast_entry,
+            # The lower-priority rule that takes over after expiration.
+            model.flow_entry("s2", 1, any_pfx, any_pfx, topo.port("s2", "other")),
+        ]
+        for entry in entries:
+            execution.insert(entry, mutable=True)
+        execution.insert(
+            model.group_entry("s2", VIDEO_GROUP, topo.port("s2", "sub1")),
+            mutable=True,
+        )
+        execution.insert(
+            model.group_entry("s2", VIDEO_GROUP, topo.port("s2", "sub2")),
+            mutable=True,
+        )
+
+        pkt_id = 0
+        # Video packets while the multicast rule is alive (the good past).
+        for _ in range(max(1, background // 2)):
+            pkt_id += 1
+            execution.insert(
+                model.packet("s1", pkt_id, self.STREAM_SRC, self.MULTICAST_DST),
+                mutable=False,
+            )
+        self.good_pkt = pkt_id
+        # The rule expires (modelled as a deletion, Section 3.1).
+        execution.delete(multicast_entry)
+        # Video packets after the expiration: delivered to the wrong host.
+        for _ in range(max(1, background - background // 2)):
+            pkt_id += 1
+            execution.insert(
+                model.packet("s1", pkt_id, self.STREAM_SRC, self.MULTICAST_DST),
+                mutable=False,
+            )
+        self.bad_pkt = pkt_id
+
+        self.good_execution = execution
+        self.bad_execution = execution
+        self.good_event = model.delivered(
+            "sub1", self.good_pkt, self.STREAM_SRC, self.MULTICAST_DST
+        )
+        self.bad_event = model.delivered(
+            "other", self.bad_pkt, self.STREAM_SRC, self.MULTICAST_DST
+        )

@@ -1,0 +1,120 @@
+"""SDN4: multiple faulty entries on consecutive hops.
+
+SDN1 extended with a larger topology and *two* overly specific flow
+entries, on S2 and S3.  Fixing the first fault lets the packet travel
+one hop further before the second fault misroutes it again, so DiffProv
+needs two roll-back/roll-forward rounds, each pinpointing one entry
+(the ``1/1`` column of Table 1).
+"""
+
+from __future__ import annotations
+
+from ..addresses import Prefix
+from ..replay.execution import Execution
+from ..sdn import model
+from ..sdn.topology import Topology
+from ..sdn.traces import TraceConfig, synthetic_trace
+from .base import Scenario
+
+__all__ = ["SDN4MultipleFaultyEntries"]
+
+MIRROR_GROUP = -1
+
+
+class SDN4MultipleFaultyEntries(Scenario):
+    name = "SDN4"
+    description = "Two overly specific entries on consecutive hops (S2, S3)"
+
+    GOOD_SRC = "4.3.2.1"
+    BAD_SRC = "4.3.3.1"
+    SERVICE_DST = "172.16.0.80"
+
+    def build(self) -> None:
+        background = self.params.get("background_packets", 30)
+        topo = Topology("sdn4")
+        for name in ("s1", "s2", "s3", "s4", "s5", "s6", "s7", "s8"):
+            topo.add_switch(name)
+        topo.add_host("web1", "172.16.0.1")
+        topo.add_host("web2", "172.16.0.2")
+        topo.add_host("dpi", "172.16.0.9")
+        # Untrusted path: s1 - s2 - s3 - s8 (web1 + dpi).
+        topo.add_link("s1", "s2")
+        topo.add_link("s2", "s3")
+        topo.add_link("s3", "s8")
+        topo.add_link("s8", "web1")
+        topo.add_link("s8", "dpi")
+        # General path: s2 - s4 - s5 - s6 - s7 (web2), plus the detour
+        # taken when the *second* fault misroutes at s3 (s3 - s5).
+        topo.add_link("s2", "s4")
+        topo.add_link("s4", "s5")
+        topo.add_link("s5", "s6")
+        topo.add_link("s6", "s7")
+        topo.add_link("s7", "web2")
+        topo.add_link("s3", "s5")
+        self.topology = topo
+
+        self.program = model.sdn_program()
+        execution = Execution(self.program, name="sdn4")
+        for tup in topo.wiring_tuples():
+            execution.insert(tup, mutable=False)
+        any_pfx = Prefix("0.0.0.0/0")
+        broken = Prefix("4.3.2.0/24")  # should be 4.3.2.0/23, twice
+        entries = [
+            model.flow_entry("s1", 1, any_pfx, any_pfx, topo.port("s1", "s2")),
+            model.flow_entry("s2", 10, broken, any_pfx, topo.port("s2", "s3")),
+            model.flow_entry("s2", 1, any_pfx, any_pfx, topo.port("s2", "s4")),
+            model.flow_entry("s3", 10, broken, any_pfx, topo.port("s3", "s8")),
+            model.flow_entry("s3", 1, any_pfx, any_pfx, topo.port("s3", "s5")),
+            model.flow_entry("s4", 1, any_pfx, any_pfx, topo.port("s4", "s5")),
+            model.flow_entry("s5", 1, any_pfx, any_pfx, topo.port("s5", "s6")),
+            model.flow_entry("s6", 1, any_pfx, any_pfx, topo.port("s6", "s7")),
+            model.flow_entry("s7", 1, any_pfx, any_pfx, topo.port("s7", "web2")),
+            model.flow_entry("s8", 1, any_pfx, any_pfx, MIRROR_GROUP),
+        ]
+        for entry in entries:
+            execution.insert(entry, mutable=True)
+        execution.insert(
+            model.group_entry("s8", MIRROR_GROUP, topo.port("s8", "web1")),
+            mutable=True,
+        )
+        execution.insert(
+            model.group_entry("s8", MIRROR_GROUP, topo.port("s8", "dpi")),
+            mutable=True,
+        )
+
+        pkt_id = 0
+        trace = synthetic_trace(
+            TraceConfig(
+                count=background,
+                src_prefixes=("10.0.0.0/8",),
+                dst_prefixes=("172.16.0.0/24",),
+                seed=13,
+            )
+        )
+        for trace_packet in trace:
+            pkt_id += 1
+            execution.insert(
+                model.packet("s1", pkt_id, trace_packet.src, trace_packet.dst),
+                mutable=False,
+            )
+        pkt_id += 1
+        self.good_pkt = pkt_id
+        execution.insert(
+            model.packet("s1", pkt_id, self.GOOD_SRC, self.SERVICE_DST),
+            mutable=False,
+        )
+        pkt_id += 1
+        self.bad_pkt = pkt_id
+        execution.insert(
+            model.packet("s1", pkt_id, self.BAD_SRC, self.SERVICE_DST),
+            mutable=False,
+        )
+
+        self.good_execution = execution
+        self.bad_execution = execution
+        self.good_event = model.delivered(
+            "web1", self.good_pkt, self.GOOD_SRC, self.SERVICE_DST
+        )
+        self.bad_event = model.delivered(
+            "web2", self.bad_pkt, self.BAD_SRC, self.SERVICE_DST
+        )

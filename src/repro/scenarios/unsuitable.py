@@ -1,0 +1,199 @@
+"""The unsuitable-reference study of Section 6.3.
+
+The paper issues ten diagnostic queries in the SDN1 and MR1-D scenarios
+with randomly picked reference events (filtering out events known to be
+suitable) and observes that DiffProv fails with a typed error in every
+case: three because the reference's seed has a different *type* than
+the event of interest, seven because aligning the trees would require
+changing *immutable* tuples — e.g. the reference lives in a network
+with different wiring, or a reference job consumed a different input
+file ("another administrative domain").
+
+This module reproduces the study: it builds the two scenarios plus a
+differently-wired network and a different-input job to draw unsuitable
+references from, runs the queries, and reports the failure taxonomy.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Optional
+
+from ..addresses import Prefix
+from ..core.diffprov import DiffProv
+from ..datalog.tuples import Tuple
+from ..mapreduce import declarative
+from ..mapreduce.config import REDUCES_KEY, JobConfig
+from ..mapreduce.corpus import generate_corpus
+from ..mapreduce.hdfs import HDFS
+from ..mapreduce.wordcount import CORRECT_MAPPER, mapper_checksum
+from ..replay.execution import Execution
+from ..sdn import model
+from ..sdn.topology import Topology
+from .mr import MR1DeclarativeConfigChange
+from .sdn1 import SDN1BrokenFlowEntry
+
+__all__ = ["UnsuitableQuery", "UnsuitableReferenceStudy"]
+
+
+class UnsuitableQuery:
+    """One query with a deliberately unsuitable reference event."""
+
+    __slots__ = ("scenario", "reference", "category", "message", "success")
+
+    def __init__(self, scenario, reference, category, message, success):
+        self.scenario = scenario
+        self.reference = reference
+        self.category = category
+        self.message = message
+        self.success = success
+
+    def __repr__(self):
+        return f"UnsuitableQuery({self.scenario}, {self.category})"
+
+
+class UnsuitableReferenceStudy:
+    """Reproduces the ten unsuitable-reference queries of Section 6.3."""
+
+    def __init__(self, seed: int = 1, background_packets: int = 8, corpus_lines: int = 16):
+        self.rng = random.Random(seed)
+        self.sdn = SDN1BrokenFlowEntry(background_packets=background_packets).setup()
+        self.mr = MR1DeclarativeConfigChange(corpus_lines=corpus_lines).setup()
+        self._foreign_network: Optional[Execution] = None
+        self._foreign_event: Optional[Tuple] = None
+        self._foreign_job: Optional[Execution] = None
+        self._foreign_job_event: Optional[Tuple] = None
+
+    # -- reference pools -----------------------------------------------------
+
+    def type_mismatch_references(self, count: int) -> List[tuple]:
+        """References whose provenance seed is not a packet/job event.
+
+        Drawn from configuration/wiring tuples of the same executions —
+        e.g. comparing a misrouted packet against a flow entry.
+        """
+        sdn_pool = [
+            t
+            for table in ("flowEntry", "link", "hostAt", "groupEntry")
+            for t in self.sdn.good_execution.engine.lookup(table)
+        ]
+        mr_pool = self.mr.good_execution.engine.lookup("jobConfig")
+        picks = []
+        for index in range(count):
+            if index % 2 == 0 and sdn_pool:
+                picks.append(("SDN1", self.sdn, self.rng.choice(sdn_pool)))
+            else:
+                picks.append(("MR1-D", self.mr, self.rng.choice(mr_pool)))
+        return picks
+
+    def foreign_network_reference(self) -> tuple:
+        """A delivery observed in a network with *different wiring*.
+
+        Aligning against it eventually demands a hostAt/link change,
+        which is immutable — the paper's "reference event occurred in
+        another administrative domain".
+        """
+        if self._foreign_network is None:
+            topo = Topology("foreign")
+            for name in ("s1", "s2", "s3"):
+                topo.add_switch(name)
+            topo.add_host("web1", "172.16.0.1")
+            topo.add_link("s1", "s2")
+            topo.add_link("s2", "s3")
+            topo.add_link("s3", "web1")
+            execution = Execution(self.sdn.program, name="foreign-network")
+            for tup in topo.wiring_tuples():
+                execution.insert(tup, mutable=False)
+            any_pfx = Prefix("0.0.0.0/0")
+            untrusted = Prefix("4.3.2.0/23")
+            for entry in (
+                model.flow_entry("s1", 1, any_pfx, any_pfx, topo.port("s1", "s2")),
+                model.flow_entry("s2", 10, untrusted, any_pfx, topo.port("s2", "s3")),
+                model.flow_entry("s3", 1, any_pfx, any_pfx, topo.port("s3", "web1")),
+            ):
+                execution.insert(entry, mutable=True)
+            execution.insert(
+                model.packet("s1", 9001, "4.3.2.1", "172.16.0.80"), mutable=False
+            )
+            self._foreign_network = execution
+            self._foreign_event = model.delivered(
+                "web1", 9001, "4.3.2.1", "172.16.0.80"
+            )
+        return ("SDN1", self._foreign_network, self._foreign_event, self.sdn)
+
+    def foreign_input_reference(self) -> tuple:
+        """An output record of a job that consumed a *different file*.
+
+        Aligning requires the other file's word occurrences to exist in
+        the bad execution — input data is immutable.
+        """
+        if self._foreign_job is None:
+            hdfs = HDFS()
+            stored = hdfs.write(
+                "/corpus/last-week.txt", generate_corpus(lines=12, seed=99)
+            )
+            execution = Execution(self.mr.program, name="foreign-job")
+            config = JobConfig({REDUCES_KEY: 2})
+            for key, value in config.items():
+                execution.insert(
+                    declarative.job_config_tuple(key, value), mutable=True
+                )
+            execution.insert(
+                declarative.mapper_code(
+                    CORRECT_MAPPER, mapper_checksum(CORRECT_MAPPER)
+                ),
+                mutable=True,
+            )
+            for tup in declarative.load_words(stored):
+                execution.insert(tup, mutable=False)
+            execution.insert(
+                declarative.job_run("job-lastweek", stored.path), mutable=False
+            )
+            execution.barrier()
+            outputs = execution.engine.lookup("output")
+            self._foreign_job = execution
+            self._foreign_job_event = self.rng.choice(outputs)
+        return ("MR1-D", self._foreign_job, self._foreign_job_event, self.mr)
+
+    # -- the study -----------------------------------------------------------
+
+    def run(self, mismatches: int = 3, immutables: int = 7) -> List[UnsuitableQuery]:
+        """Issue the queries; every one must fail with a typed error."""
+        outcomes: List[UnsuitableQuery] = []
+        for name, scenario, reference in self.type_mismatch_references(mismatches):
+            outcomes.append(self._query(name, scenario, scenario, reference))
+        for index in range(immutables):
+            if index % 2 == 0:
+                name, good_exec, event, scenario = self.foreign_network_reference()
+            else:
+                name, good_exec, event, scenario = self.foreign_input_reference()
+            outcomes.append(self._query(name, scenario, good_exec, event))
+        return outcomes
+
+    def _query(self, name, scenario, good_exec_or_scenario, reference) -> UnsuitableQuery:
+        if isinstance(good_exec_or_scenario, Execution):
+            good_execution = good_exec_or_scenario
+        else:
+            good_execution = good_exec_or_scenario.good_execution
+        debugger = DiffProv(scenario.program)
+        report = debugger.diagnose(
+            good_execution,
+            scenario.bad_execution,
+            reference,
+            scenario.bad_event,
+        )
+        return UnsuitableQuery(
+            scenario=name,
+            reference=reference,
+            category=report.failure_category,
+            message=str(report.failure) if report.failure else "",
+            success=report.success,
+        )
+
+    @staticmethod
+    def tally(outcomes: List[UnsuitableQuery]) -> Dict[str, int]:
+        counts: Dict[str, int] = {}
+        for outcome in outcomes:
+            key = outcome.category if not outcome.success else "success"
+            counts[key] = counts.get(key, 0) + 1
+        return counts

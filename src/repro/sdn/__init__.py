@@ -1,0 +1,34 @@
+"""SDN substrate: the declarative OpenFlow model, topologies,
+controllers, trace generators, a NetCore-like policy front-end, and the
+black-box switch emulator used by the complex-network scenario.
+"""
+
+from .model import (
+    SDN_PROGRAM_TEXT,
+    sdn_program,
+    packet,
+    flow_entry,
+    link,
+    host_at,
+    group_entry,
+    delivered,
+)
+from .topology import Topology
+from .controller import Controller, PolicyRule
+from .traces import TraceConfig, synthetic_trace
+
+__all__ = [
+    "SDN_PROGRAM_TEXT",
+    "sdn_program",
+    "packet",
+    "flow_entry",
+    "link",
+    "host_at",
+    "group_entry",
+    "delivered",
+    "Topology",
+    "Controller",
+    "PolicyRule",
+    "TraceConfig",
+    "synthetic_trace",
+]

@@ -1,0 +1,99 @@
+"""A small SDN controller: policies compiled to per-switch flow entries.
+
+The controller plays the role of the paper's controller program: given
+a policy ("traffic from prefix A to prefix B egresses at host H, with
+priority P"), it computes the forwarding path over the topology and
+installs one flow entry per on-path switch.  Scenario faults are
+injected by giving the controller a *wrong* policy (e.g. the overly
+specific ``4.3.2.0/24`` of SDN1) — exactly how the corresponding
+operator mistakes arise in practice.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from ..addresses import Prefix
+from ..datalog.tuples import Tuple
+from ..errors import ReproError
+from . import model
+from .topology import Topology
+
+__all__ = ["PolicyRule", "Controller"]
+
+ANY = Prefix("0.0.0.0/0")
+
+
+class PolicyRule:
+    """One forwarding policy, to be compiled along a path."""
+
+    __slots__ = ("name", "src_pfx", "dst_pfx", "priority", "egress_host", "via")
+
+    def __init__(
+        self,
+        name: str,
+        egress_host: str,
+        priority: int = 1,
+        src_pfx=ANY,
+        dst_pfx=ANY,
+        via: Optional[Sequence[str]] = None,
+    ):
+        self.name = name
+        self.src_pfx = Prefix(src_pfx)
+        self.dst_pfx = Prefix(dst_pfx)
+        self.priority = priority
+        self.egress_host = egress_host
+        self.via = list(via) if via is not None else None
+
+    def __repr__(self):
+        return (
+            f"PolicyRule({self.name!r}, {self.src_pfx}->{self.dst_pfx} "
+            f"=> {self.egress_host}, prio={self.priority})"
+        )
+
+
+class Controller:
+    """Compiles policies to flow entries over a topology."""
+
+    def __init__(self, topology: Topology):
+        self.topology = topology
+
+    def path_for(self, policy: PolicyRule, ingress: str) -> List[str]:
+        """The switch path from ingress to the policy's egress switch."""
+        egress_switch, _ = self.topology.attachment(policy.egress_host)
+        if policy.via:
+            path = [ingress]
+            current = ingress
+            for waypoint in list(policy.via) + [egress_switch]:
+                segment = self.topology.shortest_path(current, waypoint)
+                path.extend(segment[1:])
+                current = waypoint
+            return path
+        return self.topology.shortest_path(ingress, egress_switch)
+
+    def entries_for(self, policy: PolicyRule, ingress: str) -> List[Tuple]:
+        """One flow entry per switch on the policy's path."""
+        path = self.path_for(policy, ingress)
+        for node in path:
+            if not self.topology.is_switch(node):
+                raise ReproError(f"path node {node!r} is not a switch")
+        entries: List[Tuple] = []
+        egress_switch, egress_port = self.topology.attachment(policy.egress_host)
+        for index, switch in enumerate(path):
+            if switch == egress_switch:
+                action = egress_port
+            else:
+                action = self.topology.port(switch, path[index + 1])
+            entries.append(
+                model.flow_entry(
+                    switch, policy.priority, policy.src_pfx, policy.dst_pfx, action
+                )
+            )
+        return entries
+
+    def install(self, execution, policy: PolicyRule, ingress: str) -> List[Tuple]:
+        """Install a policy's entries into a running execution."""
+        entries = self.entries_for(policy, ingress)
+        for entry in entries:
+            execution.insert(entry, mutable=True)
+        return entries

@@ -1,0 +1,84 @@
+"""A declarative SDN controller: flow entries derived from policies.
+
+In the paper's setting the controller program is itself part of the
+provenance: "when applied to a software-defined network, [the
+provenance system] might associate each flow entry with the parts of
+the controller program that were used to compute it" (Section 1).  The
+plain :mod:`repro.sdn.model` treats flow entries as base configuration;
+this module adds the controller layer on top, so entries are *derived*:
+
+    policy(PName, Prio, SrcPfx, DstPfx, Host)   -- operator intent (mutable)
+    nextHop(Sw, Host, Port)                     -- routing substrate (immutable,
+                                                   computed from the wiring)
+    inst flowEntry(...) :- policy(...), nextHop(...)
+
+With this layer, DiffProv's diagnoses land on the *policy* — the
+operator's actual mistake — rather than on the individual entries it
+compiled to: repairing a flow-entry field propagates down through the
+``inst`` rule, and a hijacking entry's removal is traced to the policy
+that derived it.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..addresses import Prefix
+from ..datalog.parser import parse_program
+from ..datalog.rules import Program
+from ..datalog.tuples import Tuple
+from .model import SDN_PROGRAM_TEXT
+from .topology import Topology
+
+__all__ = [
+    "CONTROLLER_PROGRAM_TEXT",
+    "controller_program",
+    "policy",
+    "next_hop",
+    "next_hop_tuples",
+]
+
+CONTROLLER_PROGRAM_TEXT = SDN_PROGRAM_TEXT + """
+// -- the controller layer ----------------------------------------------
+table policy(PName, Prio, SrcPfx, DstPfx, Host) mutable.
+table nextHop(Sw, Host, Port) immutable.
+
+inst flowEntry(Sw, Prio, SrcPfx, DstPfx, Port) :-
+    policy(PName, Prio, SrcPfx, DstPfx, Host),
+    nextHop(Sw, Host, Port).
+"""
+
+
+def controller_program() -> Program:
+    """The SDN program extended with the controller layer."""
+    return parse_program(CONTROLLER_PROGRAM_TEXT)
+
+
+def policy(name: str, priority: int, src_pfx, dst_pfx, host: str) -> Tuple:
+    """One operator policy: route matching traffic towards a host."""
+    return Tuple(
+        "policy", [name, priority, Prefix(src_pfx), Prefix(dst_pfx), host]
+    )
+
+
+def next_hop(switch: str, host: str, port: int) -> Tuple:
+    return Tuple("nextHop", [switch, host, port])
+
+
+def next_hop_tuples(topo: Topology) -> List[Tuple]:
+    """The routing substrate: each switch's port towards each host.
+
+    Computed over shortest paths in the wiring — this is network
+    mechanics, not operator intent, so the tuples are immutable.
+    """
+    tuples: List[Tuple] = []
+    for host in topo.hosts():
+        attach_switch, attach_port = topo.attachment(host)
+        for switch in topo.switches():
+            if switch == attach_switch:
+                tuples.append(next_hop(switch, host, attach_port))
+                continue
+            path = topo.shortest_path(switch, attach_switch)
+            port = topo.port(switch, path[1])
+            tuples.append(next_hop(switch, host, port))
+    return tuples

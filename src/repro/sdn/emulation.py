@@ -1,0 +1,549 @@
+"""Black-box switch emulation with external-specification provenance.
+
+This is the Mininet/Open vSwitch stand-in for the complex-network
+scenario (Section 6.7).  The primary system is a plain packet
+forwarder: switches hold :class:`~repro.sdn.flowtable.FlowTable`\\ s,
+packets hop along links, and every event is captured in a pcap-like
+trace.  The system reports nothing about *why* it forwarded a packet.
+
+Provenance is instead reconstructed by
+:class:`ExternalSpecReconstructor` from (a) the captured traces, (b)
+the switch configurations, and (c) an external specification of
+OpenFlow's match-action behaviour — the same best-match function the
+spec says a switch must apply.  The reconstructed derivations use the
+rule vocabulary of the declarative model, so DiffProv reasons about
+emulated networks exactly as it does about engine-run ones.
+"""
+
+from __future__ import annotations
+
+import time as _time
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple as PyTuple
+
+from ..addresses import IPv4Address
+from ..datalog.state import sort_key
+from ..datalog.tuples import Tuple
+from ..errors import ReproError
+from ..provenance.graph import ProvenanceGraph
+from ..provenance.recorder import ProvenanceRecorder
+from ..replay.log import PACKET_RECORD_BYTES, EventLog
+from ..replay.replayer import Change
+from . import model
+from .flowtable import FlowTable
+from .topology import Topology
+
+__all__ = [
+    "NetworkConfig",
+    "TraceEvent",
+    "EmulatedNetwork",
+    "ExternalSpecReconstructor",
+    "EmulatedNetworkExecution",
+]
+
+_TTL = 64
+
+
+class NetworkConfig:
+    """The data-plane configuration: flow tables, groups, wiring."""
+
+    def __init__(self, topology: Topology):
+        self.topology = topology
+        self.tables: Dict[str, FlowTable] = {
+            switch: FlowTable(switch) for switch in topology.switches()
+        }
+        self.groups: Dict[PyTuple[str, int], List[int]] = {}
+        self._group_tuples: Set[Tuple] = set()
+
+    def install(self, tup: Tuple) -> None:
+        if tup.table == "flowEntry":
+            self.tables[tup.args[0]].install(tup)
+        elif tup.table == "groupEntry":
+            switch, group_id, port = tup.args
+            ports = self.groups.setdefault((switch, group_id), [])
+            if port not in ports:
+                ports.append(port)
+                ports.sort()
+            self._group_tuples.add(tup)
+        else:
+            raise ReproError(f"cannot install {tup} into the data plane")
+
+    def uninstall(self, tup: Tuple) -> None:
+        if tup.table == "flowEntry":
+            self.tables[tup.args[0]].uninstall(tup)
+        elif tup.table == "groupEntry":
+            switch, group_id, port = tup.args
+            ports = self.groups.get((switch, group_id), [])
+            if port in ports:
+                ports.remove(port)
+            self._group_tuples.discard(tup)
+        else:
+            raise ReproError(f"cannot uninstall {tup}")
+
+    def apply_changes(self, changes: Iterable[Change]) -> None:
+        for change in changes:
+            for removed in change.remove:
+                self.uninstall(removed)
+            if change.insert is not None:
+                self.install(change.insert)
+
+    def clone(self) -> "NetworkConfig":
+        copy = NetworkConfig(self.topology)
+        for table in self.tables.values():
+            for entry in table.entries():
+                copy.install(entry)
+        for tup in self._group_tuples:
+            copy.install(tup)
+        return copy
+
+    def flow_entries(self) -> List[Tuple]:
+        result: List[Tuple] = []
+        for switch in sorted(self.tables):
+            result.extend(self.tables[switch].entries())
+        return result
+
+    def group_tuples(self) -> List[Tuple]:
+        return sorted(self._group_tuples, key=sort_key)
+
+    def total_entries(self) -> int:
+        return sum(len(table) for table in self.tables.values())
+
+
+class TraceEvent:
+    """One pcap-like record: a packet seen at a switch."""
+
+    __slots__ = ("kind", "switch", "pkt", "src", "dst", "port", "time")
+
+    def __init__(self, kind, switch, pkt, src, dst, port, time):
+        self.kind = kind  # 'in' | 'out' | 'deliver' | 'drop'
+        self.switch = switch
+        self.pkt = pkt
+        self.src = src
+        self.dst = dst
+        self.port = port
+        self.time = time
+
+    def __repr__(self):
+        return (
+            f"TraceEvent({self.kind} pkt={self.pkt} @{self.switch}"
+            f"{f':{self.port}' if self.port is not None else ''} t={self.time})"
+        )
+
+
+class EmulatedNetwork:
+    """The primary system: a deterministic hop-by-hop packet forwarder."""
+
+    def __init__(self, config: NetworkConfig):
+        self.config = config
+        self.traces: List[TraceEvent] = []
+        self._clock = 0
+
+    def _tick(self) -> int:
+        self._clock += 1
+        return self._clock
+
+    def inject(self, switch: str, pkt: int, src, dst) -> None:
+        """Inject a packet at an ingress switch and forward it to rest."""
+        src = IPv4Address(src)
+        dst = IPv4Address(dst)
+        worklist = [(switch, _TTL)]
+        while worklist:
+            here, ttl = worklist.pop(0)
+            self.traces.append(
+                TraceEvent("in", here, pkt, src, dst, None, self._tick())
+            )
+            if ttl <= 0:
+                self.traces.append(
+                    TraceEvent("drop", here, pkt, src, dst, None, self._tick())
+                )
+                continue
+            entry = self.config.tables[here].best_match(src, dst)
+            if entry is None:
+                self.traces.append(
+                    TraceEvent("drop", here, pkt, src, dst, None, self._tick())
+                )
+                continue
+            action = entry.args[4]
+            if action >= 0:
+                ports = [action]
+            else:
+                ports = self.config.groups.get((here, action), [])
+            if not ports:
+                self.traces.append(
+                    TraceEvent("drop", here, pkt, src, dst, None, self._tick())
+                )
+                continue
+            for port in ports:
+                self.traces.append(
+                    TraceEvent("out", here, pkt, src, dst, port, self._tick())
+                )
+                neighbor = self._neighbor_on(here, port)
+                if neighbor is None:
+                    self.traces.append(
+                        TraceEvent("drop", here, pkt, src, dst, port, self._tick())
+                    )
+                elif self.config.topology.is_host(neighbor):
+                    self.traces.append(
+                        TraceEvent(
+                            "deliver", here, pkt, src, dst, port, self._tick()
+                        )
+                    )
+                else:
+                    worklist.append((neighbor, ttl - 1))
+
+    def _neighbor_on(self, switch: str, port: int) -> Optional[str]:
+        for neighbor in self.config.topology.neighbors(switch):
+            if self.config.topology.port(switch, neighbor) == port:
+                return neighbor
+        return None
+
+
+class ExternalSpecReconstructor:
+    """Rebuilds provenance from traces + configuration + the OpenFlow spec.
+
+    The emulator is a black box; the reconstructor re-derives *why* each
+    trace event happened by applying the specification (best-match over
+    the configured tables) to each packet arrival, and reports the
+    resulting derivations.  Base tuples (wiring, flow entries) are
+    reported lazily, the first time a derivation depends on them, which
+    keeps the graph proportional to the traffic rather than to the
+    757k-entry configuration.
+    """
+
+    def __init__(self, config: NetworkConfig):
+        self.config = config
+        self.recorder = ProvenanceRecorder()
+        self._reported: Set[Tuple] = set()
+        self._injected: Set[PyTuple] = set()
+
+    @property
+    def graph(self) -> ProvenanceGraph:
+        return self.recorder.graph
+
+    def reconstruct(self, traces: Sequence[TraceEvent], injected: Set[int]):
+        """Consume a trace, building the provenance graph."""
+        for event in traces:
+            if event.kind == "in":
+                self._on_arrival(event, injected)
+            elif event.kind == "out":
+                self._on_out(event)
+            elif event.kind == "deliver":
+                self._on_deliver(event)
+            elif event.kind == "drop":
+                self._on_drop(event)
+        return self.recorder
+
+    # -- spec application -----------------------------------------------------
+
+    def _packet_tuple(self, event: TraceEvent) -> Tuple:
+        return model.packet(event.switch, event.pkt, event.src, event.dst)
+
+    def _on_arrival(self, event: TraceEvent, injected: Set[int]) -> None:
+        pkt_tuple = self._packet_tuple(event)
+        if (event.pkt, event.switch) not in self._injected:
+            if event.pkt in injected and not self.graph.appears_of(pkt_tuple):
+                # An external input: the immutable base event.
+                self.recorder.report_insert(
+                    event.switch, pkt_tuple, mutable=False
+                )
+                self._injected.add((event.pkt, event.switch))
+        # The spec says which entry the switch must have applied.
+        entry = self.config.tables[event.switch].best_match(event.src, event.dst)
+        if entry is None:
+            return
+        self._ensure_base(entry, mutable=True)
+        action = entry.args[4]
+        action_out = Tuple(
+            "actionOut",
+            [event.switch, event.pkt, event.src, event.dst, action],
+        )
+        if self.graph.latest_open_exist(action_out) is None:
+            self.recorder.report_derive(
+                event.switch,
+                action_out,
+                "fwd",
+                [pkt_tuple, entry],
+                env={
+                    "S": event.switch,
+                    "P": event.pkt,
+                    "Src": event.src,
+                    "Dst": event.dst,
+                    "Prio": entry.args[1],
+                    "SrcPfx": entry.args[2],
+                    "DstPfx": entry.args[3],
+                    "Action": action,
+                },
+                trigger_index=0,
+            )
+
+    def _on_out(self, event: TraceEvent) -> None:
+        switch = event.switch
+        entry = self.config.tables[switch].best_match(event.src, event.dst)
+        if entry is None:
+            return
+        action = entry.args[4]
+        action_out = Tuple(
+            "actionOut", [switch, event.pkt, event.src, event.dst, action]
+        )
+        packet_out = Tuple(
+            "packetOut", [switch, event.pkt, event.src, event.dst, event.port]
+        )
+        env = {
+            "S": switch,
+            "P": event.pkt,
+            "Src": event.src,
+            "Dst": event.dst,
+            "Action": action,
+            "Port": event.port,
+        }
+        if action >= 0:
+            self.recorder.report_derive(
+                switch, packet_out, "out", [action_out], env=env, trigger_index=0
+            )
+        else:
+            group_tuple = model.group_entry(switch, action, event.port)
+            self._ensure_base(group_tuple, mutable=True)
+            self.recorder.report_derive(
+                switch,
+                packet_out,
+                "outg",
+                [action_out, group_tuple],
+                env=env,
+                trigger_index=0,
+            )
+        neighbor = self._neighbor_on(switch, event.port)
+        if neighbor is not None and self.config.topology.is_switch(neighbor):
+            link_tuple = model.link(switch, event.port, neighbor)
+            self._ensure_base(link_tuple, mutable=False)
+            moved = model.packet(neighbor, event.pkt, event.src, event.dst)
+            self.recorder.report_derive(
+                neighbor,
+                moved,
+                "move",
+                [packet_out, link_tuple],
+                env={
+                    "S": switch,
+                    "P": event.pkt,
+                    "Src": event.src,
+                    "Dst": event.dst,
+                    "Port": event.port,
+                    "N": neighbor,
+                },
+                trigger_index=0,
+            )
+
+    def _on_deliver(self, event: TraceEvent) -> None:
+        switch = event.switch
+        host = self._neighbor_on(switch, event.port)
+        if host is None:
+            return
+        host_tuple = model.host_at(switch, event.port, host)
+        self._ensure_base(host_tuple, mutable=False)
+        packet_out = Tuple(
+            "packetOut", [switch, event.pkt, event.src, event.dst, event.port]
+        )
+        delivered = model.delivered(host, event.pkt, event.src, event.dst)
+        self.recorder.report_derive(
+            host,
+            delivered,
+            "recv",
+            [packet_out, host_tuple],
+            env={
+                "S": switch,
+                "P": event.pkt,
+                "Src": event.src,
+                "Dst": event.dst,
+                "Port": event.port,
+                "H": host,
+            },
+            trigger_index=0,
+        )
+
+    def _on_drop(self, event: TraceEvent) -> None:
+        pkt_tuple = self._packet_tuple(event)
+        dropped = Tuple(
+            "dropped", [event.switch, event.pkt, event.src, event.dst]
+        )
+        entry = self.config.tables[event.switch].best_match(event.src, event.dst)
+        if entry is not None:
+            self._ensure_base(entry, mutable=True)
+            body = [pkt_tuple, entry]
+            rule = "drp"
+        else:
+            body = [pkt_tuple]
+            rule = "nomatch"
+        self.recorder.report_derive(
+            event.switch, dropped, rule, body, trigger_index=0
+        )
+
+    def _ensure_base(self, tup: Tuple, mutable: bool) -> None:
+        if tup in self._reported:
+            return
+        node = str(tup.args[0])
+        self.recorder.report_insert(node, tup, mutable=mutable)
+        self._reported.add(tup)
+
+    def _neighbor_on(self, switch: str, port: int) -> Optional[str]:
+        for neighbor in self.config.topology.neighbors(switch):
+            if self.config.topology.port(switch, neighbor) == port:
+                return neighbor
+        return None
+
+
+class _ConfigStoreView:
+    """Store interface over the live data-plane configuration.
+
+    Lets DiffProv's competitor/blocker searches see the *whole*
+    configuration without materializing 757k base-tuple vertexes in the
+    provenance graph.
+    """
+
+    _MUTABLE_TABLES = {"flowEntry", "groupEntry"}
+
+    def __init__(self, config: NetworkConfig):
+        self.config = config
+
+    @property
+    def store(self):
+        return self
+
+    def tuples(self, table: str) -> List[Tuple]:
+        if table == "flowEntry":
+            return self.config.flow_entries()
+        if table == "groupEntry":
+            return self.config.group_tuples()
+        if table == "link" or table == "hostAt":
+            return [
+                t for t in self.config.topology.wiring_tuples()
+                if t.table == table
+            ]
+        return []
+
+    def record(self, tup: Tuple):
+        if tup in set(self.tuples(tup.table)):
+            class _Record:
+                is_base = True
+            return _Record()
+        return None
+
+    def is_mutable(self, tup: Tuple) -> bool:
+        return tup.table in self._MUTABLE_TABLES
+
+
+class _EmulationGraphView:
+    """Provenance graph that also knows the configuration is alive.
+
+    Base tuples are reported lazily (only when used), so existence
+    checks fall back to the configuration for config/wiring tables.
+    """
+
+    def __init__(self, graph: ProvenanceGraph, store_view: _ConfigStoreView):
+        self._graph = graph
+        self._store_view = store_view
+
+    def __getattr__(self, name):
+        return getattr(self._graph, name)
+
+    def alive_during(self, tup: Tuple, from_time: int) -> bool:
+        if self._graph.alive_during(tup, from_time):
+            return True
+        return self._in_configuration(tup)
+
+    def alive_at(self, tup: Tuple, time: int) -> bool:
+        if self._graph.alive_at(tup, time):
+            return True
+        # The emulated configuration is static for a run, so an entry
+        # present in it exists at every instant.
+        return self._in_configuration(tup)
+
+    def _in_configuration(self, tup: Tuple) -> bool:
+        if tup.table in ("flowEntry", "groupEntry", "link", "hostAt"):
+            return tup in set(self._store_view.tuples(tup.table))
+        return False
+
+
+class EmulationReplayResult:
+    """Replay result over the emulator: graph view + config store."""
+
+    def __init__(self, recorder: ProvenanceRecorder, config: NetworkConfig):
+        self.recorder = recorder
+        self.engine = _ConfigStoreView(config)
+        self.graph = _EmulationGraphView(recorder.graph, self.engine)
+
+    def alive(self, tup: Tuple) -> bool:
+        return self.graph.alive_during(tup, 0)
+
+
+class EmulatedNetworkExecution:
+    """A logged emulator run, replayable with base-tuple changes.
+
+    The interface matches :class:`repro.replay.execution.Execution`, so
+    DiffProv drives the emulator exactly like an engine execution: the
+    log anchors the bad seed, and each UPDATETREE replays the packet
+    schedule against a cloned, modified configuration.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        config: NetworkConfig,
+        schedule: Sequence[PyTuple[str, int, object, object]],
+    ):
+        self.name = name
+        self.base_config = config
+        self.schedule = list(schedule)
+        self.log = self._build_log()
+        self._materialized: Optional[EmulationReplayResult] = None
+        self.replay_count = 0
+        self.replay_seconds = 0.0
+
+    def _build_log(self) -> EventLog:
+        log = EventLog()
+        for tup in self.base_config.topology.wiring_tuples():
+            log.append("insert", tup, mutable=False)
+        for tup in self.base_config.flow_entries():
+            log.append("insert", tup, mutable=True)
+        for tup in self.base_config.group_tuples():
+            log.append("insert", tup, mutable=True)
+        for switch, pkt, src, dst in self.schedule:
+            log.append(
+                "insert",
+                model.packet(switch, pkt, src, dst),
+                mutable=False,
+                size=PACKET_RECORD_BYTES,
+            )
+        return log
+
+    @property
+    def graph(self):
+        return self.materialize().graph
+
+    def materialize(self) -> EmulationReplayResult:
+        if self._materialized is None:
+            self._materialized = self.replay()
+        return self._materialized
+
+    def replay(
+        self,
+        changes: Iterable[Change] = (),
+        anchor_index: Optional[int] = None,
+    ) -> EmulationReplayResult:
+        started = _time.perf_counter()
+        config = self.base_config.clone()
+        config.apply_changes(changes)
+        network = EmulatedNetwork(config)
+        injected = set()
+        for switch, pkt, src, dst in self.schedule:
+            injected.add(pkt)
+            network.inject(switch, pkt, src, dst)
+        reconstructor = ExternalSpecReconstructor(config)
+        recorder = reconstructor.reconstruct(network.traces, injected)
+        self.replay_seconds += _time.perf_counter() - started
+        self.replay_count += 1
+        return EmulationReplayResult(recorder, config)
+
+    def __repr__(self):
+        return (
+            f"EmulatedNetworkExecution({self.name!r}, "
+            f"{self.base_config.total_entries()} entries, "
+            f"{len(self.schedule)} packets)"
+        )

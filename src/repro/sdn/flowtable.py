@@ -1,0 +1,143 @@
+"""Flow tables with efficient OpenFlow best-match lookup.
+
+The declarative engine's argmax selector is fine for nine-switch
+scenarios, but the Section 6.7 network carries hundreds of thousands of
+forwarding entries; the emulator therefore keeps each switch's table in
+a binary trie over the destination prefix, so a lookup touches only the
+entries on the address's trie path.  Semantics are identical to the
+declarative model: highest priority wins, ties broken by combined
+prefix specificity, then by a stable tuple order.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Optional
+
+from ..addresses import IPv4Address, Prefix
+from ..datalog.state import sort_key
+from ..datalog.tuples import Tuple
+from ..errors import ReproError
+from . import model
+
+__all__ = ["FlowTable", "PrefixTrie"]
+
+
+class _TrieNode:
+    __slots__ = ("zero", "one", "values")
+
+    def __init__(self):
+        self.zero: Optional[_TrieNode] = None
+        self.one: Optional[_TrieNode] = None
+        self.values: List[object] = []
+
+
+class PrefixTrie:
+    """A binary trie mapping prefixes to values."""
+
+    def __init__(self):
+        self._root = _TrieNode()
+        self._size = 0
+
+    def __len__(self) -> int:
+        return self._size
+
+    def insert(self, pfx: Prefix, value) -> None:
+        node = self._walk(pfx, create=True)
+        node.values.append(value)
+        self._size += 1
+
+    def remove(self, pfx: Prefix, value) -> bool:
+        node = self._walk(pfx, create=False)
+        if node is None or value not in node.values:
+            return False
+        node.values.remove(value)
+        self._size -= 1
+        return True
+
+    def covering(self, addr: IPv4Address) -> Iterator[object]:
+        """All values whose prefix contains the address (root first)."""
+        node = self._root
+        bits = addr.value
+        depth = 0
+        while node is not None:
+            yield from node.values
+            if depth == 32:
+                return
+            bit = (bits >> (31 - depth)) & 1
+            node = node.one if bit else node.zero
+            depth += 1
+
+    def _walk(self, pfx: Prefix, create: bool) -> Optional[_TrieNode]:
+        node = self._root
+        bits = pfx.network.value
+        for depth in range(pfx.length):
+            bit = (bits >> (31 - depth)) & 1
+            child = node.one if bit else node.zero
+            if child is None:
+                if not create:
+                    return None
+                child = _TrieNode()
+                if bit:
+                    node.one = child
+                else:
+                    node.zero = child
+            node = child
+        return node
+
+
+class FlowTable:
+    """One switch's flow entries, indexed by destination prefix."""
+
+    def __init__(self, switch: str):
+        self.switch = switch
+        self._trie = PrefixTrie()
+        self._entries = set()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, entry: Tuple) -> bool:
+        return entry in self._entries
+
+    def entries(self) -> List[Tuple]:
+        return sorted(self._entries, key=sort_key)
+
+    def install(self, entry: Tuple) -> None:
+        """Install a ``flowEntry`` tuple (as built by repro.sdn.model)."""
+        if entry.table != "flowEntry" or entry.arity != 5:
+            raise ReproError(f"not a flow entry: {entry}")
+        if entry.args[0] != self.switch:
+            raise ReproError(
+                f"entry {entry} belongs to {entry.args[0]!r}, "
+                f"not {self.switch!r}"
+            )
+        if entry in self._entries:
+            return
+        self._entries.add(entry)
+        self._trie.insert(entry.args[3], entry)
+
+    def uninstall(self, entry: Tuple) -> bool:
+        if entry not in self._entries:
+            return False
+        self._entries.discard(entry)
+        self._trie.remove(entry.args[3], entry)
+        return True
+
+    def best_match(self, src: IPv4Address, dst: IPv4Address) -> Optional[Tuple]:
+        """The entry an OpenFlow switch would apply to this packet.
+
+        Highest priority first; ties broken by combined prefix length,
+        then by the stable tuple order — exactly the argmax selector of
+        the declarative model, so engine and emulator always agree.
+        """
+        best = None
+        best_key = None
+        for entry in self._trie.covering(dst):
+            _, priority, src_pfx, dst_pfx, _ = entry.args
+            if not src_pfx.contains(src):
+                continue
+            key = (priority, src_pfx.length + dst_pfx.length, sort_key(entry))
+            if best_key is None or key > best_key:
+                best_key = key
+                best = entry
+        return best

@@ -1,0 +1,183 @@
+"""A NetCore/Pyretic-like policy front-end.
+
+The paper's front-end accepts controller programs written in NetCore
+(part of Pyretic) and converts them internally to NDlog rules and
+tuples.  This module provides the same bridge for an imperative policy
+style: operators write first-match policies with combinators::
+
+    policy = (match(src="4.3.2.0/23") >> fwd(2)) + (match() >> fwd(3))
+    entries = compile_policy(policy, switch="s2")
+
+and the compiler emits the prioritized ``flowEntry`` tuples of the
+declarative model (:mod:`repro.sdn.model`) — earlier clauses get higher
+priorities, mirroring NetCore's first-match semantics.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from ..addresses import Prefix
+from ..datalog.tuples import Tuple
+from ..errors import ReproError
+from . import model
+
+__all__ = [
+    "match",
+    "fwd",
+    "group",
+    "drop",
+    "Predicate",
+    "Action",
+    "Clause",
+    "Policy",
+    "compile_policy",
+]
+
+_ANY = Prefix("0.0.0.0/0")
+
+
+class Predicate:
+    """A header match: source and/or destination prefix."""
+
+    __slots__ = ("src", "dst")
+
+    def __init__(self, src=None, dst=None):
+        self.src = Prefix(src) if src is not None else _ANY
+        self.dst = Prefix(dst) if dst is not None else _ANY
+
+    def __and__(self, other: "Predicate") -> "Predicate":
+        """Conjunction: the intersection of the two matches."""
+        return Predicate(
+            src=_intersect(self.src, other.src),
+            dst=_intersect(self.dst, other.dst),
+        )
+
+    def __rshift__(self, action: "Action") -> "Clause":
+        return Clause(self, action)
+
+    def __repr__(self):
+        return f"match(src={self.src}, dst={self.dst})"
+
+
+def _intersect(a: Prefix, b: Prefix) -> Prefix:
+    if a.contains(b.network) and a.length <= b.length:
+        return b
+    if b.contains(a.network) and b.length <= a.length:
+        return a
+    raise ReproError(f"predicates {a} and {b} do not overlap")
+
+
+class Action:
+    """What to do with a matching packet."""
+
+    __slots__ = ("kind", "value")
+
+    def __init__(self, kind: str, value: int):
+        if kind not in ("fwd", "group", "drop"):
+            raise ReproError(f"unknown action kind {kind!r}")
+        self.kind = kind
+        self.value = value
+
+    def encode(self) -> int:
+        """The action field of a flowEntry tuple."""
+        if self.kind == "fwd":
+            return self.value
+        if self.kind == "group":
+            return self.value  # already negative
+        return model.DROP_ACTION
+
+    def __repr__(self):
+        if self.kind == "drop":
+            return "drop()"
+        return f"{self.kind}({self.value})"
+
+
+class Clause:
+    """One policy clause: predicate >> action."""
+
+    __slots__ = ("predicate", "action")
+
+    def __init__(self, predicate: Predicate, action: Action):
+        self.predicate = predicate
+        self.action = action
+
+    def __add__(self, other) -> "Policy":
+        return Policy([self]) + other
+
+    def __repr__(self):
+        return f"({self.predicate} >> {self.action})"
+
+
+class Policy:
+    """An ordered, first-match list of clauses (NetCore semantics)."""
+
+    __slots__ = ("clauses",)
+
+    def __init__(self, clauses: Sequence[Clause]):
+        self.clauses = list(clauses)
+
+    def __add__(self, other) -> "Policy":
+        if isinstance(other, Clause):
+            return Policy(self.clauses + [other])
+        if isinstance(other, Policy):
+            return Policy(self.clauses + other.clauses)
+        return NotImplemented
+
+    def __len__(self) -> int:
+        return len(self.clauses)
+
+    def __repr__(self):
+        return " + ".join(repr(clause) for clause in self.clauses)
+
+
+def match(src=None, dst=None) -> Predicate:
+    """Match packets by source/destination prefix (default: any)."""
+    return Predicate(src=src, dst=dst)
+
+
+def fwd(port: int) -> Action:
+    """Forward out a physical port."""
+    if port < 0:
+        raise ReproError("ports are non-negative; use group() for groups")
+    return Action("fwd", port)
+
+
+def group(group_id: int) -> Action:
+    """Send to a (negative-numbered) group: multicast/mirroring."""
+    if group_id >= 0:
+        raise ReproError("group ids are negative by convention")
+    return Action("group", group_id)
+
+
+def drop() -> Action:
+    """Discard matching packets."""
+    return Action("drop", model.DROP_ACTION)
+
+
+def compile_policy(
+    policy, switch: str, base_priority: int = 1
+) -> List[Tuple]:
+    """Compile a first-match policy to prioritized flowEntry tuples.
+
+    The first clause gets the highest priority, so the argmax selection
+    of the declarative model reproduces NetCore's first-match order.
+    """
+    if isinstance(policy, Clause):
+        policy = Policy([policy])
+    if not isinstance(policy, Policy):
+        raise ReproError(f"cannot compile {policy!r}")
+    entries: List[Tuple] = []
+    count = len(policy.clauses)
+    for index, clause in enumerate(policy.clauses):
+        priority = base_priority + (count - 1 - index)
+        entries.append(
+            model.flow_entry(
+                switch,
+                priority,
+                clause.predicate.src,
+                clause.predicate.dst,
+                clause.action.encode(),
+            )
+        )
+    return entries

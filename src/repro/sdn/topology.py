@@ -1,0 +1,119 @@
+"""Network topologies: switches, hosts, links, and port assignment.
+
+A :class:`Topology` is a thin wrapper over a :mod:`networkx` graph that
+assigns port numbers deterministically and emits the immutable wiring
+base tuples (``link``, ``hostAt``) for the declarative model.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple as PyTuple
+
+import networkx as nx
+
+from ..addresses import IPv4Address
+from ..datalog.tuples import Tuple
+from ..errors import ReproError
+from . import model
+
+__all__ = ["Topology"]
+
+
+class Topology:
+    """A switch/host topology with deterministic port numbering."""
+
+    def __init__(self, name: str = "topology"):
+        self.name = name
+        self.graph = nx.Graph()
+        self._ports: Dict[str, int] = {}  # next free port per switch
+        self._port_map: Dict[PyTuple[str, str], int] = {}
+        self._host_ips: Dict[str, IPv4Address] = {}
+
+    # -- construction ------------------------------------------------------
+
+    def add_switch(self, name: str) -> str:
+        if name in self.graph:
+            raise ReproError(f"duplicate node {name!r}")
+        self.graph.add_node(name, kind="switch")
+        self._ports[name] = 1
+        return name
+
+    def add_host(self, name: str, ip) -> str:
+        if name in self.graph:
+            raise ReproError(f"duplicate node {name!r}")
+        self.graph.add_node(name, kind="host")
+        self._host_ips[name] = IPv4Address(ip)
+        return name
+
+    def add_link(self, a: str, b: str) -> None:
+        """Connect two nodes, assigning a port on each switch side."""
+        for node in (a, b):
+            if node not in self.graph:
+                raise ReproError(f"unknown node {node!r}")
+        self.graph.add_edge(a, b)
+        if self.is_switch(a):
+            self._port_map[(a, b)] = self._ports[a]
+            self._ports[a] += 1
+        if self.is_switch(b):
+            self._port_map[(b, a)] = self._ports[b]
+            self._ports[b] += 1
+
+    # -- lookups -----------------------------------------------------------
+
+    def is_switch(self, name: str) -> bool:
+        return self.graph.nodes[name].get("kind") == "switch"
+
+    def is_host(self, name: str) -> bool:
+        return self.graph.nodes[name].get("kind") == "host"
+
+    def port(self, switch: str, neighbor: str) -> int:
+        """The port on ``switch`` that leads to ``neighbor``."""
+        try:
+            return self._port_map[(switch, neighbor)]
+        except KeyError:
+            raise ReproError(f"no link {switch!r} -> {neighbor!r}") from None
+
+    def host_ip(self, host: str) -> IPv4Address:
+        try:
+            return self._host_ips[host]
+        except KeyError:
+            raise ReproError(f"unknown host {host!r}") from None
+
+    def switches(self) -> List[str]:
+        return sorted(n for n in self.graph if self.is_switch(n))
+
+    def hosts(self) -> List[str]:
+        return sorted(n for n in self.graph if self.is_host(n))
+
+    def neighbors(self, name: str) -> List[str]:
+        return sorted(self.graph.neighbors(name))
+
+    def shortest_path(self, a: str, b: str) -> List[str]:
+        return nx.shortest_path(self.graph, a, b)
+
+    def attachment(self, host: str) -> PyTuple[str, int]:
+        """The (switch, port) a host hangs off."""
+        for neighbor in self.graph.neighbors(host):
+            if self.is_switch(neighbor):
+                return neighbor, self.port(neighbor, host)
+        raise ReproError(f"host {host!r} is not attached to a switch")
+
+    # -- base tuples ---------------------------------------------------------
+
+    def wiring_tuples(self) -> List[Tuple]:
+        """The immutable ``link`` and ``hostAt`` base tuples."""
+        tuples: List[Tuple] = []
+        for switch in self.switches():
+            for neighbor in self.neighbors(switch):
+                port = self.port(switch, neighbor)
+                if self.is_switch(neighbor):
+                    tuples.append(model.link(switch, port, neighbor))
+                else:
+                    tuples.append(model.host_at(switch, port, neighbor))
+        return tuples
+
+    def __repr__(self):
+        return (
+            f"Topology({self.name!r}, {len(self.switches())} switches, "
+            f"{len(self.hosts())} hosts)"
+        )

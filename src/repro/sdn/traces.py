@@ -1,0 +1,85 @@
+"""Synthetic packet traces (the CAIDA OC-192 stand-in).
+
+The paper replays a CAIDA capture and several synthetic traces with
+different rates and packet sizes; the trace only serves as replay load,
+so what matters is its statistical shape: many flows, a configurable
+rate and packet size, and a deterministic seed so every experiment is
+reproducible.  Flow popularity follows a Zipf-like distribution, as in
+real backbone captures.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Sequence, Tuple as PyTuple
+
+from ..addresses import IPv4Address, Prefix
+
+__all__ = ["TraceConfig", "TracePacket", "synthetic_trace", "packets_for_rate"]
+
+
+class TracePacket:
+    """One synthetic packet: addresses plus a wire size in bytes."""
+
+    __slots__ = ("src", "dst", "size")
+
+    def __init__(self, src: IPv4Address, dst: IPv4Address, size: int):
+        self.src = src
+        self.dst = dst
+        self.size = size
+
+    def __repr__(self):
+        return f"TracePacket({self.src} -> {self.dst}, {self.size}B)"
+
+
+class TraceConfig:
+    """Parameters of a synthetic trace."""
+
+    def __init__(
+        self,
+        count: int = 1000,
+        packet_size: int = 500,
+        src_prefixes: Sequence = ("4.3.2.0/23", "10.0.0.0/8"),
+        dst_prefixes: Sequence = ("172.16.0.0/16",),
+        flows: int = 64,
+        zipf_s: float = 1.2,
+        seed: int = 42,
+    ):
+        self.count = count
+        self.packet_size = packet_size
+        self.src_prefixes = [Prefix(p) for p in src_prefixes]
+        self.dst_prefixes = [Prefix(p) for p in dst_prefixes]
+        self.flows = flows
+        self.zipf_s = zipf_s
+        self.seed = seed
+
+
+def packets_for_rate(rate_mbps: float, packet_size: int, duration_s: float) -> int:
+    """How many packets a link carries at a rate for a duration."""
+    bits = rate_mbps * 1_000_000 * duration_s
+    return max(1, int(bits / (packet_size * 8)))
+
+
+def synthetic_trace(config: TraceConfig) -> List[TracePacket]:
+    """Generate a deterministic trace with Zipf-distributed flows."""
+    rng = random.Random(config.seed)
+    flows = _make_flows(config, rng)
+    weights = [1.0 / ((rank + 1) ** config.zipf_s) for rank in range(len(flows))]
+    total = sum(weights)
+    weights = [w / total for w in weights]
+    packets: List[TracePacket] = []
+    for _ in range(config.count):
+        src, dst = rng.choices(flows, weights=weights, k=1)[0]
+        packets.append(TracePacket(src, dst, config.packet_size))
+    return packets
+
+
+def _make_flows(config: TraceConfig, rng: random.Random) -> List[PyTuple]:
+    flows = []
+    for _ in range(config.flows):
+        src_pfx = rng.choice(config.src_prefixes)
+        dst_pfx = rng.choice(config.dst_prefixes)
+        src = src_pfx.host(rng.randrange(1 << (32 - src_pfx.length)))
+        dst = dst_pfx.host(rng.randrange(1 << (32 - dst_pfx.length)))
+        flows.append((src, dst))
+    return flows

@@ -1,0 +1,166 @@
+"""The Outages mailing-list survey of Section 2.4.
+
+The paper reviews the 89 posts of 09/2014–12/2014: 64 are network
+diagnosis scenarios, 45 of those (70.3%) contain both a fault and at
+least one reference event, 10 of the 45 references lie in another
+administrative domain (leaving 35 usable in-domain), and the 45 break
+down into partial, sudden, and intermittent failures with partial
+failures most prevalent.
+
+The original posts are not redistributable, so this module ships the
+*label distribution* as a synthetic corpus of post records with the
+paper's ground truth, plus the analysis that derives every statistic
+the section reports.  The reference-finding strategies ("look back in
+time" vs. "look at a sibling system") are encoded per post as well.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+__all__ = ["SurveyPost", "SurveyStats", "build_corpus", "analyze", "paper_stats"]
+
+CATEGORIES = ("partial", "sudden", "intermittent")
+STRATEGIES = ("look-back-in-time", "sibling-system")
+
+# The distribution reported in Section 2.4.
+TOTAL_POSTS = 89
+DIAGNOSTIC_POSTS = 64
+WITH_REFERENCE = 45
+CROSS_DOMAIN_REFERENCES = 10
+
+# "The most prevalent problems were partial failures"; the paper gives
+# the examples but not exact per-category counts, so the corpus uses a
+# partial-heavy split that sums to 45.
+CATEGORY_COUNTS = {"partial": 23, "sudden": 12, "intermittent": 10}
+
+_EXAMPLES = {
+    "partial": (
+        "a batch of DNS servers contained expired entries, while records "
+        "on other servers were up to date"
+    ),
+    "sudden": (
+        "a service's status suddenly changed from 'Service OK' to "
+        "'Internal Server Error'"
+    ),
+    "intermittent": (
+        "diagnostic queries sometimes succeeded, sometimes failed "
+        "silently, and sometimes took an extremely long time"
+    ),
+}
+
+
+@dataclass
+class SurveyPost:
+    """One mailing-list post with the survey's ground-truth labels."""
+
+    post_id: int
+    month: str
+    is_diagnostic: bool
+    has_reference: bool = False
+    cross_domain: bool = False
+    category: str = ""
+    strategy: str = ""
+    excerpt: str = ""
+
+
+@dataclass
+class SurveyStats:
+    """Every number Section 2.4 reports."""
+
+    total: int = 0
+    diagnostic: int = 0
+    with_reference: int = 0
+    cross_domain: int = 0
+    in_domain: int = 0
+    by_category: Dict[str, int] = field(default_factory=dict)
+    by_strategy: Dict[str, int] = field(default_factory=dict)
+
+    @property
+    def reference_fraction(self) -> float:
+        """References among diagnostic posts (the paper's 70.3%)."""
+        if not self.diagnostic:
+            return 0.0
+        return self.with_reference / self.diagnostic
+
+
+def build_corpus(seed: int = 2016) -> List[SurveyPost]:
+    """The synthetic 89-post corpus with the paper's label counts."""
+    rng = random.Random(seed)
+    months = ["2014-09", "2014-10", "2014-11", "2014-12"]
+    posts: List[SurveyPost] = []
+    labels: List[dict] = []
+    for category, count in CATEGORY_COUNTS.items():
+        for _ in range(count):
+            labels.append({"category": category})
+    for index, label in enumerate(labels):
+        label["cross_domain"] = index < CROSS_DOMAIN_REFERENCES
+    rng.shuffle(labels)
+    # 45 diagnostic posts with references.
+    for label in labels:
+        posts.append(
+            SurveyPost(
+                post_id=0,
+                month=rng.choice(months),
+                is_diagnostic=True,
+                has_reference=True,
+                cross_domain=label["cross_domain"],
+                category=label["category"],
+                strategy=rng.choice(STRATEGIES),
+                excerpt=_EXAMPLES[label["category"]],
+            )
+        )
+    # 19 diagnostic posts without a reference event.
+    for _ in range(DIAGNOSTIC_POSTS - WITH_REFERENCE):
+        posts.append(
+            SurveyPost(
+                post_id=0,
+                month=rng.choice(months),
+                is_diagnostic=True,
+                excerpt="a fault with no working counterpart mentioned",
+            )
+        )
+    # 25 non-diagnostic posts (complaints, news reports, etc.).
+    for _ in range(TOTAL_POSTS - DIAGNOSTIC_POSTS):
+        posts.append(
+            SurveyPost(
+                post_id=0,
+                month=rng.choice(months),
+                is_diagnostic=False,
+                excerpt="complaints about a particular iOS version",
+            )
+        )
+    rng.shuffle(posts)
+    for index, post in enumerate(posts, start=1):
+        post.post_id = index
+    return posts
+
+
+def analyze(posts: List[SurveyPost]) -> SurveyStats:
+    """Derive the Section 2.4 statistics from a labelled corpus."""
+    stats = SurveyStats()
+    stats.total = len(posts)
+    for post in posts:
+        if not post.is_diagnostic:
+            continue
+        stats.diagnostic += 1
+        if not post.has_reference:
+            continue
+        stats.with_reference += 1
+        if post.cross_domain:
+            stats.cross_domain += 1
+        stats.by_category[post.category] = (
+            stats.by_category.get(post.category, 0) + 1
+        )
+        stats.by_strategy[post.strategy] = (
+            stats.by_strategy.get(post.strategy, 0) + 1
+        )
+    stats.in_domain = stats.with_reference - stats.cross_domain
+    return stats
+
+
+def paper_stats() -> SurveyStats:
+    """The statistics exactly as the paper reports them."""
+    return analyze(build_corpus())

@@ -1,0 +1,44 @@
+"""Shared fixtures for the test suite."""
+
+import pytest
+
+from repro.datalog import Engine, parse_program, parse_tuple
+from repro.provenance import ProvenanceRecorder
+
+
+FORWARDING_PROGRAM = """
+table packet(Sw, Src, Dst) event immutable.
+table flowEntry(Sw, Prio, Pfx, Port) mutable.
+table packetOut(Sw, Src, Dst, Port) event.
+table link(Sw, Port, Next) immutable.
+table delivered(Host, Src, Dst).
+table hostAt(Sw, Port, Host) immutable.
+
+fwd packetOut(@S, Src, Dst, Port) :- packet(@S, Src, Dst),
+    flowEntry(@S, Prio, Pfx, Port) argmax<Prio, prefix_len(Pfx)>,
+    ip_in_prefix(Dst, Pfx) == true.
+move packet(@N, Src, Dst) :- packetOut(@S, Src, Dst, Port), link(@S, Port, N).
+recv delivered(@H, Src, Dst) :- packetOut(@S, Src, Dst, Port), hostAt(@S, Port, H).
+"""
+
+
+@pytest.fixture
+def forwarding_program():
+    return parse_program(FORWARDING_PROGRAM)
+
+
+@pytest.fixture
+def forwarding_engine(forwarding_program):
+    """A two-switch forwarding engine with provenance recording."""
+    recorder = ProvenanceRecorder()
+    engine = Engine(forwarding_program, recorder=recorder)
+    for text in (
+        "link('s1', 2, 's2')",
+        "flowEntry('s1', 1, 0.0.0.0/0, 9)",
+        "flowEntry('s1', 5, 4.3.2.0/24, 2)",
+        "flowEntry('s2', 1, 0.0.0.0/0, 3)",
+        "hostAt('s2', 3, 'h1')",
+    ):
+        engine.insert(parse_tuple(text))
+    engine.run()
+    return engine

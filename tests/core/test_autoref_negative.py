@@ -1,0 +1,60 @@
+"""Negative paths of the automatic reference search."""
+
+from repro.core.autoref import auto_diagnose, propose_references
+from repro.datalog import parse_program, parse_tuple
+from repro.replay import Execution
+
+PROGRAM = """
+table stim(Id, Y) event immutable.
+table cfg(K, V) mutable.
+table out(Id, V).
+r1 out(Id, V) :- stim(Id, Y), cfg('a', V).
+"""
+
+
+def build_consistent():
+    """A healthy system: every event behaves like every other."""
+    program = parse_program(PROGRAM)
+    execution = Execution(program)
+    execution.insert(parse_tuple("cfg('a', 5)"))
+    for index in range(1, 5):
+        execution.insert(parse_tuple(f"stim({index}, 7)"))
+    return program, execution
+
+
+class TestNoReferenceFound:
+    def test_healthy_system_yields_no_diagnosis(self):
+        program, execution = build_consistent()
+        result = auto_diagnose(
+            program, execution, execution, parse_tuple("out(1, 5)")
+        )
+        # Every candidate aligns with zero changes: there is nothing to
+        # diagnose, and the search says so instead of inventing a cause.
+        assert not result.found
+        assert result.reference is None
+        assert len(result.tried) == 3
+
+    def test_no_candidates_at_all(self):
+        program = parse_program(PROGRAM)
+        execution = Execution(program)
+        execution.insert(parse_tuple("cfg('a', 5)"))
+        execution.insert(parse_tuple("stim(1, 7)"))
+        result = auto_diagnose(
+            program, execution, execution, parse_tuple("out(1, 5)")
+        )
+        assert not result.found
+        assert result.tried == []
+
+    def test_limit_bounds_the_search(self):
+        program, execution = build_consistent()
+        result = auto_diagnose(
+            program, execution, execution, parse_tuple("out(1, 5)"), limit=2
+        )
+        assert len(result.tried) == 2
+
+    def test_propose_respects_limit_and_excludes_self(self):
+        program, execution = build_consistent()
+        bad_event = parse_tuple("out(1, 5)")
+        candidates = propose_references(execution.graph, bad_event, limit=2)
+        assert len(candidates) == 2
+        assert all(c.event != bad_event for c in candidates)

@@ -1,0 +1,75 @@
+"""Tests for the blind-search baseline (the §4.7 complexity comparison)."""
+
+import pytest
+
+from repro.core.blindsearch import blind_search, candidate_changes
+from repro.datalog import parse_program, parse_tuple
+from repro.replay import Execution
+
+PROGRAM = """
+table stim(Id, Y) event immutable.
+table cfg(K, V) mutable.
+table out(Id).
+table fallback(Id).
+
+r1 out(Id) :- stim(Id, Y), cfg('scale', Y).
+r2 fallback(Id) :- stim(Id, Y).
+"""
+
+
+def build(bad_value):
+    program = parse_program(PROGRAM)
+    good = Execution(program, name="good")
+    good.insert(parse_tuple("cfg('scale', 5)"))
+    good.insert(parse_tuple("stim(1, 5)"))
+    bad = Execution(program, name="bad")
+    bad.insert(parse_tuple(f"cfg('scale', {bad_value})"))
+    bad.insert(parse_tuple("stim(2, 5)"))
+    return program, good, bad
+
+
+class TestCandidates:
+    def test_only_mutable_differences(self):
+        _, good, bad = build(9)
+        candidates = candidate_changes(good, bad)
+        # cfg differs (one insert + one removal); the immutable stim
+        # events must not appear.
+        described = {c.describe() for c in candidates}
+        assert described == {
+            "insert cfg('scale', 5)",
+            "remove cfg('scale', 9)",
+        }
+
+    def test_identical_runs_have_no_candidates(self):
+        _, good, _ = build(9)
+        assert candidate_changes(good, good) == []
+
+
+class TestBlindSearch:
+    def test_finds_single_fix(self):
+        _, good, bad = build(9)
+        result = blind_search(good, bad, parse_tuple("out(2)"))
+        assert result.found
+        assert result.attempts >= 1
+        assert any(
+            c.insert == parse_tuple("cfg('scale', 5)") for c in result.changes
+        )
+
+    def test_replay_count_tracks_attempts(self):
+        _, good, bad = build(9)
+        result = blind_search(good, bad, parse_tuple("out(2)"))
+        assert result.replays == result.attempts
+
+    def test_gives_up_when_no_solution(self):
+        _, good, bad = build(9)
+        result = blind_search(good, bad, parse_tuple("out(777)"))
+        assert not result.found
+        assert result.changes == []
+
+    def test_attempt_budget_respected(self):
+        _, good, bad = build(9)
+        result = blind_search(
+            good, bad, parse_tuple("out(777)"), max_attempts=3
+        )
+        assert not result.found
+        assert result.attempts <= 3

@@ -1,0 +1,125 @@
+"""Unit tests for the equivalence relation's repair machinery:
+per-tuple overrides and field-level rewrites."""
+
+import pytest
+
+from repro.addresses import Prefix
+from repro.core.equivalence import EquivalenceRelation
+from repro.core.taint import TaintAnnotation
+from repro.datalog import Engine, parse_program, parse_tuple
+from repro.provenance import ProvenanceRecorder, provenance_query
+
+PROGRAM = """
+table stim(Id) event immutable.
+table entry(Sw, Pfx, Port) mutable.
+table used(Sw, Id, Pfx) event.
+table out(Sw, Id).
+
+r1 used(Sw, Id, Pfx) :- stim(Id), entry(Sw, Pfx, Port).
+r2 out(Sw, Id) :- used(Sw, Id, Pfx).
+"""
+
+
+@pytest.fixture
+def annotated():
+    program = parse_program(PROGRAM)
+    recorder = ProvenanceRecorder()
+    engine = Engine(program, recorder=recorder)
+    engine.insert(parse_tuple("entry('s1', 4.3.2.0/24, 1)"))
+    engine.insert(parse_tuple("entry('s2', 4.3.2.0/24, 2)"))
+    engine.run()
+    engine.insert_and_run(parse_tuple("stim(1)"))
+    tree = provenance_query(recorder.graph, parse_tuple("out('s1', 1)"))
+    from repro.core.seeds import find_seed
+
+    seed = find_seed(tree.tuple_root)
+    annotation = TaintAnnotation(program, tree.tuple_root, seed)
+    equiv = EquivalenceRelation(annotation, parse_tuple("stim(2)"))
+    return tree, equiv
+
+
+def _entry_node(tree, switch):
+    for node in tree.tuple_root.walk():
+        if node.tuple.table == "entry" and node.tuple.args[0] == switch:
+            return node
+    raise AssertionError("entry node not found")
+
+
+class TestFieldRewrites:
+    def test_rewrite_applies_to_matching_slot(self, annotated):
+        tree, equiv = annotated
+        equiv.add_field_rewrite(
+            "entry", 1, Prefix("4.3.2.0/24"), Prefix("4.3.2.0/23")
+        )
+        node = _entry_node(tree, "s1")
+        assert equiv.expected_tuple(node) == parse_tuple(
+            "entry('s1', 4.3.2.0/23, 1)"
+        )
+
+    def test_rewrite_applies_across_all_occurrences(self, annotated):
+        # The point of field rewrites: the SAME value in the SAME slot is
+        # rewritten wherever it occurs in the tree (every entry compiled
+        # from one policy), not just on the tuple the repair touched.
+        tree, equiv = annotated
+        equiv.add_field_rewrite(
+            "entry", 1, Prefix("4.3.2.0/24"), Prefix("4.3.2.0/23")
+        )
+        entry_nodes = [
+            n for n in tree.tuple_root.walk() if n.tuple.table == "entry"
+        ]
+        assert entry_nodes
+        for node in entry_nodes:
+            assert equiv.expected_tuple(node).args[1] == Prefix("4.3.2.0/23")
+
+    def test_rewrites_are_per_slot_not_per_value(self, annotated):
+        # A rewrite names (table, slot, value): the same value projected
+        # into another table's slot needs its own rewrite.
+        tree, equiv = annotated
+        equiv.add_field_rewrite(
+            "entry", 1, Prefix("4.3.2.0/24"), Prefix("4.3.2.0/23")
+        )
+        used = next(
+            n for n in tree.tuple_root.walk() if n.tuple.table == "used"
+        )
+        assert equiv.expected_tuple(used).args[2] == Prefix("4.3.2.0/24")
+        equiv.add_field_rewrite(
+            "used", 2, Prefix("4.3.2.0/24"), Prefix("4.3.2.0/23")
+        )
+        assert equiv.expected_tuple(used).args[2] == Prefix("4.3.2.0/23")
+
+    def test_rewrite_is_slot_specific(self, annotated):
+        tree, equiv = annotated
+        # Same value, different table/slot: untouched.
+        equiv.add_field_rewrite(
+            "other_table", 1, Prefix("4.3.2.0/24"), Prefix("4.3.2.0/23")
+        )
+        node = _entry_node(tree, "s1")
+        assert equiv.expected_tuple(node).args[1] == Prefix("4.3.2.0/24")
+
+    def test_identity_rewrite_ignored(self, annotated):
+        tree, equiv = annotated
+        equiv.add_field_rewrite(
+            "entry", 1, Prefix("4.3.2.0/24"), Prefix("4.3.2.0/24")
+        )
+        assert not equiv.field_rewrites
+
+    def test_per_tuple_override_wins_over_rewrite(self, annotated):
+        tree, equiv = annotated
+        node = _entry_node(tree, "s1")
+        equiv.add_field_rewrite(
+            "entry", 1, Prefix("4.3.2.0/24"), Prefix("4.3.2.0/23")
+        )
+        equiv.add_override(node.tuple, parse_tuple("entry('s1', 9.9.9.0/24, 1)"))
+        assert equiv.expected_tuple(node) == parse_tuple(
+            "entry('s1', 9.9.9.0/24, 1)"
+        )
+
+    def test_rewrite_affects_equivalence_checks(self, annotated):
+        tree, equiv = annotated
+        node = _entry_node(tree, "s1")
+        widened = parse_tuple("entry('s1', 4.3.2.0/23, 1)")
+        assert not equiv.tuples_equivalent(node, widened)
+        equiv.add_field_rewrite(
+            "entry", 1, Prefix("4.3.2.0/24"), Prefix("4.3.2.0/23")
+        )
+        assert equiv.tuples_equivalent(node, widened)

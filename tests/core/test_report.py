@@ -1,0 +1,101 @@
+"""Tests for diagnosis reports and the failure taxonomy."""
+
+import pytest
+
+from repro.core.report import DiagnosisReport, RoundInfo
+from repro.datalog import parse_tuple
+from repro.errors import (
+    DiagnosisFailure,
+    ImmutableChangeRequired,
+    NonInvertibleError,
+    SeedTypeMismatch,
+)
+from repro.replay import Change
+
+
+def make_report(**overrides):
+    defaults = dict(
+        success=True,
+        changes=[Change(insert=parse_tuple("cfg('a', 1)"))],
+        rounds=[RoundInfo(1, parse_tuple("x(1)"), parse_tuple("x(2)"),
+                          [Change(insert=parse_tuple("cfg('a', 1)"))])],
+        timings={"query": 0.5, "replay": 1.0, "divergence": 0.01,
+                 "make_appear": 0.02, "find_seed": 0.001},
+        good_tree_size=100,
+        bad_tree_size=120,
+        good_seed=parse_tuple("pkt(1)"),
+        bad_seed=parse_tuple("pkt(2)"),
+        replays=2,
+        verified=True,
+    )
+    defaults.update(overrides)
+    return DiagnosisReport(**defaults)
+
+
+class TestSuccessReports:
+    def test_num_changes(self):
+        assert make_report().num_changes == 1
+
+    def test_changes_per_round(self):
+        assert make_report().changes_per_round == [1]
+
+    def test_failure_category_none_on_success(self):
+        assert make_report().failure_category is None
+
+    def test_summary_mentions_changes_and_verification(self):
+        text = make_report().summary()
+        assert "1 root-cause change" in text
+        assert "verified" in text
+        assert "cfg('a', 1)" in text
+
+    def test_root_causes(self):
+        assert make_report().root_causes() == ["insert cfg('a', 1)"]
+
+    def test_timing_views(self):
+        report = make_report()
+        assert report.total_seconds == pytest.approx(1.531)
+        # Reasoning excludes replay and the initial tree queries.
+        assert report.reasoning_seconds == pytest.approx(0.031)
+
+
+class TestFailureCategories:
+    @pytest.mark.parametrize(
+        "failure,category",
+        [
+            (SeedTypeMismatch(parse_tuple("a(1)"), parse_tuple("b(1)")),
+             "seed-type-mismatch"),
+            (ImmutableChangeRequired(parse_tuple("link(1)")),
+             "immutable-change-required"),
+            (NonInvertibleError("no inverse"), "non-invertible"),
+            (DiagnosisFailure("wedged"), "stuck"),
+            (None, "max-rounds"),
+        ],
+    )
+    def test_category_mapping(self, failure, category):
+        report = make_report(success=False, failure=failure, verified=False)
+        assert report.failure_category == category
+
+    def test_failure_summary_mentions_category_and_attempts(self):
+        report = make_report(
+            success=False,
+            failure=DiagnosisFailure("wedged"),
+            verified=False,
+        )
+        text = report.summary()
+        assert "stuck" in text
+        assert "attempted changes" in text
+
+    def test_seed_type_mismatch_message_names_both(self):
+        failure = SeedTypeMismatch(parse_tuple("pkt(1)"), parse_tuple("cfg(1)"))
+        assert "pkt" in str(failure) and "cfg" in str(failure)
+
+    def test_immutable_message_names_tuple(self):
+        failure = ImmutableChangeRequired(parse_tuple("link('a', 1)"), "why")
+        assert "link('a', 1)" in str(failure)
+        assert "why" in str(failure)
+
+
+class TestRoundInfo:
+    def test_repr(self):
+        info = RoundInfo(2, parse_tuple("x(1)"), parse_tuple("x(2)"), [])
+        assert "#2" in repr(info)

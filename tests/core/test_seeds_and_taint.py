@@ -1,0 +1,139 @@
+"""Tests for seed finding (Section 4.2) and taint tracking (4.3/4.4)."""
+
+import pytest
+
+from repro.core.equivalence import EquivalenceRelation
+from repro.core.seeds import find_seed, seed_path
+from repro.core.taint import TaintAnnotation, seed_env, seed_var
+from repro.datalog import Engine, parse_program, parse_tuple
+from repro.datalog.parser import parse_expr
+from repro.provenance import ProvenanceRecorder, provenance_query
+
+
+PROGRAM = """
+table stim(X, Y) event immutable.
+table cfg(K, V) mutable.
+table mid(X, Y, Z) event.
+table out(X, W).
+
+r1 mid(X, Y, Z) :- stim(X, Y), cfg('scale', Z).
+r2 out(X, W) :- mid(X, Y, Z), W := 2 * Y + Z.
+"""
+
+
+@pytest.fixture
+def annotated():
+    program = parse_program(PROGRAM)
+    recorder = ProvenanceRecorder()
+    engine = Engine(program, recorder=recorder)
+    engine.insert(parse_tuple("cfg('scale', 3)"))
+    engine.run()
+    engine.insert(parse_tuple("stim(1, 5)"))
+    engine.run()
+    tree = provenance_query(recorder.graph, parse_tuple("out(1, 13)"))
+    seed = find_seed(tree.tuple_root)
+    annotation = TaintAnnotation(program, tree.tuple_root, seed)
+    return program, tree, seed, annotation
+
+
+class TestFindSeed:
+    def test_seed_is_the_stimulus(self, annotated):
+        _, _, seed, _ = annotated
+        assert seed.tuple == parse_tuple("stim(1, 5)")
+        assert seed.is_base
+
+    def test_seed_path_leads_to_root(self, annotated):
+        _, tree, _, _ = annotated
+        path = seed_path(tree.tuple_root)
+        assert path[0].tuple.table == "stim"
+        assert path[-1] is tree.tuple_root
+        assert [n.tuple.table for n in path] == ["stim", "mid", "out"]
+
+    def test_config_is_not_the_seed(self, annotated):
+        # cfg appeared before the stimulus, so the latest-APPEAR descent
+        # must never choose it.
+        _, _, seed, _ = annotated
+        assert seed.tuple.table != "cfg"
+
+
+class TestTaintAnnotation:
+    def test_seed_fields_have_identity_formulas(self, annotated):
+        _, _, seed, annotation = annotated
+        assert annotation.formulas_for(seed) == [seed_var(0), seed_var(1)]
+
+    def test_untainted_base_has_no_formulas(self, annotated):
+        _, tree, _, annotation = annotated
+        mid = tree.tuple_root.children[0]
+        cfg = mid.children[1]
+        assert cfg.tuple.table == "cfg"
+        assert annotation.formulas_for(cfg) == [None, None]
+
+    def test_formulas_propagate_through_assignments(self, annotated):
+        # W := 2*Y + Z with Y tainted ($1) and Z untainted (3):
+        # the formula for W must evaluate to 2*$1 + 3.
+        _, tree, _, annotation = annotated
+        formulas = annotation.formulas_for(tree.tuple_root)
+        assert formulas[0] == seed_var(0)
+        w_formula = formulas[1]
+        assert w_formula is not None
+        assert w_formula.evaluate({"$1": 5}) == 13
+        assert w_formula.evaluate({"$1": 10}) == 23
+
+    def test_var_formulas_recorded_for_derivations(self, annotated):
+        _, tree, _, annotation = annotated
+        var_formulas = annotation.var_formulas_for(tree.tuple_root)
+        assert "Y" in var_formulas
+
+    def test_disabled_annotation_has_no_taints(self, annotated):
+        program, tree, seed, _ = annotated
+        disabled = TaintAnnotation(program, tree.tuple_root, seed, enabled=False)
+        assert disabled.formulas_for(seed) == [None, None]
+
+    def test_foreign_node_rejected(self, annotated):
+        program, tree, seed, annotation = annotated
+        from repro.provenance.tree import TupleNode
+
+        foreign = TupleNode(parse_tuple("out(9, 9)"), "n", None, None, 0, None, None)
+        with pytest.raises(Exception):
+            annotation.formulas_for(foreign)
+
+
+class TestSeedEnv:
+    def test_env_binds_dollar_vars(self):
+        env = seed_env(parse_tuple("stim(7, 8)"))
+        assert env == {"$0": 7, "$1": 8}
+
+    def test_formula_evaluation_under_other_seed(self):
+        formula = parse_expr("2 * $1 + 3")
+        assert formula.evaluate(seed_env(parse_tuple("stim(1, 10)"))) == 23
+
+
+class TestEquivalenceRelation:
+    def test_expected_tuple_applies_taint(self, annotated):
+        program, tree, seed, annotation = annotated
+        equiv = EquivalenceRelation(annotation, parse_tuple("stim(2, 7)"))
+        expected = equiv.expected_tuple(tree.tuple_root)
+        # out(X, 2*Y+Z) with X=2, Y=7, Z=3 (untainted, from the good run).
+        assert expected == parse_tuple("out(2, 17)")
+
+    def test_untainted_fields_stay_literal(self, annotated):
+        program, tree, seed, annotation = annotated
+        equiv = EquivalenceRelation(annotation, parse_tuple("stim(2, 7)"))
+        mid = tree.tuple_root.children[0]
+        cfg = mid.children[1]
+        assert equiv.expected_tuple(cfg) == cfg.tuple
+
+    def test_override_takes_precedence(self, annotated):
+        program, tree, seed, annotation = annotated
+        equiv = EquivalenceRelation(annotation, parse_tuple("stim(2, 7)"))
+        mid = tree.tuple_root.children[0]
+        cfg = mid.children[1]
+        equiv.add_override(cfg.tuple, parse_tuple("cfg('scale', 9)"))
+        assert equiv.expected_tuple(cfg) == parse_tuple("cfg('scale', 9)")
+
+    def test_tuples_equivalent(self, annotated):
+        program, tree, seed, annotation = annotated
+        equiv = EquivalenceRelation(annotation, parse_tuple("stim(2, 7)"))
+        assert equiv.tuples_equivalent(tree.tuple_root, parse_tuple("out(2, 17)"))
+        assert not equiv.tuples_equivalent(tree.tuple_root, parse_tuple("out(2, 18)"))
+        assert not equiv.tuples_equivalent(tree.tuple_root, parse_tuple("mid(2, 7, 3)"))

@@ -1,0 +1,113 @@
+"""Tests for the IPv4 address and prefix value types."""
+
+import pytest
+
+from repro.addresses import IPv4Address, Prefix, ip, prefix
+from repro.errors import SchemaError
+
+
+class TestIPv4Address:
+    def test_parse_dotted(self):
+        assert IPv4Address("1.2.3.4").value == 0x01020304
+
+    def test_from_int(self):
+        assert str(IPv4Address(0x01020304)) == "1.2.3.4"
+
+    def test_copy_constructor(self):
+        original = ip("10.0.0.1")
+        assert IPv4Address(original) == original
+
+    def test_octets(self):
+        assert ip("10.20.30.40").octets() == (10, 20, 30, 40)
+
+    def test_last_octet(self):
+        assert ip("1.2.3.4").last_octet() == 4
+
+    def test_equality_and_hash(self):
+        assert ip("1.2.3.4") == ip("1.2.3.4")
+        assert ip("1.2.3.4") != ip("1.2.3.5")
+        assert hash(ip("1.2.3.4")) == hash(ip("1.2.3.4"))
+
+    def test_ordering(self):
+        assert ip("1.2.3.4") < ip("1.2.3.5")
+        assert ip("2.0.0.0") > ip("1.255.255.255")
+
+    def test_rejects_out_of_range_int(self):
+        with pytest.raises(SchemaError):
+            IPv4Address(1 << 32)
+
+    def test_rejects_malformed_strings(self):
+        for bad in ("1.2.3", "1.2.3.4.5", "a.b.c.d", "1.2.3.256"):
+            with pytest.raises(SchemaError):
+                IPv4Address(bad)
+
+    def test_rejects_wrong_type(self):
+        with pytest.raises(SchemaError):
+            IPv4Address(3.14)
+
+
+class TestPrefix:
+    def test_parse_slash_notation(self):
+        p = Prefix("4.3.2.0/24")
+        assert p.length == 24
+        assert str(p.network) == "4.3.2.0"
+
+    def test_network_is_masked(self):
+        assert Prefix("4.3.2.99/24").network == ip("4.3.2.0")
+
+    def test_contains(self):
+        p = prefix("4.3.2.0/24")
+        assert p.contains(ip("4.3.2.1"))
+        assert not p.contains(ip("4.3.3.1"))
+
+    def test_slash_23_contains_both(self):
+        p = prefix("4.3.2.0/23")
+        assert p.contains(ip("4.3.2.1"))
+        assert p.contains(ip("4.3.3.1"))
+
+    def test_zero_length_contains_everything(self):
+        p = prefix("0.0.0.0/0")
+        assert p.contains(ip("255.255.255.255"))
+        assert p.contains(ip("0.0.0.0"))
+
+    def test_slash_32_is_exact(self):
+        p = prefix("10.0.0.1/32")
+        assert p.contains(ip("10.0.0.1"))
+        assert not p.contains(ip("10.0.0.2"))
+
+    def test_overlaps(self):
+        assert prefix("4.3.2.0/23").overlaps(prefix("4.3.2.0/24"))
+        assert prefix("4.3.2.0/24").overlaps(prefix("4.3.2.0/23"))
+        assert not prefix("4.3.2.0/24").overlaps(prefix("4.3.3.0/24"))
+
+    def test_subnets(self):
+        low, high = prefix("4.3.2.0/23").subnets()
+        assert str(low) == "4.3.2.0/24"
+        assert str(high) == "4.3.3.0/24"
+
+    def test_subnets_of_host_route_fails(self):
+        with pytest.raises(SchemaError):
+            prefix("1.2.3.4/32").subnets()
+
+    def test_host(self):
+        assert prefix("10.0.0.0/24").host(5) == ip("10.0.0.5")
+
+    def test_host_out_of_range(self):
+        with pytest.raises(SchemaError):
+            prefix("10.0.0.0/30").host(4)
+
+    def test_requires_length(self):
+        with pytest.raises(SchemaError):
+            Prefix("10.0.0.0")
+
+    def test_rejects_bad_length(self):
+        with pytest.raises(SchemaError):
+            Prefix("10.0.0.0/33")
+
+    def test_equality_and_hash(self):
+        assert prefix("4.3.2.0/24") == prefix("4.3.2.7/24")
+        assert prefix("4.3.2.0/24") != prefix("4.3.2.0/23")
+        assert hash(prefix("4.3.2.0/24")) == hash(prefix("4.3.2.0/24"))
+
+    def test_str_roundtrip(self):
+        assert str(prefix("4.3.2.0/23")) == "4.3.2.0/23"

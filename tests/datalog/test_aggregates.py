@@ -1,0 +1,91 @@
+"""Tests for barrier-style aggregate evaluation."""
+
+import pytest
+
+from repro.datalog import Engine, parse_program, parse_tuple
+
+
+PROGRAM = """
+table v(K, X).
+table total(K, T).
+table cnt(K, C).
+table lo(K, M).
+table hi(K, M).
+rs total(K, sum<X>) :- v(K, X).
+rc cnt(K, count<*>) :- v(K, X).
+rmin lo(K, min<X>) :- v(K, X).
+rmax hi(K, max<X>) :- v(K, X).
+"""
+
+
+@pytest.fixture
+def engine():
+    e = Engine(parse_program(PROGRAM))
+    for text in ("v('a', 1)", "v('a', 2)", "v('a', 3)", "v('b', 10)"):
+        e.insert(parse_tuple(text))
+    e.run()
+    return e
+
+
+class TestAggregates:
+    def test_sum(self, engine):
+        engine.fire_aggregates()
+        assert engine.exists(parse_tuple("total('a', 6)"))
+        assert engine.exists(parse_tuple("total('b', 10)"))
+
+    def test_count(self, engine):
+        engine.fire_aggregates()
+        assert engine.exists(parse_tuple("cnt('a', 3)"))
+        assert engine.exists(parse_tuple("cnt('b', 1)"))
+
+    def test_min_max(self, engine):
+        engine.fire_aggregates()
+        assert engine.exists(parse_tuple("lo('a', 1)"))
+        assert engine.exists(parse_tuple("hi('a', 3)"))
+
+    def test_no_contributions_no_groups(self):
+        e = Engine(parse_program(PROGRAM))
+        assert e.fire_aggregates() == 0
+        assert e.lookup("total") == []
+
+    def test_aggregates_not_fired_by_run(self, engine):
+        # Aggregates only evaluate at the explicit barrier.
+        assert engine.lookup("total") == []
+
+    def test_aggregate_triggers_downstream_rules(self):
+        program = parse_program(
+            PROGRAM + "\ntable big(K).\nrb big(K) :- total(K, T), T > 5.\n"
+        )
+        e = Engine(program)
+        for text in ("v('a', 3)", "v('a', 4)"):
+            e.insert(parse_tuple(text))
+        e.run()
+        e.fire_aggregates()
+        assert e.exists(parse_tuple("big('a')"))
+
+    def test_aggregate_derivation_lists_contributors(self, engine):
+        derived = []
+        class Recorder:
+            def on_derive(self, node, derivation, time):
+                derived.append(derivation)
+            def __getattr__(self, name):
+                return lambda *args, **kwargs: None
+        engine.recorder = Recorder()
+        engine.fire_aggregates()
+        by_head = {d.head: d for d in derived}
+        total_a = by_head[parse_tuple("total('a', 6)")]
+        assert set(total_a.body) == {
+            parse_tuple("v('a', 1)"),
+            parse_tuple("v('a', 2)"),
+            parse_tuple("v('a', 3)"),
+        }
+
+    def test_determinism(self):
+        def once():
+            e = Engine(parse_program(PROGRAM))
+            for text in ("v('b', 10)", "v('a', 3)", "v('a', 1)", "v('a', 2)"):
+                e.insert(parse_tuple(text))
+            e.run()
+            e.fire_aggregates()
+            return e.store.all_tuples()
+        assert once() == once()

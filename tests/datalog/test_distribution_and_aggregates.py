@@ -1,0 +1,171 @@
+"""Deeper engine coverage: multi-hop located rules, aggregate joins,
+and provenance of negative events."""
+
+import pytest
+
+from repro.datalog import Engine, parse_program, parse_tuple
+from repro.provenance import ProvenanceRecorder
+from repro.provenance.vertices import VertexKind
+
+
+class TestLocatedChains:
+    """NDlog's hallmark: recursive distributed computation over @nodes."""
+
+    PROGRAM = """
+    table link(Src, Dst).
+    table start(Node) event.
+    table visited(Node, Origin).
+    hop1 visited(@N, O) :- start(@O), link(@O, N).
+    hopN visited(@M, O) :- visited(@N, O), link(@N, M).
+    """
+
+    def test_multi_hop_propagation(self):
+        engine = Engine(parse_program(self.PROGRAM))
+        for text in ("link('a', 'b')", "link('b', 'c')", "link('c', 'd')"):
+            engine.insert(parse_tuple(text))
+        engine.run()
+        engine.insert_and_run(parse_tuple("start('a')"))
+        visited = {t.args[0] for t in engine.lookup("visited")}
+        assert visited == {"b", "c", "d"}
+
+    def test_tuples_live_at_their_nodes(self):
+        engine = Engine(parse_program(self.PROGRAM))
+        engine.insert(parse_tuple("link('a', 'b')"))
+        engine.run()
+        engine.insert_and_run(parse_tuple("start('a')"))
+        tup = parse_tuple("visited('b', 'a')")
+        assert engine.exists(tup)
+        assert engine.node_of(tup) == "b"
+
+    def test_provenance_spans_nodes(self):
+        recorder = ProvenanceRecorder()
+        engine = Engine(parse_program(self.PROGRAM), recorder=recorder)
+        for text in ("link('a', 'b')", "link('b', 'c')"):
+            engine.insert(parse_tuple(text))
+        engine.run()
+        engine.insert_and_run(parse_tuple("start('a')"))
+        from repro.provenance import provenance_query
+
+        tree = provenance_query(recorder.graph, parse_tuple("visited('c', 'a')"))
+        nodes = {n.node for n in tree.tuple_root.walk()}
+        assert {"a", "b", "c"} <= nodes
+
+
+class TestAggregateJoins:
+    PROGRAM = """
+    table sale(Region, Product, Amount).
+    table listed(Product).
+    table revenue(Region, Total).
+    r1 revenue(Region, sum<Amount>) :- sale(Region, Product, Amount),
+        listed(Product), Amount > 0.
+    """
+
+    def test_aggregate_over_join_with_condition(self):
+        engine = Engine(parse_program(self.PROGRAM))
+        for text in (
+            "sale('eu', 'a', 10)",
+            "sale('eu', 'b', 5)",
+            "sale('eu', 'c', 7)",     # c is not listed
+            "sale('eu', 'a', -3)",    # filtered by the condition
+            "sale('us', 'a', 2)",
+            "listed('a')",
+            "listed('b')",
+        ):
+            engine.insert(parse_tuple(text))
+        engine.run()
+        engine.fire_aggregates()
+        assert engine.exists(parse_tuple("revenue('eu', 15)"))
+        assert engine.exists(parse_tuple("revenue('us', 2)"))
+
+    def test_aggregate_provenance_includes_join_partners(self):
+        recorder = ProvenanceRecorder()
+        engine = Engine(parse_program(self.PROGRAM), recorder=recorder)
+        for text in ("sale('eu', 'a', 10)", "listed('a')"):
+            engine.insert(parse_tuple(text))
+        engine.run()
+        engine.fire_aggregates()
+        from repro.provenance import provenance_query
+
+        tree = provenance_query(recorder.graph, parse_tuple("revenue('eu', 10)"))
+        tables = {n.tuple.table for n in tree.tuple_root.walk()}
+        assert tables == {"revenue", "sale", "listed"}
+
+
+class TestNegativeVertexes:
+    PROGRAM = """
+    table base(X).
+    table derived(X).
+    r1 derived(X) :- base(X).
+    """
+
+    def test_underive_and_disappear_recorded(self):
+        recorder = ProvenanceRecorder()
+        engine = Engine(parse_program(self.PROGRAM), recorder=recorder)
+        engine.insert_and_run(parse_tuple("base(1)"))
+        engine.delete(parse_tuple("base(1)"))
+        engine.run()
+        stats = recorder.graph.stats()
+        assert stats["DELETE"] == 1
+        assert stats["UNDERIVE"] == 1
+        assert stats["DISAPPEAR"] == 2  # the base and the derived tuple
+
+    def test_underive_points_to_its_derive(self):
+        recorder = ProvenanceRecorder()
+        engine = Engine(parse_program(self.PROGRAM), recorder=recorder)
+        engine.insert_and_run(parse_tuple("base(1)"))
+        engine.delete(parse_tuple("base(1)"))
+        engine.run()
+        underives = [
+            v for v in recorder.graph.vertices
+            if v.kind == VertexKind.UNDERIVE
+        ]
+        (underive,) = underives
+        (cause,) = recorder.graph.children(underive)
+        assert cause.kind == VertexKind.DERIVE
+        assert cause.derivation_id == underive.derivation_id
+
+    def test_disappear_of_derived_points_to_underive(self):
+        recorder = ProvenanceRecorder()
+        engine = Engine(parse_program(self.PROGRAM), recorder=recorder)
+        engine.insert_and_run(parse_tuple("base(1)"))
+        engine.delete(parse_tuple("base(1)"))
+        engine.run()
+        disappears = [
+            v for v in recorder.graph.vertices
+            if v.kind == VertexKind.DISAPPEAR
+            and v.tuple == parse_tuple("derived(1)")
+        ]
+        (disappear,) = disappears
+        (cause,) = recorder.graph.children(disappear)
+        assert cause.kind == VertexKind.DERIVE  # via the underive edge
+
+
+class TestTaintConflicts:
+    """Two children binding the same variable: first formula wins, and
+    the annotation stays internally consistent."""
+
+    PROGRAM = """
+    table stim(X) event immutable.
+    table mirror(X) event.
+    table pair(X, Y) event.
+    table out(X).
+    m mirror(X) :- stim(X).
+    p pair(X, X) :- stim(X).
+    o out(X) :- pair(X, Y).
+    """
+
+    def test_duplicate_variable_taints(self):
+        from repro.core.seeds import find_seed
+        from repro.core.taint import TaintAnnotation
+        from repro.provenance import provenance_query
+
+        program = parse_program(self.PROGRAM)
+        recorder = ProvenanceRecorder()
+        engine = Engine(program, recorder=recorder)
+        engine.insert_and_run(parse_tuple("stim(5)"))
+        tree = provenance_query(recorder.graph, parse_tuple("out(5)"))
+        seed = find_seed(tree.tuple_root)
+        annotation = TaintAnnotation(program, tree.tuple_root, seed)
+        (formula,) = annotation.formulas_for(tree.tuple_root)
+        assert formula is not None
+        assert formula.evaluate({"$0": 9}) == 9

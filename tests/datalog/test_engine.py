@@ -1,0 +1,264 @@
+"""Tests for the delta-driven evaluator."""
+
+import pytest
+
+from repro.datalog import Engine, parse_program, parse_tuple
+from repro.datalog.tuples import Tuple
+from repro.errors import SchemaError
+
+
+def run(program_text, inserts, deletes=()):
+    engine = Engine(parse_program(program_text))
+    for text in inserts:
+        engine.insert(parse_tuple(text))
+    engine.run()
+    for text in deletes:
+        engine.delete(parse_tuple(text))
+    engine.run()
+    return engine
+
+
+class TestBasicDerivation:
+    PROGRAM = """
+    table a(X).
+    table b(X).
+    table c(X, Y).
+    r1 b(X) :- a(X).
+    r2 c(X, Y) :- a(X), Y := X + 1.
+    """
+
+    def test_single_step(self):
+        engine = run(self.PROGRAM, ["a(1)"])
+        assert engine.exists(parse_tuple("b(1)"))
+
+    def test_assignment(self):
+        engine = run(self.PROGRAM, ["a(2)"])
+        assert engine.exists(parse_tuple("c(2, 3)"))
+
+    def test_no_spurious_tuples(self):
+        engine = run(self.PROGRAM, ["a(1)"])
+        assert not engine.exists(parse_tuple("b(2)"))
+
+    def test_duplicate_insert_is_idempotent(self):
+        engine = run(self.PROGRAM, ["a(1)", "a(1)"])
+        assert engine.lookup("b") == [parse_tuple("b(1)")]
+
+
+class TestJoins:
+    PROGRAM = """
+    table a(X, Y).
+    table b(Y, Z).
+    table c(X, Z).
+    r1 c(X, Z) :- a(X, Y), b(Y, Z).
+    """
+
+    def test_join_in_either_order(self):
+        first = run(self.PROGRAM, ["a(1, 2)", "b(2, 3)"])
+        second = run(self.PROGRAM, ["b(2, 3)", "a(1, 2)"])
+        expected = [parse_tuple("c(1, 3)")]
+        assert first.lookup("c") == expected
+        assert second.lookup("c") == expected
+
+    def test_join_key_mismatch(self):
+        engine = run(self.PROGRAM, ["a(1, 2)", "b(9, 3)"])
+        assert engine.lookup("c") == []
+
+    def test_multiple_matches(self):
+        engine = run(self.PROGRAM, ["a(1, 2)", "b(2, 3)", "b(2, 4)"])
+        assert engine.lookup("c") == [parse_tuple("c(1, 3)"), parse_tuple("c(1, 4)")]
+
+
+class TestConditions:
+    PROGRAM = """
+    table a(X).
+    table big(X).
+    r1 big(X) :- a(X), X > 10.
+    """
+
+    def test_condition_filters(self):
+        engine = run(self.PROGRAM, ["a(5)", "a(15)"])
+        assert engine.lookup("big") == [parse_tuple("big(15)")]
+
+
+class TestRecursion:
+    PROGRAM = """
+    table edge(X, Y).
+    table reach(X, Y).
+    base reach(X, Y) :- edge(X, Y).
+    step reach(X, Z) :- reach(X, Y), edge(Y, Z).
+    """
+
+    def test_transitive_closure(self):
+        engine = run(self.PROGRAM, ["edge(1, 2)", "edge(2, 3)", "edge(3, 4)"])
+        assert engine.exists(parse_tuple("reach(1, 4)"))
+
+    def test_cycle_terminates(self):
+        engine = run(self.PROGRAM, ["edge(1, 2)", "edge(2, 1)"])
+        assert engine.exists(parse_tuple("reach(1, 1)"))
+        assert engine.exists(parse_tuple("reach(2, 2)"))
+
+
+class TestDeletion:
+    PROGRAM = """
+    table a(X).
+    table b(X).
+    table c(X).
+    r1 b(X) :- a(X).
+    r2 c(X) :- b(X).
+    """
+
+    def test_cascading_underivation(self):
+        engine = run(self.PROGRAM, ["a(1)"], deletes=["a(1)"])
+        assert not engine.exists(parse_tuple("a(1)"))
+        assert not engine.exists(parse_tuple("b(1)"))
+        assert not engine.exists(parse_tuple("c(1)"))
+
+    def test_support_counting(self):
+        # b(1) is derivable from a(1) and independently inserted as base;
+        # deleting a(1) must not kill it.
+        engine = Engine(parse_program(self.PROGRAM))
+        engine.insert(parse_tuple("a(1)"))
+        engine.insert(parse_tuple("b(1)"))
+        engine.run()
+        engine.delete(parse_tuple("a(1)"))
+        engine.run()
+        assert engine.exists(parse_tuple("b(1)"))
+
+    def test_delete_nonexistent_is_noop(self):
+        engine = run(self.PROGRAM, ["a(1)"], deletes=["a(2)"])
+        assert engine.exists(parse_tuple("a(1)"))
+
+
+class TestEvents:
+    PROGRAM = """
+    table ev(X) event.
+    table state(X).
+    table out(X).
+    r1 out(X) :- ev(X), state(X).
+    """
+
+    def test_event_triggers_against_existing_state(self):
+        engine = run(self.PROGRAM, ["state(1)", "ev(1)"])
+        assert engine.exists(parse_tuple("out(1)"))
+
+    def test_event_is_not_stored(self):
+        # State arriving after the event must not fire the rule: the
+        # event was transient.
+        engine = run(self.PROGRAM, ["ev(1)", "state(1)"])
+        assert not engine.exists(parse_tuple("out(1)"))
+
+    def test_event_derived_state_survives_state_deletion(self):
+        engine = run(self.PROGRAM, ["state(1)", "ev(1)"], deletes=["state(1)"])
+        # The packet was already forwarded; deleting the flow entry
+        # afterwards does not un-forward it (SDN3 semantics).
+        assert engine.exists(parse_tuple("out(1)"))
+
+    def test_two_event_atoms_rejected(self):
+        with pytest.raises(SchemaError):
+            Engine(
+                parse_program(
+                    """
+                    table e1(X) event.
+                    table e2(X) event.
+                    table out(X).
+                    r1 out(X) :- e1(X), e2(X).
+                    """
+                )
+            )
+
+    def test_cannot_delete_event(self):
+        engine = Engine(
+            parse_program("table ev(X) event.\ntable s(X).\nr1 s(X) :- ev(X).")
+        )
+        engine.delete(parse_tuple("ev(1)"))
+        with pytest.raises(SchemaError):
+            engine.run()
+
+
+class TestSelectors:
+    PROGRAM = """
+    table pkt(S, D) event.
+    table fe(S, Prio, Pfx, Port).
+    table out(S, D, Port) event.
+    table seen(S, D, Port).
+    r1 out(S, D, Port) :- pkt(S, D),
+        fe(S, Prio, Pfx, Port) argmax<Prio, prefix_len(Pfx)>,
+        ip_in_prefix(D, Pfx) == true.
+    r2 seen(S, D, Port) :- out(S, D, Port).
+    """
+
+    def test_highest_priority_wins(self):
+        engine = run(
+            self.PROGRAM,
+            ["fe('s', 1, 0.0.0.0/0, 9)", "fe('s', 5, 1.2.3.0/24, 2)",
+             "pkt('s', 1.2.3.4)"],
+        )
+        assert engine.lookup("seen") == [parse_tuple("seen('s', 1.2.3.4, 2)")]
+
+    def test_only_matching_entries_are_candidates(self):
+        # The high-priority entry does not match, so the default must win
+        # even though its priority is lower.
+        engine = run(
+            self.PROGRAM,
+            ["fe('s', 1, 0.0.0.0/0, 9)", "fe('s', 5, 1.2.3.0/24, 2)",
+             "pkt('s', 7.7.7.7)"],
+        )
+        assert engine.lookup("seen") == [parse_tuple("seen('s', 7.7.7.7, 9)")]
+
+    def test_longest_prefix_breaks_priority_ties(self):
+        engine = run(
+            self.PROGRAM,
+            ["fe('s', 5, 1.2.0.0/16, 8)", "fe('s', 5, 1.2.3.0/24, 2)",
+             "pkt('s', 1.2.3.4)"],
+        )
+        assert engine.lookup("seen") == [parse_tuple("seen('s', 1.2.3.4, 2)")]
+
+    def test_no_match_no_output(self):
+        engine = run(self.PROGRAM, ["fe('s', 5, 1.2.3.0/24, 2)", "pkt('s', 9.9.9.9)"])
+        assert engine.lookup("seen") == []
+
+
+class TestDistribution:
+    PROGRAM = """
+    table msg(N, X) event.
+    table stored(N, X).
+    table peer(N, M).
+    r1 stored(@M, X) :- msg(@N, X), peer(@N, M).
+    """
+
+    def test_head_shipped_to_remote_node(self):
+        engine = run(self.PROGRAM, ["peer('a', 'b')", "msg('a', 42)"])
+        assert engine.exists(parse_tuple("stored('b', 42)"))
+        assert engine.node_of(parse_tuple("stored('b', 42)")) == "b"
+
+
+class TestDeterminism:
+    def test_same_inputs_same_clock_sequence(self, forwarding_program):
+        def run_once():
+            engine = Engine(forwarding_program)
+            for text in (
+                "link('s1', 2, 's2')",
+                "flowEntry('s1', 5, 4.3.2.0/24, 2)",
+                "flowEntry('s2', 1, 0.0.0.0/0, 3)",
+                "hostAt('s2', 3, 'h1')",
+                "packet('s1', 4.3.2.9, 4.3.2.1)",
+            ):
+                engine.insert(parse_tuple(text))
+            engine.run()
+            return engine.now, engine.store.all_tuples()
+
+        first = run_once()
+        second = run_once()
+        assert first == second
+
+
+class TestValidation:
+    def test_unknown_table_insert(self, forwarding_program):
+        engine = Engine(forwarding_program)
+        with pytest.raises(SchemaError):
+            engine.insert(Tuple("nonsense", [1]))
+
+    def test_arity_mismatch(self, forwarding_program):
+        engine = Engine(forwarding_program)
+        with pytest.raises(SchemaError):
+            engine.insert(Tuple("link", [1]))

@@ -1,0 +1,180 @@
+"""Tests for the expression AST: evaluation, substitution, inversion."""
+
+import pytest
+
+from repro.datalog.expr import BinOp, Call, Const, Var, fold, invert
+from repro.datalog.parser import parse_expr
+from repro.errors import EvaluationError, NonInvertibleError
+
+
+class TestEvaluation:
+    def test_const(self):
+        assert Const(42).evaluate({}) == 42
+
+    def test_var(self):
+        assert Var("X").evaluate({"X": 7}) == 7
+
+    def test_unbound_var(self):
+        with pytest.raises(EvaluationError):
+            Var("X").evaluate({})
+
+    def test_arithmetic(self):
+        expr = parse_expr("2 * X + 1")
+        assert expr.evaluate({"X": 3}) == 7
+
+    def test_exact_division(self):
+        assert parse_expr("X / 2").evaluate({"X": 10}) == 5
+
+    def test_exact_division_rejects_remainder(self):
+        with pytest.raises(EvaluationError):
+            parse_expr("X / 2").evaluate({"X": 7})
+
+    def test_division_by_zero(self):
+        with pytest.raises(EvaluationError):
+            parse_expr("1 / X").evaluate({"X": 0})
+
+    def test_bitwise(self):
+        assert parse_expr("X & 255").evaluate({"X": 0x1FF}) == 0xFF
+        assert parse_expr("X ^ 5").evaluate({"X": 3}) == 6
+        assert parse_expr("X << 2").evaluate({"X": 3}) == 12
+
+    def test_precedence(self):
+        assert parse_expr("1 + 2 * 3").evaluate({}) == 7
+        assert parse_expr("(1 + 2) * 3").evaluate({}) == 9
+
+    def test_call(self):
+        assert parse_expr("sq(X)").evaluate({"X": 5}) == 25
+
+    def test_type_error_is_evaluation_error(self):
+        with pytest.raises(EvaluationError):
+            BinOp("+", Const(1), Const("a")).evaluate({})
+
+
+class TestSubstitution:
+    def test_substitute_var(self):
+        expr = parse_expr("X + 1")
+        result = expr.substitute({"X": Var("Y")})
+        assert result == parse_expr("Y + 1")
+
+    def test_substitute_into_call(self):
+        expr = parse_expr("sq(X)")
+        result = expr.substitute({"X": parse_expr("Y + 2")})
+        assert result.evaluate({"Y": 3}) == 25
+
+    def test_substitution_composes(self):
+        # Formulas compose as they travel up the tree (Section 4.4):
+        # if the 3 was computed by f, then 2*f+1 computes the 7.
+        inner = parse_expr("$0 + 1")
+        outer = parse_expr("2 * C + 1").substitute({"C": inner})
+        assert outer.evaluate({"$0": 2}) == 7
+
+    def test_untouched_vars_stay(self):
+        expr = parse_expr("X + Y")
+        result = expr.substitute({"X": Const(1)})
+        assert result.variables() == frozenset(["Y"])
+
+
+class TestVariables:
+    def test_variables_of_expression(self):
+        assert parse_expr("X + sq(Y) * 2").variables() == frozenset(["X", "Y"])
+
+    def test_const_has_no_variables(self):
+        assert parse_expr("1 + 2").variables() == frozenset()
+
+
+class TestFold:
+    def test_folds_constants(self):
+        assert fold(parse_expr("1 + 2 * 3")) == Const(7)
+
+    def test_keeps_variables(self):
+        folded = fold(parse_expr("X + (2 * 3)"))
+        assert folded == BinOp("+", Var("X"), Const(6))
+
+    def test_folds_calls(self):
+        assert fold(parse_expr("sq(3)")) == Const(9)
+
+
+class TestInversion:
+    """The paper's Section 4.5: q = x + 2 must invert to x = q - 2."""
+
+    def solve(self, text, var, target_value, env=None):
+        solutions = invert(parse_expr(text), var, Const(target_value))
+        return [s.evaluate(env or {}) for s in solutions]
+
+    def test_identity(self):
+        assert self.solve("X", "X", 5) == [5]
+
+    def test_addition(self):
+        assert self.solve("X + 2", "X", 8) == [6]
+
+    def test_addition_var_on_right(self):
+        assert self.solve("2 + X", "X", 8) == [6]
+
+    def test_subtraction_left(self):
+        assert self.solve("X - 3", "X", 4) == [7]
+
+    def test_subtraction_right(self):
+        assert self.solve("10 - X", "X", 4) == [6]
+
+    def test_multiplication(self):
+        assert self.solve("2 * X", "X", 8) == [4]
+
+    def test_division(self):
+        assert self.solve("X / 3", "X", 4) == [12]
+
+    def test_xor_is_self_inverse(self):
+        assert self.solve("X ^ 5", "X", 6) == [3]
+
+    def test_shift(self):
+        assert self.solve("X << 2", "X", 12) == [3]
+
+    def test_nested(self):
+        # 2*(x+1)+1 == 9  =>  x == 3
+        assert self.solve("2 * (X + 1) + 1", "X", 9) == [3]
+
+    def test_paper_example(self):
+        # d = 2*c + 1 with d = 7 gives c = 3 (Section 4.4's rule).
+        assert self.solve("2 * C + 1", "C", 7) == [3]
+
+    def test_multiple_preimages(self):
+        # sq has two square roots; DiffProv tries all of them (4.5).
+        assert sorted(self.solve("sq(X)", "X", 9)) == [-3, 3]
+
+    def test_inverse_of_call_with_inner_expression(self):
+        # sq(x + 1) == 9  =>  x in {2, -4}
+        assert sorted(self.solve("sq(X + 1)", "X", 9)) == [-4, 2]
+
+    def test_var_absent_fails(self):
+        with pytest.raises(NonInvertibleError):
+            invert(parse_expr("Y + 1"), "X", Const(3))
+
+    def test_var_on_both_sides_fails(self):
+        with pytest.raises(NonInvertibleError):
+            invert(parse_expr("X + X"), "X", Const(4))
+
+    def test_modulo_not_invertible(self):
+        with pytest.raises(NonInvertibleError):
+            invert(parse_expr("X % 7"), "X", Const(3))
+
+    def test_bitand_not_invertible(self):
+        with pytest.raises(NonInvertibleError):
+            invert(parse_expr("X & 255"), "X", Const(3))
+
+    def test_hash_not_invertible(self):
+        # "say, a SHA256 hash" — Section 4.7's third failure mode.
+        with pytest.raises(NonInvertibleError):
+            invert(parse_expr("hash_mod(X, 100)"), "X", Const(42))
+
+    def test_noninvertible_error_carries_attempted_change(self):
+        try:
+            invert(parse_expr("X % 7"), "X", Const(3))
+        except NonInvertibleError as failure:
+            assert failure.attempted is not None
+        else:  # pragma: no cover
+            pytest.fail("expected NonInvertibleError")
+
+    def test_roundtrip_forward_backward(self):
+        expr = parse_expr("(X * 4 - 6) / 2")
+        value = expr.evaluate({"X": 9})
+        solutions = invert(expr, "X", Const(value))
+        assert [s.evaluate({}) for s in solutions] == [9]

@@ -1,0 +1,98 @@
+"""Tests for the store's join-acceleration indexes."""
+
+import pytest
+
+from repro.datalog import Engine, parse_program, parse_tuple
+from repro.datalog.state import Store
+from repro.datalog.tuples import TableSchema, Tuple
+
+
+@pytest.fixture
+def store():
+    schemas = {"cfg": TableSchema("cfg", ["K", "V"])}
+    store = Store(schemas)
+    for index in range(10):
+        store.add_base_support(Tuple("cfg", [f"k{index}", index]), index, True)
+    return store
+
+
+class TestEqualityIndex:
+    def test_matching_by_key(self, store):
+        assert store.tuples_matching("cfg", 0, "k3") == [Tuple("cfg", ["k3", 3])]
+
+    def test_matching_by_value_position(self, store):
+        assert store.tuples_matching("cfg", 1, 7) == [Tuple("cfg", ["k7", 7])]
+
+    def test_no_match(self, store):
+        assert store.tuples_matching("cfg", 0, "nope") == []
+
+    def test_index_tracks_insertions(self, store):
+        store.tuples_matching("cfg", 0, "k0")  # build the index
+        store.add_base_support(Tuple("cfg", ["k0", 99]), 100, True)
+        assert store.tuples_matching("cfg", 0, "k0") == [
+            Tuple("cfg", ["k0", 0]),
+            Tuple("cfg", ["k0", 99]),
+        ]
+
+    def test_index_tracks_removals(self, store):
+        store.tuples_matching("cfg", 0, "k2")  # build the index
+        store.remove_base_support(Tuple("cfg", ["k2", 2]))
+        assert store.tuples_matching("cfg", 0, "k2") == []
+
+    def test_index_consistent_with_scan(self, store):
+        store.tuples_matching("cfg", 0, "k1")
+        store.add_base_support(Tuple("cfg", ["k1", 50]), 200, True)
+        store.remove_base_support(Tuple("cfg", ["k1", 1]))
+        scan = [t for t in store.tuples("cfg") if t.args[0] == "k1"]
+        assert store.tuples_matching("cfg", 0, "k1") == scan
+
+
+class TestSortedCache:
+    def test_returned_list_is_a_copy(self, store):
+        first = store.tuples("cfg")
+        first.append(Tuple("cfg", ["fake", -1]))
+        assert Tuple("cfg", ["fake", -1]) not in store.tuples("cfg")
+
+    def test_cache_invalidated_on_change(self, store):
+        before = store.tuples("cfg")
+        store.add_base_support(Tuple("cfg", ["new", 1]), 300, True)
+        after = store.tuples("cfg")
+        assert len(after) == len(before) + 1
+
+
+class TestIndexedJoinSemantics:
+    """Indexed and scanned access paths must produce identical results."""
+
+    PROGRAM = """
+    table fact(K, V).
+    table probe(K) event.
+    table hit(K, V).
+    r1 hit(K, V) :- probe(K), fact(K, V).
+    """
+
+    def test_indexed_join_matches_expectations(self):
+        engine = Engine(parse_program(self.PROGRAM))
+        for index in range(50):
+            engine.insert(parse_tuple(f"fact('k{index % 5}', {index})"))
+        engine.run()
+        engine.insert_and_run(parse_tuple("probe('k2')"))
+        hits = engine.lookup("hit")
+        assert len(hits) == 10
+        assert all(t.args[0] == "k2" for t in hits)
+
+    def test_constant_atom_uses_index(self):
+        program = parse_program(
+            """
+            table cfg(K, V).
+            table ev(X) event.
+            table out(X, V).
+            r1 out(X, V) :- ev(X), cfg('special', V).
+            """
+        )
+        engine = Engine(program)
+        for index in range(30):
+            engine.insert(parse_tuple(f"cfg('noise{index}', {index})"))
+        engine.insert(parse_tuple("cfg('special', 42)"))
+        engine.run()
+        engine.insert_and_run(parse_tuple("ev(1)"))
+        assert engine.lookup("out") == [parse_tuple("out(1, 42)")]

@@ -1,0 +1,185 @@
+"""Tests for the NDlog parser."""
+
+import pytest
+
+from repro.addresses import IPv4Address, Prefix
+from repro.datalog.expr import Call, Const, Var
+from repro.datalog.parser import parse_expr, parse_program, parse_rule, parse_tuple
+from repro.datalog.rules import AggSpec
+from repro.datalog.tuples import TableKind
+from repro.errors import ParseError
+
+
+class TestTableDeclarations:
+    def test_basic_table(self):
+        program = parse_program("table foo(A, B).")
+        schema = program.schema("foo")
+        assert schema.fields == ("A", "B")
+        assert schema.kind == TableKind.STATE
+        assert schema.mutable
+
+    def test_event_immutable(self):
+        program = parse_program("table pkt(S, D) event immutable.")
+        schema = program.schema("pkt")
+        assert schema.kind == TableKind.EVENT
+        assert not schema.mutable
+
+    def test_unknown_modifier(self):
+        with pytest.raises(ParseError):
+            parse_program("table foo(A) shiny.")
+
+
+class TestRules:
+    def test_simple_rule(self):
+        program = parse_program(
+            """
+            table a(X).
+            table b(X).
+            r1 a(X) :- b(X).
+            """
+        )
+        rule = program.rule("r1")
+        assert rule.head.table == "a"
+        assert [atom.table for atom in rule.body] == ["b"]
+
+    def test_location_specifiers(self):
+        program = parse_program(
+            """
+            table a(N, X).
+            table b(N, X).
+            r1 a(@M, X) :- b(@M, X).
+            """
+        )
+        rule = program.rule("r1")
+        assert rule.head.location == "M"
+        assert rule.body[0].location == "M"
+
+    def test_assignment_and_condition(self):
+        program = parse_program(
+            """
+            table a(X, Y).
+            table b(X).
+            r1 a(X, Y) :- b(X), Y := 2 * X + 1, X > 0.
+            """
+        )
+        rule = program.rule("r1")
+        assert len(rule.assignments) == 1
+        assert rule.assignments[0].var == "Y"
+        assert len(rule.conditions) == 1
+
+    def test_boolean_call_condition(self):
+        program = parse_program(
+            """
+            table a(X).
+            table b(X, P).
+            r1 a(X) :- b(X, P), ip_in_prefix(X, P) == true.
+            """
+        )
+        condition = program.rule("r1").conditions[0]
+        assert condition.op == "=="
+
+    def test_argmax_selector(self):
+        program = parse_program(
+            """
+            table out(S, P).
+            table fe(S, Prio, P).
+            r1 out(S, P) :- fe(S, Prio, P) argmax<Prio>.
+            """
+        )
+        selector = program.rule("r1").body[0].selector
+        assert selector is not None
+        assert selector.keys == (Var("Prio"),)
+
+    def test_aggregate_head(self):
+        program = parse_program(
+            """
+            table wc(W, C).
+            table w(W, X).
+            r1 wc(W, count<*>) :- w(W, X).
+            """
+        )
+        rule = program.rule("r1")
+        assert rule.is_aggregate
+        assert isinstance(rule.head.args[1], AggSpec)
+
+    def test_sum_aggregate(self):
+        program = parse_program(
+            """
+            table total(K, T).
+            table v(K, X).
+            r1 total(K, sum<X>) :- v(K, X).
+            """
+        )
+        agg = program.rule("r1").head.args[1]
+        assert agg.kind == "sum"
+
+    def test_undeclared_table_rejected(self):
+        with pytest.raises(Exception):
+            parse_program("table a(X). r1 a(X) :- nope(X).")
+
+    def test_unbound_head_variable_rejected(self):
+        with pytest.raises(Exception):
+            parse_program("table a(X). table b(Y). r1 a(X) :- b(Y).")
+
+    def test_duplicate_rule_names_rejected(self):
+        with pytest.raises(Exception):
+            parse_program(
+                """
+                table a(X).
+                table b(X).
+                r1 a(X) :- b(X).
+                r1 b(X) :- a(X).
+                """
+            )
+
+    def test_comments_are_ignored(self):
+        program = parse_program(
+            """
+            // a comment
+            table a(X).  // another comment
+            table b(X).
+            r1 a(X) :- b(X).  // trailing
+            """
+        )
+        assert len(program.rules) == 1
+
+
+class TestLiterals:
+    def test_ip_literal(self):
+        assert parse_expr("1.2.3.4") == Const(IPv4Address("1.2.3.4"))
+
+    def test_prefix_literal(self):
+        assert parse_expr("4.3.2.0/24") == Const(Prefix("4.3.2.0/24"))
+
+    def test_string_literals(self):
+        assert parse_expr("'abc'") == Const("abc")
+        assert parse_expr('"abc"') == Const("abc")
+
+    def test_booleans(self):
+        assert parse_expr("true") == Const(True)
+        assert parse_expr("false") == Const(False)
+
+    def test_negative_number(self):
+        assert parse_expr("-5") == Const(-5)
+
+    def test_symbolic_constant(self):
+        assert parse_expr("foo") == Const("foo")
+
+
+class TestParseTuple:
+    def test_simple(self):
+        tup = parse_tuple("flowEntry('s1', 5, 4.3.2.0/24, 8)")
+        assert tup.table == "flowEntry"
+        assert tup.args == ("s1", 5, Prefix("4.3.2.0/24"), 8)
+
+    def test_location_marker_allowed(self):
+        tup = parse_tuple("link(@'s1', 2, 's2')")
+        assert tup.args[0] == "s1"
+
+    def test_trailing_garbage_rejected(self):
+        with pytest.raises(ParseError):
+            parse_tuple("a(1) b(2)")
+
+    def test_expression_error(self):
+        with pytest.raises(ParseError):
+            parse_expr("1 +")

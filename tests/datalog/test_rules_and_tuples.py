@@ -1,0 +1,164 @@
+"""Unit tests for the rule/tuple building blocks not covered elsewhere."""
+
+import pytest
+
+from repro.datalog import builtins as bi
+from repro.datalog.expr import Const, Var
+from repro.datalog.parser import parse_program
+from repro.datalog.rules import (
+    AggSpec,
+    Assignment,
+    Atom,
+    Condition,
+    Rule,
+    Selector,
+)
+from repro.datalog.tuples import TableKind, TableSchema, Tuple, check_schema
+from repro.errors import EvaluationError, SchemaError
+
+
+class TestTuple:
+    def test_immutability(self):
+        tup = Tuple("t", [1, 2])
+        with pytest.raises(AttributeError):
+            tup.table = "other"
+
+    def test_replace(self):
+        tup = Tuple("t", [1, 2, 3])
+        assert tup.replace(1, 9) == Tuple("t", [1, 9, 3])
+        assert tup.args == (1, 2, 3)  # original unchanged
+
+    def test_with_args(self):
+        assert Tuple("t", [1]).with_args([7, 8]) == Tuple("t", [7, 8])
+
+    def test_location_property(self):
+        assert Tuple("t", ["n1", 5]).location == "n1"
+        assert Tuple("t", []).location is None
+
+    def test_str_quotes_strings(self):
+        assert str(Tuple("t", ["a", 1])) == "t('a', 1)"
+
+    def test_hash_stable(self):
+        assert hash(Tuple("t", [1])) == hash(Tuple("t", [1]))
+
+
+class TestSchemas:
+    def test_duplicate_fields_rejected(self):
+        with pytest.raises(SchemaError):
+            TableSchema("t", ["A", "A"])
+
+    def test_field_index(self):
+        schema = TableSchema("t", ["A", "B"])
+        assert schema.field_index("B") == 1
+        with pytest.raises(SchemaError):
+            schema.field_index("C")
+
+    def test_check_schema(self):
+        schemas = {"t": TableSchema("t", ["A", "B"])}
+        assert check_schema(Tuple("t", [1, 2]), schemas).name == "t"
+        with pytest.raises(SchemaError):
+            check_schema(Tuple("t", [1]), schemas)
+        with pytest.raises(SchemaError):
+            check_schema(Tuple("zz", [1]), schemas)
+
+
+class TestRuleConstruction:
+    def test_empty_body_rejected(self):
+        with pytest.raises(SchemaError):
+            Rule("r", Atom("a", [Var("X")]), [])
+
+    def test_selector_needs_keys(self):
+        with pytest.raises(SchemaError):
+            Selector([])
+
+    def test_aggspec_kinds(self):
+        with pytest.raises(SchemaError):
+            AggSpec("median", Var("X"))
+        with pytest.raises(SchemaError):
+            AggSpec("sum", None)  # sum needs an argument
+        assert AggSpec("count", None).kind == "count"
+
+    def test_condition_operators(self):
+        with pytest.raises(SchemaError):
+            Condition("~=", Const(1), Const(2))
+        with pytest.raises(SchemaError):
+            Condition("call", Const(1), Const(2))
+
+    def test_condition_type_error(self):
+        condition = Condition("<", Const(1), Const("a"))
+        with pytest.raises(EvaluationError):
+            condition.holds({})
+
+    def test_atom_str_includes_location_and_selector(self):
+        atom = Atom(
+            "fe",
+            [Var("S"), Var("P")],
+            location="S",
+            selector=Selector([Var("P")]),
+        )
+        assert str(atom) == "fe(@S, P) argmax<P>"
+
+    def test_rule_str_is_readable(self):
+        program = parse_program(
+            """
+            table a(X).
+            table b(X).
+            r1 a(X) :- b(X), X > 0.
+            """
+        )
+        text = str(program.rule("r1"))
+        assert text == "r1 a(X) :- b(X), X > 0."
+
+    def test_assignment_str(self):
+        assert str(Assignment("Y", Const(3))) == "Y := 3"
+
+
+class TestBuiltinsRegistry:
+    def test_unknown_builtin(self):
+        with pytest.raises(EvaluationError):
+            bi.call("no_such_fn", [1])
+
+    def test_arity_checked(self):
+        with pytest.raises(EvaluationError):
+            bi.call("sq", [1, 2])
+
+    def test_has_inverse(self):
+        assert bi.has_inverse("sq", 0)
+        assert not bi.has_inverse("hash_mod", 0)
+        assert not bi.has_inverse("no_such_fn", 0)
+
+    def test_register_replaces(self):
+        bi.register("test_tmp_fn", lambda x: x + 1, 1)
+        assert bi.call("test_tmp_fn", [1]) == 2
+        bi.register("test_tmp_fn", lambda x: x + 2, 1)
+        assert bi.call("test_tmp_fn", [1]) == 3
+        del bi.BUILTINS["test_tmp_fn"]
+
+    def test_stable_hash_is_process_independent(self):
+        # FNV-1a over the repr: fixed constants, fixed results.
+        assert bi.stable_hash("the") == bi.stable_hash("the")
+        assert bi._hash_mod("the", 2) in (0, 1)
+        assert bi.call("hash_mod", ["the", 2]) == bi._hash_mod("the", 2)
+
+    def test_hash_mod_rejects_bad_modulus(self):
+        with pytest.raises(EvaluationError):
+            bi.call("hash_mod", ["x", 0])
+
+    def test_ecmp_choice_deterministic_given_seed(self):
+        first = bi.call("ecmp_choice", [7, "flow-1", 4])
+        second = bi.call("ecmp_choice", [7, "flow-1", 4])
+        assert first == second
+        assert 0 <= first < 4
+
+    def test_ecmp_choice_varies_with_seed(self):
+        outcomes = {bi.call("ecmp_choice", [seed, "flow-1", 2]) for seed in range(16)}
+        assert outcomes == {0, 1}
+
+    def test_ecmp_choice_rejects_bad_fanout(self):
+        with pytest.raises(EvaluationError):
+            bi.call("ecmp_choice", [1, "f", 0])
+
+    def test_checksum_format(self):
+        digest = bi.call("checksum", ["content"])
+        assert len(digest) == 16
+        assert int(digest, 16) >= 0

@@ -1,0 +1,115 @@
+"""Integration tests: root causes inside the controller program.
+
+With flow entries derived from policies, the provenance "associates
+each flow entry with the parts of the controller program that were used
+to compute it" (Section 1) and DiffProv's diagnoses land on the
+policies themselves.
+"""
+
+import pytest
+
+from repro.addresses import Prefix
+from repro.scenarios.controller import SDN1WithController, SDN2WithController
+from repro.sdn.declarative_controller import (
+    controller_program,
+    next_hop_tuples,
+    policy,
+)
+from repro.sdn.topology import Topology
+
+
+@pytest.fixture(scope="module")
+def sdn1c():
+    return SDN1WithController(background_packets=8).setup()
+
+
+@pytest.fixture(scope="module")
+def sdn2c():
+    return SDN2WithController(background_packets=8).setup()
+
+
+class TestControllerLayer:
+    def test_flow_entries_are_derived(self, sdn1c):
+        engine = sdn1c.good_execution.engine
+        entries = engine.lookup("flowEntry")
+        assert entries
+        for entry in entries:
+            record = engine.store.record(entry)
+            assert not record.is_base
+
+    def test_entries_compiled_at_every_switch(self, sdn1c):
+        engine = sdn1c.good_execution.engine
+        switches = {entry.args[0] for entry in engine.lookup("flowEntry")}
+        assert switches == set(sdn1c.topology.switches())
+
+    def test_provenance_reaches_the_policy(self, sdn1c):
+        good, _ = sdn1c.trees()
+        tables = {n.tuple.table for n in good.tuple_root.walk()}
+        assert "policy" in tables
+        assert "nextHop" in tables
+
+    def test_next_hop_routing_substrate(self):
+        topo = Topology("t")
+        topo.add_switch("a")
+        topo.add_switch("b")
+        topo.add_host("h", "10.0.0.1")
+        topo.add_link("a", "b")
+        topo.add_link("b", "h")
+        hops = {(t.args[0], t.args[1]): t.args[2] for t in next_hop_tuples(topo)}
+        assert hops[("b", "h")] == topo.port("b", "h")
+        assert hops[("a", "h")] == topo.port("a", "b")
+
+
+class TestSDN1WithController:
+    def test_root_cause_is_the_policy(self, sdn1c):
+        report = sdn1c.diagnose()
+        assert report.success
+        assert report.num_changes == 1
+        fixed = report.changes[0].insert
+        assert fixed.table == "policy"
+        assert fixed.args[0] == "untrusted"
+        assert fixed.args[2] == Prefix("4.3.2.0/23")
+
+    def test_no_flow_entry_changes(self, sdn1c):
+        # The diagnosis is phrased at the controller level: no change
+        # touches the derived entries.
+        report = sdn1c.diagnose()
+        for change in report.changes:
+            touched = list(change.remove)
+            if change.insert is not None:
+                touched.append(change.insert)
+            assert all(t.table == "policy" for t in touched)
+
+    def test_fix_restores_the_bad_packet(self, sdn1c):
+        from repro.sdn import model
+
+        report = sdn1c.diagnose()
+        anchor = sdn1c.bad_execution.log.index_of_insert(report.bad_seed)
+        replayed = sdn1c.bad_execution.replay(report.changes, anchor)
+        assert replayed.alive(
+            model.delivered(
+                "web1", sdn1c.bad_pkt, sdn1c.BAD_SRC, sdn1c.SERVICE_DST
+            )
+        )
+
+
+class TestSDN2WithController:
+    def test_hijacking_policy_removed(self, sdn2c):
+        report = sdn2c.diagnose()
+        assert report.success
+        assert report.num_changes == 1
+        change = report.changes[0]
+        assert change.insert is None
+        assert change.remove == (sdn2c.hijack_policy,)
+
+    def test_blocker_traced_through_derivation(self, sdn2c):
+        # The blocking flow entry is derived state; the change must name
+        # the policy, not the entry.
+        report = sdn2c.diagnose()
+        (removed,) = report.changes[0].remove
+        assert removed.table == "policy"
+
+    def test_webapp_policy_untouched(self, sdn2c):
+        report = sdn2c.diagnose()
+        touched = {t for c in report.changes for t in c.remove}
+        assert all(t.args[0] != "webapp" for t in touched)

@@ -1,0 +1,84 @@
+"""Integration test: the DNS stale-replica scenario (a §2.4 partial
+failure, demonstrating generality beyond SDN and MapReduce)."""
+
+import pytest
+
+from repro.scenarios.dns import (
+    DNSStaleReplica,
+    NEW_ADDR,
+    OLD_ADDR,
+    response,
+    transferred,
+)
+
+
+@pytest.fixture(scope="module")
+def dns():
+    return DNSStaleReplica(background_queries=9).setup()
+
+
+class TestSymptom:
+    def test_stale_replica_serves_old_address(self, dns):
+        engine = dns.good_execution.engine
+        assert engine.exists(dns.bad_event)
+        assert str(dns.bad_event.args[3]) == OLD_ADDR
+
+    def test_fresh_replica_serves_new_address(self, dns):
+        engine = dns.good_execution.engine
+        assert engine.exists(dns.good_event)
+        assert str(dns.good_event.args[3]) == NEW_ADDR
+
+    def test_replicas_answer_from_freshest_serial(self, dns):
+        # argmax<Serial> must pick serial 2 on ns-c even though serial 1
+        # data would also match if it were transferred there.
+        good, _ = dns.trees()
+        served = [n for n in good.tuple_root.walk() if n.tuple.table == "served"]
+        assert served
+        assert all(n.tuple.args[3] == 2 for n in served)
+
+
+class TestDiagnosis:
+    def test_root_cause_is_missing_zone_transfer(self, dns):
+        report = dns.diagnose()
+        assert report.success
+        assert report.num_changes == 1
+        change = report.changes[0]
+        assert change.insert == transferred("ns-a", 2)
+
+    def test_fresh_replica_state_untouched(self, dns):
+        # Downward taint propagation maps ns-c's state to ns-a; the
+        # competitor search must never remove ns-c's own (correct)
+        # transfer.
+        report = dns.diagnose()
+        removed = {t for change in report.changes for t in change.remove}
+        assert transferred("ns-c", 2) not in removed
+
+    def test_fix_repairs_bad_without_breaking_good(self, dns):
+        report = dns.diagnose()
+        anchor = dns.bad_execution.log.index_of_insert(report.bad_seed)
+        replayed = dns.bad_execution.replay(report.changes, anchor)
+        assert replayed.alive(response("ns-a", dns.bad_query, "www", NEW_ADDR))
+        assert replayed.alive(dns.good_event)
+
+    def test_seeds_are_the_two_queries(self, dns):
+        report = dns.diagnose()
+        assert report.good_seed.table == "query"
+        assert report.bad_seed.table == "query"
+        assert report.good_seed.args[0] == "ns-c"
+        assert report.bad_seed.args[0] == "ns-a"
+
+    def test_second_stale_replica_diagnosed_identically(self, dns):
+        from repro.core import DiffProv
+
+        from repro.scenarios.dns import query
+
+        # ns-b has the same fault; diagnosing its answer finds its own
+        # stale transfer.
+        dns.good_execution.insert(query("ns-b", 999, "www"), mutable=False)
+        bad_b = response("ns-b", 999, "www", OLD_ADDR)
+        assert dns.good_execution.engine.exists(bad_b)
+        report = DiffProv(dns.program).diagnose(
+            dns.good_execution, dns.bad_execution, dns.good_event, bad_b
+        )
+        assert report.success
+        assert report.changes[0].insert == transferred("ns-b", 2)

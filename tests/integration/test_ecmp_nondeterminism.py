@@ -1,0 +1,134 @@
+"""Section 4.9: replay-based debugging under ECMP load balancing.
+
+"In the presence of load-balancers that make random decisions, e.g.,
+ECMP with a random seed, DiffProv would need to reason about the
+balancing mechanism using the seed.  Under race conditions, DiffProv
+would abort at the point where applying the same rule does not result
+in the same effect, and suggest that point as a potential race
+condition."
+
+Both behaviours are exercised here: with the device seed recorded as a
+base tuple, ECMP is a deterministic function and DiffProv diagnoses
+straight through the balancer; when the seeds differ between the runs
+(true nondeterminism from DiffProv's point of view) and are declared
+immutable, DiffProv aborts with a message naming the divergence point.
+"""
+
+import pytest
+
+from repro.core import DiffProv
+from repro.datalog import Engine, parse_program, parse_tuple
+from repro.datalog.builtins import call as builtin_call
+from repro.replay import Execution
+
+# An ECMP hop: the flow hashes onto one of two equal-cost uplinks, then
+# the chosen uplink's switch needs a (possibly broken) config entry to
+# deliver the packet.
+ECMP_PROGRAM = """
+table pkt(Id, Dst) event immutable.
+table ecmpSeed(Sw, Seed) immutable.
+table uplink(Sw, Index, Next) immutable.
+table viaUp(Next, Id, Dst) event.
+table route(Sw, Pfx, Port) mutable.
+table hostAt(Sw, Port, Host) immutable.
+table delivered(Host, Id, Dst).
+table arrived(Sw, Id, Dst).
+
+spread viaUp(N, Id, Dst) :- pkt(Id, Dst), ecmpSeed('lb', Seed),
+    uplink('lb', I, N), I == ecmp_choice(Seed, Id, 2).
+seen arrived(S, Id, Dst) :- viaUp(S, Id, Dst).
+fw delivered(H, Id, Dst) :- viaUp(S, Id, Dst), route(S, Pfx, Port),
+    ip_in_prefix(Dst, Pfx) == true, hostAt(S, Port, H).
+"""
+
+
+def base_network(execution, seed):
+    execution.insert(parse_tuple(f"ecmpSeed('lb', {seed})"), mutable=False)
+    execution.insert(parse_tuple("uplink('lb', 0, 'u0')"), mutable=False)
+    execution.insert(parse_tuple("uplink('lb', 1, 'u1')"), mutable=False)
+    execution.insert(parse_tuple("hostAt('u0', 1, 'h')"), mutable=False)
+    execution.insert(parse_tuple("hostAt('u1', 1, 'h')"), mutable=False)
+
+
+def choose(seed, pkt_id):
+    return builtin_call("ecmp_choice", [seed, pkt_id, 2])
+
+
+def pick_ids(seed, want_uplink):
+    """Two packet ids that hash to the desired uplink under the seed."""
+    ids = [i for i in range(1, 60) if choose(seed, i) == want_uplink]
+    return ids[0], ids[1]
+
+
+class TestDeterministicECMP:
+    def test_replay_reproduces_balancing(self):
+        program = parse_program(ECMP_PROGRAM)
+        execution = Execution(program)
+        base_network(execution, 7)
+        for pkt_id in range(1, 10):
+            execution.insert(parse_tuple(f"pkt({pkt_id}, 10.0.0.9)"),
+                             mutable=False)
+        live = set(map(str, execution.engine.lookup("arrived")))
+        replayed = execution.replay()
+        assert set(map(str, replayed.engine.lookup("arrived"))) == live
+
+    def test_diffprov_reasons_through_the_balancer(self):
+        # The reference is an earlier run (same device seed) in which
+        # u1's route was still correct.  Both packets hash onto u1 —
+        # DiffProv follows the balancing function through the seed and
+        # fixes u1's (now broken) entry.
+        program = parse_program(ECMP_PROGRAM)
+        good = Execution(program, name="good")
+        base_network(good, 7)
+        good.insert(parse_tuple("route('u1', 10.0.0.0/24, 1)"))
+        bad = Execution(program, name="bad")
+        base_network(bad, 7)
+        bad.insert(parse_tuple("route('u1', 10.0.0.0/32, 1)"))  # broken
+        good_id, bad_id = pick_ids(7, 1)
+        good.insert(parse_tuple(f"pkt({good_id}, 10.0.0.9)"), mutable=False)
+        bad.insert(parse_tuple(f"pkt({bad_id}, 10.0.0.9)"), mutable=False)
+        report = DiffProv(program).diagnose(
+            good,
+            bad,
+            parse_tuple(f"delivered('h', {good_id}, 10.0.0.9)"),
+            parse_tuple(f"arrived('u1', {bad_id}, 10.0.0.9)"),
+        )
+        assert report.success
+        assert report.num_changes == 1
+        change = report.changes[0]
+        assert change.insert == parse_tuple("route('u1', 10.0.0.0/24, 1)")
+        assert change.remove == (parse_tuple("route('u1', 10.0.0.0/32, 1)"),)
+
+
+class TestNondeterministicSeeds:
+    def test_diffprov_aborts_and_names_the_divergence(self):
+        # The two executions use different (immutable) ECMP seeds that
+        # send the same flow to different uplinks: from DiffProv's view
+        # the same rule no longer has the same effect.  It aborts with a
+        # typed failure that pins the uncontrollable state — the seed —
+        # as what would have to change, which is the paper's "suggest
+        # that point as a potential race condition".
+        program = parse_program(ECMP_PROGRAM)
+        seed_good, seed_bad = 7, 8
+        flow = next(
+            i for i in range(1, 60)
+            if choose(seed_good, i) == 0 and choose(seed_bad, i) == 1
+        )
+        good = Execution(program, name="good")
+        base_network(good, seed_good)
+        good.insert(parse_tuple("route('u0', 10.0.0.0/24, 1)"))
+        good.insert(parse_tuple(f"pkt({flow}, 10.0.0.9)"), mutable=False)
+        bad = Execution(program, name="bad")
+        base_network(bad, seed_bad)
+        bad.insert(parse_tuple("route('u0', 10.0.0.0/24, 1)"))
+        bad.insert(parse_tuple(f"pkt({flow}, 10.0.0.9)"), mutable=False)
+
+        report = DiffProv(program).diagnose(
+            good,
+            bad,
+            parse_tuple(f"delivered('h', {flow}, 10.0.0.9)"),
+            parse_tuple(f"arrived('u1', {flow}, 10.0.0.9)"),
+        )
+        assert not report.success
+        assert report.failure_category == "immutable-change-required"
+        assert "ecmpSeed" in str(report.failure)

@@ -1,0 +1,93 @@
+"""Integration test: the intermittent (flapping route) scenario."""
+
+import pytest
+
+from repro.provenance.query import provenance_query
+from repro.scenarios.flap import FlappingRoute
+from repro.sdn import model
+
+
+@pytest.fixture(scope="module")
+def flap():
+    return FlappingRoute(flaps=3, probes_per_phase=2).setup()
+
+
+class TestIntermittentBehaviour:
+    def test_probes_alternate_between_outcomes(self, flap):
+        engine = flap.good_execution.engine
+        for probe in flap.up_probes:
+            assert engine.exists(
+                model.delivered("service", probe, flap.PROBE_SRC, flap.SERVICE_DST)
+            )
+        for probe in flap.down_probes:
+            assert engine.exists(
+                model.delivered("sorry", probe, flap.PROBE_SRC, flap.SERVICE_DST)
+            )
+
+    def test_route_has_one_exist_interval_per_up_phase(self, flap):
+        graph = flap.good_execution.graph
+        intervals = graph.exists_of(flap.primary_route)
+        assert len(intervals) == 4  # 3 flaps + the final re-announce
+        # The final withdrawal closed the last interval too.
+        assert all(v.end_time is not None for v in intervals)
+
+    def test_past_up_phase_events_still_explainable(self, flap):
+        # The temporal graph "remembers" past events: a probe from the
+        # FIRST up-phase is explained by the first EXIST interval.
+        graph = flap.good_execution.graph
+        first_probe = flap.up_probes[0]
+        tree = provenance_query(
+            graph,
+            model.delivered("service", first_probe, flap.PROBE_SRC,
+                            flap.SERVICE_DST),
+        )
+        entries = [
+            n for n in tree.tuple_root.walk()
+            if n.tuple == flap.primary_route
+        ]
+        assert entries
+        first_interval = min(
+            v.time for v in graph.exists_of(flap.primary_route)
+        )
+        assert all(n.appear_time == first_interval for n in entries)
+
+
+class TestDiagnosis:
+    def test_root_cause_is_the_withdrawn_route(self, flap):
+        report = flap.diagnose()
+        assert report.success
+        assert report.num_changes == 1
+        assert report.changes[0].insert == flap.primary_route
+
+    def test_any_up_phase_probe_works_as_reference(self, flap):
+        from repro.core import DiffProv
+
+        for probe in flap.up_probes[:3]:
+            reference = model.delivered(
+                "service", probe, flap.PROBE_SRC, flap.SERVICE_DST
+            )
+            report = DiffProv(flap.program).diagnose(
+                flap.good_execution,
+                flap.bad_execution,
+                reference,
+                flap.bad_event,
+            )
+            assert report.success, probe
+            assert report.changes[0].insert == flap.primary_route
+
+    def test_mid_trace_failure_diagnosable_too(self, flap):
+        from repro.core import DiffProv
+
+        # A failed probe from the FIRST down-phase (not the last) is
+        # equally diagnosable: the change anchors before that probe.
+        early_bad = model.delivered(
+            "sorry", flap.down_probes[0], flap.PROBE_SRC, flap.SERVICE_DST
+        )
+        report = DiffProv(flap.program).diagnose(
+            flap.good_execution,
+            flap.bad_execution,
+            flap.good_event,
+            early_bad,
+        )
+        assert report.success
+        assert report.changes[0].insert == flap.primary_route

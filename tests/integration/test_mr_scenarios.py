@@ -1,0 +1,121 @@
+"""Integration tests: the MapReduce scenarios of Section 6.2 / Table 1."""
+
+import pytest
+
+from repro.mapreduce.config import REDUCES_KEY
+from repro.mapreduce.wordcount import BUGGY_MAPPER, CORRECT_MAPPER, mapper_checksum
+from repro.scenarios import (
+    MR1DeclarativeConfigChange,
+    MR1ImperativeConfigChange,
+    MR2DeclarativeCodeChange,
+    MR2ImperativeCodeChange,
+)
+
+LINES = 16  # small corpus keeps the engine-based scenarios fast
+
+
+@pytest.fixture(scope="module")
+def mr1d():
+    return MR1DeclarativeConfigChange(corpus_lines=LINES).setup()
+
+
+@pytest.fixture(scope="module")
+def mr2d():
+    return MR2DeclarativeCodeChange(corpus_lines=LINES).setup()
+
+
+@pytest.fixture(scope="module")
+def mr1i():
+    return MR1ImperativeConfigChange(corpus_lines=LINES).setup()
+
+
+@pytest.fixture(scope="module")
+def mr2i():
+    return MR2ImperativeCodeChange(corpus_lines=LINES).setup()
+
+
+def assert_config_fix(report):
+    assert report.success
+    assert report.num_changes == 1
+    change = report.changes[0]
+    assert change.insert.table == "jobConfig"
+    assert change.insert.args[0] == REDUCES_KEY
+    assert change.insert.args[1] == 2
+    assert change.remove[0].args[1] == 4
+
+
+def assert_mapper_fix(report):
+    assert report.success
+    assert report.num_changes == 1
+    change = report.changes[0]
+    assert change.insert.table == "mapperCode"
+    assert change.insert.args == (CORRECT_MAPPER, mapper_checksum(CORRECT_MAPPER))
+    assert change.remove[0].args == (BUGGY_MAPPER, mapper_checksum(BUGGY_MAPPER))
+
+
+class TestMR1Declarative:
+    def test_root_cause_is_reduces_key(self, mr1d):
+        assert_config_fix(mr1d.diagnose())
+
+    def test_seed_is_job_submission(self, mr1d):
+        report = mr1d.diagnose()
+        assert report.good_seed.table == "jobRun"
+        assert report.bad_seed.table == "jobRun"
+
+
+class TestMR2Declarative:
+    def test_root_cause_is_mapper_version(self, mr2d):
+        assert_mapper_fix(mr2d.diagnose())
+
+    def test_counts_actually_differ(self, mr2d):
+        # The bug is observable: the queried word's count dropped.
+        assert mr2d.good_event.args[3] > mr2d.bad_event.args[3]
+
+
+class TestMR1Imperative:
+    def test_root_cause_is_reduces_key(self, mr1i):
+        assert_config_fix(mr1i.diagnose())
+
+    def test_reported_and_inferred_agree(self, mr1d, mr1i):
+        declarative = mr1d.diagnose()
+        imperative = mr1i.diagnose()
+        assert declarative.changes == imperative.changes
+
+
+class TestMR2Imperative:
+    def test_root_cause_is_mapper_bytecode(self, mr2i):
+        assert_mapper_fix(mr2i.diagnose())
+
+    def test_reported_and_inferred_agree(self, mr2d, mr2i):
+        assert mr2d.diagnose().changes == mr2i.diagnose().changes
+
+
+class TestImperativeRuntime:
+    def test_outputs_match_declarative_counts(self, mr1i):
+        from repro.mapreduce.corpus import word_counts
+
+        execution = mr1i.good_execution
+        execution.materialize()
+        outputs = execution.last_outputs
+        text = "\n".join(mr1i.hdfs.read("/corpus/input.txt").lines)
+        truth = word_counts(text)
+        assert sum(outputs.values()) == sum(truth.values())
+        for (reducer, word), count in outputs.items():
+            assert truth[word] == count
+
+    def test_log_is_metadata_only(self, mr1i):
+        # Section 6.5: logs record file metadata, not contents.
+        tables = {e.tuple.table for e in mr1i.bad_execution.log if e.tuple}
+        assert "wordOcc" not in tables
+        assert "fileMeta" in tables
+
+
+class TestTable1ShapeMR:
+    @pytest.mark.parametrize("fixture_name", ["mr1d", "mr2d", "mr1i", "mr2i"])
+    def test_trees_large_diffprov_tiny(self, fixture_name, request):
+        scenario = request.getfixturevalue(fixture_name)
+        row = scenario.table1_row()
+        assert row["success"]
+        assert row["diffprov"] == 1
+        assert row["good_tree"] > 50
+        assert row["bad_tree"] > 50

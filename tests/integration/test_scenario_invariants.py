@@ -1,0 +1,106 @@
+"""Cross-scenario invariants: every scenario's provenance is well formed.
+
+These sweep all built-in scenarios and check structural properties that
+the algorithm relies on, independent of any particular diagnosis.
+"""
+
+import pytest
+
+from repro.core.seeds import find_seed
+from repro.datalog.tuples import TableKind
+from repro.scenarios import ALL_SCENARIOS
+
+_PARAMS = {
+    "SDN1": {"background_packets": 6},
+    "SDN2": {"background_packets": 6},
+    "SDN3": {"background_packets": 6},
+    "SDN4": {"background_packets": 6},
+    "SDN1-C": {"background_packets": 6},
+    "SDN2-C": {"background_packets": 6},
+    "MR1-D": {"corpus_lines": 12},
+    "MR2-D": {"corpus_lines": 12},
+    "MR1-I": {"corpus_lines": 12},
+    "MR2-I": {"corpus_lines": 12},
+    "DNS": {"background_queries": 6},
+    "FLAP": {"flaps": 2},
+}
+
+_built = {}
+
+
+def scenario_named(name):
+    if name not in _built:
+        _built[name] = ALL_SCENARIOS[name](**_PARAMS.get(name, {})).setup()
+    return _built[name]
+
+
+@pytest.fixture(params=sorted(ALL_SCENARIOS))
+def scenario(request):
+    return scenario_named(request.param)
+
+
+class TestProvenanceWellFormedness:
+    def test_both_events_have_trees(self, scenario):
+        good, bad = scenario.trees()
+        assert good.size() > 0
+        assert bad.size() > 0
+
+    def test_tuple_view_children_match_rule_bodies(self, scenario):
+        """Non-aggregate derivations have one child per body atom."""
+        good, bad = scenario.trees()
+        for tree in (good, bad):
+            for node in tree.tuple_root.walk():
+                if node.rule is None:
+                    continue
+                try:
+                    rule = scenario.program.rule(node.rule)
+                except Exception:
+                    continue  # emulator-only pseudo-rules (drp/nomatch)
+                if rule.is_aggregate:
+                    continue
+                assert len(node.children) == len(rule.body), node
+
+    def test_leaves_are_base_tuples(self, scenario):
+        good, _ = scenario.trees()
+        for leaf in good.tuple_root.leaves():
+            assert leaf.is_base or leaf.rule is None
+
+    def test_seed_is_an_immutable_event(self, scenario):
+        good, bad = scenario.trees()
+        for tree in (good, bad):
+            seed = find_seed(tree.tuple_root)
+            schema = scenario.program.schemas.get(seed.tuple.table)
+            assert schema is not None
+            assert schema.kind == TableKind.EVENT
+            assert not schema.mutable
+
+    def test_appear_times_monotone_down_the_trigger_path(self, scenario):
+        """Along the seed path, each node appears no earlier than the
+        tuple that triggered it."""
+        good, _ = scenario.trees()
+        seed = find_seed(good.tuple_root)
+        path = seed.path_to_root()
+        for child, parent in zip(path, path[1:]):
+            assert parent.appear_time >= child.appear_time, (child, parent)
+
+
+class TestDiagnosisAcrossScenarios:
+    def test_every_scenario_diagnoses_successfully(self, scenario):
+        report = scenario.diagnose()
+        assert report.success, (scenario.name, report.summary())
+        assert 1 <= report.num_changes <= 2
+
+    def test_changes_touch_only_mutable_tables(self, scenario):
+        report = scenario.diagnose()
+        for change in report.changes:
+            touched = list(change.remove)
+            if change.insert is not None:
+                touched.append(change.insert)
+            for tup in touched:
+                schema = scenario.program.schemas.get(tup.table)
+                assert schema is not None and schema.mutable, tup
+
+    def test_diagnosis_is_repeatable(self, scenario):
+        first = scenario.diagnose()
+        second = scenario.diagnose()
+        assert first.changes == second.changes

@@ -1,0 +1,121 @@
+"""Integration tests: the four SDN scenarios of Section 6.2 / Table 1."""
+
+import pytest
+
+from repro.addresses import Prefix
+from repro.scenarios import (
+    SDN1BrokenFlowEntry,
+    SDN2MultiControllerInconsistency,
+    SDN3UnexpectedRuleExpiration,
+    SDN4MultipleFaultyEntries,
+)
+
+BACKGROUND = 8  # keep integration tests fast; benches use more
+
+
+@pytest.fixture(scope="module")
+def sdn1():
+    return SDN1BrokenFlowEntry(background_packets=BACKGROUND).setup()
+
+
+@pytest.fixture(scope="module")
+def sdn2():
+    return SDN2MultiControllerInconsistency(background_packets=BACKGROUND).setup()
+
+
+@pytest.fixture(scope="module")
+def sdn3():
+    return SDN3UnexpectedRuleExpiration(background_packets=BACKGROUND).setup()
+
+
+@pytest.fixture(scope="module")
+def sdn4():
+    return SDN4MultipleFaultyEntries(background_packets=BACKGROUND).setup()
+
+
+class TestSDN1:
+    def test_symptom_reproduced(self, sdn1):
+        good, bad = sdn1.trees()
+        assert good.size() > 0 and bad.size() > 0
+
+    def test_diffprov_finds_single_root_cause(self, sdn1):
+        report = sdn1.diagnose()
+        assert report.success
+        assert report.num_changes == 1
+
+    def test_root_cause_is_widened_prefix(self, sdn1):
+        report = sdn1.diagnose()
+        fixed = report.changes[0].insert
+        assert fixed.table == "flowEntry"
+        assert fixed.args[2] == Prefix("4.3.2.0/23")
+
+    def test_plain_diff_larger_than_either_tree(self, sdn1):
+        # Section 2.5: the naive diff can exceed the trees themselves.
+        good, bad = sdn1.trees()
+        assert sdn1.plain_diff_size() > max(good.size(), bad.size())
+
+    def test_seeds_are_the_two_packets(self, sdn1):
+        report = sdn1.diagnose()
+        assert report.good_seed.table == "packet"
+        assert report.bad_seed.table == "packet"
+        assert report.good_seed != report.bad_seed
+
+
+class TestSDN2:
+    def test_diffprov_removes_hijacking_rule(self, sdn2):
+        report = sdn2.diagnose()
+        assert report.success
+        assert report.num_changes == 1
+        change = report.changes[0]
+        assert change.insert is None
+        (removed,) = change.remove
+        assert removed.table == "flowEntry"
+        assert removed.args[1] == 10  # the higher-priority app B rule
+        assert removed.args[2] == Prefix("4.3.0.0/16")
+
+
+class TestSDN3:
+    def test_diffprov_restores_expired_rule(self, sdn3):
+        report = sdn3.diagnose()
+        assert report.success
+        assert report.num_changes == 1
+        restored = report.changes[0].insert
+        assert restored.table == "flowEntry"
+        assert restored.args[3] == Prefix("239.0.0.1/32")
+
+    def test_reference_is_in_the_past(self, sdn3):
+        # The good packet preceded the deletion; the temporal graph must
+        # still answer its provenance query.
+        good, bad = sdn3.trees()
+        assert good.tuple_root.appear_time < bad.tuple_root.appear_time
+
+
+class TestSDN4:
+    def test_two_rounds_one_change_each(self, sdn4):
+        report = sdn4.diagnose()
+        assert report.success
+        assert report.num_changes == 2
+        assert report.changes_per_round == [1, 1]  # Table 1's "1/1"
+
+    def test_both_broken_switches_identified(self, sdn4):
+        report = sdn4.diagnose()
+        switches = sorted(change.insert.args[0] for change in report.changes)
+        assert switches == ["s2", "s3"]
+
+    def test_fixes_are_widened_prefixes(self, sdn4):
+        report = sdn4.diagnose()
+        for change in report.changes:
+            assert change.insert.args[2] == Prefix("4.3.2.0/23")
+
+
+class TestTable1Shape:
+    """The qualitative claims of Table 1 hold on every SDN scenario."""
+
+    @pytest.mark.parametrize("fixture_name", ["sdn1", "sdn2", "sdn3", "sdn4"])
+    def test_diffprov_much_smaller_than_trees(self, fixture_name, request):
+        scenario = request.getfixturevalue(fixture_name)
+        row = scenario.table1_row()
+        assert row["success"]
+        assert row["diffprov"] <= 2
+        assert row["good_tree"] > 10 * row["diffprov"]
+        assert row["bad_tree"] > 10 * row["diffprov"]

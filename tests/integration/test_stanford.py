@@ -1,0 +1,81 @@
+"""Integration test: the Section 6.7 complex-network scenario."""
+
+import pytest
+
+from repro.addresses import Prefix
+from repro.scenarios.stanford import (
+    StanfordForwardingError,
+    build_stanford_config,
+    stanford_topology,
+)
+
+
+@pytest.fixture(scope="module")
+def scenario():
+    return StanfordForwardingError(
+        background_packets=60, entries_per_router=120, acl_rules=48
+    ).setup()
+
+
+class TestTopologyGeneration:
+    def test_sixteen_routers(self):
+        topo = stanford_topology()
+        assert len(topo.switches()) == 16
+        assert len([s for s in topo.switches() if s.startswith("oz")]) == 14
+
+    def test_every_zone_reaches_both_backbones(self):
+        topo = stanford_topology()
+        for index in range(1, 15):
+            neighbors = topo.neighbors(f"oz{index}")
+            assert "bb1" in neighbors and "bb2" in neighbors
+
+    def test_config_scales_with_parameters(self):
+        _, small, _ = build_stanford_config(entries_per_router=50, acl_rules=16)
+        _, large, _ = build_stanford_config(entries_per_router=200, acl_rules=16)
+        assert large.total_entries() > small.total_entries()
+
+    def test_twenty_one_faults_injected(self):
+        _, _, faults = build_stanford_config(entries_per_router=50, acl_rules=16)
+        assert len(faults) == 21  # the real one + 20 decoys
+
+    def test_faults_cover_on_and_off_path_routers(self):
+        _, _, faults = build_stanford_config(entries_per_router=50, acl_rules=16)
+        switches = {fault.args[0] for fault in faults[1:]}
+        assert switches & {"oz1", "bb1", "oz2"}
+        assert switches - {"oz1", "bb1", "oz2"}
+
+
+class TestDiagnosis:
+    def test_symptom(self, scenario):
+        # The bad packet is dropped at oz2; the reference is delivered.
+        result = scenario.good_execution.materialize()
+        assert result.alive(scenario.good_event)
+        assert result.alive(scenario.bad_event)
+
+    def test_root_cause_found_despite_noise(self, scenario):
+        report = scenario.diagnose()
+        assert report.success
+        assert report.num_changes == 1
+        (removed,) = report.changes[0].remove
+        assert removed == scenario.expected_fault
+        assert removed.args[3] == Prefix("172.20.10.32/27")
+
+    def test_no_decoy_faults_in_diagnosis(self, scenario):
+        report = scenario.diagnose()
+        touched = set()
+        for change in report.changes:
+            touched.update(change.remove)
+            if change.insert is not None:
+                touched.add(change.insert)
+        decoys = set(scenario.faults[1:])
+        assert not (touched & decoys)
+
+    def test_trees_are_small_but_diff_is_larger(self, scenario):
+        good, bad = scenario.trees()
+        assert good.size() < 120 and bad.size() < 120
+        assert scenario.plain_diff_size() > max(good.size(), bad.size())
+
+    def test_seed_types_are_packets(self, scenario):
+        report = scenario.diagnose()
+        assert report.good_seed.table == "packet"
+        assert report.bad_seed.table == "packet"

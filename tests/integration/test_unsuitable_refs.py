@@ -1,0 +1,43 @@
+"""Integration test: the unsuitable-reference study (Section 6.3)."""
+
+import pytest
+
+from repro.scenarios.unsuitable import UnsuitableReferenceStudy
+
+
+@pytest.fixture(scope="module")
+def outcomes():
+    study = UnsuitableReferenceStudy(background_packets=6, corpus_lines=12)
+    return study.run()
+
+
+class TestUnsuitableReferences:
+    def test_ten_queries_issued(self, outcomes):
+        assert len(outcomes) == 10
+
+    def test_every_query_fails(self, outcomes):
+        assert all(not outcome.success for outcome in outcomes)
+
+    def test_failure_split_matches_paper(self, outcomes):
+        # "In three of the cases, the supplied reference event was not
+        # comparable ... In the remaining seven cases, aligning the
+        # trees would have required changes to immutable tuples."
+        tally = UnsuitableReferenceStudy.tally(outcomes)
+        assert tally == {
+            "seed-type-mismatch": 3,
+            "immutable-change-required": 7,
+        }
+
+    def test_failures_carry_actionable_messages(self, outcomes):
+        # "DiffProv's output clearly indicated what aspect of the chosen
+        # reference event was causing the problem."
+        for outcome in outcomes:
+            assert outcome.message
+            if outcome.category == "seed-type-mismatch":
+                assert "not comparable" in outcome.message or "seed" in outcome.message
+            else:
+                assert "immutable" in outcome.message
+
+    def test_both_scenarios_exercised(self, outcomes):
+        scenarios = {outcome.scenario for outcome in outcomes}
+        assert scenarios == {"SDN1", "MR1-D"}

@@ -1,0 +1,101 @@
+"""Tests for the HDFS stand-in and the job configuration."""
+
+import pytest
+
+from repro.errors import ReproError
+from repro.mapreduce.config import DEFAULT_ENTRY_COUNT, REDUCES_KEY, JobConfig
+from repro.mapreduce.hdfs import HDFS
+
+
+class TestHDFS:
+    def test_write_and_read(self):
+        hdfs = HDFS()
+        hdfs.write("/a.txt", "hello\nworld")
+        stored = hdfs.read("/a.txt")
+        assert stored.lines == ["hello", "world"]
+
+    def test_checksum_stable(self):
+        hdfs = HDFS()
+        first = hdfs.write("/a.txt", "hello").checksum
+        second = HDFS().write("/b.txt", "hello").checksum
+        assert first == second
+
+    def test_checksum_content_sensitive(self):
+        hdfs = HDFS()
+        a = hdfs.write("/a.txt", "hello").checksum
+        b = hdfs.write("/b.txt", "hello!").checksum
+        assert a != b
+
+    def test_missing_file(self):
+        with pytest.raises(ReproError):
+            HDFS().read("/nope")
+
+    def test_find_by_checksum(self):
+        hdfs = HDFS()
+        stored = hdfs.write("/a.txt", "some content")
+        assert hdfs.find_by_checksum(stored.checksum) is not None
+        assert hdfs.find_by_checksum("0" * 16) is None
+
+    def test_cache_avoids_recomputation(self):
+        hdfs = HDFS(cache_checksums=True)
+        hdfs.write("/a.txt", "x")
+        for _ in range(5):
+            hdfs.read("/a.txt")
+        assert hdfs.checksum_computations == 1
+
+    def test_no_cache_recomputes_per_read(self):
+        hdfs = HDFS(cache_checksums=False)
+        hdfs.write("/a.txt", "x")
+        for _ in range(5):
+            hdfs.read("/a.txt")
+        assert hdfs.checksum_computations == 6
+
+    def test_size_bytes(self):
+        hdfs = HDFS()
+        stored = hdfs.write("/a.txt", "ab\ncd")
+        assert stored.size_bytes == 6
+
+    def test_paths_sorted(self):
+        hdfs = HDFS()
+        hdfs.write("/b", "")
+        hdfs.write("/a", "")
+        assert hdfs.paths() == ["/a", "/b"]
+
+
+class TestJobConfig:
+    def test_has_235_entries(self):
+        config = JobConfig()
+        assert len(config) == DEFAULT_ENTRY_COUNT == 235
+
+    def test_reduces_default(self):
+        assert JobConfig().reduces == 2
+
+    def test_overrides(self):
+        config = JobConfig({REDUCES_KEY: 4})
+        assert config.reduces == 4
+        assert len(config) == 235
+
+    def test_get_unknown_key(self):
+        with pytest.raises(ReproError):
+            JobConfig().get("no.such.key")
+
+    def test_set_and_get(self):
+        config = JobConfig()
+        config.set("mapreduce.map.memory.mb", 4096)
+        assert config.get("mapreduce.map.memory.mb") == 4096
+
+    def test_copy_is_independent(self):
+        config = JobConfig()
+        clone = config.copy()
+        clone.set(REDUCES_KEY, 8)
+        assert config.reduces == 2
+        assert clone.reduces == 8
+
+    def test_items_sorted_and_realistic(self):
+        keys = [key for key, _ in JobConfig().items()]
+        assert keys == sorted(keys)
+        assert all(key.startswith(("mapreduce.", "yarn.")) for key in keys)
+
+    def test_contains(self):
+        assert REDUCES_KEY in JobConfig()
+        assert "bogus" not in JobConfig()

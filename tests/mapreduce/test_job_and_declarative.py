@@ -1,0 +1,190 @@
+"""Tests for the imperative runtime, its instrumentation, and the
+equivalence between the imperative and declarative WordCount."""
+
+import pytest
+
+from repro.datalog import Engine
+from repro.datalog.builtins import call as builtin_call
+from repro.errors import ReproError
+from repro.mapreduce import declarative
+from repro.mapreduce.config import REDUCES_KEY, JobConfig
+from repro.mapreduce.corpus import generate_corpus, word_counts
+from repro.mapreduce.hdfs import HDFS
+from repro.mapreduce.job import (
+    ImperativeMapReduceExecution,
+    WordCountJob,
+    _attribute_positions,
+)
+from repro.mapreduce.wordcount import BUGGY_MAPPER, CORRECT_MAPPER
+from repro.provenance.recorder import ProvenanceRecorder
+from repro.replay.replayer import Change
+
+TEXT = "the cat sat\nthe dog ran\ncat and dog"
+
+
+@pytest.fixture
+def hdfs():
+    store = HDFS()
+    store.write("/in.txt", TEXT)
+    return store
+
+
+class TestWordCountJob:
+    def test_counts_are_correct(self, hdfs):
+        job = WordCountJob("j1", hdfs, "/in.txt", JobConfig(), CORRECT_MAPPER)
+        outputs = job.run()
+        truth = word_counts(TEXT)
+        assert {w: c for (_, w), c in outputs.items()} == truth
+
+    def test_partitioning_uses_stable_hash(self, hdfs):
+        config = JobConfig({REDUCES_KEY: 4})
+        job = WordCountJob("j1", hdfs, "/in.txt", config, CORRECT_MAPPER)
+        outputs = job.run()
+        for (reducer, word) in outputs:
+            assert reducer == builtin_call("hash_mod", [word, 4])
+
+    def test_buggy_mapper_changes_counts(self, hdfs):
+        job = WordCountJob("j1", hdfs, "/in.txt", JobConfig(), BUGGY_MAPPER)
+        outputs = job.run()
+        counts = {w: c for (_, w), c in outputs.items()}
+        # "the" opens two lines and "cat" one: both lose occurrences.
+        assert counts["the"] == 0 if "the" in counts else "the" not in counts
+        assert counts.get("dog") == 2  # never first: unaffected
+
+    def test_unknown_mapper_rejected(self, hdfs):
+        with pytest.raises(ReproError):
+            WordCountJob("j1", hdfs, "/in.txt", JobConfig(), "v77")
+
+    def test_position_attribution(self):
+        # v2 dropped "a": emissions map to the remaining positions.
+        positions = _attribute_positions("a b c", ["b", "c"])
+        assert positions == [(1, "b"), (2, "c")]
+
+    def test_position_attribution_with_duplicates(self):
+        positions = _attribute_positions("x y x", ["x", "y", "x"])
+        assert positions == [(0, "x"), (1, "y"), (2, "x")]
+
+    def test_position_attribution_rejects_foreign_words(self):
+        with pytest.raises(ReproError):
+            _attribute_positions("a b", ["z"])
+
+
+class TestInstrumentation:
+    def test_reported_graph_has_all_layers(self, hdfs):
+        recorder = ProvenanceRecorder()
+        job = WordCountJob("j1", hdfs, "/in.txt", JobConfig(), CORRECT_MAPPER)
+        job.run(recorder)
+        rules = {d.rule_name for d in recorder.graph.derivations.values()}
+        assert rules == {"map", "shuffle", "reduce", "outp"}
+
+    def test_all_config_entries_reported(self, hdfs):
+        recorder = ProvenanceRecorder()
+        job = WordCountJob("j1", hdfs, "/in.txt", JobConfig(), CORRECT_MAPPER)
+        job.run(recorder)
+        configs = recorder.graph.live_tuples("jobConfig")
+        assert len(configs) == 235
+
+    def test_outputs_traceable_to_input(self, hdfs):
+        from repro.provenance.query import provenance_query
+
+        recorder = ProvenanceRecorder()
+        job = WordCountJob("j1", hdfs, "/in.txt", JobConfig(), CORRECT_MAPPER)
+        outputs = job.run(recorder)
+        (reducer,) = [r for (r, w) in outputs if w == "dog"]
+        tree = provenance_query(
+            recorder.graph,
+            declarative.wordcount_output(reducer, "j1", "dog", 2),
+        )
+        base_tables = {
+            n.tuple.table for n in tree.tuple_root.walk() if n.is_base
+        }
+        assert base_tables == {"jobRun", "wordOcc", "mapperCode", "jobConfig"}
+
+
+class TestImperativeExecution:
+    def test_replay_applies_config_change(self, hdfs):
+        execution = ImperativeMapReduceExecution(
+            "j1", hdfs, "/in.txt", JobConfig({REDUCES_KEY: 4}), CORRECT_MAPPER
+        )
+        execution.materialize()
+        assert any(r == 3 for (r, w) in execution.last_outputs)
+        execution.replay(
+            [
+                Change(
+                    insert=declarative.job_config_tuple(REDUCES_KEY, 1),
+                    remove=[declarative.job_config_tuple(REDUCES_KEY, 4)],
+                )
+            ]
+        )
+        assert all(r == 0 for (r, w) in execution.last_outputs)
+
+    def test_replay_applies_mapper_change(self, hdfs):
+        execution = ImperativeMapReduceExecution(
+            "j1", hdfs, "/in.txt", JobConfig(), BUGGY_MAPPER
+        )
+        execution.materialize()
+        buggy_total = sum(execution.last_outputs.values())
+        from repro.mapreduce.wordcount import mapper_checksum
+
+        execution.replay(
+            [
+                Change(
+                    insert=declarative.mapper_code(
+                        CORRECT_MAPPER, mapper_checksum(CORRECT_MAPPER)
+                    ),
+                    remove=[
+                        declarative.mapper_code(
+                            BUGGY_MAPPER, mapper_checksum(BUGGY_MAPPER)
+                        )
+                    ],
+                )
+            ]
+        )
+        assert sum(execution.last_outputs.values()) > buggy_total
+
+    def test_unsupported_change_rejected(self, hdfs):
+        execution = ImperativeMapReduceExecution(
+            "j1", hdfs, "/in.txt", JobConfig(), CORRECT_MAPPER
+        )
+        with pytest.raises(ReproError):
+            execution.replay(
+                [Change(insert=declarative.word_occurrence("/x", 0, 0, "zz"))]
+            )
+
+    def test_log_contains_anchor_event(self, hdfs):
+        execution = ImperativeMapReduceExecution(
+            "j1", hdfs, "/in.txt", JobConfig(), CORRECT_MAPPER
+        )
+        anchor = execution.log.index_of_insert(
+            declarative.job_run("j1", "/in.txt")
+        )
+        assert anchor == len(execution.log) - 1
+
+
+class TestImperativeDeclarativeEquivalence:
+    """The two WordCount implementations must produce identical facts."""
+
+    @pytest.mark.parametrize("mapper", [CORRECT_MAPPER, BUGGY_MAPPER])
+    @pytest.mark.parametrize("reduces", [1, 2, 4])
+    def test_outputs_identical(self, hdfs, mapper, reduces):
+        from repro.mapreduce.wordcount import mapper_checksum
+
+        # Imperative.
+        job = WordCountJob(
+            "j1", hdfs, "/in.txt", JobConfig({REDUCES_KEY: reduces}), mapper
+        )
+        imperative = job.run()
+
+        # Declarative.
+        engine = Engine(declarative.mapreduce_program())
+        engine.insert(declarative.job_config_tuple(REDUCES_KEY, reduces))
+        engine.insert(declarative.mapper_code(mapper, mapper_checksum(mapper)))
+        for tup in declarative.load_words(hdfs.read("/in.txt")):
+            engine.insert(tup)
+        engine.run()
+        engine.insert_and_run(declarative.job_run("j1", "/in.txt"))
+        engine.fire_aggregates()
+        declarative_outputs = {
+            (t.args[0], t.args[2]): t.args[3] for t in engine.lookup("output")
+        }
+        assert declarative_outputs == imperative

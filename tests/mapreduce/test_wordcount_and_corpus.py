@@ -1,0 +1,99 @@
+"""Tests for the mappers, the corpus generator, and their agreement."""
+
+import pytest
+
+from repro.datalog.builtins import call as builtin_call
+from repro.errors import ReproError
+from repro.mapreduce.corpus import (
+    VOCABULARY,
+    first_word_counts,
+    generate_corpus,
+    word_counts,
+)
+from repro.mapreduce.wordcount import (
+    BUGGY_MAPPER,
+    CORRECT_MAPPER,
+    MAPPERS,
+    mapper_checksum,
+    split_words,
+)
+
+
+class TestSplitWords:
+    def test_lowercases_and_tokenizes(self):
+        assert split_words("The Quick, brown FOX!") == [
+            "the", "quick", "brown", "fox",
+        ]
+
+    def test_keeps_digits_and_apostrophes(self):
+        assert split_words("it's word2vec") == ["it's", "word2vec"]
+
+    def test_empty_line(self):
+        assert split_words("   ") == []
+
+
+class TestMappers:
+    def test_v1_emits_every_word(self):
+        emitted = [w for w, _ in MAPPERS[CORRECT_MAPPER]("a b c")]
+        assert emitted == ["a", "b", "c"]
+
+    def test_v2_drops_first_word(self):
+        emitted = [w for w, _ in MAPPERS[BUGGY_MAPPER]("a b c")]
+        assert emitted == ["b", "c"]
+
+    def test_v2_empty_line(self):
+        assert list(MAPPERS[BUGGY_MAPPER]("")) == []
+
+    def test_checksums_differ_between_versions(self):
+        assert mapper_checksum(CORRECT_MAPPER) != mapper_checksum(BUGGY_MAPPER)
+
+    def test_checksum_stable(self):
+        assert mapper_checksum(CORRECT_MAPPER) == mapper_checksum(CORRECT_MAPPER)
+
+    def test_unknown_version(self):
+        with pytest.raises(ReproError):
+            mapper_checksum("v99")
+
+    def test_mapper_emits_builtin_agrees_with_mappers(self):
+        """The declarative model's view of the mappers must match the
+        imperative implementations exactly, for every position."""
+        line = "alpha beta gamma delta"
+        words = split_words(line)
+        for version in (CORRECT_MAPPER, BUGGY_MAPPER):
+            emitted = [w for w, _ in MAPPERS[version](line)]
+            predicted = [
+                w
+                for pos, w in enumerate(words)
+                if builtin_call("mapper_emits", [version, pos])
+            ]
+            assert emitted == predicted, version
+
+
+class TestCorpus:
+    def test_deterministic(self):
+        assert generate_corpus(lines=10) == generate_corpus(lines=10)
+
+    def test_seed_changes_content(self):
+        assert generate_corpus(lines=10, seed=1) != generate_corpus(lines=10, seed=2)
+
+    def test_line_and_word_counts(self):
+        text = generate_corpus(lines=12, words_per_line=6)
+        lines = text.splitlines()
+        assert len(lines) == 12
+        assert all(len(split_words(line)) == 6 for line in lines)
+
+    def test_word_counts_ground_truth(self):
+        text = "a b a\nc a"
+        assert word_counts(text) == {"a": 3, "b": 1, "c": 1}
+
+    def test_first_word_counts(self):
+        text = "a b a\nc a\na x"
+        assert first_word_counts(text) == {"a": 2, "c": 1}
+
+    def test_common_words_open_lines(self):
+        # The corpus rotates frequent words through line starts so the
+        # MR2 bug is observable in the counts.
+        text = generate_corpus(lines=20)
+        firsts = first_word_counts(text)
+        assert set(firsts) <= set(VOCABULARY[:10])
+        assert sum(firsts.values()) == 20

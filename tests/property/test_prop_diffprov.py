@@ -1,0 +1,90 @@
+"""Property-based tests for the DiffProv postcondition.
+
+Whatever the fault, a successful diagnosis must satisfy Definition 1:
+applying Δ(B→G) to a clone of the bad execution produces the
+counterpart of the good event while preserving the bad seed — i.e.
+there are no "false positives" in the paper's sense (Section 4.7).
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core import DiffProv
+from repro.datalog import parse_program, parse_tuple
+from repro.datalog.tuples import Tuple
+from repro.replay import Execution
+
+PROGRAM = """
+table stim(Id, Y) event immutable.
+table cfg(K, V) mutable.
+table mid(Id, W) event.
+table out(Id, W).
+table fallback(Id).
+
+r1 mid(Id, W) :- stim(Id, Y), cfg('scale', Z), W := Y + Z.
+r2 out(Id, W) :- mid(Id, W).
+r3 fallback(Id) :- stim(Id, Y).
+"""
+
+values = st.integers(min_value=-20, max_value=20)
+
+
+@settings(max_examples=25, deadline=None)
+@given(good_scale=values, bad_scale=values, stim_y=values, noise=st.lists(values, max_size=4))
+def test_diagnosis_postcondition(good_scale, bad_scale, stim_y, noise):
+    program = parse_program(PROGRAM)
+    good = Execution(program, name="good")
+    bad = Execution(program, name="bad")
+    for index, value in enumerate(noise):
+        good.insert(Tuple("cfg", [f"noise{index}", value]))
+        bad.insert(Tuple("cfg", [f"noise{index}", value + 1]))
+    good.insert(Tuple("cfg", ["scale", good_scale]))
+    bad.insert(Tuple("cfg", ["scale", bad_scale]))
+    good.insert(Tuple("stim", [1, stim_y]))
+    bad.insert(Tuple("stim", [2, stim_y]))
+
+    good_event = Tuple("out", [1, stim_y + good_scale])
+    bad_event = Tuple("fallback", [2])
+    report = DiffProv(program).diagnose(good, bad, good_event, bad_event)
+
+    assert report.success
+    if good_scale == bad_scale:
+        assert report.num_changes == 0
+        return
+    assert report.num_changes == 1
+
+    # Postcondition: replaying with Δ produces the expected counterpart
+    # of the good event under the seed mapping (Id 1 -> 2) ...
+    anchor = bad.log.index_of_insert(Tuple("stim", [2, stim_y]))
+    replayed = bad.replay(report.changes, anchor)
+    expected = Tuple("out", [2, stim_y + good_scale])
+    assert replayed.alive(expected)
+    # ... and the original executions are untouched.
+    assert not bad.engine.exists(expected)
+    # Δ never touches immutable tuples or the noise entries.
+    for change in report.changes:
+        for tup in (change.insert, *change.remove):
+            if tup is not None:
+                assert tup.table == "cfg"
+                assert tup.args[0] == "scale"
+
+
+@settings(max_examples=15, deadline=None)
+@given(values, values)
+def test_diagnosis_is_deterministic(good_scale, bad_scale):
+    def run():
+        program = parse_program(PROGRAM)
+        good = Execution(program, name="good")
+        bad = Execution(program, name="bad")
+        good.insert(Tuple("cfg", ["scale", good_scale]))
+        bad.insert(Tuple("cfg", ["scale", bad_scale]))
+        good.insert(Tuple("stim", [1, 5]))
+        bad.insert(Tuple("stim", [2, 5]))
+        report = DiffProv(program).diagnose(
+            good,
+            bad,
+            Tuple("out", [1, 5 + good_scale]),
+            Tuple("fallback", [2]),
+        )
+        return report.success, [c.describe() for c in report.changes]
+
+    assert run() == run()

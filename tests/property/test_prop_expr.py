@@ -1,0 +1,85 @@
+"""Property-based tests for expression evaluation and inversion."""
+
+from hypothesis import assume, given, strategies as st
+
+from repro.datalog.expr import BinOp, Const, Var, fold, invert
+from repro.errors import EvaluationError, NonInvertibleError
+
+# Invertible operator chains: build expressions of the form
+# op_k(...op_1(X)...) with integer constants, then check that inversion
+# recovers X from the forward value.
+
+_INVERTIBLE_OPS = ["+", "-", "*", "^", "<<"]
+
+
+@st.composite
+def invertible_chains(draw):
+    """An expression over X built from invertible operations."""
+    expr = Var("X")
+    depth = draw(st.integers(min_value=1, max_value=5))
+    for _ in range(depth):
+        op = draw(st.sampled_from(_INVERTIBLE_OPS))
+        if op == "<<":
+            constant = draw(st.integers(min_value=1, max_value=8))
+        elif op == "*":
+            constant = draw(st.integers(min_value=1, max_value=50))
+        else:
+            constant = draw(st.integers(min_value=-100, max_value=100))
+        side = draw(st.booleans())
+        # Keep X on one side only (inversion requires a single occurrence).
+        if side and op in ("+", "*", "^"):
+            expr = BinOp(op, Const(constant), expr)
+        else:
+            expr = BinOp(op, expr, Const(constant))
+    return expr
+
+
+class TestInversionRoundtrip:
+    @given(invertible_chains(), st.integers(min_value=-1000, max_value=1000))
+    def test_invert_recovers_input(self, expr, x):
+        value = expr.evaluate({"X": x})
+        solutions = invert(expr, "X", Const(value))
+        recovered = []
+        for solution in solutions:
+            try:
+                recovered.append(solution.evaluate({}))
+            except EvaluationError:
+                continue
+        assert x in recovered
+
+    @given(invertible_chains(), st.integers(min_value=-1000, max_value=1000))
+    def test_solutions_satisfy_equation(self, expr, x):
+        value = expr.evaluate({"X": x})
+        for solution in invert(expr, "X", Const(value)):
+            try:
+                candidate = solution.evaluate({})
+            except EvaluationError:
+                continue
+            assert expr.evaluate({"X": candidate}) == value
+
+
+class TestSubstitutionProperties:
+    @given(invertible_chains(), st.integers(min_value=-50, max_value=50))
+    def test_substitute_then_evaluate(self, expr, x):
+        substituted = expr.substitute({"X": Const(x)})
+        assert substituted.variables() == frozenset()
+        assert substituted.evaluate({}) == expr.evaluate({"X": x})
+
+    @given(invertible_chains())
+    def test_substitution_with_fresh_var_renames(self, expr):
+        renamed = expr.substitute({"X": Var("Y")})
+        assert "X" not in renamed.variables()
+        assert "Y" in renamed.variables()
+
+
+class TestFoldProperties:
+    @given(invertible_chains(), st.integers(min_value=-50, max_value=50))
+    def test_fold_preserves_value(self, expr, x):
+        closed = expr.substitute({"X": Const(x)})
+        assert fold(closed) == Const(closed.evaluate({}))
+
+    @given(invertible_chains())
+    def test_fold_preserves_open_semantics(self, expr):
+        folded = fold(expr)
+        for x in (-3, 0, 7):
+            assert folded.evaluate({"X": x}) == expr.evaluate({"X": x})

@@ -1,0 +1,85 @@
+"""Property-based tests for the parser: rendering round-trips."""
+
+from hypothesis import given, strategies as st
+
+from repro.addresses import IPv4Address, Prefix
+from repro.datalog.parser import parse_expr, parse_program, parse_tuple
+from repro.datalog.tuples import Tuple
+
+# -- tuples -----------------------------------------------------------------
+
+simple_strings = st.text(
+    alphabet="abcdefghijklmnopqrstuvwxyz0123456789_-. ", min_size=0, max_size=12
+)
+values = st.one_of(
+    st.integers(min_value=-10**9, max_value=10**9),
+    simple_strings,
+    st.booleans(),
+    st.integers(min_value=0, max_value=0xFFFFFFFF).map(IPv4Address),
+    st.tuples(
+        st.integers(min_value=0, max_value=0xFFFFFFFF),
+        st.integers(min_value=0, max_value=32),
+    ).map(lambda t: Prefix(IPv4Address(t[0]), t[1])),
+)
+table_names = st.from_regex(r"[a-z][a-zA-Z0-9_]{0,10}", fullmatch=True).filter(
+    lambda s: s not in ("table", "true", "false", "argmax", "event", "state",
+                        "mutable", "immutable", "count", "sum", "min", "max")
+)
+tuples = st.builds(
+    Tuple,
+    table_names,
+    st.lists(values, min_size=0, max_size=6),
+)
+
+
+class TestTupleRoundtrip:
+    @given(tuples)
+    def test_str_parses_back_to_equal_tuple(self, tup):
+        assert parse_tuple(str(tup)) == tup
+
+    @given(tuples)
+    def test_roundtrip_preserves_types(self, tup):
+        parsed = parse_tuple(str(tup))
+        for original, reparsed in zip(tup.args, parsed.args):
+            assert type(original) is type(reparsed)
+
+
+class TestExprRoundtrip:
+    @given(st.integers(min_value=-1000, max_value=1000),
+           st.integers(min_value=-1000, max_value=1000))
+    def test_binop_str_roundtrip(self, a, b):
+        from repro.datalog.expr import BinOp, Const
+
+        for op in ("+", "-", "*", "&", "|", "^"):
+            expr = BinOp(op, Const(a), Const(b))
+            assert parse_expr(str(expr)) == expr
+
+    @given(st.integers(min_value=0, max_value=0xFFFFFFFF))
+    def test_ip_literal_roundtrip(self, value):
+        addr = IPv4Address(value)
+        from repro.datalog.expr import Const
+
+        assert parse_expr(str(addr)) == Const(addr)
+
+
+class TestProgramStability:
+    def test_program_reparse_fixpoint(self):
+        """Parsing the same program twice yields identical structures."""
+        from repro.sdn.model import SDN_PROGRAM_TEXT
+        from repro.mapreduce.declarative import MAPREDUCE_PROGRAM_TEXT
+
+        for text in (SDN_PROGRAM_TEXT, MAPREDUCE_PROGRAM_TEXT):
+            first = parse_program(text)
+            second = parse_program(text)
+            assert first.rules == second.rules
+            assert first.schemas == second.schemas
+
+    def test_rule_str_reparses_equal(self):
+        """str(rule) is itself valid NDlog that parses back equal."""
+        from repro.datalog.parser import parse_rule
+        from repro.sdn.model import sdn_program
+
+        program = sdn_program()
+        for rule in program.rules:
+            reparsed = parse_rule(str(rule), program.schemas)
+            assert reparsed == rule, rule.name

@@ -1,0 +1,110 @@
+"""Tests for the naive tree-diff strawman (Section 2.5)."""
+
+import pytest
+
+from repro.datalog import Engine, parse_tuple
+from repro.provenance import (
+    ProvenanceRecorder,
+    naive_diff,
+    provenance_query,
+    tree_edit_distance,
+)
+
+
+def build(forwarding_program, packets):
+    recorder = ProvenanceRecorder()
+    engine = Engine(forwarding_program, recorder=recorder)
+    for text in (
+        "link('s1', 2, 's2')",
+        "flowEntry('s1', 5, 4.3.2.0/24, 2)",
+        "flowEntry('s2', 1, 0.0.0.0/0, 3)",
+        "hostAt('s2', 3, 'h1')",
+    ):
+        engine.insert(parse_tuple(text))
+    engine.run()
+    for text in packets:
+        engine.insert(parse_tuple(text))
+    engine.run()
+    return recorder.graph
+
+
+class TestNaiveDiff:
+    def test_identical_trees_diff_empty(self, forwarding_program):
+        graph = build(forwarding_program, ["packet('s1', 9.9.9.9, 4.3.2.1)"])
+        tree = provenance_query(
+            graph, parse_tuple("delivered('h1', 9.9.9.9, 4.3.2.1)")
+        )
+        assert naive_diff(tree, tree) == []
+
+    def test_different_packets_diff_nonzero(self, forwarding_program):
+        graph = build(
+            forwarding_program,
+            ["packet('s1', 9.9.9.9, 4.3.2.1)", "packet('s1', 8.8.8.8, 4.3.2.7)"],
+        )
+        first = provenance_query(
+            graph, parse_tuple("delivered('h1', 9.9.9.9, 4.3.2.1)")
+        )
+        second = provenance_query(
+            graph, parse_tuple("delivered('h1', 8.8.8.8, 4.3.2.7)")
+        )
+        diff = naive_diff(first, second)
+        # The butterfly effect: headers differ at every hop, so the diff
+        # is larger than either tree even though the trees are isomorphic.
+        assert len(diff) > first.size()
+        assert len(diff) > second.size()
+
+    def test_shared_config_not_in_diff(self, forwarding_program):
+        graph = build(
+            forwarding_program,
+            ["packet('s1', 9.9.9.9, 4.3.2.1)", "packet('s1', 8.8.8.8, 4.3.2.7)"],
+        )
+        first = provenance_query(
+            graph, parse_tuple("delivered('h1', 9.9.9.9, 4.3.2.1)")
+        )
+        second = provenance_query(
+            graph, parse_tuple("delivered('h1', 8.8.8.8, 4.3.2.7)")
+        )
+        labels = set(naive_diff(first, second))
+        # Flow entries and links are common to both trees and cancel out.
+        assert not any(label[2] == "flowEntry" for label in labels)
+        assert not any(label[2] == "link" for label in labels)
+
+
+class TestTreeEditDistance:
+    def test_identical_trees_distance_zero(self, forwarding_program):
+        graph = build(forwarding_program, ["packet('s1', 9.9.9.9, 4.3.2.1)"])
+        tree = provenance_query(
+            graph, parse_tuple("delivered('h1', 9.9.9.9, 4.3.2.1)")
+        )
+        assert tree_edit_distance(tree, tree) == 0
+
+    def test_distance_counts_relabels(self, forwarding_program):
+        graph = build(
+            forwarding_program,
+            ["packet('s1', 9.9.9.9, 4.3.2.1)", "packet('s1', 8.8.8.8, 4.3.2.7)"],
+        )
+        first = provenance_query(
+            graph, parse_tuple("delivered('h1', 9.9.9.9, 4.3.2.1)")
+        )
+        second = provenance_query(
+            graph, parse_tuple("delivered('h1', 8.8.8.8, 4.3.2.7)")
+        )
+        distance = tree_edit_distance(first, second)
+        # Isomorphic trees with different headers: pure relabels, so the
+        # distance is positive but bounded by the smaller tree's size.
+        assert 0 < distance <= min(first.size(), second.size())
+
+    def test_distance_is_symmetric(self, forwarding_program):
+        graph = build(
+            forwarding_program,
+            ["packet('s1', 9.9.9.9, 4.3.2.1)", "packet('s1', 8.8.8.8, 4.3.2.7)"],
+        )
+        first = provenance_query(
+            graph, parse_tuple("delivered('h1', 9.9.9.9, 4.3.2.1)")
+        )
+        second = provenance_query(
+            graph, parse_tuple("delivered('h1', 8.8.8.8, 4.3.2.7)")
+        )
+        assert tree_edit_distance(first, second) == tree_edit_distance(
+            second, first
+        )

@@ -1,0 +1,137 @@
+"""Tests for the temporal provenance graph and the recorder."""
+
+import pytest
+
+from repro.datalog import Engine, parse_program, parse_tuple
+from repro.datalog.tuples import Tuple
+from repro.errors import ReproError
+from repro.provenance import ProvenanceRecorder
+from repro.provenance.vertices import VertexKind
+
+
+@pytest.fixture
+def recorded(forwarding_program):
+    recorder = ProvenanceRecorder()
+    engine = Engine(forwarding_program, recorder=recorder)
+    for text in (
+        "link('s1', 2, 's2')",
+        "flowEntry('s1', 5, 4.3.2.0/24, 2)",
+        "flowEntry('s2', 1, 0.0.0.0/0, 3)",
+        "hostAt('s2', 3, 'h1')",
+        "packet('s1', 9.9.9.9, 4.3.2.1)",
+    ):
+        engine.insert(parse_tuple(text))
+    engine.run()
+    return engine, recorder.graph
+
+
+class TestInferredRecording:
+    def test_insert_appear_exist_chain(self, recorded):
+        _, graph = recorded
+        entry = parse_tuple("flowEntry('s1', 5, 4.3.2.0/24, 2)")
+        assert len(graph.inserts_of(entry)) == 1
+        assert len(graph.appears_of(entry)) == 1
+        exists = graph.exists_of(entry)
+        assert len(exists) == 1 and exists[0].is_open
+
+    def test_exist_points_to_appear_points_to_insert(self, recorded):
+        _, graph = recorded
+        entry = parse_tuple("flowEntry('s1', 5, 4.3.2.0/24, 2)")
+        exist = graph.exists_of(entry)[0]
+        (appear,) = graph.children(exist)
+        assert appear.kind == VertexKind.APPEAR
+        (insert,) = graph.children(appear)
+        assert insert.kind == VertexKind.INSERT
+
+    def test_derive_children_are_body_exists(self, recorded):
+        _, graph = recorded
+        out = parse_tuple("packetOut('s1', 9.9.9.9, 4.3.2.1, 2)")
+        (appear,) = graph.appears_of(out)
+        (derive,) = graph.children(appear)
+        assert derive.kind == VertexKind.DERIVE
+        child_tuples = {child.tuple for child in graph.children(derive)}
+        assert parse_tuple("packet('s1', 9.9.9.9, 4.3.2.1)") in child_tuples
+        assert parse_tuple("flowEntry('s1', 5, 4.3.2.0/24, 2)") in child_tuples
+
+    def test_mutability_recorded(self, recorded):
+        _, graph = recorded
+        link = parse_tuple("link('s1', 2, 's2')")
+        assert graph.inserts_of(link)[0].mutable is False
+        entry = parse_tuple("flowEntry('s1', 5, 4.3.2.0/24, 2)")
+        assert graph.inserts_of(entry)[0].mutable is True
+
+    def test_deletion_closes_exist(self, recorded):
+        engine, graph = recorded
+        entry = parse_tuple("flowEntry('s1', 5, 4.3.2.0/24, 2)")
+        engine.delete(entry)
+        engine.run()
+        exist = graph.exists_of(entry)[0]
+        assert exist.end_time is not None
+        assert not graph.alive_during(entry, exist.end_time + 1)
+        assert graph.alive_during(entry, exist.end_time - 1)
+
+    def test_stats_counts_kinds(self, recorded):
+        _, graph = recorded
+        stats = graph.stats()
+        assert stats["INSERT"] == 5
+        assert stats["DERIVE"] >= 2
+
+
+class TestTemporalLookups:
+    def test_exist_at_picks_covering_interval(self, recorded):
+        engine, graph = recorded
+        entry = parse_tuple("flowEntry('s1', 5, 4.3.2.0/24, 2)")
+        first = graph.exists_of(entry)[0]
+        engine.delete(entry)
+        engine.run()
+        engine.insert(entry)
+        engine.run()
+        # Two intervals now; a time inside the first must resolve to it.
+        assert graph.exist_at(entry, first.time) is first
+        latest = graph.exist_at(entry)
+        assert latest is not first and latest.is_open
+
+    def test_live_tuples(self, recorded):
+        engine, graph = recorded
+        live = graph.live_tuples("flowEntry")
+        assert len(live) == 2
+        engine.delete(parse_tuple("flowEntry('s2', 1, 0.0.0.0/0, 3)"))
+        engine.run()
+        assert len(graph.live_tuples("flowEntry")) == 1
+
+
+class TestReportedMode:
+    def test_report_chain(self):
+        recorder = ProvenanceRecorder()
+        base = Tuple("cfg", ["k", 1])
+        recorder.report_insert("n1", base, mutable=True)
+        head = Tuple("derived", [2])
+        recorder.report_derive("n1", head, "r1", [base], env={"X": 1})
+        graph = recorder.graph
+        (appear,) = graph.appears_of(head)
+        (derive,) = graph.children(appear)
+        assert derive.rule == "r1"
+        assert [c.tuple for c in graph.children(derive)] == [base]
+
+    def test_report_requires_known_body(self):
+        recorder = ProvenanceRecorder()
+        with pytest.raises(ReproError):
+            recorder.report_derive(
+                "n1", Tuple("d", [1]), "r1", [Tuple("missing", [0])]
+            )
+
+    def test_trigger_defaults_to_latest_appearing(self):
+        recorder = ProvenanceRecorder()
+        first = Tuple("a", [1])
+        second = Tuple("b", [2])
+        recorder.report_insert("n", first)
+        recorder.report_insert("n", second)
+        info = recorder.report_derive("n", Tuple("c", [3]), "r", [first, second])
+        assert info.trigger == second
+
+    def test_report_delete_closes_interval(self):
+        recorder = ProvenanceRecorder()
+        base = Tuple("cfg", ["k", 1])
+        recorder.report_insert("n1", base)
+        recorder.report_delete("n1", base)
+        assert recorder.graph.latest_open_exist(base) is None

@@ -1,0 +1,49 @@
+"""Tests for the per-tuple history view of the temporal graph."""
+
+import pytest
+
+from repro.provenance.vertices import VertexKind
+from repro.scenarios.flap import FlappingRoute
+
+
+@pytest.fixture(scope="module")
+def flap():
+    return FlappingRoute(flaps=2, probes_per_phase=1).setup()
+
+
+class TestHistory:
+    def test_timeline_is_time_ordered(self, flap):
+        graph = flap.good_execution.graph
+        timeline = graph.history(flap.primary_route)
+        times = [v.time for v in timeline]
+        assert times == sorted(times)
+
+    def test_flap_cycle_structure(self, flap):
+        graph = flap.good_execution.graph
+        kinds = [
+            v.kind for v in graph.history(flap.primary_route)
+            if v.kind in (VertexKind.INSERT, VertexKind.DELETE)
+        ]
+        # install, (withdraw, re-announce) x flaps, final withdraw.
+        assert kinds == [
+            VertexKind.INSERT,
+            VertexKind.DELETE,
+            VertexKind.INSERT,
+            VertexKind.DELETE,
+            VertexKind.INSERT,
+            VertexKind.DELETE,
+        ]
+
+    def test_intervals_match_cycles(self, flap):
+        graph = flap.good_execution.graph
+        exists = [
+            v for v in graph.history(flap.primary_route)
+            if v.kind == VertexKind.EXIST
+        ]
+        assert len(exists) == 3
+        assert all(v.end_time is not None for v in exists)
+
+    def test_unknown_tuple_empty_history(self, flap):
+        from repro.datalog import parse_tuple
+
+        assert flap.good_execution.graph.history(parse_tuple("x(1)")) == []

@@ -1,0 +1,129 @@
+"""Tests for graph persistence and DOT rendering."""
+
+import pytest
+
+from repro.addresses import IPv4Address, Prefix
+from repro.datalog import Engine, parse_tuple
+from repro.errors import ReproError
+from repro.provenance import ProvenanceRecorder, provenance_query
+from repro.provenance.serialize import (
+    decode_value,
+    dump_graph,
+    encode_value,
+    load_graph,
+)
+from repro.provenance.viz import diff_to_dot, tree_to_dot
+
+
+@pytest.fixture
+def recorded(forwarding_program):
+    recorder = ProvenanceRecorder()
+    engine = Engine(forwarding_program, recorder=recorder)
+    for text in (
+        "link('s1', 2, 's2')",
+        "flowEntry('s1', 5, 4.3.2.0/24, 2)",
+        "flowEntry('s2', 1, 0.0.0.0/0, 3)",
+        "hostAt('s2', 3, 'h1')",
+        "packet('s1', 9.9.9.9, 4.3.2.1)",
+        "packet('s1', 8.8.8.8, 4.3.2.7)",
+    ):
+        engine.insert(parse_tuple(text))
+    engine.run()
+    engine.delete(parse_tuple("flowEntry('s2', 1, 0.0.0.0/0, 3)"))
+    engine.run()
+    return recorder.graph
+
+
+class TestValueCodec:
+    @pytest.mark.parametrize(
+        "value",
+        [42, -3, "text", True, False, IPv4Address("1.2.3.4"), Prefix("10.0.0.0/8")],
+    )
+    def test_roundtrip(self, value):
+        decoded = decode_value(encode_value(value))
+        assert decoded == value
+        assert type(decoded) is type(value)
+
+    def test_unserializable_rejected(self):
+        with pytest.raises(ReproError):
+            encode_value(object())
+
+
+class TestGraphPersistence:
+    def test_roundtrip_preserves_stats(self, recorded, tmp_path):
+        path = str(tmp_path / "graph.jsonl")
+        dump_graph(recorded, path)
+        loaded = load_graph(path)
+        assert loaded.stats() == recorded.stats()
+        assert len(loaded) == len(recorded)
+
+    def test_roundtrip_preserves_queries(self, recorded, tmp_path):
+        path = str(tmp_path / "graph.jsonl")
+        dump_graph(recorded, path)
+        loaded = load_graph(path)
+        event = parse_tuple("delivered('h1', 9.9.9.9, 4.3.2.1)")
+        original = provenance_query(recorded, event)
+        reloaded = provenance_query(loaded, event)
+        assert reloaded.size() == original.size()
+        assert reloaded.tuple_root.render() == original.tuple_root.render()
+
+    def test_roundtrip_preserves_intervals(self, recorded, tmp_path):
+        path = str(tmp_path / "graph.jsonl")
+        dump_graph(recorded, path)
+        loaded = load_graph(path)
+        deleted = parse_tuple("flowEntry('s2', 1, 0.0.0.0/0, 3)")
+        (original_exist,) = recorded.exists_of(deleted)
+        (loaded_exist,) = loaded.exists_of(deleted)
+        assert loaded_exist.end_time == original_exist.end_time
+
+    def test_roundtrip_preserves_derivations(self, recorded, tmp_path):
+        path = str(tmp_path / "graph.jsonl")
+        dump_graph(recorded, path)
+        loaded = load_graph(path)
+        assert len(loaded.derivations) == len(recorded.derivations)
+        for did, info in recorded.derivations.items():
+            other = loaded.derivations[did]
+            assert other.rule_name == info.rule_name
+            assert other.head == info.head
+            assert other.body == info.body
+            assert other.env == info.env
+
+
+class TestDotRendering:
+    def test_tree_to_dot_structure(self, recorded):
+        tree = provenance_query(
+            recorded, parse_tuple("delivered('h1', 9.9.9.9, 4.3.2.1)")
+        )
+        dot = tree_to_dot(tree, title="t")
+        assert dot.startswith('digraph "t" {')
+        assert dot.rstrip().endswith("}")
+        assert dot.count("->") == tree.size() - 1
+        assert "EXIST(" in dot and "DERIVE(" in dot
+
+    def test_diff_to_dot_colors(self, recorded):
+        good = provenance_query(
+            recorded, parse_tuple("delivered('h1', 9.9.9.9, 4.3.2.1)")
+        )
+        bad = provenance_query(
+            recorded, parse_tuple("delivered('h1', 8.8.8.8, 4.3.2.7)")
+        )
+        dot = diff_to_dot(good, bad)
+        # Shared config is green; per-packet vertexes are red.
+        assert "palegreen" in dot
+        assert "lightcoral" in dot
+        assert "cluster_good" in dot and "cluster_bad" in dot
+
+    def test_identical_trees_all_green(self, recorded):
+        tree = provenance_query(
+            recorded, parse_tuple("delivered('h1', 9.9.9.9, 4.3.2.1)")
+        )
+        dot = diff_to_dot(tree, tree)
+        assert "lightcoral" not in dot
+
+    def test_labels_escaped(self, recorded):
+        tree = provenance_query(
+            recorded, parse_tuple("delivered('h1', 9.9.9.9, 4.3.2.1)")
+        )
+        dot = tree_to_dot(tree)
+        # Tuple quotes must be escaped for DOT.
+        assert '\\"' not in dot or dot.count('"') % 2 == 0

@@ -1,0 +1,104 @@
+"""Tests for provenance tree projection and classic queries."""
+
+import pytest
+
+from repro.datalog import Engine, parse_program, parse_tuple
+from repro.errors import ReproError
+from repro.provenance import ProvenanceRecorder, provenance_query
+from repro.provenance.vertices import VertexKind
+
+
+@pytest.fixture
+def delivered_tree(forwarding_program):
+    recorder = ProvenanceRecorder()
+    engine = Engine(forwarding_program, recorder=recorder)
+    for text in (
+        "link('s1', 2, 's2')",
+        "flowEntry('s1', 5, 4.3.2.0/24, 2)",
+        "flowEntry('s2', 1, 0.0.0.0/0, 3)",
+        "hostAt('s2', 3, 'h1')",
+        "packet('s1', 9.9.9.9, 4.3.2.1)",
+    ):
+        engine.insert(parse_tuple(text))
+    engine.run()
+    tree = provenance_query(
+        recorder.graph, parse_tuple("delivered('h1', 9.9.9.9, 4.3.2.1)")
+    )
+    return tree
+
+
+class TestTreeProjection:
+    def test_root_is_queried_event(self, delivered_tree):
+        assert delivered_tree.root.vertex.tuple == parse_tuple(
+            "delivered('h1', 9.9.9.9, 4.3.2.1)"
+        )
+        assert delivered_tree.root.vertex.kind == VertexKind.EXIST
+
+    def test_vertex_structure_follows_figure2(self, delivered_tree):
+        # EXIST -> APPEAR -> DERIVE -> body EXISTs, recursively.
+        exist = delivered_tree.root
+        (appear,) = exist.children
+        assert appear.vertex.kind == VertexKind.APPEAR
+        (derive,) = appear.children
+        assert derive.vertex.kind == VertexKind.DERIVE
+        kinds = {child.vertex.kind for child in derive.children}
+        assert kinds == {VertexKind.EXIST}
+
+    def test_leaves_are_base_events(self, delivered_tree):
+        leaves = [
+            node for node in delivered_tree.root.walk() if not node.children
+        ]
+        assert leaves
+        assert all(n.vertex.kind == VertexKind.INSERT for n in leaves)
+
+    def test_size_counts_expanded_tree(self, delivered_tree):
+        assert delivered_tree.size() == sum(1 for _ in delivered_tree.root.walk())
+
+    def test_render_contains_rule_names(self, delivered_tree):
+        rendered = delivered_tree.render()
+        assert "fwd" in rendered and "recv" in rendered
+
+
+class TestTupleView:
+    def test_collapsed_chain(self, delivered_tree):
+        root = delivered_tree.tuple_root
+        assert root.tuple == parse_tuple("delivered('h1', 9.9.9.9, 4.3.2.1)")
+        assert root.rule == "recv"
+        assert not root.is_base
+
+    def test_children_follow_rule_body_order(self, delivered_tree):
+        root = delivered_tree.tuple_root
+        assert [child.tuple.table for child in root.children] == [
+            "packetOut",
+            "hostAt",
+        ]
+
+    def test_base_nodes_carry_mutability(self, delivered_tree):
+        host = delivered_tree.tuple_root.children[1]
+        assert host.is_base
+        assert host.mutable is False
+
+    def test_parent_links(self, delivered_tree):
+        root = delivered_tree.tuple_root
+        for child in root.children:
+            assert child.parent is root
+
+    def test_trigger_child(self, delivered_tree):
+        root = delivered_tree.tuple_root
+        trigger = root.trigger_child()
+        assert trigger is not None
+        assert trigger.tuple.table == "packetOut"
+
+    def test_path_to_root(self, delivered_tree):
+        leaf = next(delivered_tree.tuple_root.leaves())
+        path = leaf.path_to_root()
+        assert path[0] is leaf
+        assert path[-1] is delivered_tree.tuple_root
+
+
+class TestQueryErrors:
+    def test_unknown_event_rejected(self, delivered_tree):
+        with pytest.raises(ReproError):
+            provenance_query(
+                delivered_tree.graph, parse_tuple("delivered('h9', 1.1.1.1, 2.2.2.2)")
+            )

@@ -1,0 +1,147 @@
+"""Tests for the prefix trie and the emulator flow tables."""
+
+import pytest
+
+from repro.addresses import IPv4Address, Prefix
+from repro.errors import ReproError
+from repro.sdn import model
+from repro.sdn.flowtable import FlowTable, PrefixTrie
+
+
+class TestPrefixTrie:
+    def test_covering_walk(self):
+        trie = PrefixTrie()
+        trie.insert(Prefix("0.0.0.0/0"), "default")
+        trie.insert(Prefix("10.0.0.0/8"), "ten")
+        trie.insert(Prefix("10.1.0.0/16"), "ten-one")
+        found = list(trie.covering(IPv4Address("10.1.2.3")))
+        assert found == ["default", "ten", "ten-one"]
+
+    def test_non_covering_excluded(self):
+        trie = PrefixTrie()
+        trie.insert(Prefix("10.0.0.0/8"), "ten")
+        trie.insert(Prefix("11.0.0.0/8"), "eleven")
+        assert list(trie.covering(IPv4Address("10.9.9.9"))) == ["ten"]
+
+    def test_host_route(self):
+        trie = PrefixTrie()
+        trie.insert(Prefix("10.0.0.1/32"), "exact")
+        assert list(trie.covering(IPv4Address("10.0.0.1"))) == ["exact"]
+        assert list(trie.covering(IPv4Address("10.0.0.2"))) == []
+
+    def test_remove(self):
+        trie = PrefixTrie()
+        trie.insert(Prefix("10.0.0.0/8"), "a")
+        assert trie.remove(Prefix("10.0.0.0/8"), "a")
+        assert not trie.remove(Prefix("10.0.0.0/8"), "a")
+        assert list(trie.covering(IPv4Address("10.0.0.1"))) == []
+
+    def test_len(self):
+        trie = PrefixTrie()
+        trie.insert(Prefix("10.0.0.0/8"), "a")
+        trie.insert(Prefix("10.0.0.0/8"), "b")
+        assert len(trie) == 2
+
+
+class TestFlowTable:
+    def entry(self, prio, src, dst, action, switch="s1"):
+        return model.flow_entry(switch, prio, src, dst, action)
+
+    def test_install_and_contains(self):
+        table = FlowTable("s1")
+        entry = self.entry(5, "0.0.0.0/0", "10.0.0.0/8", 3)
+        table.install(entry)
+        assert entry in table
+        assert len(table) == 1
+
+    def test_install_is_idempotent(self):
+        table = FlowTable("s1")
+        entry = self.entry(5, "0.0.0.0/0", "10.0.0.0/8", 3)
+        table.install(entry)
+        table.install(entry)
+        assert len(table) == 1
+
+    def test_wrong_switch_rejected(self):
+        table = FlowTable("s1")
+        with pytest.raises(ReproError):
+            table.install(self.entry(5, "0.0.0.0/0", "0.0.0.0/0", 3, switch="s2"))
+
+    def test_non_flow_entry_rejected(self):
+        table = FlowTable("s1")
+        with pytest.raises(ReproError):
+            table.install(model.host_at("s1", 1, "h"))
+
+    def test_best_match_priority(self):
+        table = FlowTable("s1")
+        low = self.entry(1, "0.0.0.0/0", "0.0.0.0/0", 9)
+        high = self.entry(9, "0.0.0.0/0", "10.0.0.0/8", 2)
+        table.install(low)
+        table.install(high)
+        assert table.best_match(
+            IPv4Address("1.1.1.1"), IPv4Address("10.1.1.1")
+        ) == high
+        assert table.best_match(
+            IPv4Address("1.1.1.1"), IPv4Address("11.1.1.1")
+        ) == low
+
+    def test_best_match_respects_source_prefix(self):
+        table = FlowTable("s1")
+        entry = self.entry(9, "4.3.2.0/24", "0.0.0.0/0", 2)
+        table.install(entry)
+        assert table.best_match(
+            IPv4Address("4.3.2.1"), IPv4Address("9.9.9.9")
+        ) == entry
+        assert table.best_match(
+            IPv4Address("4.3.3.1"), IPv4Address("9.9.9.9")
+        ) is None
+
+    def test_specificity_breaks_priority_ties(self):
+        table = FlowTable("s1")
+        wide = self.entry(5, "0.0.0.0/0", "10.0.0.0/8", 1)
+        narrow = self.entry(5, "0.0.0.0/0", "10.1.0.0/16", 2)
+        table.install(wide)
+        table.install(narrow)
+        assert table.best_match(
+            IPv4Address("1.1.1.1"), IPv4Address("10.1.0.9")
+        ) == narrow
+
+    def test_uninstall(self):
+        table = FlowTable("s1")
+        entry = self.entry(5, "0.0.0.0/0", "0.0.0.0/0", 1)
+        table.install(entry)
+        assert table.uninstall(entry)
+        assert not table.uninstall(entry)
+        assert table.best_match(IPv4Address("1.1.1.1"), IPv4Address("2.2.2.2")) is None
+
+    def test_agrees_with_declarative_argmax(self):
+        """The emulator's lookup must equal the engine's selector choice."""
+        import random
+
+        from repro.datalog import Engine
+        from repro.provenance import ProvenanceRecorder
+
+        rng = random.Random(4)
+        entries = []
+        for index in range(40):
+            pfx = Prefix(f"10.{rng.randrange(4)}.{rng.randrange(4)}.0/{rng.choice([8, 16, 24])}")
+            entries.append(self.entry(rng.randrange(1, 5), "0.0.0.0/0", pfx, index))
+        table = FlowTable("s1")
+        recorder = ProvenanceRecorder()
+        engine = Engine(model.sdn_program(), recorder=recorder)
+        for entry in entries:
+            table.install(entry)
+            engine.insert(entry)
+        engine.run()
+        for trial in range(30):
+            dst = IPv4Address(f"10.{rng.randrange(4)}.{rng.randrange(4)}.{rng.randrange(4)}")
+            expected = table.best_match(IPv4Address("1.1.1.1"), dst)
+            engine.insert_and_run(model.packet("s1", 1000 + trial, "1.1.1.1", dst))
+            outs = [
+                d for d in recorder.graph.derivations.values()
+                if d.rule_name == "fwd" and d.body[0].args[1] == 1000 + trial
+            ]
+            if expected is None:
+                assert outs == []
+            else:
+                assert len(outs) == 1
+                assert outs[0].body[1] == expected

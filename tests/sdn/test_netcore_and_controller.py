@@ -1,0 +1,138 @@
+"""Tests for the NetCore-style front-end and the path controller."""
+
+import pytest
+
+from repro.addresses import Prefix
+from repro.errors import ReproError
+from repro.sdn import model
+from repro.sdn.controller import Controller, PolicyRule
+from repro.sdn.netcore import (
+    Policy,
+    compile_policy,
+    drop,
+    fwd,
+    group,
+    match,
+)
+from repro.sdn.topology import Topology
+
+
+class TestNetCoreDSL:
+    def test_clause_construction(self):
+        clause = match(src="4.3.2.0/23") >> fwd(2)
+        assert clause.predicate.src == Prefix("4.3.2.0/23")
+        assert clause.action.kind == "fwd"
+
+    def test_policy_composition(self):
+        policy = (match(src="4.3.2.0/23") >> fwd(2)) + (match() >> fwd(3))
+        assert isinstance(policy, Policy)
+        assert len(policy) == 2
+
+    def test_three_way_composition(self):
+        policy = (
+            (match(dst="1.0.0.0/8") >> fwd(1))
+            + (match(dst="2.0.0.0/8") >> fwd(2))
+            + (match() >> drop())
+        )
+        assert len(policy) == 3
+
+    def test_predicate_conjunction(self):
+        pred = match(src="4.3.0.0/16") & match(src="4.3.2.0/24", dst="1.0.0.0/8")
+        assert pred.src == Prefix("4.3.2.0/24")
+        assert pred.dst == Prefix("1.0.0.0/8")
+
+    def test_disjoint_conjunction_rejected(self):
+        with pytest.raises(ReproError):
+            match(src="4.3.2.0/24") & match(src="9.9.9.0/24")
+
+    def test_fwd_rejects_negative_port(self):
+        with pytest.raises(ReproError):
+            fwd(-1)
+
+    def test_group_requires_negative_id(self):
+        with pytest.raises(ReproError):
+            group(4)
+
+
+class TestCompilation:
+    def test_first_match_becomes_highest_priority(self):
+        policy = (match(src="4.3.2.0/23") >> fwd(2)) + (match() >> fwd(3))
+        entries = compile_policy(policy, "s2")
+        assert entries[0].args[1] > entries[1].args[1]
+        assert entries[0] == model.flow_entry(
+            "s2", 2, "4.3.2.0/23", "0.0.0.0/0", 2
+        )
+
+    def test_single_clause_compiles(self):
+        entries = compile_policy(match() >> fwd(7), "s1")
+        assert entries == [model.flow_entry("s1", 1, "0.0.0.0/0", "0.0.0.0/0", 7)]
+
+    def test_drop_compiles_to_drop_action(self):
+        (entry,) = compile_policy(match() >> drop(), "s1")
+        assert entry.args[4] == model.DROP_ACTION
+
+    def test_group_compiles_to_group_action(self):
+        (entry,) = compile_policy(match() >> group(-4), "s1")
+        assert entry.args[4] == -4
+
+    def test_garbage_rejected(self):
+        with pytest.raises(ReproError):
+            compile_policy("not a policy", "s1")
+
+    def test_compiled_policy_runs_on_engine(self):
+        from repro.datalog import Engine
+
+        engine = Engine(model.sdn_program())
+        policy = (match(src="4.3.2.0/23") >> fwd(1)) + (match() >> fwd(2))
+        for entry in compile_policy(policy, "s1"):
+            engine.insert(entry)
+        engine.insert(model.host_at("s1", 1, "special"))
+        engine.insert(model.host_at("s1", 2, "other"))
+        engine.run()
+        engine.insert_and_run(model.packet("s1", 1, "4.3.3.3", "9.9.9.9"))
+        assert engine.exists(model.delivered("special", 1, "4.3.3.3", "9.9.9.9"))
+
+
+@pytest.fixture
+def chain():
+    topo = Topology("chain")
+    for name in ("s1", "s2", "s3"):
+        topo.add_switch(name)
+    topo.add_host("web", "172.16.0.80")
+    topo.add_link("s1", "s2")
+    topo.add_link("s2", "s3")
+    topo.add_link("s3", "web")
+    return topo
+
+
+class TestController:
+    def test_entries_follow_shortest_path(self, chain):
+        controller = Controller(chain)
+        policy = PolicyRule("to-web", "web", priority=4)
+        entries = controller.entries_for(policy, ingress="s1")
+        assert [e.args[0] for e in entries] == ["s1", "s2", "s3"]
+        assert entries[0].args[4] == chain.port("s1", "s2")
+        assert entries[-1].args[4] == chain.port("s3", "web")
+
+    def test_waypoint_routing(self, chain):
+        controller = Controller(chain)
+        policy = PolicyRule("via-s2", "web", via=["s2"])
+        path = controller.path_for(policy, ingress="s1")
+        assert "s2" in path
+
+    def test_install_feeds_execution(self, chain):
+        from repro.replay import Execution
+
+        execution = Execution(model.sdn_program())
+        for tup in chain.wiring_tuples():
+            execution.insert(tup, mutable=False)
+        controller = Controller(chain)
+        entries = controller.install(
+            execution, PolicyRule("to-web", "web"), ingress="s1"
+        )
+        execution.insert(model.packet("s1", 1, "1.1.1.1", "172.16.0.80"),
+                         mutable=False)
+        assert execution.engine.exists(
+            model.delivered("web", 1, "1.1.1.1", "172.16.0.80")
+        )
+        assert all(execution.engine.exists(e) for e in entries)

@@ -1,0 +1,144 @@
+"""Tests for topologies and the declarative SDN model."""
+
+import pytest
+
+from repro.addresses import IPv4Address, Prefix
+from repro.datalog import Engine
+from repro.errors import ReproError
+from repro.provenance import ProvenanceRecorder
+from repro.sdn import model
+from repro.sdn.topology import Topology
+
+
+@pytest.fixture
+def diamond():
+    topo = Topology("diamond")
+    for name in ("a", "b", "c", "d"):
+        topo.add_switch(name)
+    topo.add_host("h1", "10.0.0.1")
+    topo.add_link("a", "b")
+    topo.add_link("a", "c")
+    topo.add_link("b", "d")
+    topo.add_link("c", "d")
+    topo.add_link("d", "h1")
+    return topo
+
+
+class TestTopology:
+    def test_ports_assigned_deterministically(self, diamond):
+        assert diamond.port("a", "b") == 1
+        assert diamond.port("a", "c") == 2
+        assert diamond.port("b", "a") == 1
+        assert diamond.port("d", "h1") == 3
+
+    def test_duplicate_node_rejected(self, diamond):
+        with pytest.raises(ReproError):
+            diamond.add_switch("a")
+        with pytest.raises(ReproError):
+            diamond.add_host("h1", "10.0.0.2")
+
+    def test_unknown_link_endpoint_rejected(self, diamond):
+        with pytest.raises(ReproError):
+            diamond.add_link("a", "zz")
+
+    def test_port_of_missing_link(self, diamond):
+        with pytest.raises(ReproError):
+            diamond.port("a", "d")
+
+    def test_kind_queries(self, diamond):
+        assert diamond.is_switch("a") and not diamond.is_host("a")
+        assert diamond.is_host("h1") and not diamond.is_switch("h1")
+
+    def test_host_attachment(self, diamond):
+        switch, port = diamond.attachment("h1")
+        assert switch == "d"
+        assert port == diamond.port("d", "h1")
+
+    def test_host_ip(self, diamond):
+        assert diamond.host_ip("h1") == IPv4Address("10.0.0.1")
+        with pytest.raises(ReproError):
+            diamond.host_ip("nobody")
+
+    def test_shortest_path(self, diamond):
+        path = diamond.shortest_path("a", "d")
+        assert path[0] == "a" and path[-1] == "d"
+        assert len(path) == 3
+
+    def test_wiring_tuples(self, diamond):
+        tuples = diamond.wiring_tuples()
+        tables = {t.table for t in tuples}
+        assert tables == {"link", "hostAt"}
+        # Each switch-switch edge appears once per direction.
+        links = [t for t in tuples if t.table == "link"]
+        assert len(links) == 8
+        hosts = [t for t in tuples if t.table == "hostAt"]
+        assert hosts == [model.host_at("d", diamond.port("d", "h1"), "h1")]
+
+
+class TestModelConstructors:
+    def test_packet(self):
+        tup = model.packet("s1", 7, "1.2.3.4", "5.6.7.8")
+        assert tup.table == "packet"
+        assert tup.args[2] == IPv4Address("1.2.3.4")
+
+    def test_flow_entry_coerces_prefixes(self):
+        tup = model.flow_entry("s1", 5, "4.3.2.0/24", "0.0.0.0/0", 3)
+        assert tup.args[2] == Prefix("4.3.2.0/24")
+
+    def test_group_entry_requires_negative_id(self):
+        with pytest.raises(ValueError):
+            model.group_entry("s1", 3, 1)
+
+    def test_program_parses_and_validates(self):
+        program = model.sdn_program()
+        assert {r.name for r in program.rules} == {
+            "fwd", "out", "outg", "move", "recv",
+        }
+        assert program.schema("packet").kind.value == "event"
+        assert not program.schema("packet").mutable
+        assert program.schema("flowEntry").mutable
+
+
+class TestModelSemantics:
+    def _engine(self):
+        recorder = ProvenanceRecorder()
+        engine = Engine(model.sdn_program(), recorder=recorder)
+        return engine, recorder
+
+    def test_drop_action_without_group_drops(self):
+        engine, _ = self._engine()
+        engine.insert(model.flow_entry("s1", 5, "0.0.0.0/0", "0.0.0.0/0",
+                                       model.DROP_ACTION))
+        engine.run()
+        engine.insert_and_run(model.packet("s1", 1, "1.1.1.1", "2.2.2.2"))
+        assert engine.lookup("delivered") == []
+
+    def test_group_action_multicasts(self):
+        engine, _ = self._engine()
+        for tup in (
+            model.flow_entry("s1", 5, "0.0.0.0/0", "0.0.0.0/0", -1),
+            model.group_entry("s1", -1, 1),
+            model.group_entry("s1", -1, 2),
+            model.host_at("s1", 1, "h1"),
+            model.host_at("s1", 2, "h2"),
+        ):
+            engine.insert(tup)
+        engine.run()
+        engine.insert_and_run(model.packet("s1", 1, "1.1.1.1", "2.2.2.2"))
+        delivered = {t.args[0] for t in engine.lookup("delivered")}
+        assert delivered == {"h1", "h2"}
+
+    def test_source_based_matching(self):
+        engine, _ = self._engine()
+        for tup in (
+            model.flow_entry("s1", 9, "4.3.2.0/24", "0.0.0.0/0", 1),
+            model.flow_entry("s1", 1, "0.0.0.0/0", "0.0.0.0/0", 2),
+            model.host_at("s1", 1, "special"),
+            model.host_at("s1", 2, "default"),
+        ):
+            engine.insert(tup)
+        engine.run()
+        engine.insert_and_run(model.packet("s1", 1, "4.3.2.9", "9.9.9.9"))
+        engine.insert_and_run(model.packet("s1", 2, "4.3.3.9", "9.9.9.9"))
+        delivered = {(t.args[0], t.args[1]) for t in engine.lookup("delivered")}
+        assert delivered == {("special", 1), ("default", 2)}

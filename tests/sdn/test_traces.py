@@ -1,0 +1,71 @@
+"""Tests for the synthetic trace generator (the CAIDA stand-in)."""
+
+from collections import Counter
+
+from repro.addresses import Prefix
+from repro.sdn.traces import (
+    TraceConfig,
+    packets_for_rate,
+    synthetic_trace,
+)
+
+
+class TestPacketsForRate:
+    def test_basic_arithmetic(self):
+        # 1 Mbps for 1 s at 500 B packets = 10^6 / 4000 = 250 packets.
+        assert packets_for_rate(1, 500, 1.0) == 250
+
+    def test_scales_with_rate_and_duration(self):
+        base = packets_for_rate(10, 500, 1.0)
+        assert packets_for_rate(100, 500, 1.0) == 10 * base
+        assert packets_for_rate(10, 500, 2.0) == 2 * base
+
+    def test_scales_inversely_with_size(self):
+        small = packets_for_rate(10, 500, 1.0)
+        large = packets_for_rate(10, 1500, 1.0)
+        # 3x the packet size -> one third the packets (integer floor).
+        assert abs(small - 3 * large) <= 3
+
+    def test_at_least_one_packet(self):
+        assert packets_for_rate(0.000001, 1500, 0.001) == 1
+
+
+class TestSyntheticTrace:
+    def test_deterministic_for_seed(self):
+        config = TraceConfig(count=50, seed=9)
+        first = [(p.src, p.dst) for p in synthetic_trace(config)]
+        second = [(p.src, p.dst) for p in synthetic_trace(config)]
+        assert first == second
+
+    def test_seed_changes_trace(self):
+        a = [(p.src, p.dst) for p in synthetic_trace(TraceConfig(count=50, seed=1))]
+        b = [(p.src, p.dst) for p in synthetic_trace(TraceConfig(count=50, seed=2))]
+        assert a != b
+
+    def test_count_and_size(self):
+        trace = synthetic_trace(TraceConfig(count=37, packet_size=750))
+        assert len(trace) == 37
+        assert all(p.size == 750 for p in trace)
+
+    def test_addresses_inside_configured_prefixes(self):
+        config = TraceConfig(
+            count=100,
+            src_prefixes=("10.0.0.0/8",),
+            dst_prefixes=("172.16.0.0/16",),
+        )
+        src_pfx = Prefix("10.0.0.0/8")
+        dst_pfx = Prefix("172.16.0.0/16")
+        for packet in synthetic_trace(config):
+            assert src_pfx.contains(packet.src)
+            assert dst_pfx.contains(packet.dst)
+
+    def test_zipf_skew(self):
+        # A handful of heavy flows dominate, like real backbone traffic.
+        trace = synthetic_trace(TraceConfig(count=2000, flows=64, seed=3))
+        counts = Counter((p.src, p.dst) for p in trace).most_common()
+        top_share = sum(c for _, c in counts[:8]) / 2000
+        assert top_share > 0.5
+
+    def test_flow_population_bounded(self):
+        trace = synthetic_trace(TraceConfig(count=500, flows=16))
+        assert len({(p.src, p.dst) for p in trace}) <= 16

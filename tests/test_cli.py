@@ -1,0 +1,104 @@
+"""Tests for the diffprov command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_scenario_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["diagnose", "SDN99"])
+
+
+class TestCommands:
+    def test_scenarios_lists_them_all(self, capsys):
+        assert main(["scenarios"]) == 0
+        out = capsys.readouterr().out
+        for name in ("SDN1", "SDN4", "MR1-D", "MR2-I", "DNS"):
+            assert name in out
+
+    def test_scenarios_json(self, capsys):
+        assert main(["--json", "scenarios"]) == 0
+        rows = json.loads(capsys.readouterr().out)
+        assert len(rows) == 12
+        assert {"name", "description"} <= set(rows[0])
+
+    def test_diagnose_sdn2(self, capsys):
+        assert main(["diagnose", "SDN2"]) == 0
+        out = capsys.readouterr().out
+        assert "root-cause" in out
+        assert "remove flowEntry" in out
+
+    def test_diagnose_json(self, capsys):
+        assert main(["--json", "diagnose", "SDN2"]) == 0
+        data = json.loads(capsys.readouterr().out)
+        assert data["success"]
+        assert len(data["changes"]) == 1
+
+    def test_diagnose_with_taints_disabled_reports_failure(self, capsys):
+        assert main(["--json", "diagnose", "SDN2", "--no-taint"]) == 0
+        data = json.loads(capsys.readouterr().out)
+        assert not data["success"]
+
+    def test_tree_tuple_view(self, capsys):
+        assert main(["tree", "SDN2", "--side", "bad"]) == 0
+        out = capsys.readouterr().out
+        assert "delivered(" in out
+        assert "via" in out
+
+    def test_tree_vertex_view(self, capsys):
+        assert main(["tree", "SDN2", "--side", "good", "--view", "vertex"]) == 0
+        out = capsys.readouterr().out
+        assert "EXIST(" in out and "DERIVE(" in out
+
+    def test_survey(self, capsys):
+        assert main(["survey"]) == 0
+        out = capsys.readouterr().out
+        assert "70.3%" in out
+
+    def test_survey_json(self, capsys):
+        assert main(["--json", "survey"]) == 0
+        data = json.loads(capsys.readouterr().out)
+        assert data["with_reference"] == 45
+
+    def test_tree_dot(self, capsys):
+        assert main(["tree", "DNS", "--dot"]) == 0
+        out = capsys.readouterr().out
+        assert out.startswith("digraph")
+        assert "->" in out
+
+    def test_tree_dot_diff(self, capsys):
+        assert main(["tree", "DNS", "--dot", "--diff"]) == 0
+        out = capsys.readouterr().out
+        assert "cluster_good" in out and "cluster_bad" in out
+
+    def test_diagnose_minimize_flag(self, capsys):
+        assert main(["--json", "diagnose", "DNS", "--minimize"]) == 0
+        data = json.loads(capsys.readouterr().out)
+        assert data["success"]
+        assert len(data["changes"]) == 1
+
+    def test_autoref(self, capsys):
+        assert main(["--json", "autoref", "DNS"]) == 0
+        data = json.loads(capsys.readouterr().out)
+        assert data["found"]
+        assert data["reference"].startswith("response('ns-c'")
+        assert data["changes"] == ["insert transferred('ns-a', 'example.com', 2)"]
+
+    def test_export_roundtrip(self, capsys, tmp_path):
+        from repro.provenance.serialize import load_graph
+
+        out = str(tmp_path / "dns.jsonl")
+        assert main(["--json", "export", "DNS", "--out", out]) == 0
+        data = json.loads(capsys.readouterr().out)
+        assert data["records"] > 0
+        graph = load_graph(out)
+        assert len(graph) > 0
+        assert graph.live_tuples("response")

@@ -1,0 +1,72 @@
+"""Tests for the exception hierarchy."""
+
+import pytest
+
+from repro.datalog import parse_tuple
+from repro.errors import (
+    DiagnosisFailure,
+    EvaluationError,
+    ImmutableChangeRequired,
+    NonInvertibleError,
+    ParseError,
+    ReplayDivergence,
+    ReproError,
+    SchemaError,
+    SeedTypeMismatch,
+)
+
+
+class TestHierarchy:
+    @pytest.mark.parametrize(
+        "exc",
+        [
+            ParseError("x"),
+            SchemaError("x"),
+            EvaluationError("x"),
+            NonInvertibleError("x"),
+            DiagnosisFailure("x"),
+            SeedTypeMismatch(parse_tuple("a(1)"), parse_tuple("b(1)")),
+            ImmutableChangeRequired(parse_tuple("a(1)")),
+            ReplayDivergence("x"),
+        ],
+    )
+    def test_everything_is_a_repro_error(self, exc):
+        assert isinstance(exc, ReproError)
+
+    def test_diagnosis_failures_form_a_family(self):
+        assert issubclass(SeedTypeMismatch, DiagnosisFailure)
+        assert issubclass(ImmutableChangeRequired, DiagnosisFailure)
+        # Non-invertibility is an algorithmic limitation, not an
+        # operator-input problem, so it sits outside the family.
+        assert not issubclass(NonInvertibleError, DiagnosisFailure)
+
+
+class TestErrorPayloads:
+    def test_parse_error_carries_line(self):
+        error = ParseError("bad token", line=7)
+        assert error.line == 7
+        assert "line 7" in str(error)
+
+    def test_parse_error_without_line(self):
+        assert ParseError("bad").line is None
+
+    def test_noninvertible_attempted_clue(self):
+        error = NonInvertibleError("no inverse", attempted=("expr", "target"))
+        assert error.attempted == ("expr", "target")
+
+    def test_seed_mismatch_carries_both_seeds(self):
+        good = parse_tuple("pkt(1)")
+        bad = parse_tuple("cfg(1)")
+        error = SeedTypeMismatch(good, bad)
+        assert error.good_seed == good
+        assert error.bad_seed == bad
+        assert "not comparable" in str(error)
+
+    def test_immutable_carries_tuple(self):
+        tup = parse_tuple("link('a', 1)")
+        error = ImmutableChangeRequired(tup, "it is wiring")
+        assert error.tuple == tup
+
+    def test_replay_divergence_carries_position(self):
+        error = ReplayDivergence("diverged", at=42)
+        assert error.at == 42

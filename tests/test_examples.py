@@ -1,0 +1,40 @@
+"""Every shipped example must run end to end.
+
+The examples are part of the public API surface; breaking one is a
+regression even if the library tests stay green.
+"""
+
+import pathlib
+import runpy
+import sys
+
+import pytest
+
+_ROOT = pathlib.Path(__file__).resolve().parent.parent
+
+EXAMPLES = [
+    str(_ROOT / "examples" / name)
+    for name in (
+        "quickstart.py",
+        "sdn_debugging.py",
+        "mapreduce_debugging.py",
+        "dns_debugging.py",
+        "controller_debugging.py",
+    )
+]
+
+
+@pytest.mark.parametrize("path", EXAMPLES)
+def test_example_runs(path, capsys, monkeypatch):
+    monkeypatch.setattr(sys, "argv", [path])
+    runpy.run_path(path, run_name="__main__")
+    out = capsys.readouterr().out
+    assert "root-cause change" in out
+
+
+def test_campus_network_example(capsys, monkeypatch):
+    path = str(_ROOT / "examples" / "campus_network.py")
+    monkeypatch.setattr(sys, "argv", [path, "--background", "40"])
+    runpy.run_path(path, run_name="__main__")
+    out = capsys.readouterr().out
+    assert "correct root cause despite 20 decoy faults: YES" in out

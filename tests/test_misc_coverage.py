@@ -1,0 +1,146 @@
+"""Remaining edge paths: parser errors, controller corners, distributed
+errors, execution modes."""
+
+import os
+
+import pytest
+
+from repro.datalog.parser import parse_program, parse_tuple
+from repro.errors import ParseError, ReproError
+
+
+class TestParserErrors:
+    def test_location_on_second_arg_rejected(self):
+        with pytest.raises(ParseError):
+            parse_program(
+                """
+                table a(X, Y).
+                table b(X, Y).
+                r1 a(X, @Y) :- b(X, @Y).
+                """
+            )
+
+    def test_unterminated_rule(self):
+        with pytest.raises(ParseError):
+            parse_program("table a(X).\nr1 a(X) :- ")
+
+    def test_missing_period(self):
+        with pytest.raises(ParseError):
+            parse_program("table a(X)")
+
+    def test_argmax_without_keys(self):
+        with pytest.raises(ParseError):
+            parse_program(
+                """
+                table a(X).
+                table b(X).
+                r1 a(X) :- b(X) argmax<>.
+                """
+            )
+
+    def test_unexpected_character(self):
+        with pytest.raises(ParseError):
+            parse_program("table a(X). ??")
+
+    def test_rule_body_condition_without_tables(self):
+        # A call on an undeclared name is treated as a condition, which
+        # then fails the safety check (unbound variables).
+        with pytest.raises(Exception):
+            parse_program("table a(X).\nr1 a(X) :- mystery(X).")
+
+
+class TestControllerCorners:
+    def test_policy_rejects_bad_prefix(self):
+        from repro.sdn.declarative_controller import policy
+
+        with pytest.raises(Exception):
+            policy("p", 1, "not-a-prefix", "0.0.0.0/0", "h")
+
+    def test_path_controller_unreachable_host(self):
+        from repro.sdn.controller import Controller, PolicyRule
+        from repro.sdn.topology import Topology
+
+        topo = Topology("t")
+        topo.add_switch("a")
+        topo.add_host("h", "10.0.0.1")
+        # h is not linked to anything.
+        with pytest.raises(Exception):
+            Controller(topo).entries_for(PolicyRule("p", "h"), ingress="a")
+
+
+class TestDistributedErrors:
+    def test_query_unknown_event(self):
+        from repro.provenance.distributed import PartitionedProvenance
+        from repro.provenance.graph import ProvenanceGraph
+
+        partitioned = PartitionedProvenance(ProvenanceGraph())
+        with pytest.raises(ReproError):
+            partitioned.query(parse_tuple("ghost(1)"))
+
+    def test_stats_cleared_between_queries(self):
+        from repro.provenance.distributed import PartitionedProvenance
+        from repro.scenarios.dns import DNSStaleReplica
+
+        scenario = DNSStaleReplica(background_queries=3).setup()
+        partitioned = PartitionedProvenance(scenario.good_execution.graph)
+        _, first = partitioned.query(scenario.good_event)
+        _, second = partitioned.query(scenario.good_event)
+        assert first.vertices_fetched == second.vertices_fetched
+
+
+class TestExecutionModes:
+    def test_runtime_mode_barrier(self):
+        from repro.mapreduce import declarative
+        from repro.mapreduce.wordcount import CORRECT_MAPPER, mapper_checksum
+        from repro.replay import Execution
+
+        program = declarative.mapreduce_program()
+        execution = Execution(program, mode="runtime")
+        execution.insert(declarative.job_config_tuple("mapreduce.job.reduces", 1))
+        execution.insert(
+            declarative.mapper_code(CORRECT_MAPPER, mapper_checksum(CORRECT_MAPPER))
+        )
+        execution.insert(declarative.word_occurrence("/f", 0, 0, "hello"))
+        execution.insert(declarative.job_run("j", "/f"))
+        execution.barrier()
+        assert execution.engine.exists(
+            declarative.wordcount_output(0, "j", "hello", 1)
+        )
+        # Runtime mode recorded the barrier's aggregate derivation live.
+        assert any(
+            d.rule_name == "reduce"
+            for d in execution.graph.derivations.values()
+        )
+
+    def test_replay_of_barrier_logs(self):
+        from repro.mapreduce import declarative
+        from repro.mapreduce.wordcount import CORRECT_MAPPER, mapper_checksum
+        from repro.replay import Execution
+
+        program = declarative.mapreduce_program()
+        execution = Execution(program)
+        execution.insert(declarative.job_config_tuple("mapreduce.job.reduces", 1))
+        execution.insert(
+            declarative.mapper_code(CORRECT_MAPPER, mapper_checksum(CORRECT_MAPPER))
+        )
+        execution.insert(declarative.word_occurrence("/f", 0, 0, "hello"))
+        execution.insert(declarative.job_run("j", "/f"))
+        execution.barrier()
+        replayed = execution.replay()
+        assert replayed.alive(declarative.wordcount_output(0, "j", "hello", 1))
+
+
+@pytest.mark.skipif(
+    not os.environ.get("STANFORD_FULL_SCALE"),
+    reason="full-scale Stanford run is slow; set STANFORD_FULL_SCALE=1",
+)
+class TestStanfordFullScale:
+    def test_full_scale_configuration_diagnoses(self):
+        from repro.scenarios.stanford import StanfordForwardingError
+
+        scenario = StanfordForwardingError(full_scale=True, background_packets=100)
+        scenario.setup()
+        assert scenario.config.total_entries() > 700_000
+        report = scenario.diagnose()
+        assert report.success
+        assert report.changes[0].remove == (scenario.expected_fault,)

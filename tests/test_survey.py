@@ -1,0 +1,71 @@
+"""Tests for the Section 2.4 survey reproduction."""
+
+from repro.survey import (
+    CATEGORY_COUNTS,
+    SurveyPost,
+    analyze,
+    build_corpus,
+    paper_stats,
+)
+
+
+class TestCorpus:
+    def test_corpus_has_89_posts(self):
+        assert len(build_corpus()) == 89
+
+    def test_corpus_is_deterministic(self):
+        first = [(p.is_diagnostic, p.has_reference, p.category)
+                 for p in build_corpus()]
+        second = [(p.is_diagnostic, p.has_reference, p.category)
+                  for p in build_corpus()]
+        assert first == second
+
+    def test_posts_have_sequential_ids(self):
+        posts = build_corpus()
+        assert [p.post_id for p in posts] == list(range(1, 90))
+
+    def test_months_in_survey_window(self):
+        months = {p.month for p in build_corpus()}
+        assert months <= {"2014-09", "2014-10", "2014-11", "2014-12"}
+
+    def test_excerpts_present(self):
+        assert all(p.excerpt for p in build_corpus())
+
+
+class TestAnalysis:
+    def test_paper_numbers(self):
+        stats = paper_stats()
+        assert stats.total == 89
+        assert stats.diagnostic == 64
+        assert stats.with_reference == 45
+        assert stats.cross_domain == 10
+        assert stats.in_domain == 35
+
+    def test_reference_fraction_is_70_point_3(self):
+        assert round(paper_stats().reference_fraction * 100, 1) == 70.3
+
+    def test_category_counts(self):
+        stats = paper_stats()
+        assert stats.by_category == CATEGORY_COUNTS
+        assert stats.by_category["partial"] == max(stats.by_category.values())
+
+    def test_strategies_cover_both_kinds(self):
+        stats = paper_stats()
+        assert set(stats.by_strategy) == {"look-back-in-time", "sibling-system"}
+        assert sum(stats.by_strategy.values()) == 45
+
+    def test_analyze_on_custom_corpus(self):
+        posts = [
+            SurveyPost(1, "2014-09", True, True, False, "partial", "sibling-system"),
+            SurveyPost(2, "2014-09", True, False),
+            SurveyPost(3, "2014-09", False),
+        ]
+        stats = analyze(posts)
+        assert stats.total == 3
+        assert stats.diagnostic == 2
+        assert stats.with_reference == 1
+        assert stats.in_domain == 1
+
+    def test_empty_corpus(self):
+        stats = analyze([])
+        assert stats.reference_fraction == 0.0
