@@ -32,13 +32,19 @@ from .addresses import IPv4Address, Prefix, ip, prefix
 from .core import DiffProv, DiffProvOptions, DiagnosisReport
 from .datalog import Engine, Tuple, parse_program, parse_rule, parse_tuple
 from .errors import (
+    DegradedResultWarning,
     DiagnosisFailure,
+    FaultError,
+    FaultSpecError,
     ImmutableChangeRequired,
+    NodeUnreachableError,
     NonInvertibleError,
     ParseError,
     ReproError,
     SeedTypeMismatch,
+    StepLimitExceeded,
 )
+from .faults import FaultInjector, FaultPlan
 from .provenance import (
     ProvenanceGraph,
     ProvenanceRecorder,
@@ -70,6 +76,13 @@ __all__ = [
     "SeedTypeMismatch",
     "ImmutableChangeRequired",
     "NonInvertibleError",
+    "StepLimitExceeded",
+    "FaultError",
+    "FaultSpecError",
+    "NodeUnreachableError",
+    "DegradedResultWarning",
+    "FaultPlan",
+    "FaultInjector",
     "ProvenanceGraph",
     "ProvenanceRecorder",
     "ProvenanceTree",

@@ -26,6 +26,8 @@ from typing import List, Optional
 
 from . import survey as survey_module
 from .core.diffprov import DiffProvOptions
+from .errors import FaultSpecError
+from .faults import FaultPlan
 from .scenarios import ALL_SCENARIOS
 
 __all__ = ["main", "build_parser"]
@@ -55,6 +57,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--minimize",
         action="store_true",
         help="greedy minimality post-pass on the returned changes",
+    )
+    diagnose.add_argument(
+        "--faults",
+        metavar="SPEC",
+        help="deterministic fault plan, e.g. "
+        "'loss=0.1,fetch-loss=0.15,seed=7' (see docs/faults.md)",
     )
 
     autoref = commands.add_parser(
@@ -150,7 +158,15 @@ def _cmd_scenarios(args) -> int:
 
 
 def _cmd_diagnose(args) -> int:
-    scenario = ALL_SCENARIOS[args.scenario]()
+    kwargs = {}
+    if getattr(args, "faults", None):
+        try:
+            FaultPlan.parse(args.faults)
+        except FaultSpecError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        kwargs["faults"] = args.faults
+    scenario = ALL_SCENARIOS[args.scenario](**kwargs)
     options = DiffProvOptions(
         max_rounds=args.max_rounds,
         enable_taint=not args.no_taint,
@@ -165,6 +181,17 @@ def _cmd_diagnose(args) -> int:
         "failure": report.failure_category,
         "timings": report.timings,
     }
+    plan = scenario.fault_plan
+    if plan is not None and not plan.is_zero():
+        data["faults"] = plan.describe()
+        data["degraded"] = report.degraded
+        data["confidences"] = report.confidences
+        data["lost_events"] = report.lost_events
+        data["unknown_subtrees"] = [str(t) for t in report.unknown_subtrees]
+        data["distributed"] = {
+            side: repr(stats)
+            for side, stats in sorted(report.distributed_stats.items())
+        }
     return _emit(args, data, report.summary())
 
 

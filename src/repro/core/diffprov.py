@@ -31,11 +31,15 @@ from ..datalog.tuples import TableKind, Tuple
 from ..errors import (
     DiagnosisFailure,
     EvaluationError,
+    FaultError,
     ImmutableChangeRequired,
     NonInvertibleError,
     ReproError,
     SeedTypeMismatch,
+    StepLimitExceeded,
 )
+from ..faults import FaultInjector
+from ..provenance.distributed import PartitionedProvenance
 from ..provenance.query import provenance_query
 from ..provenance.tree import TupleNode
 from ..replay.execution import Execution
@@ -66,6 +70,7 @@ class DiffProvOptions:
         "verify",
         "max_competitors",
         "minimize",
+        "faults",
     )
 
     def __init__(
@@ -77,6 +82,7 @@ class DiffProvOptions:
         verify: bool = True,
         max_competitors: int = 3,
         minimize: bool = False,
+        faults=None,
     ):
         self.max_rounds = max_rounds
         self.enable_taint = enable_taint
@@ -90,6 +96,10 @@ class DiffProvOptions:
         # removal still leaves the trees aligned (one replay per
         # candidate change).
         self.minimize = minimize
+        # Optional FaultPlan: the initial provenance queries go through
+        # PartitionedProvenance with fallible fetches, and the differ
+        # degrades gracefully instead of crashing on missing provenance.
+        self.faults = faults
 
 
 class DiffProv:
@@ -118,7 +128,11 @@ class DiffProv:
         state = _DiagnosisState(self, good, bad, timings)
         try:
             return state.run(good_event, bad_event, good_time, bad_time)
-        except (DiagnosisFailure, NonInvertibleError) as failure:
+        except (
+            DiagnosisFailure,
+            NonInvertibleError,
+            StepLimitExceeded,
+        ) as failure:
             return state.failure_report(failure)
 
     # Convenience: the vertex-count comparison used by Table 1.
@@ -152,6 +166,16 @@ class _DiagnosisState:
         self.bad_seed: Optional[TupleNode] = None
         self.equiv: Optional[EquivalenceRelation] = None
         self.replays = 0
+        # Degradation machinery (active only under a fault plan or a
+        # lossy provenance graph).
+        self.fault_plan = self.options.faults
+        self.distributed_stats: Dict[str, object] = {}
+        self.unknowns: List[Tuple] = []
+        self._unknown_set: Set[Tuple] = set()
+        self.assumed: Set[Tuple] = set()
+        self.partial_verify = False
+        self.recovered = False
+        self.lost_log_events = 0
 
     @contextmanager
     def _timed(self, key: str):
@@ -174,14 +198,37 @@ class _DiagnosisState:
                 bad_result = good_result
             else:
                 bad_result = self.bad.materialize()
-            good_tree = provenance_query(good_result.graph, good_event, good_time)
-            bad_tree = provenance_query(bad_result.graph, bad_event, bad_time)
+            self.lost_log_events = self._lost(good_result)
+            if self.bad is not self.good:
+                self.lost_log_events += self._lost(bad_result)
+            if self.lost_log_events:
+                # The persisted provenance is missing vertexes.  The
+                # event log is lossless ground truth, so the debugger
+                # reconstructs complete graphs by replay (Section 5's
+                # query-time mode) and marks the diagnosis degraded:
+                # it rests on recovered, not recorded, provenance.
+                self.recovered = True
+                good_result = self.good.replay()
+                self.replays += 1
+                if self.bad is self.good:
+                    bad_result = good_result
+                else:
+                    bad_result = self.bad.replay()
+                    self.replays += 1
+            good_tree = self._query_tree(
+                good_result.graph, good_event, good_time, "good"
+            )
+            bad_tree = self._query_tree(
+                bad_result.graph, bad_event, bad_time, "bad"
+            )
             self.good_tree_size = good_tree.size()
             self.bad_tree_size = bad_tree.size()
 
         with self._timed("find_seed"):
             self.good_seed = find_seed(good_tree.tuple_root)
             self.bad_seed = find_seed(bad_tree.tuple_root)
+        self._check_seed_recoverable("good", self.good, self.good_seed)
+        self._check_seed_recoverable("bad", self.bad, self.bad_seed)
         if (
             self.good_seed.tuple.table != self.bad_seed.tuple.table
             or self.good_seed.tuple.arity != self.bad_seed.tuple.arity
@@ -211,7 +258,17 @@ class _DiagnosisState:
         anchor_index = self.bad.log.index_of_insert(self.bad_seed.tuple)
         replayed = bad_result
 
-        for round_number in range(1, self.options.max_rounds + 1):
+        # Rounds that produce changes count against max_rounds; under
+        # degradation, rounds that merely *assume* an unverifiable
+        # subtree aligned (no replay) are bounded separately so a long
+        # lossy path cannot starve the change budget.
+        rounds_used = 0
+        iterations = 0
+        iteration_cap = self.options.max_rounds * 10
+        while rounds_used < self.options.max_rounds:
+            iterations += 1
+            if iterations > iteration_cap:
+                break
             anchor_time = self._anchor_time(replayed)
             with self._timed("divergence"):
                 divergent = self._find_divergence(
@@ -224,9 +281,20 @@ class _DiagnosisState:
             with self._timed("make_appear"):
                 new_changes: List[Change] = []
                 self._make_appear(divergent, replayed, anchor_time, new_changes)
+            if not new_changes and self._degradable(replayed):
+                # Nothing to change, but the missing tuple may be an
+                # artifact of lost provenance rather than a genuine
+                # divergence: assume it aligned, mark it UNKNOWN, and
+                # keep walking toward the root.
+                expected = self.equiv.expected_tuple(divergent)
+                if expected not in self.assumed:
+                    self.assumed.add(expected)
+                    self._note_unknown(expected)
+                    continue
+            rounds_used += 1
             self.rounds.append(
                 RoundInfo(
-                    round_number,
+                    rounds_used,
                     divergent.tuple,
                     self.equiv.expected_tuple(divergent),
                     new_changes,
@@ -243,6 +311,108 @@ class _DiagnosisState:
                 replayed = self.bad.replay(self.changes, anchor_index)
                 self.replays += 1
         return self.failure_report(None)
+
+    # ------------------------------------------------------------------
+    # Fault awareness / graceful degradation.
+    # ------------------------------------------------------------------
+
+    def _query_tree(self, graph, event, time, side):
+        """Initial provenance query, distributed when faults are on.
+
+        Under a fault plan the query runs against the partitioned store
+        with fallible fetches; retry/timeout accounting lands in
+        ``self.distributed_stats[side]``.  Failures that would be
+        uncaught crashes (root unreachable, event lost from the log)
+        become typed diagnosis failures instead.
+        """
+        if self.fault_plan is None:
+            return provenance_query(graph, event, time)
+        partitioned = PartitionedProvenance(
+            graph, faults=FaultInjector(self.fault_plan, f"fetch-{side}")
+        )
+        try:
+            tree, stats = partitioned.query(event, time)
+        except (FaultError, ReproError) as exc:
+            raise DiagnosisFailure(
+                f"{side} provenance could not be materialized under "
+                f"faults: {exc}"
+            )
+        self.distributed_stats[side] = stats
+        if stats.degraded:
+            self.partial_verify = True
+            for parent, child in stats.missing_subtrees:
+                self._note_unknown(child)
+        return tree
+
+    def _check_seed_recoverable(self, side, execution, seed) -> None:
+        """Reject seeds that are artifacts of a truncated tree.
+
+        When a query lost subtrees to unreachable partitions, the
+        deepest surviving node may be a *derived* tuple rather than the
+        true external stimulus.  Aligning against it would predict
+        nonsense (and a candidate change built from it can even send
+        the replayed system into a loop), so the diagnosis fails with a
+        typed report instead.
+        """
+        stats = self.distributed_stats.get(side)
+        if stats is None or not getattr(stats, "degraded", False):
+            return
+        if execution.log.index_of_insert(seed.tuple) is None:
+            raise DiagnosisFailure(
+                f"the {side} provenance tree is truncated at an "
+                f"unreachable partition and its external stimulus could "
+                f"not be recovered ({seed.tuple} is not a logged base "
+                f"event); restore connectivity or choose a reference "
+                f"observed on a reachable path"
+            )
+
+    def _degradable(self, replayed) -> bool:
+        """Whether missing provenance may be loss rather than truth.
+
+        Keyed on *observed* loss — a lossy recorder or failed fetches —
+        not on mere fault-plan presence, so a zero plan changes nothing
+        (the zero-overhead-in-behaviour guarantee).
+        """
+        return self._lossy(replayed) or any(
+            getattr(stats, "degraded", False)
+            for stats in self.distributed_stats.values()
+        )
+
+    @staticmethod
+    def _lossy(replayed) -> bool:
+        recorder = getattr(replayed, "recorder", None)
+        return bool(getattr(recorder, "lost_events", 0))
+
+    @staticmethod
+    def _lost(result) -> int:
+        recorder = getattr(result, "recorder", None)
+        return int(getattr(recorder, "lost_events", 0) or 0)
+
+    def _note_unknown(self, expected: Tuple) -> None:
+        if expected not in self._unknown_set:
+            self._unknown_set.add(expected)
+            self.unknowns.append(expected)
+
+    def _ground_truth_alive(self, expected: Tuple, replayed) -> bool:
+        """Check a tuple against lossless ground truth.
+
+        The provenance graph is what lossy logging corrupts; the engine
+        store (state tuples) and the event log (base events) are not.
+        Returns True only on positive confirmation — a miss here never
+        proves absence (the tuple may be a derived event neither source
+        tracks), so callers treat False as "unknown" and fall through
+        to the normal divergence handling.
+        """
+        schema = self.program.schemas.get(expected.table)
+        if schema is not None and schema.kind == TableKind.EVENT:
+            return self.bad.log.index_of_insert(expected) is not None
+        try:
+            record = replayed.engine.store.record(expected)
+        except Exception:
+            return False
+        if record is None:
+            return False
+        return bool(getattr(record, "alive", True))
 
     def _minimize(self, path, good_root, anchor_index) -> None:
         """Greedy minimality post-pass (Section 4.9).
@@ -301,7 +471,23 @@ class _DiagnosisState:
         expected_root = self.equiv.expected_tuple(good_root)
         exist = replayed.graph.exist_at(expected_root)
         if exist is None:
+            if self._degradable(replayed) and (
+                expected_root in self.assumed
+                or self._ground_truth_alive(expected_root, replayed)
+            ):
+                # The root's provenance was lost but ground truth (or an
+                # explicit assumption) says it exists; alignment holds
+                # as far as the surviving evidence shows.
+                self.partial_verify = True
+                self._note_unknown(expected_root)
+                return None
             return good_root
+        if self._lossy(replayed):
+            # A deep tree comparison against a lossy graph reports
+            # spurious divergences for every lost subtree; stop at the
+            # verified stimulus branch and mark the result degraded.
+            self.partial_verify = True
+            return None
         bad_root = provenance_query(replayed.graph, expected_root).tuple_root
         return self.equiv.first_divergence(good_root, bad_root)
 
@@ -358,9 +544,26 @@ class _DiagnosisState:
             if schema is not None and schema.kind == TableKind.EVENT:
                 # Base events (the seed itself) are instants, not
                 # intervals; anything from the anchor on qualifies.
-                return replayed.graph.alive_during(expected, anchor_time)
-            return replayed.graph.alive_at(expected, anchor_time)
-        return replayed.graph.alive_during(expected, anchor_time)
+                alive = replayed.graph.alive_during(expected, anchor_time)
+            else:
+                alive = replayed.graph.alive_at(expected, anchor_time)
+        else:
+            alive = replayed.graph.alive_during(expected, anchor_time)
+        if alive:
+            return True
+        if self._degradable(replayed):
+            # The graph says "missing", but under lossy logging that
+            # may be a hole rather than the truth.  Accept previously
+            # assumed subtrees, then consult lossless ground truth
+            # (event log / engine store); only a positive confirmation
+            # suppresses the divergence.
+            if expected in self.assumed:
+                return True
+            if self._ground_truth_alive(expected, replayed):
+                self.partial_verify = True
+                self._note_unknown(expected)
+                return True
+        return False
 
     def _propagate_to_children(
         self, rule: Rule, node: TupleNode, env: Dict[str, object]
@@ -734,12 +937,37 @@ class _DiagnosisState:
     # Reports.
     # ------------------------------------------------------------------
 
+    def _degraded(self) -> bool:
+        return bool(
+            self.recovered
+            or self.partial_verify
+            or self.unknowns
+            or self.assumed
+            or any(
+                getattr(stats, "degraded", False)
+                for stats in self.distributed_stats.values()
+            )
+        )
+
+    def _confidences(self, success: bool) -> Optional[List[str]]:
+        """Per-change confidence levels; None when faults never applied."""
+        if self.fault_plan is None and not self._degraded():
+            return None
+        if success:
+            level = "likely" if self._degraded() else "confirmed"
+        else:
+            level = "uncertain"
+        return [level] * len(self.changes)
+
     def _success_report(self, anchor_index) -> DiagnosisReport:
         # Success is only declared after _find_divergence found the full
         # trees equivalent on a replay that already incorporated every
         # accumulated change — i.e. the diagnosis is verified by
-        # construction whenever the verify option is on.
-        verified = self.options.verify
+        # construction whenever the verify option is on.  Under
+        # degradation the verification is only partial: the stimulus
+        # branch was walked, but UNKNOWN subtrees were taken on trust.
+        degraded = self._degraded()
+        verified = self.options.verify and not self.partial_verify
         return DiagnosisReport(
             success=True,
             changes=self.changes,
@@ -752,6 +980,11 @@ class _DiagnosisState:
             bad_seed=self.bad_seed.tuple if self.bad_seed else None,
             replays=self.replays,
             verified=verified,
+            degraded=degraded,
+            confidences=self._confidences(success=True),
+            unknown_subtrees=self.unknowns,
+            distributed_stats=self.distributed_stats,
+            lost_events=self.lost_log_events,
         )
 
     def failure_report(self, failure: Optional[Exception]) -> DiagnosisReport:
@@ -766,6 +999,11 @@ class _DiagnosisState:
             good_seed=self.good_seed.tuple if self.good_seed else None,
             bad_seed=self.bad_seed.tuple if self.bad_seed else None,
             replays=self.replays,
+            degraded=self._degraded(),
+            confidences=self._confidences(success=False),
+            unknown_subtrees=self.unknowns,
+            distributed_stats=self.distributed_stats,
+            lost_events=self.lost_log_events,
         )
 
 

@@ -19,7 +19,12 @@ from ..errors import (
 )
 from ..replay.replayer import Change
 
-__all__ = ["RoundInfo", "DiagnosisReport", "FAILURE_CATEGORIES"]
+__all__ = [
+    "RoundInfo",
+    "DiagnosisReport",
+    "FAILURE_CATEGORIES",
+    "CONFIDENCE_LEVELS",
+]
 
 FAILURE_CATEGORIES = (
     "seed-type-mismatch",
@@ -28,6 +33,15 @@ FAILURE_CATEGORIES = (
     "stuck",
     "max-rounds",
 )
+
+# Confidence annotations for root-cause candidates, best first.
+# "confirmed" — the aligned trees were fully verified; "likely" — the
+# diagnosis succeeded but some provenance was missing (lost log events
+# or unreachable partitions), so verification was partial; "uncertain"
+# — the change was proposed on a path the diagnosis could not complete.
+CONFIDENCE_LEVELS = ("confirmed", "likely", "uncertain")
+
+_CONFIDENCE_RANK = {level: rank for rank, level in enumerate(CONFIDENCE_LEVELS)}
 
 
 class RoundInfo:
@@ -70,6 +84,11 @@ class DiagnosisReport:
         bad_seed: Optional[Tuple] = None,
         replays: int = 0,
         verified: bool = False,
+        degraded: bool = False,
+        confidences: Optional[Sequence[str]] = None,
+        unknown_subtrees: Sequence[Tuple] = (),
+        distributed_stats: Optional[Dict[str, object]] = None,
+        lost_events: int = 0,
     ):
         self.success = success
         self.changes = list(changes)
@@ -82,6 +101,15 @@ class DiagnosisReport:
         self.bad_seed = bad_seed
         self.replays = replays
         self.verified = verified
+        # Degradation surface: set only when faults were in play.
+        self.degraded = degraded
+        self.confidences = list(confidences) if confidences is not None else None
+        self.unknown_subtrees = list(unknown_subtrees)
+        self.distributed_stats = dict(distributed_stats or {})
+        # Recorder events the persisted graph lost; the differ recovers
+        # them by replaying the lossless event log, but the count stays
+        # visible so the operator knows the graph was reconstructed.
+        self.lost_events = lost_events
 
     # -- derived views -----------------------------------------------------
 
@@ -124,15 +152,41 @@ class DiagnosisReport:
     def root_causes(self) -> List[str]:
         return [change.describe() for change in self.changes]
 
+    def candidates(self) -> List:
+        """Root-cause candidates as ``(change, confidence)``, best first.
+
+        Without fault injection every change of a successful diagnosis
+        is ``confirmed`` (and ``uncertain`` on failure); under faults
+        the per-change annotations computed by the differ are used.
+        The sort is stable, so equal-confidence candidates keep their
+        discovery order.
+        """
+        if self.confidences is not None and len(self.confidences) == len(
+            self.changes
+        ):
+            confidences = list(self.confidences)
+        else:
+            default = "confirmed" if self.success else "uncertain"
+            confidences = [default] * len(self.changes)
+        ranked = sorted(
+            zip(self.changes, confidences),
+            key=lambda pair: _CONFIDENCE_RANK.get(pair[1], len(CONFIDENCE_LEVELS)),
+        )
+        return ranked
+
     def summary(self) -> str:
         lines = []
+        annotate = self.degraded and self.confidences is not None
         if self.success:
             lines.append(
                 f"DiffProv identified {self.num_changes} root-cause "
                 f"change(s) in {len(self.rounds)} round(s):"
             )
-            for change in self.changes:
-                lines.append(f"  - {change.describe()}")
+            for index, change in enumerate(self.changes):
+                suffix = ""
+                if annotate and index < len(self.confidences):
+                    suffix = f" [confidence: {self.confidences[index]}]"
+                lines.append(f"  - {change.describe()}{suffix}")
             if self.verified:
                 lines.append("  (verified: applying the changes aligns the trees)")
         else:
@@ -141,8 +195,27 @@ class DiagnosisReport:
                 lines.append(f"  {self.failure}")
             if self.changes:
                 lines.append("  attempted changes so far:")
-                for change in self.changes:
-                    lines.append(f"  - {change.describe()}")
+                for index, change in enumerate(self.changes):
+                    suffix = ""
+                    if annotate and index < len(self.confidences):
+                        suffix = f" [confidence: {self.confidences[index]}]"
+                    lines.append(f"  - {change.describe()}{suffix}")
+        if self.degraded:
+            lines.append(
+                f"  DEGRADED: {len(self.unknown_subtrees)} subtree(s) "
+                f"UNKNOWN (lost or unreachable provenance)"
+            )
+            for tup in self.unknown_subtrees:
+                lines.append(f"    ? {tup}")
+            if self.lost_events:
+                lines.append(
+                    f"  {self.lost_events} logged provenance event(s) were "
+                    f"lost; the graph was recovered by replaying the event log"
+                )
+            for side in sorted(self.distributed_stats):
+                lines.append(
+                    f"  distributed[{side}]: {self.distributed_stats[side]!r}"
+                )
         lines.append(
             f"  trees: good={self.good_tree_size} vertexes, "
             f"bad={self.bad_tree_size} vertexes; "

@@ -17,7 +17,7 @@ from __future__ import annotations
 from collections import deque
 from typing import Dict, Iterable, Iterator, List, Optional, Tuple as PyTuple
 
-from ..errors import EvaluationError, SchemaError
+from ..errors import EvaluationError, SchemaError, StepLimitExceeded
 from .aggregates import evaluate_aggregates
 from .expr import Const, Expr, Var
 from .rules import Atom, Program, Rule
@@ -32,11 +32,27 @@ GLOBAL_NODE = "_"
 class Engine:
     """Evaluates an NDlog :class:`Program` over a stream of base events."""
 
-    def __init__(self, program: Program, recorder=None):
+    def __init__(
+        self,
+        program: Program,
+        recorder=None,
+        faults=None,
+        step_limit: Optional[int] = None,
+    ):
         self.program = program
         self.recorder = recorder
+        # Optional FaultInjector applied to cross-node message delivery
+        # (drop/duplicate/reorder/delay); None means perfect links.
+        self.faults = faults
+        # Total events processed; with step_limit set, exceeding it
+        # raises StepLimitExceeded (a runaway-replay guard).
+        self.steps = 0
+        self.step_limit = step_limit
         self.store = Store(program.schemas)
         self._queue: deque = deque()
+        # In-flight delayed messages: [remaining_steps, seq, item].
+        self._delayed: List[list] = []
+        self._delay_seq = 0
         self._clock = 0
         self._next_derivation_id = 1
         self._located_tables = self._find_located_tables()
@@ -65,11 +81,22 @@ class Engine:
         self._queue.append(("base_delete", tup))
 
     def run(self) -> int:
-        """Drain the queue to a fixpoint; returns events processed."""
+        """Drain the queue to a fixpoint; returns events processed.
+
+        Delayed messages age by one step per processed event.  When the
+        queue empties while messages are still in flight, the soonest
+        batch is forced out: a delay reorders delivery but can never
+        lose a message, so ``run`` still reaches the same fixpoint set.
+        """
         processed = 0
-        while self._queue:
+        while self._queue or self._delayed:
+            if not self._queue:
+                self._release_soonest_delayed()
+                continue
             self._step()
             processed += 1
+            if self._delayed:
+                self._age_delayed()
         return processed
 
     def insert_and_run(self, tup: Tuple, mutable: Optional[bool] = None) -> int:
@@ -125,6 +152,13 @@ class Engine:
         return self._clock
 
     def _step(self) -> None:
+        self.steps += 1
+        if self.step_limit is not None and self.steps > self.step_limit:
+            raise StepLimitExceeded(
+                f"engine exceeded its step budget of {self.step_limit} "
+                f"events; the replayed system appears to diverge (e.g. a "
+                f"forwarding loop introduced by a candidate change)"
+            )
         item = self._queue.popleft()
         kind = item[0]
         if kind == "base_insert":
@@ -219,7 +253,53 @@ class Engine:
                         rule, head, body, env, trigger_index, time
                     )
                     self._record_derive(derivation)
-                    self._queue.append(("derived", derivation))
+                    self._emit(derivation)
+
+    def _emit(self, derivation: Derivation) -> None:
+        """Enqueue a derived delta, subjecting cross-node hops to faults.
+
+        A derivation whose head lives on a different node than its
+        trigger models a network message (Section 2.2); only those are
+        eligible for drop/duplicate/reorder/delay.  Local derivations
+        and global (unlocated) tuples always go straight to the queue.
+        """
+        item = ("derived", derivation)
+        if self.faults is None:
+            self._queue.append(item)
+            return
+        src = self.node_of(derivation.trigger)
+        dst = self.node_of(derivation.head)
+        if src == dst or GLOBAL_NODE in (src, dst):
+            self._queue.append(item)
+            return
+        for delay in self.faults.message_actions(src, dst):
+            if delay <= 0:
+                self._queue.append(item)
+            else:
+                self._delay_seq += 1
+                self._delayed.append([delay, self._delay_seq, item])
+
+    def _age_delayed(self) -> None:
+        ready = []
+        for entry in self._delayed:
+            entry[0] -= 1
+            if entry[0] <= 0:
+                ready.append(entry)
+        if ready:
+            for entry in ready:
+                self._delayed.remove(entry)
+            ready.sort(key=lambda entry: entry[1])
+            for _, _, item in ready:
+                self._queue.append(item)
+
+    def _release_soonest_delayed(self) -> None:
+        soonest = min(entry[0] for entry in self._delayed)
+        ready = [entry for entry in self._delayed if entry[0] == soonest]
+        for entry in ready:
+            self._delayed.remove(entry)
+        ready.sort(key=lambda entry: entry[1])
+        for _, _, item in ready:
+            self._queue.append(item)
 
     def _make_derivation(
         self,

@@ -32,6 +32,16 @@ class EvaluationError(ReproError):
     """A rule body could not be evaluated (bad types, missing builtin)."""
 
 
+class StepLimitExceeded(ReproError):
+    """The engine exceeded its step budget.
+
+    Raised only when a budget was set — diagnostic replays bound their
+    work by a multiple of the primary run, so a candidate change that
+    makes the replayed system diverge (e.g. a forwarding loop) surfaces
+    as this typed error instead of a hang.
+    """
+
+
 class NonInvertibleError(ReproError):
     """An expression could not be inverted for taint propagation.
 
@@ -90,3 +100,43 @@ class ReplayDivergence(ReproError):
     def __init__(self, message: str, at=None):
         self.at = at
         super().__init__(message)
+
+
+class FaultError(ReproError):
+    """Base class for errors raised by the fault-injection layer."""
+
+
+class FaultSpecError(FaultError):
+    """A ``--faults`` specification could not be parsed."""
+
+    def __init__(self, message: str, token: str | None = None):
+        self.token = token
+        if token is not None:
+            message = f"bad fault spec token {token!r}: {message}"
+        super().__init__(message)
+
+
+class NodeUnreachableError(FaultError):
+    """A remote node stayed unreachable after bounded retries.
+
+    Carries the node and (when raised from a distributed query) the
+    accumulated :class:`~repro.provenance.distributed.DistributedQueryStats`
+    so the operator can see how many retries/timeouts were spent.
+    """
+
+    def __init__(self, node: str, message: str = "", stats=None):
+        self.node = node
+        self.stats = stats
+        super().__init__(
+            message or f"node {node!r} is unreachable (retries exhausted)"
+        )
+
+
+class DegradedResultWarning(UserWarning):
+    """A result was produced under faults and carries reduced confidence.
+
+    Emitted (never raised) when a provenance query or diagnosis had to
+    proceed with missing subtrees — lost log events or unreachable
+    partitions.  The result is still usable, but each conclusion is
+    annotated with a confidence level instead of being definitive.
+    """

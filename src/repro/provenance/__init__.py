@@ -17,7 +17,7 @@ from .query import provenance_query
 from .diff import naive_diff, tree_edit_distance
 from .serialize import dump_graph, load_graph
 from .viz import diff_to_dot, tree_to_dot
-from .distributed import PartitionedProvenance
+from .distributed import DistributedQueryStats, PartitionedProvenance
 
 __all__ = [
     "Vertex",
@@ -34,4 +34,5 @@ __all__ = [
     "tree_to_dot",
     "diff_to_dot",
     "PartitionedProvenance",
+    "DistributedQueryStats",
 ]

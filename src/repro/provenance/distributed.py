@@ -14,14 +14,23 @@ how many vertexes were materialized, which nodes were contacted, and
 how many fetches crossed node boundaries — demonstrating that a tree
 projection touches only the on-path fraction of the graph rather than
 requiring any global materialization.
+
+With a :class:`~repro.faults.FaultInjector` attached, remote fetches
+become fallible: each cross-node fetch may time out and is retried a
+bounded number of times with deterministic exponential backoff (all
+counted in :class:`DistributedQueryStats`).  A subtree whose partition
+stays unreachable is omitted from the projected tree and reported as
+missing — the query degrades instead of failing, unless the *root*
+itself is unreachable (:class:`~repro.errors.NodeUnreachableError`).
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Set
+import warnings
+from typing import Dict, List, Optional, Set, Tuple as PyTuple
 
 from ..datalog.tuples import Tuple
-from ..errors import ReproError
+from ..errors import DegradedResultWarning, NodeUnreachableError, ReproError
 from .graph import ProvenanceGraph
 from .tree import ProvenanceTree
 from .vertices import Vertex
@@ -37,6 +46,13 @@ class DistributedQueryStats:
         "cross_node_fetches",
         "nodes_contacted",
         "graph_size",
+        "fetch_attempts",
+        "timeouts",
+        "retries",
+        "backoff_steps",
+        "failed_fetches",
+        "unreachable_nodes",
+        "missing_subtrees",
     )
 
     def __init__(self, graph_size: int):
@@ -44,6 +60,14 @@ class DistributedQueryStats:
         self.cross_node_fetches = 0
         self.nodes_contacted: Set[str] = set()
         self.graph_size = graph_size
+        # Fault accounting (all zero on a reliable substrate).
+        self.fetch_attempts = 0
+        self.timeouts = 0
+        self.retries = 0
+        self.backoff_steps = 0
+        self.failed_fetches = 0
+        self.unreachable_nodes: Set[str] = set()
+        self.missing_subtrees: List[PyTuple[Tuple, Tuple]] = []
 
     @property
     def fetched_fraction(self) -> float:
@@ -52,12 +76,23 @@ class DistributedQueryStats:
             return 0.0
         return self.vertices_fetched / self.graph_size
 
+    @property
+    def degraded(self) -> bool:
+        """True when at least one subtree could not be materialized."""
+        return self.failed_fetches > 0
+
     def __repr__(self):
-        return (
+        text = (
             f"DistributedQueryStats({self.vertices_fetched}/{self.graph_size} "
             f"vertexes, {self.cross_node_fetches} cross-node, "
-            f"{len(self.nodes_contacted)} nodes)"
+            f"{len(self.nodes_contacted)} nodes"
         )
+        if self.degraded or self.timeouts or self.retries:
+            text += (
+                f", {self.timeouts} timeouts, {self.retries} retries, "
+                f"{self.failed_fetches} failed"
+            )
+        return text + ")"
 
 
 class PartitionedProvenance:
@@ -67,15 +102,38 @@ class PartitionedProvenance:
     ``exist_at``, ``derivations``, ``vertices``) while tracking which
     partitions each query touches.  Fetches are memoized per query, as
     a real implementation would cache materialized remote vertexes.
+
+    ``faults`` (a FaultInjector) makes remote fetches fallible; a fetch
+    against a vertex on the querying node itself never fails.  The
+    retry budget and per-attempt timeout default to the plan's values.
     """
 
-    def __init__(self, graph: ProvenanceGraph):
+    def __init__(
+        self,
+        graph: ProvenanceGraph,
+        faults=None,
+        max_retries: Optional[int] = None,
+        timeout_steps: Optional[int] = None,
+    ):
         self._graph = graph
+        self.faults = faults
+        plan = faults.plan if faults is not None else None
+        self.max_retries = (
+            max_retries
+            if max_retries is not None
+            else (plan.max_retries if plan is not None else 2)
+        )
+        self.timeout_steps = (
+            timeout_steps
+            if timeout_steps is not None
+            else (plan.timeout_steps if plan is not None else 1)
+        )
         self.partitions: Dict[str, List[Vertex]] = {}
         for vertex in graph.vertices:
             self.partitions.setdefault(vertex.node, []).append(vertex)
         self._stats: Optional[DistributedQueryStats] = None
         self._fetched: Set[int] = set()
+        self._failed: Set[int] = set()
 
     # -- partition inspection ------------------------------------------------
 
@@ -103,20 +161,52 @@ class PartitionedProvenance:
 
     def children(self, vertex: Vertex):
         children = self._graph.children(vertex)
+        kept = []
         for child in children:
-            self._fetch(child, origin=vertex.node)
-        return children
+            if self._fetch(child, origin=vertex.node):
+                kept.append(child)
+            elif self._stats is not None:
+                self._stats.missing_subtrees.append(
+                    (vertex.tuple, child.tuple)
+                )
+        return kept
 
-    def _fetch(self, vertex: Vertex, origin: Optional[str]) -> None:
+    def _fetch(self, vertex: Vertex, origin: Optional[str]) -> bool:
+        """Materialize a vertex; False when its partition is unreachable."""
         if self._stats is None:
-            return
+            return True
         if vertex.id in self._fetched:
-            return
+            return True
+        if vertex.id in self._failed:
+            return False
+        if not self._attempt_fetch(vertex, origin):
+            self._failed.add(vertex.id)
+            self._stats.failed_fetches += 1
+            self._stats.unreachable_nodes.add(vertex.node)
+            return False
         self._fetched.add(vertex.id)
         self._stats.vertices_fetched += 1
         self._stats.nodes_contacted.add(vertex.node)
         if origin is not None and origin != vertex.node:
             self._stats.cross_node_fetches += 1
+        return True
+
+    def _attempt_fetch(self, vertex: Vertex, origin: Optional[str]) -> bool:
+        """Bounded retry with deterministic exponential backoff."""
+        if self.faults is None:
+            return True
+        if origin is not None and origin == vertex.node:
+            # Local read: no network involved.
+            return True
+        for attempt in range(self.max_retries + 1):
+            if attempt:
+                self._stats.retries += 1
+                self._stats.backoff_steps += 2 ** (attempt - 1)
+            self._stats.fetch_attempts += 1
+            if self.faults.fetch_ok(vertex.node):
+                return True
+            self._stats.timeouts += self.timeout_steps
+        return False
 
     # -- queries -----------------------------------------------------------------
 
@@ -124,18 +214,46 @@ class PartitionedProvenance:
         """A provenance query over the partitioned store.
 
         Returns ``(tree, stats)``: the same tree a monolithic graph
-        produces, plus the distribution accounting.
+        produces (minus unreachable subtrees), plus the distribution
+        accounting.  Raises :class:`NodeUnreachableError` only when the
+        root vertex itself cannot be fetched; missing interior subtrees
+        degrade the tree and emit a :class:`DegradedResultWarning`.
         """
         self._stats = DistributedQueryStats(len(self._graph))
         self._fetched = set()
+        self._failed = set()
         try:
             root = self._graph.exist_at(event, time)
             if root is None:
                 raise ReproError(f"event {event} was never observed")
-            self._fetch(root, origin=None)
+            # The query originates on the node that observed the event,
+            # so the root is a local read — but if that whole node is
+            # marked unreachable, the query cannot even start.
+            if self.faults is not None and not self.faults.node_reachable(
+                root.node
+            ):
+                self._stats.failed_fetches += 1
+                self._stats.unreachable_nodes.add(root.node)
+                raise NodeUnreachableError(
+                    root.node,
+                    f"provenance root for {event} lives on unreachable "
+                    f"node {root.node!r}",
+                    stats=self._stats,
+                )
+            self._fetch(root, origin=root.node)
             tree = ProvenanceTree(self, root)
-            return tree, self._stats
-        finally:
             stats = self._stats
+            if stats.degraded:
+                warnings.warn(
+                    DegradedResultWarning(
+                        f"provenance query for {event} is missing "
+                        f"{stats.failed_fetches} subtree(s) from "
+                        f"{sorted(stats.unreachable_nodes)}"
+                    ),
+                    stacklevel=2,
+                )
+            return tree, stats
+        finally:
             self._stats = None
             self._fetched = set()
+            self._failed = set()

@@ -31,26 +31,53 @@ __all__ = ["ProvenanceRecorder"]
 class ProvenanceRecorder:
     """Builds a :class:`ProvenanceGraph` from engine or reported events."""
 
-    def __init__(self, graph: Optional[ProvenanceGraph] = None):
+    def __init__(
+        self,
+        graph: Optional[ProvenanceGraph] = None,
+        faults=None,
+    ):
         self.graph = graph if graph is not None else ProvenanceGraph()
+        # Optional FaultInjector modelling lossy provenance logging: a
+        # fraction of events is acknowledged (the clock still advances)
+        # but never persisted into the graph.
+        self.faults = faults
+        self.seen_events = 0
+        self.lost_events = 0
         self._clock = 0  # used only by the report_* (instrumented) API
         self._next_reported_id = -1  # reported derivations count downward
+
+    def _keep(self, kind: str) -> bool:
+        """Whether one logged event survives; counts losses either way."""
+        self.seen_events += 1
+        if self.faults is not None and not self.faults.keep_log_event(kind):
+            self.lost_events += 1
+            return False
+        return True
 
     # ------------------------------------------------------------------
     # Inferred mode: callbacks invoked by the engine.
     # ------------------------------------------------------------------
 
     def on_insert(self, node: str, tup: Tuple, time: int, mutable: bool) -> None:
+        if not self._keep("insert"):
+            self._bump(time)
+            return
         self.graph.add_vertex(
             VertexKind.INSERT, node, tup, time, mutable=mutable
         )
         self._bump(time)
 
     def on_delete(self, node: str, tup: Tuple, time: int) -> None:
+        if not self._keep("delete"):
+            self._bump(time)
+            return
         self.graph.add_vertex(VertexKind.DELETE, node, tup, time)
         self._bump(time)
 
     def on_appear(self, node: str, tup: Tuple, time: int, cause) -> None:
+        if not self._keep("appear"):
+            self._bump(time)
+            return
         kind, payload = cause
         if kind == "insert":
             parent = self.graph.latest_insert(tup)
@@ -69,6 +96,11 @@ class ProvenanceRecorder:
         self._bump(time)
 
     def on_disappear(self, node: str, tup: Tuple, time: int, cause) -> None:
+        if not self._keep("disappear"):
+            # A lost disappear leaves the EXIST interval open — the log
+            # never learned the tuple died.
+            self._bump(time)
+            return
         kind, payload = cause
         children = []
         if kind == "underive" and payload is not None:
@@ -82,6 +114,9 @@ class ProvenanceRecorder:
         self._bump(time)
 
     def on_derive(self, node: str, derivation: Derivation, time: int) -> None:
+        if not self._keep("derive"):
+            self._bump(time)
+            return
         info = DerivationInfo(
             derivation.id,
             derivation.rule_name,
@@ -94,6 +129,9 @@ class ProvenanceRecorder:
         self._add_derive(node, info, time)
 
     def on_underive(self, node: str, derivation: Derivation, time: int) -> None:
+        if not self._keep("underive"):
+            self._bump(time)
+            return
         derive_vertex = self.graph.derive_vertex(derivation.id)
         children = [derive_vertex] if derive_vertex is not None else []
         self.graph.add_vertex(
@@ -146,12 +184,15 @@ class ProvenanceRecorder:
         """
         time = self._reported_time(time)
         body = tuple(body)
-        for member in body:
-            if self.graph.exist_at(member, time) is None:
-                raise ReproError(
-                    f"reported derivation of {head} depends on {member}, "
-                    f"which has never been reported"
-                )
+        if self.faults is None:
+            # Under lossy logging a body member's report may simply have
+            # been dropped; the causal-order invariant is unenforceable.
+            for member in body:
+                if self.graph.exist_at(member, time) is None:
+                    raise ReproError(
+                        f"reported derivation of {head} depends on {member}, "
+                        f"which has never been reported"
+                    )
         if trigger_index is None:
             trigger_index = self._latest_appearing(body, time)
         info = DerivationInfo(

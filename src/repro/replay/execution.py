@@ -21,6 +21,7 @@ from ..datalog.engine import Engine
 from ..datalog.rules import Program
 from ..datalog.tuples import Tuple
 from ..errors import ReproError
+from ..faults import FaultInjector
 from ..provenance.graph import ProvenanceGraph
 from ..provenance.recorder import ProvenanceRecorder
 from .log import EventLog
@@ -40,6 +41,7 @@ class Execution:
         name: str = "execution",
         mode: str = "query-time",
         logging_enabled: bool = True,
+        faults=None,
     ):
         if mode not in _MODES:
             raise ReproError(f"unknown logging mode {mode!r}")
@@ -47,11 +49,29 @@ class Execution:
         self.name = name
         self.mode = mode
         self.logging_enabled = logging_enabled
+        # Optional FaultPlan.  The live engine and every replay build
+        # injectors with the same purposes from it, so query-time
+        # replays see the same fault schedule the primary run did.
+        self.fault_plan = faults
         self.log = EventLog()
         self._runtime_recorder = (
-            ProvenanceRecorder() if mode == "runtime" else None
+            ProvenanceRecorder(
+                faults=(
+                    FaultInjector(faults, "prov-loss")
+                    if faults is not None
+                    else None
+                )
+            )
+            if mode == "runtime"
+            else None
         )
-        self.engine = Engine(program, recorder=self._runtime_recorder)
+        self.engine = Engine(
+            program,
+            recorder=self._runtime_recorder,
+            faults=(
+                FaultInjector(faults, "engine") if faults is not None else None
+            ),
+        )
         self._materialized: Optional[ReplayResult] = None
         self.replay_count = 0
         self.replay_seconds = 0.0
@@ -94,14 +114,21 @@ class Execution:
         return self.materialize().graph
 
     def materialize(self) -> ReplayResult:
-        """Reconstruct provenance by replaying the log (cached)."""
+        """Reconstruct the *persisted* provenance by replay (cached).
+
+        Under a fault plan with logging loss, this is the graph the
+        production recorder managed to persist: the plan's prov-loss
+        stream applies, so vertexes may be missing (the recorder's
+        ``lost_events`` counts them).  Diagnostic replays made through
+        :meth:`replay` are lossless — see there.
+        """
         if not self.logging_enabled:
             raise ReproError(
                 f"execution {self.name!r} ran with logging disabled; "
                 f"provenance cannot be reconstructed"
             )
         if self._materialized is None:
-            self._materialized = self.replay()
+            self._materialized = self._replay(lossless=False)
         return self._materialized
 
     def replay(
@@ -109,10 +136,38 @@ class Execution:
         changes: Iterable[Change] = (),
         anchor_index: Optional[int] = None,
     ) -> ReplayResult:
-        """Replay this execution's log on a clone (Section 4.6)."""
+        """Replay this execution's log on a clone (Section 4.6).
+
+        Replays run in the debugger's controlled environment: the
+        plan's engine-level message faults are reproduced (they shaped
+        what the primary run derived), but recording is lossless — the
+        event log is ground truth, so a complete graph can always be
+        rebuilt from it.
+        """
+        return self._replay(changes, anchor_index, lossless=True)
+
+    def _replay(
+        self,
+        changes: Iterable[Change] = (),
+        anchor_index: Optional[int] = None,
+        lossless: bool = True,
+    ) -> ReplayResult:
         started = _time.perf_counter()
+        # Bound every replay by a generous multiple of the primary run:
+        # a candidate change that sends the replayed system into a loop
+        # (e.g. a forwarding cycle) raises StepLimitExceeded instead of
+        # hanging the diagnosis.
+        step_limit = (
+            self.engine.steps * 10 + 10_000 if self.engine.steps else None
+        )
         result = replay(
-            self.program, self.log, changes=changes, anchor_index=anchor_index
+            self.program,
+            self.log,
+            changes=changes,
+            anchor_index=anchor_index,
+            faults=self.fault_plan,
+            lossless=lossless,
+            step_limit=step_limit,
         )
         self.replay_seconds += _time.perf_counter() - started
         self.replay_count += 1

@@ -16,6 +16,7 @@ from ..datalog.engine import Engine
 from ..datalog.rules import Program
 from ..datalog.tuples import Tuple
 from ..errors import ReproError
+from ..faults import FaultInjector
 from ..provenance.graph import ProvenanceGraph
 from ..provenance.recorder import ProvenanceRecorder
 from .log import EventLog
@@ -92,6 +93,9 @@ def replay(
     changes: Iterable[Change] = (),
     anchor_index: Optional[int] = None,
     record: bool = True,
+    faults=None,
+    lossless: bool = False,
+    step_limit: Optional[int] = None,
 ) -> ReplayResult:
     """Replay a log, applying ``changes`` just before ``anchor_index``.
 
@@ -102,6 +106,13 @@ def replay(
       needed for the first time".
     - Each log entry is processed to a fixpoint before the next one, so
       the replay interleaves exactly like the original execution.
+    - ``faults`` (a FaultPlan) rebuilds fresh injectors with fixed
+      purposes per replay, so every replay of the same log reproduces
+      the primary run's fault schedule.  With ``lossless=True`` the
+      engine-level message faults are still reproduced (they shaped
+      what actually happened) but the recorder is not subjected to the
+      plan's logging loss — this is the debugger-side reconstruction
+      from the lossless event log (Section 5's query-time mode).
     """
     changes = list(changes)
     removed = set()
@@ -109,8 +120,20 @@ def replay(
         removed.update(change.remove)
     inserted = [c.insert for c in changes if c.insert is not None]
 
-    recorder = ProvenanceRecorder() if record else None
-    engine = Engine(program, recorder=recorder)
+    if faults is not None:
+        engine_faults = FaultInjector(faults, "engine")
+        logging_faults = (
+            None if lossless else FaultInjector(faults, "prov-loss")
+        )
+    else:
+        engine_faults = logging_faults = None
+    recorder = ProvenanceRecorder(faults=logging_faults) if record else None
+    engine = Engine(
+        program,
+        recorder=recorder,
+        faults=engine_faults,
+        step_limit=step_limit,
+    )
     anchor = anchor_index if anchor_index is not None else 0
 
     def apply_insertions():

@@ -7,7 +7,7 @@ diagnosed with DiffProv or with the baselines.
 """
 
 from .base import Scenario
-from .sdn1 import SDN1BrokenFlowEntry
+from .sdn1 import SDN1BrokenFlowEntry, SDN1LossyProvenance
 from .sdn2 import SDN2MultiControllerInconsistency
 from .sdn3 import SDN3UnexpectedRuleExpiration
 from .sdn4 import SDN4MultipleFaultyEntries
@@ -35,11 +35,13 @@ ALL_SCENARIOS = {
     "FLAP": FlappingRoute,
     "SDN1-C": SDN1WithController,
     "SDN2-C": SDN2WithController,
+    "SDN1-F": SDN1LossyProvenance,
 }
 
 __all__ = [
     "Scenario",
     "SDN1BrokenFlowEntry",
+    "SDN1LossyProvenance",
     "SDN2MultiControllerInconsistency",
     "SDN3UnexpectedRuleExpiration",
     "SDN4MultipleFaultyEntries",

@@ -15,6 +15,7 @@ from ..core.report import DiagnosisReport
 from ..datalog.rules import Program
 from ..datalog.tuples import Tuple
 from ..errors import ReproError
+from ..faults import FaultPlan
 from ..provenance.diff import naive_diff
 from ..provenance.query import provenance_query
 from ..provenance.tree import ProvenanceTree
@@ -28,6 +29,9 @@ class Scenario:
 
     name: str = "scenario"
     description: str = ""
+    # False for scenarios that run under a non-zero fault plan; the
+    # fault-free invariant sweep skips those.
+    fault_free: bool = True
 
     def __init__(self, **params):
         self.params = params
@@ -39,6 +43,14 @@ class Scenario:
         self.good_time: Optional[int] = None
         self.bad_time: Optional[int] = None
         self._built = False
+
+    @property
+    def fault_plan(self) -> Optional[FaultPlan]:
+        """The scenario's fault plan (``faults`` param), parsed if a spec."""
+        plan = self.params.get("faults")
+        if isinstance(plan, str):
+            plan = FaultPlan.parse(plan)
+        return plan
 
     # -- lifecycle -----------------------------------------------------------
 
@@ -89,8 +101,17 @@ class Scenario:
         return len(naive_diff(good, bad))
 
     def diagnose(self, options: Optional[DiffProvOptions] = None) -> DiagnosisReport:
-        """Run DiffProv on the scenario's good/bad events."""
+        """Run DiffProv on the scenario's good/bad events.
+
+        A scenario-level fault plan is threaded into the options (when
+        the caller did not set one), so fault-enabled scenarios get the
+        degraded query path without per-call plumbing.
+        """
         self.setup()
+        plan = self.fault_plan
+        if plan is not None and (options is None or options.faults is None):
+            options = options or DiffProvOptions()
+            options.faults = plan
         debugger = DiffProv(self.program, options)
         return debugger.diagnose(
             self.good_execution,

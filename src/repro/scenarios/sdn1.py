@@ -20,7 +20,7 @@ from ..sdn.topology import Topology
 from ..sdn.traces import TraceConfig, synthetic_trace
 from .base import Scenario
 
-__all__ = ["SDN1BrokenFlowEntry"]
+__all__ = ["SDN1BrokenFlowEntry", "SDN1LossyProvenance"]
 
 MIRROR_GROUP = -1
 
@@ -95,7 +95,9 @@ class SDN1BrokenFlowEntry(Scenario):
         background = self.params.get("background_packets", 30)
         self.topology = figure1_topology()
         self.program = model.sdn_program()
-        execution = Execution(self.program, name="sdn1")
+        execution = Execution(
+            self.program, name="sdn1", faults=self.fault_plan
+        )
         install_figure1_config(
             execution, self.topology, untrusted_prefix="4.3.2.0/24"
         )
@@ -140,3 +142,24 @@ class SDN1BrokenFlowEntry(Scenario):
         self.bad_event = model.delivered(
             "web2", self.bad_pkt, self.BAD_SRC, self.SERVICE_DST
         )
+
+
+class SDN1LossyProvenance(SDN1BrokenFlowEntry):
+    """SDN1 rerun under lossy provenance logging (the robustness demo).
+
+    A fraction of recorder events never persists and remote fetches can
+    time out, so DiffProv must degrade gracefully: it still localizes
+    the broken flow entry, but the report is marked degraded, missing
+    subtrees are listed as UNKNOWN, and retries/timeouts show up in the
+    distributed query stats.
+    """
+
+    name = "SDN1-F"
+    description = "SDN1 under 10% provenance loss + fallible fetches"
+    fault_free = False
+
+    DEFAULT_FAULTS = "loss=0.1,fetch-loss=0.15,retries=3,seed=11"
+
+    def __init__(self, **params):
+        params.setdefault("faults", self.DEFAULT_FAULTS)
+        super().__init__(**params)

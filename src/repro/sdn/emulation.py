@@ -24,6 +24,7 @@ from ..addresses import IPv4Address
 from ..datalog.state import sort_key
 from ..datalog.tuples import Tuple
 from ..errors import ReproError
+from ..faults import FaultInjector
 from ..provenance.graph import ProvenanceGraph
 from ..provenance.recorder import ProvenanceRecorder
 from ..replay.log import PACKET_RECORD_BYTES, EventLog
@@ -88,10 +89,12 @@ class NetworkConfig:
 
     def clone(self) -> "NetworkConfig":
         copy = NetworkConfig(self.topology)
-        for table in self.tables.values():
-            for entry in table.entries():
+        for switch in sorted(self.tables):
+            for entry in self.tables[switch].entries():
                 copy.install(entry)
-        for tup in self._group_tuples:
+        # group_tuples() sorts; iterating the raw set here would seed the
+        # clone in hash order, which varies across processes.
+        for tup in self.group_tuples():
             copy.install(tup)
         return copy
 
@@ -114,7 +117,7 @@ class TraceEvent:
     __slots__ = ("kind", "switch", "pkt", "src", "dst", "port", "time")
 
     def __init__(self, kind, switch, pkt, src, dst, port, time):
-        self.kind = kind  # 'in' | 'out' | 'deliver' | 'drop'
+        self.kind = kind  # 'in' | 'out' | 'deliver' | 'drop' | 'lost'
         self.switch = switch
         self.pkt = pkt
         self.src = src
@@ -130,10 +133,18 @@ class TraceEvent:
 
 
 class EmulatedNetwork:
-    """The primary system: a deterministic hop-by-hop packet forwarder."""
+    """The primary system: a deterministic hop-by-hop packet forwarder.
 
-    def __init__(self, config: NetworkConfig):
+    An optional :class:`~repro.faults.FaultInjector` adds switch
+    crash-restart windows and link flaps/loss: a packet reaching a
+    crashed switch, or traversing a downed link, records a ``lost``
+    trace event (which the reconstructor ignores) instead of
+    progressing.  Times passed to the injector are trace-clock ticks.
+    """
+
+    def __init__(self, config: NetworkConfig, faults=None):
         self.config = config
+        self.faults = faults
         self.traces: List[TraceEvent] = []
         self._clock = 0
 
@@ -148,6 +159,13 @@ class EmulatedNetwork:
         worklist = [(switch, _TTL)]
         while worklist:
             here, ttl = worklist.pop(0)
+            if self.faults is not None and not self.faults.switch_alive(
+                here, self._clock + 1
+            ):
+                self.traces.append(
+                    TraceEvent("lost", here, pkt, src, dst, None, self._tick())
+                )
+                continue
             self.traces.append(
                 TraceEvent("in", here, pkt, src, dst, None, self._tick())
             )
@@ -173,6 +191,15 @@ class EmulatedNetwork:
                 )
                 continue
             for port in ports:
+                if self.faults is not None and not self.faults.link_up(
+                    here, port, self._clock + 1
+                ):
+                    self.traces.append(
+                        TraceEvent(
+                            "lost", here, pkt, src, dst, port, self._tick()
+                        )
+                    )
+                    continue
                 self.traces.append(
                     TraceEvent("out", here, pkt, src, dst, port, self._tick())
                 )
@@ -209,9 +236,9 @@ class ExternalSpecReconstructor:
     757k-entry configuration.
     """
 
-    def __init__(self, config: NetworkConfig):
+    def __init__(self, config: NetworkConfig, faults=None):
         self.config = config
-        self.recorder = ProvenanceRecorder()
+        self.recorder = ProvenanceRecorder(faults=faults)
         self._reported: Set[Tuple] = set()
         self._injected: Set[PyTuple] = set()
 
@@ -230,6 +257,8 @@ class ExternalSpecReconstructor:
                 self._on_deliver(event)
             elif event.kind == "drop":
                 self._on_drop(event)
+            # 'lost' events (crashed switch, downed link) leave no
+            # provenance: the packet's causal chain simply truncates.
         return self.recorder
 
     # -- spec application -----------------------------------------------------
@@ -487,10 +516,14 @@ class EmulatedNetworkExecution:
         name: str,
         config: NetworkConfig,
         schedule: Sequence[PyTuple[str, int, object, object]],
+        faults=None,
     ):
         self.name = name
         self.base_config = config
         self.schedule = list(schedule)
+        # Optional FaultPlan; every replay builds fresh injectors with
+        # fixed purposes, so replays reproduce the same fault schedule.
+        self.fault_plan = faults
         self.log = self._build_log()
         self._materialized: Optional[EmulationReplayResult] = None
         self.replay_count = 0
@@ -518,8 +551,9 @@ class EmulatedNetworkExecution:
         return self.materialize().graph
 
     def materialize(self) -> EmulationReplayResult:
+        """The *persisted* provenance: the plan's logging loss applies."""
         if self._materialized is None:
-            self._materialized = self.replay()
+            self._materialized = self._replay(lossless=False)
         return self._materialized
 
     def replay(
@@ -527,15 +561,35 @@ class EmulatedNetworkExecution:
         changes: Iterable[Change] = (),
         anchor_index: Optional[int] = None,
     ) -> EmulationReplayResult:
+        """Debugger-side replay: network faults reproduced, recording
+        lossless (the packet schedule and configuration are ground
+        truth, so reconstruction can always be complete)."""
+        return self._replay(changes, anchor_index, lossless=True)
+
+    def _replay(
+        self,
+        changes: Iterable[Change] = (),
+        anchor_index: Optional[int] = None,
+        lossless: bool = True,
+    ) -> EmulationReplayResult:
         started = _time.perf_counter()
         config = self.base_config.clone()
         config.apply_changes(changes)
-        network = EmulatedNetwork(config)
+        if self.fault_plan is not None:
+            network_faults = FaultInjector(self.fault_plan, "network")
+            logging_faults = (
+                None
+                if lossless
+                else FaultInjector(self.fault_plan, "prov-loss")
+            )
+        else:
+            network_faults = logging_faults = None
+        network = EmulatedNetwork(config, faults=network_faults)
         injected = set()
         for switch, pkt, src, dst in self.schedule:
             injected.add(pkt)
             network.inject(switch, pkt, src, dst)
-        reconstructor = ExternalSpecReconstructor(config)
+        reconstructor = ExternalSpecReconstructor(config, faults=logging_faults)
         recorder = reconstructor.reconstruct(network.traces, injected)
         self.replay_seconds += _time.perf_counter() - started
         self.replay_count += 1

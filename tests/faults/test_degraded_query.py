@@ -1,0 +1,115 @@
+"""Fault-aware distributed queries: retries, timeouts, degradation."""
+
+import pytest
+
+from repro.errors import DegradedResultWarning, NodeUnreachableError
+from repro.faults import FaultInjector, FaultPlan
+from repro.provenance.distributed import PartitionedProvenance
+from repro.provenance.query import provenance_query
+from repro.scenarios import ALL_SCENARIOS
+
+
+@pytest.fixture(scope="module")
+def sdn1():
+    return ALL_SCENARIOS["SDN1"](background_packets=6).setup()
+
+
+@pytest.fixture(scope="module")
+def graph(sdn1):
+    return sdn1.bad_execution.graph
+
+
+class TestReliableSubstrate:
+    def test_matches_the_monolithic_query(self, sdn1, graph):
+        tree, stats = PartitionedProvenance(graph).query(sdn1.bad_event)
+        reference = provenance_query(graph, sdn1.bad_event)
+        assert tree.size() == reference.size()
+        assert not stats.degraded
+        assert stats.timeouts == 0
+        assert stats.retries == 0
+
+    def test_zero_plan_injector_changes_nothing(self, sdn1, graph):
+        faults = FaultInjector(FaultPlan(seed=4), "fetch")
+        tree, stats = PartitionedProvenance(graph, faults=faults).query(
+            sdn1.bad_event
+        )
+        reference = provenance_query(graph, sdn1.bad_event)
+        assert tree.size() == reference.size()
+        assert not stats.degraded
+        assert stats.fetch_attempts > 0  # fetches happened, none failed
+        assert stats.failed_fetches == 0
+
+    def test_queries_touch_only_a_fraction_of_the_graph(self, sdn1, graph):
+        _, stats = PartitionedProvenance(graph).query(sdn1.bad_event)
+        assert 0 < stats.fetched_fraction < 1
+
+
+class TestDegradation:
+    def test_unreachable_interior_node_degrades(self, sdn1, graph):
+        # The bad packet traverses s3; making it unreachable must not
+        # crash the query — the s3 subtrees are omitted and reported.
+        faults = FaultInjector(FaultPlan(unreachable=("s3",)), "fetch")
+        store = PartitionedProvenance(graph, faults=faults)
+        with pytest.warns(DegradedResultWarning):
+            tree, stats = store.query(sdn1.bad_event)
+        reference = provenance_query(graph, sdn1.bad_event)
+        assert tree.size() < reference.size()
+        assert stats.degraded
+        assert stats.missing_subtrees
+        assert "s3" in stats.unreachable_nodes
+        # Every failed fetch burned the full retry budget.
+        assert stats.retries > 0
+        assert stats.timeouts > 0
+
+    def test_unreachable_root_raises_typed_error(self, sdn1, graph):
+        root_node = sdn1.bad_event.args[0]  # delivered(@web2, ...)
+        faults = FaultInjector(FaultPlan(unreachable=(root_node,)), "fetch")
+        store = PartitionedProvenance(graph, faults=faults)
+        with pytest.raises(NodeUnreachableError) as excinfo:
+            store.query(sdn1.bad_event)
+        assert excinfo.value.stats is not None
+        assert excinfo.value.stats.failed_fetches >= 1
+
+    def test_retries_recover_transient_loss(self, sdn1, graph):
+        # At a 30% per-attempt loss with 6 retries, the chance any
+        # vertex exhausts its budget is ~0.3^7; the query comes back
+        # complete but the accounting shows the recovered timeouts.
+        plan = FaultPlan.parse("fetch-loss=0.3,retries=6,seed=2")
+        faults = FaultInjector(plan, "fetch")
+        tree, stats = PartitionedProvenance(graph, faults=faults).query(
+            sdn1.bad_event
+        )
+        reference = provenance_query(graph, sdn1.bad_event)
+        assert tree.size() == reference.size()
+        assert not stats.degraded
+        assert stats.timeouts > 0
+        assert stats.retries > 0
+        assert stats.backoff_steps > 0
+
+    def test_local_reads_never_fail(self, sdn1, graph):
+        # fetch-loss=1 kills every *remote* fetch, so the projection
+        # truncates at the first cross-node edge but keeps the local
+        # neighbourhood of the root.
+        plan = FaultPlan.parse("fetch-loss=1.0,retries=0")
+        faults = FaultInjector(plan, "fetch")
+        with pytest.warns(DegradedResultWarning):
+            tree, stats = PartitionedProvenance(graph, faults=faults).query(
+                sdn1.bad_event
+            )
+        assert tree.size() >= 1
+        assert stats.degraded
+
+    def test_same_seed_same_degradation(self, sdn1, graph):
+        plan = FaultPlan.parse("fetch-loss=0.4,retries=1,seed=6")
+
+        def run():
+            faults = FaultInjector(plan, "fetch")
+            with pytest.warns(DegradedResultWarning):
+                tree, stats = PartitionedProvenance(
+                    graph, faults=faults
+                ).query(sdn1.bad_event)
+            return tree.size(), stats.timeouts, stats.retries, sorted(
+                str(t) for _, t in stats.missing_subtrees
+            )
+
+        assert run() == run()

@@ -1,0 +1,168 @@
+"""FaultInjector: seeded determinism and per-primitive behaviour."""
+
+from hypothesis import given, strategies as st
+
+from repro.faults import FaultInjector, FaultPlan
+
+
+def drive(injector, rounds=200):
+    """A fixed mixed workload touching every decision surface."""
+    for i in range(rounds):
+        injector.message_actions(f"n{i % 5}", f"n{(i + 1) % 5}")
+        injector.keep_log_event("insert")
+        injector.fetch_ok(f"n{i % 7}")
+        injector.link_up("s1", i % 3, i)
+        injector.switch_alive("s2", i)
+
+
+rates = st.integers(min_value=0, max_value=100).map(lambda n: n / 100)
+
+
+class TestDeterminism:
+    def test_same_seed_same_schedule(self):
+        plan = FaultPlan.parse("drop=0.2,dup=0.1,loss=0.3,fetch-loss=0.2,seed=5")
+        a, b = FaultInjector(plan, "engine"), FaultInjector(plan, "engine")
+        drive(a)
+        drive(b)
+        assert a.schedule_bytes() == b.schedule_bytes()
+        assert a.stats() == b.stats()
+
+    def test_different_seeds_diverge(self):
+        make = lambda seed: FaultInjector(
+            FaultPlan(seed=seed, drop=0.5), "engine"
+        )
+        a, b = make(1), make(2)
+        drive(a)
+        drive(b)
+        assert a.schedule_bytes() != b.schedule_bytes()
+
+    def test_purpose_isolates_streams(self):
+        plan = FaultPlan(seed=5, drop=0.5)
+        a = FaultInjector(plan, "engine")
+        b = FaultInjector(plan, "network")
+        drive(a)
+        drive(b)
+        assert a.schedule_bytes() != b.schedule_bytes()
+
+    def test_categories_are_independent(self):
+        """Raising one rate never shifts another category's schedule."""
+        base = FaultInjector(FaultPlan(seed=9, drop=0.3), "p")
+        mixed = FaultInjector(
+            FaultPlan(seed=9, drop=0.3, duplicate=0.5, prov_loss=0.5), "p"
+        )
+        base_fates = [
+            not base.message_actions("a", "b") for _ in range(300)
+        ]
+        mixed_fates = [
+            not mixed.message_actions("a", "b") for _ in range(300)
+        ]
+        assert base_fates == mixed_fates
+
+    @given(
+        seed=st.integers(min_value=0, max_value=2**32 - 1),
+        drop=rates,
+        dup=rates,
+        loss=rates,
+        fetch=rates,
+    )
+    def test_schedule_is_a_pure_function_of_seed_and_calls(
+        self, seed, drop, dup, loss, fetch
+    ):
+        plan = FaultPlan(
+            seed=seed,
+            drop=drop,
+            duplicate=dup,
+            prov_loss=loss,
+            fetch_loss=fetch,
+        )
+        a, b = FaultInjector(plan, "p"), FaultInjector(plan, "p")
+        drive(a, rounds=50)
+        drive(b, rounds=50)
+        assert a.schedule_bytes() == b.schedule_bytes()
+
+    def test_fork_restarts_the_streams(self):
+        plan = FaultPlan(seed=3, drop=0.4)
+        a = FaultInjector(plan, "p")
+        drive(a)
+        fresh = a.fork("p")
+        assert fresh.schedule == []
+        drive(fresh)
+        b = FaultInjector(plan, "p")
+        drive(b)
+        assert fresh.schedule_bytes() == b.schedule_bytes()
+
+
+class TestPrimitives:
+    def test_zero_plan_never_injects(self):
+        injector = FaultInjector(FaultPlan(seed=123), "p")
+        drive(injector)
+        assert injector.schedule == []
+        stats = injector.stats()
+        assert stats["dropped"] == 0
+        assert stats["log_lost"] == 0
+        assert stats["fetch_failures"] == 0
+        assert stats["link_lost"] == 0
+
+    def test_rate_one_always_fires(self):
+        injector = FaultInjector(FaultPlan(drop=1.0), "p")
+        for _ in range(10):
+            assert injector.message_actions("a", "b") == []
+        assert injector.counters["dropped"] == 10
+
+    def test_duplicate_adds_a_copy(self):
+        injector = FaultInjector(FaultPlan(duplicate=1.0), "p")
+        assert injector.message_actions("a", "b") == [0, 0]
+
+    def test_delay_shifts_all_copies(self):
+        injector = FaultInjector(
+            FaultPlan(duplicate=1.0, delay=1.0, delay_steps=3), "p"
+        )
+        assert injector.message_actions("a", "b") == [3, 3]
+
+    def test_reorder_holds_back_one_step(self):
+        injector = FaultInjector(FaultPlan(reorder=1.0), "p")
+        assert injector.message_actions("a", "b") == [1]
+
+    def test_lossy_logging_counts(self):
+        injector = FaultInjector(FaultPlan(prov_loss=1.0), "p")
+        assert not injector.keep_log_event("derive")
+        assert injector.counters["log_lost"] == 1
+
+    def test_unreachable_node(self):
+        injector = FaultInjector(FaultPlan(unreachable=("s3",)), "p")
+        assert not injector.node_reachable("s3")
+        assert injector.node_reachable("s2")
+        assert not injector.fetch_ok("s3")
+        assert injector.fetch_ok("s2")
+
+    def test_flap_window_with_specific_port(self):
+        plan = FaultPlan(flaps=(("s2", 1, 10, 40),))
+        injector = FaultInjector(plan, "p")
+        assert injector.link_up("s2", 1, 9)
+        assert not injector.link_up("s2", 1, 10)
+        assert not injector.link_up("s2", 1, 40)
+        assert injector.link_up("s2", 1, 41)
+        assert injector.link_up("s2", 2, 20)  # other port unaffected
+
+    def test_flap_window_wildcard_port(self):
+        plan = FaultPlan(flaps=(("s2", None, 10, 40),))
+        injector = FaultInjector(plan, "p")
+        assert not injector.link_up("s2", 1, 20)
+        assert not injector.link_up("s2", 7, 20)
+        assert injector.link_up("s3", 1, 20)
+
+    def test_crash_window(self):
+        plan = FaultPlan(crashes=(("s3", 5, 60),))
+        injector = FaultInjector(plan, "p")
+        assert injector.switch_alive("s3", 4)
+        assert not injector.switch_alive("s3", 5)
+        assert not injector.switch_alive("s3", 60)
+        assert injector.switch_alive("s3", 61)
+        assert injector.switch_alive("s4", 30)
+
+    def test_schedule_lines_are_numbered(self):
+        injector = FaultInjector(FaultPlan(drop=1.0), "p")
+        injector.message_actions("a", "b")
+        injector.message_actions("b", "c")
+        assert injector.schedule[0].startswith("0 drop ")
+        assert injector.schedule[1].startswith("1 drop ")

@@ -1,0 +1,38 @@
+"""The runaway-replay guard: diverging evaluation raises, never hangs."""
+
+import pytest
+
+from repro.datalog import Engine, parse_program, parse_tuple
+from repro.errors import StepLimitExceeded
+
+PING_PONG = """
+table ping(Node) event immutable.
+table pong(Node) event.
+
+p1 pong(@N) :- ping(@N).
+p2 ping(@N) :- pong(@N).
+"""
+
+
+class TestStepBudget:
+    def test_diverging_program_raises_typed_error(self):
+        engine = Engine(parse_program(PING_PONG), step_limit=100)
+        with pytest.raises(StepLimitExceeded, match="step budget"):
+            engine.insert_and_run(parse_tuple("ping('n1')"))
+
+    def test_no_budget_by_default(self, forwarding_program):
+        engine = Engine(forwarding_program)
+        engine.insert_and_run(parse_tuple("link('s1', 2, 's2')"))
+        assert engine.step_limit is None
+        assert engine.steps >= 1
+
+    def test_budget_not_hit_by_normal_runs(self, forwarding_program):
+        engine = Engine(forwarding_program, step_limit=1000)
+        for text in (
+            "link('s1', 2, 's2')",
+            "flowEntry('s1', 1, 0.0.0.0/0, 2)",
+            "hostAt('s2', 3, 'h1')",
+            "packet('s1', 4.3.2.1, 9.9.9.9)",
+        ):
+            engine.insert_and_run(parse_tuple(text))
+        assert engine.steps < 1000

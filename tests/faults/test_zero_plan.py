@@ -1,0 +1,57 @@
+"""The zero-overhead-in-behaviour guarantee.
+
+Installing an all-zero fault plan must be a perfect no-op: the engine
+derives the same fixpoint, the recorder builds the same graph, and a
+full diagnosis produces byte-identical output.
+"""
+
+from repro.datalog import parse_tuple
+from repro.faults import FaultPlan
+from repro.replay import Execution
+from repro.scenarios import ALL_SCENARIOS
+
+WIRING = (
+    "link('s1', 2, 's2')",
+    "flowEntry('s1', 1, 0.0.0.0/0, 2)",
+    "flowEntry('s2', 1, 0.0.0.0/0, 3)",
+    "hostAt('s2', 3, 'h1')",
+)
+
+
+def run_execution(forwarding_program, faults):
+    execution = Execution(forwarding_program, faults=faults)
+    for text in WIRING:
+        execution.insert(parse_tuple(text), mutable="flowEntry" in text)
+    execution.insert(parse_tuple("packet('s1', 4.3.2.1, 9.9.9.9)"))
+    return execution
+
+
+class TestZeroPlanEquivalence:
+    def test_engine_fixpoint_identical(self, forwarding_program):
+        plain = run_execution(forwarding_program, faults=None)
+        zeroed = run_execution(forwarding_program, faults=FaultPlan(seed=42))
+        tuples = lambda e: sorted(str(t) for t in e.engine.store.all_tuples())
+        assert tuples(plain) == tuples(zeroed)
+
+    def test_materialized_graph_identical(self, forwarding_program):
+        plain = run_execution(forwarding_program, faults=None).materialize()
+        zeroed = run_execution(
+            forwarding_program, faults=FaultPlan(seed=42)
+        ).materialize()
+        assert len(plain.graph) == len(zeroed.graph)
+        assert zeroed.recorder.lost_events == 0
+        render = lambda r: sorted(str(v) for v in r.graph.vertices)
+        assert render(plain) == render(zeroed)
+
+    def test_diagnosis_output_byte_identical(self):
+        base = ALL_SCENARIOS["SDN1"](background_packets=6)
+        zeroed = ALL_SCENARIOS["SDN1"](background_packets=6, faults="seed=99")
+        assert base.diagnose().summary() == zeroed.diagnose().summary()
+
+    def test_zero_plan_report_is_not_degraded(self):
+        report = ALL_SCENARIOS["SDN1"](
+            background_packets=6, faults="seed=99"
+        ).diagnose()
+        assert report.success
+        assert not report.degraded
+        assert report.lost_events == 0

@@ -27,7 +27,7 @@ class TestCommands:
     def test_scenarios_json(self, capsys):
         assert main(["--json", "scenarios"]) == 0
         rows = json.loads(capsys.readouterr().out)
-        assert len(rows) == 12
+        assert len(rows) == 13
         assert {"name", "description"} <= set(rows[0])
 
     def test_diagnose_sdn2(self, capsys):
