@@ -9,6 +9,8 @@ The package layers, bottom to top:
   naive tree-diff baselines;
 - :mod:`repro.replay` — base-event logging, deterministic replay,
   checkpoints;
+- :mod:`repro.observability` — the metrics registry and span-tree
+  tracing threaded through all of the above (docs/observability.md);
 - :mod:`repro.core` — the DiffProv algorithm itself;
 - :mod:`repro.sdn`, :mod:`repro.mapreduce` — the two evaluation
   substrates (declarative OpenFlow model + black-box emulator, and the
@@ -45,6 +47,13 @@ from .errors import (
     StepLimitExceeded,
 )
 from .faults import FaultInjector, FaultPlan
+from .observability import (
+    ManualClock,
+    MetricsRegistry,
+    NullTelemetry,
+    Telemetry,
+    Tracer,
+)
 from .provenance import (
     ProvenanceGraph,
     ProvenanceRecorder,
@@ -83,6 +92,11 @@ __all__ = [
     "DegradedResultWarning",
     "FaultPlan",
     "FaultInjector",
+    "Telemetry",
+    "NullTelemetry",
+    "ManualClock",
+    "MetricsRegistry",
+    "Tracer",
     "ProvenanceGraph",
     "ProvenanceRecorder",
     "ProvenanceTree",

@@ -28,9 +28,17 @@ from . import survey as survey_module
 from .core.diffprov import DiffProvOptions
 from .errors import FaultSpecError
 from .faults import FaultPlan
+from .observability import Telemetry, format_metrics
 from .scenarios import ALL_SCENARIOS
 
 __all__ = ["main", "build_parser"]
+
+
+def _scenario_argument(command) -> None:
+    # type=str.upper makes scenario names case-insensitive (sdn1 == SDN1).
+    command.add_argument(
+        "scenario", type=str.upper, choices=sorted(ALL_SCENARIOS)
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -44,7 +52,7 @@ def build_parser() -> argparse.ArgumentParser:
     commands.add_parser("scenarios", help="list built-in diagnostic scenarios")
 
     diagnose = commands.add_parser("diagnose", help="run DiffProv on a scenario")
-    diagnose.add_argument("scenario", choices=sorted(ALL_SCENARIOS))
+    _scenario_argument(diagnose)
     diagnose.add_argument(
         "--max-rounds", type=int, default=10, help="round limit (default 10)"
     )
@@ -64,17 +72,29 @@ def build_parser() -> argparse.ArgumentParser:
         help="deterministic fault plan, e.g. "
         "'loss=0.1,fetch-loss=0.15,seed=7' (see docs/faults.md)",
     )
+    diagnose.add_argument(
+        "--metrics",
+        action="store_true",
+        help="collect and print the diagnosis metrics snapshot "
+        "(see docs/observability.md)",
+    )
+    diagnose.add_argument(
+        "--trace-out",
+        metavar="FILE",
+        help="write the diagnosis span tree as a Chrome trace_event "
+        "JSON file (open in chrome://tracing or Perfetto)",
+    )
 
     autoref = commands.add_parser(
         "autoref", help="diagnose without an operator-supplied reference"
     )
-    autoref.add_argument("scenario", choices=sorted(ALL_SCENARIOS))
+    _scenario_argument(autoref)
     autoref.add_argument(
         "--limit", type=int, default=10, help="candidates to try (default 10)"
     )
 
     tree = commands.add_parser("tree", help="print a provenance tree")
-    tree.add_argument("scenario", choices=sorted(ALL_SCENARIOS))
+    _scenario_argument(tree)
     tree.add_argument("--side", choices=("good", "bad"), default="bad")
     tree.add_argument(
         "--view", choices=("tuple", "vertex"), default="tuple",
@@ -94,7 +114,7 @@ def build_parser() -> argparse.ArgumentParser:
     export = commands.add_parser(
         "export", help="dump a scenario's provenance graph as JSON lines"
     )
-    export.add_argument("scenario", choices=sorted(ALL_SCENARIOS))
+    _scenario_argument(export)
     export.add_argument("--out", required=True, help="output path (.jsonl)")
     export.add_argument(
         "--side", choices=("good", "bad"), default="bad",
@@ -167,10 +187,16 @@ def _cmd_diagnose(args) -> int:
             return 2
         kwargs["faults"] = args.faults
     scenario = ALL_SCENARIOS[args.scenario](**kwargs)
+    telemetry = (
+        Telemetry()
+        if (args.metrics or args.trace_out)
+        else None
+    )
     options = DiffProvOptions(
         max_rounds=args.max_rounds,
         enable_taint=not args.no_taint,
         minimize=getattr(args, "minimize", False),
+        telemetry=telemetry,
     )
     report = scenario.diagnose(options)
     data = {
@@ -181,6 +207,12 @@ def _cmd_diagnose(args) -> int:
         "failure": report.failure_category,
         "timings": report.timings,
     }
+    # Distribution accounting is attached on every run now, not just
+    # degraded ones, so healthy runs show their fetch counts too.
+    data["distributed"] = {
+        side: repr(stats)
+        for side, stats in sorted(report.distributed_stats.items())
+    }
     plan = scenario.fault_plan
     if plan is not None and not plan.is_zero():
         data["faults"] = plan.describe()
@@ -188,11 +220,23 @@ def _cmd_diagnose(args) -> int:
         data["confidences"] = report.confidences
         data["lost_events"] = report.lost_events
         data["unknown_subtrees"] = [str(t) for t in report.unknown_subtrees]
-        data["distributed"] = {
-            side: repr(stats)
-            for side, stats in sorted(report.distributed_stats.items())
-        }
-    return _emit(args, data, report.summary())
+    extra_lines: List[str] = []
+    if telemetry is not None:
+        data["telemetry"] = report.telemetry
+        if args.metrics:
+            extra_lines.append("metrics:")
+            extra_lines.append(format_metrics(telemetry.snapshot()))
+        if args.trace_out:
+            with open(args.trace_out, "w", encoding="utf-8") as handle:
+                json.dump(telemetry.chrome_trace(), handle, indent=1)
+            extra_lines.append(
+                f"wrote {telemetry.tracer.span_count} span(s) to "
+                f"{args.trace_out}"
+            )
+    text = report.summary()
+    if extra_lines:
+        text += "\n" + "\n".join(extra_lines)
+    return _emit(args, data, text)
 
 
 def _cmd_tree(args) -> int:

@@ -21,7 +21,7 @@ of the good tree (Section 4.7).
 from __future__ import annotations
 
 import time as _time
-from contextlib import contextmanager
+from contextlib import contextmanager, nullcontext
 from typing import Dict, List, Optional, Sequence, Set
 
 from ..datalog.engine import match_atom
@@ -39,6 +39,7 @@ from ..errors import (
     StepLimitExceeded,
 )
 from ..faults import FaultInjector
+from ..observability import active as _active_telemetry
 from ..provenance.distributed import PartitionedProvenance
 from ..provenance.query import provenance_query
 from ..provenance.tree import TupleNode
@@ -71,6 +72,7 @@ class DiffProvOptions:
         "max_competitors",
         "minimize",
         "faults",
+        "telemetry",
     )
 
     def __init__(
@@ -83,6 +85,7 @@ class DiffProvOptions:
         max_competitors: int = 3,
         minimize: bool = False,
         faults=None,
+        telemetry=None,
     ):
         self.max_rounds = max_rounds
         self.enable_taint = enable_taint
@@ -100,6 +103,10 @@ class DiffProvOptions:
         # PartitionedProvenance with fallible fetches, and the differ
         # degrades gracefully instead of crashing on missing provenance.
         self.faults = faults
+        # Optional Telemetry: a span tree and metric counters covering
+        # every phase of the diagnosis (see repro.observability).  None
+        # (or a NullTelemetry) keeps every hot path uninstrumented.
+        self.telemetry = telemetry
 
 
 class DiffProv:
@@ -125,15 +132,53 @@ class DiffProv:
         """Run the full DiffProv loop; never raises diagnosis failures —
         they come back as a typed failure report (Section 4.7)."""
         timings: Dict[str, float] = {}
-        state = _DiagnosisState(self, good, bad, timings)
+        telemetry = _active_telemetry(self.options.telemetry)
+        state = _DiagnosisState(self, good, bad, timings, telemetry)
+        if telemetry is None:
+            try:
+                return state.run(good_event, bad_event, good_time, bad_time)
+            except (
+                DiagnosisFailure,
+                NonInvertibleError,
+                StepLimitExceeded,
+            ) as failure:
+                return state.failure_report(failure)
+        # Attach the diagnosis telemetry to both executions for the
+        # duration of the run, so every query-time replay they perform
+        # lands inside the diagnosis span tree.  Execution stand-ins
+        # (the MapReduce runtime, the network emulator) that don't
+        # carry telemetry are left alone — their replays simply don't
+        # contribute engine spans.
+        saved_good = getattr(good, "telemetry", None)
+        saved_bad = getattr(bad, "telemetry", None)
+        if hasattr(good, "telemetry"):
+            good.telemetry = telemetry
+        if hasattr(bad, "telemetry"):
+            bad.telemetry = telemetry
         try:
-            return state.run(good_event, bad_event, good_time, bad_time)
-        except (
-            DiagnosisFailure,
-            NonInvertibleError,
-            StepLimitExceeded,
-        ) as failure:
-            return state.failure_report(failure)
+            try:
+                with telemetry.span(
+                    "diffprov.diagnose", good=good.name, bad=bad.name
+                ) as root:
+                    report = state.run(
+                        good_event, bad_event, good_time, bad_time
+                    )
+                    root.set("success", report.success)
+                    root.set("rounds", len(report.rounds))
+            except (
+                DiagnosisFailure,
+                NonInvertibleError,
+                StepLimitExceeded,
+            ) as failure:
+                report = state.failure_report(failure)
+        finally:
+            if hasattr(good, "telemetry"):
+                good.telemetry = saved_good
+            if hasattr(bad, "telemetry"):
+                bad.telemetry = saved_bad
+        state.fold_metrics()
+        report.telemetry = telemetry.report_section()
+        return report
 
     # Convenience: the vertex-count comparison used by Table 1.
     def tree_sizes(
@@ -151,13 +196,21 @@ class DiffProv:
 class _DiagnosisState:
     """Mutable state of one diagnose() call."""
 
-    def __init__(self, debugger: DiffProv, good: Execution, bad: Execution, timings):
+    def __init__(
+        self,
+        debugger: DiffProv,
+        good: Execution,
+        bad: Execution,
+        timings,
+        telemetry=None,
+    ):
         self.debugger = debugger
         self.program = debugger.program
         self.options = debugger.options
         self.good = good
         self.bad = bad
         self.timings = timings
+        self.telemetry = telemetry
         self.changes: List[Change] = []
         self.rounds: List[RoundInfo] = []
         self.good_tree_size = 0
@@ -180,12 +233,18 @@ class _DiagnosisState:
     @contextmanager
     def _timed(self, key: str):
         started = _time.perf_counter()
-        try:
-            yield
-        finally:
-            self.timings[key] = (
-                self.timings.get(key, 0.0) + _time.perf_counter() - started
-            )
+        span = (
+            self.telemetry.span("diffprov." + key)
+            if self.telemetry is not None
+            else nullcontext()
+        )
+        with span:
+            try:
+                yield
+            finally:
+                self.timings[key] = (
+                    self.timings.get(key, 0.0) + _time.perf_counter() - started
+                )
 
     # ------------------------------------------------------------------
     # Main loop.
@@ -317,27 +376,56 @@ class _DiagnosisState:
     # ------------------------------------------------------------------
 
     def _query_tree(self, graph, event, time, side):
-        """Initial provenance query, distributed when faults are on.
+        """Initial provenance query over the partitioned store.
 
-        Under a fault plan the query runs against the partitioned store
-        with fallible fetches; retry/timeout accounting lands in
-        ``self.distributed_stats[side]``.  Failures that would be
-        uncaught crashes (root unreachable, event lost from the log)
-        become typed diagnosis failures instead.
+        Every query goes through :class:`PartitionedProvenance`, so the
+        distribution accounting (vertexes fetched, nodes contacted) in
+        ``self.distributed_stats[side]`` is populated on healthy runs
+        too, not just degraded ones.  Under a fault plan the fetches
+        become fallible, and failures that would be uncaught crashes
+        (root unreachable, event lost from the log) become typed
+        diagnosis failures instead.
         """
-        if self.fault_plan is None:
-            return provenance_query(graph, event, time)
-        partitioned = PartitionedProvenance(
-            graph, faults=FaultInjector(self.fault_plan, f"fetch-{side}")
+        telemetry = self.telemetry
+        faults = (
+            FaultInjector(self.fault_plan, f"fetch-{side}")
+            if self.fault_plan is not None
+            else None
         )
-        try:
-            tree, stats = partitioned.query(event, time)
-        except (FaultError, ReproError) as exc:
-            raise DiagnosisFailure(
-                f"{side} provenance could not be materialized under "
-                f"faults: {exc}"
-            )
+        partitioned = PartitionedProvenance(
+            graph, faults=faults, telemetry=telemetry
+        )
+        span = (
+            telemetry.span("provenance.query", side=side, event=str(event))
+            if telemetry is not None
+            else nullcontext()
+        )
+        with span:
+            if faults is None:
+                tree, stats = partitioned.query(event, time)
+            else:
+                try:
+                    tree, stats = partitioned.query(event, time)
+                except (FaultError, ReproError) as exc:
+                    raise DiagnosisFailure(
+                        f"{side} provenance could not be materialized under "
+                        f"faults: {exc}"
+                    )
         self.distributed_stats[side] = stats
+        if telemetry is not None:
+            telemetry.fold_counters(
+                f"distributed.{side}",
+                {
+                    "vertices_fetched": stats.vertices_fetched,
+                    "cross_node_fetches": stats.cross_node_fetches,
+                    "nodes_contacted": len(stats.nodes_contacted),
+                    "timeouts": stats.timeouts,
+                    "retries": stats.retries,
+                    "failed_fetches": stats.failed_fetches,
+                },
+            )
+            if faults is not None:
+                faults.fold_into(telemetry)
         if stats.degraded:
             self.partial_verify = True
             for parent, child in stats.missing_subtrees:
@@ -936,6 +1024,29 @@ class _DiagnosisState:
     # ------------------------------------------------------------------
     # Reports.
     # ------------------------------------------------------------------
+
+    def fold_metrics(self) -> None:
+        """Final deterministic counts for the diagnosis snapshot.
+
+        Only counts go into the registry — never wall time — so two
+        runs with the same seed produce byte-identical snapshots.
+        """
+        telemetry = self.telemetry
+        if telemetry is None:
+            return
+        telemetry.set_gauge("diffprov.good_tree_size", self.good_tree_size)
+        telemetry.set_gauge("diffprov.bad_tree_size", self.bad_tree_size)
+        telemetry.inc("diffprov.rounds", len(self.rounds))
+        telemetry.inc("diffprov.replays", self.replays)
+        telemetry.inc("diffprov.changes", len(self.changes))
+        if self.unknowns:
+            telemetry.inc("diffprov.unknown_subtrees", len(self.unknowns))
+        if self.lost_log_events:
+            telemetry.inc("recorder.lost_log_events", self.lost_log_events)
+        telemetry.set_gauge("log.good_bytes", self.good.log.total_bytes)
+        telemetry.set_gauge("log.good_entries", len(self.good.log))
+        telemetry.set_gauge("log.bad_bytes", self.bad.log.total_bytes)
+        telemetry.set_gauge("log.bad_entries", len(self.bad.log))
 
     def _degraded(self) -> bool:
         return bool(

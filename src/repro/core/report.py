@@ -89,6 +89,7 @@ class DiagnosisReport:
         unknown_subtrees: Sequence[Tuple] = (),
         distributed_stats: Optional[Dict[str, object]] = None,
         lost_events: int = 0,
+        telemetry: Optional[Dict[str, object]] = None,
     ):
         self.success = success
         self.changes = list(changes)
@@ -110,6 +111,11 @@ class DiagnosisReport:
         # them by replaying the lossless event log, but the count stays
         # visible so the operator knows the graph was reconstructed.
         self.lost_events = lost_events
+        # Telemetry section (see repro.observability): a dict with
+        # "metrics" (deterministic counts), "phases" (per-phase wall
+        # time from the span tree), and "spans".  None when the
+        # diagnosis ran without telemetry.
+        self.telemetry = telemetry
 
     # -- derived views -----------------------------------------------------
 
@@ -212,16 +218,40 @@ class DiagnosisReport:
                     f"  {self.lost_events} logged provenance event(s) were "
                     f"lost; the graph was recovered by replaying the event log"
                 )
-            for side in sorted(self.distributed_stats):
-                lines.append(
-                    f"  distributed[{side}]: {self.distributed_stats[side]!r}"
-                )
+        # Distribution accounting is attached on every run (healthy
+        # queries show their fetch counts too, not just degraded ones).
+        for side in sorted(self.distributed_stats):
+            lines.append(
+                f"  distributed[{side}]: {self.distributed_stats[side]!r}"
+            )
         lines.append(
             f"  trees: good={self.good_tree_size} vertexes, "
             f"bad={self.bad_tree_size} vertexes; "
             f"seeds: {self.good_seed} / {self.bad_seed}"
         )
+        lines.extend(self._phase_lines())
         return "\n".join(lines)
+
+    def _phase_lines(self) -> List[str]:
+        """Human-readable per-phase breakdown (telemetry runs only)."""
+        phases = (self.telemetry or {}).get("phases") or []
+        if not phases:
+            return []
+        lines = ["  phase breakdown:"]
+        width = max(len(p["name"]) for p in phases)
+        # Shares are relative to the root diagnosis span (nested spans
+        # overlap, so a plain sum would double-count).
+        total = next(
+            (p["seconds"] for p in phases if p["name"] == "diffprov.diagnose"),
+            sum(p["seconds"] for p in phases),
+        )
+        for p in phases:
+            share = (p["seconds"] / total * 100.0) if total else 0.0
+            lines.append(
+                f"    {p['name']:<{width}}  {p['seconds']:>10.6f}s  "
+                f"x{p['count']:<4d} {share:5.1f}%"
+            )
+        return lines
 
     def __repr__(self):
         state = "success" if self.success else f"failure:{self.failure_category}"

@@ -18,6 +18,7 @@ from collections import deque
 from typing import Dict, Iterable, Iterator, List, Optional, Tuple as PyTuple
 
 from ..errors import EvaluationError, SchemaError, StepLimitExceeded
+from ..observability import active as _active_telemetry
 from .aggregates import evaluate_aggregates
 from .expr import Const, Expr, Var
 from .rules import Atom, Program, Rule
@@ -38,12 +39,16 @@ class Engine:
         recorder=None,
         faults=None,
         step_limit: Optional[int] = None,
+        telemetry=None,
     ):
         self.program = program
         self.recorder = recorder
         # Optional FaultInjector applied to cross-node message delivery
         # (drop/duplicate/reorder/delay); None means perfect links.
         self.faults = faults
+        # Optional Telemetry (repro.observability); None disables all
+        # instrumentation at the cost of one attribute test per event.
+        self.telemetry = _active_telemetry(telemetry)
         # Total events processed; with step_limit set, exceeding it
         # raises StepLimitExceeded (a runaway-replay guard).
         self.steps = 0
@@ -153,6 +158,12 @@ class Engine:
 
     def _step(self) -> None:
         self.steps += 1
+        if self.telemetry is not None:
+            self.telemetry.inc("engine.steps")
+            # Depth includes the event being processed this step.
+            self.telemetry.set_max(
+                "engine.queue_depth_max", len(self._queue) + 1
+            )
         if self.step_limit is not None and self.steps > self.step_limit:
             raise StepLimitExceeded(
                 f"engine exceeded its step budget of {self.step_limit} "
@@ -243,11 +254,14 @@ class Engine:
     # -- rule firing -------------------------------------------------------------
 
     def _fire_rules(self, delta: Tuple, time: int) -> None:
+        telemetry = self.telemetry
         for rule in self.program.rules_triggered_by(delta.table):
             for trigger_index, atom in enumerate(rule.body):
                 if atom.table != delta.table:
                     continue
                 for env, body in self._bindings(rule, trigger_index, delta):
+                    if telemetry is not None:
+                        telemetry.inc("engine.rule_firings." + rule.name)
                     head = self._evaluate_head(rule.head, env)
                     derivation = self._make_derivation(
                         rule, head, body, env, trigger_index, time
@@ -264,7 +278,8 @@ class Engine:
         and global (unlocated) tuples always go straight to the queue.
         """
         item = ("derived", derivation)
-        if self.faults is None:
+        telemetry = self.telemetry
+        if self.faults is None and telemetry is None:
             self._queue.append(item)
             return
         src = self.node_of(derivation.trigger)
@@ -272,7 +287,21 @@ class Engine:
         if src == dst or GLOBAL_NODE in (src, dst):
             self._queue.append(item)
             return
-        for delay in self.faults.message_actions(src, dst):
+        if telemetry is not None:
+            telemetry.inc("engine.messages.sent")
+        if self.faults is None:
+            self._queue.append(item)
+            return
+        actions = self.faults.message_actions(src, dst)
+        if telemetry is not None:
+            if not actions:
+                telemetry.inc("engine.messages.dropped")
+            if len(actions) > 1:
+                telemetry.inc("engine.messages.duplicated", len(actions) - 1)
+            delayed = sum(1 for delay in actions if delay > 0)
+            if delayed:
+                telemetry.inc("engine.messages.delayed", delayed)
+        for delay in actions:
             if delay <= 0:
                 self._queue.append(item)
             else:

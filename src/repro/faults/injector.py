@@ -160,6 +160,21 @@ class FaultInjector:
     def stats(self) -> Dict[str, int]:
         return dict(self.counters)
 
+    def fold_into(self, telemetry, prefix: str = None) -> None:
+        """Fold the injected-event counters into a metrics registry.
+
+        Counter names become ``faults.<purpose>.<counter>`` (zero
+        entries are skipped), so a diagnosis run's snapshot shows
+        exactly which faults fired in each stream.  Deterministic:
+        the counters themselves are driven by the seeded schedule.
+        """
+        if telemetry is None:
+            return
+        telemetry.fold_counters(
+            prefix if prefix is not None else f"faults.{self.purpose}",
+            self.counters,
+        )
+
     # -- internals -----------------------------------------------------------
 
     def _stream(self, category: str) -> random.Random:

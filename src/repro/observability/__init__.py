@@ -1,0 +1,44 @@
+"""Runtime telemetry for the DiffProv pipeline.
+
+Two halves (see ``docs/observability.md``):
+
+- :mod:`repro.observability.metrics` — counters, gauges, histograms
+  with a deterministic snapshot (no wall-clock values, so seeded runs
+  snapshot byte-identically);
+- :mod:`repro.observability.tracing` — hierarchical spans
+  (``component.phase``) measuring wall time on an injectable clock,
+  exportable as a JSON tree or Chrome ``trace_event`` format.
+
+:class:`Telemetry` bundles both; pass it to
+:class:`~repro.core.diffprov.DiffProvOptions`, an
+:class:`~repro.replay.execution.Execution`, or directly to an
+:class:`~repro.datalog.engine.Engine` / recorder.  Everything is
+off-by-default: components receive ``telemetry=None`` and skip
+instrumentation behind a single ``is not None`` test.
+"""
+
+from .metrics import Counter, Gauge, Histogram, MetricsRegistry
+from .telemetry import (
+    NULL_TELEMETRY,
+    ManualClock,
+    NullTelemetry,
+    Telemetry,
+    active,
+    format_metrics,
+)
+from .tracing import Span, Tracer
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "Span",
+    "Tracer",
+    "Telemetry",
+    "NullTelemetry",
+    "NULL_TELEMETRY",
+    "ManualClock",
+    "active",
+    "format_metrics",
+]

@@ -1,0 +1,206 @@
+"""A zero-dependency metrics registry.
+
+Counters, gauges, and histograms with a deterministic snapshot: the
+snapshot contains only values derived from *what happened* (event
+counts, queue depths, fetch attempts), never wall-clock readings, so
+two runs over the same seeded workload produce byte-identical
+snapshots.  Wall time lives in the span tree
+(:mod:`repro.observability.tracing`), which carries the injectable
+clock instead.
+
+Metric names are dotted ``component.detail`` strings, all lowercase;
+see ``docs/observability.md`` for the catalogue.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from typing import Dict, List, Optional, Union
+
+from ..errors import ReproError
+
+__all__ = ["Counter", "Gauge", "Histogram", "MetricsRegistry"]
+
+Number = Union[int, float]
+
+
+class Counter:
+    """A monotonically increasing count."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value: Number = 0
+
+    def inc(self, amount: Number = 1) -> None:
+        if amount < 0:
+            raise ReproError(f"counter {self.name!r} cannot decrease")
+        self.value += amount
+
+    def __repr__(self):
+        return f"Counter({self.name}={self.value})"
+
+
+class Gauge:
+    """A point-in-time value (last write wins, or a running maximum)."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value: Optional[Number] = None
+
+    def set(self, value: Number) -> None:
+        self.value = value
+
+    def set_max(self, value: Number) -> None:
+        if self.value is None or value > self.value:
+            self.value = value
+
+    def __repr__(self):
+        return f"Gauge({self.name}={self.value})"
+
+
+class Histogram:
+    """A distribution of observed values.
+
+    Snapshots report count/sum/min/max plus interpolated percentiles
+    (p50/p90/p99).  Percentile math is the linear-interpolation variant
+    (numpy's default): rank ``(n - 1) * p`` into the sorted values,
+    interpolating between neighbours — deterministic for deterministic
+    inputs.
+    """
+
+    __slots__ = ("name", "_values", "_sorted")
+
+    def __init__(self, name: str):
+        self.name = name
+        self._values: List[Number] = []
+        self._sorted = True
+
+    def observe(self, value: Number) -> None:
+        if self._values and value < self._values[-1]:
+            self._sorted = False
+        self._values.append(value)
+
+    @property
+    def count(self) -> int:
+        return len(self._values)
+
+    @property
+    def total(self) -> Number:
+        return sum(self._values)
+
+    def percentile(self, p: float) -> Optional[Number]:
+        """The ``p``-th percentile (0..100), linearly interpolated."""
+        if not self._values:
+            return None
+        if not 0.0 <= p <= 100.0:
+            raise ReproError(f"percentile {p} out of range [0, 100]")
+        values = self._ordered()
+        rank = (len(values) - 1) * (p / 100.0)
+        lower = math.floor(rank)
+        fraction = rank - lower
+        if fraction == 0.0:
+            return values[lower]
+        return values[lower] + fraction * (values[lower + 1] - values[lower])
+
+    def _ordered(self) -> List[Number]:
+        if not self._sorted:
+            self._values.sort()
+            self._sorted = True
+        return self._values
+
+    def snapshot(self) -> Dict[str, Optional[Number]]:
+        values = self._ordered()
+        return {
+            "count": len(values),
+            "sum": sum(values),
+            "min": values[0] if values else None,
+            "max": values[-1] if values else None,
+            "p50": self.percentile(50),
+            "p90": self.percentile(90),
+            "p99": self.percentile(99),
+        }
+
+    def __repr__(self):
+        return f"Histogram({self.name}, n={self.count})"
+
+
+class MetricsRegistry:
+    """Named metrics with get-or-create semantics.
+
+    A name belongs to exactly one metric kind; asking for the same name
+    as a different kind is an error (it would silently split a metric).
+    """
+
+    def __init__(self):
+        self._counters: Dict[str, Counter] = {}
+        self._gauges: Dict[str, Gauge] = {}
+        self._histograms: Dict[str, Histogram] = {}
+
+    # -- access --------------------------------------------------------------
+
+    def counter(self, name: str) -> Counter:
+        return self._get(self._counters, name, Counter)
+
+    def gauge(self, name: str) -> Gauge:
+        return self._get(self._gauges, name, Gauge)
+
+    def histogram(self, name: str) -> Histogram:
+        return self._get(self._histograms, name, Histogram)
+
+    def _get(self, table, name: str, factory):
+        metric = table.get(name)
+        if metric is None:
+            self._check_unclaimed(name, table)
+            metric = table[name] = factory(name)
+        return metric
+
+    def _check_unclaimed(self, name: str, claiming) -> None:
+        for table in (self._counters, self._gauges, self._histograms):
+            if table is not claiming and name in table:
+                raise ReproError(
+                    f"metric {name!r} already registered as a different kind"
+                )
+
+    # -- convenience ---------------------------------------------------------
+
+    def inc(self, name: str, amount: Number = 1) -> None:
+        self.counter(name).inc(amount)
+
+    def set_gauge(self, name: str, value: Number) -> None:
+        self.gauge(name).set(value)
+
+    def set_max(self, name: str, value: Number) -> None:
+        self.gauge(name).set_max(value)
+
+    def observe(self, name: str, value: Number) -> None:
+        self.histogram(name).observe(value)
+
+    # -- export --------------------------------------------------------------
+
+    def snapshot(self) -> Dict[str, Dict]:
+        """All metrics, sorted by name — deterministic by construction."""
+        return {
+            "counters": {
+                name: self._counters[name].value
+                for name in sorted(self._counters)
+            },
+            "gauges": {
+                name: self._gauges[name].value for name in sorted(self._gauges)
+            },
+            "histograms": {
+                name: self._histograms[name].snapshot()
+                for name in sorted(self._histograms)
+            },
+        }
+
+    def snapshot_json(self) -> str:
+        """The snapshot as canonical JSON (byte-comparable across runs)."""
+        return json.dumps(self.snapshot(), sort_keys=True, separators=(",", ":"))
+
+    def __len__(self) -> int:
+        return len(self._counters) + len(self._gauges) + len(self._histograms)

@@ -1,0 +1,173 @@
+"""The telemetry facade: one object bundling metrics and tracing.
+
+Components across the pipeline accept an optional ``telemetry``
+argument.  ``None`` (the default) means *disabled*: instrumented code
+guards every recording with an ``is not None`` check, so the disabled
+cost is a single attribute test — no allocation, no lookup.
+:class:`NullTelemetry` exists for callers that prefer passing an object
+unconditionally; components normalize it to the disabled path via
+:func:`active`.
+
+Wall time comes from an injectable clock.  The default is
+:func:`time.perf_counter`; tests and determinism checks inject a
+:class:`ManualClock`, whose reads advance a logical tick, making span
+durations (and therefore whole trace files) reproducible.
+"""
+
+from __future__ import annotations
+
+import time as _time
+from typing import Callable, Dict, Mapping, Optional
+
+from .metrics import MetricsRegistry, Number
+from .tracing import Tracer
+
+__all__ = [
+    "ManualClock",
+    "Telemetry",
+    "NullTelemetry",
+    "NULL_TELEMETRY",
+    "active",
+    "format_metrics",
+]
+
+
+class ManualClock:
+    """A deterministic clock: every read advances one logical tick."""
+
+    __slots__ = ("_now", "tick")
+
+    def __init__(self, start: float = 0.0, tick: float = 1.0):
+        self._now = start
+        self.tick = tick
+
+    def __call__(self) -> float:
+        now = self._now
+        self._now += self.tick
+        return now
+
+    def advance(self, amount: float) -> None:
+        self._now += amount
+
+
+class Telemetry:
+    """A metrics registry plus a tracer sharing one clock."""
+
+    enabled = True
+
+    def __init__(self, clock: Optional[Callable[[], float]] = None):
+        self.clock = clock if clock is not None else _time.perf_counter
+        self.metrics = MetricsRegistry()
+        self.tracer = Tracer(clock=self.clock)
+
+    # -- tracing -------------------------------------------------------------
+
+    def span(self, name: str, **attrs):
+        return self.tracer.span(name, **attrs)
+
+    # -- metrics -------------------------------------------------------------
+
+    def inc(self, name: str, amount: Number = 1) -> None:
+        self.metrics.inc(name, amount)
+
+    def set_gauge(self, name: str, value: Number) -> None:
+        self.metrics.set_gauge(name, value)
+
+    def set_max(self, name: str, value: Number) -> None:
+        self.metrics.set_max(name, value)
+
+    def observe(self, name: str, value: Number) -> None:
+        self.metrics.observe(name, value)
+
+    def fold_counters(self, prefix: str, counters: Mapping[str, Number]) -> None:
+        """Fold a plain counter dict (e.g. injector stats) into metrics.
+
+        Zero entries are skipped so that an idle component leaves no
+        trace in the snapshot (keeps disabled features key-free).
+        """
+        for key in sorted(counters):
+            value = counters[key]
+            if value:
+                self.inc(f"{prefix}.{key}", value)
+
+    # -- export --------------------------------------------------------------
+
+    def snapshot(self) -> Dict:
+        return self.metrics.snapshot()
+
+    def snapshot_json(self) -> str:
+        return self.metrics.snapshot_json()
+
+    def phases(self):
+        return self.tracer.phase_totals()
+
+    def chrome_trace(self) -> Dict:
+        return self.tracer.to_chrome_trace()
+
+    def report_section(self) -> Dict:
+        """The ``report.telemetry`` payload: metrics + phase breakdown."""
+        return {
+            "metrics": self.snapshot(),
+            "phases": self.phases(),
+            "spans": self.tracer.span_count,
+        }
+
+
+class NullTelemetry:
+    """Disabled telemetry; components treat it exactly like ``None``."""
+
+    enabled = False
+
+    def span(self, name: str, **attrs):  # pragma: no cover - never active
+        return _NULL_SPAN
+
+    def __repr__(self):
+        return "NullTelemetry()"
+
+
+class _NullSpan:
+    __slots__ = ()
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc):
+        return False
+
+    def set(self, key, value):
+        pass
+
+
+_NULL_SPAN = _NullSpan()
+
+NULL_TELEMETRY = NullTelemetry()
+
+
+def active(telemetry) -> Optional[Telemetry]:
+    """Normalize a telemetry argument: enabled instance or ``None``."""
+    if telemetry is None or not getattr(telemetry, "enabled", False):
+        return None
+    return telemetry
+
+
+def format_metrics(snapshot: Mapping) -> str:
+    """A human-readable rendering of a metrics snapshot."""
+    lines = []
+    counters = snapshot.get("counters", {})
+    gauges = snapshot.get("gauges", {})
+    histograms = snapshot.get("histograms", {})
+    width = max(
+        (len(name) for name in (*counters, *gauges, *histograms)), default=0
+    )
+    for name in sorted(counters):
+        lines.append(f"  {name:<{width}s}  {counters[name]}")
+    for name in sorted(gauges):
+        lines.append(f"  {name:<{width}s}  {gauges[name]}")
+    for name in sorted(histograms):
+        h = histograms[name]
+        lines.append(
+            f"  {name:<{width}s}  n={h['count']} sum={h['sum']} "
+            f"min={h['min']} p50={h['p50']} p90={h['p90']} "
+            f"p99={h['p99']} max={h['max']}"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,184 @@
+"""Hierarchical tracing: span trees over the diagnosis pipeline.
+
+A span names one phase of work (``component.phase``, e.g.
+``diffprov.diff_trees`` or ``engine.run``), measures its wall time with
+an injectable clock, and nests under whatever span was open when it
+started.  The resulting forest exports as a plain JSON tree or as
+Chrome ``trace_event`` format (load in ``chrome://tracing`` or
+https://ui.perfetto.dev).
+
+Exception safety: a span that exits through an exception still closes
+(its end time is recorded) and is marked ``status="error"`` with the
+exception text; the exception propagates unchanged.
+"""
+
+from __future__ import annotations
+
+import time as _time
+from contextlib import contextmanager
+from typing import Callable, Dict, Iterator, List, Optional
+
+__all__ = ["Span", "Tracer"]
+
+
+class Span:
+    """One timed phase of work, with attributes and child spans."""
+
+    __slots__ = (
+        "name",
+        "attrs",
+        "start",
+        "end",
+        "status",
+        "error",
+        "parent",
+        "children",
+    )
+
+    def __init__(self, name: str, attrs: Dict[str, object], start: float):
+        self.name = name
+        self.attrs = attrs
+        self.start = start
+        self.end: Optional[float] = None
+        self.status = "ok"
+        self.error: Optional[str] = None
+        self.parent: Optional["Span"] = None
+        self.children: List["Span"] = []
+
+    @property
+    def duration(self) -> float:
+        if self.end is None:
+            return 0.0
+        return self.end - self.start
+
+    def set(self, key: str, value) -> None:
+        """Attach (or update) an attribute after the span opened."""
+        self.attrs[key] = value
+
+    def to_dict(self) -> Dict:
+        data: Dict[str, object] = {
+            "name": self.name,
+            "start": self.start,
+            "end": self.end,
+            "duration": self.duration,
+            "status": self.status,
+        }
+        if self.error is not None:
+            data["error"] = self.error
+        if self.attrs:
+            data["attrs"] = dict(self.attrs)
+        if self.children:
+            data["children"] = [child.to_dict() for child in self.children]
+        return data
+
+    def __repr__(self):
+        return (
+            f"Span({self.name}, {self.duration:.6f}s, {self.status}, "
+            f"{len(self.children)} children)"
+        )
+
+
+class Tracer:
+    """Builds a span forest; one instance per telemetry session."""
+
+    def __init__(self, clock: Callable[[], float] = _time.perf_counter):
+        self.clock = clock
+        self.roots: List[Span] = []
+        self._stack: List[Span] = []
+        self.span_count = 0
+
+    @contextmanager
+    def span(self, name: str, **attrs) -> Iterator[Span]:
+        """Open a span nested under the currently open one (if any)."""
+        span = Span(name, attrs, self.clock())
+        if self._stack:
+            span.parent = self._stack[-1]
+            span.parent.children.append(span)
+        else:
+            self.roots.append(span)
+        self._stack.append(span)
+        self.span_count += 1
+        try:
+            yield span
+        except BaseException as exc:
+            span.status = "error"
+            span.error = f"{type(exc).__name__}: {exc}"
+            raise
+        finally:
+            span.end = self.clock()
+            self._stack.pop()
+
+    @property
+    def current(self) -> Optional[Span]:
+        return self._stack[-1] if self._stack else None
+
+    def iter_spans(self) -> Iterator[Span]:
+        """All spans, depth-first in creation order."""
+        stack = list(reversed(self.roots))
+        while stack:
+            span = stack.pop()
+            yield span
+            stack.extend(reversed(span.children))
+
+    # -- aggregation ---------------------------------------------------------
+
+    def phase_totals(self) -> List[Dict]:
+        """Wall time and invocation count per span name.
+
+        Ordered by first appearance (depth-first), so the list reads as
+        the pipeline's phase order.
+        """
+        totals: Dict[str, Dict] = {}
+        order: List[str] = []
+        for span in self.iter_spans():
+            entry = totals.get(span.name)
+            if entry is None:
+                entry = totals[span.name] = {
+                    "name": span.name,
+                    "seconds": 0.0,
+                    "count": 0,
+                }
+                order.append(span.name)
+            entry["seconds"] += span.duration
+            entry["count"] += 1
+        return [totals[name] for name in order]
+
+    # -- export --------------------------------------------------------------
+
+    def to_dict(self) -> Dict:
+        return {"spans": [root.to_dict() for root in self.roots]}
+
+    def to_chrome_trace(self) -> Dict:
+        """The forest as Chrome ``trace_event`` complete events.
+
+        Timestamps are microseconds on the tracer's clock (origin is
+        arbitrary, as ``trace_event`` allows).  Open ``chrome://tracing``
+        or https://ui.perfetto.dev and load the file.
+        """
+        events = []
+        for span in self.iter_spans():
+            args: Dict[str, object] = {
+                key: _jsonable(value) for key, value in span.attrs.items()
+            }
+            args["status"] = span.status
+            if span.error is not None:
+                args["error"] = span.error
+            events.append(
+                {
+                    "name": span.name,
+                    "cat": span.name.split(".", 1)[0],
+                    "ph": "X",
+                    "ts": round(span.start * 1e6, 3),
+                    "dur": round(span.duration * 1e6, 3),
+                    "pid": 1,
+                    "tid": 1,
+                    "args": args,
+                }
+            )
+        return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+
+def _jsonable(value):
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    return str(value)

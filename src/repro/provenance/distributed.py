@@ -31,6 +31,7 @@ from typing import Dict, List, Optional, Set, Tuple as PyTuple
 
 from ..datalog.tuples import Tuple
 from ..errors import DegradedResultWarning, NodeUnreachableError, ReproError
+from ..observability import active as _active_telemetry
 from .graph import ProvenanceGraph
 from .tree import ProvenanceTree
 from .vertices import Vertex
@@ -114,9 +115,11 @@ class PartitionedProvenance:
         faults=None,
         max_retries: Optional[int] = None,
         timeout_steps: Optional[int] = None,
+        telemetry=None,
     ):
         self._graph = graph
         self.faults = faults
+        self.telemetry = _active_telemetry(telemetry)
         plan = faults.plan if faults is not None else None
         self.max_retries = (
             max_retries
@@ -128,14 +131,21 @@ class PartitionedProvenance:
             if timeout_steps is not None
             else (plan.timeout_steps if plan is not None else 1)
         )
-        self.partitions: Dict[str, List[Vertex]] = {}
-        for vertex in graph.vertices:
-            self.partitions.setdefault(vertex.node, []).append(vertex)
+        self._partitions: Optional[Dict[str, List[Vertex]]] = None
         self._stats: Optional[DistributedQueryStats] = None
         self._fetched: Set[int] = set()
         self._failed: Set[int] = set()
 
     # -- partition inspection ------------------------------------------------
+
+    @property
+    def partitions(self) -> Dict[str, List[Vertex]]:
+        """Vertexes by owning node (built lazily — queries don't need it)."""
+        if self._partitions is None:
+            self._partitions = {}
+            for vertex in self._graph.vertices:
+                self._partitions.setdefault(vertex.node, []).append(vertex)
+        return self._partitions
 
     def nodes(self) -> List[str]:
         return sorted(self.partitions)
@@ -179,16 +189,23 @@ class PartitionedProvenance:
             return True
         if vertex.id in self._failed:
             return False
+        telemetry = self.telemetry
         if not self._attempt_fetch(vertex, origin):
             self._failed.add(vertex.id)
             self._stats.failed_fetches += 1
             self._stats.unreachable_nodes.add(vertex.node)
+            if telemetry is not None:
+                telemetry.inc("distributed.failed_fetches")
             return False
         self._fetched.add(vertex.id)
         self._stats.vertices_fetched += 1
         self._stats.nodes_contacted.add(vertex.node)
+        if telemetry is not None:
+            telemetry.inc("distributed.fetches")
         if origin is not None and origin != vertex.node:
             self._stats.cross_node_fetches += 1
+            if telemetry is not None:
+                telemetry.inc("distributed.cross_node_fetches")
         return True
 
     def _attempt_fetch(self, vertex: Vertex, origin: Optional[str]) -> bool:
@@ -198,14 +215,23 @@ class PartitionedProvenance:
         if origin is not None and origin == vertex.node:
             # Local read: no network involved.
             return True
+        telemetry = self.telemetry
         for attempt in range(self.max_retries + 1):
             if attempt:
                 self._stats.retries += 1
                 self._stats.backoff_steps += 2 ** (attempt - 1)
             self._stats.fetch_attempts += 1
             if self.faults.fetch_ok(vertex.node):
+                if telemetry is not None:
+                    telemetry.observe("distributed.fetch_attempts", attempt + 1)
                 return True
             self._stats.timeouts += self.timeout_steps
+            if telemetry is not None:
+                telemetry.inc("distributed.timeouts")
+        if telemetry is not None:
+            telemetry.observe(
+                "distributed.fetch_attempts", self.max_retries + 1
+            )
         return False
 
     # -- queries -----------------------------------------------------------------
@@ -219,13 +245,18 @@ class PartitionedProvenance:
         root vertex itself cannot be fetched; missing interior subtrees
         degrade the tree and emit a :class:`DegradedResultWarning`.
         """
-        self._stats = DistributedQueryStats(len(self._graph))
+        # len(vertices) rather than len(graph): graph views that proxy
+        # attribute access (sdn.emulation) don't forward __len__.
+        self._stats = DistributedQueryStats(len(self._graph.vertices))
         self._fetched = set()
         self._failed = set()
         try:
             root = self._graph.exist_at(event, time)
             if root is None:
-                raise ReproError(f"event {event} was never observed")
+                raise ReproError(
+                    f"event {event} was never observed"
+                    + (f" at time {time}" if time is not None else "")
+                )
             # The query originates on the node that observed the event,
             # so the root is a local read — but if that whole node is
             # marked unreachable, the query cannot even start.

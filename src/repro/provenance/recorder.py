@@ -22,6 +22,7 @@ from typing import Dict, Optional, Sequence
 from ..datalog.state import Derivation
 from ..datalog.tuples import Tuple
 from ..errors import ReproError
+from ..observability import active as _active_telemetry
 from .graph import DerivationInfo, ProvenanceGraph
 from .vertices import VertexKind
 
@@ -35,12 +36,15 @@ class ProvenanceRecorder:
         self,
         graph: Optional[ProvenanceGraph] = None,
         faults=None,
+        telemetry=None,
     ):
         self.graph = graph if graph is not None else ProvenanceGraph()
         # Optional FaultInjector modelling lossy provenance logging: a
         # fraction of events is acknowledged (the clock still advances)
         # but never persisted into the graph.
         self.faults = faults
+        # Optional Telemetry; None means no instrumentation.
+        self.telemetry = _active_telemetry(telemetry)
         self.seen_events = 0
         self.lost_events = 0
         self._clock = 0  # used only by the report_* (instrumented) API
@@ -49,10 +53,27 @@ class ProvenanceRecorder:
     def _keep(self, kind: str) -> bool:
         """Whether one logged event survives; counts losses either way."""
         self.seen_events += 1
+        telemetry = self.telemetry
+        if telemetry is not None:
+            telemetry.inc("recorder.events.seen")
+            telemetry.inc("recorder.events." + kind)
         if self.faults is not None and not self.faults.keep_log_event(kind):
             self.lost_events += 1
+            if telemetry is not None:
+                telemetry.inc("recorder.events.lost")
             return False
         return True
+
+    def _vertex(self, kind, node, tup, time, children=(), **extra):
+        """``graph.add_vertex`` plus per-kind vertex/edge accounting."""
+        telemetry = self.telemetry
+        if telemetry is not None:
+            telemetry.inc("recorder.vertices." + kind.name.lower())
+            if children:
+                telemetry.inc("recorder.edges", len(children))
+        return self.graph.add_vertex(
+            kind, node, tup, time, children=children, **extra
+        )
 
     # ------------------------------------------------------------------
     # Inferred mode: callbacks invoked by the engine.
@@ -62,7 +83,7 @@ class ProvenanceRecorder:
         if not self._keep("insert"):
             self._bump(time)
             return
-        self.graph.add_vertex(
+        self._vertex(
             VertexKind.INSERT, node, tup, time, mutable=mutable
         )
         self._bump(time)
@@ -71,7 +92,7 @@ class ProvenanceRecorder:
         if not self._keep("delete"):
             self._bump(time)
             return
-        self.graph.add_vertex(VertexKind.DELETE, node, tup, time)
+        self._vertex(VertexKind.DELETE, node, tup, time)
         self._bump(time)
 
     def on_appear(self, node: str, tup: Tuple, time: int, cause) -> None:
@@ -87,10 +108,10 @@ class ProvenanceRecorder:
             children = [derive_vertex] if derive_vertex is not None else []
         else:  # pragma: no cover - defensive
             raise ReproError(f"unknown appear cause {kind!r}")
-        appear = self.graph.add_vertex(
+        appear = self._vertex(
             VertexKind.APPEAR, node, tup, time, children=children
         )
-        self.graph.add_vertex(
+        self._vertex(
             VertexKind.EXIST, node, tup, time, children=[appear]
         )
         self._bump(time)
@@ -108,7 +129,7 @@ class ProvenanceRecorder:
             if derive_vertex is not None:
                 children = [derive_vertex]
         self.graph.close_exist(tup, time)
-        self.graph.add_vertex(
+        self._vertex(
             VertexKind.DISAPPEAR, node, tup, time, children=children
         )
         self._bump(time)
@@ -134,7 +155,7 @@ class ProvenanceRecorder:
             return
         derive_vertex = self.graph.derive_vertex(derivation.id)
         children = [derive_vertex] if derive_vertex is not None else []
-        self.graph.add_vertex(
+        self._vertex(
             VertexKind.UNDERIVE,
             node,
             derivation.head,
@@ -165,7 +186,7 @@ class ProvenanceRecorder:
         time = self._reported_time(time)
         self.on_delete(node, tup, time)
         self.graph.close_exist(tup, time)
-        self.graph.add_vertex(VertexKind.DISAPPEAR, node, tup, time)
+        self._vertex(VertexKind.DISAPPEAR, node, tup, time)
 
     def report_derive(
         self,
@@ -224,7 +245,7 @@ class ProvenanceRecorder:
                 exist = self.graph.exist_at(member)
             if exist is not None:
                 children.append(exist)
-        self.graph.add_vertex(
+        self._vertex(
             VertexKind.DERIVE,
             node,
             info.head,

@@ -42,6 +42,7 @@ class Execution:
         mode: str = "query-time",
         logging_enabled: bool = True,
         faults=None,
+        telemetry=None,
     ):
         if mode not in _MODES:
             raise ReproError(f"unknown logging mode {mode!r}")
@@ -53,6 +54,10 @@ class Execution:
         # injectors with the same purposes from it, so query-time
         # replays see the same fault schedule the primary run did.
         self.fault_plan = faults
+        # Optional Telemetry, inherited by the live engine and every
+        # replay.  The debugger attaches its own for the duration of a
+        # diagnosis, so query-time replays land in the diagnosis trace.
+        self.telemetry = telemetry
         self.log = EventLog()
         self._runtime_recorder = (
             ProvenanceRecorder(
@@ -60,7 +65,8 @@ class Execution:
                     FaultInjector(faults, "prov-loss")
                     if faults is not None
                     else None
-                )
+                ),
+                telemetry=telemetry,
             )
             if mode == "runtime"
             else None
@@ -71,6 +77,7 @@ class Execution:
             faults=(
                 FaultInjector(faults, "engine") if faults is not None else None
             ),
+            telemetry=telemetry,
         )
         self._materialized: Optional[ReplayResult] = None
         self.replay_count = 0
@@ -168,6 +175,7 @@ class Execution:
             faults=self.fault_plan,
             lossless=lossless,
             step_limit=step_limit,
+            telemetry=self.telemetry,
         )
         self.replay_seconds += _time.perf_counter() - started
         self.replay_count += 1

@@ -17,6 +17,7 @@ from ..datalog.rules import Program
 from ..datalog.tuples import Tuple
 from ..errors import ReproError
 from ..faults import FaultInjector
+from ..observability import active as _active_telemetry
 from ..provenance.graph import ProvenanceGraph
 from ..provenance.recorder import ProvenanceRecorder
 from .log import EventLog
@@ -96,6 +97,7 @@ def replay(
     faults=None,
     lossless: bool = False,
     step_limit: Optional[int] = None,
+    telemetry=None,
 ) -> ReplayResult:
     """Replay a log, applying ``changes`` just before ``anchor_index``.
 
@@ -120,6 +122,7 @@ def replay(
         removed.update(change.remove)
     inserted = [c.insert for c in changes if c.insert is not None]
 
+    telemetry = _active_telemetry(telemetry)
     if faults is not None:
         engine_faults = FaultInjector(faults, "engine")
         logging_faults = (
@@ -127,12 +130,17 @@ def replay(
         )
     else:
         engine_faults = logging_faults = None
-    recorder = ProvenanceRecorder(faults=logging_faults) if record else None
+    recorder = (
+        ProvenanceRecorder(faults=logging_faults, telemetry=telemetry)
+        if record
+        else None
+    )
     engine = Engine(
         program,
         recorder=recorder,
         faults=engine_faults,
         step_limit=step_limit,
+        telemetry=telemetry,
     )
     anchor = anchor_index if anchor_index is not None else 0
 
@@ -140,24 +148,39 @@ def replay(
         for tup in inserted:
             engine.insert_and_run(tup, mutable=True)
 
-    applied = False
-    for index, entry in enumerate(log.entries):
-        if index == anchor and not applied:
+    def drive():
+        applied = False
+        for index, entry in enumerate(log.entries):
+            if index == anchor and not applied:
+                apply_insertions()
+                applied = True
+            if entry.op == "insert":
+                if entry.tuple in removed:
+                    continue
+                engine.insert_and_run(entry.tuple, mutable=entry.mutable)
+            elif entry.op == "delete":
+                if entry.tuple in removed:
+                    continue
+                engine.delete(entry.tuple)
+                engine.run()
+            elif entry.op == "barrier":
+                engine.fire_aggregates()
+            else:  # pragma: no cover - defensive
+                raise ReproError(f"unknown log op {entry.op!r}")
+        if not applied:
             apply_insertions()
-            applied = True
-        if entry.op == "insert":
-            if entry.tuple in removed:
-                continue
-            engine.insert_and_run(entry.tuple, mutable=entry.mutable)
-        elif entry.op == "delete":
-            if entry.tuple in removed:
-                continue
-            engine.delete(entry.tuple)
-            engine.run()
-        elif entry.op == "barrier":
-            engine.fire_aggregates()
-        else:  # pragma: no cover - defensive
-            raise ReproError(f"unknown log op {entry.op!r}")
-    if not applied:
-        apply_insertions()
+
+    if telemetry is None:
+        drive()
+    else:
+        with telemetry.span(
+            "engine.run", entries=len(log.entries), changes=len(changes)
+        ) as span:
+            drive()
+            span.set("steps", engine.steps)
+        telemetry.observe("engine.replay_steps", engine.steps)
+        if engine_faults is not None:
+            engine_faults.fold_into(telemetry)
+        if logging_faults is not None:
+            logging_faults.fold_into(telemetry)
     return ReplayResult(engine, recorder if recorder is not None else ProvenanceRecorder())

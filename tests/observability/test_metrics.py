@@ -1,0 +1,127 @@
+"""Metrics registry: counters, gauges, histogram percentile math."""
+
+import json
+
+import pytest
+
+from repro.errors import ReproError
+from repro.observability import MetricsRegistry
+from repro.observability.metrics import Counter, Gauge, Histogram
+
+
+class TestCounter:
+    def test_starts_at_zero_and_accumulates(self):
+        counter = Counter("x")
+        assert counter.value == 0
+        counter.inc()
+        counter.inc(4)
+        assert counter.value == 5
+
+    def test_rejects_negative_increments(self):
+        counter = Counter("x")
+        with pytest.raises(ReproError):
+            counter.inc(-1)
+
+
+class TestGauge:
+    def test_last_write_wins(self):
+        gauge = Gauge("g")
+        gauge.set(3)
+        gauge.set(1)
+        assert gauge.value == 1
+
+    def test_set_max_keeps_running_maximum(self):
+        gauge = Gauge("g")
+        gauge.set_max(2)
+        gauge.set_max(7)
+        gauge.set_max(4)
+        assert gauge.value == 7
+
+
+class TestHistogramPercentiles:
+    def test_linear_interpolation_over_1_to_100(self):
+        h = Histogram("h")
+        for value in range(1, 101):
+            h.observe(value)
+        # numpy-style linear interpolation: rank = (n-1) * p/100.
+        assert h.percentile(50) == pytest.approx(50.5)
+        assert h.percentile(90) == pytest.approx(90.1)
+        assert h.percentile(99) == pytest.approx(99.01)
+        assert h.percentile(0) == 1
+        assert h.percentile(100) == 100
+
+    def test_single_value(self):
+        h = Histogram("h")
+        h.observe(42)
+        for p in (0, 50, 90, 99, 100):
+            assert h.percentile(p) == 42
+
+    def test_two_values_interpolate(self):
+        h = Histogram("h")
+        h.observe(10)
+        h.observe(20)
+        assert h.percentile(50) == pytest.approx(15.0)
+        assert h.percentile(90) == pytest.approx(19.0)
+
+    def test_unsorted_observations_are_ordered_lazily(self):
+        h = Histogram("h")
+        for value in (5, 1, 9, 3):
+            h.observe(value)
+        snap = h.snapshot()
+        assert snap["min"] == 1 and snap["max"] == 9
+        assert snap["count"] == 4 and snap["sum"] == 18
+
+    def test_empty_histogram(self):
+        h = Histogram("h")
+        assert h.percentile(50) is None
+        snap = h.snapshot()
+        assert snap["count"] == 0 and snap["min"] is None
+
+    def test_out_of_range_percentile_rejected(self):
+        h = Histogram("h")
+        h.observe(1)
+        with pytest.raises(ReproError):
+            h.percentile(101)
+
+
+class TestRegistry:
+    def test_get_or_create_returns_same_metric(self):
+        registry = MetricsRegistry()
+        assert registry.counter("a") is registry.counter("a")
+        registry.inc("a", 2)
+        registry.inc("a")
+        assert registry.counter("a").value == 3
+
+    def test_name_cannot_change_kind(self):
+        registry = MetricsRegistry()
+        registry.inc("x")
+        with pytest.raises(ReproError):
+            registry.observe("x", 1.0)
+        with pytest.raises(ReproError):
+            registry.gauge("x")
+
+    def test_snapshot_is_sorted_and_complete(self):
+        registry = MetricsRegistry()
+        registry.inc("b.two")
+        registry.inc("a.one", 5)
+        registry.set_gauge("depth", 3)
+        registry.observe("lat", 1)
+        registry.observe("lat", 3)
+        snap = registry.snapshot()
+        assert list(snap["counters"]) == ["a.one", "b.two"]
+        assert snap["gauges"] == {"depth": 3}
+        assert snap["histograms"]["lat"]["sum"] == 4
+
+    def test_snapshot_json_byte_identical_across_equal_runs(self):
+        def build():
+            registry = MetricsRegistry()
+            registry.inc("z.last")
+            registry.inc("a.first", 7)
+            registry.set_max("peak", 9)
+            for value in (4, 2, 8):
+                registry.observe("h", value)
+            return registry
+
+        assert build().snapshot_json() == build().snapshot_json()
+        # Canonical form round-trips.
+        assert json.loads(build().snapshot_json())["counters"]["a.first"] == 7

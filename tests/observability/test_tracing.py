@@ -1,0 +1,159 @@
+"""Span trees: nesting, exception safety, deterministic export."""
+
+import pytest
+
+from repro.observability import ManualClock, Telemetry, Tracer
+
+
+def manual_tracer():
+    return Tracer(clock=ManualClock())
+
+
+class TestNesting:
+    def test_spans_nest_under_the_open_span(self):
+        tracer = manual_tracer()
+        with tracer.span("diffprov.diagnose"):
+            with tracer.span("diffprov.query"):
+                with tracer.span("engine.run"):
+                    pass
+            with tracer.span("diffprov.replay"):
+                pass
+        assert len(tracer.roots) == 1
+        root = tracer.roots[0]
+        assert [c.name for c in root.children] == [
+            "diffprov.query",
+            "diffprov.replay",
+        ]
+        assert root.children[0].children[0].name == "engine.run"
+        assert root.children[0].children[0].parent is root.children[0]
+        assert tracer.span_count == 4
+
+    def test_sequential_roots(self):
+        tracer = manual_tracer()
+        with tracer.span("a.one"):
+            pass
+        with tracer.span("b.two"):
+            pass
+        assert [r.name for r in tracer.roots] == ["a.one", "b.two"]
+        assert tracer.current is None
+
+    def test_manual_clock_gives_deterministic_durations(self):
+        tracer = manual_tracer()
+        with tracer.span("a.one"):  # start=0
+            with tracer.span("a.two"):  # start=1, end=2
+                pass
+        # ManualClock advances one tick per read: ends at 2 and 3.
+        inner = tracer.roots[0].children[0]
+        assert tracer.roots[0].start == 0.0 and tracer.roots[0].end == 3.0
+        assert inner.duration == 1.0
+
+    def test_iter_spans_is_depth_first_preorder(self):
+        tracer = manual_tracer()
+        with tracer.span("r.a"):
+            with tracer.span("r.b"):
+                pass
+            with tracer.span("r.c"):
+                pass
+        assert [s.name for s in tracer.iter_spans()] == ["r.a", "r.b", "r.c"]
+
+
+class TestExceptionSafety:
+    def test_span_closes_and_marks_error(self):
+        tracer = manual_tracer()
+        with pytest.raises(ValueError, match="boom"):
+            with tracer.span("diffprov.replay"):
+                raise ValueError("boom")
+        span = tracer.roots[0]
+        assert span.end is not None
+        assert span.status == "error"
+        assert span.error == "ValueError: boom"
+        # The stack unwound: new spans open as roots, not as children.
+        with tracer.span("a.after"):
+            pass
+        assert [r.name for r in tracer.roots] == ["diffprov.replay", "a.after"]
+
+    def test_outer_span_survives_inner_error_when_caught(self):
+        tracer = manual_tracer()
+        with tracer.span("outer.run") as outer:
+            try:
+                with tracer.span("inner.step"):
+                    raise RuntimeError("nope")
+            except RuntimeError:
+                pass
+        assert outer.status == "ok"
+        assert outer.children[0].status == "error"
+
+
+class TestAggregationAndExport:
+    def test_phase_totals_sum_by_name_in_first_appearance_order(self):
+        tracer = manual_tracer()
+        with tracer.span("d.loop"):
+            with tracer.span("d.replay"):
+                pass
+            with tracer.span("d.replay"):
+                pass
+        phases = tracer.phase_totals()
+        assert [p["name"] for p in phases] == ["d.loop", "d.replay"]
+        replay = phases[1]
+        assert replay["count"] == 2
+        assert replay["seconds"] == 2.0  # two spans, one tick each
+
+    def test_span_attrs_and_set(self):
+        tracer = manual_tracer()
+        with tracer.span("e.run", entries=5) as span:
+            span.set("steps", 17)
+        assert tracer.roots[0].attrs == {"entries": 5, "steps": 17}
+
+    def test_chrome_trace_shape(self):
+        tracer = manual_tracer()
+        with tracer.span("diffprov.diagnose", scenario="SDN1"):
+            with pytest.raises(KeyError):
+                with tracer.span("engine.run"):
+                    raise KeyError("x")
+        trace = tracer.to_chrome_trace()
+        assert trace["displayTimeUnit"] == "ms"
+        events = trace["traceEvents"]
+        assert [e["name"] for e in events] == [
+            "diffprov.diagnose",
+            "engine.run",
+        ]
+        outer, inner = events
+        assert outer["ph"] == "X" and outer["cat"] == "diffprov"
+        assert outer["args"]["scenario"] == "SDN1"
+        assert inner["args"]["status"] == "error"
+        assert inner["ts"] >= outer["ts"]
+        assert outer["dur"] > 0
+
+    def test_chrome_trace_stringifies_non_primitive_attrs(self):
+        tracer = manual_tracer()
+        with tracer.span("a.b", obj=object(), n=3, flag=True):
+            pass
+        args = tracer.to_chrome_trace()["traceEvents"][0]["args"]
+        assert isinstance(args["obj"], str)
+        assert args["n"] == 3 and args["flag"] is True
+
+    def test_to_dict_round_trips_the_tree(self):
+        tracer = manual_tracer()
+        with tracer.span("a.root"):
+            with tracer.span("a.leaf"):
+                pass
+        data = tracer.to_dict()
+        assert data["spans"][0]["name"] == "a.root"
+        assert data["spans"][0]["children"][0]["name"] == "a.leaf"
+
+
+class TestTelemetryFacade:
+    def test_report_section_combines_metrics_and_phases(self):
+        telemetry = Telemetry(clock=ManualClock())
+        with telemetry.span("x.y"):
+            telemetry.inc("hits")
+        section = telemetry.report_section()
+        assert section["spans"] == 1
+        assert section["metrics"]["counters"] == {"hits": 1}
+        assert section["phases"][0]["name"] == "x.y"
+
+    def test_fold_counters_skips_zero_entries(self):
+        telemetry = Telemetry(clock=ManualClock())
+        telemetry.fold_counters("f.engine", {"dropped": 2, "delayed": 0})
+        counters = telemetry.snapshot()["counters"]
+        assert counters == {"f.engine.dropped": 2}
