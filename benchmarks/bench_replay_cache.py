@@ -1,0 +1,155 @@
+"""Replay snapshot cache: candidate-replay phase speed-up.
+
+The Figure 7 benchmark shows query turnaround dominated by replay;
+this benchmark measures the mechanism that breaks that shape
+(docs/performance.md).  The workloads are the replay-heavy diagnoses —
+minimality post-passes, which replay the bad log once per candidate
+change — timed with the cache off and on, plus a ``workers=2`` run to
+pin the determinism contract from the same harness.
+
+Reported per workload:
+
+- ``replay_off_s`` / ``replay_on_s`` — the ``diffprov.replay`` phase
+  total (span-tree seconds, same source as ``--metrics``), best of
+  ``ROUNDS`` runs each;
+- ``speedup`` — off/on ratio of the candidate-replay phase (the
+  acceptance bar is >= 1.5x on at least one workload);
+- cache hit/miss/store counters from the cached run;
+- ``identical`` — canonical-report equality across cache-off,
+  cache-on, and workers=2.
+
+Run as a script (writes BENCH_replay_cache.json)::
+
+    PYTHONPATH=src python benchmarks/bench_replay_cache.py --out BENCH_replay_cache.json
+
+or through pytest-benchmark like the other benchmarks::
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_replay_cache.py --benchmark-only -s
+"""
+
+import argparse
+import json
+import sys
+
+from repro.core.diffprov import DiffProv, DiffProvOptions
+from repro.observability import Telemetry
+from repro.scenarios import ALL_SCENARIOS
+
+# (scenario, params): replay-heavy minimality workloads.  SDN4 carries
+# several candidate changes through the post-pass; SDN1 at benchmark
+# scale replays a longer background-traffic log.
+WORKLOADS = [
+    ("SDN4", {"background_packets": 20}),
+    ("SDN1", {"background_packets": 20}),
+]
+ROUNDS = 3
+
+
+def _diagnose(name, params, replay_cache, workers=1):
+    scenario = ALL_SCENARIOS[name](**params).setup()
+    telemetry = Telemetry()
+    options = DiffProvOptions(
+        minimize=True,
+        replay_cache=replay_cache,
+        workers=workers,
+        telemetry=telemetry,
+    )
+    report = DiffProv(scenario.program, options).diagnose(
+        scenario.good_execution,
+        scenario.bad_execution,
+        scenario.good_event,
+        scenario.bad_event,
+        scenario.good_time,
+        scenario.bad_time,
+    )
+    phases = {p["name"]: p["seconds"] for p in report.telemetry["phases"]}
+    counters = report.telemetry["metrics"]["counters"]
+    return report, phases, counters
+
+
+def _best_replay_seconds(name, params, replay_cache):
+    """Best-of-ROUNDS candidate-replay phase time (noise floor)."""
+    best = None
+    report = counters = None
+    for _ in range(ROUNDS):
+        report, phases, counters = _diagnose(name, params, replay_cache)
+        seconds = phases.get("diffprov.replay", 0.0)
+        best = seconds if best is None else min(best, seconds)
+    return best, report, counters
+
+
+def run_benchmark():
+    rows = []
+    for name, params in WORKLOADS:
+        off_s, off_report, _ = _best_replay_seconds(name, params, False)
+        on_s, on_report, counters = _best_replay_seconds(name, params, True)
+        par_report, _, _ = _diagnose(name, params, True, workers=2)
+        identical = (
+            off_report.canonical_json()
+            == on_report.canonical_json()
+            == par_report.canonical_json()
+        )
+        rows.append(
+            {
+                "scenario": name,
+                "replay_off_s": round(off_s, 4),
+                "replay_on_s": round(on_s, 4),
+                "speedup": round(off_s / max(on_s, 1e-9), 2),
+                "replays": off_report.replays,
+                "cache_hits": counters.get("replay.cache.hits", 0),
+                "cache_misses": counters.get("replay.cache.misses", 0),
+                "cache_stores": counters.get("replay.cache.stores", 0),
+                "identical": identical,
+            }
+        )
+    return rows
+
+
+def check(rows):
+    for row in rows:
+        assert row["identical"], (
+            f"{row['scenario']}: cache/parallel changed the report"
+        )
+        assert row["cache_hits"] > 0, row
+    best = max(row["speedup"] for row in rows)
+    assert best >= 1.5, (
+        f"candidate-replay speed-up {best}x below the 1.5x bar: {rows}"
+    )
+
+
+def test_replay_cache_speedup(benchmark):
+    rows = benchmark.pedantic(run_benchmark, rounds=1, iterations=1)
+    from conftest import emit
+
+    emit("Replay cache: candidate-replay phase, off vs on", rows)
+    benchmark.extra_info["rows"] = rows
+    check(rows)
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--out", default="BENCH_replay_cache.json",
+        help="where to write the JSON results",
+    )
+    args = parser.parse_args(argv)
+    rows = run_benchmark()
+    check(rows)
+    with open(args.out, "w", encoding="utf-8") as handle:
+        json.dump(
+            {"benchmark": "replay_cache", "rows": rows}, handle, indent=2
+        )
+        handle.write("\n")
+    for row in rows:
+        print(
+            f"{row['scenario']:6s} replay {row['replay_off_s']*1000:7.1f}ms -> "
+            f"{row['replay_on_s']*1000:7.1f}ms  ({row['speedup']}x, "
+            f"{row['cache_hits']} hits/{row['cache_misses']} misses, "
+            f"identical={row['identical']})"
+        )
+    print(f"wrote {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -11,8 +11,7 @@ Run::
     python examples/quickstart.py
 """
 
-from repro import DiffProv, Execution, parse_program, parse_tuple
-from repro.provenance import provenance_query
+from repro import Execution, Session, parse_program, parse_tuple
 
 PROGRAM = """
 // State and events of a tiny OpenFlow-style network.
@@ -57,15 +56,23 @@ def main():
     good_event = parse_tuple("delivered('h1', 7.7.7.7, 4.3.2.1)")
     bad_event = parse_tuple("delivered('h9', 7.7.7.7, 4.3.3.1)")
 
+    # One Session wraps both views of the problem: classic provenance
+    # queries and the differential diagnosis.
+    session = Session(
+        program=program,
+        good=network, bad=network,
+        good_event=good_event, bad_event=bad_event,
+    )
+
     # A classic provenance query explains the bad event exhaustively ...
-    bad_tree = provenance_query(network.graph, bad_event)
+    bad_tree = session.tree(side="bad")
     print("--- classic provenance of the bad event "
           f"({bad_tree.size()} vertexes) ---")
     print(bad_tree.tuple_root.render())
 
     # ... while DiffProv, given the good event as a reference, returns
     # the root cause: the overly specific prefix, already widened.
-    report = DiffProv(program).diagnose(network, network, good_event, bad_event)
+    report = session.diagnose()
     print("\n--- differential provenance ---")
     print(report.summary())
 

@@ -12,7 +12,7 @@ Run::
     python examples/sdn_debugging.py
 """
 
-from repro.core import DiffProv
+from repro import Session
 from repro.provenance.diff import naive_diff
 from repro.replay import Execution
 from repro.scenarios.sdn1 import figure1_topology, MIRROR_GROUP
@@ -76,11 +76,15 @@ def main():
     good_event = model.delivered("web1", good_pkt, "4.3.2.1", "172.16.0.80")
     bad_event = model.delivered("web2", bad_pkt, "4.3.3.1", "172.16.0.80")
 
-    # Technique 1: classic provenance queries (Y!).
-    from repro.provenance import provenance_query
+    session = Session(
+        program=program,
+        good=network, bad=network,
+        good_event=good_event, bad_event=bad_event,
+    )
 
-    good_tree = provenance_query(network.graph, good_event)
-    bad_tree = provenance_query(network.graph, bad_event)
+    # Technique 1: classic provenance queries (Y!).
+    good_tree = session.tree(side="good")
+    bad_tree = session.tree(side="bad")
     print(f"good tree: {good_tree.size()} vertexes")
     print(f"bad tree:  {bad_tree.size()} vertexes")
 
@@ -89,7 +93,7 @@ def main():
     print(f"plain diff: {len(diff)} vertexes — larger than either tree!")
 
     # Technique 3: DiffProv.
-    report = DiffProv(program).diagnose(network, network, good_event, bad_event)
+    report = session.diagnose()
     print()
     print(report.summary())
     print("\nper-phase timings (seconds):")

@@ -18,20 +18,29 @@ The package layers, bottom to top:
 - :mod:`repro.scenarios` — the paper's diagnostic scenarios;
 - :mod:`repro.survey` — the Section 2.4 Outages survey.
 
-Quickstart::
+The stable programmatic entry point is :class:`repro.api.Session`
+(re-exported here), which fronts all of the above.  Quickstart::
 
-    from repro import DiffProv, Execution
-    from repro.datalog import parse_program, parse_tuple
+    from repro import Session
 
-    program = parse_program(...)
-    execution = Execution(program)
-    ...
-    report = DiffProv(program).diagnose(execution, execution, good, bad)
-    print(report.summary())
+    session = Session(scenario="SDN1", minimize=True, workers=4)
+    print(session.diagnose().summary())
+
+    # or with your own program and executions:
+    session = Session(program=program, good=execution, bad=execution,
+                      good_event=good, bad_event=bad)
+    report = session.diagnose()
+
+The algorithm classes remain available from their canonical submodule
+(``from repro.core import DiffProv, DiffProvOptions``); importing them
+from the package top level still works but is deprecated in favour of
+the facade (docs/api.md).
 """
 
+import warnings as _warnings
+
 from .addresses import IPv4Address, Prefix, ip, prefix
-from .core import DiffProv, DiffProvOptions, DiagnosisReport
+from .core import DiagnosisReport
 from .datalog import Engine, Tuple, parse_program, parse_rule, parse_tuple
 from .errors import (
     DegradedResultWarning,
@@ -62,17 +71,43 @@ from .provenance import (
     provenance_query,
     tree_edit_distance,
 )
-from .replay import Change, Checkpointer, EventLog, Execution
+from .replay import Change, Checkpointer, EventLog, Execution, ReplayCache
+from .api import Session
 
 __version__ = "1.0.0"
 
+# Names still accepted at the top level but deprecated in favour of the
+# Session facade; each maps to its canonical submodule home, which stays
+# warning-free.
+_DEPRECATED_TOP_LEVEL = {
+    "DiffProv": "repro.core",
+    "DiffProvOptions": "repro.core",
+}
+
+
+def __getattr__(name):
+    home = _DEPRECATED_TOP_LEVEL.get(name)
+    if home is None:
+        raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+    _warnings.warn(
+        f"importing {name} from the package top level is deprecated; "
+        f"use repro.api.Session, or import {name} from {home} "
+        f"(see docs/api.md)",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    import importlib
+
+    return getattr(importlib.import_module(home), name)
+
 __all__ = [
+    "Session",
     "IPv4Address",
     "Prefix",
     "ip",
     "prefix",
-    "DiffProv",
-    "DiffProvOptions",
+    "DiffProv",  # deprecated at this level; canonical home is repro.core
+    "DiffProvOptions",  # deprecated at this level; canonical home is repro.core
     "DiagnosisReport",
     "Engine",
     "Tuple",
@@ -107,5 +142,6 @@ __all__ = [
     "Checkpointer",
     "EventLog",
     "Execution",
+    "ReplayCache",
     "__version__",
 ]

@@ -1,0 +1,251 @@
+"""The stable programmatic surface of the package: :class:`Session`.
+
+Everything an operator does with the command-line debugger — diagnose,
+search for a reference, inspect trees, export provenance — is available
+as one object whose constructor takes the same knobs the CLI exposes as
+flags.  The lower layers (:class:`repro.DiffProv`, executions,
+recorders) remain importable for programs that need them, but the
+facade is the documented entry point and the one the examples and the
+``diffprov`` command are written against (docs/api.md).
+
+Two construction modes:
+
+- **Scenario mode** — name one of the built-in diagnostic scenarios::
+
+      from repro.api import Session
+
+      session = Session(scenario="SDN1", minimize=True, workers=4)
+      print(session.diagnose().summary())
+
+- **Explicit mode** — bring your own program, executions and events::
+
+      session = Session(
+          program=program,
+          good=execution, bad=execution,
+          good_event=good, bad_event=bad,
+      )
+      report = session.diagnose()
+
+The knobs mirror :class:`repro.DiffProvOptions`: ``workers`` > 1 fans
+candidate replays out over a process pool and ``replay_cache=False``
+disables the baseline snapshot cache; both leave the report
+byte-identical (docs/performance.md).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from .core.autoref import AutoReferenceResult, auto_diagnose
+from .core.diffprov import DiffProv, DiffProvOptions
+from .core.report import DiagnosisReport
+from .errors import ReproError
+from .faults import FaultPlan
+from .observability import Telemetry
+from .provenance.query import provenance_query
+from .provenance.tree import ProvenanceTree
+
+__all__ = ["Session"]
+
+
+class Session:
+    """One diagnostic session: a program, two executions, two events.
+
+    Construct with ``scenario="SDN1"`` (any key of
+    :data:`repro.scenarios.ALL_SCENARIOS`, case-insensitive) or with
+    the explicit ``program``/``good``/``bad``/``good_event``/
+    ``bad_event`` quintet.  All other arguments are tuning knobs:
+
+    ``faults``
+        A :class:`repro.FaultPlan` or a spec string such as
+        ``"loss=0.1,seed=7"`` (docs/faults.md).
+    ``telemetry``
+        ``True`` to collect metrics and spans into a fresh
+        :class:`repro.Telemetry` (exposed as ``session.telemetry``),
+        or an existing instance to share one across sessions.
+    ``workers``
+        Process-pool width for candidate replays; 1 = serial.
+    ``replay_cache``
+        Snapshot-cache baseline engine states between replays.
+    ``max_rounds``, ``minimize``, ``taint``
+        As in :class:`repro.DiffProvOptions` (``taint`` maps to
+        ``enable_taint``).
+
+    Scenario construction is lazy: the executions are built on first
+    use, so creating a Session is cheap.
+    """
+
+    def __init__(
+        self,
+        scenario: Optional[str] = None,
+        *,
+        program=None,
+        good=None,
+        bad=None,
+        good_event=None,
+        bad_event=None,
+        good_time: Optional[int] = None,
+        bad_time: Optional[int] = None,
+        faults=None,
+        telemetry=None,
+        workers: int = 1,
+        replay_cache: bool = True,
+        max_rounds: int = 10,
+        minimize: bool = False,
+        taint: bool = True,
+        scenario_params: Optional[Dict] = None,
+    ):
+        if scenario is not None and program is not None:
+            raise ReproError(
+                "pass either scenario=... or the explicit "
+                "program/good/bad/good_event/bad_event set, not both"
+            )
+        if scenario is None:
+            missing = [
+                name
+                for name, value in (
+                    ("program", program),
+                    ("good", good),
+                    ("bad", bad),
+                    ("good_event", good_event),
+                    ("bad_event", bad_event),
+                )
+                if value is None
+            ]
+            if missing:
+                raise ReproError(
+                    "explicit sessions need program, good, bad, "
+                    f"good_event and bad_event (missing: {', '.join(missing)})"
+                )
+        if isinstance(faults, str):
+            faults = FaultPlan.parse(faults)
+        if telemetry is True:
+            telemetry = Telemetry()
+        self.scenario_name = scenario.upper() if scenario else None
+        self.telemetry = telemetry or None
+        self.options = DiffProvOptions(
+            max_rounds=max_rounds,
+            enable_taint=taint,
+            minimize=minimize,
+            faults=faults,
+            telemetry=self.telemetry,
+            workers=workers,
+            replay_cache=replay_cache,
+        )
+        self._scenario_params = dict(scenario_params or {})
+        self._scenario = None
+        self.program = program
+        self.good = good
+        self.bad = bad
+        self.good_event = good_event
+        self.bad_event = bad_event
+        self.good_time = good_time
+        self.bad_time = bad_time
+        if self.scenario_name is None:
+            self._built = True
+        else:
+            from .scenarios import ALL_SCENARIOS
+
+            if self.scenario_name not in ALL_SCENARIOS:
+                raise ReproError(
+                    f"unknown scenario {scenario!r} "
+                    f"(choose from {', '.join(sorted(ALL_SCENARIOS))})"
+                )
+            self._built = False
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def setup(self) -> "Session":
+        """Build the scenario's executions (idempotent; implied by the
+        query methods, so calling it yourself is optional)."""
+        if self._built:
+            return self
+        from .scenarios import ALL_SCENARIOS
+
+        params = dict(self._scenario_params)
+        plan = self.options.faults
+        if plan is not None and "faults" not in params:
+            params["faults"] = plan
+        scenario = ALL_SCENARIOS[self.scenario_name](**params).setup()
+        self._scenario = scenario
+        self.program = scenario.program
+        self.good = scenario.good_execution
+        self.bad = scenario.bad_execution
+        self.good_event = scenario.good_event
+        self.bad_event = scenario.bad_event
+        self.good_time = scenario.good_time
+        self.bad_time = scenario.bad_time
+        if self.options.faults is None:
+            # Scenario classes may carry their own plan (e.g. SDN1-F).
+            self.options.faults = scenario.fault_plan
+        self._built = True
+        return self
+
+    @property
+    def scenario(self):
+        """The underlying Scenario object (scenario mode only)."""
+        self.setup()
+        return self._scenario
+
+    # -- diagnostics ---------------------------------------------------------
+
+    def diagnose(self) -> DiagnosisReport:
+        """Run DiffProv on the session's good/bad events."""
+        self.setup()
+        debugger = DiffProv(self.program, self.options)
+        return debugger.diagnose(
+            self.good,
+            self.bad,
+            self.good_event,
+            self.bad_event,
+            self.good_time,
+            self.bad_time,
+        )
+
+    def autoref(self, limit: int = 10) -> AutoReferenceResult:
+        """Diagnose the bad event with a *discovered* reference.
+
+        Proposes up to ``limit`` candidate references from the good
+        execution's provenance graph and returns the first successful
+        diagnosis with a non-empty Δ (Section 4.9).  Honours the
+        session's ``workers`` setting.
+        """
+        self.setup()
+        return auto_diagnose(
+            self.program,
+            self.good,
+            self.bad,
+            self.bad_event,
+            options=self.options,
+            limit=limit,
+        )
+
+    # -- inspection ----------------------------------------------------------
+
+    def tree(self, side: str = "bad") -> ProvenanceTree:
+        """The provenance tree of one side's event (a classic query)."""
+        execution, event, time = self._side(side)
+        return provenance_query(execution.graph, event, time)
+
+    def export(self, path: str, side: str = "bad") -> int:
+        """Dump one side's provenance graph as JSON lines; returns the
+        record count."""
+        from .provenance.serialize import dump_graph
+
+        execution, _, _ = self._side(side)
+        return dump_graph(execution.graph, path)
+
+    def _side(self, side: str):
+        if side not in ("good", "bad"):
+            raise ReproError(f"side must be 'good' or 'bad', not {side!r}")
+        self.setup()
+        if side == "good":
+            return self.good, self.good_event, self.good_time
+        return self.bad, self.bad_event, self.bad_time
+
+    def __repr__(self):
+        target = self.scenario_name or "explicit"
+        return (
+            f"Session({target}, workers={self.options.workers}, "
+            f"replay_cache={self.options.replay_cache})"
+        )

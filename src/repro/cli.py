@@ -25,10 +25,9 @@ import sys
 from typing import List, Optional
 
 from . import survey as survey_module
-from .core.diffprov import DiffProvOptions
+from .api import Session
 from .errors import FaultSpecError
-from .faults import FaultPlan
-from .observability import Telemetry, format_metrics
+from .observability import format_metrics
 from .scenarios import ALL_SCENARIOS
 
 __all__ = ["main", "build_parser"]
@@ -41,6 +40,61 @@ def _scenario_argument(command) -> None:
     )
 
 
+def _tuning_parent() -> argparse.ArgumentParser:
+    """The diagnosis knobs shared by every subcommand that runs DiffProv.
+
+    One parent parser keeps ``diagnose`` and ``autoref`` in lockstep: a
+    knob added here appears on both, with the same spelling and default
+    (they used to drift — ``autoref`` once lacked ``--max-rounds``,
+    ``--minimize`` and ``--faults`` entirely).
+    """
+    parent = argparse.ArgumentParser(add_help=False)
+    parent.add_argument(
+        "--max-rounds", type=int, default=10, help="round limit (default 10)"
+    )
+    parent.add_argument(
+        "--no-taint",
+        action="store_true",
+        help="disable taint formulas (ablation; expect failure)",
+    )
+    parent.add_argument(
+        "--minimize",
+        action="store_true",
+        help="greedy minimality post-pass on the returned changes",
+    )
+    parent.add_argument(
+        "--faults",
+        metavar="SPEC",
+        help="deterministic fault plan, e.g. "
+        "'loss=0.1,fetch-loss=0.15,seed=7' (see docs/faults.md)",
+    )
+    parent.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="process-pool width for candidate replays; reports stay "
+        "byte-identical to the serial run (see docs/performance.md)",
+    )
+    parent.add_argument(
+        "--no-replay-cache",
+        action="store_true",
+        help="disable the baseline snapshot cache between replays",
+    )
+    parent.add_argument(
+        "--metrics",
+        action="store_true",
+        help="collect and print the diagnosis metrics snapshot "
+        "(see docs/observability.md)",
+    )
+    parent.add_argument(
+        "--trace-out",
+        metavar="FILE",
+        help="write the diagnosis span tree as a Chrome trace_event "
+        "JSON file (open in chrome://tracing or Perfetto)",
+    )
+    return parent
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="diffprov",
@@ -48,45 +102,19 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument("--json", action="store_true", help="emit JSON output")
     commands = parser.add_subparsers(dest="command", required=True)
+    tuning = _tuning_parent()
 
     commands.add_parser("scenarios", help="list built-in diagnostic scenarios")
 
-    diagnose = commands.add_parser("diagnose", help="run DiffProv on a scenario")
+    diagnose = commands.add_parser(
+        "diagnose", help="run DiffProv on a scenario", parents=[tuning]
+    )
     _scenario_argument(diagnose)
-    diagnose.add_argument(
-        "--max-rounds", type=int, default=10, help="round limit (default 10)"
-    )
-    diagnose.add_argument(
-        "--no-taint",
-        action="store_true",
-        help="disable taint formulas (ablation; expect failure)",
-    )
-    diagnose.add_argument(
-        "--minimize",
-        action="store_true",
-        help="greedy minimality post-pass on the returned changes",
-    )
-    diagnose.add_argument(
-        "--faults",
-        metavar="SPEC",
-        help="deterministic fault plan, e.g. "
-        "'loss=0.1,fetch-loss=0.15,seed=7' (see docs/faults.md)",
-    )
-    diagnose.add_argument(
-        "--metrics",
-        action="store_true",
-        help="collect and print the diagnosis metrics snapshot "
-        "(see docs/observability.md)",
-    )
-    diagnose.add_argument(
-        "--trace-out",
-        metavar="FILE",
-        help="write the diagnosis span tree as a Chrome trace_event "
-        "JSON file (open in chrome://tracing or Perfetto)",
-    )
 
     autoref = commands.add_parser(
-        "autoref", help="diagnose without an operator-supplied reference"
+        "autoref",
+        help="diagnose without an operator-supplied reference",
+        parents=[tuning],
     )
     _scenario_argument(autoref)
     autoref.add_argument(
@@ -177,28 +205,47 @@ def _cmd_scenarios(args) -> int:
     return _emit(args, rows, text)
 
 
-def _cmd_diagnose(args) -> int:
-    kwargs = {}
-    if getattr(args, "faults", None):
-        try:
-            FaultPlan.parse(args.faults)
-        except FaultSpecError as exc:
-            print(f"error: {exc}", file=sys.stderr)
-            return 2
-        kwargs["faults"] = args.faults
-    scenario = ALL_SCENARIOS[args.scenario](**kwargs)
-    telemetry = (
-        Telemetry()
-        if (args.metrics or args.trace_out)
-        else None
-    )
-    options = DiffProvOptions(
-        max_rounds=args.max_rounds,
-        enable_taint=not args.no_taint,
+def _session(args, **extra) -> Session:
+    """A Session configured from the shared tuning flags."""
+    return Session(
+        scenario=args.scenario,
+        faults=getattr(args, "faults", None),
+        telemetry=bool(
+            getattr(args, "metrics", False) or getattr(args, "trace_out", None)
+        ),
+        workers=getattr(args, "workers", 1),
+        replay_cache=not getattr(args, "no_replay_cache", False),
+        max_rounds=getattr(args, "max_rounds", 10),
         minimize=getattr(args, "minimize", False),
-        telemetry=telemetry,
+        taint=not getattr(args, "no_taint", False),
+        **extra,
     )
-    report = scenario.diagnose(options)
+
+
+def _telemetry_output(args, session, data, extra_lines) -> None:
+    """--metrics / --trace-out handling, shared by diagnose and autoref."""
+    telemetry = session.telemetry
+    if telemetry is None:
+        return
+    if args.metrics:
+        extra_lines.append("metrics:")
+        extra_lines.append(format_metrics(telemetry.snapshot()))
+    if args.trace_out:
+        with open(args.trace_out, "w", encoding="utf-8") as handle:
+            json.dump(telemetry.chrome_trace(), handle, indent=1)
+        extra_lines.append(
+            f"wrote {telemetry.tracer.span_count} span(s) to "
+            f"{args.trace_out}"
+        )
+
+
+def _cmd_diagnose(args) -> int:
+    try:
+        session = _session(args)
+    except FaultSpecError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    report = session.diagnose()
     data = {
         "scenario": args.scenario,
         "success": report.success,
@@ -213,7 +260,7 @@ def _cmd_diagnose(args) -> int:
         side: repr(stats)
         for side, stats in sorted(report.distributed_stats.items())
     }
-    plan = scenario.fault_plan
+    plan = session.options.faults
     if plan is not None and not plan.is_zero():
         data["faults"] = plan.describe()
         data["degraded"] = report.degraded
@@ -221,18 +268,9 @@ def _cmd_diagnose(args) -> int:
         data["lost_events"] = report.lost_events
         data["unknown_subtrees"] = [str(t) for t in report.unknown_subtrees]
     extra_lines: List[str] = []
-    if telemetry is not None:
+    if session.telemetry is not None:
         data["telemetry"] = report.telemetry
-        if args.metrics:
-            extra_lines.append("metrics:")
-            extra_lines.append(format_metrics(telemetry.snapshot()))
-        if args.trace_out:
-            with open(args.trace_out, "w", encoding="utf-8") as handle:
-                json.dump(telemetry.chrome_trace(), handle, indent=1)
-            extra_lines.append(
-                f"wrote {telemetry.tracer.span_count} span(s) to "
-                f"{args.trace_out}"
-            )
+        _telemetry_output(args, session, data, extra_lines)
     text = report.summary()
     if extra_lines:
         text += "\n" + "\n".join(extra_lines)
@@ -242,11 +280,12 @@ def _cmd_diagnose(args) -> int:
 def _cmd_tree(args) -> int:
     from .provenance.viz import diff_to_dot, tree_to_dot
 
-    scenario = ALL_SCENARIOS[args.scenario]()
-    good, bad = scenario.trees()
-    tree = good if args.side == "good" else bad
+    session = Session(scenario=args.scenario)
+    tree = session.tree(side=args.side)
     if args.dot:
         if args.diff:
+            good = tree if args.side == "good" else session.tree(side="good")
+            bad = tree if args.side == "bad" else session.tree(side="bad")
             text = diff_to_dot(good, bad, title=args.scenario)
         else:
             text = tree_to_dot(tree, title=f"{args.scenario}:{args.side}")
@@ -259,16 +298,12 @@ def _cmd_tree(args) -> int:
 
 
 def _cmd_autoref(args) -> int:
-    from .core.autoref import auto_diagnose
-
-    scenario = ALL_SCENARIOS[args.scenario]().setup()
-    result = auto_diagnose(
-        scenario.program,
-        scenario.good_execution,
-        scenario.bad_execution,
-        scenario.bad_event,
-        limit=args.limit,
-    )
+    try:
+        session = _session(args)
+    except FaultSpecError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    result = session.autoref(limit=args.limit)
     data = {
         "scenario": args.scenario,
         "found": result.found,
@@ -278,6 +313,8 @@ def _cmd_autoref(args) -> int:
         if result.found
         else [],
     }
+    extra_lines: List[str] = []
+    _telemetry_output(args, session, data, extra_lines)
     if result.found:
         text = (
             f"discovered reference: {result.reference}\n"
@@ -286,18 +323,14 @@ def _cmd_autoref(args) -> int:
         )
     else:
         text = f"no suitable reference among {len(result.tried)} candidates"
+    if extra_lines:
+        text += "\n" + "\n".join(extra_lines)
     return _emit(args, data, text)
 
 
 def _cmd_export(args) -> int:
-    from .provenance.serialize import dump_graph
-
-    scenario = ALL_SCENARIOS[args.scenario]().setup()
-    execution = (
-        scenario.good_execution if args.side == "good"
-        else scenario.bad_execution
-    )
-    records = dump_graph(execution.graph, args.out)
+    session = Session(scenario=args.scenario)
+    records = session.export(args.out, side=args.side)
     data = {"scenario": args.scenario, "out": args.out, "records": records}
     return _emit(args, data, f"wrote {records} records to {args.out}")
 

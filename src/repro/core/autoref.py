@@ -19,7 +19,9 @@ from __future__ import annotations
 from typing import List, Optional, Sequence
 
 from ..datalog.tuples import Tuple
-from .diffprov import DiffProv, DiffProvOptions
+from ..replay.cache import ReplayCache
+from ..replay.parallel import CandidateEvaluator
+from .diffprov import DiffProv, DiffProvOptions, _replay_cache_scope
 from .report import DiagnosisReport
 
 __all__ = ["ReferenceCandidate", "AutoReferenceResult", "auto_diagnose",
@@ -93,6 +95,26 @@ def propose_references(
     return candidates[:limit]
 
 
+def _probe_reference(shared, index):
+    """Worker-side diagnosis of one candidate reference.
+
+    Runs on a pickled clone of the executions (telemetry stripped);
+    the returned report is what a serial diagnosis of the same
+    candidate would produce, minus the telemetry section.
+    """
+    program, good_execution, bad_execution, bad_event, options, events = shared
+    for execution in {id(good_execution): good_execution,
+                      id(bad_execution): bad_execution}.values():
+        if getattr(execution, "replay_cache", False) is None:
+            # Worker-local snapshot cache, shared by every candidate
+            # diagnosis this worker performs.
+            execution.replay_cache = ReplayCache()
+    debugger = DiffProv(program, options)
+    return debugger.diagnose(
+        good_execution, bad_execution, events[index], bad_event
+    )
+
+
 def auto_diagnose(
     program,
     good_execution,
@@ -100,6 +122,7 @@ def auto_diagnose(
     bad_event: Tuple,
     options: Optional[DiffProvOptions] = None,
     limit: int = 10,
+    workers: Optional[int] = None,
 ) -> AutoReferenceResult:
     """Diagnose ``bad_event`` without an operator-supplied reference.
 
@@ -107,15 +130,86 @@ def auto_diagnose(
     the same execution as the bad one (partial failures) or an earlier
     one (sudden failures).  Returns the first successful diagnosis with
     a non-empty Δ, together with every candidate that was tried.
+
+    ``workers`` (default: ``options.workers``) > 1 evaluates candidate
+    diagnoses speculatively in waves of that size on a process pool.
+    Results are consumed in ranking order and the sweep stops at the
+    first success, so the chosen reference, its report, and the tried
+    list are identical to the serial sweep — candidates beyond the
+    winner are discarded unread (docs/performance.md).
     """
     debugger = DiffProv(program, options)
+    if workers is None:
+        workers = getattr(debugger.options, "workers", 1) or 1
     graph = good_execution.graph
+    candidates = propose_references(graph, bad_event, limit)
     tried: List[ReferenceCandidate] = []
-    for candidate in propose_references(graph, bad_event, limit):
-        tried.append(candidate)
-        report = debugger.diagnose(
-            good_execution, bad_execution, candidate.event, bad_event
+    if workers > 1 and len(candidates) > 1:
+        result = _auto_diagnose_parallel(
+            program, good_execution, bad_execution, bad_event,
+            debugger.options, candidates, workers,
         )
-        if report.success and report.num_changes > 0:
-            return AutoReferenceResult(report, candidate.event, tried)
+        if result is not None:
+            return result
+        # Unpicklable context: fall through to the serial sweep.
+    # One snapshot cache stays warm across the whole sweep: every
+    # candidate diagnosis replays the same logs, so later candidates
+    # restore what earlier ones derived.
+    with _replay_cache_scope(debugger.options, good_execution, bad_execution):
+        for candidate in candidates:
+            tried.append(candidate)
+            report = debugger.diagnose(
+                good_execution, bad_execution, candidate.event, bad_event
+            )
+            if report.success and report.num_changes > 0:
+                return AutoReferenceResult(report, candidate.event, tried)
     return AutoReferenceResult(None, None, tried)
+
+
+def _auto_diagnose_parallel(
+    program, good_execution, bad_execution, bad_event, options,
+    candidates, workers,
+) -> Optional[AutoReferenceResult]:
+    """Speculative wave evaluation of the candidate sweep.
+
+    Each wave diagnoses the next ``workers`` candidates concurrently;
+    the results are read in ranking order and the first success wins,
+    exactly as in the serial sweep.  Returns None when the executions
+    cannot be shipped to workers.
+    """
+    telemetry = getattr(options, "telemetry", None) if options else None
+    evaluator = CandidateEvaluator(workers, telemetry)
+    events = [candidate.event for candidate in candidates]
+    shared = (program, good_execution, bad_execution, bad_event, options,
+              events)
+    tried: List[ReferenceCandidate] = []
+    for wave_start in range(0, len(candidates), workers):
+        wave = candidates[wave_start : wave_start + workers]
+        results = evaluator.evaluate(
+            _ProbeWindow(_probe_reference, wave_start), shared, len(wave)
+        )
+        if results is None:
+            return None if not tried else AutoReferenceResult(
+                None, None, tried
+            )
+        for candidate, (status, value) in zip(wave, results):
+            tried.append(candidate)
+            if status == "err":
+                raise value
+            if value.success and value.num_changes > 0:
+                return AutoReferenceResult(value, candidate.event, tried)
+    return AutoReferenceResult(None, None, tried)
+
+
+class _ProbeWindow:
+    """Offsets a probe's job index into a larger candidate list, so
+    every wave can share one ``shared`` tuple holding all candidates."""
+
+    __slots__ = ("func", "offset")
+
+    def __init__(self, func, offset: int):
+        self.func = func
+        self.offset = offset
+
+    def __call__(self, shared, index: int):
+        return self.func(shared, index + self.offset)

@@ -43,7 +43,9 @@ from ..observability import active as _active_telemetry
 from ..provenance.distributed import PartitionedProvenance
 from ..provenance.query import provenance_query
 from ..provenance.tree import TupleNode
+from ..replay.cache import ReplayCache
 from ..replay.execution import Execution
+from ..replay.parallel import CandidateEvaluator
 from ..replay.replayer import Change, ReplayResult
 from .equivalence import EquivalenceRelation
 from .repair import repair_condition
@@ -73,6 +75,8 @@ class DiffProvOptions:
         "minimize",
         "faults",
         "telemetry",
+        "workers",
+        "replay_cache",
     )
 
     def __init__(
@@ -86,6 +90,8 @@ class DiffProvOptions:
         minimize: bool = False,
         faults=None,
         telemetry=None,
+        workers: int = 1,
+        replay_cache: bool = True,
     ):
         self.max_rounds = max_rounds
         self.enable_taint = enable_taint
@@ -107,6 +113,25 @@ class DiffProvOptions:
         # every phase of the diagnosis (see repro.observability).  None
         # (or a NullTelemetry) keeps every hot path uninstrumented.
         self.telemetry = telemetry
+        # Candidate replays (the minimality post-pass, autoref's
+        # reference sweep) fan out over a process pool when workers > 1.
+        # Results are consumed in serial order, so reports stay
+        # byte-identical to workers=1 (docs/performance.md).
+        self.workers = workers
+        # Snapshot caching for diagnosis replays (repro.replay.cache);
+        # a pure speed-up, disabled with replay_cache=False.
+        self.replay_cache = replay_cache
+
+    def __getstate__(self):
+        # Shipped to worker processes along with the diagnosis state;
+        # telemetry (wall clocks, open spans) stays behind.
+        state = {name: getattr(self, name) for name in self.__slots__}
+        state["telemetry"] = None
+        return state
+
+    def __setstate__(self, state):
+        for name, value in state.items():
+            setattr(self, name, value)
 
 
 class DiffProv:
@@ -134,6 +159,15 @@ class DiffProv:
         timings: Dict[str, float] = {}
         telemetry = _active_telemetry(self.options.telemetry)
         state = _DiagnosisState(self, good, bad, timings, telemetry)
+        with _replay_cache_scope(self.options, good, bad) as cache:
+            state.replay_cache = cache
+            return self._diagnose(state, good, bad, good_event, bad_event,
+                                  good_time, bad_time, telemetry)
+
+    def _diagnose(
+        self, state, good, bad, good_event, bad_event, good_time, bad_time,
+        telemetry,
+    ) -> DiagnosisReport:
         if telemetry is None:
             try:
                 return state.run(good_event, bad_event, good_time, bad_time)
@@ -193,6 +227,66 @@ class DiffProv:
         return good_tree.size(), bad_tree.size()
 
 
+@contextmanager
+def _replay_cache_scope(options, good, bad):
+    """Attach one shared ReplayCache to both executions for one run.
+
+    Mirrors the telemetry attach in :meth:`DiffProv.diagnose`: the
+    previous value is always restored, execution stand-ins without a
+    ``replay_cache`` attribute are left alone, and a cache already
+    attached by the caller (e.g. a :class:`repro.api.Session`, which
+    keeps one warm across diagnoses) is reused rather than replaced.
+    With ``options.replay_cache`` false, any attached cache is detached
+    for the duration — the explicit off switch wins.
+    """
+    targets = [
+        execution
+        for execution in ([good] if good is bad else [good, bad])
+        if hasattr(execution, "replay_cache")
+    ]
+    enabled = getattr(options, "replay_cache", True)
+    saved = [(execution, execution.replay_cache) for execution in targets]
+    cache = None
+    if enabled:
+        for execution in targets:
+            if execution.replay_cache is not None:
+                cache = execution.replay_cache
+                break
+        if cache is None and targets:
+            cache = ReplayCache()
+        for execution in targets:
+            if execution.replay_cache is None:
+                execution.replay_cache = cache
+    else:
+        for execution in targets:
+            execution.replay_cache = None
+    try:
+        yield cache
+    finally:
+        for execution, previous in saved:
+            execution.replay_cache = previous
+
+
+def _probe_minimize_trial(shared, index):
+    """Worker-side evaluation of one minimality trial.
+
+    Runs in a forked process (or on a pickled clone inline — see
+    :class:`repro.replay.parallel.CandidateEvaluator`), so nothing it
+    touches leaks back to the diagnosing process.  The parallel path is
+    only taken on non-degraded runs without a fault plan, where
+    ``_find_divergence`` is a pure function of the replayed state.
+    """
+    state, path, good_root, anchor_index, trials = shared
+    if state.bad.replay_cache is None:
+        # Worker-local snapshot cache: trials landing on the same
+        # worker fork from shared prefixes instead of re-deriving.
+        state.bad.replay_cache = ReplayCache()
+    replayed = state.bad.replay(trials[index], anchor_index)
+    anchor_time = state._anchor_time(replayed)
+    divergent = state._find_divergence(path, good_root, replayed, anchor_time)
+    return divergent is None
+
+
 class _DiagnosisState:
     """Mutable state of one diagnose() call."""
 
@@ -229,6 +323,16 @@ class _DiagnosisState:
         self.partial_verify = False
         self.recovered = False
         self.lost_log_events = 0
+        # The ReplayCache attached for this run (None when disabled).
+        self.replay_cache = None
+
+    def __getstate__(self):
+        # Shipped to candidate-evaluator workers: telemetry and the
+        # parent's snapshot cache stay behind (workers build their own).
+        state = self.__dict__.copy()
+        state["telemetry"] = None
+        state["replay_cache"] = None
+        return state
 
     @contextmanager
     def _timed(self, key: str):
@@ -511,18 +615,94 @@ class _DiagnosisState:
         so a rule condition may already exclude the competitor at
         runtime, making its removal unnecessary).  A candidate is kept
         only if the trees stop aligning without it.
+
+        With ``options.workers > 1`` the candidate trials are evaluated
+        speculatively on a process pool, wave by wave; results are
+        consumed in the serial order and re-derived after every commit,
+        so the surviving change set (and the replay count) is identical
+        to the serial pass.  Degraded runs stay serial — there,
+        divergence checks mutate diagnosis state and order matters.
         """
-        for change in list(self.changes):
-            alternatives = [[c for c in self.changes if c is not change]]
-            if change.is_modification:
-                narrowed = Change(insert=change.insert, reason=change.reason)
-                alternatives.append(
-                    [narrowed if c is change else c for c in self.changes]
-                )
-            for trial in alternatives:
+        pending = list(self.changes)
+        position = 0
+        if (
+            self.options.workers > 1
+            and len(pending) > 1
+            and self.fault_plan is None
+            and not self._degraded()
+        ):
+            position = self._minimize_parallel(
+                path, good_root, anchor_index, pending
+            )
+        for change in pending[position:]:
+            for trial in self._alternatives(change):
                 if self._aligned_with(trial, path, good_root, anchor_index):
                     self.changes = trial
                     break
+
+    def _alternatives(self, change) -> List[List[Change]]:
+        alternatives = [[c for c in self.changes if c is not change]]
+        if change.is_modification:
+            narrowed = Change(insert=change.insert, reason=change.reason)
+            alternatives.append(
+                [narrowed if c is change else c for c in self.changes]
+            )
+        return alternatives
+
+    def _minimize_parallel(
+        self, path, good_root, anchor_index, pending
+    ) -> int:
+        """Wave-based speculative evaluation of minimality trials.
+
+        Every remaining change's trials are evaluated concurrently
+        against the current change set; the results are then consumed
+        in serial order.  The first commit invalidates the rest of the
+        wave (their trials were built against a stale change set), so
+        the next wave re-derives them — byte-identical outcomes at the
+        price of some discarded speculative work.  Returns how many of
+        ``pending`` were fully processed; the serial pass finishes the
+        rest (non-zero only when the context cannot be pickled).
+        """
+        evaluator = CandidateEvaluator(self.options.workers, self.telemetry)
+        position = 0
+        while position < len(pending):
+            wave = [
+                (change, self._alternatives(change))
+                for change in pending[position:]
+            ]
+            trials = [trial for _, alternatives in wave for trial in alternatives]
+            shared = (self, path, good_root, anchor_index, trials)
+            with self._timed("minimize"):
+                results = evaluator.evaluate(
+                    _probe_minimize_trial, shared, len(trials)
+                )
+            if results is None:
+                # Context not picklable (e.g. an execution stand-in);
+                # the serial pass picks up from here.
+                return position
+            cursor = 0
+            committed = False
+            for change, alternatives in wave:
+                outcomes = results[cursor : cursor + len(alternatives)]
+                cursor += len(alternatives)
+                position += 1
+                chosen = None
+                for trial, (status, value) in zip(alternatives, outcomes):
+                    # Mirror the serial accounting: one replay per trial
+                    # actually consumed, stopping at the first success.
+                    self.replays += 1
+                    if status == "err":
+                        raise value
+                    if value:
+                        chosen = trial
+                        break
+                if chosen is not None:
+                    self.changes = chosen
+                    committed = True
+                    break
+            if not committed:
+                break
+        return len(pending)
 
     def _aligned_with(self, trial, path, good_root, anchor_index) -> bool:
         with self._timed("replay"):
@@ -1043,6 +1223,8 @@ class _DiagnosisState:
             telemetry.inc("diffprov.unknown_subtrees", len(self.unknowns))
         if self.lost_log_events:
             telemetry.inc("recorder.lost_log_events", self.lost_log_events)
+        if self.replay_cache is not None:
+            self.replay_cache.fold_into(telemetry)
         telemetry.set_gauge("log.good_bytes", self.good.log.total_bytes)
         telemetry.set_gauge("log.good_entries", len(self.good.log))
         telemetry.set_gauge("log.bad_bytes", self.bad.log.total_bytes)

@@ -8,6 +8,7 @@ context for the operator to pick a better reference event.
 
 from __future__ import annotations
 
+import json
 from typing import Dict, List, Optional, Sequence
 
 from ..datalog.tuples import Tuple
@@ -180,6 +181,54 @@ class DiagnosisReport:
         )
         return ranked
 
+    def canonical_dict(self) -> Dict[str, object]:
+        """The report's deterministic content, as plain JSON types.
+
+        This is the determinism contract of the replay cache and the
+        parallel candidate evaluator (docs/performance.md): everything
+        here is byte-identical across ``workers`` settings and cache
+        states.  Wall-clock ``timings`` and the ``telemetry`` section
+        are deliberately excluded — they measure *how* the diagnosis
+        ran, not what it concluded.
+        """
+        return {
+            "success": self.success,
+            "failure_category": self.failure_category,
+            "failure": None if self.failure is None else str(self.failure),
+            "changes": [
+                {"change": change.describe(), "reason": change.reason}
+                for change in self.changes
+            ],
+            "rounds": [
+                {
+                    "number": info.number,
+                    "divergence": _text(info.divergence),
+                    "expected": _text(info.expected),
+                    "changes": [change.describe() for change in info.changes],
+                }
+                for info in self.rounds
+            ],
+            "good_tree_size": self.good_tree_size,
+            "bad_tree_size": self.bad_tree_size,
+            "good_seed": _text(self.good_seed),
+            "bad_seed": _text(self.bad_seed),
+            "replays": self.replays,
+            "verified": self.verified,
+            "degraded": self.degraded,
+            "confidences": (
+                None if self.confidences is None else list(self.confidences)
+            ),
+            "unknown_subtrees": [str(t) for t in self.unknown_subtrees],
+            "distributed_stats": {
+                side: repr(stats)
+                for side, stats in sorted(self.distributed_stats.items())
+            },
+            "lost_events": self.lost_events,
+        }
+
+    def canonical_json(self) -> str:
+        return json.dumps(self.canonical_dict(), indent=2, sort_keys=True)
+
     def summary(self) -> str:
         lines = []
         annotate = self.degraded and self.confidences is not None
@@ -256,3 +305,7 @@ class DiagnosisReport:
     def __repr__(self):
         state = "success" if self.success else f"failure:{self.failure_category}"
         return f"DiagnosisReport({state}, {self.num_changes} changes)"
+
+
+def _text(value) -> Optional[str]:
+    return None if value is None else str(value)

@@ -63,6 +63,17 @@ class Engine:
         self._located_tables = self._find_located_tables()
         self._validate_event_usage()
 
+    # -- pickling ------------------------------------------------------------
+
+    def __getstate__(self):
+        # Telemetry holds wall clocks and open span stacks — strip it so
+        # engine state can be snapshotted (replay cache) or shipped to a
+        # worker process; callers reattach their own instance after
+        # restore.
+        state = self.__dict__.copy()
+        state["telemetry"] = None
+        return state
+
     # -- public API ----------------------------------------------------------
 
     @property

@@ -97,6 +97,11 @@ class Tuple:
     def __setattr__(self, name, value):
         raise AttributeError("Tuple instances are immutable")
 
+    def __reduce__(self):
+        # The immutability guard blocks pickle's default slot restore;
+        # rebuild through __init__ instead.
+        return (Tuple, (self.table, self.args))
+
     @property
     def arity(self) -> int:
         return len(self.args)

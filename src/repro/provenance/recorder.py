@@ -50,6 +50,13 @@ class ProvenanceRecorder:
         self._clock = 0  # used only by the report_* (instrumented) API
         self._next_reported_id = -1  # reported derivations count downward
 
+    def __getstate__(self):
+        # Strip telemetry before snapshotting/pickling (see
+        # Engine.__getstate__); callers reattach after restore.
+        state = self.__dict__.copy()
+        state["telemetry"] = None
+        return state
+
     def _keep(self, kind: str) -> bool:
         """Whether one logged event survives; counts losses either way."""
         self.seen_events += 1

@@ -10,8 +10,10 @@ system executes, is also supported for the ablation benchmarks.
 
 from .log import EventLog, LogEntry, estimate_size
 from .replayer import ReplayResult, replay, Change
+from .cache import ReplayCache
 from .execution import Execution
 from .checkpoints import Checkpointer
+from .parallel import CandidateEvaluator
 
 __all__ = [
     "EventLog",
@@ -20,6 +22,8 @@ __all__ = [
     "ReplayResult",
     "replay",
     "Change",
+    "ReplayCache",
     "Execution",
     "Checkpointer",
+    "CandidateEvaluator",
 ]

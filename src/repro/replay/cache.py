@@ -1,0 +1,261 @@
+"""Baseline snapshot cache for deterministic replay.
+
+DiffProv's inner loop replays the bad execution once per candidate
+change (Section 4.6), and every one of those replays re-derives the
+same log prefix from scratch — the dominant cost in the Figure 7 phase
+breakdown.  Because the engine is deterministic, the state reached
+after consuming a log prefix is a pure function of (program, log
+prefix, fault plan); this module checkpoints that state once and lets
+subsequent replays *fork* from the checkpoint instead of re-deriving
+it.
+
+Two snapshot granularities share one LRU store:
+
+- **prefix snapshots** — engine/recorder state after consuming log
+  entries ``[0, p)`` with no changes applied.  A replay that applies
+  changes at anchor ``a`` can fork from any prefix ``p <= fork`` where
+  ``fork = min(a, first occurrence of any removed tuple)`` — before
+  that point the changed replay is indistinguishable from the pristine
+  one.  A prefix snapshot at ``len(log)`` doubles as the result of a
+  zero-change replay (the :meth:`repro.replay.execution.Execution.materialize`
+  fast path).
+
+- **result snapshots** — the final state of a changed replay, keyed by
+  the change set and anchor.  The round loop re-replays the committed
+  change set right after MAKEAPPEAR found it, and verification replays
+  it again — both become restores.
+
+Snapshots are held as pickled bytes, so every fetch yields fresh object
+copies: cache consumers can mutate restored engines freely, and the
+same bytes can be shipped to worker processes
+(:mod:`repro.replay.parallel`).  Restoring is a pure speed-up — the
+unpickled state is byte-identical to the state a fresh replay would
+have reached, including mid-stream fault-injector PRNGs — so diagnoses
+are unchanged whether the cache is on, off, cold, or warm.
+
+Hit/miss/store/eviction counters are exposed via :meth:`stats` and can
+be folded into a :class:`repro.observability.MetricsRegistry` with
+:meth:`fold_into`; per-event counters are also bumped on whatever
+telemetry the triggering replay carries.
+"""
+
+from __future__ import annotations
+
+import pickle
+from collections import OrderedDict
+from typing import Dict, List, Optional, Tuple as PyTuple
+
+__all__ = ["ReplayCache", "DEFAULT_MAX_ENTRIES"]
+
+# Snapshots are a few hundred kB each for the built-in scenarios; 64
+# entries comfortably covers a multi-round diagnosis plus an autoref
+# sweep without growing past a few tens of MB.
+DEFAULT_MAX_ENTRIES = 64
+
+
+class _Entry:
+    __slots__ = ("payload", "nbytes", "kind")
+
+    def __init__(self, payload: bytes, kind: str):
+        self.payload = payload
+        self.nbytes = len(payload)
+        self.kind = kind
+
+
+class ReplayCache:
+    """LRU store of pickled ``(engine, recorder)`` replay snapshots."""
+
+    def __init__(self, max_entries: int = DEFAULT_MAX_ENTRIES,
+                 store_results: bool = True):
+        self.max_entries = max_entries
+        # Result snapshots trade one pickle per candidate replay for a
+        # restore whenever a change set is replayed again; disable to
+        # keep only prefix snapshots.
+        self.store_results = store_results
+        self._entries: "OrderedDict[tuple, _Entry]" = OrderedDict()
+        # base key -> sorted list of stored prefix lengths, so a replay
+        # can find the longest usable prefix without scanning the LRU.
+        self._prefixes: Dict[tuple, List[int]] = {}
+        self.hits = 0
+        self.misses = 0
+        self.prefix_hits = 0
+        self.stores = 0
+        self.evictions = 0
+        self.bytes_stored = 0
+
+    # -- keys ----------------------------------------------------------------
+
+    @staticmethod
+    def base_key(log, faults, lossless: bool, record: bool) -> tuple:
+        """Everything that shapes a replay besides changes/anchor.
+
+        The fault plan enters via its canonical ``describe()`` spec
+        (which includes the seed), so two plans with the same schedule
+        share snapshots and different seeds never do.  ``lossless``
+        only matters when a plan is present (it gates the prov-loss
+        injector), so it is collapsed otherwise.
+        """
+        faults_fp = "" if faults is None else faults.describe()
+        return (
+            log.fingerprint(),
+            len(log),
+            faults_fp,
+            bool(lossless) if faults is not None else False,
+            bool(record),
+        )
+
+    @staticmethod
+    def _changes_key(changes) -> tuple:
+        return tuple(
+            (
+                "" if change.insert is None else str(change.insert),
+                tuple(sorted(str(t) for t in change.remove)),
+            )
+            for change in changes
+        )
+
+    @staticmethod
+    def prefix_key(base_key: tuple, prefix: int) -> tuple:
+        return (base_key, "prefix", prefix)
+
+    @classmethod
+    def result_key(
+        cls, base_key: tuple, changes, anchor_index: Optional[int],
+        log_length: int,
+    ) -> tuple:
+        """Key for the final state of a changed replay.
+
+        A zero-change replay is exactly the full-length prefix, so its
+        key collapses onto :meth:`prefix_key` — a warm materialization
+        and a warm empty replay share one snapshot.
+        """
+        changes = list(changes)
+        if not changes:
+            return cls.prefix_key(base_key, log_length)
+        anchor = anchor_index if anchor_index is not None else 0
+        return (base_key, "result", cls._changes_key(changes),
+                min(anchor, log_length))
+
+    # -- fetch/store ---------------------------------------------------------
+
+    def fetch(self, key: tuple, telemetry=None, step_limit=None):
+        """Restore a snapshot: fresh ``(engine, recorder)`` copies.
+
+        Returns ``None`` on a miss.  The caller's telemetry and step
+        limit are reattached to the restored engine (snapshots are
+        stored stripped — see ``Engine.__getstate__``).
+        """
+        entry = self._entries.get(key)
+        if entry is None:
+            self.misses += 1
+            if telemetry is not None:
+                telemetry.inc("replay.cache.misses")
+            return None
+        self._entries.move_to_end(key)
+        self.hits += 1
+        if entry.kind == "prefix":
+            self.prefix_hits += 1
+        if telemetry is not None:
+            telemetry.inc("replay.cache.hits")
+            with telemetry.span("replay.cache.restore", bytes=entry.nbytes):
+                engine, recorder = pickle.loads(entry.payload)
+        else:
+            engine, recorder = pickle.loads(entry.payload)
+        engine.telemetry = telemetry
+        engine.step_limit = step_limit
+        if recorder is not None:
+            recorder.telemetry = telemetry
+        return engine, recorder
+
+    def contains(self, key: tuple) -> bool:
+        return key in self._entries
+
+    def store(self, key: tuple, engine, recorder, telemetry=None) -> None:
+        """Snapshot ``(engine, recorder)`` under ``key`` (idempotent)."""
+        if key in self._entries:
+            self._entries.move_to_end(key)
+            return
+        payload = pickle.dumps(
+            (engine, recorder), protocol=pickle.HIGHEST_PROTOCOL
+        )
+        kind = key[1]
+        self._entries[key] = _Entry(payload, kind)
+        self.stores += 1
+        self.bytes_stored += len(payload)
+        if kind == "prefix":
+            base_key, _, prefix = key
+            prefixes = self._prefixes.setdefault(base_key, [])
+            if prefix not in prefixes:
+                prefixes.append(prefix)
+                prefixes.sort()
+        if telemetry is not None:
+            telemetry.inc("replay.cache.stores")
+            telemetry.set_max("replay.cache.bytes_max", self.bytes_stored)
+        while len(self._entries) > self.max_entries:
+            self._evict(telemetry)
+
+    def best_prefix(self, base_key: tuple, fork: int) -> int:
+        """Longest stored prefix ``<= fork`` for this base (0 if none)."""
+        best = 0
+        for prefix in self._prefixes.get(base_key, ()):
+            if prefix > fork:
+                break
+            best = prefix
+        return best
+
+    def _evict(self, telemetry=None) -> None:
+        key, entry = self._entries.popitem(last=False)
+        self.evictions += 1
+        self.bytes_stored -= entry.nbytes
+        if entry.kind == "prefix":
+            base_key, _, prefix = key
+            prefixes = self._prefixes.get(base_key)
+            if prefixes is not None:
+                try:
+                    prefixes.remove(prefix)
+                except ValueError:  # pragma: no cover - defensive
+                    pass
+                if not prefixes:
+                    del self._prefixes[base_key]
+        if telemetry is not None:
+            telemetry.inc("replay.cache.evictions")
+
+    # -- introspection -------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def clear(self) -> None:
+        self._entries.clear()
+        self._prefixes.clear()
+        self.bytes_stored = 0
+
+    def stats(self) -> Dict[str, int]:
+        return {
+            "entries": len(self._entries),
+            "bytes": self.bytes_stored,
+            "hits": self.hits,
+            "prefix_hits": self.prefix_hits,
+            "misses": self.misses,
+            "stores": self.stores,
+            "evictions": self.evictions,
+        }
+
+    def fold_into(self, telemetry) -> None:
+        """Record occupancy gauges on a telemetry's MetricsRegistry.
+
+        Hit/miss/store/eviction counters accumulate live (each replay
+        bumps the telemetry it carries); occupancy is only meaningful
+        at fold time.
+        """
+        if telemetry is None:
+            return
+        telemetry.set_gauge("replay.cache.entries", len(self._entries))
+        telemetry.set_gauge("replay.cache.bytes", self.bytes_stored)
+
+    def __repr__(self):
+        return (
+            f"ReplayCache(entries={len(self._entries)}, "
+            f"hits={self.hits}, misses={self.misses}, "
+            f"bytes={self.bytes_stored})"
+        )

@@ -43,6 +43,7 @@ class Execution:
         logging_enabled: bool = True,
         faults=None,
         telemetry=None,
+        replay_cache=None,
     ):
         if mode not in _MODES:
             raise ReproError(f"unknown logging mode {mode!r}")
@@ -58,6 +59,10 @@ class Execution:
         # replay.  The debugger attaches its own for the duration of a
         # diagnosis, so query-time replays land in the diagnosis trace.
         self.telemetry = telemetry
+        # Optional ReplayCache (repro.replay.cache): replays restore or
+        # fork from snapshots instead of re-deriving.  The debugger
+        # attaches one for the duration of a diagnosis unless disabled.
+        self.replay_cache = replay_cache
         self.log = EventLog()
         self._runtime_recorder = (
             ProvenanceRecorder(
@@ -176,10 +181,22 @@ class Execution:
             lossless=lossless,
             step_limit=step_limit,
             telemetry=self.telemetry,
+            cache=self.replay_cache,
         )
         self.replay_seconds += _time.perf_counter() - started
         self.replay_count += 1
         return result
+
+    def __getstate__(self):
+        # Shipped to replay-evaluator worker processes: strip telemetry
+        # (wall clocks, open spans) and the replay cache (each process
+        # keeps its own); strip the materialized result too — workers
+        # re-derive what they need, usually from their own snapshots.
+        state = self.__dict__.copy()
+        state["telemetry"] = None
+        state["replay_cache"] = None
+        state["_materialized"] = None
+        return state
 
     def __repr__(self):
         return (

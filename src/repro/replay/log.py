@@ -13,7 +13,8 @@ their payload.
 
 from __future__ import annotations
 
-from typing import Iterator, List, Optional
+import hashlib
+from typing import Dict, Iterator, List, Optional
 
 from ..datalog.parser import parse_tuple
 from ..datalog.tuples import Tuple
@@ -66,6 +67,8 @@ class EventLog:
     def __init__(self):
         self.entries: List[LogEntry] = []
         self.total_bytes = 0
+        self._fingerprint: Optional[str] = None
+        self._first_occurrence: Optional[Dict[Tuple, int]] = None
 
     def __len__(self) -> int:
         return len(self.entries)
@@ -86,6 +89,8 @@ class EventLog:
         entry = LogEntry(op, tup, mutable, size)
         self.entries.append(entry)
         self.total_bytes += entry.size
+        self._fingerprint = None
+        self._first_occurrence = None
         return entry
 
     def index_of_insert(self, tup: Tuple) -> Optional[int]:
@@ -94,6 +99,37 @@ class EventLog:
             if entry.op == "insert" and entry.tuple == tup:
                 return index
         return None
+
+    def fingerprint(self) -> str:
+        """Content hash of the log (entry ops, tuples, mutability flags).
+
+        Used as part of replay-cache keys, so two logs with the same
+        events share snapshots regardless of object identity.  Cached
+        and invalidated on append.
+        """
+        if self._fingerprint is None:
+            digest = hashlib.sha256()
+            for entry in self.entries:
+                digest.update(
+                    f"{entry.op}|{entry.tuple}|{entry.mutable}\n".encode("utf-8")
+                )
+            self._fingerprint = digest.hexdigest()
+        return self._fingerprint
+
+    def first_occurrence(self, tup: Tuple) -> Optional[int]:
+        """Index of the first entry mentioning ``tup`` in any op.
+
+        Unlike :meth:`index_of_insert` this also covers deletions,
+        which matters for replay-cache forking: a removed tuple taints
+        the replayed stream from its first mention onward.
+        """
+        if self._first_occurrence is None:
+            table: Dict[Tuple, int] = {}
+            for index, entry in enumerate(self.entries):
+                if entry.tuple is not None and entry.tuple not in table:
+                    table[entry.tuple] = index
+            self._first_occurrence = table
+        return self._first_occurrence.get(tup)
 
     def inserts_of_table(self, table: str) -> List[int]:
         return [

@@ -1,0 +1,150 @@
+"""Parallel candidate evaluation over a process pool.
+
+DiffProv's candidate phases — the minimality post-pass, autoref's
+reference sweep — evaluate many independent replays whose inputs are
+known up front.  This module fans them out over a
+:mod:`concurrent.futures` process pool while keeping the *outcome*
+byte-identical to a serial run:
+
+- The evaluation context is pickled **once** and shipped to each worker
+  through the pool initializer; jobs are dispatched by index, so the
+  per-job payload is a single integer.
+- Results come back as ordered ``("ok", value)`` / ``("err", exc)``
+  pairs.  Callers consume them in serial order and re-raise an error
+  exactly where the serial pass would have hit it; results the serial
+  pass would never have computed are simply discarded.
+- Workers operate on unpickled *clones* of the context — mutations
+  never reach the parent.  The inline fallback (no usable pool, or a
+  single job) preserves the same isolation by evaluating against a
+  fresh unpickle per job.
+
+``workers=1`` callers should not construct an evaluator at all — the
+plain serial code path is the reference behaviour the pool is measured
+against.
+"""
+
+from __future__ import annotations
+
+import concurrent.futures
+import multiprocessing
+import pickle
+from typing import Any, List, Optional, Tuple as PyTuple
+
+from ..errors import ReproError
+from ..observability import active as _active_telemetry
+
+__all__ = ["CandidateEvaluator"]
+
+# Per-process evaluation context, installed by the pool initializer so
+# every job in a worker shares one unpickled copy.
+_WORKER_CONTEXT = None
+
+
+def _init_worker(payload: bytes) -> None:
+    global _WORKER_CONTEXT
+    _WORKER_CONTEXT = pickle.loads(payload)
+
+
+def _run_job(index: int):
+    func, shared = _WORKER_CONTEXT
+    try:
+        return ("ok", func(shared, index))
+    except Exception as exc:  # noqa: BLE001 - transported to the caller
+        try:
+            pickle.dumps(exc)
+        except Exception:
+            exc = ReproError(f"{type(exc).__name__}: {exc}")
+        return ("err", exc)
+
+
+class CandidateEvaluator:
+    """Evaluates ``func(shared, i)`` for ``i in range(count)`` in parallel.
+
+    ``func`` must be a module-level callable (pickled by reference) and
+    ``shared`` a picklable context.  Results preserve job order.
+    """
+
+    def __init__(self, workers: int = 1, telemetry=None):
+        self.workers = max(1, int(workers))
+        self.telemetry = _active_telemetry(telemetry)
+
+    @property
+    def parallel(self) -> bool:
+        return self.workers > 1
+
+    def evaluate(
+        self, func, shared, count: int
+    ) -> Optional[List[PyTuple[str, Any]]]:
+        """Ordered ``("ok", value)`` / ``("err", exc)`` results.
+
+        Returns ``None`` when the context cannot be pickled (e.g. an
+        execution stand-in holding live OS resources) — the caller
+        falls back to its serial path.
+        """
+        if count <= 0:
+            return []
+        try:
+            payload = pickle.dumps(
+                (func, shared), protocol=pickle.HIGHEST_PROTOCOL
+            )
+        except Exception:
+            if self.telemetry is not None:
+                self.telemetry.inc("parallel.unpicklable_contexts")
+            return None
+        if self.telemetry is not None:
+            self.telemetry.inc("parallel.waves")
+            self.telemetry.inc("parallel.jobs", count)
+        if not self.parallel or count == 1:
+            return self._inline(payload, count)
+        try:
+            return self._pooled(payload, count)
+        except (OSError, RuntimeError, concurrent.futures.BrokenExecutor):
+            # Pool-level failure (fork unavailable, resource limits):
+            # the inline path is slower but has identical semantics.
+            if self.telemetry is not None:
+                self.telemetry.inc("parallel.pool_failures")
+            return self._inline(payload, count)
+
+    def _pooled(self, payload: bytes, count: int) -> List[PyTuple[str, Any]]:
+        # Prefer fork on platforms that have it: the context is shared
+        # copy-on-write and worker start-up is milliseconds.  The
+        # payload still rides through the initializer, so spawn-only
+        # platforms work identically, just with a slower start.
+        try:
+            mp_context = multiprocessing.get_context("fork")
+        except ValueError:  # pragma: no cover - non-POSIX
+            mp_context = multiprocessing.get_context()
+        with concurrent.futures.ProcessPoolExecutor(
+            max_workers=min(self.workers, count),
+            mp_context=mp_context,
+            initializer=_init_worker,
+            initargs=(payload,),
+        ) as pool:
+            futures = [pool.submit(_run_job, index) for index in range(count)]
+            results: List[PyTuple[str, Any]] = []
+            for future in futures:
+                exc = future.exception()
+                results.append(
+                    ("err", exc) if exc is not None else future.result()
+                )
+        return results
+
+    def _inline(self, payload: bytes, count: int) -> List[PyTuple[str, Any]]:
+        """Serial evaluation with worker-grade isolation.
+
+        A fresh unpickle per job: even inline, a job mutating the
+        context can never influence a later job or the caller.
+        """
+        if self.telemetry is not None:
+            self.telemetry.inc("parallel.inline_jobs", count)
+        results: List[PyTuple[str, Any]] = []
+        for index in range(count):
+            func, shared = pickle.loads(payload)
+            try:
+                results.append(("ok", func(shared, index)))
+            except Exception as exc:  # noqa: BLE001 - ordered transport
+                results.append(("err", exc))
+        return results
+
+    def __repr__(self):
+        return f"CandidateEvaluator(workers={self.workers})"

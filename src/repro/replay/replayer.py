@@ -98,6 +98,7 @@ def replay(
     lossless: bool = False,
     step_limit: Optional[int] = None,
     telemetry=None,
+    cache=None,
 ) -> ReplayResult:
     """Replay a log, applying ``changes`` just before ``anchor_index``.
 
@@ -115,6 +116,11 @@ def replay(
       what actually happened) but the recorder is not subjected to the
       plan's logging loss — this is the debugger-side reconstruction
       from the lossless event log (Section 5's query-time mode).
+    - ``cache`` (a :class:`repro.replay.cache.ReplayCache`) lets the
+      replay restore a snapshotted result, or fork from the longest
+      snapshotted log prefix consistent with the change set, instead of
+      re-deriving from scratch.  The cache never changes the outcome —
+      snapshots are the pickled state of the identical computation.
     """
     changes = list(changes)
     removed = set()
@@ -123,26 +129,65 @@ def replay(
     inserted = [c.insert for c in changes if c.insert is not None]
 
     telemetry = _active_telemetry(telemetry)
-    if faults is not None:
-        engine_faults = FaultInjector(faults, "engine")
-        logging_faults = (
-            None if lossless else FaultInjector(faults, "prov-loss")
-        )
-    else:
-        engine_faults = logging_faults = None
-    recorder = (
-        ProvenanceRecorder(faults=logging_faults, telemetry=telemetry)
-        if record
-        else None
-    )
-    engine = Engine(
-        program,
-        recorder=recorder,
-        faults=engine_faults,
-        step_limit=step_limit,
-        telemetry=telemetry,
-    )
+    entries = log.entries
     anchor = anchor_index if anchor_index is not None else 0
+
+    base_key = result_key = None
+    if cache is not None:
+        base_key = cache.base_key(log, faults, lossless, record)
+        result_key = cache.result_key(base_key, changes, anchor_index,
+                                      len(entries))
+        restored = cache.fetch(result_key, telemetry, step_limit)
+        if restored is not None:
+            engine, recorder = restored
+            return ReplayResult(
+                engine, recorder if recorder is not None else ProvenanceRecorder()
+            )
+
+    # The changed replay is indistinguishable from the pristine one up
+    # to the fork point: before the anchor (no insertions yet) and
+    # before the first mention of any removed tuple (no suppression
+    # yet).  Up to there, state can come from a prefix snapshot.
+    fork = min(anchor, len(entries)) if inserted else len(entries)
+    for tup in removed:
+        occurrence = log.first_occurrence(tup)
+        if occurrence is not None:
+            fork = min(fork, occurrence)
+
+    start = 0
+    engine = recorder = None
+    if cache is not None and fork > 0:
+        prefix = cache.best_prefix(base_key, fork)
+        if prefix > 0:
+            got = cache.fetch(
+                cache.prefix_key(base_key, prefix), telemetry, step_limit
+            )
+            if got is not None:
+                engine, recorder = got
+                start = prefix
+
+    if engine is None:
+        if faults is not None:
+            engine_faults = FaultInjector(faults, "engine")
+            logging_faults = (
+                None if lossless else FaultInjector(faults, "prov-loss")
+            )
+        else:
+            engine_faults = logging_faults = None
+        recorder = (
+            ProvenanceRecorder(faults=logging_faults, telemetry=telemetry)
+            if record
+            else None
+        )
+        engine = Engine(
+            program,
+            recorder=recorder,
+            faults=engine_faults,
+            step_limit=step_limit,
+            telemetry=telemetry,
+        )
+
+    capture_at = fork if (cache is not None and fork > start) else -1
 
     def apply_insertions():
         for tup in inserted:
@@ -150,7 +195,13 @@ def replay(
 
     def drive():
         applied = False
-        for index, entry in enumerate(log.entries):
+        for index in range(start, len(entries)):
+            entry = entries[index]
+            if index == capture_at:
+                cache.store(
+                    cache.prefix_key(base_key, index), engine, recorder,
+                    telemetry,
+                )
             if index == anchor and not applied:
                 apply_insertions()
                 applied = True
@@ -167,6 +218,11 @@ def replay(
                 engine.fire_aggregates()
             else:  # pragma: no cover - defensive
                 raise ReproError(f"unknown log op {entry.op!r}")
+        if capture_at == len(entries):
+            cache.store(
+                cache.prefix_key(base_key, capture_at), engine, recorder,
+                telemetry,
+            )
         if not applied:
             apply_insertions()
 
@@ -174,13 +230,15 @@ def replay(
         drive()
     else:
         with telemetry.span(
-            "engine.run", entries=len(log.entries), changes=len(changes)
+            "engine.run", entries=len(entries) - start, changes=len(changes)
         ) as span:
             drive()
             span.set("steps", engine.steps)
         telemetry.observe("engine.replay_steps", engine.steps)
-        if engine_faults is not None:
-            engine_faults.fold_into(telemetry)
-        if logging_faults is not None:
-            logging_faults.fold_into(telemetry)
+        if engine.faults is not None:
+            engine.faults.fold_into(telemetry)
+        if recorder is not None and recorder.faults is not None:
+            recorder.faults.fold_into(telemetry)
+    if cache is not None and changes and cache.store_results:
+        cache.store(result_key, engine, recorder, telemetry)
     return ReplayResult(engine, recorder if recorder is not None else ProvenanceRecorder())

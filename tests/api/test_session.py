@@ -1,0 +1,187 @@
+"""Tests for the Session facade (repro.api)."""
+
+import json
+import warnings
+
+import pytest
+
+from repro import Session
+from repro.core.autoref import auto_diagnose
+from repro.core.diffprov import DiffProv, DiffProvOptions
+from repro.datalog import parse_tuple
+from repro.errors import FaultSpecError, ReproError
+from repro.replay import Execution
+from repro.scenarios import ALL_SCENARIOS
+
+
+class TestConstruction:
+    def test_scenario_and_explicit_are_exclusive(self):
+        with pytest.raises(ReproError, match="not both"):
+            Session(scenario="SDN1", program=object())
+
+    def test_explicit_mode_requires_the_quintet(self):
+        with pytest.raises(ReproError, match="good_event"):
+            Session(program=object(), good=object(), bad=object())
+
+    def test_unknown_scenario_rejected_eagerly(self):
+        with pytest.raises(ReproError, match="unknown scenario"):
+            Session(scenario="SDN99")
+
+    def test_scenario_name_is_case_insensitive(self):
+        assert Session(scenario="sdn1").scenario_name == "SDN1"
+
+    def test_bad_fault_spec_rejected_eagerly(self):
+        with pytest.raises(FaultSpecError):
+            Session(scenario="SDN1", faults="bogus")
+
+    def test_construction_is_lazy(self):
+        session = Session(scenario="SDN1")
+        assert session.program is None  # nothing built yet
+
+    def test_knobs_reach_the_options(self):
+        session = Session(
+            scenario="SDN1", workers=4, replay_cache=False,
+            max_rounds=3, minimize=True, taint=False,
+        )
+        options = session.options
+        assert options.workers == 4
+        assert options.replay_cache is False
+        assert options.max_rounds == 3
+        assert options.minimize is True
+        assert options.enable_taint is False
+
+    def test_telemetry_true_builds_one(self):
+        session = Session(scenario="SDN1", telemetry=True)
+        assert session.telemetry is not None
+        assert session.options.telemetry is session.telemetry
+
+
+class TestFacadeParity:
+    """session.diagnose() == the hand-wired DiffProv invocation."""
+
+    @pytest.mark.parametrize("name", ["SDN1", "DNS"])
+    def test_diagnose_matches_direct_diffprov(self, name):
+        scenario = ALL_SCENARIOS[name]().setup()
+        direct = DiffProv(scenario.program, DiffProvOptions()).diagnose(
+            scenario.good_execution,
+            scenario.bad_execution,
+            scenario.good_event,
+            scenario.bad_event,
+            scenario.good_time,
+            scenario.bad_time,
+        )
+        via_session = Session(scenario=name).diagnose()
+        assert via_session.canonical_json() == direct.canonical_json()
+
+    @pytest.mark.parametrize("name", ["SDN1", "DNS"])
+    def test_autoref_matches_direct_auto_diagnose(self, name):
+        scenario = ALL_SCENARIOS[name]().setup()
+        direct = auto_diagnose(
+            scenario.program,
+            scenario.good_execution,
+            scenario.bad_execution,
+            scenario.bad_event,
+            options=DiffProvOptions(),
+            limit=5,
+        )
+        via_session = Session(scenario=name).autoref(limit=5)
+        assert via_session.found == direct.found
+        assert str(via_session.reference) == str(direct.reference)
+        assert len(via_session.tried) == len(direct.tried)
+        if direct.found:
+            assert via_session.report.canonical_json() == \
+                direct.report.canonical_json()
+
+    def test_tree_matches_scenario_trees(self):
+        scenario = ALL_SCENARIOS["SDN1"]().setup()
+        good, bad = scenario.trees()
+        session = Session(scenario="SDN1")
+        assert session.tree(side="good").size() == good.size()
+        assert session.tree(side="bad").size() == bad.size()
+
+    def test_tree_rejects_unknown_side(self):
+        with pytest.raises(ReproError, match="side"):
+            Session(scenario="SDN1").tree(side="ugly")
+
+    def test_export_roundtrip(self, tmp_path):
+        from repro.provenance.serialize import load_graph
+
+        path = str(tmp_path / "sdn1.jsonl")
+        records = Session(scenario="SDN1").export(path)
+        assert records > 0
+        assert len(load_graph(path)) > 0
+
+    def test_parallel_session_matches_serial(self):
+        serial = Session(scenario="SDN1", minimize=True).diagnose()
+        parallel = Session(scenario="SDN1", minimize=True,
+                           workers=2).diagnose()
+        assert parallel.canonical_json() == serial.canonical_json()
+
+
+class TestExplicitMode:
+    def _network(self, forwarding_program):
+        execution = Execution(forwarding_program)
+        for text in (
+            "link('s1', 2, 's2')",
+            "flowEntry('s1', 5, 4.3.2.0/24, 2)",
+            "flowEntry('s1', 1, 0.0.0.0/0, 9)",
+            "flowEntry('s2', 1, 0.0.0.0/0, 3)",
+            "hostAt('s2', 3, 'h1')",
+            "hostAt('s1', 9, 'h9')",
+        ):
+            execution.insert(parse_tuple(text))
+        execution.insert(parse_tuple("packet('s1', 7.7.7.7, 4.3.2.1)"))
+        execution.insert(parse_tuple("packet('s1', 7.7.7.7, 4.3.3.1)"))
+        return execution
+
+    def test_diagnose(self, forwarding_program):
+        network = self._network(forwarding_program)
+        session = Session(
+            program=forwarding_program,
+            good=network, bad=network,
+            good_event=parse_tuple("delivered('h1', 7.7.7.7, 4.3.2.1)"),
+            bad_event=parse_tuple("delivered('h9', 7.7.7.7, 4.3.3.1)"),
+        )
+        report = session.diagnose()
+        assert report.success
+        assert report.num_changes == 1
+        assert "4.3.2.0/23" in report.changes[0].describe()
+
+    def test_tree_and_repr(self, forwarding_program):
+        network = self._network(forwarding_program)
+        session = Session(
+            program=forwarding_program,
+            good=network, bad=network,
+            good_event=parse_tuple("delivered('h1', 7.7.7.7, 4.3.2.1)"),
+            bad_event=parse_tuple("delivered('h9', 7.7.7.7, 4.3.3.1)"),
+        )
+        assert session.tree(side="good").size() > 0
+        assert "explicit" in repr(session)
+
+
+class TestDeprecationShims:
+    def test_top_level_diffprov_warns_once_per_access(self):
+        import repro
+
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            cls = repro.DiffProv
+            options_cls = repro.DiffProvOptions
+        assert cls is DiffProv
+        assert options_cls is DiffProvOptions
+        messages = [str(w.message) for w in caught
+                    if issubclass(w.category, DeprecationWarning)]
+        assert len(messages) == 2
+        assert all("repro.api.Session" in m or "docs/api.md" in m
+                   for m in messages)
+
+    def test_canonical_submodule_import_is_warning_free(self):
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            from repro.core import DiffProv as _  # noqa: F401
+
+    def test_unknown_attribute_still_raises(self):
+        import repro
+
+        with pytest.raises(AttributeError):
+            repro.NoSuchThing

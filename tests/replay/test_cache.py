@@ -1,0 +1,196 @@
+"""Tests for the baseline snapshot cache and the parallel evaluator.
+
+The contract under test (docs/performance.md): the cache and the
+worker pool are pure speed-ups — a diagnosis is byte-identical whether
+the cache is cold, warm, or disabled, and whether candidates are
+evaluated serially or on a process pool.
+"""
+
+import pytest
+
+from repro.core.diffprov import DiffProvOptions
+from repro.datalog import parse_tuple
+from repro.faults import FaultPlan
+from repro.replay import Change, Execution, ReplayCache, replay
+from repro.scenarios import ALL_SCENARIOS
+
+
+def _forwarding_execution(forwarding_program):
+    execution = Execution(forwarding_program)
+    for text in (
+        "link('s1', 2, 's2')",
+        "flowEntry('s1', 5, 4.3.2.0/24, 2)",
+        "flowEntry('s1', 1, 0.0.0.0/0, 9)",
+        "flowEntry('s2', 1, 0.0.0.0/0, 3)",
+        "hostAt('s2', 3, 'h1')",
+    ):
+        execution.insert(parse_tuple(text))
+    execution.insert(parse_tuple("packet('s1', 7.7.7.7, 4.3.3.1)"))
+    return execution
+
+
+WIDEN = Change(
+    insert=parse_tuple("flowEntry('s1', 5, 4.3.2.0/23, 2)"),
+    remove=[parse_tuple("flowEntry('s1', 5, 4.3.2.0/24, 2)")],
+)
+
+
+class TestAccounting:
+    def test_cold_replay_misses_and_stores(self, forwarding_program):
+        execution = _forwarding_execution(forwarding_program)
+        cache = ReplayCache()
+        replay(forwarding_program, execution.log, cache=cache)
+        stats = cache.stats()
+        assert stats["hits"] == 0
+        assert stats["misses"] >= 1
+        assert stats["stores"] >= 1
+        assert stats["entries"] == len(cache) > 0
+        assert stats["bytes"] > 0
+
+    def test_warm_replay_hits(self, forwarding_program):
+        execution = _forwarding_execution(forwarding_program)
+        cache = ReplayCache()
+        replay(forwarding_program, execution.log, cache=cache)
+        before = cache.stats()
+        replay(forwarding_program, execution.log, cache=cache)
+        after = cache.stats()
+        assert after["hits"] == before["hits"] + 1
+        assert after["stores"] == before["stores"]
+
+    def test_changed_replay_result_is_cached(self, forwarding_program):
+        execution = _forwarding_execution(forwarding_program)
+        cache = ReplayCache()
+        anchor = len(execution.log) - 1
+        replay(forwarding_program, execution.log, [WIDEN],
+               anchor_index=anchor, cache=cache)
+        hits = cache.hits
+        replay(forwarding_program, execution.log, [WIDEN],
+               anchor_index=anchor, cache=cache)
+        assert cache.hits == hits + 1
+
+    def test_restored_state_matches_fresh_replay(self, forwarding_program):
+        execution = _forwarding_execution(forwarding_program)
+        cache = ReplayCache()
+        anchor = len(execution.log) - 1
+        first = replay(forwarding_program, execution.log, [WIDEN],
+                       anchor_index=anchor, cache=cache)
+        warm = replay(forwarding_program, execution.log, [WIDEN],
+                      anchor_index=anchor, cache=cache)
+        fresh = replay(forwarding_program, execution.log, [WIDEN],
+                       anchor_index=anchor)
+        for result in (first, warm):
+            assert sorted(map(str, result.engine.store.all_tuples())) == \
+                sorted(map(str, fresh.engine.store.all_tuples()))
+        delivered = parse_tuple("delivered('h1', 7.7.7.7, 4.3.3.1)")
+        assert warm.engine.exists(delivered)
+
+    def test_restores_are_isolated_copies(self, forwarding_program):
+        execution = _forwarding_execution(forwarding_program)
+        cache = ReplayCache()
+        replay(forwarding_program, execution.log, cache=cache)
+        one = replay(forwarding_program, execution.log, cache=cache)
+        extra = parse_tuple("flowEntry('s9', 1, 0.0.0.0/0, 1)")
+        one.engine.insert(extra)
+        two = replay(forwarding_program, execution.log, cache=cache)
+        assert one.engine is not two.engine
+        assert not two.engine.exists(extra)
+
+    def test_lru_eviction(self, forwarding_program):
+        execution = _forwarding_execution(forwarding_program)
+        cache = ReplayCache(max_entries=1)
+        anchor = len(execution.log) - 1
+        replay(forwarding_program, execution.log, cache=cache)
+        replay(forwarding_program, execution.log, [WIDEN],
+               anchor_index=anchor, cache=cache)
+        assert len(cache) == 1
+        assert cache.evictions >= 1
+
+    def test_fold_into_records_occupancy(self, forwarding_program):
+        from repro.observability import Telemetry
+
+        execution = _forwarding_execution(forwarding_program)
+        cache = ReplayCache()
+        replay(forwarding_program, execution.log, cache=cache)
+        telemetry = Telemetry()
+        cache.fold_into(telemetry)
+        gauges = telemetry.snapshot()["gauges"]
+        assert gauges["replay.cache.entries"] == len(cache)
+        assert gauges["replay.cache.bytes"] == cache.bytes_stored
+
+
+class TestKeys:
+    def test_key_sensitive_to_fault_plan(self, forwarding_program):
+        execution = _forwarding_execution(forwarding_program)
+        log = execution.log
+        none = ReplayCache.base_key(log, None, False, True)
+        plan_a = ReplayCache.base_key(
+            log, FaultPlan.parse("loss=0.1,seed=7"), False, True
+        )
+        plan_b = ReplayCache.base_key(
+            log, FaultPlan.parse("loss=0.1,seed=8"), False, True
+        )
+        assert len({none, plan_a, plan_b}) == 3
+
+    def test_lossless_collapsed_without_plan(self, forwarding_program):
+        execution = _forwarding_execution(forwarding_program)
+        log = execution.log
+        assert ReplayCache.base_key(log, None, True, True) == \
+            ReplayCache.base_key(log, None, False, True)
+        plan = FaultPlan.parse("loss=0.1,seed=7")
+        assert ReplayCache.base_key(log, plan, True, True) != \
+            ReplayCache.base_key(log, plan, False, True)
+
+    def test_key_sensitive_to_log_content(self, forwarding_program):
+        a = _forwarding_execution(forwarding_program)
+        b = _forwarding_execution(forwarding_program)
+        b.insert(parse_tuple("packet('s1', 7.7.7.7, 4.3.2.1)"))
+        assert ReplayCache.base_key(a.log, None, False, True) != \
+            ReplayCache.base_key(b.log, None, False, True)
+
+    def test_zero_change_result_key_is_full_prefix(self, forwarding_program):
+        execution = _forwarding_execution(forwarding_program)
+        base = ReplayCache.base_key(execution.log, None, False, True)
+        key = ReplayCache.result_key(base, [], None, len(execution.log))
+        assert key == ReplayCache.prefix_key(base, len(execution.log))
+
+    def test_result_key_sensitive_to_changes_and_anchor(
+        self, forwarding_program
+    ):
+        execution = _forwarding_execution(forwarding_program)
+        base = ReplayCache.base_key(execution.log, None, False, True)
+        n = len(execution.log)
+        other = Change(insert=parse_tuple("flowEntry('s1', 9, 0.0.0.0/0, 2)"))
+        keys = {
+            ReplayCache.result_key(base, [WIDEN], 3, n),
+            ReplayCache.result_key(base, [WIDEN], 4, n),
+            ReplayCache.result_key(base, [other], 3, n),
+        }
+        assert len(keys) == 3
+
+
+class TestDeterminism:
+    """Cache states and worker counts never change a diagnosis."""
+
+    @pytest.mark.parametrize("scenario", ["SDN1", "DNS"])
+    @pytest.mark.parametrize("workers", [1, 2, 4])
+    def test_parallel_equals_serial(self, scenario, workers):
+        serial = ALL_SCENARIOS[scenario]().setup().diagnose(
+            DiffProvOptions(minimize=True, replay_cache=False)
+        )
+        parallel = ALL_SCENARIOS[scenario]().setup().diagnose(
+            DiffProvOptions(minimize=True, workers=workers)
+        )
+        assert parallel.canonical_json() == serial.canonical_json()
+        assert parallel.replays == serial.replays
+
+    def test_multi_change_scenario_parallel_equals_serial(self):
+        # SDN4 exercises the minimality post-pass with several changes
+        # in flight, i.e. actual multi-job waves.
+        serial = ALL_SCENARIOS["SDN4"]().setup().diagnose(
+            DiffProvOptions(minimize=True, replay_cache=False)
+        )
+        parallel = ALL_SCENARIOS["SDN4"]().setup().diagnose(
+            DiffProvOptions(minimize=True, workers=2)
+        )
+        assert parallel.canonical_json() == serial.canonical_json()
+        assert parallel.replays == serial.replays
