@@ -1,0 +1,168 @@
+"""Journal overhead and resume payoff (docs/resilience.md).
+
+The write-ahead journal buys crash-safety with one fsync'd JSONL line
+per phase boundary, round, and candidate verdict.  This benchmark pins
+the cost and the payoff:
+
+- ``journal_overhead`` — journaled wall-time over unjournaled
+  wall-time, minus one; the acceptance bar is **< 5%** of the uncached
+  diagnosis (``fsync=True``, the crash-safe default).  A
+  ``journal_overhead_nofsync`` column shows the ``fsync=False`` knob
+  for operators on slow disks.
+- ``resume_speedup`` — uninterrupted wall-time over resumed wall-time
+  when the journal already holds every minimality verdict (the
+  best-case resume: all candidate replays skipped).
+- ``identical`` — canonical-report equality across unjournaled,
+  journaled, and resumed runs (the determinism contract).
+
+Run as a script (writes BENCH_resume.json)::
+
+    PYTHONPATH=src python benchmarks/bench_resume.py --out BENCH_resume.json
+
+or through pytest-benchmark like the other benchmarks::
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_resume.py --benchmark-only -s
+"""
+
+import argparse
+import json
+import os
+import sys
+import tempfile
+import time
+
+from repro.core.diffprov import DiffProv, DiffProvOptions
+from repro.resilience import DiagnosisJournal
+from repro.scenarios import ALL_SCENARIOS
+
+# Minimality workloads: one verdict line per candidate change, the
+# journal's busiest shape.  Uncached (replay_cache=False) per the
+# acceptance bar — the cache would hide replay work the journal's
+# relative cost is measured against.
+WORKLOADS = [
+    ("SDN4", {"background_packets": 20}),
+    ("SDN1", {"background_packets": 20}),
+]
+ROUNDS = 3
+
+
+def _diagnose(name, params, journal=None):
+    scenario = ALL_SCENARIOS[name](**params).setup()
+    options = DiffProvOptions(
+        minimize=True, replay_cache=False, journal=journal
+    )
+    started = time.perf_counter()
+    report = DiffProv(scenario.program, options).diagnose(
+        scenario.good_execution,
+        scenario.bad_execution,
+        scenario.good_event,
+        scenario.bad_event,
+        scenario.good_time,
+        scenario.bad_time,
+    )
+    return report, time.perf_counter() - started
+
+
+def _best(name, params, journal_path=None, resume=False, fsync=True):
+    """Best-of-ROUNDS wall time (noise floor) and the last report."""
+    best = None
+    report = None
+    for _ in range(ROUNDS):
+        journal = None
+        if journal_path is not None:
+            if not resume and os.path.exists(journal_path):
+                os.unlink(journal_path)
+            journal = DiagnosisJournal(
+                journal_path, resume=resume, fsync=fsync
+            )
+        try:
+            report, seconds = _diagnose(name, params, journal)
+        finally:
+            if journal is not None:
+                journal.close()
+        best = seconds if best is None else min(best, seconds)
+    return best, report
+
+
+def run_benchmark():
+    rows = []
+    tmp = tempfile.mkdtemp(prefix="bench-resume-")
+    for name, params in WORKLOADS:
+        path = os.path.join(tmp, f"{name}.journal")
+        plain_s, plain_report = _best(name, params)
+        journaled_s, journaled_report = _best(name, params, path)
+        nofsync_s, _ = _best(
+            name, params, os.path.join(tmp, f"{name}-nf.journal"),
+            fsync=False,
+        )
+        # Resume against the journal the last journaled round completed:
+        # every minimality verdict is already recorded.
+        resumed_s, resumed_report = _best(name, params, path, resume=True)
+        identical = (
+            plain_report.canonical_json()
+            == journaled_report.canonical_json()
+            == resumed_report.canonical_json()
+        )
+        journal_section = (resumed_report.resilience or {}).get("journal", {})
+        rows.append(
+            {
+                "scenario": name,
+                "plain_s": round(plain_s, 4),
+                "journaled_s": round(journaled_s, 4),
+                "resumed_s": round(resumed_s, 4),
+                "journal_overhead": round(journaled_s / plain_s - 1.0, 4),
+                "journal_overhead_nofsync": round(
+                    nofsync_s / plain_s - 1.0, 4
+                ),
+                "resume_speedup": round(plain_s / max(resumed_s, 1e-9), 2),
+                "skipped_candidates": journal_section.get(
+                    "skipped_candidates", 0
+                ),
+                "identical": identical,
+            }
+        )
+    return rows
+
+
+def check(rows):
+    for row in rows:
+        assert row["identical"], (
+            f"{row['scenario']}: journaling or resume changed the report"
+        )
+        # The acceptance bar: crash-safe journaling costs < 5% of the
+        # uncached diagnosis wall-time.
+        assert row["journal_overhead"] < 0.05, (
+            f"{row['scenario']}: journal overhead "
+            f"{row['journal_overhead']:.1%} breaches the 5% bar: {row}"
+        )
+    assert any(row["skipped_candidates"] > 0 for row in rows), rows
+
+
+def test_resume_overhead(benchmark):
+    rows = benchmark.pedantic(run_benchmark, rounds=1, iterations=1)
+    from conftest import emit
+
+    emit("Diagnosis journal: overhead and resume payoff", rows)
+    benchmark.extra_info["rows"] = rows
+    check(rows)
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--out", default="BENCH_resume.json",
+        help="where to write the JSON results",
+    )
+    args = parser.parse_args(argv)
+    rows = run_benchmark()
+    check(rows)
+    with open(args.out, "w", encoding="utf-8") as handle:
+        json.dump({"benchmark": "resume", "rows": rows}, handle, indent=2)
+        handle.write("\n")
+    for row in rows:
+        print(row)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

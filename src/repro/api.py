@@ -34,6 +34,7 @@ byte-identical (docs/performance.md).
 
 from __future__ import annotations
 
+import contextlib
 from typing import Dict, Optional
 
 from .core.autoref import AutoReferenceResult, auto_diagnose
@@ -44,6 +45,7 @@ from .faults import FaultPlan
 from .observability import Telemetry
 from .provenance.query import provenance_query
 from .provenance.tree import ProvenanceTree
+from .resilience import DiagnosisJournal
 
 __all__ = ["Session"]
 
@@ -70,6 +72,16 @@ class Session:
     ``max_rounds``, ``minimize``, ``taint``
         As in :class:`repro.DiffProvOptions` (``taint`` maps to
         ``enable_taint``).
+    ``journal``, ``resume``
+        Path of the write-ahead diagnosis journal, and whether to
+        resume from an existing one; candidate verdicts recorded by a
+        previous (possibly killed) run are skipped and the resumed
+        report is byte-identical (docs/resilience.md).
+    ``deadline_s``
+        End-to-end wall-clock budget for each diagnose/autoref call.
+    ``resilience``
+        A :class:`repro.resilience.ResiliencePolicy` tuning the
+        self-healing candidate evaluator.
 
     Scenario construction is lazy: the executions are built on first
     use, so creating a Session is cheap.
@@ -93,6 +105,10 @@ class Session:
         max_rounds: int = 10,
         minimize: bool = False,
         taint: bool = True,
+        journal: Optional[str] = None,
+        resume: bool = False,
+        deadline_s: Optional[float] = None,
+        resilience=None,
         scenario_params: Optional[Dict] = None,
     ):
         if scenario is not None and program is not None:
@@ -131,7 +147,14 @@ class Session:
             telemetry=self.telemetry,
             workers=workers,
             replay_cache=replay_cache,
+            deadline=deadline_s,
+            resilience=resilience,
         )
+        self.journal_path = journal
+        self._resume = bool(resume)
+        # The most recently opened DiagnosisJournal (kept after close so
+        # the CLI's Ctrl-C handler can print journal.progress()).
+        self.journal = None
         self._scenario_params = dict(scenario_params or {})
         self._scenario = None
         self.program = program
@@ -189,36 +212,107 @@ class Session:
 
     # -- diagnostics ---------------------------------------------------------
 
-    def diagnose(self) -> DiagnosisReport:
-        """Run DiffProv on the session's good/bad events."""
+    def diagnose(self, resume_from: Optional[str] = None) -> DiagnosisReport:
+        """Run DiffProv on the session's good/bad events.
+
+        ``resume_from`` names an existing journal file to resume; it
+        overrides the constructor's ``journal``/``resume`` pair for
+        this one call.  Resumed runs skip candidate replays whose
+        verdicts the journal already holds and still produce a
+        ``canonical_json()`` byte-identical to an uninterrupted run.
+        """
         self.setup()
         debugger = DiffProv(self.program, self.options)
-        return debugger.diagnose(
-            self.good,
-            self.bad,
-            self.good_event,
-            self.bad_event,
-            self.good_time,
-            self.bad_time,
-        )
+        with self._journal_scope("diagnose", resume_from):
+            return debugger.diagnose(
+                self.good,
+                self.bad,
+                self.good_event,
+                self.bad_event,
+                self.good_time,
+                self.bad_time,
+            )
 
-    def autoref(self, limit: int = 10) -> AutoReferenceResult:
+    def autoref(
+        self, limit: int = 10, resume_from: Optional[str] = None
+    ) -> AutoReferenceResult:
         """Diagnose the bad event with a *discovered* reference.
 
         Proposes up to ``limit`` candidate references from the good
         execution's provenance graph and returns the first successful
         diagnosis with a non-empty Δ (Section 4.9).  Honours the
-        session's ``workers`` setting.
+        session's ``workers`` setting, the journal knobs (rejected
+        candidates are skipped on resume) and the deadline.
         """
         self.setup()
-        return auto_diagnose(
-            self.program,
-            self.good,
-            self.bad,
-            self.bad_event,
-            options=self.options,
-            limit=limit,
+        with self._journal_scope("autoref", resume_from, limit=limit):
+            return auto_diagnose(
+                self.program,
+                self.good,
+                self.bad,
+                self.bad_event,
+                options=self.options,
+                limit=limit,
+            )
+
+    # -- resilience ----------------------------------------------------------
+
+    @contextlib.contextmanager
+    def _journal_scope(self, kind: str, resume_from: Optional[str], **extra):
+        """Open the write-ahead journal around one diagnosis call.
+
+        The journal is attached through ``options.journal`` so both the
+        differ and the autoref sweep see it; it is closed (and therefore
+        flushed) whatever way the call exits, including Ctrl-C.
+        """
+        path = resume_from if resume_from is not None else self.journal_path
+        if path is None:
+            yield None
+            return
+        journal = DiagnosisJournal(
+            str(path),
+            fingerprint=self._journal_fingerprint(kind, **extra),
+            resume=self._resume or resume_from is not None,
         )
+        self.journal = journal
+        saved = self.options.journal
+        self.options.journal = journal
+        try:
+            yield journal
+        finally:
+            self.options.journal = saved
+            journal.close()
+
+    def _journal_fingerprint(self, kind: str, **extra) -> Dict[str, object]:
+        """Identity of the search a journal belongs to.
+
+        Mismatched fingerprints make resume a typed JournalError —
+        replaying verdicts into a different search would corrupt the
+        report.  ``workers`` and ``replay_cache`` are deliberately
+        absent: they do not change any verdict (the determinism
+        contract), so a serial run may resume a parallel one's journal.
+        """
+        opts = self.options
+        plan = opts.faults
+        fingerprint: Dict[str, object] = {
+            "kind": kind,
+            "scenario": self.scenario_name,
+            "good_log": self.good.log.fingerprint(),
+            "bad_log": self.bad.log.fingerprint(),
+            "bad_event": str(self.bad_event),
+            "options": {
+                "max_rounds": opts.max_rounds,
+                "enable_taint": opts.enable_taint,
+                "enable_repair": opts.enable_repair,
+                "enable_inversion": opts.enable_inversion,
+                "minimize": opts.minimize,
+                "faults": None if plan is None else plan.describe(),
+            },
+        }
+        if kind == "diagnose":
+            fingerprint["good_event"] = str(self.good_event)
+        fingerprint.update(extra)
+        return fingerprint
 
     # -- inspection ----------------------------------------------------------
 

@@ -81,6 +81,25 @@ def _tuning_parent() -> argparse.ArgumentParser:
         help="disable the baseline snapshot cache between replays",
     )
     parent.add_argument(
+        "--journal",
+        metavar="FILE",
+        help="write-ahead diagnosis journal; with --resume, verdicts "
+        "recorded by a previous (possibly killed) run are skipped "
+        "(see docs/resilience.md)",
+    )
+    parent.add_argument(
+        "--resume",
+        action="store_true",
+        help="resume from an existing --journal file",
+    )
+    parent.add_argument(
+        "--deadline-s",
+        type=float,
+        metavar="SECONDS",
+        help="end-to-end wall-clock budget; an expired diagnosis "
+        "degrades to a partial report instead of running on",
+    )
+    parent.add_argument(
         "--metrics",
         action="store_true",
         help="collect and print the diagnosis metrics snapshot "
@@ -218,8 +237,36 @@ def _session(args, **extra) -> Session:
         max_rounds=getattr(args, "max_rounds", 10),
         minimize=getattr(args, "minimize", False),
         taint=not getattr(args, "no_taint", False),
+        journal=getattr(args, "journal", None),
+        resume=getattr(args, "resume", False),
+        deadline_s=getattr(args, "deadline_s", None),
         **extra,
     )
+
+
+# Exit status for a diagnosis interrupted by Ctrl-C: 128 + SIGINT(2),
+# the conventional shell encoding of death-by-signal.
+EXIT_INTERRUPTED = 130
+
+
+def _interrupted(args, session) -> int:
+    """Ctrl-C landed mid-diagnosis: report what survived.
+
+    The journal (if any) was already flushed and closed on the way out
+    of Session's journal scope, so every verdict the run computed is on
+    disk; tell the operator how to pick the search back up.
+    """
+    print("interrupted: diagnosis aborted", file=sys.stderr)
+    journal = getattr(session, "journal", None)
+    if journal is not None:
+        journal.close()  # idempotent; guarantees the flush happened
+        print(f"journal flushed: {journal.progress()}", file=sys.stderr)
+        print(
+            f"resume with: diffprov {args.command} {args.scenario} "
+            f"--journal {journal.path} --resume",
+            file=sys.stderr,
+        )
+    return EXIT_INTERRUPTED
 
 
 def _telemetry_output(args, session, data, extra_lines) -> None:
@@ -245,7 +292,10 @@ def _cmd_diagnose(args) -> int:
     except FaultSpecError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
-    report = session.diagnose()
+    try:
+        report = session.diagnose()
+    except KeyboardInterrupt:
+        return _interrupted(args, session)
     data = {
         "scenario": args.scenario,
         "success": report.success,
@@ -267,6 +317,8 @@ def _cmd_diagnose(args) -> int:
         data["confidences"] = report.confidences
         data["lost_events"] = report.lost_events
         data["unknown_subtrees"] = [str(t) for t in report.unknown_subtrees]
+    if report.resilience is not None:
+        data["resilience"] = report.resilience
     extra_lines: List[str] = []
     if session.telemetry is not None:
         data["telemetry"] = report.telemetry
@@ -303,7 +355,10 @@ def _cmd_autoref(args) -> int:
     except FaultSpecError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
-    result = session.autoref(limit=args.limit)
+    try:
+        result = session.autoref(limit=args.limit)
+    except KeyboardInterrupt:
+        return _interrupted(args, session)
     data = {
         "scenario": args.scenario,
         "found": result.found,
@@ -313,6 +368,8 @@ def _cmd_autoref(args) -> int:
         if result.found
         else [],
     }
+    if result.resilience is not None:
+        data["resilience"] = result.resilience
     extra_lines: List[str] = []
     _telemetry_output(args, session, data, extra_lines)
     if result.found:

@@ -19,8 +19,10 @@ from __future__ import annotations
 from typing import List, Optional, Sequence
 
 from ..datalog.tuples import Tuple
+from ..faults import FaultInjector
 from ..replay.cache import ReplayCache
 from ..replay.parallel import CandidateEvaluator
+from ..resilience import Deadline
 from .diffprov import DiffProv, DiffProvOptions, _replay_cache_scope
 from .report import DiagnosisReport
 
@@ -44,21 +46,30 @@ class ReferenceCandidate:
 class AutoReferenceResult:
     """Outcome of an automatic reference search."""
 
-    __slots__ = ("report", "reference", "tried")
+    __slots__ = ("report", "reference", "tried", "resilience")
 
     def __init__(
         self,
         report: Optional[DiagnosisReport],
         reference: Optional[Tuple],
         tried: Sequence[ReferenceCandidate],
+        resilience=None,
     ):
         self.report = report
         self.reference = reference
         self.tried = list(tried)
+        # Sweep-level resilience section (journal resume savings,
+        # deadline expiry, evaluator healing); None when inactive.
+        self.resilience = resilience
 
     @property
     def found(self) -> bool:
         return self.report is not None and self.report.success
+
+    @property
+    def stopped_early(self) -> bool:
+        """Whether the sweep was cut short by the deadline."""
+        return bool((self.resilience or {}).get("stopped_early"))
 
     def __repr__(self):
         state = f"reference={self.reference}" if self.found else "no reference"
@@ -139,36 +150,77 @@ def auto_diagnose(
     winner are discarded unread (docs/performance.md).
     """
     debugger = DiffProv(program, options)
+    opts = debugger.options
     if workers is None:
-        workers = getattr(debugger.options, "workers", 1) or 1
-    graph = good_execution.graph
-    candidates = propose_references(graph, bad_event, limit)
-    tried: List[ReferenceCandidate] = []
-    if workers > 1 and len(candidates) > 1:
-        result = _auto_diagnose_parallel(
-            program, good_execution, bad_execution, bad_event,
-            debugger.options, candidates, workers,
-        )
-        if result is not None:
-            return result
-        # Unpicklable context: fall through to the serial sweep.
-    # One snapshot cache stays warm across the whole sweep: every
-    # candidate diagnosis replays the same logs, so later candidates
-    # restore what earlier ones derived.
-    with _replay_cache_scope(debugger.options, good_execution, bad_execution):
-        for candidate in candidates:
-            tried.append(candidate)
-            report = debugger.diagnose(
-                good_execution, bad_execution, candidate.event, bad_event
+        workers = getattr(opts, "workers", 1) or 1
+    journal = getattr(opts, "journal", None)
+    # Normalize the budget once so every candidate diagnosis shares the
+    # sweep's end-to-end deadline (a raw seconds value would otherwise
+    # restart per candidate); the original options value is restored.
+    saved_deadline = getattr(opts, "deadline", None)
+    deadline = Deadline.of(saved_deadline)
+    opts.deadline = deadline
+    try:
+        graph = good_execution.graph
+        candidates = propose_references(graph, bad_event, limit)
+        tried: List[ReferenceCandidate] = []
+        stopped_early = False
+        if (
+            workers > 1
+            and len(candidates) > 1
+            and not (journal is not None and journal.has_verdicts)
+        ):
+            result = _auto_diagnose_parallel(
+                program, good_execution, bad_execution, bad_event,
+                opts, candidates, workers, journal, deadline,
             )
-            if report.success and report.num_changes > 0:
-                return AutoReferenceResult(report, candidate.event, tried)
-    return AutoReferenceResult(None, None, tried)
+            if result is not None:
+                return result
+            # Unpicklable context: fall through to the serial sweep.
+        # One snapshot cache stays warm across the whole sweep: every
+        # candidate diagnosis replays the same logs, so later candidates
+        # restore what earlier ones derived.
+        with _replay_cache_scope(opts, good_execution, bad_execution):
+            for candidate in candidates:
+                if deadline is not None and deadline.expired:
+                    stopped_early = True
+                    break
+                key = str(candidate.event)
+                if journal is not None:
+                    verdict = journal.lookup("autoref", key)
+                    if verdict is False:
+                        # A previous run already diagnosed and rejected
+                        # this candidate; skip its whole diagnosis.  A
+                        # recorded winner is re-diagnosed fresh — its
+                        # report is needed, and re-running it yields
+                        # the byte-identical one.
+                        tried.append(candidate)
+                        continue
+                tried.append(candidate)
+                report = debugger.diagnose(
+                    good_execution, bad_execution, candidate.event, bad_event
+                )
+                accepted = report.success and report.num_changes > 0
+                if journal is not None:
+                    journal.record("autoref", key, accepted)
+                if accepted:
+                    return AutoReferenceResult(
+                        report, candidate.event, tried,
+                        resilience=_sweep_resilience(
+                            journal, deadline, stopped_early
+                        ),
+                    )
+        return AutoReferenceResult(
+            None, None, tried,
+            resilience=_sweep_resilience(journal, deadline, stopped_early),
+        )
+    finally:
+        opts.deadline = saved_deadline
 
 
 def _auto_diagnose_parallel(
     program, good_execution, bad_execution, bad_event, options,
-    candidates, workers,
+    candidates, workers, journal=None, deadline=None,
 ) -> Optional[AutoReferenceResult]:
     """Speculative wave evaluation of the candidate sweep.
 
@@ -178,27 +230,76 @@ def _auto_diagnose_parallel(
     cannot be shipped to workers.
     """
     telemetry = getattr(options, "telemetry", None) if options else None
-    evaluator = CandidateEvaluator(workers, telemetry)
+    plan = getattr(options, "faults", None) if options else None
+    evaluator = CandidateEvaluator(
+        workers,
+        telemetry,
+        policy=getattr(options, "resilience", None) if options else None,
+        faults=(
+            FaultInjector(plan, "evaluator")
+            if plan is not None and plan.worker_crash > 0.0
+            else None
+        ),
+    )
     events = [candidate.event for candidate in candidates]
     shared = (program, good_execution, bad_execution, bad_event, options,
               events)
     tried: List[ReferenceCandidate] = []
+    stopped_early = False
+
+    def _result(report, reference):
+        return AutoReferenceResult(
+            report, reference, tried,
+            resilience=_sweep_resilience(
+                journal, deadline, stopped_early, evaluator
+            ),
+        )
+
     for wave_start in range(0, len(candidates), workers):
+        if deadline is not None and deadline.expired:
+            stopped_early = True
+            break
         wave = candidates[wave_start : wave_start + workers]
         results = evaluator.evaluate(
             _ProbeWindow(_probe_reference, wave_start), shared, len(wave)
         )
         if results is None:
-            return None if not tried else AutoReferenceResult(
-                None, None, tried
-            )
+            return None if not tried else _result(None, None)
         for candidate, (status, value) in zip(wave, results):
             tried.append(candidate)
             if status == "err":
                 raise value
-            if value.success and value.num_changes > 0:
-                return AutoReferenceResult(value, candidate.event, tried)
-    return AutoReferenceResult(None, None, tried)
+            accepted = value.success and value.num_changes > 0
+            if journal is not None:
+                journal.record("autoref", str(candidate.event), accepted)
+            if accepted:
+                return _result(value, candidate.event)
+    return _result(None, None)
+
+
+def _sweep_resilience(journal, deadline, stopped_early, evaluator=None):
+    """Sweep-level resilience section; None when nothing was active."""
+    section: dict = {}
+    if journal is not None:
+        section["journal"] = {
+            "path": journal.path,
+            "resumed": journal.resumed,
+            "skipped_candidates": journal.skipped,
+            "entries_written": journal.writes,
+        }
+    if evaluator is not None:
+        counters = {k: v for k, v in evaluator.counters().items() if v}
+        if counters:
+            section["evaluator"] = counters
+    if deadline is not None:
+        section["deadline"] = {
+            "seconds": deadline.seconds,
+            "expired": deadline.expired,
+            "slack_s": round(max(deadline.remaining(), 0.0), 3),
+        }
+    if stopped_early:
+        section["stopped_early"] = True
+    return section or None
 
 
 class _ProbeWindow:

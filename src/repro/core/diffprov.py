@@ -20,6 +20,7 @@ of the good tree (Section 4.7).
 
 from __future__ import annotations
 
+import hashlib as _hashlib
 import time as _time
 from contextlib import contextmanager, nullcontext
 from typing import Dict, List, Optional, Sequence, Set
@@ -29,6 +30,7 @@ from ..datalog.expr import Var
 from ..datalog.rules import Program, Rule
 from ..datalog.tuples import TableKind, Tuple
 from ..errors import (
+    DeadlineExceeded,
     DiagnosisFailure,
     EvaluationError,
     FaultError,
@@ -47,6 +49,7 @@ from ..replay.cache import ReplayCache
 from ..replay.execution import Execution
 from ..replay.parallel import CandidateEvaluator
 from ..replay.replayer import Change, ReplayResult
+from ..resilience import Deadline
 from .equivalence import EquivalenceRelation
 from .repair import repair_condition
 from .report import DiagnosisReport, RoundInfo
@@ -77,6 +80,9 @@ class DiffProvOptions:
         "telemetry",
         "workers",
         "replay_cache",
+        "journal",
+        "deadline",
+        "resilience",
     )
 
     def __init__(
@@ -92,6 +98,9 @@ class DiffProvOptions:
         telemetry=None,
         workers: int = 1,
         replay_cache: bool = True,
+        journal=None,
+        deadline=None,
+        resilience=None,
     ):
         self.max_rounds = max_rounds
         self.enable_taint = enable_taint
@@ -121,12 +130,28 @@ class DiffProvOptions:
         # Snapshot caching for diagnosis replays (repro.replay.cache);
         # a pure speed-up, disabled with replay_cache=False.
         self.replay_cache = replay_cache
+        # Optional DiagnosisJournal (repro.resilience): every phase
+        # boundary, explored change-set, and candidate verdict is
+        # appended and fsync'd, so a killed diagnosis resumes instead
+        # of restarting (docs/resilience.md).
+        self.journal = journal
+        # Optional end-to-end budget: None, seconds, or a Deadline.
+        # Expiry degrades the run to a partial report with the
+        # best-so-far candidates.
+        self.deadline = deadline
+        # Optional ResiliencePolicy for the candidate evaluator (pool
+        # respawn bound, per-candidate timeouts, hedging).
+        self.resilience = resilience
 
     def __getstate__(self):
         # Shipped to worker processes along with the diagnosis state;
-        # telemetry (wall clocks, open spans) stays behind.
+        # telemetry (wall clocks, open spans), the journal (an open
+        # fsync'd file handle), and the deadline (a live clock
+        # callable) stay behind.
         state = {name: getattr(self, name) for name in self.__slots__}
         state["telemetry"] = None
+        state["journal"] = None
+        state["deadline"] = None
         return state
 
     def __setstate__(self, state):
@@ -161,8 +186,10 @@ class DiffProv:
         state = _DiagnosisState(self, good, bad, timings, telemetry)
         with _replay_cache_scope(self.options, good, bad) as cache:
             state.replay_cache = cache
-            return self._diagnose(state, good, bad, good_event, bad_event,
-                                  good_time, bad_time, telemetry)
+            with _deadline_scope(state.deadline, good, bad):
+                return self._diagnose(state, good, bad, good_event,
+                                      bad_event, good_time, bad_time,
+                                      telemetry)
 
     def _diagnose(
         self, state, good, bad, good_event, bad_event, good_time, bad_time,
@@ -170,13 +197,17 @@ class DiffProv:
     ) -> DiagnosisReport:
         if telemetry is None:
             try:
-                return state.run(good_event, bad_event, good_time, bad_time)
+                report = state.run(good_event, bad_event, good_time, bad_time)
             except (
+                DeadlineExceeded,
                 DiagnosisFailure,
                 NonInvertibleError,
                 StepLimitExceeded,
             ) as failure:
-                return state.failure_report(failure)
+                report = state.failure_report(failure)
+            report.resilience = state.resilience_section()
+            state.journal_result(report)
+            return report
         # Attach the diagnosis telemetry to both executions for the
         # duration of the run, so every query-time replay they perform
         # lands inside the diagnosis span tree.  Execution stand-ins
@@ -200,6 +231,7 @@ class DiffProv:
                     root.set("success", report.success)
                     root.set("rounds", len(report.rounds))
             except (
+                DeadlineExceeded,
                 DiagnosisFailure,
                 NonInvertibleError,
                 StepLimitExceeded,
@@ -212,6 +244,8 @@ class DiffProv:
                 bad.telemetry = saved_bad
         state.fold_metrics()
         report.telemetry = telemetry.report_section()
+        report.resilience = state.resilience_section()
+        state.journal_result(report)
         return report
 
     # Convenience: the vertex-count comparison used by Table 1.
@@ -253,7 +287,14 @@ def _replay_cache_scope(options, good, bad):
                 cache = execution.replay_cache
                 break
         if cache is None and targets:
-            cache = ReplayCache()
+            plan = getattr(options, "faults", None)
+            cache = ReplayCache(
+                faults=(
+                    FaultInjector(plan, "snapshot")
+                    if plan is not None and plan.snapshot_corrupt > 0.0
+                    else None
+                )
+            )
         for execution in targets:
             if execution.replay_cache is None:
                 execution.replay_cache = cache
@@ -265,6 +306,31 @@ def _replay_cache_scope(options, good, bad):
     finally:
         for execution, previous in saved:
             execution.replay_cache = previous
+
+
+@contextmanager
+def _deadline_scope(deadline, good, bad):
+    """Attach the diagnosis deadline to both executions for one run.
+
+    Every query-time replay they perform then checks the shared budget
+    from inside the engine's step loop.  Stand-ins without a
+    ``deadline`` attribute are left alone; the previous value is always
+    restored.
+    """
+    targets = [
+        execution
+        for execution in ([good] if good is bad else [good, bad])
+        if hasattr(execution, "deadline")
+    ]
+    saved = [(execution, execution.deadline) for execution in targets]
+    if deadline is not None:
+        for execution in targets:
+            execution.deadline = deadline
+    try:
+        yield
+    finally:
+        for execution, previous in saved:
+            execution.deadline = previous
 
 
 def _probe_minimize_trial(shared, index):
@@ -325,13 +391,28 @@ class _DiagnosisState:
         self.lost_log_events = 0
         # The ReplayCache attached for this run (None when disabled).
         self.replay_cache = None
+        # Resilience machinery (docs/resilience.md).
+        self.journal = self.options.journal
+        self.deadline = Deadline.of(self.options.deadline)
+        self.evaluator_counters: Dict[str, int] = {}
+        # Set when the budget ran out inside the (optional) minimize
+        # pass — the diagnosis still succeeds with a non-minimal Δ.
+        self.deadline_expired_in: Optional[str] = None
+        # The queried events, recorded by run(); they namespace journal
+        # verdict keys so an autoref sweep (many diagnoses, one
+        # journal) never cross-reads another candidate's verdicts.
+        self.good_event: Optional[Tuple] = None
+        self.bad_event: Optional[Tuple] = None
 
     def __getstate__(self):
-        # Shipped to candidate-evaluator workers: telemetry and the
-        # parent's snapshot cache stay behind (workers build their own).
+        # Shipped to candidate-evaluator workers: telemetry, the
+        # parent's snapshot cache, the journal (open file handle), and
+        # the deadline (live clock) stay behind.
         state = self.__dict__.copy()
         state["telemetry"] = None
         state["replay_cache"] = None
+        state["journal"] = None
+        state["deadline"] = None
         return state
 
     @contextmanager
@@ -355,6 +436,10 @@ class _DiagnosisState:
     # ------------------------------------------------------------------
 
     def run(self, good_event, bad_event, good_time, bad_time) -> DiagnosisReport:
+        self.good_event = good_event
+        self.bad_event = bad_event
+        self._journal_phase("query")
+        self._check_deadline("query")
         with self._timed("query"):
             good_result = self.good.materialize()
             if self.bad is self.good:
@@ -387,6 +472,7 @@ class _DiagnosisState:
             self.good_tree_size = good_tree.size()
             self.bad_tree_size = bad_tree.size()
 
+        self._journal_phase("find_seed")
         with self._timed("find_seed"):
             self.good_seed = find_seed(good_tree.tuple_root)
             self.bad_seed = find_seed(bad_tree.tuple_root)
@@ -428,10 +514,12 @@ class _DiagnosisState:
         rounds_used = 0
         iterations = 0
         iteration_cap = self.options.max_rounds * 10
+        self._journal_phase("rounds")
         while rounds_used < self.options.max_rounds:
             iterations += 1
             if iterations > iteration_cap:
                 break
+            self._check_deadline("rounds")
             anchor_time = self._anchor_time(replayed)
             with self._timed("divergence"):
                 divergent = self._find_divergence(
@@ -439,7 +527,15 @@ class _DiagnosisState:
                 )
             if divergent is None:
                 if self.options.minimize and self.changes:
-                    self._minimize(path, good_tree.tuple_root, anchor_index)
+                    self._journal_phase("minimize")
+                    try:
+                        self._minimize(path, good_tree.tuple_root,
+                                       anchor_index)
+                    except DeadlineExceeded:
+                        # Out of budget mid-minimization: the change
+                        # set is already a verified (if non-minimal)
+                        # diagnosis, so report it rather than failing.
+                        self.deadline_expired_in = "minimize"
                 return self._success_report(anchor_index)
             with self._timed("make_appear"):
                 new_changes: List[Change] = []
@@ -463,6 +559,8 @@ class _DiagnosisState:
                     new_changes,
                 )
             )
+            if self.journal is not None:
+                self.journal.round(rounds_used, new_changes)
             if not new_changes:
                 raise DiagnosisFailure(
                     f"no further changes found, but trees still diverge at "
@@ -497,7 +595,8 @@ class _DiagnosisState:
             else None
         )
         partitioned = PartitionedProvenance(
-            graph, faults=faults, telemetry=telemetry
+            graph, faults=faults, telemetry=telemetry,
+            deadline=self.deadline,
         )
         span = (
             telemetry.span("provenance.query", side=side, event=str(event))
@@ -510,6 +609,10 @@ class _DiagnosisState:
             else:
                 try:
                     tree, stats = partitioned.query(event, time)
+                except DeadlineExceeded:
+                    # Budget expiry is not a fault outcome — let it
+                    # reach the partial-report handler untranslated.
+                    raise
                 except (FaultError, ReproError) as exc:
                     raise DiagnosisFailure(
                         f"{side} provenance could not be materialized under "
@@ -628,13 +731,20 @@ class _DiagnosisState:
         if (
             self.options.workers > 1
             and len(pending) > 1
-            and self.fault_plan is None
+            and (self.fault_plan is None or self.fault_plan.host_only())
             and not self._degraded()
+            and not (self.journal is not None and self.journal.has_verdicts)
         ):
+            # Host-only fault plans (worker-crash, snapshot-corrupt)
+            # keep replays deterministic, so the parallel pass stays
+            # correct — and is exactly what exercises the evaluator's
+            # self-healing.  A resumed journal forces the serial path:
+            # recorded verdicts are consumed in their recorded order.
             position = self._minimize_parallel(
                 path, good_root, anchor_index, pending
             )
         for change in pending[position:]:
+            self._check_deadline("minimize")
             for trial in self._alternatives(change):
                 if self._aligned_with(trial, path, good_root, anchor_index):
                     self.changes = trial
@@ -663,48 +773,81 @@ class _DiagnosisState:
         ``pending`` were fully processed; the serial pass finishes the
         rest (non-zero only when the context cannot be pickled).
         """
-        evaluator = CandidateEvaluator(self.options.workers, self.telemetry)
+        faults = (
+            FaultInjector(self.fault_plan, "evaluator")
+            if self.fault_plan is not None
+            else None
+        )
+        evaluator = CandidateEvaluator(
+            self.options.workers,
+            self.telemetry,
+            policy=self.options.resilience,
+            faults=faults,
+        )
         position = 0
-        while position < len(pending):
-            wave = [
-                (change, self._alternatives(change))
-                for change in pending[position:]
-            ]
-            trials = [trial for _, alternatives in wave for trial in alternatives]
-            shared = (self, path, good_root, anchor_index, trials)
-            with self._timed("minimize"):
-                results = evaluator.evaluate(
-                    _probe_minimize_trial, shared, len(trials)
-                )
-            if results is None:
-                # Context not picklable (e.g. an execution stand-in);
-                # the serial pass picks up from here.
-                return position
-            cursor = 0
-            committed = False
-            for change, alternatives in wave:
-                outcomes = results[cursor : cursor + len(alternatives)]
-                cursor += len(alternatives)
-                position += 1
-                chosen = None
-                for trial, (status, value) in zip(alternatives, outcomes):
-                    # Mirror the serial accounting: one replay per trial
-                    # actually consumed, stopping at the first success.
-                    self.replays += 1
-                    if status == "err":
-                        raise value
-                    if value:
-                        chosen = trial
+        try:
+            while position < len(pending):
+                self._check_deadline("minimize")
+                wave = [
+                    (change, self._alternatives(change))
+                    for change in pending[position:]
+                ]
+                trials = [
+                    trial for _, alternatives in wave for trial in alternatives
+                ]
+                shared = (self, path, good_root, anchor_index, trials)
+                with self._timed("minimize"):
+                    results = evaluator.evaluate(
+                        _probe_minimize_trial, shared, len(trials)
+                    )
+                if results is None:
+                    # Context not picklable (e.g. an execution stand-in);
+                    # the serial pass picks up from here.
+                    return position
+                cursor = 0
+                committed = False
+                for change, alternatives in wave:
+                    outcomes = results[cursor : cursor + len(alternatives)]
+                    cursor += len(alternatives)
+                    position += 1
+                    chosen = None
+                    for trial, (status, value) in zip(alternatives, outcomes):
+                        # Mirror the serial accounting: one replay per
+                        # trial actually consumed, stopping at the first
+                        # success.
+                        self.replays += 1
+                        if status == "err":
+                            raise value
+                        if self.journal is not None:
+                            self.journal.record(
+                                "minimize",
+                                self._minimize_key(trial, anchor_index),
+                                bool(value),
+                            )
+                        if value:
+                            chosen = trial
+                            break
+                    if chosen is not None:
+                        self.changes = chosen
+                        committed = True
                         break
-                if chosen is not None:
-                    self.changes = chosen
-                    committed = True
+                if not committed:
                     break
-            if not committed:
-                break
-        return len(pending)
+            return len(pending)
+        finally:
+            self._absorb_evaluator(evaluator)
 
     def _aligned_with(self, trial, path, good_root, anchor_index) -> bool:
+        key = None
+        if self.journal is not None and self._verdicts_safe():
+            key = self._minimize_key(trial, anchor_index)
+            cached = self.journal.lookup("minimize", key)
+            if cached is not None:
+                # Resume fast path: the verdict replaces exactly one
+                # replay, so mirror the serial accounting — replay
+                # counts are part of the canonical report.
+                self.replays += 1
+                return bool(cached)
         with self._timed("replay"):
             replayed = self.bad.replay(trial, anchor_index)
             self.replays += 1
@@ -713,7 +856,90 @@ class _DiagnosisState:
             divergent = self._find_divergence(
                 path, good_root, replayed, anchor_time
             )
+        if key is not None:
+            self.journal.record("minimize", key, divergent is None)
         return divergent is None
+
+    def _minimize_key(self, trial, anchor_index) -> str:
+        return (
+            f"{self.good_event}~{self.bad_event}"
+            f"{_trial_key(trial, anchor_index)}"
+        )
+
+    def _verdicts_safe(self) -> bool:
+        """Whether minimize verdicts may be journalled/replayed.
+
+        Under observed degradation the divergence check *mutates*
+        diagnosis state (UNKNOWN notes, partial-verify flags), so a
+        skipped replay would change the report; degraded resumes
+        recompute every trial instead (still byte-identical — the
+        computation is deterministic).  Host-only fault plans are safe:
+        they never touch replay semantics.
+        """
+        return (
+            self.fault_plan is None or self.fault_plan.host_only()
+        ) and not self._degraded()
+
+    # ------------------------------------------------------------------
+    # Resilience plumbing (docs/resilience.md).
+    # ------------------------------------------------------------------
+
+    def _journal_phase(self, name: str) -> None:
+        if self.journal is not None:
+            self.journal.phase(name)
+
+    def _check_deadline(self, phase: str) -> None:
+        if self.deadline is not None:
+            self.deadline.check(phase)
+
+    def _absorb_evaluator(self, evaluator) -> None:
+        for name, value in evaluator.counters().items():
+            if value:
+                self.evaluator_counters[name] = (
+                    self.evaluator_counters.get(name, 0) + value
+                )
+
+    def resilience_section(self) -> Optional[Dict[str, object]]:
+        """The report's ``resilience`` section (None when inactive).
+
+        Describes *how* the run survived, never what it concluded —
+        excluded from the canonical report so resumed/degraded runs
+        stay byte-comparable on their conclusions.
+        """
+        section: Dict[str, object] = {}
+        if self.journal is not None:
+            section["journal"] = {
+                "path": self.journal.path,
+                "resumed": self.journal.resumed,
+                "skipped_candidates": self.journal.skipped,
+                "entries_written": self.journal.writes,
+            }
+        if self.evaluator_counters:
+            section["evaluator"] = dict(self.evaluator_counters)
+        if self.replay_cache is not None and self.replay_cache.corrupt:
+            section["cache"] = {"corrupt": self.replay_cache.corrupt}
+        if self.deadline is not None:
+            expired = self.deadline.expired or (
+                self.deadline_expired_in is not None
+            )
+            section["deadline"] = {
+                "seconds": self.deadline.seconds,
+                "expired": expired,
+                "slack_s": round(max(self.deadline.remaining(), 0.0), 3),
+            }
+            if self.deadline_expired_in is not None:
+                section["deadline"]["expired_in"] = self.deadline_expired_in
+        return section or None
+
+    def journal_result(self, report) -> None:
+        """Record the finished diagnosis in the journal (commit marker)."""
+        if self.journal is None or self.journal.closed:
+            return
+        sha = _hashlib.sha256(
+            report.canonical_json().encode("utf-8")
+        ).hexdigest()
+        self.journal.result(report.success, sha,
+                            category=report.failure_category)
 
     # ------------------------------------------------------------------
     # FIRSTDIV: walking the seed→root branch.
@@ -1225,6 +1451,11 @@ class _DiagnosisState:
             telemetry.inc("recorder.lost_log_events", self.lost_log_events)
         if self.replay_cache is not None:
             self.replay_cache.fold_into(telemetry)
+        if self.journal is not None:
+            telemetry.set_gauge("journal.writes", self.journal.writes)
+            telemetry.set_gauge("journal.skipped", self.journal.skipped)
+        for name, value in sorted(self.evaluator_counters.items()):
+            telemetry.set_gauge(f"parallel.{name}_total", value)
         telemetry.set_gauge("log.good_bytes", self.good.log.total_bytes)
         telemetry.set_gauge("log.good_entries", len(self.good.log))
         telemetry.set_gauge("log.bad_bytes", self.bad.log.total_bytes)
@@ -1243,8 +1474,17 @@ class _DiagnosisState:
         )
 
     def _confidences(self, success: bool) -> Optional[List[str]]:
-        """Per-change confidence levels; None when faults never applied."""
-        if self.fault_plan is None and not self._degraded():
+        """Per-change confidence levels; None when faults never applied.
+
+        Host-only plans (worker-crash, snapshot-corrupt) don't count as
+        faults *of the diagnosed network*: the evaluator and cache heal
+        them completely, so the report stays byte-identical to a
+        fault-free run (docs/resilience.md).
+        """
+        network_faults = (
+            self.fault_plan is not None and not self.fault_plan.host_only()
+        )
+        if not network_faults and not self._degraded():
             return None
         if success:
             level = "likely" if self._degraded() else "confirmed"
@@ -1302,3 +1542,14 @@ class _DiagnosisState:
 
 def _stable_key(tup: Tuple):
     return tuple((type(a).__name__, str(a)) for a in tup.args)
+
+
+def _trial_key(trial, anchor_index) -> str:
+    """Deterministic journal key for one minimality trial.
+
+    Built from the canonical change descriptions and the anchor — the
+    exact inputs of the replayed candidate — so an uninterrupted run
+    and a resumed run key the same trial identically.
+    """
+    parts = [change.describe() for change in trial]
+    return f"@{anchor_index}|" + "|".join(parts)

@@ -13,6 +13,7 @@ from typing import Dict, List, Optional, Sequence
 
 from ..datalog.tuples import Tuple
 from ..errors import (
+    DeadlineExceeded,
     DiagnosisFailure,
     ImmutableChangeRequired,
     NonInvertibleError,
@@ -33,6 +34,7 @@ FAILURE_CATEGORIES = (
     "non-invertible",
     "stuck",
     "max-rounds",
+    "deadline-exceeded",
 )
 
 # Confidence annotations for root-cause candidates, best first.
@@ -91,6 +93,7 @@ class DiagnosisReport:
         distributed_stats: Optional[Dict[str, object]] = None,
         lost_events: int = 0,
         telemetry: Optional[Dict[str, object]] = None,
+        resilience: Optional[Dict[str, object]] = None,
     ):
         self.success = success
         self.changes = list(changes)
@@ -117,6 +120,14 @@ class DiagnosisReport:
         # time from the span tree), and "spans".  None when the
         # diagnosis ran without telemetry.
         self.telemetry = telemetry
+        # Resilience section (docs/resilience.md): journal path and
+        # resume savings, evaluator pool restarts/timeouts, quarantined
+        # cache snapshots, deadline slack.  None when no resilience
+        # machinery was active.  Like timings/telemetry it describes
+        # *how* the diagnosis ran and is excluded from canonical_dict()
+        # — a resumed run differs here (candidates skipped) while its
+        # canonical report stays byte-identical.
+        self.resilience = resilience
 
     # -- derived views -----------------------------------------------------
 
@@ -133,6 +144,8 @@ class DiagnosisReport:
     def failure_category(self) -> Optional[str]:
         if self.success:
             return None
+        if isinstance(self.failure, DeadlineExceeded):
+            return "deadline-exceeded"
         if isinstance(self.failure, SeedTypeMismatch):
             return "seed-type-mismatch"
         if isinstance(self.failure, ImmutableChangeRequired):
@@ -278,8 +291,48 @@ class DiagnosisReport:
             f"bad={self.bad_tree_size} vertexes; "
             f"seeds: {self.good_seed} / {self.bad_seed}"
         )
+        lines.extend(self._resilience_lines())
         lines.extend(self._phase_lines())
         return "\n".join(lines)
+
+    def _resilience_lines(self) -> List[str]:
+        section = self.resilience or {}
+        if not section:
+            return []
+        lines = ["  resilience:"]
+        journal = section.get("journal")
+        if journal:
+            detail = f"journal {journal.get('path')}"
+            if journal.get("resumed"):
+                detail += (
+                    f" (resumed; {journal.get('skipped_candidates', 0)} "
+                    f"candidate(s) skipped)"
+                )
+            lines.append(f"    {detail}")
+        evaluator = section.get("evaluator")
+        if evaluator:
+            lines.append(
+                f"    evaluator: {evaluator.get('pool_restarts', 0)} pool "
+                f"restart(s), {evaluator.get('timeouts', 0)} timeout(s), "
+                f"{evaluator.get('hedges', 0)} hedge(s), "
+                f"{evaluator.get('inline_fallbacks', 0)} inline fallback(s)"
+            )
+        cache = section.get("cache")
+        if cache:
+            lines.append(
+                f"    cache: {cache.get('corrupt', 0)} corrupt snapshot(s) "
+                f"quarantined"
+            )
+        deadline = section.get("deadline")
+        if deadline:
+            state = (
+                "EXPIRED" if deadline.get("expired")
+                else f"{deadline.get('slack_s')}s slack"
+            )
+            lines.append(
+                f"    deadline: {deadline.get('seconds')}s budget, {state}"
+            )
+        return lines
 
     def _phase_lines(self) -> List[str]:
         """Human-readable per-phase breakdown (telemetry runs only)."""

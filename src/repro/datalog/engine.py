@@ -53,6 +53,9 @@ class Engine:
         # raises StepLimitExceeded (a runaway-replay guard).
         self.steps = 0
         self.step_limit = step_limit
+        # Optional repro.resilience.Deadline checked every 64 steps;
+        # expiry aborts the run with DeadlineExceeded.
+        self.deadline = None
         self.store = Store(program.schemas)
         self._queue: deque = deque()
         # In-flight delayed messages: [remaining_steps, seq, item].
@@ -72,6 +75,9 @@ class Engine:
         # restore.
         state = self.__dict__.copy()
         state["telemetry"] = None
+        # Deadlines hold a live clock callable and are parent-local;
+        # workers are bounded by the evaluator's pool timeouts instead.
+        state["deadline"] = None
         return state
 
     # -- public API ----------------------------------------------------------
@@ -175,6 +181,10 @@ class Engine:
             self.telemetry.set_max(
                 "engine.queue_depth_max", len(self._queue) + 1
             )
+        if self.deadline is not None and (self.steps & 63) == 0:
+            # Cheap cadence: one clock read per 64 events keeps the
+            # deadline responsive without taxing the hot loop.
+            self.deadline.check("engine.run")
         if self.step_limit is not None and self.steps > self.step_limit:
             raise StepLimitExceeded(
                 f"engine exceeded its step budget of {self.step_limit} "

@@ -132,6 +132,40 @@ class NodeUnreachableError(FaultError):
         )
 
 
+class IntegrityError(ReproError):
+    """A persisted artifact failed its length/digest check.
+
+    Raised by :mod:`repro.resilience.integrity` when a framed payload
+    (a cached replay snapshot, a dumped event log) is truncated or
+    corrupt.  The replay cache converts this into a recorded miss; log
+    loading surfaces it, since a corrupt log has no safe fallback.
+    """
+
+
+class JournalError(ReproError):
+    """A diagnosis journal cannot be resumed from.
+
+    Raised when the journal header's schema version or diagnosis
+    fingerprint does not match the resuming run — resuming against the
+    wrong scenario or options would silently corrupt the report.  A
+    merely *truncated* journal (crash mid-write) is not an error: the
+    readable prefix is used and the torn tail discarded.
+    """
+
+
+class DeadlineExceeded(ReproError):
+    """The end-to-end diagnosis deadline expired.
+
+    Carries the phase that noticed the expiry.  DiffProv catches this
+    and degrades to a partial report with the best-so-far candidates
+    instead of crashing (docs/resilience.md).
+    """
+
+    def __init__(self, message: str, phase: str = ""):
+        self.phase = phase
+        super().__init__(message)
+
+
 class DegradedResultWarning(UserWarning):
     """A result was produced under faults and carries reduced confidence.
 

@@ -26,6 +26,9 @@ from ..errors import FaultSpecError
 __all__ = ["FaultPlan"]
 
 # spec key -> (attribute, parser); rate keys share a range check.
+# worker-crash and snapshot-corrupt are *host* faults: they hit the
+# diagnoser's own pool workers and snapshot cache, not the diagnosed
+# network (docs/resilience.md).
 _RATE_KEYS = {
     "drop": "drop",
     "dup": "duplicate",
@@ -34,6 +37,8 @@ _RATE_KEYS = {
     "loss": "prov_loss",
     "fetch-loss": "fetch_loss",
     "link-loss": "link_loss",
+    "worker-crash": "worker_crash",
+    "snapshot-corrupt": "snapshot_corrupt",
 }
 _INT_KEYS = {
     "seed": "seed",
@@ -66,6 +71,8 @@ class FaultPlan:
         "unreachable",
         "flaps",
         "crashes",
+        "worker_crash",
+        "snapshot_corrupt",
     )
 
     def __init__(
@@ -84,6 +91,8 @@ class FaultPlan:
         unreachable: PyTuple[str, ...] = (),
         flaps: PyTuple[PyTuple[str, Optional[int], int, int], ...] = (),
         crashes: PyTuple[PyTuple[str, int, int], ...] = (),
+        worker_crash: float = 0.0,
+        snapshot_corrupt: float = 0.0,
     ):
         for name, value in (
             ("drop", drop),
@@ -93,6 +102,8 @@ class FaultPlan:
             ("prov_loss", prov_loss),
             ("fetch_loss", fetch_loss),
             ("link_loss", link_loss),
+            ("worker_crash", worker_crash),
+            ("snapshot_corrupt", snapshot_corrupt),
         ):
             if not 0.0 <= value <= 1.0:
                 raise FaultSpecError(f"rate {name}={value} outside [0, 1]")
@@ -118,6 +129,8 @@ class FaultPlan:
         self.unreachable = tuple(sorted(unreachable))
         self.flaps = tuple(sorted(flaps, key=_flap_key))
         self.crashes = tuple(sorted(crashes))
+        self.worker_crash = float(worker_crash)
+        self.snapshot_corrupt = float(snapshot_corrupt)
 
     # -- spec parsing --------------------------------------------------------
 
@@ -161,6 +174,22 @@ class FaultPlan:
 
     def is_zero(self) -> bool:
         """True when the plan can never inject anything."""
+        return (
+            self.host_only()
+            and self.worker_crash == 0.0
+            and self.snapshot_corrupt == 0.0
+        )
+
+    def host_only(self) -> bool:
+        """True when only the diagnoser host can be faulted.
+
+        Worker crashes and snapshot corruption never touch the
+        diagnosed network: replays, divergence checks, and therefore
+        the report are unaffected (the evaluator retries crashed
+        candidates, the cache re-derives corrupt snapshots).  Callers
+        that gate pure-speed-up machinery on "no network faults" — the
+        parallel minimality pass — use this instead of :meth:`is_zero`.
+        """
         return (
             self.drop == 0.0
             and self.duplicate == 0.0

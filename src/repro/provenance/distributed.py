@@ -116,10 +116,14 @@ class PartitionedProvenance:
         max_retries: Optional[int] = None,
         timeout_steps: Optional[int] = None,
         telemetry=None,
+        deadline=None,
     ):
         self._graph = graph
         self.faults = faults
         self.telemetry = _active_telemetry(telemetry)
+        # Optional repro.resilience.Deadline: checked once per remote
+        # fetch, so a fetch storm cannot outlive the diagnosis budget.
+        self.deadline = deadline
         plan = faults.plan if faults is not None else None
         self.max_retries = (
             max_retries
@@ -189,6 +193,8 @@ class PartitionedProvenance:
             return True
         if vertex.id in self._failed:
             return False
+        if self.deadline is not None:
+            self.deadline.check("distributed.fetch")
         telemetry = self.telemetry
         if not self._attempt_fetch(vertex, origin):
             self._failed.add(vertex.id)

@@ -37,6 +37,14 @@ Hit/miss/store/eviction counters are exposed via :meth:`stats` and can
 be folded into a :class:`repro.observability.MetricsRegistry` with
 :meth:`fold_into`; per-event counters are also bumped on whatever
 telemetry the triggering replay carries.
+
+Stored payloads carry length+digest framing
+(:mod:`repro.resilience.integrity`), so a truncated or bit-flipped
+snapshot — real-world memory pressure, or the ``snapshot-corrupt``
+fault kind — is detected on fetch, quarantined (evicted and counted
+under ``replay.cache.corrupt``), and reported as an ordinary miss: the
+caller re-derives the state from scratch and the diagnosis is
+unaffected.
 """
 
 from __future__ import annotations
@@ -44,6 +52,8 @@ from __future__ import annotations
 import pickle
 from collections import OrderedDict
 from typing import Dict, List, Optional, Tuple as PyTuple
+
+from ..resilience.integrity import IntegrityError, frame, unframe
 
 __all__ = ["ReplayCache", "DEFAULT_MAX_ENTRIES"]
 
@@ -66,12 +76,16 @@ class ReplayCache:
     """LRU store of pickled ``(engine, recorder)`` replay snapshots."""
 
     def __init__(self, max_entries: int = DEFAULT_MAX_ENTRIES,
-                 store_results: bool = True):
+                 store_results: bool = True, faults=None):
         self.max_entries = max_entries
         # Result snapshots trade one pickle per candidate replay for a
         # restore whenever a change set is replayed again; disable to
         # keep only prefix snapshots.
         self.store_results = store_results
+        # Optional FaultInjector whose corrupt_snapshot() decides which
+        # stores get their framed payload damaged (the snapshot-corrupt
+        # fault kind); None in production.
+        self.faults = faults
         self._entries: "OrderedDict[tuple, _Entry]" = OrderedDict()
         # base key -> sorted list of stored prefix lengths, so a replay
         # can find the longest usable prefix without scanning the LRU.
@@ -81,6 +95,7 @@ class ReplayCache:
         self.prefix_hits = 0
         self.stores = 0
         self.evictions = 0
+        self.corrupt = 0
         self.bytes_stored = 0
 
     # -- keys ----------------------------------------------------------------
@@ -152,20 +167,52 @@ class ReplayCache:
                 telemetry.inc("replay.cache.misses")
             return None
         self._entries.move_to_end(key)
+        try:
+            raw = unframe(entry.payload)
+            if telemetry is not None:
+                with telemetry.span("replay.cache.restore",
+                                    bytes=entry.nbytes):
+                    engine, recorder = pickle.loads(raw)
+            else:
+                engine, recorder = pickle.loads(raw)
+        except (IntegrityError, pickle.UnpicklingError, EOFError,
+                AttributeError, ImportError, IndexError, ValueError,
+                TypeError):
+            # A damaged snapshot must never take the diagnosis down:
+            # quarantine the entry and report a miss so the caller
+            # re-derives the state from scratch.
+            self._quarantine(key, entry, telemetry)
+            return None
         self.hits += 1
         if entry.kind == "prefix":
             self.prefix_hits += 1
         if telemetry is not None:
             telemetry.inc("replay.cache.hits")
-            with telemetry.span("replay.cache.restore", bytes=entry.nbytes):
-                engine, recorder = pickle.loads(entry.payload)
-        else:
-            engine, recorder = pickle.loads(entry.payload)
         engine.telemetry = telemetry
         engine.step_limit = step_limit
         if recorder is not None:
             recorder.telemetry = telemetry
         return engine, recorder
+
+    def _quarantine(self, key: tuple, entry: "_Entry", telemetry) -> None:
+        """Drop a corrupt entry and count the event as a recorded miss."""
+        del self._entries[key]
+        self.bytes_stored -= entry.nbytes
+        if entry.kind == "prefix":
+            base_key, _, prefix = key
+            prefixes = self._prefixes.get(base_key)
+            if prefixes is not None:
+                try:
+                    prefixes.remove(prefix)
+                except ValueError:  # pragma: no cover - defensive
+                    pass
+                if not prefixes:
+                    del self._prefixes[base_key]
+        self.corrupt += 1
+        self.misses += 1
+        if telemetry is not None:
+            telemetry.inc("replay.cache.corrupt")
+            telemetry.inc("replay.cache.misses")
 
     def contains(self, key: tuple) -> bool:
         return key in self._entries
@@ -175,9 +222,13 @@ class ReplayCache:
         if key in self._entries:
             self._entries.move_to_end(key)
             return
-        payload = pickle.dumps(
+        payload = frame(pickle.dumps(
             (engine, recorder), protocol=pickle.HIGHEST_PROTOCOL
-        )
+        ))
+        if self.faults is not None and self.faults.corrupt_snapshot():
+            # Simulated bit rot: keep the intact header, truncate the
+            # body — exactly the shape a half-written snapshot takes.
+            payload = payload[: max(1, len(payload) // 2)]
         kind = key[1]
         self._entries[key] = _Entry(payload, kind)
         self.stores += 1
@@ -239,6 +290,7 @@ class ReplayCache:
             "misses": self.misses,
             "stores": self.stores,
             "evictions": self.evictions,
+            "corrupt": self.corrupt,
         }
 
     def fold_into(self, telemetry) -> None:

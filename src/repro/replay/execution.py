@@ -85,6 +85,9 @@ class Execution:
             telemetry=telemetry,
         )
         self._materialized: Optional[ReplayResult] = None
+        # Optional repro.resilience.Deadline the debugger attaches for
+        # the duration of a diagnosis; every replay inherits it.
+        self.deadline = None
         self.replay_count = 0
         self.replay_seconds = 0.0
 
@@ -182,6 +185,7 @@ class Execution:
             step_limit=step_limit,
             telemetry=self.telemetry,
             cache=self.replay_cache,
+            deadline=self.deadline,
         )
         self.replay_seconds += _time.perf_counter() - started
         self.replay_count += 1
@@ -196,6 +200,9 @@ class Execution:
         state["telemetry"] = None
         state["replay_cache"] = None
         state["_materialized"] = None
+        # Deadlines are parent-local (live clock callable); workers are
+        # bounded by the evaluator's pool timeouts instead.
+        state["deadline"] = None
         return state
 
     def __repr__(self):

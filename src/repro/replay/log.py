@@ -18,7 +18,8 @@ from typing import Dict, Iterator, List, Optional
 
 from ..datalog.parser import parse_tuple
 from ..datalog.tuples import Tuple
-from ..errors import ReproError
+from ..errors import IntegrityError, ReproError
+from ..resilience.integrity import digest_text
 
 __all__ = ["LogEntry", "EventLog", "estimate_size", "PACKET_RECORD_BYTES"]
 
@@ -142,35 +143,65 @@ class EventLog:
     # -- persistence --------------------------------------------------------
 
     def dump(self, path: str) -> None:
-        """Write the log as text, one entry per line."""
+        """Write the log as text, one entry per line.
+
+        The body is followed by a ``# sha256:`` trailer so :meth:`load`
+        can detect truncation or corruption of a dumped log before
+        replaying it (docs/resilience.md).
+        """
+        lines = []
+        for entry in self.entries:
+            if entry.op == "barrier":
+                lines.append("barrier")
+            else:
+                flag = "" if entry.mutable is None else (
+                    " mutable" if entry.mutable else " immutable"
+                )
+                lines.append(f"{entry.op} {entry.tuple}{flag}")
+        body = "".join(line + "\n" for line in lines)
         with open(path, "w", encoding="utf-8") as handle:
-            for entry in self.entries:
-                if entry.op == "barrier":
-                    handle.write("barrier\n")
-                else:
-                    flag = "" if entry.mutable is None else (
-                        " mutable" if entry.mutable else " immutable"
-                    )
-                    handle.write(f"{entry.op} {entry.tuple}{flag}\n")
+            handle.write(body)
+            handle.write(f"# sha256:{digest_text(body)}\n")
 
     @classmethod
     def load(cls, path: str) -> "EventLog":
-        log = cls()
         with open(path, "r", encoding="utf-8") as handle:
-            for line in handle:
-                line = line.strip()
-                if not line:
-                    continue
-                if line == "barrier":
-                    log.append("barrier")
-                    continue
-                op, _, rest = line.partition(" ")
-                mutable = None
-                if rest.endswith(" mutable"):
-                    mutable = True
-                    rest = rest[: -len(" mutable")]
-                elif rest.endswith(" immutable"):
-                    mutable = False
-                    rest = rest[: -len(" immutable")]
-                log.append(op, parse_tuple(rest), mutable)
+            raw_lines = handle.readlines()
+        # Verify the dump trailer when present; logs written by older
+        # versions (or by hand) have no trailer and load unchecked.
+        body_lines = []
+        expected = None
+        for raw in raw_lines:
+            stripped = raw.strip()
+            if stripped.startswith("# sha256:"):
+                expected = stripped[len("# sha256:"):]
+            elif stripped.startswith("#"):
+                continue
+            else:
+                body_lines.append(raw)
+        if expected is not None:
+            actual = digest_text("".join(body_lines))
+            if actual != expected:
+                raise IntegrityError(
+                    f"event log {path} failed its integrity check "
+                    f"(sha256 {actual[:12]}… != recorded {expected[:12]}…); "
+                    f"the dump is truncated or corrupt"
+                )
+        log = cls()
+        for line in body_lines:
+            line = line.strip()
+            if not line:
+                continue
+            if line == "barrier":
+                log.append("barrier")
+                continue
+            op, _, rest = line.partition(" ")
+            mutable = None
+            if rest.endswith(" mutable"):
+                mutable = True
+                rest = rest[: -len(" mutable")]
+            elif rest.endswith(" immutable"):
+                mutable = False
+                rest = rest[: -len(" immutable")]
+            log.append(op, parse_tuple(rest), mutable)
         return log

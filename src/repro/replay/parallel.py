@@ -1,4 +1,4 @@
-"""Parallel candidate evaluation over a process pool.
+"""Parallel candidate evaluation over a self-healing process pool.
 
 DiffProv's candidate phases — the minimality post-pass, autoref's
 reference sweep — evaluate many independent replays whose inputs are
@@ -18,6 +18,19 @@ byte-identical to a serial run:
   single job) preserves the same isolation by evaluating against a
   fresh unpickle per job.
 
+Self-healing (docs/resilience.md): every job is a pure function of the
+shipped context and its index, so any failed attempt can simply be run
+again.  When a worker dies mid-wave (``BrokenProcessPool`` — an OOM
+kill, a segfaulting extension, or the ``worker-crash`` fault kind) the
+evaluator respawns the pool up to
+``ResiliencePolicy.max_pool_restarts`` times and re-submits only the
+candidates without results; if pools keep dying, the survivors are
+evaluated inline in the parent.  A :class:`ResiliencePolicy` can also
+bound per-candidate wall-clock (timed-out candidates are abandoned on
+the pool and recomputed inline) and hedge stragglers with a duplicate
+submission.  All of it is counted: ``parallel.pool_restarts``,
+``parallel.timeouts``, ``parallel.hedges``, ``parallel.inline_fallbacks``.
+
 ``workers=1`` callers should not construct an evaluator at all — the
 plain serial code path is the reference behaviour the pool is measured
 against.
@@ -27,11 +40,14 @@ from __future__ import annotations
 
 import concurrent.futures
 import multiprocessing
+import os
 import pickle
-from typing import Any, List, Optional, Tuple as PyTuple
+from typing import Any, Dict, List, Optional, Tuple as PyTuple
 
 from ..errors import ReproError
+from ..faults.injector import worker_crash_decision
 from ..observability import active as _active_telemetry
+from ..resilience.policy import ResiliencePolicy
 
 __all__ = ["CandidateEvaluator"]
 
@@ -45,8 +61,16 @@ def _init_worker(payload: bytes) -> None:
     _WORKER_CONTEXT = pickle.loads(payload)
 
 
-def _run_job(index: int):
-    func, shared = _WORKER_CONTEXT
+def _run_job(index: int, attempt: int = 0):
+    func, shared, crash = _WORKER_CONTEXT
+    if crash is not None and attempt == 0:
+        seed, rate = crash
+        if worker_crash_decision(seed, rate, index):
+            # Simulated worker death: exit hard enough that the pool
+            # sees a vanished process, not a raised exception.  Only
+            # the first attempt crashes, so the healed pool's re-run
+            # (attempt 1) completes deterministically.
+            os._exit(66)
     try:
         return ("ok", func(shared, index))
     except Exception as exc:  # noqa: BLE001 - transported to the caller
@@ -62,15 +86,35 @@ class CandidateEvaluator:
 
     ``func`` must be a module-level callable (pickled by reference) and
     ``shared`` a picklable context.  Results preserve job order.
+    ``faults`` (a FaultInjector over a plan with ``worker_crash > 0``)
+    arms the simulated worker-crash fault; ``policy`` tunes the healing
+    behaviour.
     """
 
-    def __init__(self, workers: int = 1, telemetry=None):
+    def __init__(self, workers: int = 1, telemetry=None,
+                 policy: Optional[ResiliencePolicy] = None, faults=None):
         self.workers = max(1, int(workers))
         self.telemetry = _active_telemetry(telemetry)
+        self.policy = policy if policy is not None else ResiliencePolicy()
+        self.faults = faults
+        # Healing counters, cumulative across waves; callers fold them
+        # into report.resilience.
+        self.pool_restarts = 0
+        self.timeouts = 0
+        self.hedges = 0
+        self.inline_fallbacks = 0
 
     @property
     def parallel(self) -> bool:
         return self.workers > 1
+
+    def counters(self) -> Dict[str, int]:
+        return {
+            "pool_restarts": self.pool_restarts,
+            "timeouts": self.timeouts,
+            "hedges": self.hedges,
+            "inline_fallbacks": self.inline_fallbacks,
+        }
 
     def evaluate(
         self, func, shared, count: int
@@ -83,9 +127,12 @@ class CandidateEvaluator:
         """
         if count <= 0:
             return []
+        crash = None
+        if self.faults is not None and self.faults.plan.worker_crash > 0.0:
+            crash = (self.faults.plan.seed, self.faults.plan.worker_crash)
         try:
             payload = pickle.dumps(
-                (func, shared), protocol=pickle.HIGHEST_PROTOCOL
+                (func, shared, crash), protocol=pickle.HIGHEST_PROTOCOL
             )
         except Exception:
             if self.telemetry is not None:
@@ -99,13 +146,53 @@ class CandidateEvaluator:
         try:
             return self._pooled(payload, count)
         except (OSError, RuntimeError, concurrent.futures.BrokenExecutor):
-            # Pool-level failure (fork unavailable, resource limits):
-            # the inline path is slower but has identical semantics.
+            # Pool-level failure that healing could not contain (fork
+            # unavailable, resource limits): the inline path is slower
+            # but has identical semantics.
             if self.telemetry is not None:
                 self.telemetry.inc("parallel.pool_failures")
             return self._inline(payload, count)
 
+    # -- pooled path ---------------------------------------------------------
+
     def _pooled(self, payload: bytes, count: int) -> List[PyTuple[str, Any]]:
+        results: Dict[int, PyTuple[str, Any]] = {}
+        pending = list(range(count))
+        restarts_left = self.policy.max_pool_restarts
+        while pending:
+            survivors = self._pool_round(payload, pending, results)
+            if not survivors:
+                break
+            # The pool died mid-wave.  Jobs are pure functions of
+            # (context, index), so the unfinished ones are simply
+            # resubmitted to a fresh pool — bounded, then inline.
+            if restarts_left <= 0:
+                self.inline_fallbacks += len(survivors)
+                if self.telemetry is not None:
+                    self.telemetry.inc(
+                        "parallel.inline_fallbacks", len(survivors)
+                    )
+                for index in survivors:
+                    results[index] = self._inline_one(payload, index)
+                break
+            restarts_left -= 1
+            self.pool_restarts += 1
+            if self.telemetry is not None:
+                self.telemetry.inc("parallel.pool_restarts")
+            pending = survivors
+        return [results[index] for index in range(count)]
+
+    def _pool_round(
+        self,
+        payload: bytes,
+        pending: List[int],
+        results: Dict[int, PyTuple[str, Any]],
+    ) -> List[int]:
+        """One pool lifetime: run ``pending``, fill ``results``.
+
+        Returns the indices still unresolved when the pool broke (empty
+        when the round completed cleanly).
+        """
         # Prefer fork on platforms that have it: the context is shared
         # copy-on-write and worker start-up is milliseconds.  The
         # payload still rides through the initializer, so spawn-only
@@ -114,20 +201,91 @@ class CandidateEvaluator:
             mp_context = multiprocessing.get_context("fork")
         except ValueError:  # pragma: no cover - non-POSIX
             mp_context = multiprocessing.get_context()
-        with concurrent.futures.ProcessPoolExecutor(
-            max_workers=min(self.workers, count),
+        attempt = 0 if not self.pool_restarts else 1
+        pool = concurrent.futures.ProcessPoolExecutor(
+            max_workers=min(self.workers, len(pending)),
             mp_context=mp_context,
             initializer=_init_worker,
             initargs=(payload,),
-        ) as pool:
-            futures = [pool.submit(_run_job, index) for index in range(count)]
-            results: List[PyTuple[str, Any]] = []
-            for future in futures:
-                exc = future.exception()
-                results.append(
-                    ("err", exc) if exc is not None else future.result()
+        )
+        clean = True
+        timeouts_before = self.timeouts
+        try:
+            futures = {
+                index: pool.submit(_run_job, index, attempt)
+                for index in pending
+            }
+            for index in pending:
+                if index in results:
+                    continue
+                try:
+                    results[index] = self._await_one(
+                        pool, futures, index, attempt, payload
+                    )
+                except concurrent.futures.process.BrokenProcessPool:
+                    clean = False
+                    return [i for i in pending if i not in results]
+        finally:
+            # A hung (timed-out, abandoned) worker must not block
+            # shutdown; an abandoned future's eventual result is
+            # simply discarded.
+            if self.timeouts > timeouts_before:
+                clean = False
+            pool.shutdown(wait=clean, cancel_futures=not clean)
+        return []
+
+    def _await_one(self, pool, futures, index, attempt, payload):
+        """Resolve one candidate, applying timeout and hedging policy."""
+        future = futures[index]
+        timeout = self.policy.candidate_timeout_s
+        hedge_after = self.policy.hedge_after_s
+        if hedge_after is not None:
+            done, _ = concurrent.futures.wait([future], timeout=hedge_after)
+            if not done:
+                # Straggler: race a duplicate submission.  Both attempts
+                # compute the same pure function, so first-wins is safe.
+                self.hedges += 1
+                if self.telemetry is not None:
+                    self.telemetry.inc("parallel.hedges")
+                hedged = pool.submit(_run_job, index, max(attempt, 1))
+                remaining = None
+                if timeout is not None:
+                    remaining = max(0.0, timeout - hedge_after)
+                done, _ = concurrent.futures.wait(
+                    [future, hedged],
+                    timeout=remaining,
+                    return_when=concurrent.futures.FIRST_COMPLETED,
                 )
-        return results
+                if done:
+                    return self._future_outcome(done.pop())
+                return self._timeout_fallback(payload, index)
+        try:
+            future.exception(timeout=timeout)
+        except concurrent.futures.TimeoutError:
+            return self._timeout_fallback(payload, index)
+        return self._future_outcome(future)
+
+    @staticmethod
+    def _future_outcome(future) -> PyTuple[str, Any]:
+        # A broken pool surfaces as the *stored* exception of every
+        # in-flight future — re-raise it so the healing loop sees a
+        # dead pool, not a per-candidate error.
+        exc = future.exception()
+        if isinstance(exc, concurrent.futures.process.BrokenProcessPool):
+            raise exc
+        return ("err", exc) if exc is not None else future.result()
+
+    def _timeout_fallback(self, payload: bytes, index: int):
+        """A candidate blew its wall-clock budget: abandon the pool
+        attempt and recompute inline (deterministic ⇒ same result)."""
+        self.timeouts += 1
+        self.inline_fallbacks += 1
+        if self.telemetry is not None:
+            self.telemetry.inc("parallel.timeouts")
+            self.telemetry.inc("parallel.inline_fallbacks")
+        return self._inline_one(payload, index)
+
+    # -- inline path ---------------------------------------------------------
 
     def _inline(self, payload: bytes, count: int) -> List[PyTuple[str, Any]]:
         """Serial evaluation with worker-grade isolation.
@@ -137,14 +295,20 @@ class CandidateEvaluator:
         """
         if self.telemetry is not None:
             self.telemetry.inc("parallel.inline_jobs", count)
-        results: List[PyTuple[str, Any]] = []
-        for index in range(count):
-            func, shared = pickle.loads(payload)
-            try:
-                results.append(("ok", func(shared, index)))
-            except Exception as exc:  # noqa: BLE001 - ordered transport
-                results.append(("err", exc))
-        return results
+        return [self._inline_one(payload, index) for index in range(count)]
+
+    @staticmethod
+    def _inline_one(payload: bytes, index: int) -> PyTuple[str, Any]:
+        # attempt=1 suppresses the simulated worker crash: killing the
+        # parent process would defeat the whole point of the fallback.
+        func, shared, _crash = pickle.loads(payload)
+        try:
+            return ("ok", func(shared, index))
+        except Exception as exc:  # noqa: BLE001 - ordered transport
+            return ("err", exc)
 
     def __repr__(self):
-        return f"CandidateEvaluator(workers={self.workers})"
+        return (
+            f"CandidateEvaluator(workers={self.workers}, "
+            f"restarts={self.pool_restarts})"
+        )

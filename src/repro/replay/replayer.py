@@ -99,6 +99,7 @@ def replay(
     step_limit: Optional[int] = None,
     telemetry=None,
     cache=None,
+    deadline=None,
 ) -> ReplayResult:
     """Replay a log, applying ``changes`` just before ``anchor_index``.
 
@@ -140,6 +141,7 @@ def replay(
         restored = cache.fetch(result_key, telemetry, step_limit)
         if restored is not None:
             engine, recorder = restored
+            engine.deadline = deadline
             return ReplayResult(
                 engine, recorder if recorder is not None else ProvenanceRecorder()
             )
@@ -186,6 +188,7 @@ def replay(
             step_limit=step_limit,
             telemetry=telemetry,
         )
+    engine.deadline = deadline
 
     capture_at = fork if (cache is not None and fork > start) else -1
 

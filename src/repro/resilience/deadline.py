@@ -1,0 +1,66 @@
+"""End-to-end diagnosis deadlines.
+
+A production diagnosis has a budget: the operator would rather get the
+best-so-far candidates after N seconds than a perfect answer that never
+arrives.  A :class:`Deadline` is a monotonic expiry time threaded
+through every long-running layer — the engine's step loop, distributed
+provenance fetches, candidate waves — each of which calls
+:meth:`Deadline.check` at its natural cadence.  Expiry raises
+:class:`~repro.errors.DeadlineExceeded`; DiffProv catches it and
+degrades to a partial report (docs/resilience.md).
+
+The clock is injectable so tests can drive expiry deterministically.
+"""
+
+from __future__ import annotations
+
+import time as _time
+from typing import Callable, Optional, Union
+
+from ..errors import DeadlineExceeded
+
+__all__ = ["Deadline"]
+
+
+class Deadline:
+    """A wall-clock budget with a fixed expiry instant."""
+
+    __slots__ = ("seconds", "clock", "_expires")
+
+    def __init__(self, seconds: float,
+                 clock: Callable[[], float] = _time.monotonic):
+        if seconds < 0:
+            raise ValueError(f"deadline must be >= 0 seconds, got {seconds}")
+        self.seconds = float(seconds)
+        self.clock = clock
+        self._expires = clock() + self.seconds
+
+    @classmethod
+    def of(cls, value: Union[None, float, "Deadline"]) -> Optional["Deadline"]:
+        """Normalize an options value: None, a seconds budget, or an
+        already-running Deadline (shared across a sweep)."""
+        if value is None or isinstance(value, Deadline):
+            return value
+        return cls(float(value))
+
+    def remaining(self) -> float:
+        """Seconds left; negative once expired."""
+        return self._expires - self.clock()
+
+    @property
+    def expired(self) -> bool:
+        return self.clock() >= self._expires
+
+    def check(self, phase: str = "") -> None:
+        """Raise :class:`DeadlineExceeded` if the budget is spent."""
+        overdue = self.clock() - self._expires
+        if overdue >= 0:
+            raise DeadlineExceeded(
+                f"diagnosis deadline of {self.seconds:g}s exceeded"
+                + (f" during {phase}" if phase else "")
+                + f" (over by {overdue:.3f}s)",
+                phase=phase,
+            )
+
+    def __repr__(self):
+        return f"Deadline({self.seconds:g}s, remaining={self.remaining():.3f}s)"

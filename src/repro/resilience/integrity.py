@@ -1,0 +1,104 @@
+"""Length+digest framing for persisted replay artifacts.
+
+Replay snapshots and dumped event logs are trusted inputs to the
+diagnosis: a truncated pickle used to crash the cache mid-minimization,
+and a corrupt log line silently changed what was replayed.  Framing
+makes corruption *detectable* before the payload is interpreted:
+
+- :func:`frame` prefixes a payload with a magic tag, its length, and a
+  SHA-256 digest;
+- :func:`unframe` verifies all three and raises a typed
+  :class:`~repro.errors.IntegrityError` on any mismatch — never an
+  unpickling crash.
+
+The journal uses the line-oriented variant (:func:`checksum_line` /
+:func:`verify_line`): each JSONL entry carries a CRC32 prefix, so a
+torn tail line after a crash is recognized and discarded rather than
+parsed as garbage.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import struct
+import zlib
+
+from ..errors import IntegrityError
+
+__all__ = [
+    "FRAME_MAGIC",
+    "frame",
+    "unframe",
+    "checksum_line",
+    "verify_line",
+    "digest_text",
+]
+
+# 4-byte magic + 8-byte big-endian length + 32-byte SHA-256 digest.
+FRAME_MAGIC = b"RPF1"
+_LEN = struct.Struct(">Q")
+HEADER_BYTES = len(FRAME_MAGIC) + _LEN.size + hashlib.sha256().digest_size
+
+
+def frame(payload: bytes) -> bytes:
+    """Wrap ``payload`` in a magic/length/digest header."""
+    digest = hashlib.sha256(payload).digest()
+    return FRAME_MAGIC + _LEN.pack(len(payload)) + digest + payload
+
+
+def unframe(data: bytes) -> bytes:
+    """Verify and strip a :func:`frame` header.
+
+    Raises :class:`IntegrityError` on a bad magic tag, a length
+    mismatch (truncation), or a digest mismatch (bit rot) — the three
+    ways a persisted snapshot goes bad.
+    """
+    if len(data) < HEADER_BYTES:
+        raise IntegrityError(
+            f"framed payload truncated: {len(data)} bytes is shorter than "
+            f"the {HEADER_BYTES}-byte header"
+        )
+    if data[: len(FRAME_MAGIC)] != FRAME_MAGIC:
+        raise IntegrityError(
+            f"bad frame magic {data[:len(FRAME_MAGIC)]!r} "
+            f"(expected {FRAME_MAGIC!r})"
+        )
+    offset = len(FRAME_MAGIC)
+    (length,) = _LEN.unpack_from(data, offset)
+    offset += _LEN.size
+    digest = data[offset : offset + hashlib.sha256().digest_size]
+    offset += hashlib.sha256().digest_size
+    payload = data[offset:]
+    if len(payload) != length:
+        raise IntegrityError(
+            f"framed payload truncated: header promises {length} bytes, "
+            f"{len(payload)} present"
+        )
+    if hashlib.sha256(payload).digest() != digest:
+        raise IntegrityError("framed payload digest mismatch (corrupt bytes)")
+    return payload
+
+
+def checksum_line(text: str) -> str:
+    """One journal line: ``crc32hex text`` (no trailing newline)."""
+    crc = zlib.crc32(text.encode("utf-8")) & 0xFFFFFFFF
+    return f"{crc:08x} {text}"
+
+
+def verify_line(line: str):
+    """The text of a checksummed line, or ``None`` if torn/corrupt."""
+    prefix, sep, text = line.partition(" ")
+    if not sep or len(prefix) != 8:
+        return None
+    try:
+        expected = int(prefix, 16)
+    except ValueError:
+        return None
+    if zlib.crc32(text.encode("utf-8")) & 0xFFFFFFFF != expected:
+        return None
+    return text
+
+
+def digest_text(text: str) -> str:
+    """SHA-256 hex digest of a text body (event-log dump trailers)."""
+    return hashlib.sha256(text.encode("utf-8")).hexdigest()

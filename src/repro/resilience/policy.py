@@ -1,0 +1,49 @@
+"""Tuning knobs for the self-healing candidate evaluator.
+
+The defaults are chosen so the pool heals itself without operator
+input: a dead pool (``BrokenProcessPool``) is respawned up to
+``max_pool_restarts`` times with the in-flight candidates re-submitted,
+after which the survivors are evaluated inline; per-candidate timeouts
+and hedged retries are off unless the operator budgets them, since a
+wall-clock cutoff is workload-specific.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+__all__ = ["ResiliencePolicy"]
+
+
+class ResiliencePolicy:
+    """How hard the evaluator fights to keep a candidate wave alive."""
+
+    __slots__ = ("candidate_timeout_s", "hedge_after_s", "max_pool_restarts")
+
+    def __init__(
+        self,
+        candidate_timeout_s: Optional[float] = None,
+        hedge_after_s: Optional[float] = None,
+        max_pool_restarts: int = 2,
+    ):
+        # None disables: no per-candidate wall-clock cutoff.  A candidate
+        # that exceeds the cutoff is abandoned on the pool and recomputed
+        # inline (deterministic function → identical result).
+        self.candidate_timeout_s = candidate_timeout_s
+        # None disables: no hedged duplicate of stragglers.  With a
+        # value, a candidate still running after that many seconds gets
+        # a second submission; whichever attempt finishes first wins
+        # (both compute the same deterministic function).
+        self.hedge_after_s = hedge_after_s
+        if max_pool_restarts < 0:
+            raise ValueError(
+                f"max_pool_restarts must be >= 0, got {max_pool_restarts}"
+            )
+        self.max_pool_restarts = int(max_pool_restarts)
+
+    def __repr__(self):
+        return (
+            f"ResiliencePolicy(timeout={self.candidate_timeout_s}, "
+            f"hedge={self.hedge_after_s}, "
+            f"restarts={self.max_pool_restarts})"
+        )

@@ -194,3 +194,65 @@ class TestDeterminism:
         )
         assert parallel.canonical_json() == serial.canonical_json()
         assert parallel.replays == serial.replays
+
+
+class TestCorruption:
+    """A damaged snapshot is a recorded miss, never a crash.
+
+    Regression: a truncated pickle in the cache used to raise out of
+    ``pickle.loads`` mid-minimization and take the whole diagnosis
+    down (docs/resilience.md).
+    """
+
+    def _warm_cache(self, forwarding_program):
+        execution = _forwarding_execution(forwarding_program)
+        cache = ReplayCache()
+        replay(forwarding_program, execution.log, cache=cache)
+        return execution, cache
+
+    def test_truncated_pickle_is_a_quarantined_miss(self, forwarding_program):
+        execution, cache = self._warm_cache(forwarding_program)
+        # Truncate every framed payload mid-pickle, as a half-written
+        # snapshot file would be after a crash.
+        for entry in cache._entries.values():
+            entry.payload = entry.payload[: max(1, len(entry.payload) // 2)]
+        result = replay(forwarding_program, execution.log, cache=cache)
+        assert result.graph is not None
+        stats = cache.stats()
+        assert stats["corrupt"] >= 1
+        assert stats["hits"] == 0
+
+    def test_bit_rot_is_a_quarantined_miss(self, forwarding_program):
+        execution, cache = self._warm_cache(forwarding_program)
+        for entry in cache._entries.values():
+            flipped = bytearray(entry.payload)
+            flipped[-1] ^= 0xFF
+            entry.payload = bytes(flipped)
+        replay(forwarding_program, execution.log, cache=cache)
+        assert cache.stats()["corrupt"] >= 1
+
+    def test_quarantine_evicts_and_releases_bytes(self, forwarding_program):
+        execution, cache = self._warm_cache(forwarding_program)
+        entries_before = len(cache)
+        for entry in cache._entries.values():
+            entry.payload = entry.payload[:10]
+        replay(forwarding_program, execution.log, cache=cache)
+        assert len(cache) <= entries_before
+        assert cache.bytes_stored >= 0
+
+    def test_corruption_is_metered(self, forwarding_program):
+        from repro.observability import Telemetry
+
+        execution, cache = self._warm_cache(forwarding_program)
+        for entry in cache._entries.values():
+            entry.payload = entry.payload[:10]
+        telemetry = Telemetry()
+        replay(forwarding_program, execution.log, cache=cache,
+               telemetry=telemetry)
+        counters = telemetry.snapshot()["counters"]
+        assert counters.get("replay.cache.corrupt", 0) >= 1
+
+    def test_healthy_cache_reports_zero_corruption(self, forwarding_program):
+        execution, cache = self._warm_cache(forwarding_program)
+        replay(forwarding_program, execution.log, cache=cache)
+        assert cache.stats()["corrupt"] == 0

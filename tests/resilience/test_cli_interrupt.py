@@ -1,0 +1,104 @@
+"""Ctrl-C handling of the ``diffprov`` CLI.
+
+An interrupted diagnosis must flush its journal, print a partial
+summary (including the exact resume command), and exit with the
+conventional 128+SIGINT status — distinct from both success (0) and
+argument errors (2).
+"""
+
+import os
+import signal
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.cli import EXIT_INTERRUPTED
+
+_SRC = str(Path(__file__).parents[2] / "src")
+
+
+def _spawn_held_diagnose(journal):
+    env = dict(os.environ)
+    env["PYTHONPATH"] = _SRC + os.pathsep + env.get("PYTHONPATH", "")
+    env["REPRO_TEST_HOLD_PHASE"] = "minimize"
+    env["REPRO_TEST_HOLD_S"] = "60"
+    return subprocess.Popen(
+        [
+            sys.executable, "-m", "repro.cli",
+            "diagnose", "SDN1", "--minimize", "--journal", journal,
+        ],
+        env=env,
+        stdout=subprocess.PIPE,
+        stderr=subprocess.PIPE,
+        text=True,
+    )
+
+
+def test_sigint_flushes_journal_and_exits_130(tmp_path):
+    journal = str(tmp_path / "cli.journal")
+    proc = _spawn_held_diagnose(journal)
+    try:
+        deadline = time.monotonic() + 90
+        while time.monotonic() < deadline:
+            if os.path.exists(journal) and '"name":"minimize"' in open(
+                journal, encoding="utf-8", errors="replace"
+            ).read():
+                break
+            if proc.poll() is not None:
+                pytest.fail(f"CLI exited early: {proc.communicate()}")
+            time.sleep(0.05)
+        else:
+            pytest.fail("diagnosis never reached the minimize hold")
+        proc.send_signal(signal.SIGINT)
+        _, stderr = proc.communicate(timeout=60)
+    finally:
+        if proc.poll() is None:  # pragma: no cover - cleanup
+            proc.kill()
+            proc.communicate()
+
+    assert proc.returncode == EXIT_INTERRUPTED == 130
+    assert "interrupted" in stderr
+    assert "journal flushed" in stderr
+    # The partial summary tells the operator exactly how to continue.
+    assert f"--journal {journal} --resume" in stderr
+    # Everything journaled before the interrupt survives on disk.
+    assert os.path.getsize(journal) > 0
+
+
+def test_interrupted_cli_run_can_be_resumed(tmp_path):
+    journal = str(tmp_path / "cli.journal")
+    proc = _spawn_held_diagnose(journal)
+    try:
+        deadline = time.monotonic() + 90
+        while time.monotonic() < deadline:
+            if os.path.exists(journal) and '"name":"minimize"' in open(
+                journal, encoding="utf-8", errors="replace"
+            ).read():
+                break
+            time.sleep(0.05)
+        proc.send_signal(signal.SIGINT)
+        proc.communicate(timeout=60)
+    finally:
+        if proc.poll() is None:  # pragma: no cover - cleanup
+            proc.kill()
+            proc.communicate()
+
+    env = dict(os.environ)
+    env["PYTHONPATH"] = _SRC + os.pathsep + env.get("PYTHONPATH", "")
+    resumed = subprocess.run(
+        [
+            sys.executable, "-m", "repro.cli",
+            "diagnose", "SDN1", "--minimize",
+            "--journal", journal, "--resume",
+        ],
+        env=env,
+        capture_output=True,
+        text=True,
+        timeout=120,
+    )
+    assert resumed.returncode == 0, resumed.stderr
+    assert "root-cause change" in resumed.stdout
+    assert "resumed" in resumed.stdout

@@ -1,0 +1,109 @@
+"""Tests for the length+digest framing of persisted artifacts."""
+
+import pytest
+
+from repro.errors import IntegrityError
+from repro.resilience import (
+    checksum_line,
+    digest_text,
+    frame,
+    unframe,
+    verify_line,
+)
+from repro.resilience.integrity import FRAME_MAGIC, HEADER_BYTES
+
+
+class TestFraming:
+    def test_round_trip(self):
+        for payload in (b"", b"x", b"hello world" * 1000):
+            assert unframe(frame(payload)) == payload
+
+    def test_header_layout(self):
+        framed = frame(b"abc")
+        assert framed.startswith(FRAME_MAGIC)
+        assert len(framed) == HEADER_BYTES + 3
+
+    def test_truncation_detected(self):
+        framed = frame(b"some snapshot payload")
+        for cut in (0, 3, HEADER_BYTES - 1, HEADER_BYTES,
+                    len(framed) // 2, len(framed) - 1):
+            with pytest.raises(IntegrityError):
+                unframe(framed[:cut])
+
+    def test_bad_magic_detected(self):
+        framed = frame(b"payload")
+        with pytest.raises(IntegrityError):
+            unframe(b"XXXX" + framed[4:])
+
+    def test_bit_rot_detected(self):
+        framed = bytearray(frame(b"payload-with-substance"))
+        framed[-1] ^= 0xFF  # flip a payload bit; length stays right
+        with pytest.raises(IntegrityError):
+            unframe(bytes(framed))
+
+    def test_trailing_garbage_detected(self):
+        framed = frame(b"payload")
+        with pytest.raises(IntegrityError):
+            unframe(framed + b"extra")
+
+
+class TestLineChecksums:
+    def test_round_trip(self):
+        line = checksum_line('{"seq": 0, "type": "start"}')
+        assert verify_line(line) == '{"seq": 0, "type": "start"}'
+
+    def test_corrupt_line_rejected(self):
+        line = checksum_line('{"seq": 1}')
+        assert verify_line(line.replace("1", "2", 1)) is None
+
+    def test_garbage_rejected(self):
+        assert verify_line("not a checksummed line") is None
+        assert verify_line("") is None
+
+    def test_digest_text_is_stable(self):
+        assert digest_text("abc") == digest_text("abc")
+        assert digest_text("abc") != digest_text("abd")
+
+
+class TestEventLogTrailer:
+    """Dumped event logs carry a sha256 trailer that load verifies."""
+
+    def _log(self):
+        from repro.datalog import parse_tuple
+        from repro.replay.log import EventLog
+
+        log = EventLog()
+        log.append("insert", parse_tuple("link('s1', 2, 's2')"))
+        log.append("insert", parse_tuple("packet('s1', 1.2.3.4, 4.3.2.1)"))
+        return log
+
+    def test_dump_writes_a_digest_trailer(self, tmp_path):
+        path = str(tmp_path / "events.log")
+        self._log().dump(path)
+        last = open(path, encoding="utf-8").read().splitlines()[-1]
+        assert last.startswith("# sha256:")
+
+    def test_tampered_dump_is_rejected(self, tmp_path):
+        from repro.replay.log import EventLog
+
+        path = str(tmp_path / "events.log")
+        self._log().dump(path)
+        text = open(path, encoding="utf-8").read()
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(text.replace("s2", "s9", 1))
+        with pytest.raises(IntegrityError):
+            EventLog.load(path)
+
+    def test_legacy_dump_without_trailer_still_loads(self, tmp_path):
+        from repro.replay.log import EventLog
+
+        path = str(tmp_path / "events.log")
+        self._log().dump(path)
+        lines = [
+            line
+            for line in open(path, encoding="utf-8").read().splitlines()
+            if not line.startswith("# sha256:")
+        ]
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write("\n".join(lines) + "\n")
+        assert len(EventLog.load(path)) == 2

@@ -1,0 +1,120 @@
+"""Kill-and-resume: the journal's reason to exist.
+
+A diagnosis is SIGKILLed at a deterministic point mid-search (held
+inside a journal append by the REPRO_TEST_HOLD_* hooks), then resumed
+from its journal.  The resumed run must produce a ``canonical_json()``
+byte-identical to an uninterrupted diagnosis — for the clean scenario
+(SDN1, where recorded verdicts are reused) and for the faulty one
+(SDN1-F, where the degraded search recomputes its trials but the
+journal still resumes safely).
+"""
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.api import Session
+
+_CHILD = str(Path(__file__).with_name("_diagnose_child.py"))
+_SRC = str(Path(__file__).parents[2] / "src")
+
+
+def _child_env(**holds):
+    env = dict(os.environ)
+    env["PYTHONPATH"] = _SRC + os.pathsep + env.get("PYTHONPATH", "")
+    env.update({key: str(value) for key, value in holds.items()})
+    return env
+
+
+def _run_child(scenario, journal, out, env, timeout=120):
+    return subprocess.run(
+        [sys.executable, _CHILD, scenario, journal, out],
+        env=env,
+        capture_output=True,
+        text=True,
+        timeout=timeout,
+    )
+
+
+def _kill_once_held(scenario, journal, out, holds, sentinel):
+    """Start a held child, SIGKILL it once ``sentinel`` is journaled."""
+    proc = subprocess.Popen(
+        [sys.executable, _CHILD, scenario, journal, out],
+        env=_child_env(REPRO_TEST_HOLD_S="60", **holds),
+        stdout=subprocess.DEVNULL,
+        stderr=subprocess.DEVNULL,
+    )
+    try:
+        deadline = time.monotonic() + 90
+        while time.monotonic() < deadline:
+            if os.path.exists(journal) and sentinel in open(
+                journal, encoding="utf-8", errors="replace"
+            ).read():
+                break
+            if proc.poll() is not None:
+                pytest.fail(
+                    f"child exited (rc={proc.returncode}) before the "
+                    f"hold point {sentinel!r} was journaled"
+                )
+            time.sleep(0.05)
+        else:
+            pytest.fail(f"hold point {sentinel!r} never reached")
+        # The hold guarantees the process is parked inside the append
+        # *after* the sentinel entry was fsync'd: SIGKILL lands at a
+        # deterministic point of the search.
+        proc.send_signal(signal.SIGKILL)
+        proc.wait(timeout=30)
+    finally:
+        if proc.poll() is None:  # pragma: no cover - cleanup
+            proc.kill()
+            proc.wait(timeout=30)
+    assert not os.path.exists(out), "killed child must not have finished"
+
+
+@pytest.mark.parametrize(
+    "scenario,holds,sentinel",
+    [
+        # SDN1: killed right after the first minimality verdict hit the
+        # disk — the resumed run reuses it (skipped_candidates > 0).
+        ("SDN1", {"REPRO_TEST_HOLD_AFTER_VERDICTS": "1"}, '"type":"verdict"'),
+        # SDN1-F: killed at the minimize phase boundary.  The degraded
+        # search recomputes its trials (divergence checks mutate state),
+        # so resume safety — not verdict reuse — is what's under test.
+        ("SDN1-F", {"REPRO_TEST_HOLD_PHASE": "minimize"}, '"name":"minimize"'),
+    ],
+)
+def test_sigkill_then_resume_is_byte_identical(
+    tmp_path, scenario, holds, sentinel
+):
+    journal = str(tmp_path / "diag.journal")
+    out = str(tmp_path / "report.json")
+
+    baseline = Session(scenario=scenario, minimize=True).diagnose()
+
+    _kill_once_held(scenario, journal, out, holds, sentinel)
+
+    resumed = _run_child(scenario, journal, out, _child_env())
+    assert resumed.returncode == 0, resumed.stderr
+    payload = json.loads(open(out, encoding="utf-8").read())
+    assert payload["canonical"] == baseline.canonical_json()
+    section = payload["resilience"]["journal"]
+    assert section["resumed"] is True
+    if "REPRO_TEST_HOLD_AFTER_VERDICTS" in holds:
+        assert section["skipped_candidates"] >= 1
+
+
+def test_uninterrupted_journaled_run_matches_baseline(tmp_path):
+    journal = str(tmp_path / "diag.journal")
+    out = str(tmp_path / "report.json")
+    baseline = Session(scenario="SDN1", minimize=True).diagnose()
+    result = _run_child("SDN1", journal, out, _child_env())
+    assert result.returncode == 0, result.stderr
+    payload = json.loads(open(out, encoding="utf-8").read())
+    assert payload["canonical"] == baseline.canonical_json()
+    assert payload["resilience"]["journal"]["resumed"] is False

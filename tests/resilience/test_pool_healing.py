@@ -1,0 +1,142 @@
+"""Tests for the self-healing candidate evaluator.
+
+Every job is a pure function of (context, index), so healing —
+respawning a broken pool, recomputing a timed-out candidate inline,
+hedging a straggler — must never change a result, only the counters.
+"""
+
+import multiprocessing
+import time
+
+import pytest
+
+from repro.faults import FaultInjector, FaultPlan
+from repro.faults.injector import worker_crash_decision
+from repro.replay.parallel import CandidateEvaluator
+from repro.resilience import ResiliencePolicy
+
+
+def _double(shared, index):
+    return shared * (index + 1)
+
+
+def _sleep_in_worker(shared, index):
+    # Slow only inside pool workers: the inline fallback (parent
+    # process) returns instantly, so timeout tests stay fast.
+    if multiprocessing.current_process().name != "MainProcess":
+        time.sleep(shared)
+    return index
+
+
+def _raise_for_odd(shared, index):
+    if index % 2:
+        raise ValueError(f"odd index {index}")
+    return index
+
+
+def _crash_evaluator(workers=2, rate=1.0, seed=3, policy=None):
+    plan = FaultPlan(worker_crash=rate, seed=seed)
+    return CandidateEvaluator(
+        workers, None, policy=policy, faults=FaultInjector(plan, "evaluator")
+    )
+
+
+class TestCrashDecision:
+    def test_pure_function_of_seed_rate_index(self):
+        first = [worker_crash_decision(7, 0.5, i) for i in range(32)]
+        again = [worker_crash_decision(7, 0.5, i) for i in range(32)]
+        assert first == again
+        assert any(first) and not all(first)
+
+    def test_rate_extremes(self):
+        assert not any(worker_crash_decision(1, 0.0, i) for i in range(8))
+        assert all(worker_crash_decision(1, 1.0, i) for i in range(8))
+
+    def test_seed_changes_the_schedule(self):
+        a = [worker_crash_decision(1, 0.5, i) for i in range(64)]
+        b = [worker_crash_decision(2, 0.5, i) for i in range(64)]
+        assert a != b
+
+
+class TestHealing:
+    def test_every_worker_crashing_still_converges(self):
+        evaluator = _crash_evaluator(rate=1.0)
+        results = evaluator.evaluate(_double, 10, 4)
+        assert results == [("ok", 10 * (i + 1)) for i in range(4)]
+        assert evaluator.pool_restarts >= 1
+
+    def test_partial_crash_schedule_converges(self):
+        evaluator = _crash_evaluator(rate=0.5, seed=11)
+        results = evaluator.evaluate(_double, 3, 6)
+        assert results == [("ok", 3 * (i + 1)) for i in range(6)]
+
+    def test_restart_exhaustion_falls_back_inline(self):
+        # Zero restarts allowed: the first broken pool sends every
+        # unfinished candidate straight to the inline path.
+        evaluator = _crash_evaluator(
+            rate=1.0, policy=ResiliencePolicy(max_pool_restarts=0)
+        )
+        results = evaluator.evaluate(_double, 2, 3)
+        assert results == [("ok", 2 * (i + 1)) for i in range(3)]
+        assert evaluator.pool_restarts == 0
+        assert evaluator.inline_fallbacks >= 1
+
+    def test_healing_is_metered_in_telemetry(self):
+        from repro.observability import Telemetry
+
+        telemetry = Telemetry()
+        plan = FaultPlan(worker_crash=1.0, seed=3)
+        evaluator = CandidateEvaluator(
+            2, telemetry, faults=FaultInjector(plan, "evaluator")
+        )
+        evaluator.evaluate(_double, 1, 4)
+        metrics = telemetry.snapshot()["counters"]
+        assert metrics.get("parallel.pool_restarts", 0) >= 1
+
+    def test_ordinary_exceptions_are_transported_not_healed(self):
+        evaluator = _crash_evaluator(rate=0.0)
+        results = evaluator.evaluate(_raise_for_odd, None, 4)
+        assert [status for status, _ in results] == ["ok", "err", "ok", "err"]
+        assert isinstance(results[1][1], ValueError)
+        assert evaluator.pool_restarts == 0
+
+
+class TestTimeoutsAndHedges:
+    def test_timed_out_candidate_is_recomputed_inline(self):
+        evaluator = CandidateEvaluator(
+            2, None, policy=ResiliencePolicy(candidate_timeout_s=0.2)
+        )
+        results = evaluator.evaluate(_sleep_in_worker, 30.0, 2)
+        assert results == [("ok", 0), ("ok", 1)]
+        assert evaluator.timeouts == 2
+        assert evaluator.inline_fallbacks == 2
+
+    def test_hedged_straggler_still_returns_one_result(self):
+        evaluator = CandidateEvaluator(
+            3, None, policy=ResiliencePolicy(hedge_after_s=0.05)
+        )
+        results = evaluator.evaluate(_sleep_in_worker, 0.4, 2)
+        assert results == [("ok", 0), ("ok", 1)]
+        assert evaluator.hedges >= 1
+
+    def test_counters_view(self):
+        evaluator = CandidateEvaluator(2, None)
+        assert evaluator.counters() == {
+            "pool_restarts": 0,
+            "timeouts": 0,
+            "hedges": 0,
+            "inline_fallbacks": 0,
+        }
+
+
+class TestDeterminismUnderHealing:
+    @pytest.mark.parametrize("workers", [1, 2])
+    def test_diagnosis_is_byte_identical_under_worker_crashes(self, workers):
+        from repro.api import Session
+
+        base = Session(scenario="SDN1", minimize=True).diagnose()
+        crashed = Session(
+            scenario="SDN1", minimize=True, workers=workers,
+            faults="worker-crash=1.0,seed=3",
+        ).diagnose()
+        assert crashed.canonical_json() == base.canonical_json()
