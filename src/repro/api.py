@@ -82,6 +82,10 @@ class Session:
     ``resilience``
         A :class:`repro.resilience.ResiliencePolicy` tuning the
         self-healing candidate evaluator.
+    ``scenario_params``
+        Extra keyword arguments forwarded to the scenario class in
+        scenario mode, e.g. ``scenario_params={"background_packets":
+        120}`` to rescale a workload.
 
     Scenario construction is lazy: the executions are built on first
     use, so creating a Session is cheap.
@@ -179,8 +183,14 @@ class Session:
     # -- lifecycle -----------------------------------------------------------
 
     def setup(self) -> "Session":
-        """Build the scenario's executions (idempotent; implied by the
-        query methods, so calling it yourself is optional)."""
+        """Build the scenario's executions and events.
+
+        Idempotent, and implied by every query method (``diagnose``,
+        ``autoref``, ``tree``, ``export``), so calling it yourself is
+        optional — constructing a Session is deliberately cheap and
+        the expensive scenario build happens on first use.  Returns
+        ``self`` for chaining.
+        """
         if self._built:
             return self
         from .scenarios import ALL_SCENARIOS
@@ -317,13 +327,25 @@ class Session:
     # -- inspection ----------------------------------------------------------
 
     def tree(self, side: str = "bad") -> ProvenanceTree:
-        """The provenance tree of one side's event (a classic query)."""
+        """The provenance tree of one side's event (a classic query).
+
+        ``side`` is ``"good"`` or ``"bad"``.  Equivalent to
+        ``diffprov tree NAME --side bad``; the returned
+        :class:`repro.provenance.tree.ProvenanceTree` renders with
+        ``.render()`` and diffs against the other side's tree.  In
+        query-time mode this triggers (and caches) one replay of that
+        side's log.
+        """
         execution, event, time = self._side(side)
         return provenance_query(execution.graph, event, time)
 
     def export(self, path: str, side: str = "bad") -> int:
-        """Dump one side's provenance graph as JSON lines; returns the
-        record count."""
+        """Dump one side's provenance graph to ``path`` as JSON lines.
+
+        Equivalent to ``diffprov export NAME --out path``.  Returns
+        the number of records written; the file round-trips through
+        :func:`repro.provenance.serialize.load_graph`.
+        """
         from .provenance.serialize import dump_graph
 
         execution, _, _ = self._side(side)

@@ -217,7 +217,7 @@ def _emit(args, data, text: str) -> int:
 
 def _cmd_scenarios(args) -> int:
     rows = [
-        {"name": name, "description": cls.description}
+        {"name": name, "description": cls.one_liner()}
         for name, cls in sorted(ALL_SCENARIOS.items())
     ]
     text = "\n".join(f"{row['name']:8s} {row['description']}" for row in rows)

@@ -946,10 +946,10 @@ class _DiagnosisState:
     # ------------------------------------------------------------------
 
     def _anchor_time(self, replayed: ReplayResult) -> int:
-        appears = replayed.graph.appears_of(self.bad_seed.tuple)
+        appears = replayed.graph.appear_times(self.bad_seed.tuple)
         if not appears:
             return 0
-        return min(vertex.time for vertex in appears)
+        return min(appears)
 
     def _find_divergence(
         self,
@@ -963,8 +963,7 @@ class _DiagnosisState:
                 return node
         # The whole stimulus branch is reproduced; verify the full trees.
         expected_root = self.equiv.expected_tuple(good_root)
-        exist = replayed.graph.exist_at(expected_root)
-        if exist is None:
+        if not replayed.graph.ever_existed(expected_root):
             if self._degradable(replayed) and (
                 expected_root in self.assumed
                 or self._ground_truth_alive(expected_root, replayed)

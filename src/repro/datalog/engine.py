@@ -23,7 +23,7 @@ from .aggregates import evaluate_aggregates
 from .expr import Const, Expr, Var
 from .rules import Atom, Program, Rule
 from .state import Derivation, Store, sort_key
-from .tuples import TableKind, Tuple
+from .tuples import TableKind, Tuple, TupleStore
 
 __all__ = ["Engine", "GLOBAL_NODE"]
 
@@ -40,9 +40,15 @@ class Engine:
         faults=None,
         step_limit: Optional[int] = None,
         telemetry=None,
+        use_indexes: bool = True,
     ):
         self.program = program
         self.recorder = recorder
+        # use_indexes=False is the linear-scan reference mode: every
+        # body atom is resolved by a full (sorted) table scan.  It
+        # exists to *prove* the indexed path changes cost, not results
+        # (see tests/datalog/test_index_equivalence.py).
+        self.use_indexes = use_indexes
         # Optional FaultInjector applied to cross-node message delivery
         # (drop/duplicate/reorder/delay); None means perfect links.
         self.faults = faults
@@ -63,6 +69,17 @@ class Engine:
         self._delay_seq = 0
         self._clock = 0
         self._next_derivation_id = 1
+        # Interning pool: every tuple entering the engine (base events
+        # and rule heads) is collapsed to one canonical instance, so
+        # join equality usually short-circuits on identity and hashes /
+        # sort keys are computed once per distinct fact.
+        self._tuples = TupleStore()
+        # Static join plans, keyed by (rule name, trigger index) —
+        # rule names are unique per program (Program._validate), so the
+        # key survives pickling.  Built lazily on first firing; each
+        # plan maps a body-atom index to the bound-position index spec
+        # that serves it (see _build_plan).
+        self._join_plan: Dict[PyTuple[str, int], dict] = {}
         self._located_tables = self._find_located_tables()
         self._validate_event_usage()
 
@@ -78,6 +95,13 @@ class Engine:
         # Deadlines hold a live clock callable and are parent-local;
         # workers are bounded by the evaluator's pool timeouts instead.
         state["deadline"] = None
+        # The interning pool and join plans are pure caches: dropping
+        # them keeps snapshots small, and they repopulate on first use
+        # after a restore.  Correctness never depends on two equal
+        # tuples being the same object (pickle's memo already preserves
+        # identity within one payload).
+        state["_tuples"] = TupleStore()
+        state["_join_plan"] = {}
         return state
 
     # -- public API ----------------------------------------------------------
@@ -95,12 +119,12 @@ class Engine:
     def insert(self, tup: Tuple, mutable: Optional[bool] = None) -> None:
         """Enqueue a base-tuple insertion (processed by :meth:`run`)."""
         self._check(tup)
-        self._queue.append(("base_insert", tup, mutable))
+        self._queue.append(("base_insert", self._tuples.intern(tup), mutable))
 
     def delete(self, tup: Tuple) -> None:
         """Enqueue a base-tuple deletion."""
         self._check(tup)
-        self._queue.append(("base_delete", tup))
+        self._queue.append(("base_delete", self._tuples.intern(tup)))
 
     def run(self) -> int:
         """Drain the queue to a fixpoint; returns events processed.
@@ -276,19 +300,19 @@ class Engine:
 
     def _fire_rules(self, delta: Tuple, time: int) -> None:
         telemetry = self.telemetry
-        for rule in self.program.rules_triggered_by(delta.table):
-            for trigger_index, atom in enumerate(rule.body):
-                if atom.table != delta.table:
-                    continue
-                for env, body in self._bindings(rule, trigger_index, delta):
-                    if telemetry is not None:
-                        telemetry.inc("engine.rule_firings." + rule.name)
-                    head = self._evaluate_head(rule.head, env)
-                    derivation = self._make_derivation(
-                        rule, head, body, env, trigger_index, time
-                    )
-                    self._record_derive(derivation)
-                    self._emit(derivation)
+        # program.triggers is a dispatch index: only the (rule, body
+        # position) pairs that can actually consume this delta are
+        # visited, in the same order the old full-rule scan produced.
+        for rule, trigger_index in self.program.triggers(delta.table):
+            for env, body in self._bindings(rule, trigger_index, delta):
+                if telemetry is not None:
+                    telemetry.inc("engine.rule_firings." + rule.name)
+                head = self._evaluate_head(rule.head, env)
+                derivation = self._make_derivation(
+                    rule, head, body, env, trigger_index, time
+                )
+                self._record_derive(derivation)
+                self._emit(derivation)
 
     def _emit(self, derivation: Derivation) -> None:
         """Enqueue a derived delta, subjecting cross-node hops to faults.
@@ -367,7 +391,7 @@ class Engine:
         derivation = Derivation(
             self._next_derivation_id,
             rule.name,
-            head,
+            self._tuples.intern(head),
             tuple(body),
             env,
             trigger_index,
@@ -384,7 +408,7 @@ class Engine:
 
     def _evaluate_head(self, head: Atom, env: Dict[str, object]) -> Tuple:
         args = [arg.evaluate(env) for arg in head.args]
-        return Tuple(head.table, args)
+        return self._tuples.make(head.table, args)
 
     # -- join machinery ----------------------------------------------------------
 
@@ -403,14 +427,15 @@ class Engine:
         pending_conds = list(rule.conditions)
         if not self._settle(env, pending_assigns, pending_conds):
             return
+        plan = self._plan_for(rule, trigger_index) if self.use_indexes else None
         remaining = [i for i in range(len(rule.body)) if i != trigger_index]
         slots: List[Optional[Tuple]] = [None] * len(rule.body)
         slots[trigger_index] = delta
         yield from self._extend(
-            rule, remaining, slots, env, pending_assigns, pending_conds
+            rule, remaining, slots, env, pending_assigns, pending_conds, plan
         )
 
-    def _extend(self, rule, remaining, slots, env, assigns, conds):
+    def _extend(self, rule, remaining, slots, env, assigns, conds, plan):
         if not remaining:
             if assigns or conds:
                 env = dict(env)
@@ -420,15 +445,70 @@ class Engine:
             return
         index = remaining[0]
         atom = rule.body[index]
-        candidates = self._candidates(atom, env, assigns, conds)
+        spec = plan.get(index) if plan is not None else None
+        candidates = self._candidates(atom, env, assigns, conds, spec)
         for candidate, new_env, new_assigns, new_conds in candidates:
             slots[index] = candidate
             yield from self._extend(
-                rule, remaining[1:], slots, new_env, new_assigns, new_conds
+                rule, remaining[1:], slots, new_env, new_assigns, new_conds, plan
             )
             slots[index] = None
 
-    def _candidates(self, atom: Atom, env, assigns, conds):
+    # -- join planning -----------------------------------------------------------
+
+    def _plan_for(self, rule: Rule, trigger_index: int) -> dict:
+        key = (rule.name, trigger_index)
+        plan = self._join_plan.get(key)
+        if plan is None:
+            plan = self._build_plan(rule, trigger_index)
+            self._join_plan[key] = plan
+        return plan
+
+    def _build_plan(self, rule: Rule, trigger_index: int) -> dict:
+        """Index specs for each non-trigger body atom of a rule firing.
+
+        Mirrors the runtime join exactly: the trigger atom binds its
+        variables, assignments settle to a fixpoint, then the remaining
+        atoms are visited in ascending body order, each contributing its
+        variables.  A body atom's spec is the set of argument positions
+        holding a constant or an already-bound variable — precisely the
+        positions the runtime environment can supply values for — so
+        the store can serve candidates from one composite equality
+        index instead of scanning the table.  ``None`` means nothing is
+        bound and the atom needs a full scan.
+        """
+        bound = {
+            arg.name
+            for arg in rule.body[trigger_index].args
+            if isinstance(arg, Var)
+        }
+        assigns = list(rule.assignments)
+        _settle_static(bound, assigns)
+        plan: Dict[int, Optional[PyTuple]] = {}
+        for index, atom in enumerate(rule.body):
+            if index == trigger_index:
+                continue
+            positions = []
+            args = []
+            for position, arg in enumerate(atom.args):
+                if isinstance(arg, Const) or (
+                    isinstance(arg, Var) and arg.name in bound
+                ):
+                    positions.append(position)
+                    args.append(arg)
+            if positions:
+                spec = (tuple(positions), tuple(args))
+                self.store.register_index(atom.table, spec[0])
+            else:
+                spec = None
+            plan[index] = spec
+            bound.update(
+                arg.name for arg in atom.args if isinstance(arg, Var)
+            )
+            _settle_static(bound, assigns)
+        return plan
+
+    def _candidates(self, atom: Atom, env, assigns, conds, spec=None):
         """Matching stored tuples for a body atom, selector applied.
 
         Each yielded element carries the extended environment and the
@@ -438,7 +518,7 @@ class Engine:
         instead of a table scan.
         """
         matched = []
-        for candidate in self._access_path(atom, env):
+        for candidate in self._access_path(atom, env, spec):
             new_env = dict(env)
             if not _match_atom(atom, candidate, new_env):
                 continue
@@ -460,17 +540,48 @@ class Engine:
         best = max(matched, key=selector_key)
         return [best]
 
-    def _access_path(self, atom: Atom, env) -> List[Tuple]:
-        """Pick index lookup vs. table scan for a body atom."""
+    def _access_path(self, atom: Atom, env, spec=None) -> List[Tuple]:
+        """Pick index lookup vs. table scan for a body atom.
+
+        ``spec`` is the planned ``(positions, args)`` pair from
+        :meth:`_build_plan`; when present, one composite-index probe
+        serves every bound position at once.  Without a plan (callers
+        outside a rule firing) the path falls back to the first bound
+        position it finds.  Both paths return candidates in the same
+        deterministic order a full scan would (a sorted index bucket is
+        exactly the matching slice of the sorted table), so the access
+        path changes cost, never results.
+        """
+        if not self.use_indexes:
+            return self.store.tuples(atom.table)
+        telemetry = self.telemetry
+        if spec is not None:
+            positions, spec_args = spec
+            if telemetry is not None:
+                telemetry.inc("engine.index.hits")
+            return self.store.tuples_matching_at(
+                atom.table,
+                positions,
+                tuple(
+                    arg.value if isinstance(arg, Const) else env[arg.name]
+                    for arg in spec_args
+                ),
+            )
         for position, arg in enumerate(atom.args):
             if isinstance(arg, Const):
+                if telemetry is not None:
+                    telemetry.inc("engine.index.hits")
                 return self.store.tuples_matching(
                     atom.table, position, arg.value
                 )
             if isinstance(arg, Var) and arg.name in env:
+                if telemetry is not None:
+                    telemetry.inc("engine.index.hits")
                 return self.store.tuples_matching(
                     atom.table, position, env[arg.name]
                 )
+        if telemetry is not None:
+            telemetry.inc("engine.index.misses")
         return self.store.tuples(atom.table)
 
     def _settle(self, env, assigns, conds, final: bool = False) -> bool:
@@ -545,6 +656,27 @@ class Engine:
                 raise SchemaError(
                     f"aggregate rule {rule.name!r} cannot read event tables"
                 )
+
+
+def _settle_static(bound: set, assigns: list) -> None:
+    """Static mirror of :meth:`Engine._settle` for boundness analysis.
+
+    Runs the assignment fixpoint over variable *names* instead of
+    values: an assignment whose expression variables are all bound
+    makes its target variable bound.  Conditions never bind anything,
+    so they are ignored.  Because the runtime settle removes
+    assignments under exactly the same availability test, the bound set
+    computed here equals the runtime environment's key set at the same
+    join step for every surviving candidate.
+    """
+    progress = True
+    while progress:
+        progress = False
+        for assignment in list(assigns):
+            if assignment.expr.variables() <= bound:
+                bound.add(assignment.var)
+                assigns.remove(assignment)
+                progress = True
 
 
 def _match_atom(atom: Atom, tup: Tuple, env: Dict[str, object]) -> bool:

@@ -343,6 +343,11 @@ class Program:
     ):
         self.schemas: Dict[str, TableSchema] = dict(schemas or {})
         self.rules: List[Rule] = list(rules or [])
+        # Dispatch index: table -> ((rule, trigger_index), ...) for every
+        # body-atom occurrence in a non-aggregate rule.  Built lazily and
+        # invalidated by add_rule, so a delta only ever visits the rules
+        # that can actually consume it.
+        self._trigger_cache: Optional[Dict[str, tuple]] = None
         self._validate()
 
     def _validate(self):
@@ -382,16 +387,38 @@ class Program:
 
     def add_rule(self, rule: Rule) -> "Program":
         self.rules.append(rule)
+        self._trigger_cache = None
         self._validate()
         return self
 
+    def triggers(self, table: str) -> tuple:
+        """``(rule, trigger_index)`` pairs a delta of ``table`` can fire.
+
+        The pairs preserve program order (rules first, body positions
+        within a rule second), which is the order the engine's old
+        rule scan visited them in — dispatch changes cost, not outcome.
+        """
+        cache = self._trigger_cache
+        if cache is None:
+            cache = {}
+            for rule in self.rules:
+                if rule.is_aggregate:
+                    continue
+                for index, atom in enumerate(rule.body):
+                    cache.setdefault(atom.table, []).append((rule, index))
+            cache = {name: tuple(pairs) for name, pairs in cache.items()}
+            self._trigger_cache = cache
+        return cache.get(table, ())
+
     def rules_triggered_by(self, table: str) -> List[Rule]:
         """Non-aggregate rules with a body atom over ``table``."""
-        return [
-            rule
-            for rule in self.rules
-            if not rule.is_aggregate and table in rule.body_tables()
-        ]
+        seen = set()
+        result = []
+        for rule, _ in self.triggers(table):
+            if id(rule) not in seen:
+                seen.add(id(rule))
+                result.append(rule)
+        return result
 
     def aggregate_rules(self) -> List[Rule]:
         return [rule for rule in self.rules if rule.is_aggregate]

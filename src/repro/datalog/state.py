@@ -21,10 +21,20 @@ from .tuples import TableSchema, Tuple
 
 __all__ = ["Derivation", "TupleRecord", "Store", "sort_key"]
 
+_EMPTY: Dict = {}
+
 
 def sort_key(tup: Tuple):
-    """A deterministic total order over tuples of mixed value types."""
-    return tuple((type(a).__name__, str(a)) for a in tup.args)
+    """A deterministic total order over tuples of mixed value types.
+
+    The key is cached on the tuple (tuples are immutable and usually
+    interned), because candidate lists are re-sorted on every join.
+    """
+    key = tup._sort_key
+    if key is None:
+        key = tuple((type(a).__name__, str(a)) for a in tup.args)
+        object.__setattr__(tup, "_sort_key", key)
+    return key
 
 
 class Derivation:
@@ -108,11 +118,25 @@ class Store:
         # that depend on it.
         self._dependents: Dict[Tuple, Set[int]] = {}
         # Join acceleration: a cached sorted view per table, plus
-        # lazily-built equality indexes on (table, arg position) that
-        # serve body atoms with a bound argument (e.g. the constant key
-        # of a configuration lookup) without scanning the table.
+        # equality indexes keyed on one *or more* argument positions.
+        # Indexes are registered up front by the engine's join planner
+        # (one spec per bound-position set a rule body demands) and also
+        # built lazily on first use; either way they are maintained
+        # incrementally on every liveness change.  Layout:
+        #   table -> positions tuple -> value vector -> live tuples
         self._sorted_cache: Dict[str, List[Tuple]] = {}
-        self._indexes: Dict[PyTuple[str, int], Dict[object, Set[Tuple]]] = {}
+        self._indexes: Dict[
+            str, Dict[PyTuple[int, ...], Dict[PyTuple, Set[Tuple]]]
+        ] = {}
+
+    def __getstate__(self):
+        # Sorted views and index contents are pure caches over _tables;
+        # dropping them keeps replay-cache snapshots small.  They are
+        # rebuilt lazily on first use after a restore.
+        state = self.__dict__.copy()
+        state["_sorted_cache"] = {}
+        state["_indexes"] = {}
+        return state
 
     # -- queries -------------------------------------------------------------
 
@@ -142,29 +166,63 @@ class Store:
     def tuples_matching(self, table: str, position: int, value) -> List[Tuple]:
         """Live tuples of a table with ``args[position] == value``.
 
-        Served from a lazily-built equality index; the first call for a
+        Served from an equality index; the first call for a
         (table, position) pair builds it, later liveness changes keep
         it current.
         """
-        key = (table, position)
-        index = self._indexes.get(key)
+        return self.tuples_matching_at(table, (position,), (value,))
+
+    def tuples_matching_at(
+        self, table: str, positions: PyTuple[int, ...], values: PyTuple
+    ) -> List[Tuple]:
+        """Live tuples with ``args[p] == v`` for each (p, v) pair.
+
+        The multi-position form serves body atoms with several bound
+        arguments from one composite index instead of filtering the
+        largest single-position bucket.
+        """
+        index = self._indexes.get(table, _EMPTY).get(positions)
         if index is None:
-            index = {}
-            for tup in self.tuples(table):
-                if position < tup.arity:
-                    index.setdefault(tup.args[position], set()).add(tup)
-            self._indexes[key] = index
-        matches = index.get(value)
+            index = self.register_index(table, positions)
+        matches = index.get(tuple(values))
         if not matches:
             return []
         return sorted(matches, key=sort_key)
 
+    def register_index(
+        self, table: str, positions: PyTuple[int, ...]
+    ) -> Dict[PyTuple, Set[Tuple]]:
+        """Ensure an equality index on ``positions`` exists for ``table``.
+
+        Called by the engine's join planner at rule-registration time,
+        so the index is maintained incrementally from the first insert
+        instead of being rebuilt from a table scan mid-join.
+        """
+        positions = tuple(positions)
+        per_table = self._indexes.setdefault(table, {})
+        index = per_table.get(positions)
+        if index is None:
+            if table not in self._tables:
+                raise SchemaError(f"unknown table {table!r}")
+            index = {}
+            for record in self._tables[table].values():
+                if not record.alive:
+                    continue
+                tup = record.tuple
+                if all(p < tup.arity for p in positions):
+                    key = tuple(tup.args[p] for p in positions)
+                    index.setdefault(key, set()).add(tup)
+            per_table[positions] = index
+        return index
+
     def _note_liveness_change(self, tup: Tuple, alive: bool) -> None:
         self._sorted_cache.pop(tup.table, None)
-        for (table, position), index in self._indexes.items():
-            if table != tup.table or position >= tup.arity:
+        for positions, index in self._indexes.get(tup.table, _EMPTY).items():
+            if any(p >= tup.arity for p in positions):
                 continue
-            bucket = index.setdefault(tup.args[position], set())
+            bucket = index.setdefault(
+                tuple(tup.args[p] for p in positions), set()
+            )
             if alive:
                 bucket.add(tup)
             else:

@@ -21,7 +21,7 @@ from typing import Dict, Iterable
 
 from ..errors import SchemaError
 
-__all__ = ["TableKind", "TableSchema", "Tuple"]
+__all__ = ["TableKind", "TableSchema", "Tuple", "TupleStore"]
 
 
 class TableKind(enum.Enum):
@@ -87,12 +87,15 @@ class Tuple:
     reported/black-box provenance.
     """
 
-    __slots__ = ("table", "args", "_hash")
+    __slots__ = ("table", "args", "_hash", "_sort_key")
 
     def __init__(self, table: str, args: Iterable[object]):
         object.__setattr__(self, "table", table)
         object.__setattr__(self, "args", tuple(args))
         object.__setattr__(self, "_hash", hash((table, self.args)))
+        # Deterministic-order key, computed lazily by state.sort_key and
+        # cached here: sorting candidate lists is on the join hot path.
+        object.__setattr__(self, "_sort_key", None)
 
     def __setattr__(self, name, value):
         raise AttributeError("Tuple instances are immutable")
@@ -124,8 +127,15 @@ class Tuple:
         return self.table == schema.name and self.arity == schema.arity
 
     def __eq__(self, other):
+        if self is other:
+            # Interned tuples (see TupleStore) make this the common case.
+            return True
         if isinstance(other, Tuple):
-            return self.table == other.table and self.args == other.args
+            return (
+                self._hash == other._hash
+                and self.table == other.table
+                and self.args == other.args
+            )
         return NotImplemented
 
     def __ne__(self, other):
@@ -143,6 +153,42 @@ class Tuple:
     def __str__(self):
         rendered = ", ".join(_render(a) for a in self.args)
         return f"{self.table}({rendered})"
+
+
+class TupleStore:
+    """A per-engine interning pool for :class:`Tuple` instances.
+
+    Joins compare and hash the same facts over and over; interning
+    collapses structurally equal tuples to one canonical instance so
+    equality usually short-circuits on identity and the cached hash and
+    sort key are shared.  Interning is purely an optimization: nothing
+    may rely on two equal tuples being the same object, because
+    unpickling (replay-cache restores, worker processes) recreates
+    plain instances — pickle's memo keeps identity consistent *within*
+    one payload, which is all the engine needs.
+    """
+
+    __slots__ = ("_interned",)
+
+    def __init__(self):
+        self._interned: Dict[Tuple, Tuple] = {}
+
+    def intern(self, tup: Tuple) -> Tuple:
+        """The canonical instance equal to ``tup`` (registering it if new)."""
+        canonical = self._interned.get(tup)
+        if canonical is None:
+            self._interned[tup] = tup
+            return tup
+        return canonical
+
+    def make(self, table: str, args: Iterable[object]) -> Tuple:
+        return self.intern(Tuple(table, args))
+
+    def __len__(self) -> int:
+        return len(self._interned)
+
+    def __repr__(self):
+        return f"TupleStore({len(self._interned)} tuples)"
 
 
 def _render(value) -> str:

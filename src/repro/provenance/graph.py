@@ -162,6 +162,20 @@ class ProvenanceGraph:
             return None
         return max(candidates, key=lambda v: v.time)
 
+    def appear_times(self, tup: Tuple) -> List[int]:
+        """Times at which a tuple appeared (cheap twin of appears_of)."""
+        return [v.time for v in self._appears_by_tuple.get(tup, ())]
+
+    def ever_existed(self, tup: Tuple) -> bool:
+        """Whether the tuple ever had an EXIST interval.
+
+        Equivalent to ``exist_at(tup) is not None``; kept separate so
+        callers that only need existence stay on the cheap-query
+        surface a :class:`repro.provenance.lazy.LazyProvenanceGraph`
+        answers without reconstruction.
+        """
+        return bool(self._exists_by_tuple.get(tup))
+
     def alive_at(self, tup: Tuple, time: int) -> bool:
         return self.exist_at(tup, time) is not None
 

@@ -1,0 +1,313 @@
+"""Lazy provenance: record compact annotations, build the graph on demand.
+
+Eagerly mirroring every engine event into a :class:`ProvenanceGraph`
+pays the full seven-vertex construction cost on every replay — even
+though DiffProv's inner loop (FIRSTDIV's liveness walk, competitor
+search) only asks a handful of cheap questions per replay and
+materializes a tree for the rare candidate that survives them.  This
+module implements the record-little/reconstruct-on-query split of
+*Provenance for Large-scale Datalog* and *Provenance Traces*: the
+recorder appends one compact event per kept observation (rule id,
+premise tuple ids, timestamps) to an append-only arena, a small amount
+of incremental state answers the hot liveness queries directly, and the
+full graph is reconstructed — identically, vertex for vertex — only
+when a caller touches an API that needs real vertexes.
+
+Equivalence argument: recorder-side fault filtering happens *before*
+events reach the arena, so replaying the arena through
+:func:`apply_event` performs exactly the ``add_vertex`` sequence the
+eager recorder would have performed for the same kept events — same
+order, same children lookups against the same partial graph.  The
+reconstructed graph is therefore byte-identical to the eager one, and
+every derived artifact (trees, serialized forms, diffs, reports) is
+too.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set
+
+from ..datalog.tuples import Tuple
+from ..errors import ReproError
+from .graph import DerivationInfo, ProvenanceGraph
+from .vertices import VertexKind
+
+__all__ = ["LazyProvenanceGraph", "apply_event"]
+
+
+def apply_event(graph: ProvenanceGraph, event: tuple) -> None:
+    """Apply one arena event to an eager graph.
+
+    This is the single construction path for lazily-recorded
+    provenance: the recorder encodes each kept observation as a compact
+    tuple, and this function performs the same vertex/edge construction
+    the eager recorder callbacks perform (see
+    :class:`repro.provenance.recorder.ProvenanceRecorder`).
+    """
+    kind = event[0]
+    if kind == "ins":
+        _, node, tup, time, mutable = event
+        graph.add_vertex(VertexKind.INSERT, node, tup, time, mutable=mutable)
+    elif kind == "del":
+        _, node, tup, time = event
+        graph.add_vertex(VertexKind.DELETE, node, tup, time)
+    elif kind == "app":
+        _, node, tup, time, cause_kind, derivation_id = event
+        if cause_kind == "insert":
+            parent = graph.latest_insert(tup)
+        else:
+            parent = graph.derive_vertex(derivation_id)
+        children = [parent] if parent is not None else []
+        appear = graph.add_vertex(
+            VertexKind.APPEAR, node, tup, time, children=children
+        )
+        graph.add_vertex(VertexKind.EXIST, node, tup, time, children=[appear])
+    elif kind == "dis":
+        _, node, tup, time, cause_kind, derivation_id = event
+        children = []
+        if cause_kind == "underive" and derivation_id is not None:
+            derive_vertex = graph.derive_vertex(derivation_id)
+            if derive_vertex is not None:
+                children = [derive_vertex]
+        graph.close_exist(tup, time)
+        graph.add_vertex(
+            VertexKind.DISAPPEAR, node, tup, time, children=children
+        )
+    elif kind == "der":
+        _, node, info, time = event
+        graph.add_derivation(info)
+        children = []
+        for member in info.body:
+            exist = graph.exist_at(member, time)
+            if exist is None:
+                exist = graph.exist_at(member)
+            if exist is not None:
+                children.append(exist)
+        graph.add_vertex(
+            VertexKind.DERIVE,
+            node,
+            info.head,
+            time,
+            children=children,
+            rule=info.rule_name,
+            derivation_id=info.id,
+        )
+    elif kind == "und":
+        _, node, head, time, rule_name, derivation_id = event
+        derive_vertex = graph.derive_vertex(derivation_id)
+        children = [derive_vertex] if derive_vertex is not None else []
+        graph.add_vertex(
+            VertexKind.UNDERIVE,
+            node,
+            head,
+            time,
+            children=children,
+            rule=rule_name,
+            derivation_id=derivation_id,
+        )
+    else:  # pragma: no cover - defensive
+        raise ValueError(f"unknown arena event {kind!r}")
+
+
+class LazyProvenanceGraph:
+    """A :class:`ProvenanceGraph` facade that materializes on demand.
+
+    While unmaterialized, it holds the event arena plus just enough
+    incremental state to answer DiffProv's hot queries (liveness
+    intervals, appear times, derivation records) without building a
+    single vertex.  The first call that needs real vertexes — tree
+    projection, serialization, history — triggers one reconstruction
+    (metered as ``provenance.lazy.reconstructions``), after which every
+    call delegates to the materialized graph.
+
+    The facade's identity is stable: ``recorder.graph`` returns the
+    same object before and after materialization, so long-lived
+    references (``ReplayResult.graph``, emulation views) stay valid.
+    """
+
+    def __init__(self, recorder=None):
+        # Backref for telemetry: read dynamically on every use, because
+        # replay-cache restores reattach a fresh Telemetry to the
+        # recorder after unpickling.
+        self._recorder = recorder
+        self._arena: List[tuple] = []
+        self._graph: Optional[ProvenanceGraph] = None
+        # Incremental cheap state, maintained by record():
+        self._exists: Dict[Tuple, List[list]] = {}  # tup -> [[start, end|None]]
+        self._appears: Dict[Tuple, List[int]] = {}  # tup -> appear times
+        self._insert_counts: Dict[Tuple, int] = {}
+        self._derive_ids: Set[int] = set()
+        self._derivations: Dict[int, DerivationInfo] = {}
+        self._vertex_count = 0
+
+    # -- recording (called by the owning recorder) ---------------------------
+
+    @property
+    def pending(self) -> bool:
+        """True while the graph has not been materialized yet."""
+        return self._graph is None
+
+    def record(self, event: tuple) -> None:
+        """Ingest one kept event: cheap state, metrics, arena/graph.
+
+        Vertex and edge metrics are computed here, at record time, from
+        the incremental state — the counts are provably equal to what
+        eager construction would report, because every child lookup in
+        :func:`apply_event` reduces to an existence test this state
+        answers exactly (has the tuple any EXIST interval / any INSERT
+        / is the derivation id known).
+        """
+        telemetry = self._recorder.telemetry if self._recorder is not None else None
+        kind = event[0]
+        if kind == "ins":
+            tup = event[2]
+            self._insert_counts[tup] = self._insert_counts.get(tup, 0) + 1
+            self._note_vertex(telemetry, "insert")
+        elif kind == "del":
+            self._note_vertex(telemetry, "delete")
+        elif kind == "app":
+            _, _, tup, time, cause_kind, derivation_id = event
+            if cause_kind == "insert":
+                parent_edges = 1 if self._insert_counts.get(tup) else 0
+            else:
+                parent_edges = 1 if derivation_id in self._derive_ids else 0
+            self._note_vertex(telemetry, "appear", parent_edges)
+            self._appears.setdefault(tup, []).append(time)
+            self._exists.setdefault(tup, []).append([time, None])
+            self._note_vertex(telemetry, "exist", 1)
+        elif kind == "dis":
+            _, _, tup, time, cause_kind, derivation_id = event
+            edges = (
+                1
+                if cause_kind == "underive"
+                and derivation_id is not None
+                and derivation_id in self._derive_ids
+                else 0
+            )
+            self._close(tup, time)
+            self._note_vertex(telemetry, "disappear", edges)
+        elif kind == "der":
+            info = event[2]
+            if info.id in self._derivations:
+                # Same failure the eager graph's add_derivation raises,
+                # surfaced at record time rather than reconstruction.
+                raise ReproError(f"duplicate derivation id {info.id}")
+            edges = sum(1 for member in info.body if self._exists.get(member))
+            self._derivations[info.id] = info
+            self._derive_ids.add(info.id)
+            self._note_vertex(telemetry, "derive", edges)
+        elif kind == "und":
+            derivation_id = event[5]
+            edges = 1 if derivation_id in self._derive_ids else 0
+            self._note_vertex(telemetry, "underive", edges)
+        else:  # pragma: no cover - defensive
+            raise ValueError(f"unknown arena event {kind!r}")
+        if self._graph is not None:
+            # Already materialized (e.g. a tree was projected mid-run):
+            # keep the eager graph current instead of re-growing the arena.
+            apply_event(self._graph, event)
+        else:
+            self._arena.append(event)
+
+    def _note_vertex(self, telemetry, kind_name: str, edges: int = 0) -> None:
+        self._vertex_count += 1
+        if telemetry is not None:
+            telemetry.inc("recorder.vertices." + kind_name)
+            if edges:
+                telemetry.inc("recorder.edges", edges)
+
+    def _close(self, tup: Tuple, time: int) -> None:
+        # Mirror ProvenanceGraph.close_exist: end the latest open interval.
+        best = None
+        for interval in self._exists.get(tup, ()):
+            if interval[1] is None and (best is None or interval[0] > best[0]):
+                best = interval
+        if best is not None:
+            best[1] = time
+
+    # -- cheap queries (no materialization) ----------------------------------
+
+    @property
+    def derivations(self) -> Dict[int, DerivationInfo]:
+        if self._graph is not None:
+            return self._graph.derivations
+        return self._derivations
+
+    def alive_at(self, tup: Tuple, time: int) -> bool:
+        if self._graph is not None:
+            return self._graph.alive_at(tup, time)
+        for start, end in self._exists.get(tup, ()):
+            if start <= time and (end is None or end >= time):
+                return True
+        return False
+
+    def alive_during(self, tup: Tuple, from_time: int) -> bool:
+        if self._graph is not None:
+            return self._graph.alive_during(tup, from_time)
+        for _, end in self._exists.get(tup, ()):
+            if end is None or end >= from_time:
+                return True
+        return False
+
+    def appear_times(self, tup: Tuple) -> List[int]:
+        if self._graph is not None:
+            return self._graph.appear_times(tup)
+        return list(self._appears.get(tup, ()))
+
+    def ever_existed(self, tup: Tuple) -> bool:
+        if self._graph is not None:
+            return self._graph.ever_existed(tup)
+        return bool(self._exists.get(tup))
+
+    def live_tuples(self, table: Optional[str] = None) -> List[Tuple]:
+        if self._graph is not None:
+            return self._graph.live_tuples(table)
+        result = []
+        for tup, intervals in self._exists.items():
+            if table is not None and tup.table != table:
+                continue
+            if any(end is None for _, end in intervals):
+                result.append(tup)
+        return result
+
+    def __len__(self) -> int:
+        if self._graph is not None:
+            return len(self._graph)
+        return self._vertex_count
+
+    # -- materialization ------------------------------------------------------
+
+    def materialize(self) -> ProvenanceGraph:
+        """The full eager graph, reconstructing it on first call."""
+        graph = self._graph
+        if graph is None:
+            telemetry = (
+                self._recorder.telemetry if self._recorder is not None else None
+            )
+            if telemetry is not None:
+                telemetry.inc("provenance.lazy.reconstructions")
+            graph = ProvenanceGraph()
+            for event in self._arena:
+                apply_event(graph, event)
+            self._graph = graph
+            # The arena is fully consumed; record() applies directly
+            # to the graph from here on.
+            self._arena = []
+        return graph
+
+    def __getattr__(self, name):
+        # Reached only when normal lookup fails, i.e. for eager-graph
+        # APIs this facade does not implement cheaply.  Guard dunder
+        # and private probes (pickle, copy) so they fail fast instead
+        # of materializing.
+        if name.startswith("_"):
+            raise AttributeError(name)
+        return getattr(self.materialize(), name)
+
+    def __repr__(self):
+        state = (
+            f"materialized, {len(self._graph)} vertices"
+            if self._graph is not None
+            else f"pending, {len(self._arena)} events"
+        )
+        return f"LazyProvenanceGraph({state})"

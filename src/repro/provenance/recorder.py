@@ -24,21 +24,41 @@ from ..datalog.tuples import Tuple
 from ..errors import ReproError
 from ..observability import active as _active_telemetry
 from .graph import DerivationInfo, ProvenanceGraph
+from .lazy import LazyProvenanceGraph
 from .vertices import VertexKind
 
 __all__ = ["ProvenanceRecorder"]
 
 
 class ProvenanceRecorder:
-    """Builds a :class:`ProvenanceGraph` from engine or reported events."""
+    """Builds a :class:`ProvenanceGraph` from engine or reported events.
+
+    By default the recorder is *lazy* (see
+    :mod:`repro.provenance.lazy`): inferred-mode events are appended to
+    a compact arena and the seven-vertex graph is reconstructed only
+    when something projects a tree, serializes, or otherwise needs real
+    vertexes.  Pass ``lazy=False`` (or an explicit ``graph``) for the
+    classic eager construction — the reference mode the equivalence
+    tests compare against.  The ``report_*`` API (instrumented systems
+    with their own clocks) always forces eager construction.
+    """
 
     def __init__(
         self,
         graph: Optional[ProvenanceGraph] = None,
         faults=None,
         telemetry=None,
+        lazy: Optional[bool] = None,
     ):
-        self.graph = graph if graph is not None else ProvenanceGraph()
+        if graph is not None:
+            self.graph = graph
+            self._lazy = None
+        elif lazy is None or lazy:
+            self._lazy = LazyProvenanceGraph(self)
+            self.graph = self._lazy
+        else:
+            self.graph = ProvenanceGraph()
+            self._lazy = None
         # Optional FaultInjector modelling lossy provenance logging: a
         # fraction of events is acknowledged (the clock still advances)
         # but never persisted into the graph.
@@ -90,16 +110,22 @@ class ProvenanceRecorder:
         if not self._keep("insert"):
             self._bump(time)
             return
-        self._vertex(
-            VertexKind.INSERT, node, tup, time, mutable=mutable
-        )
+        if self._lazy is not None:
+            self._lazy.record(("ins", node, tup, time, mutable))
+        else:
+            self._vertex(
+                VertexKind.INSERT, node, tup, time, mutable=mutable
+            )
         self._bump(time)
 
     def on_delete(self, node: str, tup: Tuple, time: int) -> None:
         if not self._keep("delete"):
             self._bump(time)
             return
-        self._vertex(VertexKind.DELETE, node, tup, time)
+        if self._lazy is not None:
+            self._lazy.record(("del", node, tup, time))
+        else:
+            self._vertex(VertexKind.DELETE, node, tup, time)
         self._bump(time)
 
     def on_appear(self, node: str, tup: Tuple, time: int, cause) -> None:
@@ -107,14 +133,19 @@ class ProvenanceRecorder:
             self._bump(time)
             return
         kind, payload = cause
+        if kind not in ("insert", "derive"):  # pragma: no cover - defensive
+            raise ReproError(f"unknown appear cause {kind!r}")
+        if self._lazy is not None:
+            derivation_id = payload.id if kind == "derive" else None
+            self._lazy.record(("app", node, tup, time, kind, derivation_id))
+            self._bump(time)
+            return
         if kind == "insert":
             parent = self.graph.latest_insert(tup)
             children = [parent] if parent is not None else []
-        elif kind == "derive":
+        else:
             derive_vertex = self.graph.derive_vertex(payload.id)
             children = [derive_vertex] if derive_vertex is not None else []
-        else:  # pragma: no cover - defensive
-            raise ReproError(f"unknown appear cause {kind!r}")
         appear = self._vertex(
             VertexKind.APPEAR, node, tup, time, children=children
         )
@@ -130,6 +161,11 @@ class ProvenanceRecorder:
             self._bump(time)
             return
         kind, payload = cause
+        if self._lazy is not None:
+            derivation_id = payload.id if payload is not None else None
+            self._lazy.record(("dis", node, tup, time, kind, derivation_id))
+            self._bump(time)
+            return
         children = []
         if kind == "underive" and payload is not None:
             derive_vertex = self.graph.derive_vertex(payload.id)
@@ -158,6 +194,13 @@ class ProvenanceRecorder:
 
     def on_underive(self, node: str, derivation: Derivation, time: int) -> None:
         if not self._keep("underive"):
+            self._bump(time)
+            return
+        if self._lazy is not None:
+            self._lazy.record(
+                ("und", node, derivation.head, time,
+                 derivation.rule_name, derivation.id)
+            )
             self._bump(time)
             return
         derive_vertex = self.graph.derive_vertex(derivation.id)
@@ -192,6 +235,9 @@ class ProvenanceRecorder:
     def report_delete(self, node: str, tup: Tuple, time: Optional[int] = None) -> None:
         time = self._reported_time(time)
         self.on_delete(node, tup, time)
+        if self._lazy is not None:
+            self._lazy.record(("dis", node, tup, time, "delete", None))
+            return
         self.graph.close_exist(tup, time)
         self._vertex(VertexKind.DISAPPEAR, node, tup, time)
 
@@ -242,6 +288,10 @@ class ProvenanceRecorder:
     # ------------------------------------------------------------------
 
     def _add_derive(self, node: str, info: DerivationInfo, time: int) -> None:
+        if self._lazy is not None:
+            self._lazy.record(("der", node, info, time))
+            self._bump(time)
+            return
         self.graph.add_derivation(info)
         children = []
         for member in info.body:

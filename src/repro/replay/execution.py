@@ -44,6 +44,8 @@ class Execution:
         faults=None,
         telemetry=None,
         replay_cache=None,
+        use_indexes: bool = True,
+        lazy_provenance: bool = True,
     ):
         if mode not in _MODES:
             raise ReproError(f"unknown logging mode {mode!r}")
@@ -51,6 +53,12 @@ class Execution:
         self.name = name
         self.mode = mode
         self.logging_enabled = logging_enabled
+        # Hot-path knobs, inherited by the live engine and every
+        # replay.  The False settings select the linear-scan / eager
+        # reference modes used by the equivalence tests and benchmarks;
+        # results are byte-identical either way.
+        self.use_indexes = use_indexes
+        self.lazy_provenance = lazy_provenance
         # Optional FaultPlan.  The live engine and every replay build
         # injectors with the same purposes from it, so query-time
         # replays see the same fault schedule the primary run did.
@@ -72,6 +80,7 @@ class Execution:
                     else None
                 ),
                 telemetry=telemetry,
+                lazy=lazy_provenance,
             )
             if mode == "runtime"
             else None
@@ -83,6 +92,7 @@ class Execution:
                 FaultInjector(faults, "engine") if faults is not None else None
             ),
             telemetry=telemetry,
+            use_indexes=use_indexes,
         )
         self._materialized: Optional[ReplayResult] = None
         # Optional repro.resilience.Deadline the debugger attaches for
@@ -186,6 +196,8 @@ class Execution:
             telemetry=self.telemetry,
             cache=self.replay_cache,
             deadline=self.deadline,
+            use_indexes=self.use_indexes,
+            lazy=self.lazy_provenance,
         )
         self.replay_seconds += _time.perf_counter() - started
         self.replay_count += 1

@@ -100,6 +100,8 @@ def replay(
     telemetry=None,
     cache=None,
     deadline=None,
+    use_indexes: bool = True,
+    lazy: bool = True,
 ) -> ReplayResult:
     """Replay a log, applying ``changes`` just before ``anchor_index``.
 
@@ -122,6 +124,11 @@ def replay(
       snapshotted log prefix consistent with the change set, instead of
       re-deriving from scratch.  The cache never changes the outcome —
       snapshots are the pickled state of the identical computation.
+    - ``use_indexes`` / ``lazy`` select the engine's join access path
+      and the recorder's provenance mode.  Both default to the fast
+      path; the ``False`` settings are linear-scan / eager reference
+      modes that produce byte-identical results (the equivalence tests
+      rely on this).
     """
     changes = list(changes)
     removed = set()
@@ -177,7 +184,9 @@ def replay(
         else:
             engine_faults = logging_faults = None
         recorder = (
-            ProvenanceRecorder(faults=logging_faults, telemetry=telemetry)
+            ProvenanceRecorder(
+                faults=logging_faults, telemetry=telemetry, lazy=lazy
+            )
             if record
             else None
         )
@@ -187,6 +196,7 @@ def replay(
             faults=engine_faults,
             step_limit=step_limit,
             telemetry=telemetry,
+            use_indexes=use_indexes,
         )
     engine.deadline = deadline
 

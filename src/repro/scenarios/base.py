@@ -44,6 +44,19 @@ class Scenario:
         self.bad_time: Optional[int] = None
         self._built = False
 
+    @classmethod
+    def one_liner(cls) -> str:
+        """The scenario's one-line description for listings.
+
+        Prefers the class ``description`` attribute; falls back to the
+        first line of the class docstring so a scenario without one
+        never lists as an empty row.
+        """
+        if cls.description:
+            return cls.description
+        doc = (cls.__doc__ or "").strip()
+        return doc.splitlines()[0] if doc else ""
+
     @property
     def fault_plan(self) -> Optional[FaultPlan]:
         """The scenario's fault plan (``faults`` param), parsed if a spec."""

@@ -1,0 +1,80 @@
+"""Execute every fenced ``python`` block in the documentation.
+
+Documentation drifts when nothing runs it.  This module extracts each
+fenced code block marked ``python`` from ``docs/*.md`` and
+``README.md`` and executes it in a fresh namespace, with the working
+directory switched to a temp dir so snippets that write files (journal
+paths, exports, traces) stay self-contained.
+
+Blocks that are deliberately illustrative — they elide setup with
+``...`` or reference placeholder variables — opt out by placing the
+marker comment on the line directly above the opening fence:
+
+    <!-- snippet: no-run -->
+    ```python
+    report = DiffProv(program).diagnose(...)
+    ```
+
+Keep the marker rare: a snippet that can run, should.
+"""
+
+import re
+from pathlib import Path
+
+import pytest
+
+REPO = Path(__file__).resolve().parents[2]
+SOURCES = sorted(REPO.glob("docs/*.md")) + [REPO / "README.md"]
+NO_RUN = "<!-- snippet: no-run -->"
+_FENCE = re.compile(r"^```python[ \t]*$")
+
+
+def _blocks(path):
+    """Yield (index, lineno, code, skipped) per ```python fence."""
+    lines = path.read_text(encoding="utf-8").splitlines()
+    index = 0
+    i = 0
+    while i < len(lines):
+        if _FENCE.match(lines[i]):
+            # The opt-out marker sits on the closest non-blank line
+            # above the fence.
+            j = i - 1
+            while j >= 0 and not lines[j].strip():
+                j -= 1
+            skipped = j >= 0 and lines[j].strip() == NO_RUN
+            start = i + 1
+            i += 1
+            while i < len(lines) and not lines[i].startswith("```"):
+                i += 1
+            yield index, start + 1, "\n".join(lines[start:i]), skipped
+            index += 1
+        i += 1
+
+
+def _collect():
+    params = []
+    for path in SOURCES:
+        rel = path.relative_to(REPO)
+        for index, lineno, code, skipped in _blocks(path):
+            params.append(
+                pytest.param(
+                    str(rel), lineno, code, skipped, id=f"{rel}:{index}"
+                )
+            )
+    return params
+
+
+SNIPPETS = _collect()
+
+
+def test_documentation_has_snippets():
+    assert SNIPPETS, "no ```python blocks found under docs/ or README.md"
+
+
+@pytest.mark.parametrize("rel, lineno, code, skipped", SNIPPETS)
+def test_snippet_executes(rel, lineno, code, skipped, tmp_path, monkeypatch):
+    if skipped:
+        pytest.skip(f"{rel}:{lineno} opts out via {NO_RUN}")
+    monkeypatch.chdir(tmp_path)
+    compiled = compile(code, f"{rel}:{lineno}", "exec")
+    exec(compiled, {"__name__": f"snippet_{Path(rel).stem}"})
