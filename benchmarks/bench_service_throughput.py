@@ -1,0 +1,174 @@
+"""Diagnosis service: throughput scaling, overload shedding, latency.
+
+The service's job is to keep diagnosis latency bounded under load by
+shedding what it cannot serve (docs/service.md).  This benchmark
+measures the three promises:
+
+- ``throughput`` — requests/second for a burst of DNS diagnoses at
+  1, 2 and 4 workers (the same request served by a bigger fleet);
+- ``shed_rate`` — the fraction of a 2x-capacity flood that gets a
+  typed ``overloaded`` response instead of queueing unboundedly
+  (must be non-zero: admission control is on);
+- ``p50_admitted_s`` vs ``p50_unloaded_s`` — median latency of the
+  requests *admitted* during the flood, which the bounded queue must
+  keep within 2x of the unloaded median (shedding pays for latency).
+
+Run as a script (writes BENCH_service.json)::
+
+    PYTHONPATH=src python benchmarks/bench_service_throughput.py --out BENCH_service.json
+
+or through pytest-benchmark like the other benchmarks::
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_service_throughput.py --benchmark-only -s
+"""
+
+import argparse
+import asyncio
+import json
+import statistics
+import sys
+import time
+
+from repro.service import DiagnosisServer, ServiceClient
+
+WORKER_COUNTS = [1, 2, 4]
+BURST = 24          # throughput burst per worker count
+# A one-shard, one-slot server for the overload stage: admitted work
+# never shares the CPU with other diagnoses, so the admitted/unloaded
+# latency ratio isolates what admission control promises (no unbounded
+# queueing) from plain core contention on small CI boxes.
+CAPACITY = 1        # max_queue for the overload stage (covers in-flight)
+FLOOD_ROUNDS = 8    # rounds of 2x-capacity bursts
+LATENCY_SAMPLES = 10
+
+
+# The latency stage uses a minimality run (~0.25s of worker time) so
+# the admitted/unloaded ratio measures queueing, not the fixed
+# per-request dispatch overhead that dominates a ~5ms DNS diagnosis.
+LATENCY_SCENARIO = ("SDN1", {"minimize": True})
+
+
+async def _timed_diagnose(client):
+    scenario, options = LATENCY_SCENARIO
+    start = time.perf_counter()
+    response = await client.diagnose(scenario, options=options)
+    return response, time.perf_counter() - start
+
+
+async def _warm(client, count):
+    """Touch every shard so the measured runs hit warm caches."""
+    for _ in range(count):
+        response = await client.diagnose("DNS")
+        assert response["status"] == "ok", response
+
+
+async def _throughput(workers):
+    async with DiagnosisServer(workers=workers, max_queue=2 * BURST) as server:
+        client = ServiceClient(server)
+        await _warm(client, 2 * workers)
+        start = time.perf_counter()
+        responses = await asyncio.gather(
+            *[client.diagnose("DNS") for _ in range(BURST)]
+        )
+        elapsed = time.perf_counter() - start
+    assert all(r["status"] == "ok" for r in responses)
+    return BURST / elapsed
+
+
+async def _overload():
+    """2x-capacity floods: shed rate plus admitted/unloaded latency."""
+    async with DiagnosisServer(workers=CAPACITY, max_queue=CAPACITY) as server:
+        client = ServiceClient(server)
+        for _ in range(2 * CAPACITY):  # warm every shard on the workload
+            response, _seconds = await _timed_diagnose(client)
+            assert response["status"] == "ok", response
+
+        unloaded = []
+        for _ in range(LATENCY_SAMPLES):
+            response, seconds = await _timed_diagnose(client)
+            assert response["status"] == "ok"
+            unloaded.append(seconds)
+
+        admitted, shed, total = [], 0, 0
+        for _ in range(FLOOD_ROUNDS):
+            outcomes = await asyncio.gather(
+                *[_timed_diagnose(client) for _ in range(2 * CAPACITY)]
+            )
+            for response, seconds in outcomes:
+                total += 1
+                if response["status"] == "overloaded":
+                    assert response["reason"] == "queue-full", response
+                    assert response["retry_after_s"] > 0, response
+                    shed += 1
+                else:
+                    assert response["status"] == "ok", response
+                    admitted.append(seconds)
+    return {
+        "flood_requests": total,
+        "admitted": len(admitted),
+        "shed": shed,
+        "shed_rate": round(shed / total, 3),
+        "p50_unloaded_s": round(statistics.median(unloaded), 4),
+        "p50_admitted_s": round(statistics.median(admitted), 4),
+    }
+
+
+def run_benchmark():
+    throughput = {
+        str(workers): round(asyncio.run(_throughput(workers)), 1)
+        for workers in WORKER_COUNTS
+    }
+    overload = asyncio.run(_overload())
+    return {"throughput_rps": throughput, "overload": overload}
+
+
+def check(results):
+    for workers, rps in results["throughput_rps"].items():
+        assert rps > 0, f"no throughput at {workers} workers: {results}"
+    overload = results["overload"]
+    assert overload["shed_rate"] > 0, (
+        f"a 2x flood shed nothing — admission control is off: {overload}"
+    )
+    assert overload["admitted"] > 0, overload
+    # The bounded queue's whole point: being admitted still means
+    # being served promptly.
+    assert overload["p50_admitted_s"] <= 2 * overload["p50_unloaded_s"], (
+        f"admitted latency blew past 2x the unloaded median: {overload}"
+    )
+
+
+def test_service_throughput(benchmark):
+    results = benchmark.pedantic(run_benchmark, rounds=1, iterations=1)
+    from conftest import emit
+
+    emit("Diagnosis service: throughput, shedding, latency", [results])
+    benchmark.extra_info["results"] = results
+    check(results)
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--out", default="BENCH_service.json",
+        help="where to write the JSON results",
+    )
+    args = parser.parse_args(argv)
+    results = run_benchmark()
+    check(results)
+    with open(args.out, "w", encoding="utf-8") as handle:
+        json.dump({"benchmark": "service", **results}, handle, indent=2)
+        handle.write("\n")
+    for workers in WORKER_COUNTS:
+        print(f"workers={workers}: "
+              f"{results['throughput_rps'][str(workers)]:7.1f} req/s")
+    overload = results["overload"]
+    print(f"2x overload: shed {overload['shed']}/{overload['flood_requests']} "
+          f"({overload['shed_rate']:.0%}), admitted p50 "
+          f"{overload['p50_admitted_s']*1000:.1f}ms vs unloaded "
+          f"{overload['p50_unloaded_s']*1000:.1f}ms")
+    print(f"wrote {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

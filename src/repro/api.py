@@ -77,6 +77,13 @@ class Session:
         resume from an existing one; candidate verdicts recorded by a
         previous (possibly killed) run are skipped and the resumed
         report is byte-identical (docs/resilience.md).
+    ``cache``
+        An existing :class:`repro.replay.cache.ReplayCache` to attach
+        to the session's executions, so baseline snapshots stay warm
+        *across* sessions — the diagnosis-service workers keep one per
+        process this way (docs/service.md).  Snapshot keys embed the
+        log fingerprint, so a single cache safely serves many
+        scenarios.  Ignored when ``replay_cache=False``.
     ``deadline_s``
         End-to-end wall-clock budget for each diagnose/autoref call.
     ``resilience``
@@ -89,6 +96,11 @@ class Session:
 
     Scenario construction is lazy: the executions are built on first
     use, so creating a Session is cheap.
+
+    Sessions hold real resources once built (an open journal file
+    during calls, megabytes of cached snapshots): :meth:`close`
+    releases them, and the class is a context manager so ``with
+    Session(...) as s:`` does it for you.
     """
 
     def __init__(
@@ -111,6 +123,7 @@ class Session:
         taint: bool = True,
         journal: Optional[str] = None,
         resume: bool = False,
+        cache=None,
         deadline_s: Optional[float] = None,
         resilience=None,
         scenario_params: Optional[Dict] = None,
@@ -168,8 +181,11 @@ class Session:
         self.bad_event = bad_event
         self.good_time = good_time
         self.bad_time = bad_time
+        self.cache = cache if replay_cache else None
+        self._closed = False
         if self.scenario_name is None:
             self._built = True
+            self._attach_cache()
         else:
             from .scenarios import ALL_SCENARIOS
 
@@ -191,6 +207,8 @@ class Session:
         the expensive scenario build happens on first use.  Returns
         ``self`` for chaining.
         """
+        if self._closed:
+            raise ReproError("this Session is closed")
         if self._built:
             return self
         from .scenarios import ALL_SCENARIOS
@@ -212,7 +230,64 @@ class Session:
             # Scenario classes may carry their own plan (e.g. SDN1-F).
             self.options.faults = scenario.fault_plan
         self._built = True
+        self._attach_cache()
         return self
+
+    def _attach_cache(self) -> None:
+        """Hand the caller-supplied ReplayCache to both executions.
+
+        ``_replay_cache_scope`` (repro.core.diffprov) reuses a cache it
+        finds already attached instead of building a fresh one, which
+        is exactly how warmth survives across diagnose() calls and
+        across Sessions sharing one cache.
+        """
+        if self.cache is None:
+            return
+        for execution in (self.good, self.bad):
+            if (
+                hasattr(execution, "replay_cache")
+                and execution.replay_cache is None
+            ):
+                execution.replay_cache = self.cache
+
+    def close(self) -> None:
+        """Release the session's resources; idempotent.
+
+        Closes (and flushes) any open journal, detaches the shared
+        cache from the executions, and drops the scenario and
+        execution references so their logs and provenance graphs can
+        be collected.  Further queries raise
+        :class:`~repro.errors.ReproError`; the ``journal`` attribute
+        stays readable so crash handlers can still print
+        ``journal.progress()``.
+        """
+        if self._closed:
+            return
+        self._closed = True
+        if self.journal is not None and not self.journal.closed:
+            self.journal.close()
+        for execution in (self.good, self.bad):
+            if (
+                self.cache is not None
+                and getattr(execution, "replay_cache", None) is self.cache
+            ):
+                execution.replay_cache = None
+        self._scenario = None
+        self.program = None
+        self.good = None
+        self.bad = None
+        self.good_event = None
+        self.bad_event = None
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def __enter__(self) -> "Session":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
 
     @property
     def scenario(self):

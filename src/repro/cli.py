@@ -12,6 +12,8 @@ Subcommands::
     diffprov survey                    the Section 2.4 survey statistics
     diffprov unsuitable                the Section 6.3 reference study
     diffprov stanford                  the Section 6.7 complex network
+    diffprov serve --port 8732         run the diagnosis service
+                                       (docs/service.md)
 
 Each subcommand prints human-readable output; ``--json`` emits
 machine-readable results instead.
@@ -20,7 +22,9 @@ machine-readable results instead.
 from __future__ import annotations
 
 import argparse
+import contextlib
 import json
+import signal
 import sys
 from typing import List, Optional
 
@@ -181,6 +185,51 @@ def build_parser() -> argparse.ArgumentParser:
         help="use the paper's 757k-entry configuration (slow)",
     )
     stanford.add_argument("--background", type=int, default=120)
+
+    serve = commands.add_parser(
+        "serve",
+        help="run the multi-tenant diagnosis service (docs/service.md)",
+    )
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument(
+        "--port", type=int, default=0,
+        help="TCP port (default 0 = pick a free one; printed on start)",
+    )
+    serve.add_argument(
+        "--workers", type=int, default=2,
+        help="persistent diagnosis worker processes (default 2)",
+    )
+    serve.add_argument(
+        "--max-queue", type=int, default=64,
+        help="admitted-but-unfinished request bound (default 64)",
+    )
+    serve.add_argument(
+        "--quota",
+        action="append",
+        default=[],
+        metavar="TENANT=RATE[:BURST[:CONCURRENT]]",
+        help="per-tenant quota, repeatable; e.g. 'monitor=2:5:1' caps "
+        "tenant 'monitor' at 2 req/s, burst 5, 1 in flight "
+        "('default=...' sets the catch-all quota)",
+    )
+    serve.add_argument(
+        "--journal-dir",
+        metavar="DIR",
+        help="directory for per-request write-ahead journals "
+        "(default: a temp dir removed on exit)",
+    )
+    serve.add_argument(
+        "--keep-journals", action="store_true",
+        help="keep journals of successful requests instead of deleting",
+    )
+    serve.add_argument(
+        "--default-deadline-s", type=float, metavar="SECONDS",
+        help="deadline applied to requests that do not carry their own",
+    )
+    serve.add_argument(
+        "--drain-timeout-s", type=float, default=60.0,
+        help="how long SIGTERM waits for in-flight requests (default 60)",
+    )
     return parser
 
 
@@ -196,6 +245,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "survey": _cmd_survey,
         "unsuitable": _cmd_unsuitable,
         "stanford": _cmd_stanford,
+        "serve": _cmd_serve,
     }[args.command]
     return handler(args)
 
@@ -244,19 +294,48 @@ def _session(args, **extra) -> Session:
     )
 
 
-# Exit status for a diagnosis interrupted by Ctrl-C: 128 + SIGINT(2),
-# the conventional shell encoding of death-by-signal.
+# Exit statuses for a diagnosis killed by a signal: 128 + signum, the
+# conventional shell encoding of death-by-signal.  130 = Ctrl-C
+# (SIGINT), 143 = SIGTERM — what an init system, container runtime, or
+# `kill` sends for an orderly stop.
 EXIT_INTERRUPTED = 130
+EXIT_TERMINATED = 143
 
 
-def _interrupted(args, session) -> int:
-    """Ctrl-C landed mid-diagnosis: report what survived.
+class _Terminated(Exception):
+    """SIGTERM arrived; unwind through the journal scope like Ctrl-C."""
+
+
+def _raise_terminated(signum, frame):
+    raise _Terminated()
+
+
+@contextlib.contextmanager
+def _sigterm_unwinds():
+    """Convert SIGTERM into an exception for the enclosed diagnosis.
+
+    SIGTERM's default disposition kills the process where it stands —
+    skipping the journal flush and the resume hint that make an
+    interrupted diagnosis recoverable.  Routed through an exception it
+    takes exactly the Ctrl-C path (Session's journal scope closes the
+    journal on the way out) and exits 143 instead of 130.
+    """
+    previous = signal.signal(signal.SIGTERM, _raise_terminated)
+    try:
+        yield
+    finally:
+        signal.signal(signal.SIGTERM, previous)
+
+
+def _interrupted(args, session, cause: str = "interrupted",
+                 exit_status: int = EXIT_INTERRUPTED) -> int:
+    """A signal landed mid-diagnosis: report what survived.
 
     The journal (if any) was already flushed and closed on the way out
     of Session's journal scope, so every verdict the run computed is on
     disk; tell the operator how to pick the search back up.
     """
-    print("interrupted: diagnosis aborted", file=sys.stderr)
+    print(f"{cause}: diagnosis aborted", file=sys.stderr)
     journal = getattr(session, "journal", None)
     if journal is not None:
         journal.close()  # idempotent; guarantees the flush happened
@@ -266,7 +345,13 @@ def _interrupted(args, session) -> int:
             f"--journal {journal.path} --resume",
             file=sys.stderr,
         )
-    return EXIT_INTERRUPTED
+    return exit_status
+
+
+def _terminated(args, session) -> int:
+    return _interrupted(
+        args, session, cause="terminated", exit_status=EXIT_TERMINATED
+    )
 
 
 def _telemetry_output(args, session, data, extra_lines) -> None:
@@ -293,9 +378,12 @@ def _cmd_diagnose(args) -> int:
         print(f"error: {exc}", file=sys.stderr)
         return 2
     try:
-        report = session.diagnose()
+        with _sigterm_unwinds():
+            report = session.diagnose()
     except KeyboardInterrupt:
         return _interrupted(args, session)
+    except _Terminated:
+        return _terminated(args, session)
     data = {
         "scenario": args.scenario,
         "success": report.success,
@@ -356,9 +444,12 @@ def _cmd_autoref(args) -> int:
         print(f"error: {exc}", file=sys.stderr)
         return 2
     try:
-        result = session.autoref(limit=args.limit)
+        with _sigterm_unwinds():
+            result = session.autoref(limit=args.limit)
     except KeyboardInterrupt:
         return _interrupted(args, session)
+    except _Terminated:
+        return _terminated(args, session)
     data = {
         "scenario": args.scenario,
         "found": result.found,
@@ -481,6 +572,68 @@ def _cmd_stanford(args) -> int:
         f"{data['plain_diff']}\n" + report.summary()
     )
     return _emit(args, data, text)
+
+
+def _parse_quota_flag(spec: str):
+    """One --quota flag: ``TENANT=RATE[:BURST[:CONCURRENT]]``.
+
+    RATE of ``-`` disables rate limiting (concurrency cap only).
+    """
+    from .service import TenantQuota
+
+    tenant, _, limits = spec.partition("=")
+    if not tenant or not limits:
+        raise ValueError(
+            f"--quota wants TENANT=RATE[:BURST[:CONCURRENT]], got {spec!r}"
+        )
+    parts = limits.split(":")
+    if len(parts) > 3:
+        raise ValueError(f"--quota {spec!r} has too many ':' fields")
+    rate = None if parts[0] == "-" else float(parts[0])
+    burst = float(parts[1]) if len(parts) > 1 else 1.0
+    concurrent = int(parts[2]) if len(parts) > 2 else None
+    return tenant, TenantQuota(
+        rate=rate, burst=burst, max_concurrent=concurrent
+    )
+
+
+def _cmd_serve(args) -> int:
+    import asyncio
+
+    from .service import DiagnosisServer
+
+    try:
+        quotas = dict(_parse_quota_flag(spec) for spec in args.quota)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    async def run() -> int:
+        server = DiagnosisServer(
+            workers=args.workers,
+            max_queue=args.max_queue,
+            quotas=quotas or None,
+            journal_dir=args.journal_dir,
+            keep_journals=args.keep_journals,
+            default_deadline_s=args.default_deadline_s,
+            drain_timeout_s=args.drain_timeout_s,
+        )
+        async with server:
+            host, port = await server.serve(args.host, args.port)
+            server.install_signal_handlers()
+            # Machine-parseable start line: tests and process managers
+            # read the bound port from here (--port 0 picks a free one).
+            print(f"diffprov-service listening on {host}:{port}", flush=True)
+            await server.wait_stopped()
+        stats = server.stats()["admission"]
+        print(
+            f"drained: {stats['admitted_total']} request(s) served, "
+            f"shed {sum(stats['shed'].values())}",
+            file=sys.stderr,
+        )
+        return 0
+
+    return asyncio.run(run())
 
 
 if __name__ == "__main__":

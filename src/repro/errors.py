@@ -166,6 +166,37 @@ class DeadlineExceeded(ReproError):
         super().__init__(message)
 
 
+class ServiceError(ReproError):
+    """Base class for errors raised by the diagnosis service
+    (:mod:`repro.service`)."""
+
+
+class ProtocolError(ServiceError):
+    """A service request could not be parsed or validated.
+
+    Raised by :mod:`repro.service.protocol` for malformed NDJSON lines,
+    unknown request kinds, or out-of-range field values.  The server
+    answers with a ``status: "error"`` response instead of dropping the
+    connection, so one bad client line never poisons the stream.
+    """
+
+
+class Overloaded(ServiceError):
+    """The server refused to admit a request (docs/service.md).
+
+    A *typed* rejection, not a failure: the work was never started.
+    Carries the shed ``reason`` (``queue-full``, ``quota``,
+    ``concurrency``, ``draining``) and a ``retry_after_s`` hint — the
+    server's estimate of when a resubmission is likely to be admitted.
+    """
+
+    def __init__(self, message: str, reason: str = "overloaded",
+                 retry_after_s: float = 1.0):
+        self.reason = reason
+        self.retry_after_s = max(0.0, float(retry_after_s))
+        super().__init__(message)
+
+
 class DegradedResultWarning(UserWarning):
     """A result was produced under faults and carries reduced confidence.
 

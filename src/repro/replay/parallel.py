@@ -49,7 +49,23 @@ from ..faults.injector import worker_crash_decision
 from ..observability import active as _active_telemetry
 from ..resilience.policy import ResiliencePolicy
 
-__all__ = ["CandidateEvaluator"]
+__all__ = ["CandidateEvaluator", "pool_mp_context"]
+
+
+def pool_mp_context():
+    """The multiprocessing context for diagnosis worker pools.
+
+    Prefer fork on platforms that have it: parent state is shared
+    copy-on-write and worker start-up is milliseconds.  Spawn-only
+    platforms get the default context — identical semantics, slower
+    start.  Shared with the service's persistent worker fleet
+    (:mod:`repro.service.fleet`), which runs the same evaluation code
+    one shard per process.
+    """
+    try:
+        return multiprocessing.get_context("fork")
+    except ValueError:  # pragma: no cover - non-POSIX
+        return multiprocessing.get_context()
 
 # Per-process evaluation context, installed by the pool initializer so
 # every job in a worker shares one unpickled copy.
@@ -193,14 +209,9 @@ class CandidateEvaluator:
         Returns the indices still unresolved when the pool broke (empty
         when the round completed cleanly).
         """
-        # Prefer fork on platforms that have it: the context is shared
-        # copy-on-write and worker start-up is milliseconds.  The
-        # payload still rides through the initializer, so spawn-only
-        # platforms work identically, just with a slower start.
-        try:
-            mp_context = multiprocessing.get_context("fork")
-        except ValueError:  # pragma: no cover - non-POSIX
-            mp_context = multiprocessing.get_context()
+        # The payload rides through the initializer, so every context
+        # pool_mp_context() can return works identically.
+        mp_context = pool_mp_context()
         attempt = 0 if not self.pool_restarts else 1
         pool = concurrent.futures.ProcessPoolExecutor(
             max_workers=min(self.workers, len(pending)),

@@ -18,7 +18,7 @@ this package covers failures of the *diagnosing host*:
 
 from .deadline import Deadline
 from .integrity import checksum_line, digest_text, frame, unframe, verify_line
-from .journal import SCHEMA_VERSION, DiagnosisJournal
+from .journal import SCHEMA_VERSION, DiagnosisJournal, request_journal_path
 from .policy import ResiliencePolicy
 
 __all__ = [
@@ -26,6 +26,7 @@ __all__ = [
     "DiagnosisJournal",
     "ResiliencePolicy",
     "SCHEMA_VERSION",
+    "request_journal_path",
     "frame",
     "unframe",
     "checksum_line",

@@ -38,9 +38,25 @@ from typing import Dict, List, Optional
 from ..errors import JournalError
 from .integrity import checksum_line, verify_line
 
-__all__ = ["DiagnosisJournal", "SCHEMA_VERSION"]
+__all__ = ["DiagnosisJournal", "SCHEMA_VERSION", "request_journal_path"]
 
 SCHEMA_VERSION = 1
+
+
+def request_journal_path(directory: str, request_key: str) -> str:
+    """The journal path for one service request.
+
+    The diagnosis service (:mod:`repro.service`) namespaces journals
+    per request under one directory so a crashed worker's successor can
+    resume exactly the request it was handed.  ``request_key`` is
+    sanitised to a filesystem-safe slug — two distinct keys may only
+    collide if they differ solely in unsafe characters, which the
+    server avoids by prefixing its own sequence number.
+    """
+    safe = "".join(
+        ch if ch.isalnum() or ch in "-_." else "_" for ch in str(request_key)
+    )[:120] or "request"
+    return os.path.join(str(directory), f"req-{safe}.journal")
 
 # Test-only hooks: hold the process inside a journal append so a
 # subprocess test can deliver SIGINT/SIGKILL at a deterministic point

@@ -1,0 +1,50 @@
+"""Diagnosis-as-a-service: the fault-tolerant multi-tenant server.
+
+Everything below :class:`repro.api.Session` diagnoses one scenario for
+one caller.  This package puts a server in front of it
+(docs/service.md):
+
+- :mod:`repro.service.protocol` — newline-delimited-JSON requests and
+  typed responses (``ok`` / ``overloaded`` / ``error`` / ``pong``);
+- :mod:`repro.service.quotas` — per-tenant token-bucket rates and
+  concurrency caps;
+- :mod:`repro.service.admission` — the bounded priority queue that
+  sheds excess load with honest ``retry_after_s`` hints;
+- :mod:`repro.service.fleet` — persistent worker processes with
+  health checks, bounded restarts, and per-shard circuit breakers;
+- :mod:`repro.service.server` — :class:`DiagnosisServer`, the asyncio
+  loop tying them together: request-level crash resume through the
+  write-ahead journal, deadline degradation to partial reports, warm
+  per-worker replay caches, graceful drain on SIGTERM;
+- :mod:`repro.service.client` — in-process and socket clients.
+
+The server preserves the determinism contract end to end: a request
+that survives a worker SIGKILL resumes on another process and returns
+a ``canonical_json()`` byte-identical to an undisturbed run
+(tests/service/test_chaos.py).
+"""
+
+from .admission import AdmissionController, Ticket
+from .client import ServiceClient, SocketServiceClient
+from .fleet import CircuitBreaker, WorkerDied, WorkerFleet, WorkerShard
+from .protocol import PROTOCOL_VERSION, Request, parse_request
+from .quotas import QuotaRegistry, TenantQuota, TokenBucket
+from .server import DiagnosisServer
+
+__all__ = [
+    "AdmissionController",
+    "CircuitBreaker",
+    "DiagnosisServer",
+    "PROTOCOL_VERSION",
+    "QuotaRegistry",
+    "Request",
+    "ServiceClient",
+    "SocketServiceClient",
+    "TenantQuota",
+    "Ticket",
+    "TokenBucket",
+    "WorkerDied",
+    "WorkerFleet",
+    "WorkerShard",
+    "parse_request",
+]

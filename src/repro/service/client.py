@@ -1,0 +1,174 @@
+"""Clients for the diagnosis service.
+
+Two transports, one surface:
+
+- :class:`ServiceClient` wraps an in-process
+  :class:`~repro.service.server.DiagnosisServer` — zero serialization
+  beyond protocol validation, the transport the tests and the
+  throughput benchmark use.
+- :class:`SocketServiceClient` speaks the NDJSON protocol over an
+  asyncio stream to a served address.  Responses are matched to
+  requests by ``id``, so one connection can have many requests in
+  flight.
+
+Both expose the same three coroutines — :meth:`request` (raw
+response dict), :meth:`diagnose` (convenience for ``kind=diagnose``),
+and :meth:`ping` — and neither raises for shed or failed requests:
+the typed response dict is the answer (docs/service.md).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import itertools
+from typing import Dict, Optional
+
+from ..errors import ProtocolError
+from .protocol import decode, encode
+
+__all__ = ["ServiceClient", "SocketServiceClient"]
+
+
+class _RequestIds:
+    """Monotonic fallback ids for callers who don't pass their own."""
+
+    def __init__(self, prefix: str):
+        self._counter = itertools.count(1)
+        self._prefix = prefix
+
+    def next(self) -> str:
+        return f"{self._prefix}-{next(self._counter)}"
+
+
+class ServiceClient:
+    """In-process client: calls ``server.submit`` directly."""
+
+    def __init__(self, server):
+        self.server = server
+        self._ids = _RequestIds("local")
+
+    async def request(self, payload: Dict) -> Dict:
+        payload = dict(payload)
+        payload.setdefault("id", self._ids.next())
+        return await self.server.submit(payload)
+
+    async def diagnose(self, scenario: str, **fields) -> Dict:
+        return await self.request(
+            {"kind": "diagnose", "scenario": scenario, **fields}
+        )
+
+    async def ping(self) -> Dict:
+        return await self.request({"kind": "ping"})
+
+    async def stats(self) -> Dict:
+        return await self.request({"kind": "stats"})
+
+
+class SocketServiceClient:
+    """NDJSON-over-TCP client for a served DiagnosisServer.
+
+    Use as an async context manager::
+
+        async with SocketServiceClient(host, port) as client:
+            response = await client.diagnose("DNS1")
+
+    A background reader task demultiplexes responses by ``id``; an
+    unsolicited or unparseable server line fails all outstanding
+    requests (the connection is no longer trustworthy).
+    """
+
+    def __init__(self, host: str, port: int):
+        self.host = host
+        self.port = port
+        self._reader = None
+        self._writer = None
+        self._reader_task = None
+        self._waiters: Dict[str, asyncio.Future] = {}
+        self._ids = _RequestIds("sock")
+
+    async def connect(self) -> "SocketServiceClient":
+        self._reader, self._writer = await asyncio.open_connection(
+            self.host, self.port
+        )
+        self._reader_task = asyncio.create_task(
+            self._read_loop(), name="service-client-reader"
+        )
+        return self
+
+    async def close(self) -> None:
+        if self._reader_task is not None:
+            self._reader_task.cancel()
+            try:
+                await self._reader_task
+            except (asyncio.CancelledError, Exception):
+                pass
+            self._reader_task = None
+        if self._writer is not None:
+            self._writer.close()
+            try:
+                await self._writer.wait_closed()
+            except Exception:
+                pass
+            self._writer = None
+        self._fail_all(ConnectionError("client closed"))
+
+    async def __aenter__(self):
+        return await self.connect()
+
+    async def __aexit__(self, *exc_info):
+        await self.close()
+
+    async def _read_loop(self) -> None:
+        try:
+            while True:
+                line = await self._reader.readline()
+                if not line:
+                    self._fail_all(ConnectionError("server closed connection"))
+                    return
+                try:
+                    response = decode(line)
+                except ProtocolError as exc:
+                    self._fail_all(exc)
+                    return
+                waiter = self._waiters.pop(response.get("id"), None)
+                if waiter is not None and not waiter.done():
+                    waiter.set_result(response)
+        except asyncio.CancelledError:
+            raise
+        except Exception as exc:  # noqa: BLE001 - fail waiters, not the loop
+            self._fail_all(exc)
+
+    def _fail_all(self, exc: BaseException) -> None:
+        waiters, self._waiters = self._waiters, {}
+        for waiter in waiters.values():
+            if not waiter.done():
+                waiter.set_exception(exc)
+
+    async def request(self, payload: Dict,
+                      timeout: Optional[float] = None) -> Dict:
+        if self._writer is None:
+            raise ConnectionError("client is not connected")
+        payload = dict(payload)
+        payload.setdefault("id", self._ids.next())
+        request_id = payload["id"]
+        waiter = asyncio.get_running_loop().create_future()
+        self._waiters[request_id] = waiter
+        self._writer.write(encode(payload))
+        await self._writer.drain()
+        try:
+            return await asyncio.wait_for(waiter, timeout)
+        finally:
+            self._waiters.pop(request_id, None)
+
+    async def diagnose(self, scenario: str, **fields) -> Dict:
+        timeout = fields.pop("timeout", None)
+        return await self.request(
+            {"kind": "diagnose", "scenario": scenario, **fields},
+            timeout=timeout,
+        )
+
+    async def ping(self, timeout: Optional[float] = 10.0) -> Dict:
+        return await self.request({"kind": "ping"}, timeout=timeout)
+
+    async def stats(self, timeout: Optional[float] = 10.0) -> Dict:
+        return await self.request({"kind": "stats"}, timeout=timeout)

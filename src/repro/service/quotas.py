@@ -1,0 +1,187 @@
+"""Per-tenant admission quotas: token buckets and concurrency caps.
+
+A multi-tenant server must not let one chatty monitor starve the
+operators.  Each tenant gets a :class:`TenantQuota` — a token-bucket
+*rate* (requests/second with a *burst* allowance) plus a cap on
+concurrently admitted requests — enforced at admission time by the
+:class:`QuotaRegistry`.  A request that exceeds either limit is shed
+with a typed :class:`~repro.errors.Overloaded` carrying a
+``retry_after_s`` hint computed from the bucket's refill rate, so a
+well-behaved client can back off precisely instead of hammering.
+
+Clocks are injectable throughout (the tests drive refill manually);
+production uses ``time.monotonic``.
+"""
+
+from __future__ import annotations
+
+import time as _time
+from typing import Callable, Dict, Optional
+
+from ..errors import Overloaded
+
+__all__ = ["TokenBucket", "TenantQuota", "QuotaRegistry"]
+
+
+class TokenBucket:
+    """The classic leaky-bucket rate limiter, refilled lazily on read."""
+
+    __slots__ = ("rate", "burst", "clock", "_tokens", "_stamp")
+
+    def __init__(self, rate: float, burst: float,
+                 clock: Callable[[], float] = _time.monotonic):
+        if rate <= 0:
+            raise ValueError(f"token rate must be > 0, got {rate}")
+        if burst < 1:
+            raise ValueError(f"burst must be >= 1, got {burst}")
+        self.rate = float(rate)
+        self.burst = float(burst)
+        self.clock = clock
+        self._tokens = self.burst
+        self._stamp = clock()
+
+    def _refill(self) -> None:
+        now = self.clock()
+        self._tokens = min(
+            self.burst, self._tokens + (now - self._stamp) * self.rate
+        )
+        self._stamp = now
+
+    def try_acquire(self) -> bool:
+        self._refill()
+        if self._tokens >= 1.0:
+            self._tokens -= 1.0
+            return True
+        return False
+
+    def retry_after(self) -> float:
+        """Seconds until one whole token will be available."""
+        self._refill()
+        missing = 1.0 - self._tokens
+        return 0.0 if missing <= 0 else missing / self.rate
+
+    @property
+    def tokens(self) -> float:
+        self._refill()
+        return self._tokens
+
+    def __repr__(self):
+        return (
+            f"TokenBucket(rate={self.rate:g}/s, burst={self.burst:g}, "
+            f"tokens={self.tokens:.2f})"
+        )
+
+
+class TenantQuota:
+    """One tenant's admission limits.
+
+    ``rate``/``burst`` bound the long-run request rate (``rate=None``
+    disables rate limiting); ``max_concurrent`` bounds how many of the
+    tenant's requests may be admitted-but-unfinished at once
+    (``None`` = unbounded).
+    """
+
+    __slots__ = ("rate", "burst", "max_concurrent")
+
+    def __init__(self, rate: Optional[float] = None, burst: float = 1.0,
+                 max_concurrent: Optional[int] = None):
+        self.rate = rate
+        self.burst = burst
+        self.max_concurrent = max_concurrent
+
+    def __repr__(self):
+        return (
+            f"TenantQuota(rate={self.rate}, burst={self.burst}, "
+            f"max_concurrent={self.max_concurrent})"
+        )
+
+
+class _TenantState:
+    __slots__ = ("bucket", "in_flight", "admitted", "shed")
+
+    def __init__(self, quota: TenantQuota, clock):
+        self.bucket = (
+            None if quota.rate is None
+            else TokenBucket(quota.rate, quota.burst, clock)
+        )
+        self.in_flight = 0
+        self.admitted = 0
+        self.shed = 0
+
+
+class QuotaRegistry:
+    """Admission-time quota enforcement across all tenants.
+
+    ``quotas`` maps tenant name to :class:`TenantQuota`; the
+    ``"default"`` entry (always present) covers tenants without an
+    explicit override.  State is lazily created per tenant, so an
+    unconfigured tenant costs nothing until its first request.
+    """
+
+    def __init__(self, quotas: Optional[Dict[str, TenantQuota]] = None,
+                 clock: Callable[[], float] = _time.monotonic):
+        self.quotas = dict(quotas or {})
+        self.quotas.setdefault("default", TenantQuota())
+        self.clock = clock
+        self._state: Dict[str, _TenantState] = {}
+
+    def _tenant(self, tenant: str) -> _TenantState:
+        state = self._state.get(tenant)
+        if state is None:
+            quota = self.quotas.get(tenant, self.quotas["default"])
+            state = self._state[tenant] = _TenantState(quota, self.clock)
+        return state
+
+    def quota_for(self, tenant: str) -> TenantQuota:
+        return self.quotas.get(tenant, self.quotas["default"])
+
+    def acquire(self, tenant: str, service_time_hint: float = 1.0) -> None:
+        """Charge one request against ``tenant`` or shed it.
+
+        Raises :class:`~repro.errors.Overloaded` (reason ``quota`` for
+        the rate limit, ``concurrency`` for the cap); on success the
+        tenant's in-flight count is incremented and MUST be released
+        with :meth:`release` when the request finishes, whatever way.
+        """
+        state = self._tenant(tenant)
+        quota = self.quota_for(tenant)
+        if (
+            quota.max_concurrent is not None
+            and state.in_flight >= quota.max_concurrent
+        ):
+            state.shed += 1
+            raise Overloaded(
+                f"tenant {tenant!r} has {state.in_flight} request(s) in "
+                f"flight (cap {quota.max_concurrent})",
+                reason="concurrency",
+                retry_after_s=service_time_hint,
+            )
+        if state.bucket is not None and not state.bucket.try_acquire():
+            state.shed += 1
+            raise Overloaded(
+                f"tenant {tenant!r} exceeded {quota.rate:g} requests/s "
+                f"(burst {quota.burst:g})",
+                reason="quota",
+                retry_after_s=state.bucket.retry_after(),
+            )
+        state.in_flight += 1
+        state.admitted += 1
+
+    def release(self, tenant: str) -> None:
+        state = self._tenant(tenant)
+        if state.in_flight > 0:
+            state.in_flight -= 1
+
+    def stats(self) -> Dict[str, Dict[str, float]]:
+        """Per-tenant admission accounting (for ``server.stats()``)."""
+        return {
+            tenant: {
+                "in_flight": state.in_flight,
+                "admitted": state.admitted,
+                "shed": state.shed,
+            }
+            for tenant, state in sorted(self._state.items())
+        }
+
+    def __repr__(self):
+        return f"QuotaRegistry(tenants={sorted(self._state) or ['-']})"

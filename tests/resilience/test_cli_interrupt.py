@@ -1,9 +1,10 @@
-"""Ctrl-C handling of the ``diffprov`` CLI.
+"""Ctrl-C and SIGTERM handling of the ``diffprov`` CLI.
 
 An interrupted diagnosis must flush its journal, print a partial
 summary (including the exact resume command), and exit with the
-conventional 128+SIGINT status — distinct from both success (0) and
-argument errors (2).
+conventional 128+signal status — 130 for SIGINT, 143 for SIGTERM
+(what process supervisors send on shutdown) — distinct from both
+success (0) and argument errors (2).
 """
 
 import os
@@ -15,7 +16,7 @@ from pathlib import Path
 
 import pytest
 
-from repro.cli import EXIT_INTERRUPTED
+from repro.cli import EXIT_INTERRUPTED, EXIT_TERMINATED
 
 _SRC = str(Path(__file__).parents[2] / "src")
 
@@ -37,21 +38,24 @@ def _spawn_held_diagnose(journal):
     )
 
 
+def _await_minimize_hold(proc, journal, timeout=90):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if os.path.exists(journal) and '"name":"minimize"' in open(
+            journal, encoding="utf-8", errors="replace"
+        ).read():
+            return
+        if proc.poll() is not None:
+            pytest.fail(f"CLI exited early: {proc.communicate()}")
+        time.sleep(0.05)
+    pytest.fail("diagnosis never reached the minimize hold")
+
+
 def test_sigint_flushes_journal_and_exits_130(tmp_path):
     journal = str(tmp_path / "cli.journal")
     proc = _spawn_held_diagnose(journal)
     try:
-        deadline = time.monotonic() + 90
-        while time.monotonic() < deadline:
-            if os.path.exists(journal) and '"name":"minimize"' in open(
-                journal, encoding="utf-8", errors="replace"
-            ).read():
-                break
-            if proc.poll() is not None:
-                pytest.fail(f"CLI exited early: {proc.communicate()}")
-            time.sleep(0.05)
-        else:
-            pytest.fail("diagnosis never reached the minimize hold")
+        _await_minimize_hold(proc, journal)
         proc.send_signal(signal.SIGINT)
         _, stderr = proc.communicate(timeout=60)
     finally:
@@ -68,17 +72,32 @@ def test_sigint_flushes_journal_and_exits_130(tmp_path):
     assert os.path.getsize(journal) > 0
 
 
+def test_sigterm_flushes_journal_and_exits_143(tmp_path):
+    """SIGTERM — what supervisors and ``kill`` send — unwinds exactly
+    like Ctrl-C: flushed journal, resume hint, 128+15 exit status."""
+    journal = str(tmp_path / "cli.journal")
+    proc = _spawn_held_diagnose(journal)
+    try:
+        _await_minimize_hold(proc, journal)
+        proc.send_signal(signal.SIGTERM)
+        _, stderr = proc.communicate(timeout=60)
+    finally:
+        if proc.poll() is None:  # pragma: no cover - cleanup
+            proc.kill()
+            proc.communicate()
+
+    assert proc.returncode == EXIT_TERMINATED == 143
+    assert "terminated" in stderr
+    assert "journal flushed" in stderr
+    assert f"--journal {journal} --resume" in stderr
+    assert os.path.getsize(journal) > 0
+
+
 def test_interrupted_cli_run_can_be_resumed(tmp_path):
     journal = str(tmp_path / "cli.journal")
     proc = _spawn_held_diagnose(journal)
     try:
-        deadline = time.monotonic() + 90
-        while time.monotonic() < deadline:
-            if os.path.exists(journal) and '"name":"minimize"' in open(
-                journal, encoding="utf-8", errors="replace"
-            ).read():
-                break
-            time.sleep(0.05)
+        _await_minimize_hold(proc, journal)
         proc.send_signal(signal.SIGINT)
         proc.communicate(timeout=60)
     finally:

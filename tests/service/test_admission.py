@@ -1,0 +1,152 @@
+"""The admission controller: bounded queue, priorities, shed reasons."""
+
+import asyncio
+
+import pytest
+
+from repro.errors import Overloaded
+from repro.service.admission import AdmissionController
+from repro.service.protocol import Request
+from repro.service.quotas import QuotaRegistry, TenantQuota
+
+
+class FakeClock:
+    def __init__(self):
+        self.t = 0.0
+
+    def __call__(self):
+        return self.t
+
+
+def _request(rid, priority=5, tenant="default", deadline_s=None):
+    return Request(
+        id=rid, kind="diagnose", scenario="SDN1",
+        priority=priority, tenant=tenant, deadline_s=deadline_s,
+    )
+
+
+def test_dispatch_order_is_priority_then_admission():
+    async def scenario():
+        admission = AdmissionController(max_queue=10)
+        admission.admit(_request("late-normal"))
+        admission.admit(_request("urgent", priority=0))
+        admission.admit(_request("bulk", priority=9))
+        admission.admit(_request("urgent-2", priority=0))
+        order = [(await admission.next()).request.id for _ in range(4)]
+        return order
+
+    assert asyncio.run(scenario()) == [
+        "urgent", "urgent-2", "late-normal", "bulk",
+    ]
+
+
+def test_queue_full_sheds_with_backlog_eta():
+    async def scenario():
+        clock = FakeClock()
+        admission = AdmissionController(max_queue=2, shards=2, clock=clock)
+        admission.admit(_request("a"))
+        admission.admit(_request("b"))
+        with pytest.raises(Overloaded) as info:
+            admission.admit(_request("c"))
+        return info.value
+
+    exc = asyncio.run(scenario())
+    assert exc.reason == "queue-full"
+    # 2 in flight × 1.0s initial EWMA / 2 shards = 1.0s.
+    assert exc.retry_after_s == pytest.approx(1.0)
+
+
+def test_bound_covers_in_flight_not_just_queued():
+    async def scenario():
+        admission = AdmissionController(max_queue=1)
+        admission.admit(_request("a"))
+        await admission.next()  # dequeued but still in flight
+        with pytest.raises(Overloaded) as info:
+            admission.admit(_request("b"))
+        return info.value.reason
+
+    assert asyncio.run(scenario()) == "queue-full"
+
+
+def test_quota_sheds_are_counted_per_reason():
+    async def scenario():
+        admission = AdmissionController(
+            max_queue=10,
+            quotas=QuotaRegistry({"t": TenantQuota(max_concurrent=1)}),
+        )
+        admission.admit(_request("a", tenant="t"))
+        for _ in range(3):
+            with pytest.raises(Overloaded):
+                admission.admit(_request("x", tenant="t"))
+        return admission.stats()["shed"]
+
+    shed = asyncio.run(scenario())
+    assert shed["concurrency"] == 3
+    assert shed["queue-full"] == 0
+
+
+def test_draining_sheds_and_wakes_dispatchers():
+    async def scenario():
+        admission = AdmissionController(max_queue=10)
+        admission.start_draining()
+        with pytest.raises(Overloaded) as info:
+            admission.admit(_request("a"))
+        assert info.value.reason == "draining"
+        # With an empty queue, next() returns None instead of blocking.
+        return await asyncio.wait_for(admission.next(), timeout=5)
+
+    assert asyncio.run(scenario()) is None
+
+
+def test_draining_still_serves_already_admitted():
+    async def scenario():
+        admission = AdmissionController(max_queue=10)
+        admission.admit(_request("a"))
+        admission.start_draining()
+        first = await admission.next()
+        second = await admission.next()
+        return first.request.id, second
+
+    first_id, second = asyncio.run(scenario())
+    assert first_id == "a"
+    assert second is None
+
+
+def test_mark_done_updates_ewma_and_releases_quota():
+    async def scenario():
+        clock = FakeClock()
+        admission = AdmissionController(
+            max_queue=10,
+            quotas=QuotaRegistry(
+                {"t": TenantQuota(max_concurrent=1)}, clock=clock
+            ),
+            clock=clock,
+        )
+        ticket = admission.admit(_request("a", tenant="t"))
+        await admission.next()
+        clock.t += 3.0
+        admission.mark_done(ticket)
+        # EWMA moved from 1.0 toward the observed 3.0s.
+        assert admission.stats()["service_time_ewma_s"] == pytest.approx(
+            0.7 * 1.0 + 0.3 * 3.0
+        )
+        admission.admit(_request("b", tenant="t"))  # quota released
+        return admission.in_flight
+
+    assert asyncio.run(scenario()) == 1
+
+
+def test_remaining_deadline_burns_while_queued():
+    async def scenario():
+        clock = FakeClock()
+        admission = AdmissionController(max_queue=10, clock=clock)
+        ticket = admission.admit(_request("a", deadline_s=10.0))
+        clock.t += 4.0
+        return ticket.remaining_deadline(clock())
+
+    assert asyncio.run(scenario()) == pytest.approx(6.0)
+
+
+def test_max_queue_validated():
+    with pytest.raises(ValueError):
+        AdmissionController(max_queue=0)

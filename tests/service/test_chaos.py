@@ -1,0 +1,204 @@
+"""Chaos suite: the server under simultaneous failure and overload.
+
+The acceptance scenario from docs/service.md: a worker SIGKILL'd
+mid-diagnosis, a tenant blowing through its quota, and a 2× request
+overload — all at once.  The server must neither crash nor hang;
+admitted requests complete (deadline-degraded at worst), rejected ones
+get a typed ``overloaded`` response, and the diagnosis that survived
+the SIGKILL resumes on a fresh worker with a byte-identical
+``canonical_json()``.
+"""
+
+import asyncio
+import glob
+import os
+import signal
+import time
+
+import pytest
+
+from repro.service import DiagnosisServer, ServiceClient, TenantQuota
+
+
+async def _await_journal(server, marker, fragment, timeout=60.0):
+    """Poll the victim request's journal until ``fragment`` appears."""
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        pattern = os.path.join(server.journal_dir, f"req-*{marker}*")
+        for path in glob.glob(pattern):
+            try:
+                with open(path, encoding="utf-8", errors="replace") as handle:
+                    if fragment in handle.read():
+                        return path
+            except OSError:
+                continue
+        await asyncio.sleep(0.02)
+    pytest.fail(f"journal for {marker!r} never showed {fragment!r}")
+
+
+async def _kill_current_worker(server, request_id, timeout=30.0):
+    """SIGKILL the worker process serving ``request_id``."""
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        shard = server.shard_for_request(request_id)
+        if shard is not None and shard.pid is not None:
+            os.kill(shard.pid, signal.SIGKILL)
+            return shard
+        await asyncio.sleep(0.01)
+    pytest.fail(f"no shard ever served {request_id!r}")
+
+
+def test_sigkill_resume_is_byte_identical():
+    """A SIGKILL'd diagnosis restarts, resumes its journal, and returns
+    the exact bytes an undisturbed run returns."""
+
+    async def scenario():
+        server = DiagnosisServer(
+            workers=2, allow_test_hooks=True, keep_journals=True,
+            breaker_threshold=3,
+        )
+        async with server:
+            client = ServiceClient(server)
+            clean = await client.diagnose("SDN1", options={"minimize": True})
+            victim = asyncio.ensure_future(client.request({
+                "id": "victim", "kind": "diagnose", "scenario": "SDN1",
+                "options": {"minimize": True},
+                # Park inside the journal write of the first minimize
+                # verdict, so the kill lands mid-candidate-evaluation
+                # with durable work already on disk.
+                "test_hold": {"after_verdicts": 1, "seconds": 30},
+            }))
+            await _await_journal(server, "victim", '"type":"verdict"')
+            await _kill_current_worker(server, "victim")
+            crashed = await victim
+            return clean, crashed, server.fleet.stats()
+
+    clean, crashed, fleet = asyncio.run(scenario())
+    assert clean["status"] == "ok"
+    assert crashed["status"] == "ok"
+    assert crashed["attempts"] == 2  # one crash, one resume
+    report = crashed["report"]
+    journal = (report["resilience"] or {})["journal"]
+    assert journal["resumed"] is True
+    assert journal["skipped_candidates"] >= 1  # the dead worker's verdict
+    # The determinism contract under crash-resume.
+    assert report["canonical"] == clean["report"]["canonical"]
+    assert fleet["restarts"] >= 1
+
+
+def test_combined_chaos_overload_quota_and_worker_death():
+    """SIGKILL + quota abuse + 2× overload, simultaneously."""
+
+    async def scenario():
+        server = DiagnosisServer(
+            workers=2,
+            max_queue=4,
+            allow_test_hooks=True,
+            keep_journals=True,
+            quotas={"greedy": TenantQuota(max_concurrent=1)},
+        )
+        async with server:
+            client = ServiceClient(server)
+            clean = await client.diagnose("SDN1", options={"minimize": True})
+
+            # The victim parks mid-minimize; its worker gets SIGKILL'd.
+            victim = asyncio.ensure_future(client.request({
+                "id": "victim", "kind": "diagnose", "scenario": "SDN1",
+                "options": {"minimize": True},
+                "test_hold": {"after_verdicts": 1, "seconds": 30},
+            }))
+            await _await_journal(server, "victim", '"type":"verdict"')
+
+            # Quota abuse first (the queue still has room, so these
+            # reach the quota check): 'greedy' is capped at 1 in
+            # flight, so of this burst one admits and three shed.
+            greedy = [
+                asyncio.ensure_future(
+                    client.diagnose("DNS", tenant="greedy")
+                )
+                for _ in range(4)
+            ]
+            await asyncio.sleep(0)  # let the burst hit admission
+            # 2× overload: whatever queue slots remain, 8 requests are
+            # roughly twice what fits.
+            flood = [
+                asyncio.ensure_future(client.diagnose("DNS"))
+                for _ in range(8)
+            ]
+            await _kill_current_worker(server, "victim")
+
+            responses = await asyncio.gather(victim, *greedy, *flood)
+            return clean, responses, server.stats()
+
+    clean, responses, stats = asyncio.run(scenario())
+    victim, greedy, flood = responses[0], responses[1:5], responses[5:]
+
+    # Nothing crashed or hung: every request got exactly one response.
+    assert len(responses) == 13
+    assert all(r["status"] in ("ok", "overloaded") for r in responses)
+
+    # The SIGKILL'd diagnosis resumed byte-identically.
+    assert victim["status"] == "ok"
+    assert victim["report"]["canonical"] == clean["report"]["canonical"]
+    assert (victim["report"]["resilience"] or {})["journal"]["resumed"] is True
+
+    # Every admitted request completed; every rejection is typed.
+    admitted = [r for r in responses if r["status"] == "ok"]
+    rejected = [r for r in responses if r["status"] == "overloaded"]
+    assert all(r["report"]["success"] is not None for r in admitted)
+    assert rejected, "the overload should have shed something"
+    assert all(
+        r["reason"] in ("queue-full", "quota", "concurrency")
+        and r["retry_after_s"] > 0
+        for r in rejected
+    )
+    # The greedy tenant specifically lost requests to its own cap.
+    greedy_shed = [r for r in greedy if r["status"] == "overloaded"]
+    assert any(r["reason"] == "concurrency" for r in greedy_shed)
+
+    # The server kept honest books through all of it.
+    shed_counts = stats["admission"]["shed"]
+    assert sum(shed_counts.values()) == len(rejected)
+    assert stats["fleet"]["restarts"] >= 1
+
+
+def test_crash_looping_request_gets_typed_error_not_hang():
+    """A request that kills every worker it touches is bounded by
+    ``max_attempts`` and answered with a typed error — the fleet stays
+    healthy for everyone else."""
+    from repro.service.fleet import WorkerDied
+
+    async def scenario():
+        server = DiagnosisServer(
+            workers=2, keep_journals=True,
+            max_attempts=2, breaker_threshold=10,
+        )
+        async with server:
+            client = ServiceClient(server)
+
+            # Make every shard's call die (as if the request crashes
+            # whatever worker serves it), deterministically.
+            originals = {}
+            def poison(shard):
+                def dying_call(job, timeout=None):
+                    raise WorkerDied(f"shard {shard.index} poisoned")
+                originals[shard] = shard.call
+                shard.call = dying_call
+            for shard in server.fleet.shards:
+                poison(shard)
+
+            response = await client.request({
+                "id": "poison", "kind": "diagnose", "scenario": "DNS",
+            })
+
+            for shard, call in originals.items():
+                shard.call = call
+            healthy = await client.diagnose("DNS")
+            return response, healthy
+
+    response, healthy = asyncio.run(scenario())
+    assert response["status"] == "error"
+    assert response["category"] == "worker-failure"
+    assert "journal kept" in response["message"]
+    # The fleet recovered: the server still serves other requests.
+    assert healthy["status"] == "ok"

@@ -1,0 +1,88 @@
+"""The ``diffprov serve`` subcommand, end to end over a real socket.
+
+Spawns the CLI as a subprocess, reads the machine-parseable listening
+line, talks NDJSON to it with the socket client, then sends SIGTERM
+and checks the graceful drain: exit 0 and a served/shed summary.
+"""
+
+import asyncio
+import os
+import signal
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.service import SocketServiceClient
+
+_SRC = str(Path(__file__).parents[2] / "src")
+
+
+@pytest.fixture
+def serve_proc():
+    env = dict(os.environ)
+    env["PYTHONPATH"] = _SRC + os.pathsep + env.get("PYTHONPATH", "")
+    proc = subprocess.Popen(
+        [
+            sys.executable, "-m", "repro.cli",
+            "serve", "--port", "0", "--workers", "1",
+            "--quota", "metered=0.001:1",
+        ],
+        env=env,
+        stdout=subprocess.PIPE,
+        stderr=subprocess.PIPE,
+        text=True,
+    )
+    try:
+        yield proc
+    finally:
+        if proc.poll() is None:  # pragma: no cover - cleanup
+            proc.kill()
+            proc.communicate()
+
+
+def _await_listening(proc, timeout=120):
+    """Parse (host, port) from the CLI's startup line."""
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        line = proc.stdout.readline()
+        if not line:
+            pytest.fail(f"serve exited early: {proc.communicate()}")
+        if line.startswith("diffprov-service listening on "):
+            host, _, port = line.split()[-1].rpartition(":")
+            return host, int(port)
+    pytest.fail("serve never printed its listening line")
+
+
+def test_serve_answers_requests_and_drains_on_sigterm(serve_proc):
+    host, port = _await_listening(serve_proc)
+
+    async def talk():
+        async with SocketServiceClient(host, port) as client:
+            pong = await client.ping()
+            ok = await client.diagnose("DNS", timeout=120)
+            first = await client.diagnose(
+                "DNS", tenant="metered", timeout=120
+            )
+            shed = await client.diagnose(
+                "DNS", tenant="metered", timeout=120
+            )
+        return pong, ok, first, shed
+
+    pong, ok, first, shed = asyncio.run(talk())
+    assert pong["status"] == "pong"
+    assert ok["status"] == "ok"
+    assert ok["report"]["success"] is True
+    # The --quota flag reached the admission controller.
+    assert first["status"] == "ok"
+    assert shed["status"] == "overloaded" and shed["reason"] == "quota"
+
+    serve_proc.send_signal(signal.SIGTERM)
+    _, stderr = serve_proc.communicate(timeout=120)
+    assert serve_proc.returncode == 0
+    assert "drained:" in stderr
+    # Pings answer inline without admission; the two successful
+    # diagnoses are what the admission books count as served.
+    assert "2 request(s) served, shed 1" in stderr

@@ -1,0 +1,119 @@
+"""Worker fleet: persistent shards, crash detection, circuit breakers."""
+
+import pytest
+
+from repro.service.fleet import (
+    CircuitBreaker,
+    WorkerDied,
+    WorkerFleet,
+    WorkerShard,
+)
+
+
+class FakeClock:
+    def __init__(self):
+        self.t = 0.0
+
+    def __call__(self):
+        return self.t
+
+
+# -- circuit breaker (pure logic, fake clock) --------------------------------
+
+
+def test_breaker_opens_at_threshold_and_half_opens_after_reset():
+    clock = FakeClock()
+    breaker = CircuitBreaker(threshold=3, reset_s=5.0, clock=clock)
+    breaker.record_failure()
+    breaker.record_failure()
+    assert breaker.allow()
+    breaker.record_failure()
+    assert not breaker.allow()  # tripped
+    assert breaker.trips == 1
+    clock.t += 5.0
+    assert breaker.allow()  # half-open probe window
+    breaker.record_failure()  # probe failed: re-opens immediately
+    assert not breaker.allow()
+
+
+def test_breaker_success_resets_the_count():
+    clock = FakeClock()
+    breaker = CircuitBreaker(threshold=2, reset_s=5.0, clock=clock)
+    breaker.record_failure()
+    breaker.record_success()
+    breaker.record_failure()
+    assert breaker.allow()  # the count restarted after the success
+
+
+def test_breaker_validates_threshold():
+    with pytest.raises(ValueError):
+        CircuitBreaker(threshold=0)
+
+
+# -- real worker processes ---------------------------------------------------
+
+
+@pytest.fixture
+def fleet():
+    fleet = WorkerFleet(size=2, breaker_threshold=2, breaker_reset_s=60.0)
+    fleet.start()
+    yield fleet
+    fleet.stop()
+
+
+def test_ping_records_worker_pids(fleet):
+    pids = {shard.pid for shard in fleet.shards}
+    assert len(pids) == 2 and None not in pids
+
+
+def test_worker_crash_raises_workerdied_and_restart_recovers(fleet):
+    shard = fleet.shards[0]
+    pid_before = shard.pid
+    with pytest.raises(WorkerDied):
+        shard.call({"op": "_crash"}, timeout=30)
+    fleet.record_crash(shard)
+    assert fleet.restart(shard)
+    payload = shard.ping()
+    assert payload["pid"] != pid_before
+    assert fleet.restarts == 1
+
+
+def test_breaker_fences_a_crash_looping_shard(fleet):
+    shard = fleet.shards[0]
+    for _ in range(2):  # threshold=2
+        with pytest.raises(WorkerDied):
+            shard.call({"op": "_crash"}, timeout=30)
+        fleet.record_crash(shard)
+    assert not shard.breaker.allow()
+    assert not fleet.restart(shard)  # fenced: restart refused
+    healthy = fleet.pick_healthy(exclude=shard)
+    assert healthy is fleet.shards[1]
+
+
+def test_pick_healthy_prefers_least_crashed(fleet):
+    fleet.shards[0].crashes = 3
+    assert fleet.pick_healthy() is fleet.shards[1]
+    fleet.shards[1].breaker.record_failure()
+    fleet.shards[1].breaker.record_failure()
+    assert fleet.pick_healthy() is fleet.shards[0]  # only serviceable one
+    fleet.shards[0].breaker.record_failure()
+    fleet.shards[0].breaker.record_failure()
+    assert fleet.pick_healthy() is None
+
+
+def test_unstarted_shard_raises_workerdied():
+    shard = WorkerShard(0, CircuitBreaker())
+    with pytest.raises(WorkerDied):
+        shard.call({"op": "ping"})
+
+
+def test_fleet_stats_shape(fleet):
+    stats = fleet.stats()
+    assert stats["size"] == 2
+    assert {entry["index"] for entry in stats["shards"]} == {0, 1}
+    assert all("breaker_open" in entry for entry in stats["shards"])
+
+
+def test_fleet_size_validated():
+    with pytest.raises(ValueError):
+        WorkerFleet(size=0)

@@ -1,0 +1,95 @@
+"""Token buckets and per-tenant quota enforcement (fake clocks)."""
+
+import pytest
+
+from repro.errors import Overloaded
+from repro.service.quotas import QuotaRegistry, TenantQuota, TokenBucket
+
+
+class FakeClock:
+    def __init__(self):
+        self.t = 0.0
+
+    def __call__(self):
+        return self.t
+
+
+def test_bucket_burst_then_refill():
+    clock = FakeClock()
+    bucket = TokenBucket(rate=1.0, burst=2.0, clock=clock)
+    assert bucket.try_acquire()
+    assert bucket.try_acquire()
+    assert not bucket.try_acquire()  # burst spent
+    clock.t += 0.5
+    assert not bucket.try_acquire()  # half a token is not a token
+    clock.t += 0.5
+    assert bucket.try_acquire()
+
+
+def test_bucket_retry_after_is_exact():
+    clock = FakeClock()
+    bucket = TokenBucket(rate=2.0, burst=1.0, clock=clock)
+    assert bucket.try_acquire()
+    # 0 tokens, refilling at 2/s: one whole token in 0.5s.
+    assert bucket.retry_after() == pytest.approx(0.5)
+    clock.t += 0.25
+    assert bucket.retry_after() == pytest.approx(0.25)
+
+
+def test_bucket_validates_parameters():
+    with pytest.raises(ValueError):
+        TokenBucket(rate=0, burst=1)
+    with pytest.raises(ValueError):
+        TokenBucket(rate=1, burst=0.5)
+
+
+def test_registry_rate_limit_sheds_with_reason_quota():
+    clock = FakeClock()
+    registry = QuotaRegistry(
+        {"noisy": TenantQuota(rate=1.0, burst=1.0)}, clock=clock
+    )
+    registry.acquire("noisy")
+    with pytest.raises(Overloaded) as info:
+        registry.acquire("noisy")
+    assert info.value.reason == "quota"
+    assert info.value.retry_after_s == pytest.approx(1.0)
+    # Other tenants fall through to the (unlimited) default quota.
+    for _ in range(5):
+        registry.acquire("quiet")
+
+
+def test_registry_concurrency_cap_sheds_and_releases():
+    registry = QuotaRegistry({"capped": TenantQuota(max_concurrent=2)})
+    registry.acquire("capped")
+    registry.acquire("capped")
+    with pytest.raises(Overloaded) as info:
+        registry.acquire("capped", service_time_hint=3.5)
+    assert info.value.reason == "concurrency"
+    assert info.value.retry_after_s == pytest.approx(3.5)
+    registry.release("capped")
+    registry.acquire("capped")  # slot freed
+
+
+def test_registry_default_quota_is_overridable():
+    clock = FakeClock()
+    registry = QuotaRegistry(
+        {"default": TenantQuota(rate=1.0, burst=1.0)}, clock=clock
+    )
+    registry.acquire("anyone")
+    with pytest.raises(Overloaded):
+        registry.acquire("anyone")
+
+
+def test_registry_stats_account_admissions_and_sheds():
+    registry = QuotaRegistry({"capped": TenantQuota(max_concurrent=1)})
+    registry.acquire("capped")
+    with pytest.raises(Overloaded):
+        registry.acquire("capped")
+    stats = registry.stats()
+    assert stats["capped"] == {"in_flight": 1, "admitted": 1, "shed": 1}
+
+
+def test_release_never_goes_negative():
+    registry = QuotaRegistry()
+    registry.release("ghost")
+    assert registry.stats()["ghost"]["in_flight"] == 0
