@@ -65,6 +65,13 @@ class Session:
         ``True`` to collect metrics and spans into a fresh
         :class:`repro.Telemetry` (exposed as ``session.telemetry``),
         or an existing instance to share one across sessions.
+    ``trace``
+        A :class:`repro.observability.TraceContext` (or its ``to_dict``
+        form) positioning this session inside a cross-process trace;
+        the tracer stamps root spans with the trace id and span
+        lineage so a service worker's spans stitch under the server's
+        dispatch span (docs/observability.md).  Ignored without
+        ``telemetry``.
     ``workers``
         Process-pool width for candidate replays; 1 = serial.
     ``replay_cache``
@@ -116,6 +123,7 @@ class Session:
         bad_time: Optional[int] = None,
         faults=None,
         telemetry=None,
+        trace=None,
         workers: int = 1,
         replay_cache: bool = True,
         max_rounds: int = 10,
@@ -156,6 +164,12 @@ class Session:
             telemetry = Telemetry()
         self.scenario_name = scenario.upper() if scenario else None
         self.telemetry = telemetry or None
+        if trace is not None and self.telemetry is not None:
+            from .observability import TraceContext
+
+            if not isinstance(trace, TraceContext):
+                trace = TraceContext.from_dict(dict(trace))
+            self.telemetry.tracer.context = trace
         self.options = DiffProvOptions(
             max_rounds=max_rounds,
             enable_taint=taint,

@@ -14,6 +14,8 @@ Subcommands::
     diffprov stanford                  the Section 6.7 complex network
     diffprov serve --port 8732         run the diagnosis service
                                        (docs/service.md)
+    diffprov top --port 8732           live service dashboard (polls the
+                                       stats verb; docs/observability.md)
 
 Each subcommand prints human-readable output; ``--json`` emits
 machine-readable results instead.
@@ -230,6 +232,40 @@ def build_parser() -> argparse.ArgumentParser:
         "--drain-timeout-s", type=float, default=60.0,
         help="how long SIGTERM waits for in-flight requests (default 60)",
     )
+    serve.add_argument(
+        "--metrics-port", type=int, metavar="PORT",
+        help="also expose Prometheus-style plaintext metrics over HTTP "
+        "on this port (0 = pick a free one; docs/observability.md)",
+    )
+    serve.add_argument(
+        "--flight-capacity", type=int, default=128, metavar="N",
+        help="flight-recorder ring size: last N finished requests "
+        "(0 disables; dump with SIGUSR1 or the 'flight' verb)",
+    )
+    serve.add_argument(
+        "--slo-objective", type=float, default=0.99, metavar="FRACTION",
+        help="per-tenant availability objective for error-budget burn "
+        "(default 0.99)",
+    )
+    serve.add_argument(
+        "--slo-window-s", type=float, default=300.0, metavar="SECONDS",
+        help="rolling window for error-budget burn (default 300)",
+    )
+
+    top = commands.add_parser(
+        "top",
+        help="live dashboard for a running service (polls the stats verb)",
+    )
+    top.add_argument("--host", default="127.0.0.1")
+    top.add_argument("--port", type=int, required=True)
+    top.add_argument(
+        "--interval", type=float, default=2.0,
+        help="refresh period in seconds (default 2)",
+    )
+    top.add_argument(
+        "--once", action="store_true",
+        help="print a single frame and exit (no screen clearing)",
+    )
     return parser
 
 
@@ -246,6 +282,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "unsuitable": _cmd_unsuitable,
         "stanford": _cmd_stanford,
         "serve": _cmd_serve,
+        "top": _cmd_top,
     }[args.command]
     return handler(args)
 
@@ -617,23 +654,93 @@ def _cmd_serve(args) -> int:
             keep_journals=args.keep_journals,
             default_deadline_s=args.default_deadline_s,
             drain_timeout_s=args.drain_timeout_s,
+            flight_capacity=args.flight_capacity,
+            slo_objective=args.slo_objective,
+            slo_window_s=args.slo_window_s,
         )
         async with server:
             host, port = await server.serve(args.host, args.port)
             server.install_signal_handlers()
+            _install_flight_dump(server)
             # Machine-parseable start line: tests and process managers
             # read the bound port from here (--port 0 picks a free one).
             print(f"diffprov-service listening on {host}:{port}", flush=True)
+            if args.metrics_port is not None:
+                mhost, mport = await server.serve_metrics(
+                    args.host, args.metrics_port
+                )
+                print(
+                    f"diffprov-metrics listening on {mhost}:{mport}",
+                    flush=True,
+                )
             await server.wait_stopped()
-        stats = server.stats()["admission"]
-        print(
-            f"drained: {stats['admitted_total']} request(s) served, "
-            f"shed {sum(stats['shed'].values())}",
-            file=sys.stderr,
+        stats = server.stats()
+        admission = stats["admission"]
+        summary = (
+            f"drained: {admission['admitted_total']} request(s) served, "
+            f"shed {sum(admission['shed'].values())}"
         )
+        # The per-tenant SLO coda: how each tenant's books closed out.
+        for tenant, book in sorted((stats.get("slo") or {}).items()):
+            summary += (
+                f"\n  {tenant}: offered {book['offered']}, "
+                f"ok {book['ok']}, errored {book['errored']}, "
+                f"shed {sum(book['shed'].values())}, "
+                f"burn {book['error_budget']['burn']}"
+            )
+        print(summary, file=sys.stderr)
         return 0
 
     return asyncio.run(run())
+
+
+def _install_flight_dump(server) -> None:
+    """SIGUSR1 dumps the flight recorder to stderr (docs/observability.md)."""
+    import asyncio
+
+    if server.ops is None or not hasattr(signal, "SIGUSR1"):
+        return
+    loop = asyncio.get_running_loop()
+
+    def dump() -> None:
+        print(server.ops.flight.to_text(), file=sys.stderr, flush=True)
+
+    with contextlib.suppress(NotImplementedError, RuntimeError):
+        loop.add_signal_handler(signal.SIGUSR1, dump)
+
+
+def _cmd_top(args) -> int:
+    import asyncio
+
+    from .observability import render_top
+    from .service import SocketServiceClient
+
+    target = f"{args.host}:{args.port}"
+
+    async def run() -> int:
+        try:
+            async with SocketServiceClient(args.host, args.port) as client:
+                while True:
+                    stats = (await client.stats()).get("stats", {})
+                    frame = render_top(stats, target=target)
+                    if args.json:
+                        print(json.dumps(stats, indent=2, default=str))
+                    elif args.once:
+                        print(frame)
+                    else:
+                        # ANSI clear + home, like watch(1)/top(1).
+                        print(f"\x1b[2J\x1b[H{frame}", flush=True)
+                    if args.once:
+                        return 0
+                    await asyncio.sleep(args.interval)
+        except (ConnectionError, OSError) as exc:
+            print(f"error: cannot reach {target}: {exc}", file=sys.stderr)
+            return 1
+
+    try:
+        return asyncio.run(run())
+    except KeyboardInterrupt:
+        return 0
 
 
 if __name__ == "__main__":

@@ -335,19 +335,35 @@ class DiagnosisReport:
         return lines
 
     def _phase_lines(self) -> List[str]:
-        """Human-readable per-phase breakdown (telemetry runs only)."""
+        """Human-readable per-phase breakdown (telemetry runs only).
+
+        Tolerant of sparse entries: a phase that recorded zero spans
+        (or a partially filled dict from a degraded run) renders with
+        zeros instead of raising.
+        """
         phases = (self.telemetry or {}).get("phases") or []
-        if not phases:
+        rows = [
+            {
+                "name": str(p.get("name", "?")),
+                "seconds": float(p.get("seconds") or 0.0),
+                "count": int(p.get("count") or 0),
+            }
+            for p in phases
+            if isinstance(p, dict)
+        ]
+        if not rows:
             return []
         lines = ["  phase breakdown:"]
-        width = max(len(p["name"]) for p in phases)
+        width = max((len(p["name"]) for p in rows), default=0)
         # Shares are relative to the root diagnosis span (nested spans
         # overlap, so a plain sum would double-count).
         total = next(
-            (p["seconds"] for p in phases if p["name"] == "diffprov.diagnose"),
-            sum(p["seconds"] for p in phases),
+            (p["seconds"] for p in rows if p["name"] == "diffprov.diagnose"),
+            None,
         )
-        for p in phases:
+        if total is None:
+            total = sum(p["seconds"] for p in rows)
+        for p in rows:
             share = (p["seconds"] / total * 100.0) if total else 0.0
             lines.append(
                 f"    {p['name']:<{width}}  {p['seconds']:>10.6f}s  "

@@ -7,7 +7,11 @@ Two halves (see ``docs/observability.md``):
   snapshot byte-identically);
 - :mod:`repro.observability.tracing` — hierarchical spans
   (``component.phase``) measuring wall time on an injectable clock,
-  exportable as a JSON tree or Chrome ``trace_event`` format.
+  exportable as a JSON tree or Chrome ``trace_event`` format;
+- :mod:`repro.observability.ops` — fleet-wide operations for the
+  diagnosis *service*: cross-process :class:`TraceContext` propagation,
+  Prometheus-style exposition, per-tenant :class:`SLOBook` accounting,
+  and the :class:`FlightRecorder` black box.
 
 :class:`Telemetry` bundles both; pass it to
 :class:`~repro.core.diffprov.DiffProvOptions`, an
@@ -18,6 +22,16 @@ instrumentation behind a single ``is not None`` test.
 """
 
 from .metrics import Counter, Gauge, Histogram, MetricsRegistry
+from .ops import (
+    FlightRecorder,
+    OpsCenter,
+    RollingHistogram,
+    SLOBook,
+    TraceContext,
+    derive_trace_id,
+    prometheus_text,
+    render_top,
+)
 from .telemetry import (
     NULL_TELEMETRY,
     ManualClock,
@@ -41,4 +55,12 @@ __all__ = [
     "ManualClock",
     "active",
     "format_metrics",
+    "TraceContext",
+    "derive_trace_id",
+    "prometheus_text",
+    "RollingHistogram",
+    "SLOBook",
+    "FlightRecorder",
+    "OpsCenter",
+    "render_top",
 ]

@@ -144,26 +144,32 @@ class MetricsRegistry:
     # -- access --------------------------------------------------------------
 
     def counter(self, name: str) -> Counter:
-        return self._get(self._counters, name, Counter)
+        return self._get(self._counters, name, Counter, "counter")
 
     def gauge(self, name: str) -> Gauge:
-        return self._get(self._gauges, name, Gauge)
+        return self._get(self._gauges, name, Gauge, "gauge")
 
     def histogram(self, name: str) -> Histogram:
-        return self._get(self._histograms, name, Histogram)
+        return self._get(self._histograms, name, Histogram, "histogram")
 
-    def _get(self, table, name: str, factory):
+    def _get(self, table, name: str, factory, kind: str):
         metric = table.get(name)
         if metric is None:
-            self._check_unclaimed(name, table)
+            self._check_unclaimed(name, table, kind)
             metric = table[name] = factory(name)
         return metric
 
-    def _check_unclaimed(self, name: str, claiming) -> None:
-        for table in (self._counters, self._gauges, self._histograms):
+    def _check_unclaimed(self, name: str, claiming, kind: str) -> None:
+        tables = (
+            ("counter", self._counters),
+            ("gauge", self._gauges),
+            ("histogram", self._histograms),
+        )
+        for existing_kind, table in tables:
             if table is not claiming and name in table:
                 raise ReproError(
-                    f"metric {name!r} already registered as a different kind"
+                    f"metric {name!r} already registered as a "
+                    f"{existing_kind}, cannot re-register as a {kind}"
                 )
 
     # -- convenience ---------------------------------------------------------

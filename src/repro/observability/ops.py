@@ -1,0 +1,669 @@
+"""Fleet-wide operations: traces across processes, live SLOs, black boxes.
+
+:mod:`repro.observability` gave a *single* diagnosis metrics and a span
+tree.  This module makes the multi-process **service** operable
+(docs/observability.md, "Operating the service"):
+
+- :class:`TraceContext` — a trace id plus span lineage that crosses
+  process boundaries.  Ids are *derived deterministically* from request
+  fingerprints (SHA-256, no randomness), so the same request always
+  produces the same trace id — across runs, across worker crashes, and
+  across journal resumes.  The server stamps its admission and dispatch
+  spans with the context, ships it to the worker inside the fleet job,
+  and the worker stamps its root ``diffprov.diagnose`` span — one
+  stitched trace per request.
+- :func:`prometheus_text` — a :class:`~repro.observability.metrics.
+  MetricsRegistry` snapshot rendered in the Prometheus plaintext
+  exposition format (counters, gauges, and summary-style histograms),
+  served live by ``diffprov serve --metrics-port``.
+- :class:`SLOBook` — per-tenant service-level accounting: offered /
+  admitted / shed / ok / errored counts, queue-wait and end-to-end
+  latency distributions, and a rolling error-budget burn rate over an
+  injectable-clock window.
+- :class:`FlightRecorder` — a bounded ring buffer of the last N
+  completed or failed requests (request line, timings, verdict,
+  journal path, trace id), dumpable on SIGUSR1 or via the ``flight``
+  protocol verb: the post-hoc "what just happened" black box.
+- :class:`OpsCenter` — the bundle a :class:`~repro.service.server.
+  DiagnosisServer` owns: one always-on metrics registry (separate from
+  the optional diagnosis telemetry), the SLO book, and the recorder.
+
+Everything here is zero-dependency, cheap enough to stay always-on in
+the serving path, and deterministic under
+:class:`~repro.observability.telemetry.ManualClock` so the test suite
+can assert byte-identical traces and honest books.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import re
+import time as _time
+from collections import deque
+from typing import Callable, Dict, List, Mapping, Optional
+
+from .metrics import Histogram, MetricsRegistry
+
+__all__ = [
+    "TraceContext",
+    "derive_trace_id",
+    "prometheus_text",
+    "RollingHistogram",
+    "SLOBook",
+    "FlightRecorder",
+    "OpsCenter",
+    "render_top",
+]
+
+
+# -- trace propagation --------------------------------------------------------
+
+
+def _short_hash(payload: str) -> str:
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()[:16]
+
+
+def derive_trace_id(fingerprint) -> str:
+    """A 16-hex-char trace id derived from a request fingerprint.
+
+    ``fingerprint`` is any JSON-representable value (the service uses
+    the validated request fields).  Identical fingerprints yield
+    identical ids — the property that lets a crash-resumed attempt and
+    a re-run of the same request land in the same trace.
+    """
+    if not isinstance(fingerprint, str):
+        fingerprint = json.dumps(
+            fingerprint, sort_keys=True, separators=(",", ":"), default=str
+        )
+    return _short_hash("trace:" + fingerprint)
+
+
+class TraceContext:
+    """One position in a cross-process trace.
+
+    ``trace_id`` names the whole request's trace; ``span_id`` the span
+    this context represents (``None`` for a freshly rooted context);
+    ``parent_span_id`` its parent; ``attempt`` counts fleet retries
+    (1-based — a crash-resumed diagnosis carries ``attempt=2`` in the
+    *same* trace).  Contexts are immutable; :meth:`child` derives the
+    next hop deterministically, so two runs of the same request produce
+    identical span ids at every hop.
+    """
+
+    __slots__ = ("trace_id", "span_id", "parent_span_id", "attempt")
+
+    def __init__(
+        self,
+        trace_id: str,
+        span_id: Optional[str] = None,
+        parent_span_id: Optional[str] = None,
+        attempt: int = 1,
+    ):
+        self.trace_id = trace_id
+        self.span_id = span_id
+        self.parent_span_id = parent_span_id
+        self.attempt = int(attempt)
+
+    @classmethod
+    def root(cls, fingerprint) -> "TraceContext":
+        """A fresh trace rooted at ``fingerprint`` (see
+        :func:`derive_trace_id`)."""
+        return cls(derive_trace_id(fingerprint))
+
+    def child(self, name: str) -> "TraceContext":
+        """The context for a child span called ``name``.
+
+        The child's span id hashes (trace, parent span, name), so the
+        hop sequence server→dispatch→worker reproduces exactly.
+        """
+        span_id = _short_hash(
+            f"span:{self.trace_id}:{self.span_id or ''}:{name}"
+        )
+        return TraceContext(
+            self.trace_id, span_id,
+            parent_span_id=self.span_id, attempt=self.attempt,
+        )
+
+    def with_attempt(self, attempt: int) -> "TraceContext":
+        """The same position, tagged with a fleet retry number."""
+        return TraceContext(
+            self.trace_id, self.span_id, self.parent_span_id, attempt
+        )
+
+    def to_dict(self) -> Dict[str, object]:
+        data: Dict[str, object] = {"trace_id": self.trace_id}
+        if self.span_id is not None:
+            data["span_id"] = self.span_id
+        if self.parent_span_id is not None:
+            data["parent_span_id"] = self.parent_span_id
+        data["attempt"] = self.attempt
+        return data
+
+    @classmethod
+    def from_dict(cls, data: Mapping) -> "TraceContext":
+        return cls(
+            trace_id=str(data["trace_id"]),
+            span_id=data.get("span_id"),
+            parent_span_id=data.get("parent_span_id"),
+            attempt=int(data.get("attempt", 1)),
+        )
+
+    def span_attrs(self) -> Dict[str, object]:
+        """The attributes a span stamped with this context carries."""
+        attrs: Dict[str, object] = {"trace_id": self.trace_id}
+        if self.span_id is not None:
+            attrs["span_id"] = self.span_id
+        if self.parent_span_id is not None:
+            attrs["parent_span_id"] = self.parent_span_id
+        attrs["attempt"] = self.attempt
+        return attrs
+
+    def __repr__(self):
+        return (
+            f"TraceContext({self.trace_id}, span={self.span_id}, "
+            f"parent={self.parent_span_id}, attempt={self.attempt})"
+        )
+
+
+# -- Prometheus exposition ----------------------------------------------------
+
+_PROM_BAD_CHARS = re.compile(r"[^a-zA-Z0-9_]")
+
+
+def _prom_name(name: str, prefix: str = "diffprov") -> str:
+    mangled = _PROM_BAD_CHARS.sub("_", name)
+    return f"{prefix}_{mangled}" if prefix else mangled
+
+
+def _prom_value(value) -> str:
+    if isinstance(value, bool):
+        return str(int(value))
+    return repr(value) if isinstance(value, float) else str(value)
+
+
+def _prom_label(value: str) -> str:
+    return (
+        str(value)
+        .replace("\\", "\\\\")
+        .replace('"', '\\"')
+        .replace("\n", "\\n")
+    )
+
+
+_QUANTILES = (("0.5", "p50"), ("0.9", "p90"), ("0.99", "p99"))
+
+
+def prometheus_text(snapshot: Mapping, prefix: str = "diffprov") -> str:
+    """Render a metrics snapshot in the Prometheus text format.
+
+    ``snapshot`` is what :meth:`MetricsRegistry.snapshot` returns
+    (``counters`` / ``gauges`` / ``histograms``).  Dotted metric names
+    become underscored (``service.queue.depth`` →
+    ``diffprov_service_queue_depth``); histograms render as summaries
+    with ``quantile`` labels plus ``_sum`` and ``_count`` series.
+    Deterministic: series are sorted by name.
+    """
+    lines: List[str] = []
+    counters = snapshot.get("counters", {})
+    for name in sorted(counters):
+        metric = _prom_name(name, prefix)
+        lines.append(f"# TYPE {metric} counter")
+        lines.append(f"{metric} {_prom_value(counters[name])}")
+    gauges = snapshot.get("gauges", {})
+    for name in sorted(gauges):
+        value = gauges[name]
+        if value is None:
+            continue
+        metric = _prom_name(name, prefix)
+        lines.append(f"# TYPE {metric} gauge")
+        lines.append(f"{metric} {_prom_value(value)}")
+    histograms = snapshot.get("histograms", {})
+    for name in sorted(histograms):
+        stats = histograms[name]
+        metric = _prom_name(name, prefix)
+        lines.append(f"# TYPE {metric} summary")
+        for quantile, key in _QUANTILES:
+            value = stats.get(key)
+            if value is not None:
+                lines.append(
+                    f'{metric}{{quantile="{quantile}"}} {_prom_value(value)}'
+                )
+        lines.append(f"{metric}_sum {_prom_value(stats.get('sum', 0))}")
+        lines.append(f"{metric}_count {_prom_value(stats.get('count', 0))}")
+    return "\n".join(lines) + "\n" if lines else ""
+
+
+# -- per-tenant SLO accounting ------------------------------------------------
+
+
+class RollingHistogram:
+    """A bounded distribution: the last ``capacity`` observations.
+
+    The unbounded :class:`~repro.observability.metrics.Histogram` is
+    right for one diagnosis; a server that lives for weeks needs a cap.
+    Snapshots carry the same keys so both render identically.
+    """
+
+    __slots__ = ("name", "capacity", "_values", "observed_total")
+
+    def __init__(self, name: str, capacity: int = 2048):
+        self.name = name
+        self.capacity = int(capacity)
+        self._values = deque(maxlen=self.capacity)
+        self.observed_total = 0
+
+    def observe(self, value) -> None:
+        self._values.append(value)
+        self.observed_total += 1
+
+    @property
+    def count(self) -> int:
+        return len(self._values)
+
+    def snapshot(self) -> Dict[str, Optional[float]]:
+        # Reuse the exact percentile math of the unbounded histogram.
+        window = Histogram(self.name)
+        for value in self._values:
+            window.observe(value)
+        return window.snapshot()
+
+    def __repr__(self):
+        return f"RollingHistogram({self.name}, n={self.count})"
+
+
+class _TenantBook:
+    __slots__ = (
+        "offered", "admitted", "shed", "ok", "errored",
+        "queue_wait", "latency", "window",
+    )
+
+    def __init__(self, window_capacity: int):
+        self.offered = 0
+        self.admitted = 0
+        self.shed: Dict[str, int] = {}
+        self.ok = 0
+        self.errored = 0
+        self.queue_wait = RollingHistogram("queue_wait_s")
+        self.latency = RollingHistogram("latency_s")
+        # (timestamp, succeeded) pairs for the error-budget window.
+        self.window = deque(maxlen=window_capacity)
+
+
+class SLOBook:
+    """Per-tenant SLO accounting for the diagnosis service.
+
+    The books are **honest by construction**: every request that
+    reaches admission is counted ``offered`` exactly once, and ends up
+    either ``admitted`` or ``shed`` — so ``offered == admitted +
+    sum(shed)`` holds at all times, and once all admitted work has
+    resolved, ``ok + errored == admitted`` (the chaos suite asserts
+    both under flood and worker SIGKILL).
+
+    ``objective`` is the availability target (default 99%); the
+    error-budget burn rate over the rolling ``window_s`` window is the
+    classic ratio ``(errors/requests) / (1 - objective)`` — burn 1.0
+    means errors are arriving exactly as fast as the budget allows,
+    above 1.0 the tenant's budget is shrinking.
+    """
+
+    def __init__(
+        self,
+        objective: float = 0.99,
+        window_s: float = 300.0,
+        clock: Callable[[], float] = _time.monotonic,
+        window_capacity: int = 4096,
+    ):
+        if not 0.0 < objective < 1.0:
+            raise ValueError(
+                f"objective must be in (0, 1), got {objective}"
+            )
+        self.objective = float(objective)
+        self.window_s = float(window_s)
+        self.clock = clock
+        self.window_capacity = int(window_capacity)
+        self._tenants: Dict[str, _TenantBook] = {}
+
+    def _book(self, tenant: str) -> _TenantBook:
+        book = self._tenants.get(tenant)
+        if book is None:
+            book = self._tenants[tenant] = _TenantBook(self.window_capacity)
+        return book
+
+    # -- recording -----------------------------------------------------------
+
+    def offered(self, tenant: str) -> None:
+        """One request reached admission (counted before the verdict)."""
+        self._book(tenant).offered += 1
+
+    def admitted(self, tenant: str) -> None:
+        self._book(tenant).admitted += 1
+
+    def shed(self, tenant: str, reason: str) -> None:
+        book = self._book(tenant)
+        book.shed[reason] = book.shed.get(reason, 0) + 1
+
+    def finished(
+        self,
+        tenant: str,
+        ok: bool,
+        queue_wait_s: Optional[float] = None,
+        latency_s: Optional[float] = None,
+    ) -> None:
+        """One admitted request resolved (ok or typed error)."""
+        book = self._book(tenant)
+        if ok:
+            book.ok += 1
+        else:
+            book.errored += 1
+        if queue_wait_s is not None:
+            book.queue_wait.observe(round(queue_wait_s, 6))
+        if latency_s is not None:
+            book.latency.observe(round(latency_s, 6))
+        book.window.append((self.clock(), bool(ok)))
+
+    # -- derived views -------------------------------------------------------
+
+    def _prune(self, book: _TenantBook) -> None:
+        horizon = self.clock() - self.window_s
+        while book.window and book.window[0][0] < horizon:
+            book.window.popleft()
+
+    def error_budget(self, tenant: str) -> Dict[str, object]:
+        """The tenant's rolling error-budget state.
+
+        ``burn`` is the burn *rate*: the window's error fraction over
+        the budgeted error fraction ``1 - objective``.  0.0 with an
+        empty window.
+        """
+        book = self._book(tenant)
+        self._prune(book)
+        requests = len(book.window)
+        errors = sum(1 for _, succeeded in book.window if not succeeded)
+        burn = 0.0
+        if requests:
+            burn = (errors / requests) / (1.0 - self.objective)
+        return {
+            "window_s": self.window_s,
+            "objective": self.objective,
+            "requests": requests,
+            "errors": errors,
+            "burn": round(burn, 4),
+        }
+
+    def snapshot(self) -> Dict[str, Dict[str, object]]:
+        """All tenants' books (the ``stats`` verb's ``slo`` section)."""
+        result = {}
+        for tenant in sorted(self._tenants):
+            book = self._tenants[tenant]
+            result[tenant] = {
+                "offered": book.offered,
+                "admitted": book.admitted,
+                "shed": dict(sorted(book.shed.items())),
+                "ok": book.ok,
+                "errored": book.errored,
+                "queue_wait_s": book.queue_wait.snapshot(),
+                "latency_s": book.latency.snapshot(),
+                "error_budget": self.error_budget(tenant),
+            }
+        return result
+
+    def prometheus_text(self, prefix: str = "diffprov") -> str:
+        """Per-tenant series with ``tenant`` labels."""
+        if not self._tenants:
+            return ""
+        lines: List[str] = []
+
+        def family(name: str, kind: str, series: List[str]) -> None:
+            if series:
+                lines.append(f"# TYPE {_prom_name(name, prefix)} {kind}")
+                lines.extend(series)
+
+        counters = (
+            ("tenant.offered", "offered"),
+            ("tenant.admitted", "admitted"),
+            ("tenant.ok", "ok"),
+            ("tenant.errored", "errored"),
+        )
+        snapshot = self.snapshot()
+        for name, key in counters:
+            metric = _prom_name(name, prefix)
+            family(name, "counter", [
+                f'{metric}{{tenant="{_prom_label(tenant)}"}} '
+                f"{_prom_value(book[key])}"
+                for tenant, book in snapshot.items()
+            ])
+        shed_metric = _prom_name("tenant.shed", prefix)
+        shed_series = [
+            f'{shed_metric}{{tenant="{_prom_label(tenant)}",'
+            f'reason="{_prom_label(reason)}"}} {_prom_value(count)}'
+            for tenant, book in snapshot.items()
+            for reason, count in book["shed"].items()
+        ]
+        family("tenant.shed", "counter", shed_series)
+        for name, key in (
+            ("tenant.queue_wait_seconds", "queue_wait_s"),
+            ("tenant.latency_seconds", "latency_s"),
+        ):
+            metric = _prom_name(name, prefix)
+            series: List[str] = []
+            for tenant, book in snapshot.items():
+                stats = book[key]
+                label = f'tenant="{_prom_label(tenant)}"'
+                for quantile, pkey in _QUANTILES:
+                    value = stats.get(pkey)
+                    if value is not None:
+                        series.append(
+                            f'{metric}{{{label},quantile="{quantile}"}} '
+                            f"{_prom_value(value)}"
+                        )
+                series.append(
+                    f"{metric}_sum{{{label}}} "
+                    f"{_prom_value(stats.get('sum') or 0)}"
+                )
+                series.append(
+                    f"{metric}_count{{{label}}} "
+                    f"{_prom_value(stats.get('count') or 0)}"
+                )
+            family(name, "summary", series)
+        burn_metric = _prom_name("tenant.error_budget_burn", prefix)
+        family("tenant.error_budget_burn", "gauge", [
+            f'{burn_metric}{{tenant="{_prom_label(tenant)}"}} '
+            f"{_prom_value(book['error_budget']['burn'])}"
+            for tenant, book in snapshot.items()
+        ])
+        return "\n".join(lines) + "\n" if lines else ""
+
+
+# -- flight recorder ----------------------------------------------------------
+
+
+class FlightRecorder:
+    """A bounded ring buffer of the last N finished requests.
+
+    Each entry is a plain dict (request line, timings, verdict, journal
+    path, trace id) stamped with a monotonically increasing ``seq``.
+    ``capacity=0`` disables recording entirely (the benchmark's
+    off-switch); the buffer otherwise overwrites oldest-first, so the
+    recorder's memory is bounded no matter how long the server lives.
+    """
+
+    def __init__(self, capacity: int = 128,
+                 clock: Callable[[], float] = _time.monotonic):
+        self.capacity = max(0, int(capacity))
+        self.clock = clock
+        self._entries = deque(maxlen=self.capacity)
+        self.recorded_total = 0
+
+    def record(self, **fields) -> Optional[Dict[str, object]]:
+        if self.capacity == 0:
+            return None
+        entry = {"seq": self.recorded_total, "at": round(self.clock(), 6)}
+        entry.update(fields)
+        self._entries.append(entry)
+        self.recorded_total += 1
+        return entry
+
+    def entries(self) -> List[Dict[str, object]]:
+        """Oldest-first copies of the recorded entries."""
+        return [dict(entry) for entry in self._entries]
+
+    def snapshot(self) -> Dict[str, object]:
+        return {
+            "capacity": self.capacity,
+            "recorded_total": self.recorded_total,
+            "entries": self.entries(),
+        }
+
+    def to_text(self) -> str:
+        """The human-readable dump (SIGUSR1 / post-mortems)."""
+        entries = self.entries()
+        lines = [
+            f"flight recorder: {len(entries)} of last {self.capacity} "
+            f"request(s), {self.recorded_total} recorded total"
+        ]
+        for entry in entries:
+            status = entry.get("status", "?")
+            verdict = entry.get("verdict")
+            detail = f" verdict={verdict}" if verdict is not None else ""
+            latency = entry.get("latency_s")
+            timing = f" latency={latency}s" if latency is not None else ""
+            journal = entry.get("journal")
+            kept = f" journal={journal}" if journal else ""
+            lines.append(
+                f"  #{entry.get('seq')} {entry.get('tenant', '-')}/"
+                f"{entry.get('request', '-')} {entry.get('kind', '-')} "
+                f"{entry.get('scenario') or '-'} -> {status}{detail}"
+                f"{timing} trace={entry.get('trace_id', '-')}"
+                f" attempts={entry.get('attempts', 1)}{kept}"
+            )
+        return "\n".join(lines)
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __repr__(self):
+        return (
+            f"FlightRecorder({len(self._entries)}/{self.capacity}, "
+            f"total={self.recorded_total})"
+        )
+
+
+# -- the ops bundle -----------------------------------------------------------
+
+
+class OpsCenter:
+    """The always-on operations surface a DiagnosisServer owns.
+
+    Separate from the optional diagnosis ``telemetry``: that one traces
+    *a* diagnosis when asked; this one watches *the service*, always.
+    ``metrics`` also accumulates worker-side counter deltas piggybacked
+    on fleet responses (prefixed ``fleet.``), so the exposition covers
+    the whole fleet, not just the server process.
+    """
+
+    def __init__(
+        self,
+        clock: Callable[[], float] = _time.monotonic,
+        flight_capacity: int = 128,
+        slo_objective: float = 0.99,
+        slo_window_s: float = 300.0,
+    ):
+        self.clock = clock
+        self.metrics = MetricsRegistry()
+        self.slo = SLOBook(
+            objective=slo_objective, window_s=slo_window_s, clock=clock
+        )
+        self.flight = FlightRecorder(capacity=flight_capacity, clock=clock)
+
+    def fold_worker_delta(self, delta: Mapping) -> None:
+        """Fold one worker's piggybacked counter deltas into metrics."""
+        for name in sorted(delta):
+            amount = delta[name]
+            if isinstance(amount, (int, float)) and amount > 0:
+                self.metrics.inc(f"fleet.{name}", amount)
+
+    def prometheus(self, *extra_snapshots: Mapping,
+                   prefix: str = "diffprov") -> str:
+        """The full exposition: ops metrics (+ extras) + tenant SLOs.
+
+        ``extra_snapshots`` are merged under the ops registry (the ops
+        value wins on a name collision), letting the server fold its
+        diagnosis-telemetry snapshot into the same page.
+        """
+        merged: Dict[str, Dict] = {
+            "counters": {}, "gauges": {}, "histograms": {},
+        }
+        for snapshot in (*extra_snapshots, self.metrics.snapshot()):
+            for section in merged:
+                merged[section].update(snapshot.get(section, {}))
+        return prometheus_text(merged, prefix) + self.slo.prometheus_text(
+            prefix
+        )
+
+
+# -- the `diffprov top` frame -------------------------------------------------
+
+
+def render_top(stats: Mapping, target: str = "") -> str:
+    """One plain-text dashboard frame from a ``stats`` verb response.
+
+    Pure function of the stats dict (testable without a server): a
+    header with queue/fleet state and one row per tenant with in-flight,
+    outcome counts, latency percentiles, and error-budget burn.
+    """
+    admission = stats.get("admission", {})
+    fleet = stats.get("fleet", {})
+    shed = admission.get("shed", {}) or {}
+    shards = fleet.get("shards", []) or []
+    fenced = sum(1 for shard in shards if shard.get("breaker_open"))
+    header = "diffprov top" + (f" — {target}" if target else "")
+    lines = [
+        header,
+        (
+            f"queued {admission.get('queued', 0)}   "
+            f"in-flight {admission.get('in_flight', 0)}   "
+            f"admitted {admission.get('admitted_total', 0)}   "
+            f"shed {sum(shed.values())}   "
+            f"responses {stats.get('responses_total', 0)}   "
+            f"workers {fleet.get('size', 0)} ({fenced} fenced, "
+            f"{fleet.get('restarts', 0)} restart(s))   "
+            f"draining {'yes' if admission.get('draining') else 'no'}"
+        ),
+    ]
+    slo = stats.get("slo") or {}
+    tenants = stats.get("admission", {}).get("tenants", {}) or {}
+    names = sorted(set(slo) | set(tenants))
+    if names:
+        width = max(12, max(len(name) for name in names) + 1)
+        lines.append(
+            f"{'tenant':<{width}} {'infl':>5} {'ok':>6} {'err':>5} "
+            f"{'shed':>5} {'offered':>8} {'p50(s)':>9} {'p99(s)':>9} "
+            f"{'burn':>6}"
+        )
+        for name in names:
+            book = slo.get(name, {})
+            in_flight = tenants.get(name, {}).get("in_flight", 0)
+            latency = book.get("latency_s", {}) or {}
+            burn = (book.get("error_budget", {}) or {}).get("burn", 0.0)
+
+            def _fmt(value):
+                return f"{value:.4f}" if isinstance(value, (int, float)) \
+                    else "-"
+
+            lines.append(
+                f"{name:<{width}} {in_flight:>5} "
+                f"{book.get('ok', 0):>6} {book.get('errored', 0):>5} "
+                f"{sum((book.get('shed') or {}).values()):>5} "
+                f"{book.get('offered', 0):>8} "
+                f"{_fmt(latency.get('p50')):>9} "
+                f"{_fmt(latency.get('p99')):>9} {burn:>6}"
+            )
+    flight = stats.get("flight") or {}
+    if flight:
+        lines.append(
+            f"flight recorder: {flight.get('recorded_total', 0)} recorded, "
+            f"last {flight.get('capacity', 0)} kept (SIGUSR1 or the "
+            f"'flight' verb dumps them)"
+        )
+    return "\n".join(lines)

@@ -71,6 +71,29 @@ class Span:
             data["children"] = [child.to_dict() for child in self.children]
         return data
 
+    @classmethod
+    def from_dict(cls, data: Dict) -> "Span":
+        """Rebuild a span subtree serialized by :meth:`to_dict`.
+
+        The inverse the service uses to graft a worker process's span
+        tree into the server's trace (:meth:`Tracer.graft`).
+        """
+        span = cls(
+            str(data.get("name", "?")),
+            dict(data.get("attrs") or {}),
+            float(data.get("start") or 0.0),
+        )
+        end = data.get("end")
+        span.end = None if end is None else float(end)
+        span.status = str(data.get("status", "ok"))
+        error = data.get("error")
+        span.error = None if error is None else str(error)
+        for child_data in data.get("children") or ():
+            child = cls.from_dict(child_data)
+            child.parent = span
+            span.children.append(child)
+        return span
+
     def __repr__(self):
         return (
             f"Span({self.name}, {self.duration:.6f}s, {self.status}, "
@@ -86,10 +109,22 @@ class Tracer:
         self.roots: List[Span] = []
         self._stack: List[Span] = []
         self.span_count = 0
+        # Cross-process trace position (repro.observability.ops
+        # TraceContext) — when set, root spans are stamped with
+        # trace_id / span lineage attributes so traces from different
+        # processes stitch into one.
+        self.context = None
+
+    def _stamp(self, name: str, attrs: Dict[str, object]) -> None:
+        if self.context is not None:
+            for key, value in self.context.child(name).span_attrs().items():
+                attrs.setdefault(key, value)
 
     @contextmanager
     def span(self, name: str, **attrs) -> Iterator[Span]:
         """Open a span nested under the currently open one (if any)."""
+        if not self._stack:
+            self._stamp(name, attrs)
         span = Span(name, attrs, self.clock())
         if self._stack:
             span.parent = self._stack[-1]
@@ -107,6 +142,60 @@ class Tracer:
         finally:
             span.end = self.clock()
             self._stack.pop()
+
+    # -- detached spans (async-safe) -----------------------------------------
+
+    def start_span(self, name: str, parent: Optional[Span] = None,
+                   **attrs) -> Span:
+        """Open a span with an *explicit* parent, off the ambient stack.
+
+        The contextmanager :meth:`span` nests under "whatever is open",
+        which is wrong for a server interleaving many asyncio requests;
+        detached spans carry their lineage explicitly and are closed
+        with :meth:`finish`.
+        """
+        if parent is None:
+            self._stamp(name, attrs)
+        span = Span(name, attrs, self.clock())
+        if parent is not None:
+            span.parent = parent
+            parent.children.append(span)
+        else:
+            self.roots.append(span)
+        self.span_count += 1
+        return span
+
+    def finish(self, span: Span, status: str = "ok",
+               error: Optional[str] = None) -> Span:
+        """Close a detached span (idempotent on the end timestamp)."""
+        if span.end is None:
+            span.end = self.clock()
+        span.status = status
+        if error is not None:
+            span.error = error
+        return span
+
+    def graft(self, data: Dict, parent: Optional[Span] = None) -> Span:
+        """Attach a serialized span subtree (another process's trace).
+
+        ``data`` is a :meth:`Span.to_dict` payload — e.g. the span tree
+        a fleet worker shipped back in its response — rebuilt and hung
+        under ``parent`` (or as a new root).
+        """
+        span = Span.from_dict(data)
+        if parent is not None:
+            span.parent = parent
+            parent.children.append(span)
+        else:
+            self.roots.append(span)
+        grafted = 0
+        stack = [span]
+        while stack:
+            node = stack.pop()
+            grafted += 1
+            stack.extend(node.children)
+        self.span_count += grafted
+        return span
 
     @property
     def current(self) -> Optional[Span]:

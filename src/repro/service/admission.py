@@ -39,7 +39,7 @@ class Ticket:
 
     __slots__ = (
         "request", "seq", "admitted_at", "started_at", "future",
-        "attempts", "journal_path",
+        "attempts", "journal_path", "trace", "span",
     )
 
     def __init__(self, request: Request, seq: int, admitted_at: float,
@@ -53,6 +53,10 @@ class Ticket:
         self.attempts = 0
         # The per-request journal assigned at dispatch, if journaling.
         self.journal_path: Optional[str] = None
+        # Cross-process trace context + the server's open request span
+        # (set by the server when telemetry/ops are enabled).
+        self.trace = None
+        self.span = None
 
     def order_key(self):
         return (self.request.priority, self.seq)

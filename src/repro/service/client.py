@@ -63,6 +63,12 @@ class ServiceClient:
     async def stats(self) -> Dict:
         return await self.request({"kind": "stats"})
 
+    async def metrics(self) -> Dict:
+        return await self.request({"kind": "metrics"})
+
+    async def flight(self) -> Dict:
+        return await self.request({"kind": "flight"})
+
 
 class SocketServiceClient:
     """NDJSON-over-TCP client for a served DiagnosisServer.
@@ -172,3 +178,9 @@ class SocketServiceClient:
 
     async def stats(self, timeout: Optional[float] = 10.0) -> Dict:
         return await self.request({"kind": "stats"}, timeout=timeout)
+
+    async def metrics(self, timeout: Optional[float] = 10.0) -> Dict:
+        return await self.request({"kind": "metrics"}, timeout=timeout)
+
+    async def flight(self, timeout: Optional[float] = 10.0) -> Dict:
+        return await self.request({"kind": "flight"}, timeout=timeout)

@@ -67,6 +67,30 @@ _HOLD_KEYS = {
 # LRU store serves the whole request mix.
 _WARM_CACHE = None
 
+# Worker-process metric counters, shipped to the server as *deltas*
+# piggybacked on each response (payload["metrics_delta"]), so the
+# server's exposition covers the whole fleet without a side channel.
+# Plain dicts, not a MetricsRegistry: absolute cumulative values delta
+# cleanly across ships even when a counter is bumped by another metric
+# source (e.g. cache stats).
+_COUNTS: Dict[str, float] = {}
+_SHIPPED: Dict[str, float] = {}
+
+
+def _count(name: str, amount: float = 1) -> None:
+    _COUNTS[name] = _COUNTS.get(name, 0) + amount
+
+
+def _metrics_delta() -> Dict[str, float]:
+    """Positive counter increments since the last shipped delta."""
+    delta: Dict[str, float] = {}
+    for name in sorted(_COUNTS):
+        increment = _COUNTS[name] - _SHIPPED.get(name, 0)
+        if increment > 0:
+            delta[name] = round(increment, 6)
+            _SHIPPED[name] = _COUNTS[name]
+    return delta
+
 
 def _warm_cache():
     global _WARM_CACHE
@@ -95,10 +119,12 @@ def _worker_job(job: Dict):
         if key in hold:
             saved[env] = os.environ.get(env)
             os.environ[env] = str(hold[key])
+    started = _time.perf_counter()
+    _count("worker.requests")
     try:
-        return _serve_diagnosis(job)
+        status, payload = _serve_diagnosis(job)
     except Exception as exc:  # noqa: BLE001 - transported to the parent
-        return ("err", {
+        status, payload = ("err", {
             "message": f"{type(exc).__name__}: {exc}",
             "category": "diagnosis-error",
         })
@@ -108,19 +134,37 @@ def _worker_job(job: Dict):
                 os.environ.pop(env, None)
             else:
                 os.environ[env] = value
+    if status != "ok":
+        _count("worker.errors")
+    _count("worker.busy_s", _time.perf_counter() - started)
+    if isinstance(payload, dict):
+        payload["metrics_delta"] = _metrics_delta()
+    return (status, payload)
 
 
 def _serve_diagnosis(job: Dict):
     from ..api import Session
+    from ..observability import ManualClock, Telemetry
 
     options = job.get("options") or {}
+    # telemetry: False (off) / True (wall clock) / "manual" — the last
+    # runs the worker's tracer on a fresh ManualClock so exported spans
+    # (and the stitched service trace) are byte-identical across runs.
+    telemetry_opt = options.get("telemetry", False)
+    if telemetry_opt == "manual":
+        telemetry = Telemetry(clock=ManualClock())
+    elif telemetry_opt:
+        telemetry = Telemetry()
+    else:
+        telemetry = None
     session = Session(
         scenario=job["scenario"],
         max_rounds=int(options.get("max_rounds", 10)),
         minimize=bool(options.get("minimize", False)),
         taint=bool(options.get("taint", True)),
         faults=options.get("faults"),
-        telemetry=bool(options.get("telemetry", False)),
+        telemetry=telemetry,
+        trace=job.get("trace"),
         journal=job.get("journal"),
         resume=True,  # first attempt finds no file and starts fresh
         deadline_s=job.get("deadline_s"),
@@ -170,9 +214,14 @@ def _serve_diagnosis(job: Dict):
             "cache": _warm_cache().stats(),
         })
         if session.telemetry is not None:
+            tracer = session.telemetry.tracer
             payload["telemetry"] = {
                 "phases": report.telemetry.get("phases", [])
                 if report.telemetry else [],
+                # The worker's span forest, serialized so the server
+                # can graft it under its dispatch span — one stitched
+                # trace across the process boundary.
+                "spans": [root.to_dict() for root in tracer.roots],
             }
         return ("ok", payload)
 

@@ -47,9 +47,14 @@ __all__ = [
 PROTOCOL_VERSION = 1
 
 # Request kinds the server dispatches to the worker fleet, plus the
-# inline-answered control kinds.
+# inline-answered control kinds (``metrics`` returns the Prometheus
+# exposition text, ``flight`` the flight-recorder ring buffer).
 WORK_KINDS = ("diagnose", "autoref")
-CONTROL_KINDS = ("ping", "stats")
+CONTROL_KINDS = ("ping", "stats", "metrics", "flight")
+
+# Keys an upstream trace context may carry (repro.observability.ops
+# TraceContext.to_dict); anything else is a protocol error.
+_TRACE_KEYS = frozenset({"trace_id", "span_id", "parent_span_id", "attempt"})
 
 # Tuning knobs a request may forward to the worker's Session.  A
 # whitelist, not a passthrough: option typos fail loudly at admission
@@ -73,7 +78,7 @@ class Request:
 
     __slots__ = (
         "id", "kind", "scenario", "tenant", "priority", "deadline_s",
-        "options", "test_hold",
+        "options", "test_hold", "trace",
     )
 
     def __init__(
@@ -86,6 +91,7 @@ class Request:
         deadline_s: Optional[float] = None,
         options: Optional[Dict] = None,
         test_hold: Optional[Dict] = None,
+        trace: Optional[Dict] = None,
     ):
         self.id = id
         self.kind = kind
@@ -95,6 +101,10 @@ class Request:
         self.deadline_s = deadline_s
         self.options = dict(options or {})
         self.test_hold = test_hold
+        # Upstream trace context (trace_id + span lineage), if the
+        # client is itself part of a trace; the server roots one
+        # otherwise.
+        self.trace = trace
 
     def job(self) -> Dict[str, object]:
         """The worker-fleet payload (plain JSON types only)."""
@@ -123,7 +133,7 @@ def parse_request(payload) -> Request:
                             f"{type(payload).__name__}")
     unknown = set(payload) - {
         "id", "kind", "scenario", "tenant", "priority", "deadline_s",
-        "options", "test_hold", "v",
+        "options", "test_hold", "trace", "v",
     }
     if unknown:
         raise ProtocolError(f"unknown request field(s): "
@@ -174,6 +184,21 @@ def parse_request(payload) -> Request:
     test_hold = payload.get("test_hold")
     if test_hold is not None and not isinstance(test_hold, dict):
         raise ProtocolError("'test_hold' must be an object")
+    trace = payload.get("trace")
+    if trace is not None:
+        if not isinstance(trace, dict):
+            raise ProtocolError("'trace' must be an object")
+        bad_trace = set(trace) - _TRACE_KEYS
+        if bad_trace:
+            raise ProtocolError(
+                f"unknown trace field(s): {', '.join(sorted(bad_trace))} "
+                f"(allowed: {', '.join(sorted(_TRACE_KEYS))})"
+            )
+        trace_id = trace.get("trace_id")
+        if not isinstance(trace_id, str) or not trace_id:
+            raise ProtocolError(
+                "'trace' needs a non-empty string 'trace_id'"
+            )
     return Request(
         id=request_id,
         kind=kind,
@@ -183,6 +208,7 @@ def parse_request(payload) -> Request:
         deadline_s=deadline_s,
         options=options,
         test_hold=test_hold,
+        trace=trace,
     )
 
 

@@ -36,6 +36,7 @@ import time as _time
 from typing import Dict, Optional
 
 from ..errors import Overloaded, ProtocolError
+from ..observability import OpsCenter, TraceContext
 from ..observability import active as _active_telemetry
 from ..resilience.journal import request_journal_path
 from .admission import AdmissionController, Ticket
@@ -92,9 +93,25 @@ class DiagnosisServer:
         default_deadline_s: Optional[float] = None,
         allow_test_hooks: bool = False,
         clock=_time.monotonic,
+        ops: bool = True,
+        flight_capacity: int = 128,
+        slo_objective: float = 0.99,
+        slo_window_s: float = 300.0,
     ):
         self.telemetry = _active_telemetry(telemetry)
         self.clock = clock
+        # The always-on operations surface: fleet-wide metrics,
+        # per-tenant SLO books, and the flight recorder.  ``ops=False``
+        # strips it for overhead benchmarks.
+        self.ops = (
+            OpsCenter(
+                clock=clock,
+                flight_capacity=flight_capacity,
+                slo_objective=slo_objective,
+                slo_window_s=slo_window_s,
+            )
+            if ops else None
+        )
         self.max_attempts = max(1, int(max_attempts))
         self.keep_journals = bool(keep_journals)
         self.default_deadline_s = default_deadline_s
@@ -134,6 +151,7 @@ class DiagnosisServer:
         self._shard_locks: Dict[int, asyncio.Lock] = {}
         self._stopped = asyncio.Event()
         self._socket_server = None
+        self._metrics_server = None
         self._connections = set()
         self.responses_total = 0
 
@@ -183,12 +201,21 @@ class DiagnosisServer:
             clean = not not_done
         for ticket in list(self._pending):
             if not ticket.future.done():
-                ticket.future.set_result(response_error(
+                response = response_error(
                     ticket.request.id,
                     "server drained before this request finished; its "
                     f"journal remains at {ticket.journal_path}",
                     category="drain-timeout",
-                ))
+                )
+                # Keep the SLO books honest: a drained straggler is an
+                # errored outcome for its tenant, counted here because
+                # _serve_ticket will find the future already resolved.
+                if self.ops is not None:
+                    self._record_finished(
+                        ticket, response, ok=False,
+                        journal_kept=ticket.journal_path,
+                    )
+                ticket.future.set_result(response)
         return clean
 
     async def shutdown(self) -> None:
@@ -205,6 +232,10 @@ class DiagnosisServer:
             self._socket_server.close()
             await self._socket_server.wait_closed()
             self._socket_server = None
+        if self._metrics_server is not None:
+            self._metrics_server.close()
+            await self._metrics_server.wait_closed()
+            self._metrics_server = None
         # Idle connections sit blocked in readline(); close their
         # transports so the handlers end before the loop tears down.
         for writer in list(self._connections):
@@ -257,6 +288,14 @@ class DiagnosisServer:
             return response_pong(request.id)
         if request.kind == "stats":
             return response_pong(request.id, stats=self.stats())
+        if request.kind == "metrics":
+            return response_pong(request.id, metrics=self.metrics_text())
+        if request.kind == "flight":
+            flight = (
+                self.ops.flight.snapshot() if self.ops is not None
+                else {"capacity": 0, "recorded_total": 0, "entries": []}
+            )
+            return response_pong(request.id, flight=flight)
         if request.test_hold is not None and not self.allow_test_hooks:
             return response_error(
                 request.id, "test_hold requires allow_test_hooks",
@@ -264,17 +303,79 @@ class DiagnosisServer:
             )
         if request.deadline_s is None:
             request.deadline_s = self.default_deadline_s
+        ctx = self._trace_for(request)
+        span = None
+        if self.telemetry is not None:
+            span = self.telemetry.tracer.start_span(
+                "service.request",
+                tenant=request.tenant,
+                request=request.id,
+                kind=request.kind,
+                scenario=request.scenario,
+                **ctx.span_attrs(),
+            )
+        if self.ops is not None:
+            self.ops.slo.offered(request.tenant)
         try:
-            ticket = self.admission.admit(request)
+            if span is not None:
+                admission_span = self.telemetry.tracer.start_span(
+                    "service.admission", parent=span,
+                )
+                try:
+                    ticket = self.admission.admit(request)
+                except Overloaded as exc:
+                    self.telemetry.tracer.finish(
+                        admission_span, "error", error=f"shed: {exc.reason}"
+                    )
+                    raise
+                self.telemetry.tracer.finish(admission_span)
+            else:
+                ticket = self.admission.admit(request)
         except Overloaded as exc:
+            if self.ops is not None:
+                self.ops.slo.shed(request.tenant, exc.reason)
+            if span is not None:
+                self.telemetry.tracer.finish(
+                    span, "error", error=f"shed: {exc.reason}"
+                )
             return response_overloaded(request.id, exc)
+        if self.ops is not None:
+            self.ops.slo.admitted(request.tenant)
+        ticket.trace = ctx
+        ticket.span = span
         self._pending.add(ticket)
         try:
             response = await ticket.future
         finally:
             self._pending.discard(ticket)
+        if span is not None:
+            ok = response.get("status") == "ok"
+            self.telemetry.tracer.finish(
+                span,
+                "ok" if ok else "error",
+                error=None if ok else response.get(
+                    "message", response.get("status")
+                ),
+            )
         self.responses_total += 1
         return response
+
+    def _trace_for(self, request: Request) -> TraceContext:
+        """The request's trace position: continue the client's trace or
+        root a fresh one from the request fingerprint (deterministic —
+        the same request always lands in the same trace)."""
+        if request.trace is not None:
+            upstream = TraceContext.from_dict(request.trace)
+        else:
+            upstream = TraceContext.root({
+                "id": request.id,
+                "kind": request.kind,
+                "scenario": request.scenario,
+                "tenant": request.tenant,
+                "priority": request.priority,
+                "options": request.options,
+            })
+        return upstream.child("service.request")
 
     async def serve(self, host: str = "127.0.0.1", port: int = 0):
         """Listen for NDJSON clients; returns the bound (host, port)."""
@@ -345,15 +446,53 @@ class DiagnosisServer:
                 category="internal",
             )
         self.admission.mark_done(ticket)
-        if (
-            response.get("status") == "ok"
-            and not self.keep_journals
-            and ticket.journal_path
-        ):
+        ok = response.get("status") == "ok"
+        journal_kept = ticket.journal_path if (
+            not ok or self.keep_journals
+        ) else None
+        if ok and not self.keep_journals and ticket.journal_path:
             with contextlib.suppress(OSError):
                 os.unlink(ticket.journal_path)
         if not ticket.future.done():
+            if self.ops is not None:
+                self._record_finished(ticket, response, ok, journal_kept)
             ticket.future.set_result(response)
+
+    def _record_finished(self, ticket: Ticket, response: Dict, ok: bool,
+                         journal_kept: Optional[str]) -> None:
+        """SLO + flight-recorder bookkeeping for one resolved ticket."""
+        request = ticket.request
+        now = self.clock()
+        queue_wait = (
+            None if ticket.started_at is None
+            else max(0.0, ticket.started_at - ticket.admitted_at)
+        )
+        latency = max(0.0, now - ticket.admitted_at)
+        self.ops.slo.finished(
+            request.tenant, ok, queue_wait_s=queue_wait, latency_s=latency
+        )
+        report = response.get("report") or {}
+        verdict = None
+        if isinstance(report, dict) and ok:
+            verdict = (
+                "success" if report.get("success")
+                else report.get("failure")
+            )
+        self.ops.flight.record(
+            request=request.id,
+            tenant=request.tenant,
+            kind=request.kind,
+            scenario=request.scenario,
+            status=response.get("status"),
+            verdict=verdict,
+            category=response.get("category"),
+            trace_id=ticket.trace.trace_id if ticket.trace else None,
+            shard=response.get("shard"),
+            attempts=ticket.attempts + 1,
+            queue_wait_s=None if queue_wait is None else round(queue_wait, 6),
+            latency_s=round(latency, 6),
+            journal=journal_kept,
+        )
 
     def _journal_for(self, ticket: Ticket) -> str:
         # The server-side sequence number namespaces the path, so two
@@ -368,6 +507,23 @@ class DiagnosisServer:
         ticket.journal_path = self._journal_for(ticket)
         job["journal"] = ticket.journal_path
         while True:
+            attempt = ticket.attempts + 1
+            dispatch_ctx = None
+            if ticket.trace is not None:
+                # Same trace across retries: a crash-resumed attempt
+                # re-derives the same span ids, tagged attempt=N.
+                dispatch_ctx = ticket.trace.child(
+                    "service.dispatch"
+                ).with_attempt(attempt)
+                job["trace"] = dispatch_ctx.to_dict()
+            dispatch_span = None
+            if self.telemetry is not None and ticket.span is not None:
+                dispatch_span = self.telemetry.tracer.start_span(
+                    "service.dispatch",
+                    parent=ticket.span,
+                    shard=shard.index,
+                    **(dispatch_ctx.span_attrs() if dispatch_ctx else {}),
+                )
             remaining = ticket.remaining_deadline(self.clock())
             if remaining is not None:
                 # An expired budget still dispatches: the worker's
@@ -382,7 +538,11 @@ class DiagnosisServer:
                 status, payload = await self._call_shard(
                     shard, ticket, job, timeout
                 )
-            except WorkerDied:
+            except WorkerDied as died:
+                if dispatch_span is not None:
+                    self.telemetry.tracer.finish(
+                        dispatch_span, "error", error=str(died)
+                    )
                 self.fleet.record_crash(shard)
                 ticket.attempts += 1
                 # Chaos holds fire on the first attempt only (like the
@@ -411,6 +571,21 @@ class DiagnosisServer:
                     shard = other
                 continue
             self.fleet.record_success(shard)
+            if isinstance(payload, dict):
+                delta = payload.pop("metrics_delta", None)
+                if delta and self.ops is not None:
+                    self.ops.fold_worker_delta(delta)
+            if dispatch_span is not None:
+                worker_spans = (
+                    (payload.get("telemetry") or {}).get("spans")
+                    if status == "ok" and isinstance(payload, dict) else None
+                )
+                for span_data in worker_spans or ():
+                    self.telemetry.tracer.graft(span_data, dispatch_span)
+                self.telemetry.tracer.finish(
+                    dispatch_span,
+                    "ok" if status == "ok" else "error",
+                )
             if status == "err":
                 return response_error(
                     request.id,
@@ -459,11 +634,78 @@ class DiagnosisServer:
 
     def stats(self) -> Dict[str, object]:
         """Queue, shed, tenant, and fleet state (the ops surface)."""
-        return {
+        stats: Dict[str, object] = {
             "admission": self.admission.stats(),
             "fleet": self.fleet.stats(),
             "responses_total": self.responses_total,
         }
+        if self.ops is not None:
+            stats["slo"] = self.ops.slo.snapshot()
+            stats["flight"] = {
+                "capacity": self.ops.flight.capacity,
+                "recorded_total": self.ops.flight.recorded_total,
+            }
+        return stats
+
+    def metrics_text(self) -> str:
+        """The Prometheus-style exposition page (``metrics`` verb and
+        the ``--metrics-port`` endpoint)."""
+        if self.ops is None:
+            return ""
+        metrics = self.ops.metrics
+        metrics.set_gauge("service.queue.depth", self.admission.queued)
+        metrics.set_gauge("service.in_flight", self.admission.in_flight)
+        metrics.set_gauge(
+            "service.admitted_total", self.admission.admitted_total
+        )
+        for reason, count in sorted(self.admission.shed.items()):
+            metrics.set_gauge(f"service.shed_total.{reason}", count)
+        metrics.set_gauge("service.responses_total", self.responses_total)
+        metrics.set_gauge("service.fleet.size", self.fleet.size)
+        metrics.set_gauge("service.fleet.restarts", self.fleet.restarts)
+        metrics.set_gauge("service.fleet.fenced", sum(
+            1 for shard in self.fleet.shards if shard.breaker.open
+        ))
+        metrics.set_gauge("service.draining", int(self.admission.draining))
+        extras = ()
+        if self.telemetry is not None:
+            extras = (self.telemetry.snapshot(),)
+        return self.ops.prometheus(*extras)
+
+    async def serve_metrics(self, host: str = "127.0.0.1", port: int = 0):
+        """Expose :meth:`metrics_text` over plain HTTP/1.0.
+
+        A minimal responder (stdlib only): any request path gets the
+        full exposition page.  Returns the bound ``(host, port)``.
+        """
+        self._metrics_server = await asyncio.start_server(
+            self._handle_metrics, host=host, port=port
+        )
+        return self._metrics_server.sockets[0].getsockname()[:2]
+
+    async def _handle_metrics(self, reader, writer):
+        try:
+            # Read the request line + headers up to the blank line;
+            # the path is irrelevant (every path is /metrics).
+            while True:
+                line = await reader.readline()
+                if not line or line in (b"\r\n", b"\n"):
+                    break
+            body = self.metrics_text().encode("utf-8")
+            writer.write(
+                b"HTTP/1.0 200 OK\r\n"
+                b"Content-Type: text/plain; version=0.0.4; "
+                b"charset=utf-8\r\n"
+                + f"Content-Length: {len(body)}\r\n\r\n".encode("ascii")
+                + body
+            )
+            await writer.drain()
+        except (ConnectionResetError, asyncio.IncompleteReadError):
+            pass
+        finally:
+            with contextlib.suppress(Exception):
+                writer.close()
+                await writer.wait_closed()
 
     def shard_for_request(self, request_id: str) -> Optional[WorkerShard]:
         """The shard currently serving ``request_id`` (chaos tests)."""

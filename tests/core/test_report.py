@@ -99,3 +99,43 @@ class TestRoundInfo:
     def test_repr(self):
         info = RoundInfo(2, parse_tuple("x(1)"), parse_tuple("x(2)"), [])
         assert "#2" in repr(info)
+
+
+class TestPhaseBreakdown:
+    def test_summary_renders_phase_breakdown(self):
+        report = make_report(telemetry={"phases": [
+            {"name": "diffprov.diagnose", "seconds": 2.0, "count": 1},
+            {"name": "diffprov.replay", "seconds": 1.0, "count": 4},
+        ]})
+        text = report.summary()
+        assert "phase breakdown:" in text
+        assert "diffprov.replay" in text
+        assert "x4" in text
+        assert "50.0%" in text  # share of the root diagnosis span
+
+    def test_zero_span_phases_render_with_zeros_not_errors(self):
+        """Regression: a phase with no spans used to crash the
+        formatter with a None seconds/count."""
+        report = make_report(telemetry={"phases": [
+            {"name": "diffprov.diagnose", "seconds": 2.0, "count": 1},
+            {"name": "diffprov.idle", "seconds": None, "count": None},
+            {"name": "diffprov.sparse"},  # degraded run: bare entry
+            "not-a-dict",  # hostile input is skipped, not fatal
+        ]})
+        text = report.summary()
+        assert "diffprov.idle" in text
+        assert "diffprov.sparse" in text
+        assert "0.000000s" in text
+        assert "not-a-dict" not in text
+
+    def test_zero_total_avoids_division_by_zero(self):
+        report = make_report(telemetry={"phases": [
+            {"name": "diffprov.instant", "seconds": 0.0, "count": 1},
+        ]})
+        assert "  0.0%" in report.summary()
+
+    def test_no_phases_means_no_breakdown_section(self):
+        assert "phase breakdown" not in make_report().summary()
+        assert "phase breakdown" not in make_report(
+            telemetry={"phases": []}
+        ).summary()

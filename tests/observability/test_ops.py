@@ -1,0 +1,307 @@
+"""Fleet-wide ops: trace contexts, exposition, SLO books, flight box."""
+
+import pytest
+
+from repro.errors import ReproError
+from repro.observability import (
+    FlightRecorder,
+    ManualClock,
+    MetricsRegistry,
+    OpsCenter,
+    RollingHistogram,
+    SLOBook,
+    TraceContext,
+    derive_trace_id,
+    prometheus_text,
+    render_top,
+)
+
+
+# -- trace contexts -----------------------------------------------------------
+
+
+def test_trace_ids_are_deterministic_hashes():
+    fingerprint = {"id": "r1", "kind": "diagnose", "scenario": "DNS"}
+    first = derive_trace_id(fingerprint)
+    second = derive_trace_id(dict(fingerprint))
+    assert first == second
+    assert len(first) == 16
+    assert int(first, 16) >= 0  # hex
+    assert derive_trace_id({"id": "r2"}) != first
+
+
+def test_child_contexts_reproduce_the_hop_sequence():
+    root = TraceContext.root({"id": "r1"})
+    assert root.span_id is None
+    a1 = root.child("service.request").child("service.dispatch")
+    a2 = TraceContext.root({"id": "r1"}).child(
+        "service.request"
+    ).child("service.dispatch")
+    assert a1.trace_id == a2.trace_id
+    assert a1.span_id == a2.span_id
+    assert a1.parent_span_id == a2.parent_span_id
+    # Different hop names diverge.
+    assert root.child("a").span_id != root.child("b").span_id
+
+
+def test_context_round_trips_and_tags_attempts():
+    ctx = TraceContext.root({"id": "x"}).child("service.request")
+    again = TraceContext.from_dict(ctx.to_dict())
+    assert again.trace_id == ctx.trace_id
+    assert again.span_id == ctx.span_id
+    assert again.attempt == 1
+    retry = ctx.with_attempt(2)
+    assert retry.attempt == 2
+    assert retry.span_id == ctx.span_id  # same position, new attempt
+    attrs = retry.span_attrs()
+    assert attrs["trace_id"] == ctx.trace_id
+    assert attrs["attempt"] == 2
+
+
+# -- Prometheus exposition ----------------------------------------------------
+
+
+def test_prometheus_text_renders_all_three_kinds():
+    registry = MetricsRegistry()
+    registry.inc("service.admitted", 3)
+    registry.set_gauge("service.queue.depth", 2)
+    for value in (1.0, 2.0, 3.0, 4.0):
+        registry.observe("service.queue.wait_s", value)
+    text = prometheus_text(registry.snapshot())
+    assert "# TYPE diffprov_service_admitted counter" in text
+    assert "diffprov_service_admitted 3" in text
+    assert "# TYPE diffprov_service_queue_depth gauge" in text
+    assert "diffprov_service_queue_depth 2" in text
+    assert "# TYPE diffprov_service_queue_wait_s summary" in text
+    assert 'diffprov_service_queue_wait_s{quantile="0.5"} 2.5' in text
+    assert "diffprov_service_queue_wait_s_sum 10.0" in text
+    assert "diffprov_service_queue_wait_s_count 4" in text
+    assert text.endswith("\n")
+
+
+def test_prometheus_text_mangles_names_and_skips_unset_gauges():
+    registry = MetricsRegistry()
+    registry.inc("service.shed.queue-full")
+    registry.gauge("service.unset")  # created but never set
+    text = prometheus_text(registry.snapshot())
+    assert "diffprov_service_shed_queue_full 1" in text
+    assert "unset" not in text
+
+
+def test_prometheus_text_is_deterministic():
+    registry = MetricsRegistry()
+    registry.inc("b.second")
+    registry.inc("a.first")
+    snapshot = registry.snapshot()
+    assert prometheus_text(snapshot) == prometheus_text(snapshot)
+    assert prometheus_text(snapshot).index("a_first") < prometheus_text(
+        snapshot
+    ).index("b_second")
+
+
+# -- rolling histograms -------------------------------------------------------
+
+
+def test_rolling_histogram_is_bounded():
+    rolling = RollingHistogram("latency", capacity=4)
+    for value in range(10):
+        rolling.observe(float(value))
+    assert rolling.count == 4
+    assert rolling.observed_total == 10
+    snapshot = rolling.snapshot()
+    assert snapshot["min"] == 6.0  # only the last four survive
+    assert snapshot["max"] == 9.0
+    assert snapshot["count"] == 4
+
+
+# -- SLO books ----------------------------------------------------------------
+
+
+def test_slo_books_stay_honest_by_construction():
+    book = SLOBook(clock=ManualClock())
+    for _ in range(5):
+        book.offered("acme")
+    for _ in range(3):
+        book.admitted("acme")
+    book.shed("acme", "queue-full")
+    book.shed("acme", "quota")
+    book.finished("acme", ok=True, queue_wait_s=0.1, latency_s=0.5)
+    book.finished("acme", ok=True, queue_wait_s=0.2, latency_s=0.6)
+    book.finished("acme", ok=False, latency_s=1.0)
+    snap = book.snapshot()["acme"]
+    assert snap["offered"] == 5
+    assert snap["admitted"] + sum(snap["shed"].values()) == snap["offered"]
+    assert snap["ok"] + snap["errored"] == snap["admitted"]
+    assert snap["queue_wait_s"]["count"] == 2
+    assert snap["latency_s"]["count"] == 3
+
+
+def test_error_budget_burn_rate_math():
+    clock = ManualClock(tick=1.0)
+    book = SLOBook(objective=0.9, window_s=1000.0, clock=clock)
+    # 1 error in 10 requests = 10% errors; budget is 10% -> burn 1.0.
+    for i in range(10):
+        book.finished("t", ok=(i != 0))
+    budget = book.error_budget("t")
+    assert budget["requests"] == 10
+    assert budget["errors"] == 1
+    assert budget["burn"] == pytest.approx(1.0)
+    # An empty window burns nothing.
+    assert book.error_budget("idle")["burn"] == 0.0
+
+
+def test_error_budget_window_prunes_old_outcomes():
+    clock = ManualClock(tick=0.0)  # time moves only via advance()
+    book = SLOBook(objective=0.99, window_s=100.0, clock=clock)
+    book.finished("t", ok=False)
+    clock.advance(200.0)  # the error ages out of the window
+    book.finished("t", ok=True)
+    budget = book.error_budget("t")
+    assert budget["requests"] == 1
+    assert budget["errors"] == 0
+    assert budget["burn"] == 0.0
+
+
+def test_slo_objective_is_validated():
+    with pytest.raises(ValueError):
+        SLOBook(objective=1.0)
+    with pytest.raises(ValueError):
+        SLOBook(objective=0.0)
+
+
+def test_slo_prometheus_text_labels_tenants():
+    book = SLOBook(clock=ManualClock())
+    book.offered("acme")
+    book.admitted("acme")
+    book.shed("other", "quota")
+    book.finished("acme", ok=True, latency_s=0.25)
+    text = book.prometheus_text()
+    assert 'diffprov_tenant_offered{tenant="acme"} 1' in text
+    assert 'diffprov_tenant_shed{tenant="other",reason="quota"} 1' in text
+    assert 'diffprov_tenant_error_budget_burn{tenant="acme"} 0.0' in text
+    assert 'tenant="acme",quantile="0.5"' in text
+
+
+# -- flight recorder ----------------------------------------------------------
+
+
+def test_flight_recorder_is_a_ring_buffer():
+    recorder = FlightRecorder(capacity=3, clock=ManualClock())
+    for i in range(5):
+        recorder.record(request=f"r{i}", status="ok")
+    assert len(recorder) == 3
+    assert recorder.recorded_total == 5
+    entries = recorder.entries()
+    assert [e["request"] for e in entries] == ["r2", "r3", "r4"]
+    assert [e["seq"] for e in entries] == [2, 3, 4]
+    snapshot = recorder.snapshot()
+    assert snapshot["capacity"] == 3
+    assert snapshot["recorded_total"] == 5
+
+
+def test_flight_recorder_capacity_zero_disables_recording():
+    recorder = FlightRecorder(capacity=0, clock=ManualClock())
+    assert recorder.record(request="r", status="ok") is None
+    assert len(recorder) == 0
+    assert recorder.recorded_total == 0
+
+
+def test_flight_recorder_text_dump_names_the_essentials():
+    recorder = FlightRecorder(capacity=8, clock=ManualClock())
+    recorder.record(
+        request="r1", tenant="acme", kind="diagnose", scenario="DNS",
+        status="ok", verdict="success", trace_id="cafe0123",
+        latency_s=0.5, attempts=2, journal="/tmp/j.ndjson",
+    )
+    text = recorder.to_text()
+    assert "acme/r1" in text
+    assert "verdict=success" in text
+    assert "trace=cafe0123" in text
+    assert "attempts=2" in text
+    assert "journal=/tmp/j.ndjson" in text
+
+
+# -- the ops bundle -----------------------------------------------------------
+
+
+def test_ops_center_folds_worker_deltas_under_fleet_prefix():
+    ops = OpsCenter(clock=ManualClock())
+    ops.fold_worker_delta({"worker.requests": 2, "worker.busy_s": 0.5})
+    ops.fold_worker_delta({"worker.requests": 1, "ignored": 0, "bad": "x"})
+    snapshot = ops.metrics.snapshot()
+    assert snapshot["counters"]["fleet.worker.requests"] == 3
+    assert snapshot["counters"]["fleet.worker.busy_s"] == 0.5
+    assert "fleet.ignored" not in snapshot["counters"]
+    assert "fleet.bad" not in snapshot["counters"]
+
+
+def test_ops_center_prometheus_merges_extra_snapshots():
+    ops = OpsCenter(clock=ManualClock())
+    ops.metrics.inc("fleet.worker.requests", 2)
+    ops.slo.offered("acme")
+    extra = MetricsRegistry()
+    extra.inc("diffprov.rounds", 4)
+    text = ops.prometheus(extra.snapshot())
+    assert "diffprov_fleet_worker_requests 2" in text
+    assert "diffprov_diffprov_rounds 4" in text
+    assert 'diffprov_tenant_offered{tenant="acme"} 1' in text
+
+
+def test_metric_kind_collision_names_both_kinds():
+    """Regression: the error used to say only 'a different kind'."""
+    registry = MetricsRegistry()
+    registry.inc("service.admitted")
+    with pytest.raises(ReproError) as excinfo:
+        registry.set_gauge("service.admitted", 1)
+    message = str(excinfo.value)
+    assert "registered as a counter" in message
+    assert "re-register as a gauge" in message
+    # And the registry is not left half-claimed.
+    assert registry.counter("service.admitted").value == 1
+
+
+# -- the top frame ------------------------------------------------------------
+
+
+def _sample_stats():
+    return {
+        "admission": {
+            "queued": 1, "in_flight": 2, "admitted_total": 9,
+            "shed": {"queue-full": 3}, "draining": False,
+            "tenants": {"acme": {"in_flight": 2}},
+        },
+        "fleet": {
+            "size": 2, "restarts": 1,
+            "shards": [
+                {"breaker_open": False}, {"breaker_open": True},
+            ],
+        },
+        "responses_total": 7,
+        "slo": {
+            "acme": {
+                "offered": 9, "admitted": 6, "shed": {"queue-full": 3},
+                "ok": 5, "errored": 1,
+                "queue_wait_s": {"p50": 0.01, "p99": 0.02},
+                "latency_s": {"p50": 0.5, "p99": 0.9},
+                "error_budget": {"burn": 1.5},
+            },
+        },
+        "flight": {"capacity": 128, "recorded_total": 6},
+    }
+
+
+def test_render_top_is_a_pure_text_frame():
+    frame = render_top(_sample_stats(), target="127.0.0.1:8732")
+    assert "diffprov top — 127.0.0.1:8732" in frame
+    assert "queued 1" in frame
+    assert "workers 2 (1 fenced, 1 restart(s))" in frame
+    assert "acme" in frame
+    assert "0.5000" in frame  # p50 latency column
+    assert "1.5" in frame  # burn column
+    assert "flight recorder: 6 recorded" in frame
+
+
+def test_render_top_handles_empty_stats():
+    frame = render_top({})
+    assert frame.startswith("diffprov top")
+    assert "queued 0" in frame

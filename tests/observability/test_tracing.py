@@ -142,6 +142,93 @@ class TestAggregationAndExport:
         assert data["spans"][0]["children"][0]["name"] == "a.leaf"
 
 
+class TestDetachedSpans:
+    def test_start_span_takes_an_explicit_parent(self):
+        tracer = manual_tracer()
+        root = tracer.start_span("service.request", tenant="acme")
+        child = tracer.start_span("service.dispatch", parent=root, shard=0)
+        tracer.finish(child)
+        tracer.finish(root)
+        assert tracer.roots == [root]
+        assert root.children == [child]
+        assert child.parent is root
+        assert root.end is not None and child.end is not None
+        assert root.attrs["tenant"] == "acme"
+        assert tracer.span_count == 2
+        # Detached spans never touch the ambient contextmanager stack.
+        assert tracer.current is None
+
+    def test_finish_records_errors_and_is_end_idempotent(self):
+        tracer = manual_tracer()
+        span = tracer.start_span("service.dispatch")
+        tracer.finish(span, "error", error="shed: quota")
+        first_end = span.end
+        tracer.finish(span, "error", error="shed: quota")
+        assert span.end == first_end
+        assert span.status == "error"
+        assert span.error == "shed: quota"
+
+    def test_graft_attaches_a_serialized_subtree(self):
+        worker = manual_tracer()
+        with worker.span("diffprov.diagnose", scenario="DNS"):
+            with worker.span("engine.run"):
+                pass
+        shipped = worker.roots[0].to_dict()
+
+        server = manual_tracer()
+        dispatch = server.start_span("service.dispatch")
+        grafted = server.graft(shipped, dispatch)
+        tracer_names = [s.name for s in server.iter_spans()]
+        assert tracer_names == [
+            "service.dispatch", "diffprov.diagnose", "engine.run",
+        ]
+        assert grafted.parent is dispatch
+        assert grafted.children[0].name == "engine.run"
+        assert grafted.attrs == {"scenario": "DNS"}
+        assert server.span_count == 3  # dispatch + two grafted
+
+    def test_span_from_dict_round_trips_status_and_error(self):
+        tracer = manual_tracer()
+        with pytest.raises(ValueError):
+            with tracer.span("a.b", n=1):
+                raise ValueError("boom")
+        from repro.observability import Span
+
+        rebuilt = Span.from_dict(tracer.roots[0].to_dict())
+        assert rebuilt.status == "error"
+        assert rebuilt.error == "ValueError: boom"
+        assert rebuilt.attrs == {"n": 1}
+        assert rebuilt.to_dict() == tracer.roots[0].to_dict()
+
+
+class TestTraceContextStamping:
+    def test_root_spans_inherit_the_tracer_context(self):
+        from repro.observability import TraceContext
+
+        tracer = manual_tracer()
+        ctx = TraceContext.root({"id": "r1"}).child("service.dispatch")
+        tracer.context = ctx
+        with tracer.span("diffprov.diagnose"):
+            with tracer.span("engine.run"):
+                pass
+        root = tracer.roots[0]
+        expected = ctx.child("diffprov.diagnose")
+        assert root.attrs["trace_id"] == ctx.trace_id
+        assert root.attrs["span_id"] == expected.span_id
+        assert root.attrs["parent_span_id"] == ctx.span_id
+        # Children carry no stamp; the parent chain positions them.
+        assert "trace_id" not in root.children[0].attrs
+
+    def test_explicit_attrs_beat_the_context_stamp(self):
+        from repro.observability import TraceContext
+
+        tracer = manual_tracer()
+        tracer.context = TraceContext("cafecafecafecafe")
+        with tracer.span("a.b", trace_id="override"):
+            pass
+        assert tracer.roots[0].attrs["trace_id"] == "override"
+
+
 class TestTelemetryFacade:
     def test_report_section_combines_metrics_and_phases(self):
         telemetry = Telemetry(clock=ManualClock())

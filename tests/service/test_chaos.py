@@ -71,9 +71,10 @@ def test_sigkill_resume_is_byte_identical():
             await _await_journal(server, "victim", '"type":"verdict"')
             await _kill_current_worker(server, "victim")
             crashed = await victim
-            return clean, crashed, server.fleet.stats()
+            return clean, crashed, server.stats()
 
-    clean, crashed, fleet = asyncio.run(scenario())
+    clean, crashed, stats = asyncio.run(scenario())
+    fleet = stats["fleet"]
     assert clean["status"] == "ok"
     assert crashed["status"] == "ok"
     assert crashed["attempts"] == 2  # one crash, one resume
@@ -84,6 +85,14 @@ def test_sigkill_resume_is_byte_identical():
     # The determinism contract under crash-resume.
     assert report["canonical"] == clean["report"]["canonical"]
     assert fleet["restarts"] >= 1
+
+    # The SLO books stayed honest through the crash: the retry is an
+    # internal attempt, not a second offered request.
+    book = stats["slo"]["default"]
+    assert book["offered"] == 2  # clean + victim
+    assert book["admitted"] == 2
+    assert book["ok"] == 2 and book["errored"] == 0
+    assert book["shed"] == {}
 
 
 def test_combined_chaos_overload_quota_and_worker_death():
@@ -160,6 +169,22 @@ def test_combined_chaos_overload_quota_and_worker_death():
     shed_counts = stats["admission"]["shed"]
     assert sum(shed_counts.values()) == len(rejected)
     assert stats["fleet"]["restarts"] >= 1
+
+    # SLO accounting stays honest under flood + SIGKILL: for every
+    # tenant, every offered request is either admitted or shed, and
+    # every admitted one finished exactly once.
+    books = stats["slo"]
+    for tenant, book in books.items():
+        assert book["admitted"] + sum(book["shed"].values()) == \
+            book["offered"], tenant
+        assert book["ok"] + book["errored"] == book["admitted"], tenant
+    # 14 work requests total: clean + victim + 4 greedy + 8 flood.
+    assert sum(b["offered"] for b in books.values()) == 14
+    assert books["greedy"]["offered"] == 4
+    assert sum(b["errored"] for b in books.values()) == 0
+    # Latency books cover exactly the finished requests.
+    for book in books.values():
+        assert book["latency_s"]["count"] == book["ok"] + book["errored"]
 
 
 def test_crash_looping_request_gets_typed_error_not_hang():

@@ -86,3 +86,85 @@ def test_serve_answers_requests_and_drains_on_sigterm(serve_proc):
     # Pings answer inline without admission; the two successful
     # diagnoses are what the admission books count as served.
     assert "2 request(s) served, shed 1" in stderr
+
+
+@pytest.fixture
+def serve_ops_proc():
+    """A serve process with the metrics endpoint and a tiny flight box."""
+    env = dict(os.environ)
+    env["PYTHONPATH"] = _SRC + os.pathsep + env.get("PYTHONPATH", "")
+    proc = subprocess.Popen(
+        [
+            sys.executable, "-m", "repro.cli",
+            "serve", "--port", "0", "--workers", "1",
+            "--metrics-port", "0", "--flight-capacity", "4",
+        ],
+        env=env,
+        stdout=subprocess.PIPE,
+        stderr=subprocess.PIPE,
+        text=True,
+    )
+    try:
+        yield proc
+    finally:
+        if proc.poll() is None:  # pragma: no cover - cleanup
+            proc.kill()
+            proc.communicate()
+
+
+def _await_line(proc, prefix, timeout=120):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        line = proc.stdout.readline()
+        if not line:
+            pytest.fail(f"serve exited early: {proc.communicate()}")
+        if line.startswith(prefix):
+            host, _, port = line.split()[-1].rpartition(":")
+            return host, int(port)
+    pytest.fail(f"serve never printed {prefix!r}")
+
+
+def test_serve_metrics_endpoint_sigusr1_and_top(serve_ops_proc):
+    import urllib.request
+
+    host, port = _await_line(serve_ops_proc, "diffprov-service listening on ")
+    mhost, mport = _await_line(serve_ops_proc, "diffprov-metrics listening on ")
+
+    async def talk():
+        async with SocketServiceClient(host, port) as client:
+            return await client.diagnose("DNS", timeout=120)
+
+    assert asyncio.run(talk())["status"] == "ok"
+
+    # The HTTP endpoint serves the exposition page.
+    body = urllib.request.urlopen(
+        f"http://{mhost}:{mport}/metrics", timeout=30
+    ).read().decode("utf-8")
+    assert "# TYPE diffprov_service_responses_total gauge" in body
+    assert 'diffprov_tenant_offered{tenant="default"} 1' in body
+
+    # `diffprov top --once` renders one frame over the stats verb.
+    env = dict(os.environ)
+    env["PYTHONPATH"] = _SRC + os.pathsep + env.get("PYTHONPATH", "")
+    top = subprocess.run(
+        [
+            sys.executable, "-m", "repro.cli",
+            "top", "--host", host, "--port", str(port), "--once",
+        ],
+        env=env, capture_output=True, text=True, timeout=120,
+    )
+    assert top.returncode == 0, top.stderr
+    assert f"diffprov top — {host}:{port}" in top.stdout
+    assert "flight recorder: 1 recorded" in top.stdout
+
+    # SIGUSR1 dumps the flight recorder to stderr; the drain summary
+    # then closes with per-tenant SLO lines.
+    serve_ops_proc.send_signal(signal.SIGUSR1)
+    time.sleep(1.0)  # let the handler run before the TERM races it
+    serve_ops_proc.send_signal(signal.SIGTERM)
+    _, stderr = serve_ops_proc.communicate(timeout=120)
+    assert serve_ops_proc.returncode == 0
+    assert "flight recorder" in stderr
+    assert "default/" in stderr  # the recorded request's tenant/id line
+    assert "1 request(s) served, shed 0" in stderr
+    assert "default: offered 1" in stderr

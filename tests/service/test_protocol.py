@@ -65,6 +65,14 @@ def test_parse_full_request_round_trips_into_job():
     ({"id": "x", "kind": "diagnose", "scenario": "SDN1",
       "bogus": 1}, "unknown request field"),
     ({"id": "x", "kind": "ping", "v": 99}, "protocol version"),
+    ({"id": "x", "kind": "diagnose", "scenario": "SDN1",
+      "trace": "cafe"}, "'trace' must be an object"),
+    ({"id": "x", "kind": "diagnose", "scenario": "SDN1",
+      "trace": {"trace_id": "cafe", "flavour": 1}}, "unknown trace field"),
+    ({"id": "x", "kind": "diagnose", "scenario": "SDN1",
+      "trace": {"span_id": "cafe"}}, "non-empty string 'trace_id'"),
+    ({"id": "x", "kind": "diagnose", "scenario": "SDN1",
+      "trace": {"trace_id": ""}}, "non-empty string 'trace_id'"),
 ])
 def test_parse_rejections_are_typed(payload, fragment):
     with pytest.raises(ProtocolError, match=fragment):
@@ -97,6 +105,18 @@ def test_response_shapes():
     assert shed["reason"] == "queue-full"
     assert shed["retry_after_s"] == 1.235
     assert response_pong("r")["status"] == "pong"
+
+
+def test_parse_carries_an_upstream_trace_context():
+    request = parse_request({
+        "id": "x", "kind": "diagnose", "scenario": "SDN1",
+        "trace": {"trace_id": "feedfacecafebeef", "span_id": "0123"},
+    })
+    assert request.trace == {
+        "trace_id": "feedfacecafebeef", "span_id": "0123",
+    }
+    # The trace rides the request, not the worker job.
+    assert "trace" not in request.job()
 
 
 def test_requests_default_protocol_version():

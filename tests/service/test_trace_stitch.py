@@ -1,0 +1,145 @@
+"""Cross-process trace stitching, deterministic under ManualClock.
+
+One service request produces ONE trace: the server's admission and
+dispatch spans and the worker's engine spans all share a trace id, and
+under ManualClock (server telemetry + the request's
+``telemetry: "manual"`` option) the exported Chrome trace is
+byte-identical across two fresh runs.  The crash-resume variant proves
+the trace survives a worker SIGKILL: the resumed attempt reuses the
+trace id, tagged ``attempt=2``.
+"""
+
+import asyncio
+import json
+
+from repro.observability import ManualClock, Telemetry
+from repro.service import DiagnosisServer, ServiceClient
+
+from .test_chaos import _await_journal, _kill_current_worker
+
+
+def _collect(telemetry):
+    return list(telemetry.tracer.iter_spans())
+
+
+def _run_traced_request():
+    """One fresh server, one DNS request, fully manual clocks."""
+
+    async def scenario():
+        telemetry = Telemetry(clock=ManualClock())
+        server = DiagnosisServer(workers=1, telemetry=telemetry)
+        async with server:
+            client = ServiceClient(server)
+            response = await client.request({
+                "id": "stitch-1", "kind": "diagnose", "scenario": "DNS",
+                "options": {"telemetry": "manual"},
+            })
+        return response, telemetry
+
+    return asyncio.run(scenario())
+
+
+def test_one_request_yields_one_stitched_trace():
+    response, telemetry = _run_traced_request()
+    assert response["status"] == "ok"
+
+    spans = _collect(telemetry)
+    names = [s.name for s in spans]
+    assert "service.request" in names
+    assert "service.admission" in names
+    assert "service.dispatch" in names
+    # The worker's spans were grafted across the process boundary.
+    assert any(n.startswith("diffprov.") for n in names)
+    assert any(n.startswith("engine.") for n in names)
+
+    # Everything stamped shares ONE trace id (children inherit their
+    # position from the parent chain, so only stamped spans carry it).
+    trace_ids = {
+        s.attrs["trace_id"] for s in spans if "trace_id" in s.attrs
+    }
+    assert len(trace_ids) == 1
+
+    # The stitched lineage: request -> dispatch -> worker root.
+    by_name = {s.name: s for s in spans}
+    request_span = by_name["service.request"]
+    dispatch = by_name["service.dispatch"]
+    assert dispatch.parent is request_span
+    assert by_name["service.admission"].parent is request_span
+    worker_roots = dispatch.children
+    assert worker_roots, "worker spans must hang under the dispatch span"
+    assert worker_roots[0].attrs["parent_span_id"] == \
+        dispatch.attrs["span_id"]
+    assert worker_roots[0].attrs["trace_id"] == request_span.attrs["trace_id"]
+
+
+def test_stitched_trace_is_byte_identical_across_runs():
+    first_response, first = _run_traced_request()
+    second_response, second = _run_traced_request()
+    assert first_response["status"] == "ok"
+    assert second_response["status"] == "ok"
+    first_bytes = json.dumps(first.chrome_trace(), sort_keys=True)
+    second_bytes = json.dumps(second.chrome_trace(), sort_keys=True)
+    assert first_bytes == second_bytes
+
+
+def test_upstream_trace_context_is_honoured():
+    async def scenario():
+        telemetry = Telemetry(clock=ManualClock())
+        server = DiagnosisServer(workers=1, telemetry=telemetry)
+        async with server:
+            client = ServiceClient(server)
+            response = await client.request({
+                "id": "up-1", "kind": "diagnose", "scenario": "DNS",
+                "trace": {"trace_id": "feedfacecafebeef",
+                          "span_id": "0123456789abcdef"},
+            })
+        return response, telemetry
+
+    response, telemetry = asyncio.run(scenario())
+    assert response["status"] == "ok"
+    request_span = next(
+        s for s in _collect(telemetry) if s.name == "service.request"
+    )
+    assert request_span.attrs["trace_id"] == "feedfacecafebeef"
+    assert request_span.attrs["parent_span_id"] == "0123456789abcdef"
+
+
+def test_crash_resume_stays_in_the_same_trace_with_attempt_tag():
+    async def scenario():
+        telemetry = Telemetry(clock=ManualClock())
+        server = DiagnosisServer(
+            workers=2, telemetry=telemetry, allow_test_hooks=True,
+            keep_journals=True, breaker_threshold=3,
+        )
+        async with server:
+            client = ServiceClient(server)
+            victim = asyncio.ensure_future(client.request({
+                "id": "victim", "kind": "diagnose", "scenario": "SDN1",
+                "options": {"minimize": True, "telemetry": "manual"},
+                "test_hold": {"after_verdicts": 1, "seconds": 30},
+            }))
+            await _await_journal(server, "victim", '"type":"verdict"')
+            await _kill_current_worker(server, "victim")
+            response = await victim
+        return response, telemetry
+
+    response, telemetry = asyncio.run(scenario())
+    assert response["status"] == "ok"
+    assert response["attempts"] == 2
+
+    spans = _collect(telemetry)
+    dispatches = [s for s in spans if s.name == "service.dispatch"]
+    assert len(dispatches) == 2
+    first, second = dispatches
+    # Both attempts live in the SAME trace at the SAME position...
+    assert first.attrs["trace_id"] == second.attrs["trace_id"]
+    assert first.attrs["span_id"] == second.attrs["span_id"]
+    # ...distinguished only by the attempt tag and their outcome.
+    assert first.attrs["attempt"] == 1
+    assert second.attrs["attempt"] == 2
+    assert first.status == "error"  # the SIGKILL'd attempt
+    assert second.status == "ok"
+    # Only the surviving attempt shipped worker spans, tagged attempt=2.
+    assert not first.children
+    assert second.children
+    assert second.children[0].attrs["attempt"] == 2
