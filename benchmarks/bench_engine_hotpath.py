@@ -9,11 +9,12 @@ seven-vertex graph on every replay.  This benchmark pins the claim
 from both sides:
 
 - ``replay_linear_s`` — the linear-scan, eager-provenance reference
-  engine (``use_indexes=False`` / ``lazy=False``), the mode the
-  equivalence tests compare against;
-- ``replay_eager_s`` — indexed joins but eager provenance, isolating
-  the lazy-recorder share of the win;
-- ``replay_fast_s`` — the defaults;
+  engine (``EngineConfig("reference")``), the mode the equivalence
+  tests compare against;
+- ``replay_eager_s`` — indexed joins but eager provenance
+  (``EngineConfig(backend="indexed", provenance="eager")``), isolating
+  the recorder share of the win;
+- ``replay_fast_s`` — the defaults (compiled/annotated);
 - ``speedup`` — linear/fast ratio of the candidate-replay phase (the
   acceptance bar is >= 2x on at least one workload);
 - ``index_hits``/``index_misses``/``reconstructions`` — the
@@ -38,6 +39,7 @@ import sys
 import tempfile
 
 from repro.core.diffprov import DiffProv, DiffProvOptions
+from repro.datalog import EngineConfig
 from repro.observability import Telemetry
 from repro.resilience import DiagnosisJournal
 from repro.scenarios import ALL_SCENARIOS
@@ -57,19 +59,18 @@ ROUNDS = 3
 def _diagnose(
     name,
     params,
-    use_indexes=True,
-    lazy=True,
+    engine=None,
     workers=1,
     replay_cache=False,
     journal=None,
 ):
     scenario = ALL_SCENARIOS[name](**params).setup()
+    config = EngineConfig.coerce(engine)
     for execution in {
         id(scenario.good_execution): scenario.good_execution,
         id(scenario.bad_execution): scenario.bad_execution,
     }.values():
-        execution.use_indexes = use_indexes
-        execution.lazy_provenance = lazy
+        execution.engine_config = config
     telemetry = Telemetry()
     options = DiffProvOptions(
         minimize=True,
@@ -107,10 +108,12 @@ def run_benchmark():
     tmp = tempfile.mkdtemp(prefix="bench-hotpath-")
     for name, params in WORKLOADS:
         linear_s, linear_report, _ = _best_replay_seconds(
-            name, params, use_indexes=False, lazy=False
+            name, params, engine="reference"
         )
         eager_s, eager_report, _ = _best_replay_seconds(
-            name, params, lazy=False
+            name,
+            params,
+            engine=EngineConfig(backend="indexed", provenance="eager"),
         )
         fast_s, fast_report, counters = _best_replay_seconds(name, params)
 

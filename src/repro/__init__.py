@@ -41,7 +41,14 @@ import warnings as _warnings
 
 from .addresses import IPv4Address, Prefix, ip, prefix
 from .core import DiagnosisReport
-from .datalog import Engine, Tuple, parse_program, parse_rule, parse_tuple
+from .datalog import (
+    Engine,
+    EngineConfig,
+    Tuple,
+    parse_program,
+    parse_rule,
+    parse_tuple,
+)
 from .errors import (
     DegradedResultWarning,
     DiagnosisFailure,
@@ -110,6 +117,7 @@ __all__ = [
     "DiffProvOptions",  # deprecated at this level; canonical home is repro.core
     "DiagnosisReport",
     "Engine",
+    "EngineConfig",
     "Tuple",
     "parse_program",
     "parse_rule",

@@ -40,6 +40,7 @@ from typing import Dict, Optional
 from .core.autoref import AutoReferenceResult, auto_diagnose
 from .core.diffprov import DiffProv, DiffProvOptions
 from .core.report import DiagnosisReport
+from .datalog.config import EngineConfig
 from .errors import ReproError
 from .faults import FaultPlan
 from .observability import Telemetry
@@ -72,6 +73,13 @@ class Session:
         lineage so a service worker's spans stitch under the server's
         dispatch span (docs/observability.md).  Ignored without
         ``telemetry``.
+    ``engine``
+        An :class:`repro.EngineConfig`, a backend name string
+        (``"compiled"``, ``"indexed"``, ``"reference"``), or a mapping
+        with ``backend``/``provenance`` keys.  Selects the evaluation
+        backend for both executions; every mode produces byte-identical
+        reports (docs/performance.md).  ``None`` keeps each execution's
+        own config (the compiled default).
     ``workers``
         Process-pool width for candidate replays; 1 = serial.
     ``replay_cache``
@@ -124,6 +132,7 @@ class Session:
         faults=None,
         telemetry=None,
         trace=None,
+        engine=None,
         workers: int = 1,
         replay_cache: bool = True,
         max_rounds: int = 10,
@@ -162,6 +171,9 @@ class Session:
             faults = FaultPlan.parse(faults)
         if telemetry is True:
             telemetry = Telemetry()
+        self.engine_config = (
+            None if engine is None else EngineConfig.coerce(engine)
+        )
         self.scenario_name = scenario.upper() if scenario else None
         self.telemetry = telemetry or None
         if trace is not None and self.telemetry is not None:
@@ -200,6 +212,7 @@ class Session:
         if self.scenario_name is None:
             self._built = True
             self._attach_cache()
+            self._apply_engine()
         else:
             from .scenarios import ALL_SCENARIOS
 
@@ -231,6 +244,8 @@ class Session:
         plan = self.options.faults
         if plan is not None and "faults" not in params:
             params["faults"] = plan
+        if self.engine_config is not None and "engine" not in params:
+            params["engine"] = self.engine_config
         scenario = ALL_SCENARIOS[self.scenario_name](**params).setup()
         self._scenario = scenario
         self.program = scenario.program
@@ -245,7 +260,24 @@ class Session:
             self.options.faults = scenario.fault_plan
         self._built = True
         self._attach_cache()
+        self._apply_engine()
         return self
+
+    def _apply_engine(self) -> None:
+        """Assign the session's EngineConfig to both executions.
+
+        Backends produce byte-identical results, so this only changes
+        replay cost; scenario mode already threads the config through
+        the scenario's ``engine`` param, making this a no-op there.
+        """
+        if self.engine_config is None:
+            return
+        for execution in (self.good, self.bad):
+            if (
+                hasattr(execution, "engine_config")
+                and execution.engine_config != self.engine_config
+            ):
+                execution.engine_config = self.engine_config
 
     def _attach_cache(self) -> None:
         """Hand the caller-supplied ReplayCache to both executions.

@@ -32,6 +32,7 @@ from typing import List, Optional
 
 from . import survey as survey_module
 from .api import Session
+from .datalog.config import BACKENDS, PROVENANCE_MODES
 from .errors import FaultSpecError
 from .observability import format_metrics
 from .scenarios import ALL_SCENARIOS
@@ -73,6 +74,19 @@ def _tuning_parent() -> argparse.ArgumentParser:
         metavar="SPEC",
         help="deterministic fault plan, e.g. "
         "'loss=0.1,fetch-loss=0.15,seed=7' (see docs/faults.md)",
+    )
+    parent.add_argument(
+        "--engine",
+        choices=BACKENDS,
+        help="evaluation backend: compiled (the default), indexed, or "
+        "the linear-scan reference; reports are byte-identical across "
+        "backends (see docs/performance.md)",
+    )
+    parent.add_argument(
+        "--provenance",
+        choices=PROVENANCE_MODES,
+        help="provenance recording mode (default: the chosen backend's "
+        "natural mode — annotated/lazy/eager respectively)",
     )
     parent.add_argument(
         "--workers",
@@ -184,9 +198,18 @@ def build_parser() -> argparse.ArgumentParser:
     stanford.add_argument(
         "--full-scale",
         action="store_true",
-        help="use the paper's 757k-entry configuration (slow)",
+        help="use the paper's 757k-entry configuration "
+        "(seconds with the default compiled engine)",
     )
     stanford.add_argument("--background", type=int, default=120)
+    stanford.add_argument(
+        "--engine", choices=BACKENDS,
+        help="evaluation backend (default compiled)",
+    )
+    stanford.add_argument(
+        "--provenance", choices=PROVENANCE_MODES,
+        help="provenance recording mode (default: backend's natural mode)",
+    )
 
     serve = commands.add_parser(
         "serve",
@@ -227,6 +250,16 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument(
         "--default-deadline-s", type=float, metavar="SECONDS",
         help="deadline applied to requests that do not carry their own",
+    )
+    serve.add_argument(
+        "--engine", choices=BACKENDS,
+        help="engine backend applied to requests that do not carry an "
+        "'engine' option (default: the package's compiled default)",
+    )
+    serve.add_argument(
+        "--provenance", choices=PROVENANCE_MODES,
+        help="provenance mode paired with --engine for requests "
+        "without an 'engine' option",
     )
     serve.add_argument(
         "--drain-timeout-s", type=float, default=60.0,
@@ -311,11 +344,26 @@ def _cmd_scenarios(args) -> int:
     return _emit(args, rows, text)
 
 
+def _engine_spec(args):
+    """--engine/--provenance as an EngineConfig-coercible mapping."""
+    backend = getattr(args, "engine", None)
+    provenance = getattr(args, "provenance", None)
+    if backend is None and provenance is None:
+        return None
+    spec = {}
+    if backend is not None:
+        spec["backend"] = backend
+    if provenance is not None:
+        spec["provenance"] = provenance
+    return spec
+
+
 def _session(args, **extra) -> Session:
     """A Session configured from the shared tuning flags."""
     return Session(
         scenario=args.scenario,
         faults=getattr(args, "faults", None),
+        engine=_engine_spec(args),
         telemetry=bool(
             getattr(args, "metrics", False) or getattr(args, "trace_out", None)
         ),
@@ -590,8 +638,13 @@ def _cmd_unsuitable(args) -> int:
 def _cmd_stanford(args) -> int:
     from .scenarios.stanford import StanfordForwardingError
 
+    params = {}
+    engine = _engine_spec(args)
+    if engine is not None:
+        params["engine"] = engine
     scenario = StanfordForwardingError(
-        full_scale=args.full_scale, background_packets=args.background
+        full_scale=args.full_scale, background_packets=args.background,
+        **params,
     )
     report = scenario.diagnose()
     good, bad = scenario.trees()
@@ -653,6 +706,7 @@ def _cmd_serve(args) -> int:
             journal_dir=args.journal_dir,
             keep_journals=args.keep_journals,
             default_deadline_s=args.default_deadline_s,
+            default_engine=_engine_spec(args),
             drain_timeout_s=args.drain_timeout_s,
             flight_capacity=args.flight_capacity,
             slo_objective=args.slo_objective,

@@ -26,7 +26,7 @@ from contextlib import contextmanager, nullcontext
 from typing import Dict, List, Optional, Sequence, Set
 
 from ..datalog.engine import match_atom
-from ..datalog.expr import Var
+from ..datalog.expr import Const, Var
 from ..datalog.rules import Program, Rule
 from ..datalog.tuples import TableKind, Tuple
 from ..errors import (
@@ -1179,7 +1179,11 @@ class _DiagnosisState:
                 continue
             match_atom(sibling_atom, self.equiv.expected_tuple(sibling), env)
         competitors = []
-        for candidate in self._live_base_tuples(replayed, atom.table):
+        store = replayed.engine.store
+        for candidate in _candidate_tuples(store, atom, env):
+            record = store.record(candidate)
+            if record is None or not record.is_base:
+                continue
             if candidate == expected:
                 continue
             candidate_env = dict(env)
@@ -1195,13 +1199,6 @@ class _DiagnosisState:
         if immutable:
             return ()
         return tuple(competitors)
-
-    def _live_base_tuples(self, replayed: ReplayResult, table: str):
-        store = replayed.engine.store
-        for tup in store.tuples(table):
-            record = store.record(tup)
-            if record is not None and record.is_base:
-                yield tup
 
     # -- condition repair -------------------------------------------------------
 
@@ -1392,7 +1389,9 @@ class _DiagnosisState:
         replayed: ReplayResult,
         excluded: Set[Tuple],
     ) -> Optional[Tuple]:
-        candidates = list(replayed.engine.store.tuples(atom.table))
+        candidates = list(
+            _candidate_tuples(replayed.engine.store, atom, env_anchor)
+        )
         if expected_child not in candidates:
             candidates.append(expected_child)
         best = None
@@ -1537,6 +1536,27 @@ class _DiagnosisState:
             distributed_stats=self.distributed_stats,
             lost_events=self.lost_log_events,
         )
+
+
+def _candidate_tuples(store, atom, env: Dict[str, object]):
+    """Live candidates for ``atom``, narrowed by one pinned position.
+
+    A position whose value is statically known — a ``Const`` argument,
+    or a ``Var`` already bound in ``env`` — lets the store's equality
+    projection answer in O(bucket) instead of a full sorted scan; on
+    the full-scale Stanford configuration (757k forwarding entries)
+    that is the difference between milliseconds and minutes per
+    candidate search.  Any matching tuple necessarily carries the
+    pinned value at that position, and both the projection bucket and
+    the full scan iterate in ``sort_key`` order, so callers see exactly
+    the sequence the scan would have produced after filtering.
+    """
+    for position, arg in enumerate(atom.args):
+        if isinstance(arg, Const):
+            return store.tuples_matching(atom.table, position, arg.value)
+        if isinstance(arg, Var) and arg.name in env:
+            return store.tuples_matching(atom.table, position, env[arg.name])
+    return store.tuples(atom.table)
 
 
 def _stable_key(tup: Tuple):

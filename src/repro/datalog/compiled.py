@@ -1,0 +1,336 @@
+"""Per-(rule, trigger) compiled join closures for the columnar backend.
+
+The interpreted join (:meth:`Engine._bindings`) pays real interpretive
+overhead per candidate tuple: a fresh environment dict, fresh
+assignment/condition work lists, a generic ``_match_atom`` walk that
+re-discovers per candidate what is statically known per rule, and a
+``_settle`` fixpoint that re-scans those lists.  This module performs
+that discovery once per ``(rule, trigger_index)`` pair and emits a
+specialized plan:
+
+- **match ops** per body atom — ``bind``/``check_var``/``check_const``/
+  ``expr`` opcodes over argument positions, with positions already
+  guaranteed by an index probe skipped entirely;
+- **settle ops** — the exact, statically-determined sequence of
+  assignment and condition evaluations the interpreted fixpoint would
+  perform at each join step (licensed by ``_settle_static``: the static
+  bound set equals the runtime environment's key set at every step);
+- **access closures** — one composite-index probe or full-scan closure
+  per atom, bumping the same ``engine.index.hits``/``misses`` counters
+  the interpreted path does.
+
+Execution uses one mutable environment with an undo trail instead of a
+dict copy per candidate.  Bind order follows the interpreted path's
+insertion order exactly, so every yielded binding — and therefore every
+derivation, provenance event, and report downstream — is byte-identical
+to the interpreted evaluators (locked by
+``tests/datalog/test_index_equivalence.py``).
+
+Rules the compiler does not cover return ``None`` from
+:func:`compile_rule` and fall back to the interpreted join on the same
+store: aggregate rules (fired through the barrier path anyway), rules
+with argmax selectors on non-trigger atoms (selector semantics need
+per-candidate environments), and rules whose final settle would leave
+unbound leftovers (the interpreted path's error semantics are
+preserved by not short-circuiting them).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple as PyTuple
+
+from ..errors import EvaluationError
+from .expr import Const, Expr, Var
+from .rules import Rule
+from .tuples import Tuple
+
+__all__ = ["CompiledRule", "compile_rule"]
+
+
+class CompiledRule:
+    """One (rule, trigger_index) pair compiled to a step plan."""
+
+    __slots__ = (
+        "rule_name",
+        "body_len",
+        "trigger_index",
+        "trigger_arity",
+        "trigger_match",
+        "trigger_settle",
+        "steps",
+    )
+
+    def __init__(
+        self,
+        rule_name: str,
+        body_len: int,
+        trigger_index: int,
+        trigger_arity: int,
+        trigger_match: tuple,
+        trigger_settle: tuple,
+        steps: tuple,
+    ):
+        self.rule_name = rule_name
+        self.body_len = body_len
+        self.trigger_index = trigger_index
+        self.trigger_arity = trigger_arity
+        self.trigger_match = trigger_match
+        self.trigger_settle = trigger_settle
+        # steps: one (atom_index, arity, access, match_ops, settle_ops)
+        # per non-trigger body atom, in ascending body order.
+        self.steps = steps
+
+    def bindings(self, engine, delta: Tuple):
+        """Yield ``(env, body_tuples)`` exactly like ``Engine._bindings``.
+
+        The yielded ``env`` is the plan's live working dict — consumers
+        (``_fire_rules``) use it before advancing the generator, and
+        ``Derivation`` copies it, so no defensive copy is needed here.
+        """
+        if delta.arity != self.trigger_arity:
+            return
+        env: Dict[str, object] = {}
+        trail: List[str] = []
+        if not _run_match(self.trigger_match, delta.args, env, trail):
+            return
+        if not _run_settle(self.trigger_settle, env, trail):
+            return
+        slots: List[Optional[Tuple]] = [None] * self.body_len
+        slots[self.trigger_index] = delta
+        yield from self._extend(engine, 0, slots, env, trail)
+
+    def _extend(self, engine, depth: int, slots, env, trail):
+        if depth == len(self.steps):
+            yield env, tuple(slots)
+            return
+        atom_index, arity, access, match_ops, settle_ops = self.steps[depth]
+        mark = len(trail)
+        for candidate in access(engine, env):
+            if (
+                candidate.arity == arity
+                and _run_match(match_ops, candidate.args, env, trail)
+                and _run_settle(settle_ops, env, trail)
+            ):
+                slots[atom_index] = candidate
+                yield from self._extend(engine, depth + 1, slots, env, trail)
+                slots[atom_index] = None
+            while len(trail) > mark:
+                del env[trail.pop()]
+
+
+def _run_match(ops, args, env, trail) -> bool:
+    """Execute one atom's match opcodes against a candidate's args.
+
+    Operand order in every comparison matches ``_match_atom`` (pattern
+    side on the left) so values with asymmetric ``__eq__`` behave
+    identically.
+    """
+    for op in ops:
+        kind = op[0]
+        if kind == "bind":
+            name = op[2]
+            env[name] = args[op[1]]
+            trail.append(name)
+        elif kind == "check_var":
+            if env[op[2]] != args[op[1]]:
+                return False
+        elif kind == "check_const":
+            if op[2] != args[op[1]]:
+                return False
+        elif kind == "expr":
+            if op[2].evaluate(env) != args[op[1]]:
+                return False
+        else:  # "fail": an Expr arg with statically-free variables
+            return False
+    return True
+
+
+def _run_settle(ops, env, trail) -> bool:
+    """Execute the settle sequence: assignment errors propagate,
+    condition errors prune — exactly ``Engine._settle``'s semantics."""
+    for op in ops:
+        if op[0] == "assign":
+            _, assignment, conflict = op
+            value = assignment.expr.evaluate(env)
+            if conflict:
+                if env[assignment.var] != value:
+                    return False
+            else:
+                env[assignment.var] = value
+                trail.append(assignment.var)
+        else:  # "cond"
+            condition = op[1]
+            try:
+                ok = condition.holds(env)
+            except EvaluationError:
+                ok = False
+            if not ok:
+                return False
+    return True
+
+
+# -- compilation --------------------------------------------------------------
+
+
+def compile_rule(
+    engine, rule: Rule, trigger_index: int
+) -> Optional[CompiledRule]:
+    """Compile one (rule, trigger) firing; ``None`` means fall back.
+
+    Mirrors ``_build_plan``'s static walk — trigger binds, assignments
+    settle, remaining atoms visited in ascending order — while also
+    emitting the ordered settle sequence and registering the same
+    composite indexes on the engine's store.
+    """
+    if rule.is_aggregate:
+        return None
+    if any(
+        atom.selector is not None
+        for index, atom in enumerate(rule.body)
+        if index != trigger_index
+    ):
+        return None
+
+    bound: set = set()
+    assigns = list(rule.assignments)
+    conds = list(rule.conditions)
+
+    trigger_atom = rule.body[trigger_index]
+    trigger_match = _compile_match(trigger_atom, bound, skip=())
+    trigger_settle = _emit_settle(bound, assigns, conds)
+
+    steps = []
+    for index in range(len(rule.body)):
+        if index == trigger_index:
+            continue
+        atom = rule.body[index]
+        positions: List[int] = []
+        getters: List[tuple] = []
+        for position, arg in enumerate(atom.args):
+            if isinstance(arg, Const):
+                positions.append(position)
+                getters.append((None, arg.value))
+            elif isinstance(arg, Var) and arg.name in bound:
+                positions.append(position)
+                getters.append((arg.name, None))
+        if positions:
+            spec = (tuple(positions), tuple(getters))
+            engine.store.register_index(atom.table, spec[0])
+        else:
+            spec = None
+        match_ops = _compile_match(atom, bound, skip=frozenset(positions))
+        settle_ops = _emit_settle(bound, assigns, conds)
+        steps.append(
+            (
+                index,
+                atom.arity,
+                _make_access(atom.table, spec),
+                match_ops,
+                settle_ops,
+            )
+        )
+
+    if assigns or conds:
+        # The final interpreted settle would raise (unbound leftovers);
+        # keep that error path by not compiling the rule.
+        return None
+
+    return CompiledRule(
+        rule.name,
+        len(rule.body),
+        trigger_index,
+        trigger_atom.arity,
+        trigger_match,
+        trigger_settle,
+        tuple(steps),
+    )
+
+
+def _compile_match(atom, bound: set, skip) -> tuple:
+    """Opcodes for matching ``atom`` given the static bound set.
+
+    Positions in ``skip`` are guaranteed equal by the index probe that
+    produced the candidate, so their checks are elided.  ``bound`` is
+    extended with the atom's newly-bound variables (mutated in place,
+    mirroring the planner's walk).
+    """
+    ops = []
+    for position, arg in enumerate(atom.args):
+        if isinstance(arg, Var):
+            if arg.name in bound:
+                if position not in skip:
+                    ops.append(("check_var", position, arg.name))
+            else:
+                ops.append(("bind", position, arg.name))
+                bound.add(arg.name)
+        elif isinstance(arg, Const):
+            if position not in skip:
+                ops.append(("check_const", position, arg.value))
+        elif isinstance(arg, Expr):
+            if arg.variables() <= bound:
+                ops.append(("expr", position, arg))
+            else:
+                # _match_atom fails on any Expr with free variables;
+                # boundness is static, so every candidate fails here.
+                ops.append(("fail",))
+                break
+        else:  # pragma: no cover - defensive, mirrors _match_atom
+            raise EvaluationError(f"bad body atom argument {arg!r}")
+    return tuple(ops)
+
+
+def _emit_settle(bound: set, assigns: list, conds: list) -> tuple:
+    """The exact evaluation sequence ``_settle`` performs at this step.
+
+    Replays the runtime fixpoint over variable *names*: scan
+    assignments in list order applying every available one, then
+    conditions in list order, repeating while progress is made.
+    Consumed entries are removed from the (mutable) work lists, exactly
+    like the runtime, so later steps only see what remains.
+    """
+    ops = []
+    progress = True
+    while progress:
+        progress = False
+        for assignment in list(assigns):
+            if assignment.expr.variables() <= bound:
+                ops.append(("assign", assignment, assignment.var in bound))
+                bound.add(assignment.var)
+                assigns.remove(assignment)
+                progress = True
+        for condition in list(conds):
+            if condition.variables() <= bound:
+                ops.append(("cond", condition))
+                conds.remove(condition)
+                progress = True
+    return tuple(ops)
+
+
+def _make_access(table: str, spec):
+    """Access closure: composite-index probe, or full sorted scan."""
+    if spec is None:
+
+        def scan(engine, env):
+            telemetry = engine.telemetry
+            if telemetry is not None:
+                telemetry.inc("engine.index.misses")
+            return engine.store.tuples(table)
+
+        return scan
+
+    positions, getters = spec
+
+    def probe(engine, env):
+        telemetry = engine.telemetry
+        if telemetry is not None:
+            telemetry.inc("engine.index.hits")
+        return engine.store.tuples_matching_at(
+            table,
+            positions,
+            tuple(
+                value if name is None else env[name]
+                for name, value in getters
+            ),
+        )
+
+    return probe

@@ -20,6 +20,9 @@ from typing import Dict, Iterable, Iterator, List, Optional, Tuple as PyTuple
 from ..errors import EvaluationError, SchemaError, StepLimitExceeded
 from ..observability import active as _active_telemetry
 from .aggregates import evaluate_aggregates
+from .columnar import ColumnarStore
+from .compiled import compile_rule
+from .config import EngineConfig
 from .expr import Const, Expr, Var
 from .rules import Atom, Program, Rule
 from .state import Derivation, Store, sort_key
@@ -28,6 +31,9 @@ from .tuples import TableKind, Tuple, TupleStore
 __all__ = ["Engine", "GLOBAL_NODE"]
 
 GLOBAL_NODE = "_"
+
+# Sentinel distinguishing "not compiled yet" from "not compilable".
+_UNCOMPILED = object()
 
 
 class Engine:
@@ -40,15 +46,21 @@ class Engine:
         faults=None,
         step_limit: Optional[int] = None,
         telemetry=None,
-        use_indexes: bool = True,
+        use_indexes: Optional[bool] = None,
+        config: Optional[EngineConfig] = None,
     ):
         self.program = program
         self.recorder = recorder
-        # use_indexes=False is the linear-scan reference mode: every
-        # body atom is resolved by a full (sorted) table scan.  It
-        # exists to *prove* the indexed path changes cost, not results
-        # (see tests/datalog/test_index_equivalence.py).
-        self.use_indexes = use_indexes
+        # Backend selection (see repro.datalog.config): "compiled" runs
+        # per-rule closures over a columnar store, "indexed" is the
+        # interpreted join with composite indexes, and "reference" is
+        # the linear-scan mode that exists to *prove* the fast paths
+        # change cost, not results
+        # (see tests/datalog/test_index_equivalence.py).  The old
+        # use_indexes= boolean is a deprecated shim resolved here.
+        self.config = EngineConfig.resolve(config, use_indexes=use_indexes)
+        self._backend = self.config.backend
+        self._use_indexes = self.config.use_indexes
         # Optional FaultInjector applied to cross-node message delivery
         # (drop/duplicate/reorder/delay); None means perfect links.
         self.faults = faults
@@ -62,7 +74,11 @@ class Engine:
         # Optional repro.resilience.Deadline checked every 64 steps;
         # expiry aborts the run with DeadlineExceeded.
         self.deadline = None
-        self.store = Store(program.schemas)
+        self.store = (
+            ColumnarStore(program.schemas)
+            if self._backend == "compiled"
+            else Store(program.schemas)
+        )
         self._queue: deque = deque()
         # In-flight delayed messages: [remaining_steps, seq, item].
         self._delayed: List[list] = []
@@ -80,6 +96,10 @@ class Engine:
         # plan maps a body-atom index to the bound-position index spec
         # that serves it (see _build_plan).
         self._join_plan: Dict[PyTuple[str, int], dict] = {}
+        # Compiled join closures (backend="compiled"), same key space as
+        # _join_plan; None marks a firing the compiler does not cover
+        # (it falls back to the interpreted join on the same store).
+        self._compiled_plans: Dict[PyTuple[str, int], object] = {}
         self._located_tables = self._find_located_tables()
         self._validate_event_usage()
 
@@ -102,7 +122,39 @@ class Engine:
         # identity within one payload).
         state["_tuples"] = TupleStore()
         state["_join_plan"] = {}
+        # Compiled closures capture store/telemetry access and are not
+        # picklable; like the join plans they rebuild on first firing.
+        state["_compiled_plans"] = {}
         return state
+
+    # -- deprecated legacy knob ----------------------------------------------
+
+    @property
+    def use_indexes(self) -> bool:
+        import warnings
+
+        warnings.warn(
+            "Engine.use_indexes is deprecated; read engine.config instead",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return self.config.use_indexes
+
+    @use_indexes.setter
+    def use_indexes(self, value: bool) -> None:
+        import warnings
+
+        warnings.warn(
+            "Engine.use_indexes is deprecated; pass "
+            "config=EngineConfig(...) at construction instead",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        self.config = EngineConfig.from_legacy(
+            use_indexes=value, lazy=self.config.lazy
+        )
+        self._backend = self.config.backend
+        self._use_indexes = self.config.use_indexes
 
     # -- public API ----------------------------------------------------------
 
@@ -304,7 +356,7 @@ class Engine:
         # position) pairs that can actually consume this delta are
         # visited, in the same order the old full-rule scan produced.
         for rule, trigger_index in self.program.triggers(delta.table):
-            for env, body in self._bindings(rule, trigger_index, delta):
+            for env, body in self._bindings_for(rule, trigger_index, delta):
                 if telemetry is not None:
                     telemetry.inc("engine.rule_firings." + rule.name)
                 head = self._evaluate_head(rule.head, env)
@@ -412,6 +464,21 @@ class Engine:
 
     # -- join machinery ----------------------------------------------------------
 
+    def _bindings_for(
+        self, rule: Rule, trigger_index: int, delta: Tuple
+    ) -> Iterator[PyTuple[Dict[str, object], PyTuple]]:
+        """Backend dispatch: compiled closure when available, else the
+        interpreted join.  Both yield byte-identical bindings."""
+        if self._backend == "compiled":
+            key = (rule.name, trigger_index)
+            plan = self._compiled_plans.get(key, _UNCOMPILED)
+            if plan is _UNCOMPILED:
+                plan = compile_rule(self, rule, trigger_index)
+                self._compiled_plans[key] = plan
+            if plan is not None:
+                return plan.bindings(self, delta)
+        return self._bindings(rule, trigger_index, delta)
+
     def _bindings(
         self, rule: Rule, trigger_index: int, delta: Tuple
     ) -> Iterator[PyTuple[Dict[str, object], PyTuple]]:
@@ -427,7 +494,7 @@ class Engine:
         pending_conds = list(rule.conditions)
         if not self._settle(env, pending_assigns, pending_conds):
             return
-        plan = self._plan_for(rule, trigger_index) if self.use_indexes else None
+        plan = self._plan_for(rule, trigger_index) if self._use_indexes else None
         remaining = [i for i in range(len(rule.body)) if i != trigger_index]
         slots: List[Optional[Tuple]] = [None] * len(rule.body)
         slots[trigger_index] = delta
@@ -552,7 +619,7 @@ class Engine:
         exactly the matching slice of the sorted table), so the access
         path changes cost, never results.
         """
-        if not self.use_indexes:
+        if not self._use_indexes:
             return self.store.tuples(atom.table)
         telemetry = self.telemetry
         if spec is not None:

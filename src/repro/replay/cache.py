@@ -101,14 +101,19 @@ class ReplayCache:
     # -- keys ----------------------------------------------------------------
 
     @staticmethod
-    def base_key(log, faults, lossless: bool, record: bool) -> tuple:
+    def base_key(log, faults, lossless: bool, record: bool,
+                 engine=None) -> tuple:
         """Everything that shapes a replay besides changes/anchor.
 
         The fault plan enters via its canonical ``describe()`` spec
         (which includes the seed), so two plans with the same schedule
         share snapshots and different seeds never do.  ``lossless``
         only matters when a plan is present (it gates the prov-loss
-        injector), so it is collapsed otherwise.
+        injector), so it is collapsed otherwise.  ``engine`` (an
+        :class:`repro.datalog.config.EngineConfig`) keys snapshots by
+        backend/provenance mode: results are byte-identical across
+        modes, but the pickled *state* is not (different store classes,
+        annotation payloads), so snapshots never cross modes.
         """
         faults_fp = "" if faults is None else faults.describe()
         return (
@@ -117,6 +122,7 @@ class ReplayCache:
             faults_fp,
             bool(lossless) if faults is not None else False,
             bool(record),
+            "" if engine is None else engine.describe(),
         )
 
     @staticmethod

@@ -12,6 +12,7 @@ from __future__ import annotations
 
 from typing import Iterable, Optional, Sequence
 
+from ..datalog.config import EngineConfig
 from ..datalog.engine import Engine
 from ..datalog.rules import Program
 from ..datalog.tuples import Tuple
@@ -100,8 +101,9 @@ def replay(
     telemetry=None,
     cache=None,
     deadline=None,
-    use_indexes: bool = True,
-    lazy: bool = True,
+    use_indexes: Optional[bool] = None,
+    lazy: Optional[bool] = None,
+    engine: Optional[EngineConfig] = None,
 ) -> ReplayResult:
     """Replay a log, applying ``changes`` just before ``anchor_index``.
 
@@ -124,12 +126,14 @@ def replay(
       snapshotted log prefix consistent with the change set, instead of
       re-deriving from scratch.  The cache never changes the outcome —
       snapshots are the pickled state of the identical computation.
-    - ``use_indexes`` / ``lazy`` select the engine's join access path
-      and the recorder's provenance mode.  Both default to the fast
-      path; the ``False`` settings are linear-scan / eager reference
-      modes that produce byte-identical results (the equivalence tests
-      rely on this).
+    - ``engine`` (an :class:`repro.datalog.config.EngineConfig`, a
+      backend name string, or a mapping) selects the evaluation backend
+      and provenance mode; the default is the compiled/annotated fast
+      path.  Every mode produces byte-identical results (the
+      equivalence tests rely on this) — only the cost changes.  The
+      old ``use_indexes``/``lazy`` booleans are deprecated shims.
     """
+    config = EngineConfig.resolve(engine, use_indexes=use_indexes, lazy=lazy)
     changes = list(changes)
     removed = set()
     for change in changes:
@@ -142,7 +146,7 @@ def replay(
 
     base_key = result_key = None
     if cache is not None:
-        base_key = cache.base_key(log, faults, lossless, record)
+        base_key = cache.base_key(log, faults, lossless, record, config)
         result_key = cache.result_key(base_key, changes, anchor_index,
                                       len(entries))
         restored = cache.fetch(result_key, telemetry, step_limit)
@@ -185,7 +189,8 @@ def replay(
             engine_faults = logging_faults = None
         recorder = (
             ProvenanceRecorder(
-                faults=logging_faults, telemetry=telemetry, lazy=lazy
+                faults=logging_faults, telemetry=telemetry,
+                provenance=config.provenance,
             )
             if record
             else None
@@ -196,7 +201,7 @@ def replay(
             faults=engine_faults,
             step_limit=step_limit,
             telemetry=telemetry,
-            use_indexes=use_indexes,
+            config=config,
         )
     engine.deadline = deadline
 

@@ -59,6 +59,19 @@ class GraphStoreView:
     def tuples(self, table: str) -> List[Tuple]:
         return list(self._by_table.get(table, ()))
 
+    def tuples_matching(self, table: str, position: int, value) -> List[Tuple]:
+        """Equality projection, same contract as ``Store.tuples_matching``.
+
+        Reported graphs are small (proportional to the traffic, not the
+        configuration), so a filtered scan of the sorted table listing
+        is exact and cheap.
+        """
+        return [
+            tup
+            for tup in self._by_table.get(table, ())
+            if position < tup.arity and tup.args[position] == value
+        ]
+
     def record(self, tup: Tuple) -> Optional[_GraphRecord]:
         inserts = self.graph.inserts_of(tup)
         if not self.graph.exists_of(tup):

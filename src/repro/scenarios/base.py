@@ -12,6 +12,7 @@ from typing import Dict, Optional, Tuple as PyTuple
 
 from ..core.diffprov import DiffProv, DiffProvOptions
 from ..core.report import DiagnosisReport
+from ..datalog.config import EngineConfig
 from ..datalog.rules import Program
 from ..datalog.tuples import Tuple
 from ..errors import ReproError
@@ -75,8 +76,27 @@ class Scenario:
         if not self._built:
             self.build()
             self._check_built()
+            self._apply_engine()
             self._built = True
         return self
+
+    def _apply_engine(self) -> None:
+        """Apply the ``engine`` param to both executions post-build.
+
+        Scenarios accept ``engine=`` (an EngineConfig, backend name, or
+        mapping) without per-scenario plumbing: the config is assigned
+        after the executions are built, so every diagnostic replay —
+        where all the work happens — runs under it.  Backends are
+        byte-identical in results, so applying post-build changes cost
+        only.
+        """
+        engine = self.params.get("engine")
+        if engine is None:
+            return
+        config = EngineConfig.coerce(engine)
+        for execution in (self.good_execution, self.bad_execution):
+            if hasattr(execution, "engine_config"):
+                execution.engine_config = config
 
     def _check_built(self) -> None:
         missing = [

@@ -23,7 +23,7 @@ aggregate route with H2's subnet.
 from __future__ import annotations
 
 import random
-from typing import List, Tuple as PyTuple
+from typing import List, Sequence, Tuple as PyTuple
 
 from ..addresses import IPv4Address, Prefix
 from ..sdn import model
@@ -32,7 +32,11 @@ from ..sdn.topology import Topology
 from ..sdn.traces import TraceConfig, synthetic_trace
 from .base import Scenario
 
-__all__ = ["StanfordForwardingError", "build_stanford_config"]
+__all__ = [
+    "StanfordForwardingError",
+    "build_stanford_config",
+    "stream_noise_entries",
+]
 
 ANY = Prefix("0.0.0.0/0")
 OZ_COUNT = 14
@@ -68,6 +72,43 @@ def stanford_topology() -> Topology:
 
 def zone_prefix(index: int) -> Prefix:
     return Prefix(f"10.{index}.0.0/16")
+
+
+def stream_noise_entries(
+    rng: random.Random,
+    switch: str,
+    ports: Sequence[int],
+    count: int,
+    table,
+):
+    """Yield ``count`` collision-free noise routes for one router.
+
+    Generated entries are yielded one at a time and installed by the
+    caller as they arrive, so full-scale builds (47k entries x 16
+    routers) never hold a per-router entry list — build memory stays
+    flat at one in-flight entry.  Collisions are rejected against the
+    flow table's O(1) membership, re-rolling the rng; the rng
+    trajectory is therefore a function of (seed, count) alone and the
+    generated configuration is stable across refactors.
+    """
+    installed = 0
+    while installed < count:
+        zone = rng.randrange(1, OZ_COUNT + 1)
+        third = rng.randrange(1, 255)
+        length = rng.choice((24, 25, 26, 27))
+        subnet = rng.randrange(1 << (length - 24)) << (32 - length)
+        base = (10 << 24) | (zone << 16) | (third << 8)
+        pfx = Prefix(IPv4Address(base | subnet), length)
+        entry = model.flow_entry(
+            switch,
+            NOISE_PRIORITY + rng.randrange(1, 4),
+            ANY,
+            pfx,
+            rng.choice(ports),
+        )
+        if entry not in table:
+            installed += 1
+            yield entry
 
 
 def build_stanford_config(
@@ -126,31 +167,18 @@ def build_stanford_config(
     # refine the zone aggregates without touching the special
     # 172.16.0.0/12 space.  The prefix space is wide enough that even
     # the full-scale 47k-entries-per-router configuration stays
-    # collision-free.
+    # collision-free.  Entries stream straight from the generator into
+    # the flow tables — no intermediate per-router lists.
     for switch in topo.switches():
         ports = sorted(
             topo.port(switch, n)
             for n in topo.neighbors(switch)
             if topo.is_switch(n)
         )
-        installed = 0
-        while installed < entries_per_router:
-            zone = rng.randrange(1, OZ_COUNT + 1)
-            third = rng.randrange(1, 255)
-            length = rng.choice((24, 25, 26, 27))
-            subnet = rng.randrange(1 << (length - 24)) << (32 - length)
-            base = (10 << 24) | (zone << 16) | (third << 8)
-            pfx = Prefix(IPv4Address(base | subnet), length)
-            entry = model.flow_entry(
-                switch,
-                NOISE_PRIORITY + rng.randrange(1, 4),
-                ANY,
-                pfx,
-                rng.choice(ports),
-            )
-            if entry not in config.tables[switch]:
-                config.install(entry)
-                installed += 1
+        for entry in stream_noise_entries(
+            rng, switch, ports, entries_per_router, config.tables[switch]
+        ):
+            config.install(entry)
 
     # ACLs: high-priority drops for external scanner ranges.
     switches = topo.switches()

@@ -21,6 +21,7 @@ import time as _time
 from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple as PyTuple
 
 from ..addresses import IPv4Address
+from ..datalog.config import EngineConfig
 from ..datalog.state import sort_key
 from ..datalog.tuples import Tuple
 from ..errors import ReproError
@@ -98,11 +99,47 @@ class NetworkConfig:
             copy.install(tup)
         return copy
 
-    def flow_entries(self) -> List[Tuple]:
-        result: List[Tuple] = []
+    def fork(self) -> "NetworkConfig":
+        """An O(switches) copy-on-write view of this configuration.
+
+        Flow tables are forked (:meth:`FlowTable.fork`), so the 757k
+        shared entries are never copied — only the handful a candidate
+        change touches land in the fork's overlays.  Groups and wiring
+        are small and copied outright.  The base configuration must not
+        be mutated while forks are alive; replays never do.
+        """
+        copy = NetworkConfig.__new__(NetworkConfig)
+        copy.topology = self.topology
+        copy.tables = {
+            switch: table.fork() for switch, table in self.tables.items()
+        }
+        copy.groups = {
+            key: list(ports) for key, ports in self.groups.items()
+        }
+        copy._group_tuples = set(self._group_tuples)
+        return copy
+
+    def has_tuple(self, tup: Tuple) -> bool:
+        """O(1) membership for installable (flow/group) tuples."""
+        if tup.table == "flowEntry":
+            table = self.tables.get(tup.args[0])
+            return table is not None and tup in table
+        if tup.table == "groupEntry":
+            return tup in self._group_tuples
+        return False
+
+    def iter_flow_entries(self) -> Iterable[Tuple]:
+        """Stream every flow entry (switches in sorted order).
+
+        Avoids materializing the combined entry list — at full scale
+        that is a 757k-element list — while each switch's own sorted
+        view stays a transient per-table buffer.
+        """
         for switch in sorted(self.tables):
-            result.extend(self.tables[switch].entries())
-        return result
+            yield from self.tables[switch].entries()
+
+    def flow_entries(self) -> List[Tuple]:
+        return list(self.iter_flow_entries())
 
     def group_tuples(self) -> List[Tuple]:
         return sorted(self._group_tuples, key=sort_key)
@@ -418,41 +455,92 @@ class ExternalSpecReconstructor:
         return None
 
 
+class _BaseRecord:
+    is_base = True
+
+
+_BASE_RECORD = _BaseRecord()
+
+
 class _ConfigStoreView:
     """Store interface over the live data-plane configuration.
 
     Lets DiffProv's competitor/blocker searches see the *whole*
     configuration without materializing 757k base-tuple vertexes in the
-    provenance graph.
+    provenance graph.  The configuration is static for the lifetime of
+    a replay result, so table listings and equality projections are
+    cached, and membership goes straight to the flow tables' hash sets
+    — the old per-call ``set(tuples(table))`` rebuild was O(n) per
+    *lookup* at full scale.
     """
 
     _MUTABLE_TABLES = {"flowEntry", "groupEntry"}
+    _CONFIG_TABLES = ("flowEntry", "groupEntry", "link", "hostAt")
 
     def __init__(self, config: NetworkConfig):
         self.config = config
+        self._tuples_cache: Dict[str, List[Tuple]] = {}
+        self._wiring: Optional[Set[Tuple]] = None
+        # (table, position) -> value -> sorted tuples, built on demand
+        # for DiffProv's narrowed candidate searches.
+        self._projections: Dict[PyTuple[str, int], Dict] = {}
+        # switch -> sorted flow entries (the hot flowEntry/switch case).
+        self._per_switch: Dict[object, List[Tuple]] = {}
 
     @property
     def store(self):
         return self
 
     def tuples(self, table: str) -> List[Tuple]:
-        if table == "flowEntry":
-            return self.config.flow_entries()
-        if table == "groupEntry":
-            return self.config.group_tuples()
-        if table == "link" or table == "hostAt":
-            return [
-                t for t in self.config.topology.wiring_tuples()
-                if t.table == table
-            ]
-        return []
+        cached = self._tuples_cache.get(table)
+        if cached is None:
+            if table == "flowEntry":
+                cached = self.config.flow_entries()
+            elif table == "groupEntry":
+                cached = self.config.group_tuples()
+            elif table in ("link", "hostAt"):
+                cached = [
+                    t for t in self.config.topology.wiring_tuples()
+                    if t.table == table
+                ]
+            else:
+                cached = []
+            self._tuples_cache[table] = cached
+        return cached
+
+    def tuples_matching(self, table: str, position: int, value) -> List[Tuple]:
+        """Equality projection, same contract as ``Store.tuples_matching``."""
+        if table == "flowEntry" and position == 0:
+            # DiffProv's candidate searches always pin the switch; the
+            # per-switch flow table *is* that bucket, so serve it
+            # directly instead of projecting all 757k entries once.
+            bucket = self._per_switch.get(value)
+            if bucket is None:
+                flow_table = self.config.tables.get(value)
+                bucket = [] if flow_table is None else flow_table.entries()
+                self._per_switch[value] = bucket
+            return list(bucket)
+        projection = self._projections.get((table, position))
+        if projection is None:
+            projection = {}
+            # tuples() is sorted, so every bucket is too.
+            for tup in self.tuples(table):
+                if position < tup.arity:
+                    projection.setdefault(tup.args[position], []).append(tup)
+            self._projections[(table, position)] = projection
+        return list(projection.get(value, ()))
+
+    def contains(self, tup: Tuple) -> bool:
+        if tup.table in ("flowEntry", "groupEntry"):
+            return self.config.has_tuple(tup)
+        if tup.table in ("link", "hostAt"):
+            if self._wiring is None:
+                self._wiring = set(self.config.topology.wiring_tuples())
+            return tup in self._wiring
+        return False
 
     def record(self, tup: Tuple):
-        if tup in set(self.tuples(tup.table)):
-            class _Record:
-                is_base = True
-            return _Record()
-        return None
+        return _BASE_RECORD if self.contains(tup) else None
 
     def is_mutable(self, tup: Tuple) -> bool:
         return tup.table in self._MUTABLE_TABLES
@@ -485,9 +573,7 @@ class _EmulationGraphView:
         return self._in_configuration(tup)
 
     def _in_configuration(self, tup: Tuple) -> bool:
-        if tup.table in ("flowEntry", "groupEntry", "link", "hostAt"):
-            return tup in set(self._store_view.tuples(tup.table))
-        return False
+        return self._store_view.contains(tup)
 
 
 class EmulationReplayResult:
@@ -517,6 +603,7 @@ class EmulatedNetworkExecution:
         config: NetworkConfig,
         schedule: Sequence[PyTuple[str, int, object, object]],
         faults=None,
+        engine: Optional[EngineConfig] = None,
     ):
         self.name = name
         self.base_config = config
@@ -524,6 +611,10 @@ class EmulatedNetworkExecution:
         # Optional FaultPlan; every replay builds fresh injectors with
         # fixed purposes, so replays reproduce the same fault schedule.
         self.fault_plan = faults
+        # Backend selection maps onto how each replay obtains its
+        # configuration copy: compiled forks (O(1) copy-on-write),
+        # indexed clones, reference clones and linear-scans lookups.
+        self.engine_config = EngineConfig.coerce(engine)
         self.log = self._build_log()
         self._materialized: Optional[EmulationReplayResult] = None
         self.replay_count = 0
@@ -533,7 +624,7 @@ class EmulatedNetworkExecution:
         log = EventLog()
         for tup in self.base_config.topology.wiring_tuples():
             log.append("insert", tup, mutable=False)
-        for tup in self.base_config.flow_entries():
+        for tup in self.base_config.iter_flow_entries():
             log.append("insert", tup, mutable=True)
         for tup in self.base_config.group_tuples():
             log.append("insert", tup, mutable=True)
@@ -573,7 +664,16 @@ class EmulatedNetworkExecution:
         lossless: bool = True,
     ) -> EmulationReplayResult:
         started = _time.perf_counter()
-        config = self.base_config.clone()
+        backend = self.engine_config.backend
+        if backend == "compiled":
+            # O(1) copy-on-write: the shared entries are never copied,
+            # only the handful the candidate changes touch.
+            config = self.base_config.fork()
+        else:
+            config = self.base_config.clone()
+            if backend == "reference":
+                for table in config.tables.values():
+                    table.linear_scan = True
         config.apply_changes(changes)
         if self.fault_plan is not None:
             network_faults = FaultInjector(self.fault_plan, "network")

@@ -86,21 +86,65 @@ class PrefixTrie:
 
 
 class FlowTable:
-    """One switch's flow entries, indexed by destination prefix."""
+    """One switch's flow entries, indexed by destination prefix.
 
-    def __init__(self, switch: str):
+    A table can be *forked* (:meth:`fork`): the child shares the
+    parent's trie read-only and keeps its own overlay (locally
+    installed entries plus a mask of removed parent entries).  Forking
+    is O(1) regardless of table size, which is what makes per-candidate
+    replays over the 757k-entry Stanford configuration affordable — a
+    candidate change touches a handful of entries, so copying the other
+    757k per replay was pure waste.  The parent must not be mutated
+    while forks are alive (replays never mutate the base
+    configuration).
+
+    ``linear_scan=True`` disables the trie on lookup and scans every
+    entry — the reference mode the equivalence tests compare against.
+    """
+
+    def __init__(self, switch: str, base: Optional["FlowTable"] = None):
         self.switch = switch
         self._trie = PrefixTrie()
         self._entries = set()
+        # Copy-on-write parent and the mask of its entries this fork
+        # has uninstalled.
+        self._base = base
+        self._removed = set()
+        self.linear_scan = False if base is None else base.linear_scan
+        # (src, dst) -> winning entry.  The emulator and the
+        # reconstructor both ask best_match for every hop of every
+        # packet, and application flows repeat the same pair thousands
+        # of times; any mutation invalidates the memo.
+        self._match_cache = {}
+
+    def fork(self) -> "FlowTable":
+        """An O(1) copy-on-write view of this table."""
+        return FlowTable(self.switch, base=self)
 
     def __len__(self) -> int:
-        return len(self._entries)
+        size = len(self._entries)
+        if self._base is not None:
+            size += len(self._base) - len(self._removed)
+        return size
 
     def __contains__(self, entry: Tuple) -> bool:
-        return entry in self._entries
+        if entry in self._entries:
+            return True
+        return (
+            self._base is not None
+            and entry not in self._removed
+            and entry in self._base
+        )
+
+    def _iter_entries(self) -> Iterator[Tuple]:
+        yield from self._entries
+        if self._base is not None:
+            for entry in self._base._iter_entries():
+                if entry not in self._removed:
+                    yield entry
 
     def entries(self) -> List[Tuple]:
-        return sorted(self._entries, key=sort_key)
+        return sorted(self._iter_entries(), key=sort_key)
 
     def install(self, entry: Tuple) -> None:
         """Install a ``flowEntry`` tuple (as built by repro.sdn.model)."""
@@ -111,17 +155,40 @@ class FlowTable:
                 f"entry {entry} belongs to {entry.args[0]!r}, "
                 f"not {self.switch!r}"
             )
-        if entry in self._entries:
+        if entry in self:
+            return
+        self._match_cache.clear()
+        if entry in self._removed:
+            # Reinstalling a masked parent entry just unmasks it.
+            self._removed.discard(entry)
             return
         self._entries.add(entry)
         self._trie.insert(entry.args[3], entry)
 
     def uninstall(self, entry: Tuple) -> bool:
-        if entry not in self._entries:
-            return False
-        self._entries.discard(entry)
-        self._trie.remove(entry.args[3], entry)
-        return True
+        if entry in self._entries:
+            self._match_cache.clear()
+            self._entries.discard(entry)
+            self._trie.remove(entry.args[3], entry)
+            return True
+        if (
+            self._base is not None
+            and entry not in self._removed
+            and entry in self._base
+        ):
+            self._match_cache.clear()
+            self._removed.add(entry)
+            return True
+        return False
+
+    def _covering(self, dst: IPv4Address) -> Iterator[Tuple]:
+        """Entries whose destination prefix contains ``dst``, overlay
+        plus the (masked) parent chain."""
+        yield from self._trie.covering(dst)
+        if self._base is not None:
+            for entry in self._base._covering(dst):
+                if entry not in self._removed:
+                    yield entry
 
     def best_match(self, src: IPv4Address, dst: IPv4Address) -> Optional[Tuple]:
         """The entry an OpenFlow switch would apply to this packet.
@@ -129,10 +196,24 @@ class FlowTable:
         Highest priority first; ties broken by combined prefix length,
         then by the stable tuple order — exactly the argmax selector of
         the declarative model, so engine and emulator always agree.
+        The argmax is order-independent, so the trie path, the forked
+        overlay chain, and the linear reference scan always agree too.
         """
+        cache_key = (src.value, dst.value)
+        try:
+            return self._match_cache[cache_key]
+        except KeyError:
+            pass
         best = None
         best_key = None
-        for entry in self._trie.covering(dst):
+        if self.linear_scan:
+            candidates = (
+                entry for entry in self._iter_entries()
+                if entry.args[3].contains(dst)
+            )
+        else:
+            candidates = self._covering(dst)
+        for entry in candidates:
             _, priority, src_pfx, dst_pfx, _ = entry.args
             if not src_pfx.contains(src):
                 continue
@@ -140,4 +221,5 @@ class FlowTable:
             if best_key is None or key > best_key:
                 best_key = key
                 best = entry
+        self._match_cache[cache_key] = best
         return best

@@ -163,6 +163,7 @@ def _serve_diagnosis(job: Dict):
         minimize=bool(options.get("minimize", False)),
         taint=bool(options.get("taint", True)),
         faults=options.get("faults"),
+        engine=options.get("engine"),
         telemetry=telemetry,
         trace=job.get("trace"),
         journal=job.get("journal"),

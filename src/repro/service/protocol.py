@@ -30,6 +30,7 @@ from __future__ import annotations
 import json
 from typing import Dict, Optional
 
+from ..datalog.config import EngineConfig
 from ..errors import Overloaded, ProtocolError
 
 __all__ = [
@@ -61,7 +62,8 @@ _TRACE_KEYS = frozenset({"trace_id", "span_id", "parent_span_id", "attempt"})
 # and a client can never reach knobs that break determinism or
 # isolation (journal paths, worker counts).
 _ALLOWED_OPTIONS = frozenset(
-    {"max_rounds", "minimize", "taint", "limit", "faults", "telemetry"}
+    {"max_rounds", "minimize", "taint", "limit", "faults", "telemetry",
+     "engine"}
 )
 
 _MAX_LINE_BYTES = 64 * 1024
@@ -181,6 +183,21 @@ def parse_request(payload) -> Request:
             f"unsupported option(s): {', '.join(sorted(bad))} "
             f"(allowed: {', '.join(sorted(_ALLOWED_OPTIONS))})"
         )
+    engine = options.get("engine")
+    if engine is not None:
+        # A backend name string or a {backend, provenance} object; an
+        # unknown backend is a typed protocol error at admission, never
+        # a worker crash.
+        if not isinstance(engine, (str, dict)):
+            raise ProtocolError(
+                "'engine' must be a backend name or an object with "
+                "backend/provenance fields"
+            )
+        try:
+            options = dict(options)
+            options["engine"] = EngineConfig.coerce(engine).to_dict()
+        except ValueError as exc:
+            raise ProtocolError(str(exc)) from exc
     test_hold = payload.get("test_hold")
     if test_hold is not None and not isinstance(test_hold, dict):
         raise ProtocolError("'test_hold' must be an object")

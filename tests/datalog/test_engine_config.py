@@ -1,0 +1,168 @@
+"""The unified EngineConfig API: validation, coercion, legacy shims.
+
+One frozen dataclass replaces the old ``use_indexes=``/``lazy=``
+boolean pair everywhere (replay(), Execution, Engine, Session, CLI,
+service protocol).  These tests pin its contract: validated enums,
+every accepted input shape, the legacy mapping (with its
+DeprecationWarning), and the typed protocol error for malformed
+``engine`` option blocks.
+"""
+
+import dataclasses
+import json
+
+import pytest
+
+from repro.datalog import BACKENDS, PROVENANCE_MODES, EngineConfig
+from repro.datalog.engine import Engine
+from repro.replay.execution import Execution
+from repro.service.protocol import ProtocolError, parse_request
+
+
+class TestValidation:
+    def test_default_is_compiled_annotated(self):
+        config = EngineConfig()
+        assert config.backend == "compiled"
+        assert config.provenance == "annotated"
+        assert config.describe() == "compiled/annotated"
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    @pytest.mark.parametrize("provenance", PROVENANCE_MODES)
+    def test_every_combination_constructs(self, backend, provenance):
+        config = EngineConfig(backend=backend, provenance=provenance)
+        assert config.to_dict() == {
+            "backend": backend, "provenance": provenance
+        }
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(ValueError, match="unknown engine backend"):
+            EngineConfig(backend="vectorized")
+
+    def test_unknown_provenance_rejected(self):
+        with pytest.raises(ValueError, match="unknown provenance mode"):
+            EngineConfig(provenance="graphless")
+
+    def test_frozen(self):
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            EngineConfig().backend = "indexed"
+
+
+class TestCoerce:
+    def test_none_is_the_default(self):
+        assert EngineConfig.coerce(None) == EngineConfig()
+
+    def test_instance_passes_through(self):
+        config = EngineConfig(backend="indexed")
+        assert EngineConfig.coerce(config) is config
+
+    @pytest.mark.parametrize(
+        "name,provenance",
+        [("compiled", "annotated"), ("indexed", "lazy"),
+         ("reference", "eager")],
+    )
+    def test_backend_name_picks_natural_provenance(self, name, provenance):
+        config = EngineConfig.coerce(name)
+        assert config.backend == name
+        assert config.provenance == provenance
+
+    def test_mapping_is_validated_field_by_field(self):
+        config = EngineConfig.coerce(
+            {"backend": "indexed", "provenance": "eager"}
+        )
+        assert config == EngineConfig(backend="indexed", provenance="eager")
+
+    def test_mapping_with_unknown_field_rejected(self):
+        with pytest.raises(ValueError, match="unknown engine option field"):
+            EngineConfig.coerce({"backend": "compiled", "workers": 4})
+
+    def test_bad_name_rejected(self):
+        with pytest.raises(ValueError, match="unknown engine backend"):
+            EngineConfig.coerce("hash-join")
+
+    def test_unsupported_shape_rejected(self):
+        with pytest.raises(ValueError, match="cannot interpret"):
+            EngineConfig.coerce(42)
+
+
+class TestLegacyBridge:
+    def test_from_legacy_maps_the_old_modes(self):
+        assert EngineConfig.from_legacy() == EngineConfig(
+            backend="indexed", provenance="lazy"
+        )
+        assert EngineConfig.from_legacy(
+            use_indexes=False, lazy=False
+        ) == EngineConfig(backend="reference", provenance="eager")
+
+    def test_legacy_views(self):
+        assert EngineConfig(backend="compiled").use_indexes
+        assert not EngineConfig(backend="reference").use_indexes
+        assert EngineConfig(provenance="lazy").lazy
+        assert not EngineConfig(provenance="eager").lazy
+
+    def test_resolve_booleans_warn(self):
+        with pytest.warns(DeprecationWarning, match="use_indexes=/lazy="):
+            config = EngineConfig.resolve(use_indexes=False)
+        assert config == EngineConfig(backend="reference", provenance="lazy")
+
+    def test_resolve_rejects_mixing_apis(self):
+        with pytest.raises(ValueError, match="not both"):
+            EngineConfig.resolve(engine="compiled", lazy=False)
+
+    def test_resolve_engine_only_is_silent(self):
+        import warnings
+
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            assert EngineConfig.resolve("reference").backend == "reference"
+
+    def test_execution_boolean_attributes_warn(self, tmp_path):
+        from repro.datalog.rules import Program
+
+        execution = Execution(Program(), "legacy")
+        with pytest.warns(DeprecationWarning):
+            assert execution.use_indexes
+        with pytest.warns(DeprecationWarning):
+            execution.lazy_provenance = False
+        assert execution.engine_config.provenance == "eager"
+
+    def test_engine_use_indexes_kwarg_warns(self):
+        from repro.datalog.rules import Program
+
+        with pytest.warns(DeprecationWarning):
+            engine = Engine(Program(), use_indexes=False)
+        assert engine.config.backend == "reference"
+
+
+class TestProtocolOption:
+    def _request(self, engine):
+        return json.dumps(
+            {
+                "id": "req-1",
+                "kind": "diagnose",
+                "scenario": "SDN1",
+                "options": {"engine": engine},
+            }
+        )
+
+    def test_valid_engine_block_is_normalized(self):
+        request = parse_request(self._request("reference"))
+        assert request.options["engine"] == {
+            "backend": "reference", "provenance": "eager"
+        }
+
+    def test_mapping_block_accepted(self):
+        request = parse_request(
+            self._request({"backend": "compiled", "provenance": "lazy"})
+        )
+        assert request.options["engine"] == {
+            "backend": "compiled", "provenance": "lazy"
+        }
+
+    def test_unknown_backend_is_a_typed_protocol_error(self):
+        with pytest.raises(ProtocolError) as excinfo:
+            parse_request(self._request("warp-drive"))
+        assert "unknown engine backend" in str(excinfo.value)
+
+    def test_non_string_non_mapping_is_a_typed_protocol_error(self):
+        with pytest.raises(ProtocolError):
+            parse_request(self._request(17))

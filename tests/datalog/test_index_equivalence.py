@@ -1,16 +1,18 @@
-"""Indexed + lazy evaluation must be invisible in every observable.
+"""Backend selection must be invisible in every observable.
 
-The hot-path rework (composite join indexes, tuple interning, lazy
-provenance) is licensed by one claim: it changes cost, never results.
-These tests hold the fast defaults against the linear-scan / eager
-reference modes (``use_indexes=False`` / ``lazy=False``) across the
-paper's scenarios and assert identical table contents, identical
-provenance graphs vertex-for-vertex, identical trees, byte-identical
-diagnosis reports, and equal recorder metrics.
+The evaluation backends (compiled closures over the columnar store,
+the indexed interpreter, and the linear-scan reference evaluator) are
+licensed by one claim: they change cost, never results.  These tests
+hold all three — ``EngineConfig("compiled")``, ``("indexed")``, and
+``("reference")``, each with its natural provenance mode — against each
+other across the paper's scenarios and assert identical table
+contents, identical provenance graphs vertex-for-vertex, identical
+trees, byte-identical diagnosis reports, and equal recorder metrics.
 """
 
 import pytest
 
+from repro.datalog import BACKENDS, EngineConfig
 from repro.observability import Telemetry
 from repro.provenance.query import provenance_query
 from repro.replay.replayer import replay
@@ -21,18 +23,23 @@ from repro.scenarios import ALL_SCENARIOS
 # instrumented runtime, which bypasses the engine join path entirely).
 SCENARIOS = ["SDN1", "SDN2", "SDN3", "SDN4", "DNS", "MR1-D", "MR2-D"]
 
+# compiled/annotated, indexed/lazy, reference/eager — each backend with
+# its natural provenance mode (EngineConfig.coerce on a bare name).
+MATRIX = sorted(BACKENDS)
 
-def _scenario(name):
-    return ALL_SCENARIOS[name]().setup()
+
+def _scenario(name, **params):
+    return ALL_SCENARIOS[name](**params).setup()
 
 
-def _replay_pair(scenario, execution):
-    """The same log replayed fast (defaults) and in reference mode."""
-    fast = replay(scenario.program, execution.log)
-    reference = replay(
-        scenario.program, execution.log, use_indexes=False, lazy=False
-    )
-    return fast, reference
+def _replay_matrix(scenario, execution):
+    """The same log replayed under every backend, reference last."""
+    return {
+        backend: replay(
+            scenario.program, execution.log, engine=EngineConfig.coerce(backend)
+        )
+        for backend in MATRIX
+    }
 
 
 class TestTableEquivalence:
@@ -40,92 +47,133 @@ class TestTableEquivalence:
     def test_identical_table_contents(self, name):
         scenario = _scenario(name)
         for execution in (scenario.good_execution, scenario.bad_execution):
-            fast, reference = _replay_pair(scenario, execution)
-            for table in sorted(scenario.program.schemas):
-                assert fast.engine.lookup(table) == reference.engine.lookup(
-                    table
-                ), f"{name}: table {table} diverged"
+            results = _replay_matrix(scenario, execution)
+            reference = results.pop("reference")
+            for backend, result in results.items():
+                for table in sorted(scenario.program.schemas):
+                    assert result.engine.lookup(table) == reference.engine.lookup(
+                        table
+                    ), f"{name}: table {table} diverged under {backend}"
 
 
 class TestGraphEquivalence:
     @pytest.mark.parametrize("name", SCENARIOS)
     def test_identical_graphs_vertex_for_vertex(self, name):
         scenario = _scenario(name)
-        fast, reference = _replay_pair(scenario, scenario.bad_execution)
-        # Touching .vertices materializes the lazy graph; the
-        # reconstruction must replay into the exact eager sequence.
-        fast_vertices = fast.graph.vertices
+        results = _replay_matrix(scenario, scenario.bad_execution)
+        reference = results.pop("reference")
+        # Touching .vertices materializes the lazy/annotated graphs;
+        # the reconstruction must replay into the exact eager sequence.
         ref_vertices = reference.graph.vertices
-        assert len(fast_vertices) == len(ref_vertices)
-        for mine, theirs in zip(fast_vertices, ref_vertices):
-            assert (mine.id, mine.kind, mine.node, mine.tuple, mine.time,
-                    mine.end_time, mine.rule, mine.derivation_id,
-                    mine.mutable) == (
-                theirs.id, theirs.kind, theirs.node, theirs.tuple,
-                theirs.time, theirs.end_time, theirs.rule,
-                theirs.derivation_id, theirs.mutable)
-            assert [c.id for c in fast.graph.children(mine)] == [
-                c.id for c in reference.graph.children(theirs)
-            ]
-        assert sorted(fast.graph.derivations) == sorted(
-            reference.graph.derivations
-        )
+        for backend, result in results.items():
+            vertices = result.graph.vertices
+            assert len(vertices) == len(ref_vertices), backend
+            for mine, theirs in zip(vertices, ref_vertices):
+                assert (mine.id, mine.kind, mine.node, mine.tuple, mine.time,
+                        mine.end_time, mine.rule, mine.derivation_id,
+                        mine.mutable) == (
+                    theirs.id, theirs.kind, theirs.node, theirs.tuple,
+                    theirs.time, theirs.end_time, theirs.rule,
+                    theirs.derivation_id, theirs.mutable)
+                assert [c.id for c in result.graph.children(mine)] == [
+                    c.id for c in reference.graph.children(theirs)
+                ]
+            assert sorted(result.graph.derivations) == sorted(
+                reference.graph.derivations
+            )
 
     @pytest.mark.parametrize("name", SCENARIOS)
     def test_identical_trees(self, name):
         scenario = _scenario(name)
-        fast, reference = _replay_pair(scenario, scenario.bad_execution)
-        fast_tree = provenance_query(
-            fast.graph, scenario.bad_event, scenario.bad_time
-        )
-        ref_tree = provenance_query(
-            reference.graph, scenario.bad_event, scenario.bad_time
-        )
-        assert fast_tree.render() == ref_tree.render()
+        results = _replay_matrix(scenario, scenario.bad_execution)
+        rendered = {
+            backend: provenance_query(
+                result.graph, scenario.bad_event, scenario.bad_time
+            ).render()
+            for backend, result in results.items()
+        }
+        assert rendered["compiled"] == rendered["reference"]
+        assert rendered["indexed"] == rendered["reference"]
 
     def test_lazy_vertex_count_matches_before_materialization(self):
         scenario = _scenario("SDN1")
-        fast, reference = _replay_pair(scenario, scenario.bad_execution)
+        results = _replay_matrix(scenario, scenario.bad_execution)
         # len() on the lazy graph comes from record-time counters; it
         # must agree with eager construction without materializing.
-        assert fast.graph.pending
-        assert len(fast.graph) == len(reference.graph)
-        assert fast.graph.pending
+        for backend in ("compiled", "indexed"):
+            assert results[backend].graph.pending
+            assert len(results[backend].graph) == len(
+                results["reference"].graph
+            )
+            assert results[backend].graph.pending
+
+
+class TestMinimalProofEquivalence:
+    @pytest.mark.parametrize("name", ["SDN1", "SDN3", "DNS"])
+    def test_annotated_minimal_proof_matches_tree_facts(self, name):
+        scenario = _scenario(name)
+        result = replay(
+            scenario.program, scenario.bad_execution.log, engine="compiled"
+        )
+        proof = result.graph.minimal_proof(scenario.bad_event)
+        assert proof.tuple == scenario.bad_event
+        assert proof.height == result.graph.height_of(scenario.bad_event)
+        # Every leaf of the minimal proof is a base fact the reference
+        # evaluator also saw inserted.
+        reference = replay(
+            scenario.program, scenario.bad_execution.log, engine="reference"
+        )
+        stack = [proof]
+        while stack:
+            node = stack.pop()
+            if not node.children:
+                assert node.rule is None
+                assert reference.graph.inserts_of(node.tuple)
+            stack.extend(node.children)
+
+    def test_minimal_proof_is_deterministic(self):
+        scenario = _scenario("SDN1")
+        renders = []
+        for _ in range(2):
+            result = replay(
+                scenario.program, scenario.bad_execution.log, engine="compiled"
+            )
+            renders.append(result.graph.minimal_proof(scenario.bad_event).render())
+        assert renders[0] == renders[1]
 
 
 class TestDiagnosisEquivalence:
     @pytest.mark.parametrize("name", ["SDN1", "SDN3", "DNS"])
-    def test_reports_byte_identical_to_reference_engine(self, name):
-        fast = _scenario(name).diagnose().canonical_json()
-        reference_scenario = _scenario(name)
-        for execution in (
-            reference_scenario.good_execution,
-            reference_scenario.bad_execution,
-        ):
-            execution.use_indexes = False
-            execution.lazy_provenance = False
-        assert reference_scenario.diagnose().canonical_json() == fast
+    def test_reports_byte_identical_across_backends(self, name):
+        reports = {
+            backend: _scenario(name, engine=backend)
+            .diagnose()
+            .canonical_json()
+            for backend in MATRIX
+        }
+        assert reports["compiled"] == reports["reference"]
+        assert reports["indexed"] == reports["reference"]
 
 
 class TestRecorderMetricsEquivalence:
-    def test_lazy_and_eager_count_the_same_vertices_and_edges(self):
+    def test_all_modes_count_the_same_vertices_and_edges(self):
         scenario = _scenario("SDN1")
         log = scenario.bad_execution.log
-        snapshots = []
-        for lazy in (True, False):
+        snapshots = {}
+        for backend in MATRIX:
             telemetry = Telemetry()
-            replay(scenario.program, log, telemetry=telemetry, lazy=lazy)
+            replay(scenario.program, log, telemetry=telemetry, engine=backend)
             counters = telemetry.snapshot()["counters"]
-            snapshots.append(
-                {
-                    key: value
-                    for key, value in counters.items()
-                    if key.startswith("recorder.vertices.")
-                    or key == "recorder.edges"
-                }
-            )
-        assert snapshots[0] == snapshots[1]
-        assert snapshots[0].get("recorder.edges", 0) > 0
+            snapshots[backend] = {
+                key: value
+                for key, value in counters.items()
+                if key.startswith("recorder.vertices.")
+                or key == "recorder.edges"
+                or key.startswith("engine.rule_firings.")
+            }
+        assert snapshots["compiled"] == snapshots["reference"]
+        assert snapshots["indexed"] == snapshots["reference"]
+        assert snapshots["reference"].get("recorder.edges", 0) > 0
 
     def test_index_hits_and_reconstructions_are_metered(self):
         scenario = _scenario("SDN1")

@@ -5,7 +5,7 @@ resilience section as JSON.  The parent test kills this process at a
 deterministic hold point (REPRO_TEST_HOLD_* — see
 repro.resilience.journal) on the first run, then reruns it to resume.
 
-Usage: python _diagnose_child.py SCENARIO JOURNAL OUT
+Usage: python _diagnose_child.py SCENARIO JOURNAL OUT [ENGINE]
 """
 
 import json
@@ -16,8 +16,10 @@ from repro.api import Session
 
 def main() -> int:
     scenario, journal, out = sys.argv[1:4]
+    engine = sys.argv[4] if len(sys.argv) > 4 else None
     session = Session(
-        scenario=scenario, minimize=True, journal=journal, resume=True
+        scenario=scenario, minimize=True, journal=journal, resume=True,
+        engine=engine,
     )
     report = session.diagnose()
     with open(out, "w", encoding="utf-8") as handle:

@@ -32,9 +32,16 @@ def _child_env(**holds):
     return env
 
 
-def _run_child(scenario, journal, out, env, timeout=120):
+def _child_argv(scenario, journal, out, engine=None):
+    argv = [sys.executable, _CHILD, scenario, journal, out]
+    if engine is not None:
+        argv.append(engine)
+    return argv
+
+
+def _run_child(scenario, journal, out, env, timeout=120, engine=None):
     return subprocess.run(
-        [sys.executable, _CHILD, scenario, journal, out],
+        _child_argv(scenario, journal, out, engine),
         env=env,
         capture_output=True,
         text=True,
@@ -42,10 +49,10 @@ def _run_child(scenario, journal, out, env, timeout=120):
     )
 
 
-def _kill_once_held(scenario, journal, out, holds, sentinel):
+def _kill_once_held(scenario, journal, out, holds, sentinel, engine=None):
     """Start a held child, SIGKILL it once ``sentinel`` is journaled."""
     proc = subprocess.Popen(
-        [sys.executable, _CHILD, scenario, journal, out],
+        _child_argv(scenario, journal, out, engine),
         env=_child_env(REPRO_TEST_HOLD_S="60", **holds),
         stdout=subprocess.DEVNULL,
         stderr=subprocess.DEVNULL,
@@ -107,6 +114,39 @@ def test_sigkill_then_resume_is_byte_identical(
     assert section["resumed"] is True
     if "REPRO_TEST_HOLD_AFTER_VERDICTS" in holds:
         assert section["skipped_candidates"] >= 1
+
+
+def test_sigkill_then_resume_compiled_backend(tmp_path):
+    """Crash-resume with backend="compiled" is byte-identical — to an
+    uninterrupted compiled run *and* to the reference evaluator.  The
+    resumed worker unpickles journal/cache state whose ColumnarStore
+    dropped its caches and compiled closures on pickling; both must
+    rebuild transparently mid-search."""
+    journal = str(tmp_path / "diag.journal")
+    out = str(tmp_path / "report.json")
+
+    baseline = Session(
+        scenario="SDN1", minimize=True, engine="compiled"
+    ).diagnose()
+    reference = Session(
+        scenario="SDN1", minimize=True, engine="reference"
+    ).diagnose()
+    assert baseline.canonical_json() == reference.canonical_json()
+
+    _kill_once_held(
+        "SDN1", journal, out,
+        {"REPRO_TEST_HOLD_AFTER_VERDICTS": "1"},
+        '"type":"verdict"',
+        engine="compiled",
+    )
+
+    resumed = _run_child("SDN1", journal, out, _child_env(), engine="compiled")
+    assert resumed.returncode == 0, resumed.stderr
+    payload = json.loads(open(out, encoding="utf-8").read())
+    assert payload["canonical"] == baseline.canonical_json()
+    section = payload["resilience"]["journal"]
+    assert section["resumed"] is True
+    assert section["skipped_candidates"] >= 1
 
 
 def test_uninterrupted_journaled_run_matches_baseline(tmp_path):
