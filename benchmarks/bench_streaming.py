@@ -1,0 +1,130 @@
+"""Streaming monitor: throughput, diagnosis latency, GC (docs/streaming.md).
+
+The monitor's promises are operational, so the benchmark pins the three
+that matter at 3am:
+
+- ``events_per_s`` — sustained ingest-to-record throughput over the
+  whole FLAP-S stream (every down-phase diagnosed, nothing shed).
+- ``diag_p50_ms`` / ``diag_p95_ms`` — detection-to-diagnosis latency
+  per incident: the time from an incident entering the pending queue's
+  head to its record being emitted (window materialization, reference
+  selection, and the DiffProv rounds included).
+- ``peak_live`` — the GC claim: peak live window state is O(window),
+  not O(stream).  **Doubling the stream length must leave peak memory
+  flat** (the acceptance bar: byte-equal ``peak_live`` across all
+  stream lengths at a fixed ``capacity``).
+
+Run as a script (writes BENCH_streaming.json)::
+
+    PYTHONPATH=src python benchmarks/bench_streaming.py --out BENCH_streaming.json
+
+or through pytest-benchmark like the other benchmarks::
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_streaming.py --benchmark-only -s
+"""
+
+import argparse
+import json
+import sys
+import time
+
+from repro.streaming import ScenarioStreamSource, StreamMonitor
+
+# Doubling stream lengths at one fixed window capacity: the flat-peak
+# column is the whole point, the throughput columns ride along.
+FLAPS = (25, 50, 100)
+CAPACITY = 24
+
+
+class _TimedMonitor(StreamMonitor):
+    """StreamMonitor that times each incident's diagnosis turnaround."""
+
+    def __init__(self, *args, **kwargs):
+        super().__init__(*args, **kwargs)
+        self.latencies_s = []
+
+    def _diagnose(self, incident, probe):
+        started = time.perf_counter()
+        try:
+            return super()._diagnose(incident, probe)
+        finally:
+            self.latencies_s.append(time.perf_counter() - started)
+
+
+def _percentile(values, fraction):
+    """Nearest-rank percentile of a non-empty sample."""
+    ordered = sorted(values)
+    rank = max(0, min(len(ordered) - 1, round(fraction * (len(ordered) - 1))))
+    return ordered[rank]
+
+
+def _run(flaps):
+    source = ScenarioStreamSource.for_name("FLAP-S", flaps=flaps)
+    monitor = _TimedMonitor(source, capacity=CAPACITY)
+    started = time.perf_counter()
+    monitor.run()
+    wall_s = time.perf_counter() - started
+    summary = monitor.summary()
+    return {
+        "flaps": flaps,
+        "events": summary.watermark,
+        "wall_s": round(wall_s, 4),
+        "events_per_s": round(summary.watermark / wall_s, 1),
+        "diagnoses": summary.diagnoses,
+        "degraded": summary.degraded,
+        "shed": summary.shed,
+        "diag_p50_ms": round(_percentile(monitor.latencies_s, 0.50) * 1e3, 2),
+        "diag_p95_ms": round(_percentile(monitor.latencies_s, 0.95) * 1e3, 2),
+        "peak_live": summary.peak_live,
+    }
+
+
+def run_benchmark():
+    return [_run(flaps) for flaps in FLAPS]
+
+
+def check(rows):
+    baseline = rows[0]
+    for row in rows:
+        # Completeness on the clean stream: one diagnosis per
+        # down-phase, none degraded, none shed.
+        assert row["diagnoses"] == row["flaps"], row
+        assert row["degraded"] == 0 and row["shed"] == 0, row
+        assert row["diag_p50_ms"] <= row["diag_p95_ms"], row
+        # The GC acceptance bar: stream length grew 4x across the rows,
+        # peak live window state did not move at all.
+        assert row["peak_live"] == baseline["peak_live"], (
+            f"GC leak: peak_live {row['peak_live']} at flaps={row['flaps']} "
+            f"vs {baseline['peak_live']} at flaps={baseline['flaps']}"
+        )
+    assert rows[-1]["events"] >= 2 * rows[0]["events"], rows
+
+
+def test_streaming_monitor(benchmark):
+    rows = benchmark.pedantic(run_benchmark, rounds=1, iterations=1)
+    from conftest import emit
+
+    emit("Streaming monitor: throughput, latency, flat-peak GC", rows)
+    benchmark.extra_info["rows"] = rows
+    check(rows)
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--out", default="BENCH_streaming.json",
+        help="where to write the JSON results",
+    )
+    args = parser.parse_args(argv)
+    rows = run_benchmark()
+    check(rows)
+    with open(args.out, "w", encoding="utf-8") as handle:
+        json.dump({"benchmark": "streaming", "rows": rows}, handle, indent=2)
+        handle.write("\n")
+    for row in rows:
+        print(row)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

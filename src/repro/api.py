@@ -386,6 +386,118 @@ class Session:
                 limit=limit,
             )
 
+    def monitor(
+        self,
+        *,
+        capacity: int = 24,
+        lateness: int = 8,
+        max_pending: int = 8,
+        diagnose_every: int = 1,
+        reference_limit: int = 5,
+        stream: Optional[str] = None,
+        resume_from: Optional[str] = None,
+    ):
+        """Watch the session's event stream; diagnose detections online.
+
+        The streaming counterpart of :meth:`diagnose`
+        (docs/streaming.md): the scenario's recorded stream — or an
+        NDJSON file via ``stream=`` — is ingested through the
+        fault-tolerant front-end, kept in a bounded sliding window with
+        provenance GC, scored per probe, and every detected incident is
+        diagnosed with an auto-selected reference.  Returns the
+        finished :class:`repro.streaming.StreamMonitor`, whose
+        ``records`` are the emitted diagnosis/shed records and whose
+        ``summary()`` rolls up what happened.
+
+        The session's knobs carry over: ``faults`` supplies the
+        stream-fault plan (``event-drop``/``event-dup``/
+        ``event-reorder``/``clock-skew``), ``engine`` the evaluation
+        backend for window replays, ``deadline_s`` the per-incident
+        diagnosis budget, ``minimize`` the minimality post-pass, and
+        ``journal``/``resume`` (or ``resume_from``) the write-ahead
+        record journal: a SIGKILL'd monitor resumed over the same
+        stream re-emits the identical record sequence.
+
+        ``capacity`` bounds the window (events), ``lateness`` the
+        ingest reorder tolerance, ``max_pending`` the queue of
+        detections awaiting diagnosis (overflow sheds the oldest), and
+        ``diagnose_every`` defers diagnosis to every Nth delivery.
+        """
+        if self._closed:
+            raise ReproError("this Session is closed")
+        from .streaming import (
+            FileStreamSource,
+            ScenarioStreamSource,
+            StreamMonitor,
+        )
+
+        plan = self.options.faults
+        if stream is not None:
+            source = FileStreamSource(stream)
+        else:
+            if self.scenario_name is None:
+                raise ReproError(
+                    "monitor needs a scenario-mode Session or stream=PATH"
+                )
+            source = ScenarioStreamSource.for_name(
+                self.scenario_name, faults=plan, **self._scenario_params
+            )
+        path = resume_from if resume_from is not None else self.journal_path
+        journal = None
+        if path is not None:
+            journal = DiagnosisJournal(
+                str(path),
+                fingerprint=self._monitor_fingerprint(
+                    source, capacity=capacity, lateness=lateness,
+                    max_pending=max_pending, diagnose_every=diagnose_every,
+                    reference_limit=reference_limit,
+                ),
+                resume=self._resume or resume_from is not None,
+            )
+            self.journal = journal
+        try:
+            monitor = StreamMonitor(
+                source,
+                capacity=capacity,
+                lateness=lateness,
+                engine=self.engine_config,
+                minimize=self.options.minimize,
+                deadline_s=self.options.deadline,
+                max_pending=max_pending,
+                diagnose_every=diagnose_every,
+                reference_limit=reference_limit,
+                journal=journal,
+                telemetry=self.telemetry,
+            )
+            monitor.run()
+            return monitor
+        finally:
+            if journal is not None:
+                journal.close()
+
+    def _monitor_fingerprint(self, source, **knobs) -> Dict[str, object]:
+        """Identity of one monitoring run (journal resume matching).
+
+        Keyed on the *unperturbed* stream digest plus every knob that
+        changes which records get emitted.  Stream faults stay out on
+        purpose: they are transport noise over the same underlying
+        stream, and a resumed monitor may well see a differently
+        perturbed feed — records are keyed per incident, so matching
+        detections resume and diverging ones diagnose fresh.
+        ``deadline_s`` follows the diagnose convention of staying out —
+        resumed records are re-emitted verbatim either way.
+        """
+        fingerprint: Dict[str, object] = {
+            "kind": "monitor",
+            "source": source.describe(),
+            "stream_sha": source.fingerprint(),
+            "options": {
+                "minimize": self.options.minimize,
+            },
+        }
+        fingerprint.update(knobs)
+        return fingerprint
+
     # -- resilience ----------------------------------------------------------
 
     @contextlib.contextmanager

@@ -120,6 +120,15 @@ def _tuning_parent() -> argparse.ArgumentParser:
         "degrades to a partial report instead of running on",
     )
     parent.add_argument(
+        "--param",
+        action="append",
+        default=[],
+        metavar="KEY=VALUE",
+        help="scenario parameter, repeatable; VALUE is coerced to int, "
+        "bool ('true'/'false'), float, or str — e.g. --param flaps=50 "
+        "--param probes_per_phase=3",
+    )
+    parent.add_argument(
         "--metrics",
         action="store_true",
         help="collect and print the diagnosis metrics snapshot "
@@ -158,6 +167,49 @@ def build_parser() -> argparse.ArgumentParser:
     _scenario_argument(autoref)
     autoref.add_argument(
         "--limit", type=int, default=10, help="candidates to try (default 10)"
+    )
+
+    monitor = commands.add_parser(
+        "monitor",
+        help="watch a scenario's event stream and diagnose detections "
+        "online (docs/streaming.md)",
+        parents=[tuning],
+    )
+    _scenario_argument(monitor)
+    monitor.add_argument(
+        "--capacity", type=int, default=24, metavar="EVENTS",
+        help="sliding-window size; older state is folded into a base "
+        "snapshot and expired probes are GC'd (default 24)",
+    )
+    monitor.add_argument(
+        "--lateness", type=int, default=8, metavar="EVENTS",
+        help="ingest reorder tolerance before a missing event becomes "
+        "a gap (default 8)",
+    )
+    monitor.add_argument(
+        "--max-pending", type=int, default=8, metavar="N",
+        help="detections awaiting diagnosis before the oldest is shed "
+        "(default 8)",
+    )
+    monitor.add_argument(
+        "--diagnose-every", type=int, default=1, metavar="N",
+        help="run pending diagnoses every Nth delivery (default 1 = "
+        "immediately)",
+    )
+    monitor.add_argument(
+        "--stream", metavar="FILE",
+        help="ingest this NDJSON stream file instead of tapping the "
+        "scenario's emulator",
+    )
+    monitor.add_argument(
+        "--dump-stream", metavar="FILE",
+        help="write the scenario's (possibly fault-perturbed) stream "
+        "to FILE and exit without monitoring",
+    )
+    monitor.add_argument(
+        "--records-out", metavar="FILE",
+        help="also write the emitted records as canonical JSON lines "
+        "(byte-comparable across runs and resume)",
     )
 
     tree = commands.add_parser("tree", help="print a provenance tree")
@@ -307,6 +359,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     handler = {
         "scenarios": _cmd_scenarios,
         "diagnose": _cmd_diagnose,
+        "monitor": _cmd_monitor,
         "tree": _cmd_tree,
         "autoref": _cmd_autoref,
         "export": _cmd_export,
@@ -358,8 +411,44 @@ def _engine_spec(args):
     return spec
 
 
+def _coerce_param_value(value: str):
+    """``--param`` value coercion: bool, int, float, then str.
+
+    'true'/'false' (any case) become booleans *before* the numeric
+    attempts so scenario flags read naturally; anything unparseable
+    stays a string.
+    """
+    lowered = value.lower()
+    if lowered in ("true", "false"):
+        return lowered == "true"
+    try:
+        return int(value)
+    except ValueError:
+        pass
+    try:
+        return float(value)
+    except ValueError:
+        pass
+    return value
+
+
+def _parse_params(pairs) -> dict:
+    """Repeatable ``--param KEY=VALUE`` flags as a scenario-params dict."""
+    params = {}
+    for token in pairs:
+        key, sep, value = token.partition("=")
+        key = key.strip()
+        if not sep or not key:
+            raise FaultSpecError(
+                f"--param wants KEY=VALUE, got {token!r}", token=token
+            )
+        params[key] = _coerce_param_value(value.strip())
+    return params
+
+
 def _session(args, **extra) -> Session:
     """A Session configured from the shared tuning flags."""
+    params = _parse_params(getattr(args, "param", []))
     return Session(
         scenario=args.scenario,
         faults=getattr(args, "faults", None),
@@ -375,6 +464,7 @@ def _session(args, **extra) -> Session:
         journal=getattr(args, "journal", None),
         resume=getattr(args, "resume", False),
         deadline_s=getattr(args, "deadline_s", None),
+        scenario_params=params or None,
         **extra,
     )
 
@@ -499,6 +589,80 @@ def _cmd_diagnose(args) -> int:
     text = report.summary()
     if extra_lines:
         text += "\n" + "\n".join(extra_lines)
+    return _emit(args, data, text)
+
+
+def _cmd_monitor(args) -> int:
+    try:
+        session = _session(args)
+    except FaultSpecError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if args.dump_stream:
+        from .streaming import ScenarioStreamSource, dump_events
+
+        source = ScenarioStreamSource.for_name(
+            args.scenario,
+            faults=session.options.faults,
+            **_parse_params(args.param),
+        )
+        count = dump_events(source.events(), args.dump_stream)
+        data = {"scenario": args.scenario, "out": args.dump_stream,
+                "events": count}
+        return _emit(args, data, f"wrote {count} events to {args.dump_stream}")
+    try:
+        with _sigterm_unwinds():
+            monitor = session.monitor(
+                capacity=args.capacity,
+                lateness=args.lateness,
+                max_pending=args.max_pending,
+                diagnose_every=args.diagnose_every,
+                stream=args.stream,
+            )
+    except KeyboardInterrupt:
+        return _interrupted(args, session)
+    except _Terminated:
+        return _terminated(args, session)
+    summary = monitor.summary().to_dict()
+    records = monitor.records
+    if args.records_out:
+        with open(args.records_out, "w", encoding="utf-8") as handle:
+            for record in records:
+                handle.write(
+                    json.dumps(record, sort_keys=True, separators=(",", ":"))
+                    + "\n"
+                )
+    data = {"scenario": args.scenario, "records": records, "summary": summary}
+    lines = []
+    for record in records:
+        if record["kind"] == "shed":
+            lines.append(
+                f"SHED {record['incident']} ({record['bad_event']}): "
+                f"{record['reason']}"
+            )
+            continue
+        changes = (record.get("report") or {}).get("changes") or []
+        verdict = (
+            "; ".join(change["change"] for change in changes)
+            if changes else f"degraded: {record.get('degraded', 'unknown')}"
+        )
+        lines.append(
+            f"{record['incident']} [{record['confidence']}] "
+            f"{record['bad_event']} -> {verdict}"
+        )
+        for span in record.get("unknown") or ():
+            lines.append(f"  UNKNOWN {span}")
+    lines.append(
+        f"summary: {summary['incidents']} incident(s), "
+        f"{summary['diagnoses']} diagnosed, {summary['degraded']} degraded, "
+        f"{summary['shed']} shed, {summary['resumed_records']} resumed; "
+        f"ingest {summary['ingest']}; peak live {summary['peak_live']}"
+    )
+    extra_lines: List[str] = []
+    _telemetry_output(args, session, data, extra_lines)
+    if session.telemetry is not None:
+        data["telemetry"] = session.telemetry.snapshot()
+    text = "\n".join(lines + extra_lines)
     return _emit(args, data, text)
 
 

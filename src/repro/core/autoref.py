@@ -27,7 +27,7 @@ from .diffprov import DiffProv, DiffProvOptions, _replay_cache_scope
 from .report import DiagnosisReport
 
 __all__ = ["ReferenceCandidate", "AutoReferenceResult", "auto_diagnose",
-           "propose_references"]
+           "propose_references", "propose_stream_references"]
 
 
 class ReferenceCandidate:
@@ -103,6 +103,35 @@ def propose_references(
             continue
         candidates.append(ReferenceCandidate(tup, similarity(bad_event, tup)))
     candidates.sort(key=lambda c: (-c.score, str(c.event)))
+    return candidates[:limit]
+
+
+def propose_stream_references(
+    graph, bad_event: Tuple, healthy: Sequence[Tuple], limit: int = 10
+) -> List[ReferenceCandidate]:
+    """The streaming generalization of :func:`propose_references`.
+
+    An online monitor knows more than a provenance graph does: each
+    probe in the current window carries an *observed* outcome, so the
+    good reference should come from events the network itself reported
+    healthy — not merely events that look similar.  Candidates are the
+    graph's live same-table tuples restricted to ``healthy`` (observed
+    order, oldest first); ranking is by header similarity as in the
+    offline search, with ties broken by *recency* — the freshest
+    healthy observation is the best stand-in for "how the service
+    behaves right now" — then deterministically by text.
+    """
+    order = {}
+    for index, event in enumerate(healthy):
+        order[event] = index  # the latest observation of a tuple wins
+    candidates = []
+    for tup in graph.live_tuples(bad_event.table):
+        if tup == bad_event or tup.arity != bad_event.arity:
+            continue
+        if tup not in order:
+            continue
+        candidates.append(ReferenceCandidate(tup, similarity(bad_event, tup)))
+    candidates.sort(key=lambda c: (-c.score, -order[c.event], str(c.event)))
     return candidates[:limit]
 
 
@@ -295,7 +324,7 @@ def _sweep_resilience(journal, deadline, stopped_early, evaluator=None):
         section["deadline"] = {
             "seconds": deadline.seconds,
             "expired": deadline.expired,
-            "slack_s": round(max(deadline.remaining(), 0.0), 3),
+            "slack_s": round(deadline.timeout(), 3),
         }
     if stopped_early:
         section["stopped_early"] = True

@@ -925,7 +925,7 @@ class _DiagnosisState:
             section["deadline"] = {
                 "seconds": self.deadline.seconds,
                 "expired": expired,
-                "slack_s": round(max(self.deadline.remaining(), 0.0), 3),
+                "slack_s": round(self.deadline.timeout(), 3),
             }
             if self.deadline_expired_in is not None:
                 section["deadline"]["expired_in"] = self.deadline_expired_in

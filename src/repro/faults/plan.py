@@ -28,7 +28,10 @@ __all__ = ["FaultPlan"]
 # spec key -> (attribute, parser); rate keys share a range check.
 # worker-crash and snapshot-corrupt are *host* faults: they hit the
 # diagnoser's own pool workers and snapshot cache, not the diagnosed
-# network (docs/resilience.md).
+# network (docs/resilience.md).  The event-* and clock-skew rates are
+# *stream* faults: they perturb the transport between a monitored
+# network and the streaming monitor's ingestion front-end, never the
+# diagnosed replays themselves (docs/streaming.md).
 _RATE_KEYS = {
     "drop": "drop",
     "dup": "duplicate",
@@ -39,6 +42,10 @@ _RATE_KEYS = {
     "link-loss": "link_loss",
     "worker-crash": "worker_crash",
     "snapshot-corrupt": "snapshot_corrupt",
+    "event-drop": "event_drop",
+    "event-dup": "event_dup",
+    "event-reorder": "event_reorder",
+    "clock-skew": "clock_skew",
 }
 _INT_KEYS = {
     "seed": "seed",
@@ -73,6 +80,10 @@ class FaultPlan:
         "crashes",
         "worker_crash",
         "snapshot_corrupt",
+        "event_drop",
+        "event_dup",
+        "event_reorder",
+        "clock_skew",
     )
 
     def __init__(
@@ -93,6 +104,10 @@ class FaultPlan:
         crashes: PyTuple[PyTuple[str, int, int], ...] = (),
         worker_crash: float = 0.0,
         snapshot_corrupt: float = 0.0,
+        event_drop: float = 0.0,
+        event_dup: float = 0.0,
+        event_reorder: float = 0.0,
+        clock_skew: float = 0.0,
     ):
         for name, value in (
             ("drop", drop),
@@ -104,6 +119,10 @@ class FaultPlan:
             ("link_loss", link_loss),
             ("worker_crash", worker_crash),
             ("snapshot_corrupt", snapshot_corrupt),
+            ("event_drop", event_drop),
+            ("event_dup", event_dup),
+            ("event_reorder", event_reorder),
+            ("clock_skew", clock_skew),
         ):
             if not 0.0 <= value <= 1.0:
                 raise FaultSpecError(f"rate {name}={value} outside [0, 1]")
@@ -131,6 +150,10 @@ class FaultPlan:
         self.crashes = tuple(sorted(crashes))
         self.worker_crash = float(worker_crash)
         self.snapshot_corrupt = float(snapshot_corrupt)
+        self.event_drop = float(event_drop)
+        self.event_dup = float(event_dup)
+        self.event_reorder = float(event_reorder)
+        self.clock_skew = float(clock_skew)
 
     # -- spec parsing --------------------------------------------------------
 
@@ -178,6 +201,23 @@ class FaultPlan:
             self.host_only()
             and self.worker_crash == 0.0
             and self.snapshot_corrupt == 0.0
+            and not self.has_stream_faults()
+        )
+
+    def has_stream_faults(self) -> bool:
+        """True when the plan perturbs a monitored event stream.
+
+        Stream faults (event drop/dup/reorder, clock skew) act on the
+        transport between the monitored network and the streaming
+        monitor's ingestion front-end (docs/streaming.md).  Like host
+        faults they never touch the diagnosed replays, so they do not
+        affect :meth:`host_only`.
+        """
+        return (
+            self.event_drop > 0.0
+            or self.event_dup > 0.0
+            or self.event_reorder > 0.0
+            or self.clock_skew > 0.0
         )
 
     def host_only(self) -> bool:

@@ -38,14 +38,31 @@ class Deadline:
     @classmethod
     def of(cls, value: Union[None, float, "Deadline"]) -> Optional["Deadline"]:
         """Normalize an options value: None, a seconds budget, or an
-        already-running Deadline (shared across a sweep)."""
+        already-running Deadline (shared across a sweep).
+
+        A negative budget — e.g. a queue wait that already consumed the
+        whole request deadline — is clamped to zero: the budget is
+        *already expired*, which every consumer handles by degrading to
+        a partial result.  Raising here instead would turn an expired
+        budget into a crash at the start of the candidate sweep.
+        """
         if value is None or isinstance(value, Deadline):
             return value
-        return cls(float(value))
+        return cls(max(0.0, float(value)))
 
     def remaining(self) -> float:
         """Seconds left; negative once expired."""
         return self._expires - self.clock()
+
+    def timeout(self, floor: float = 0.0) -> float:
+        """Remaining budget clamped to ``>= floor``.
+
+        The safe form to hand to futures/selectors/``wait`` calls,
+        which reject negative timeouts: an expired deadline yields the
+        floor (default 0 — poll and fall into the degradation path)
+        rather than a ``ValueError`` deep inside the wait machinery.
+        """
+        return max(floor, self.remaining())
 
     @property
     def expired(self) -> bool:

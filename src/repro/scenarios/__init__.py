@@ -19,7 +19,7 @@ from .mr import (
 )
 from .stanford import StanfordForwardingError
 from .dns import DNSStaleReplica
-from .flap import FlappingRoute
+from .flap import FlappingRoute, FlappingRouteStream
 from .controller import SDN1WithController, SDN2WithController
 
 ALL_SCENARIOS = {
@@ -33,6 +33,7 @@ ALL_SCENARIOS = {
     "MR2-I": MR2ImperativeCodeChange,
     "DNS": DNSStaleReplica,
     "FLAP": FlappingRoute,
+    "FLAP-S": FlappingRouteStream,
     "SDN1-C": SDN1WithController,
     "SDN2-C": SDN2WithController,
     "SDN1-F": SDN1LossyProvenance,
@@ -52,6 +53,7 @@ __all__ = [
     "StanfordForwardingError",
     "DNSStaleReplica",
     "FlappingRoute",
+    "FlappingRouteStream",
     "SDN1WithController",
     "SDN2WithController",
     "ALL_SCENARIOS",

@@ -14,17 +14,34 @@ down-phases fall to a backup route and land on a sorry-server.  The
 temporal provenance graph keeps one EXIST interval per up-phase, so
 both kinds of events remain explainable, and DiffProv's diagnosis is
 the withdrawn route itself — re-announced just before the failed probe.
+
+Beyond the offline good/bad pair, the build also taps every base event
+into a replayable *stream* (:mod:`repro.streaming.events`): setup
+tuples, configuration churn, and probes annotated with their observed
+outcome (reached host, health, synthetic latency).  ``FLAP-S`` is the
+long-running variant — hundreds of seeded up/down phases — that the
+streaming monitor watches end to end (docs/streaming.md).
 """
 
 from __future__ import annotations
+
+import random
+import zlib
+from typing import List
 
 from ..addresses import Prefix
 from ..replay.execution import Execution
 from ..sdn import model
 from ..sdn.topology import Topology
+from ..streaming.events import StreamEvent
 from .base import Scenario
 
-__all__ = ["FlappingRoute"]
+__all__ = ["FlappingRoute", "FlappingRouteStream"]
+
+# Logical spacing between stream events; probes add their synthetic
+# service latency on top (advisory timestamps — ingestion orders by
+# sequence number, never by clock).
+_TICK_S = 0.005
 
 
 class FlappingRoute(Scenario):
@@ -37,6 +54,7 @@ class FlappingRoute(Scenario):
     def build(self) -> None:
         flaps = self.params.get("flaps", 3)
         probes_per_phase = self.params.get("probes_per_phase", 2)
+        stream_seed = self.params.get("stream_seed", 0)
 
         topo = Topology("flap")
         for name in ("edge", "core"):
@@ -50,8 +68,19 @@ class FlappingRoute(Scenario):
 
         self.program = model.sdn_program()
         execution = Execution(self.program, name="flap")
+
+        # The stream tap: every call below appends one StreamEvent, so
+        # replaying the stream reconstructs the execution exactly.
+        self.stream: List[StreamEvent] = []
+        self.phases: List[dict] = []
+        self._clock = 0.0
+        self._latency_rng = random.Random(
+            zlib.crc32(f"flap-stream:{stream_seed}".encode())
+        )
+
         for tup in topo.wiring_tuples():
             execution.insert(tup, mutable=False)
+            self._tap("setup", tup, mutable=False)
         any_pfx = Prefix("0.0.0.0/0")
         primary = model.flow_entry(
             "core", 10, any_pfx, Prefix("172.16.5.80/32"), topo.port("core", "service")
@@ -64,38 +93,25 @@ class FlappingRoute(Scenario):
             model.flow_entry("core", 1, any_pfx, any_pfx, topo.port("core", "sorry")),
         ):
             execution.insert(entry, mutable=True)
+            self._tap("setup", entry, mutable=True)
 
         pkt = 0
         self.up_probes = []
         self.down_probes = []
         for _ in range(flaps):
             # Up phase: probes reach the service.
-            for _ in range(probes_per_phase):
-                pkt += 1
-                self.up_probes.append(pkt)
-                execution.insert(
-                    model.packet("edge", pkt, self.PROBE_SRC, self.SERVICE_DST),
-                    mutable=False,
-                )
+            pkt = self._phase(execution, "up", pkt, probes_per_phase)
             # The route flaps down ...
             execution.delete(primary)
-            for _ in range(probes_per_phase):
-                pkt += 1
-                self.down_probes.append(pkt)
-                execution.insert(
-                    model.packet("edge", pkt, self.PROBE_SRC, self.SERVICE_DST),
-                    mutable=False,
-                )
+            self._tap("delete", primary, mutable=True)
+            pkt = self._phase(execution, "down", pkt, probes_per_phase)
             # ... and comes back.
             execution.insert(primary, mutable=True)
+            self._tap("insert", primary, mutable=True)
         # One final down-phase so the failure is current.
         execution.delete(primary)
-        pkt += 1
-        self.down_probes.append(pkt)
-        execution.insert(
-            model.packet("edge", pkt, self.PROBE_SRC, self.SERVICE_DST),
-            mutable=False,
-        )
+        self._tap("delete", primary, mutable=True)
+        pkt = self._phase(execution, "down", pkt, 1)
 
         self.good_execution = execution
         self.bad_execution = execution
@@ -106,3 +122,89 @@ class FlappingRoute(Scenario):
         self.bad_event = model.delivered(
             "sorry", self.down_probes[-1], self.PROBE_SRC, self.SERVICE_DST
         )
+
+    # -- the stream tap ------------------------------------------------------
+
+    def _tap(self, kind, tup, mutable=None, outcome=None) -> None:
+        self._clock += _TICK_S
+        self.stream.append(
+            StreamEvent(
+                seq=len(self.stream),
+                ts=self._clock,
+                kind=kind,
+                tup=tup,
+                mutable=mutable,
+                outcome=outcome,
+            )
+        )
+
+    def _phase(self, execution, phase_kind, pkt, count) -> int:
+        """One up/down phase: ``count`` probes, each tapped with its outcome."""
+        probes = []
+        first_seq = len(self.stream)
+        for _ in range(count):
+            pkt += 1
+            probes.append(pkt)
+            probe = model.packet(
+                "edge", pkt, self.PROBE_SRC, self.SERVICE_DST
+            )
+            execution.insert(probe, mutable=False)
+            self._tap("probe", probe, mutable=False,
+                      outcome=self._outcome(phase_kind))
+            if phase_kind == "up":
+                self.up_probes.append(pkt)
+            else:
+                self.down_probes.append(pkt)
+        self.phases.append({
+            "kind": phase_kind,
+            "probes": probes,
+            "first_seq": first_seq,
+            "last_seq": len(self.stream) - 1,
+        })
+        return pkt
+
+    def _outcome(self, phase_kind) -> dict:
+        """What the black-box emulator reports for one probe.
+
+        Up-phase probes reach the service quickly; down-phase probes
+        fall to the backup route and land on the sorry-server — slower,
+        and unhealthy.  Latency is synthetic but seeded, so the same
+        parameters always produce the same stream.
+        """
+        jitter = self._latency_rng.random()
+        if phase_kind == "up":
+            return {"ok": True, "host": "service",
+                    "latency_ms": round(8.0 + 4.0 * jitter, 3)}
+        return {"ok": False, "host": "sorry",
+                "latency_ms": round(26.0 + 9.0 * jitter, 3)}
+
+    # -- streaming surface ---------------------------------------------------
+
+    def stream_events(self) -> List[StreamEvent]:
+        """The replayable stream this scenario emits (after setup)."""
+        self.setup()
+        return list(self.stream)
+
+    def down_phases(self) -> List[dict]:
+        """Ground truth for detector tests: the injected down-phases."""
+        self.setup()
+        return [phase for phase in self.phases if phase["kind"] == "down"]
+
+
+class FlappingRouteStream(FlappingRoute):
+    """FLAP-S: the long-running streaming variant of FLAP.
+
+    Same topology and flap mechanics, but defaulting to hundreds of
+    seeded up/down phases — enough stream to exercise windowed GC,
+    watermark lateness, backpressure, and crash-resume in the monitor.
+    """
+
+    name = "FLAP-S"
+    description = "Long-running flapping-route stream for the online monitor"
+
+    DEFAULT_FLAPS = 200
+
+    def build(self) -> None:
+        self.params.setdefault("flaps", self.DEFAULT_FLAPS)
+        self.params.setdefault("probes_per_phase", 2)
+        super().build()

@@ -1,0 +1,47 @@
+"""Streaming online diagnosis (docs/streaming.md).
+
+Turns the offline good/bad pipeline into a continuous monitor: a
+replayable NDJSON event source, a fault-tolerant ingestion front-end
+(sequence tracking, watermarks, reorder buffer, dedup, checksummed
+lines, gap detection), bounded sliding windows with provenance GC, a
+NetInsight-style quality detector, and a monitor that auto-selects the
+good reference and runs DiffProv per detection — journaled so a
+SIGKILL'd monitor resumes byte-identically.
+"""
+
+from .detect import Incident, QualityDetector, QualityScore, quality_score
+from .events import (
+    Gap,
+    StreamEvent,
+    decode_line,
+    dump_events,
+    encode_event,
+    load_events,
+)
+from .ingest import IngestStats, Ingestor
+from .monitor import MonitorSummary, StreamMonitor
+from .perturb import perturb_events
+from .source import FileStreamSource, ScenarioStreamSource, observed_event
+from .window import StreamWindow
+
+__all__ = [
+    "StreamEvent",
+    "Gap",
+    "encode_event",
+    "decode_line",
+    "dump_events",
+    "load_events",
+    "Ingestor",
+    "IngestStats",
+    "StreamWindow",
+    "QualityDetector",
+    "QualityScore",
+    "Incident",
+    "quality_score",
+    "ScenarioStreamSource",
+    "FileStreamSource",
+    "observed_event",
+    "perturb_events",
+    "StreamMonitor",
+    "MonitorSummary",
+]

@@ -1,0 +1,150 @@
+"""NetInsight-style quality scoring and bad-event detection.
+
+Each window of probes gets a :class:`QualityScore` — success rate and
+latency percentiles — and the :class:`QualityDetector` watches the
+probe feed for statistically bad events: a probe whose observed
+outcome is unhealthy, or whose latency is an extreme outlier against
+the healthy baseline, opens an :class:`Incident`.  Consecutive bad
+probes extend the open incident instead of opening new ones, so one
+down-phase of a flapping route yields exactly one incident — the unit
+the monitor diagnoses.
+
+Detection is purely a function of the delivered probe sequence, so a
+resumed monitor re-detects the identical incident sequence.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from .events import StreamEvent
+
+__all__ = ["QualityScore", "Incident", "QualityDetector", "quality_score"]
+
+
+class QualityScore:
+    """Per-window service quality: success rate + latency statistics."""
+
+    __slots__ = ("probes", "successes", "success_rate", "latency_p50",
+                 "latency_p95")
+
+    def __init__(self, probes, successes, success_rate, latency_p50,
+                 latency_p95):
+        self.probes = probes
+        self.successes = successes
+        self.success_rate = success_rate
+        self.latency_p50 = latency_p50
+        self.latency_p95 = latency_p95
+
+    def to_dict(self) -> Dict[str, object]:
+        return {slot: getattr(self, slot) for slot in self.__slots__}
+
+    def __repr__(self):
+        return (f"QualityScore(success={self.success_rate:.3f}, "
+                f"p50={self.latency_p50}ms, p95={self.latency_p95}ms)")
+
+
+def _percentile(values: Sequence[float], fraction: float) -> float:
+    ordered = sorted(values)
+    index = min(len(ordered) - 1, int(fraction * len(ordered)))
+    return ordered[index]
+
+
+def quality_score(probes: Sequence[StreamEvent]) -> Optional[QualityScore]:
+    """Score a window's probes; None when the window has none."""
+    latencies = []
+    successes = 0
+    total = 0
+    for probe in probes:
+        if probe.outcome is None:
+            continue
+        total += 1
+        if probe.ok:
+            successes += 1
+        latency = probe.outcome.get("latency_ms")
+        if isinstance(latency, (int, float)):
+            latencies.append(float(latency))
+    if not total:
+        return None
+    return QualityScore(
+        probes=total,
+        successes=successes,
+        success_rate=round(successes / total, 6),
+        latency_p50=round(_percentile(latencies, 0.50), 3) if latencies else None,
+        latency_p95=round(_percentile(latencies, 0.95), 3) if latencies else None,
+    )
+
+
+class Incident:
+    """One contiguous run of bad probes (e.g. one down-phase)."""
+
+    __slots__ = ("key", "first_seq", "probe_seqs", "reasons")
+
+    def __init__(self, key: str, first_seq: int):
+        self.key = key
+        self.first_seq = first_seq
+        self.probe_seqs: List[int] = []
+        self.reasons: List[str] = []
+
+    def extend(self, probe: StreamEvent, reason: str) -> None:
+        self.probe_seqs.append(probe.seq)
+        if reason not in self.reasons:
+            self.reasons.append(reason)
+
+    def __repr__(self):
+        return f"Incident({self.key}, probes={self.probe_seqs})"
+
+
+class QualityDetector:
+    """Flags statistically bad probes and groups them into incidents.
+
+    A probe is bad when its outcome reports unhealthy (``ok`` false),
+    or when its latency exceeds ``latency_factor`` times the healthy
+    median seen so far (the NetInsight "much slower than usual"
+    signal).  The first bad probe after a healthy one *opens* an
+    incident — returned to the caller, which is the monitor's trigger
+    to diagnose — and the incident stays open until a healthy probe
+    closes it.
+    """
+
+    def __init__(self, latency_factor: float = 3.0, min_baseline: int = 3):
+        self.latency_factor = float(latency_factor)
+        self.min_baseline = int(min_baseline)
+        self._healthy_latencies: List[float] = []
+        self._open: Optional[Incident] = None
+        self.incidents: List[Incident] = []
+
+    def observe(self, probe: StreamEvent) -> Optional[Incident]:
+        """Feed one delivered probe; returns a newly *opened* incident."""
+        if probe.kind != "probe" or probe.outcome is None:
+            return None
+        reason = self._badness(probe)
+        if reason is None:
+            latency = probe.outcome.get("latency_ms")
+            if isinstance(latency, (int, float)):
+                self._healthy_latencies.append(float(latency))
+                # The baseline is a sliding sample too — O(1) memory.
+                if len(self._healthy_latencies) > 64:
+                    del self._healthy_latencies[0]
+            self._open = None
+            return None
+        opened = None
+        if self._open is None:
+            self._open = Incident(f"incident-seq{probe.seq}", probe.seq)
+            self.incidents.append(self._open)
+            opened = self._open
+        self._open.extend(probe, reason)
+        return opened
+
+    def _badness(self, probe: StreamEvent) -> Optional[str]:
+        if not probe.ok:
+            return "unhealthy"
+        latency = probe.outcome.get("latency_ms")
+        if (
+            isinstance(latency, (int, float))
+            and len(self._healthy_latencies) >= self.min_baseline
+        ):
+            baseline = _percentile(self._healthy_latencies, 0.50)
+            if float(latency) > self.latency_factor * baseline:
+                return "latency-outlier"
+        return None

@@ -1,0 +1,191 @@
+"""The stream's wire format: typed events on checksummed NDJSON lines.
+
+A monitored network emits a totally ordered sequence of *stream
+events*, each carrying a sequence number, a logical timestamp, and one
+base-event payload — a configuration insert/delete, or a *probe*
+(an immutable packet plus the observed outcome the black-box emulator
+reported for it).  The wire encoding is one JSON object per line,
+prefixed with the CRC32 checksum frame from
+:mod:`repro.resilience.integrity`, so a torn or bit-rotted line is
+*detected* by the ingestion front-end rather than parsed into garbage::
+
+    a1b2c3d4 {"kind":"probe","mutable":false,"outcome":{...},"seq":12,...}
+
+Sequence numbers are the stream's ground truth for ordering, loss and
+duplication; timestamps are advisory (they feed latency statistics and
+may be skewed by faulty clocks — see ``clock-skew`` in
+:class:`repro.FaultPlan`).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, Iterable, Iterator, List, Optional
+
+from ..datalog.parser import parse_tuple
+from ..datalog.tuples import Tuple
+from ..errors import ReproError
+from ..resilience.integrity import checksum_line, verify_line
+
+__all__ = ["StreamEvent", "Gap", "encode_event", "decode_line",
+           "dump_events", "load_events", "KINDS"]
+
+# setup — pre-stream base state (topology wiring, initial config);
+# insert/delete — configuration churn while the stream runs;
+# probe — an immutable packet event plus its observed outcome.
+KINDS = ("setup", "insert", "delete", "probe")
+
+
+class StreamEvent:
+    """One event of the monitored stream."""
+
+    __slots__ = ("seq", "ts", "kind", "tuple", "mutable", "outcome")
+
+    def __init__(
+        self,
+        seq: int,
+        ts: float,
+        kind: str,
+        tup: Tuple,
+        mutable: Optional[bool] = None,
+        outcome: Optional[Dict[str, object]] = None,
+    ):
+        if kind not in KINDS:
+            raise ReproError(f"unknown stream event kind {kind!r}")
+        self.seq = int(seq)
+        # Microsecond resolution, matching the wire encoding — an event
+        # must compare equal to itself after an encode/decode round-trip.
+        self.ts = round(float(ts), 6)
+        self.kind = kind
+        self.tuple = tup
+        self.mutable = mutable
+        self.outcome = dict(outcome) if outcome is not None else None
+
+    @property
+    def ok(self) -> Optional[bool]:
+        """A probe's observed health; None for non-probe events."""
+        if self.outcome is None:
+            return None
+        return bool(self.outcome.get("ok"))
+
+    def __eq__(self, other):
+        if not isinstance(other, StreamEvent):
+            return NotImplemented
+        return (
+            self.seq == other.seq
+            and self.ts == other.ts
+            and self.kind == other.kind
+            and self.tuple == other.tuple
+            and self.mutable == other.mutable
+            and self.outcome == other.outcome
+        )
+
+    def __repr__(self):
+        extra = f", outcome={self.outcome}" if self.outcome else ""
+        return f"StreamEvent(#{self.seq} {self.kind} {self.tuple}{extra})"
+
+
+class Gap:
+    """A hole the ingestion front-end gave up waiting on.
+
+    The events in ``[first_seq, last_seq]`` never arrived within the
+    lateness bound; downstream consumers treat the span as *unknown*
+    stream state and degrade confidence instead of crashing.
+    """
+
+    __slots__ = ("first_seq", "last_seq")
+
+    def __init__(self, first_seq: int, last_seq: int):
+        self.first_seq = int(first_seq)
+        self.last_seq = int(last_seq)
+
+    @property
+    def lost(self) -> int:
+        return self.last_seq - self.first_seq + 1
+
+    def describe(self) -> str:
+        return f"gap(seq={self.first_seq}..{self.last_seq})"
+
+    def __eq__(self, other):
+        if not isinstance(other, Gap):
+            return NotImplemented
+        return (self.first_seq, self.last_seq) == (
+            other.first_seq, other.last_seq
+        )
+
+    def __repr__(self):
+        return f"Gap({self.first_seq}..{self.last_seq})"
+
+
+def encode_event(event: StreamEvent) -> str:
+    """One checksummed NDJSON line (no trailing newline)."""
+    payload = {
+        "seq": event.seq,
+        "ts": event.ts,
+        "kind": event.kind,
+        "tuple": str(event.tuple),
+    }
+    if event.mutable is not None:
+        payload["mutable"] = event.mutable
+    if event.outcome is not None:
+        payload["outcome"] = event.outcome
+    text = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return checksum_line(text)
+
+
+def decode_line(line: str) -> Optional[StreamEvent]:
+    """Parse one checksummed NDJSON line; None when torn or corrupt.
+
+    Corruption is the *transport's* fault, not the caller's, so it is
+    reported by value — the ingestion front-end counts rejected lines
+    and degrades instead of raising.
+    """
+    text = verify_line(line.rstrip("\n"))
+    if text is None:
+        return None
+    try:
+        payload = json.loads(text)
+    except ValueError:
+        return None
+    try:
+        return StreamEvent(
+            seq=payload["seq"],
+            ts=payload["ts"],
+            kind=payload["kind"],
+            tup=parse_tuple(payload["tuple"]),
+            mutable=payload.get("mutable"),
+            outcome=payload.get("outcome"),
+        )
+    except (KeyError, TypeError, ReproError):
+        return None
+
+
+def dump_events(events: Iterable[StreamEvent], path: str) -> int:
+    """Write a replayable NDJSON stream file; returns the line count."""
+    count = 0
+    with open(path, "w", encoding="utf-8") as handle:
+        for event in events:
+            handle.write(encode_event(event) + "\n")
+            count += 1
+    return count
+
+
+def load_events(path: str) -> List[StreamEvent]:
+    """Load a stream file, silently dropping torn/corrupt lines.
+
+    Mirrors the transport contract: the ingestion front-end downstream
+    sees the same gaps it would see live.
+    """
+    events: List[StreamEvent] = []
+    with open(path, "r", encoding="utf-8") as handle:
+        for line in handle:
+            event = decode_line(line)
+            if event is not None:
+                events.append(event)
+    return events
+
+
+def iter_lines(events: Iterable[StreamEvent]) -> Iterator[str]:
+    """The wire form of a stream, line by line (for in-process taps)."""
+    for event in events:
+        yield encode_event(event)

@@ -1,0 +1,160 @@
+"""The hardened ingestion front-end.
+
+Real event streams are hostile: lines arrive torn, duplicated, late,
+or not at all.  The :class:`Ingestor` turns that into a clean, totally
+ordered sequence of :class:`~repro.streaming.events.StreamEvent` and
+:class:`~repro.streaming.events.Gap` markers:
+
+* **Checksum validation** — corrupt lines are counted and discarded
+  (:func:`repro.streaming.events.decode_line`), never parsed into
+  garbage.
+* **Dedup** — an event whose sequence number was already delivered (or
+  is already buffered) is absorbed and counted.
+* **Reorder buffer + watermark** — the watermark is the next expected
+  sequence number; early events wait in a bounded buffer and are
+  drained in order the moment the missing predecessors arrive.
+* **Gap detection** — when the buffer stretches more than the
+  ``lateness`` bound past the watermark, the front-end stops waiting,
+  emits a :class:`~repro.streaming.events.Gap` covering the missing
+  span, and moves on.  Downstream consumers degrade confidence for
+  windows overlapping a gap instead of crashing (docs/streaming.md).
+
+Everything is deterministic in the arrival sequence: the same lines in
+the same order always yield the same deliveries, which is what makes
+crash-resume byte-identical.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Union
+
+from ..errors import ReproError
+from .events import Gap, StreamEvent, decode_line
+
+__all__ = ["Ingestor", "IngestStats"]
+
+Delivery = Union[StreamEvent, Gap]
+
+
+class IngestStats:
+    """Counters the front-end keeps about the transport's behaviour."""
+
+    __slots__ = ("received", "delivered", "duplicates", "corrupt",
+                 "gaps", "lost", "reordered")
+
+    def __init__(self):
+        self.received = 0    # well-formed events that arrived
+        self.delivered = 0   # events handed downstream, in order
+        self.duplicates = 0  # absorbed (already delivered or buffered)
+        self.corrupt = 0     # lines that failed checksum/parse
+        self.gaps = 0        # spans given up on
+        self.lost = 0        # events inside those spans
+        self.reordered = 0   # events that had to wait in the buffer
+
+    def to_dict(self) -> Dict[str, int]:
+        return {slot: getattr(self, slot) for slot in self.__slots__}
+
+    def __repr__(self):
+        return f"IngestStats({self.to_dict()})"
+
+
+class Ingestor:
+    """Order-restoring, loss-tolerant front-end over a raw event feed.
+
+    ``lateness`` is the reorder tolerance, in events: how far past the
+    watermark the stream may run before a missing event is declared
+    lost.  It must be at least the transport's maximum displacement
+    (:data:`repro.streaming.perturb.MAX_DISPLACEMENT` for the seeded
+    perturber) for reordering alone never to produce a gap.
+    """
+
+    def __init__(self, lateness: int = 8, telemetry=None):
+        if lateness < 1:
+            raise ReproError(f"lateness must be >= 1, got {lateness}")
+        self.lateness = int(lateness)
+        self.telemetry = telemetry
+        self.stats = IngestStats()
+        self._next_seq = 0
+        self._buffer: Dict[int, StreamEvent] = {}
+
+    @property
+    def watermark(self) -> int:
+        """The next expected sequence number (all below it are settled)."""
+        return self._next_seq
+
+    # -- pushing -------------------------------------------------------------
+
+    def push_line(self, line: str) -> List[Delivery]:
+        """Ingest one wire line; corrupt lines count and deliver nothing."""
+        event = decode_line(line)
+        if event is None:
+            self.stats.corrupt += 1
+            self._count("streaming.ingest.corrupt")
+            return []
+        return self.push(event)
+
+    def push(self, event: StreamEvent) -> List[Delivery]:
+        """Ingest one event; returns in-order deliveries it unlocked."""
+        self.stats.received += 1
+        seq = event.seq
+        if seq < self._next_seq or seq in self._buffer:
+            self.stats.duplicates += 1
+            self._count("streaming.ingest.duplicates")
+            return []
+        if seq > self._next_seq:
+            self.stats.reordered += 1
+        self._buffer[seq] = event
+        return self._drain()
+
+    def flush(self) -> List[Delivery]:
+        """End of stream: deliver everything still buffered, gaps and all."""
+        out: List[Delivery] = []
+        while self._buffer:
+            first_buffered = min(self._buffer)
+            if first_buffered > self._next_seq:
+                out.append(self._give_up(first_buffered))
+            # _give_up advanced the watermark onto a buffered event, so
+            # every iteration delivers at least one event: termination.
+            out.extend(self._drain())
+        return out
+
+    def run(self, lines: Iterable[str]) -> Iterable[Delivery]:
+        """Ingest a whole wire stream, flushing at the end."""
+        for line in lines:
+            for delivery in self.push_line(line):
+                yield delivery
+        for delivery in self.flush():
+            yield delivery
+
+    # -- internals -----------------------------------------------------------
+
+    def _drain(self) -> List[Delivery]:
+        out: List[Delivery] = []
+        while True:
+            while self._next_seq in self._buffer:
+                out.append(self._buffer.pop(self._next_seq))
+                self.stats.delivered += 1
+                self._next_seq += 1
+            if not self._buffer:
+                break
+            # The watermark is stuck on a missing event.  Wait while the
+            # stream is within the lateness bound; beyond it, the event
+            # is declared lost and the hole becomes an explicit Gap.
+            horizon = max(self._buffer)
+            if horizon - self._next_seq < self.lateness:
+                break
+            out.append(self._give_up(min(self._buffer)))
+        return out
+
+    def _give_up(self, first_buffered: int) -> Gap:
+        gap = Gap(self._next_seq, first_buffered - 1)
+        self.stats.gaps += 1
+        self.stats.lost += gap.lost
+        self._count("streaming.ingest.gaps")
+        self._count("streaming.ingest.lost", gap.lost)
+        self._next_seq = first_buffered
+        return gap
+
+    def _count(self, name: str, value: int = 1) -> None:
+        if self.telemetry is not None:
+            self.telemetry.inc(name, value)

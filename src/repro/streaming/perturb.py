@@ -1,0 +1,81 @@
+"""Seeded stream-fault injection (the transport between network and monitor).
+
+Applies the ``event-drop`` / ``event-dup`` / ``event-reorder`` /
+``clock-skew`` rates of a :class:`repro.FaultPlan` to an in-order event
+stream, producing the delivery sequence the ingestion front-end
+actually sees.  Like :class:`repro.faults.injector.FaultInjector`, each
+fault category draws from its own crc32-seeded PRNG stream, so rates
+compose independently and the same plan always perturbs the same
+stream the same way.
+
+Reordering is *bounded*: a displaced event arrives at most
+``MAX_DISPLACEMENT`` positions late, which keeps a well-configured
+ingestion lateness bound (>= MAX_DISPLACEMENT) sufficient to absorb
+every reordering without declaring a gap.
+"""
+
+from __future__ import annotations
+
+import random
+import zlib
+from typing import List, Sequence
+
+from ..faults.plan import FaultPlan
+from .events import StreamEvent
+
+__all__ = ["perturb_events", "MAX_DISPLACEMENT"]
+
+# Upper bound on how far one reordered event can be displaced.
+MAX_DISPLACEMENT = 3
+
+# Clock skew magnitude (seconds): enough to visibly scramble advisory
+# timestamps, tiny enough to keep latency statistics near-sane.
+_SKEW_S = 0.05
+
+
+def _rng(plan: FaultPlan, category: str) -> random.Random:
+    return random.Random(zlib.crc32(f"stream:{category}:{plan.seed}".encode()))
+
+
+def perturb_events(
+    events: Sequence[StreamEvent], plan: FaultPlan
+) -> List[StreamEvent]:
+    """The transport's delivery sequence for ``events`` under ``plan``.
+
+    Returns a new list; the input events are never mutated (a skewed
+    clock yields a *copy* with the skewed timestamp).  With a zero-rate
+    plan the output is the input, element for element.
+    """
+    if plan is None or not plan.has_stream_faults():
+        return list(events)
+    drop = _rng(plan, "event-drop")
+    dup = _rng(plan, "event-dup")
+    reorder = _rng(plan, "event-reorder")
+    skew = _rng(plan, "clock-skew")
+
+    # Each surviving occurrence gets a delivery rank; reordered ones are
+    # pushed up to MAX_DISPLACEMENT positions later.  The sort is stable,
+    # so everything else keeps arrival order.
+    ranked = []
+    for index, event in enumerate(events):
+        if plan.event_drop and drop.random() < plan.event_drop:
+            continue
+        if plan.clock_skew and skew.random() < plan.clock_skew:
+            event = StreamEvent(
+                seq=event.seq,
+                ts=event.ts + skew.uniform(-_SKEW_S, _SKEW_S),
+                kind=event.kind,
+                tup=event.tuple,
+                mutable=event.mutable,
+                outcome=event.outcome,
+            )
+        occurrences = 1
+        if plan.event_dup and dup.random() < plan.event_dup:
+            occurrences = 2
+        for _ in range(occurrences):
+            rank = index
+            if plan.event_reorder and reorder.random() < plan.event_reorder:
+                rank += reorder.randint(1, MAX_DISPLACEMENT)
+            ranked.append((rank, event))
+    ranked.sort(key=lambda pair: pair[0])
+    return [event for _, event in ranked]

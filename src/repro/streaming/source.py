@@ -1,0 +1,140 @@
+"""Stream sources: where the monitor's wire lines come from.
+
+Two sources, one contract — an iterable of checksummed NDJSON lines
+plus the Datalog program needed to diagnose them:
+
+* :class:`ScenarioStreamSource` taps the discrete-event emulator: any
+  scenario that records a stream during build (``FLAP``/``FLAP-S``)
+  becomes a replayable feed, optionally perturbed by the stream-fault
+  kinds of a :class:`repro.FaultPlan`.
+* :class:`FileStreamSource` replays an NDJSON file written by
+  :func:`repro.streaming.events.dump_events` — the "give me yesterday's
+  stream" ops path, and the crash-resume path: a resumed monitor
+  re-reads the same file and re-ingests deterministically.
+
+Both also know how to map an observed probe outcome to the *event
+tuple* DiffProv diagnoses (``delivered(host, pkt, src, dst)`` in the
+SDN wire format): the probe carries the packet, the outcome names the
+host it landed on.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Iterator, List, Optional
+
+from ..datalog.tuples import Tuple
+from ..errors import ReproError
+from .events import StreamEvent, encode_event, iter_lines, load_events
+from .perturb import perturb_events
+
+__all__ = ["ScenarioStreamSource", "FileStreamSource", "observed_event"]
+
+
+def observed_event(probe: StreamEvent) -> Tuple:
+    """The outcome tuple a probe's observed delivery corresponds to.
+
+    A probe event carries the injected packet ``packet(switch, pkt,
+    src, dst)`` and an outcome naming the host it actually landed on;
+    the diagnosable event is ``delivered(host, pkt, src, dst)`` — the
+    same tuple the engine derives when the window is replayed.
+    """
+    if probe.kind != "probe" or probe.outcome is None:
+        raise ReproError(f"not an observed probe: {probe!r}")
+    host = probe.outcome.get("host")
+    if not host:
+        raise ReproError(f"probe outcome names no host: {probe!r}")
+    return Tuple("delivered", (host,) + probe.tuple.args[1:])
+
+
+class ScenarioStreamSource:
+    """The emulator tap: a scenario's recorded stream as wire lines."""
+
+    def __init__(self, scenario, faults=None):
+        if not hasattr(scenario, "stream_events"):
+            raise ReproError(
+                f"scenario {getattr(scenario, 'name', scenario)!r} records "
+                f"no stream (no stream_events); streaming scenarios: FLAP, "
+                f"FLAP-S"
+            )
+        self.scenario = scenario
+        self.faults = faults
+
+    @classmethod
+    def for_name(cls, name: str, faults=None, **params):
+        """Build from a scenario registry name (lazy import, no cycle)."""
+        from ..scenarios import ALL_SCENARIOS
+
+        if name not in ALL_SCENARIOS:
+            raise ReproError(f"unknown scenario {name!r}")
+        return cls(ALL_SCENARIOS[name](**params), faults=faults)
+
+    @property
+    def program(self):
+        self.scenario.setup()
+        return self.scenario.program
+
+    def events(self) -> List[StreamEvent]:
+        """The delivery sequence (stream faults applied when configured)."""
+        events = self.scenario.stream_events()
+        plan = self.faults
+        if plan is not None and plan.has_stream_faults():
+            events = perturb_events(events, plan)
+        return events
+
+    def lines(self) -> Iterator[str]:
+        return iter_lines(self.events())
+
+    def fingerprint(self) -> str:
+        """Identity of the *unperturbed* stream (for journal matching).
+
+        Stream faults are transport noise; a resumed monitor may see a
+        differently perturbed feed of the same underlying stream and
+        must still match its journal.
+        """
+        digest = hashlib.sha256()
+        for event in self.scenario.stream_events():
+            digest.update(encode_event(event).encode("utf-8"))
+            digest.update(b"\n")
+        return digest.hexdigest()
+
+    def describe(self) -> str:
+        return f"scenario:{self.scenario.name}"
+
+
+class FileStreamSource:
+    """Replay of an NDJSON stream file (ops + resume path)."""
+
+    def __init__(self, path: str, program=None):
+        self.path = str(path)
+        self._program = program
+
+    @property
+    def program(self):
+        if self._program is None:
+            # The SDN wire format is the only on-disk stream format so
+            # far; a future multi-program header would land here.
+            from ..sdn import model
+
+            self._program = model.sdn_program()
+        return self._program
+
+    def events(self) -> List[StreamEvent]:
+        return load_events(self.path)
+
+    def lines(self) -> Iterator[str]:
+        with open(self.path, "r", encoding="utf-8") as handle:
+            for line in handle:
+                line = line.rstrip("\n")
+                if line:
+                    yield line
+
+    def fingerprint(self) -> str:
+        digest = hashlib.sha256()
+        for event in self.events():
+            digest.update(encode_event(event).encode("utf-8"))
+            digest.update(b"\n")
+        return digest.hexdigest()
+
+    def describe(self) -> str:
+        return f"file:{self.path}"

@@ -18,10 +18,12 @@ from repro.provenance.query import provenance_query
 from repro.replay.replayer import replay
 from repro.scenarios import ALL_SCENARIOS
 
-# The satellite coverage set: every SDN scenario, DNS, and the
-# declarative MapReduce pair (the imperative MR variants use the
-# instrumented runtime, which bypasses the engine join path entirely).
-SCENARIOS = ["SDN1", "SDN2", "SDN3", "SDN4", "DNS", "MR1-D", "MR2-D"]
+# The satellite coverage set: every SDN scenario, DNS, the declarative
+# MapReduce pair (the imperative MR variants use the instrumented
+# runtime, which bypasses the engine join path entirely), and FLAP —
+# the temporal/streaming scenario, whose log churns the same mutable
+# tuple through repeated delete/insert cycles.
+SCENARIOS = ["SDN1", "SDN2", "SDN3", "SDN4", "DNS", "MR1-D", "MR2-D", "FLAP"]
 
 # compiled/annotated, indexed/lazy, reference/eager — each backend with
 # its natural provenance mode (EngineConfig.coerce on a bare name).
@@ -143,7 +145,7 @@ class TestMinimalProofEquivalence:
 
 
 class TestDiagnosisEquivalence:
-    @pytest.mark.parametrize("name", ["SDN1", "SDN3", "DNS"])
+    @pytest.mark.parametrize("name", ["SDN1", "SDN3", "DNS", "FLAP"])
     def test_reports_byte_identical_across_backends(self, name):
         reports = {
             backend: _scenario(name, engine=backend)

@@ -47,6 +47,24 @@ class TestDeadline:
         assert isinstance(fresh, Deadline)
         assert fresh.seconds == 2.5
 
+    def test_of_clamps_an_already_spent_budget_to_zero(self):
+        # A queue wait can eat the whole request budget before the
+        # diagnosis starts; that must arrive as "already expired", not
+        # as a ValueError from the constructor.
+        spent = Deadline.of(-5.0)
+        assert spent.seconds == 0.0
+        assert spent.expired
+
+    def test_timeout_is_the_clamped_form_of_remaining(self):
+        clock = FakeClock()
+        deadline = Deadline(10.0, clock=clock)
+        assert deadline.timeout() == pytest.approx(10.0)
+        clock.now += 12.0  # two seconds past expiry
+        assert deadline.remaining() == pytest.approx(-2.0)
+        # Never hand a negative timeout to a wait/selector call.
+        assert deadline.timeout() == 0.0
+        assert deadline.timeout(0.25) == 0.25
+
 
 class TestDiagnosisUnderDeadline:
     def test_generous_budget_leaves_the_report_untouched(self):
@@ -69,3 +87,22 @@ class TestDiagnosisUnderDeadline:
         result = Session(scenario="SDN1", deadline_s=0.0).autoref(limit=5)
         assert not result.found
         assert result.stopped_early
+
+    def test_expired_budget_entering_a_candidate_wave_degrades(self):
+        # Regression: a *negative* budget reaching the parallel
+        # candidate evaluator used to blow up as ValueError before the
+        # wave was even dispatched.  It must behave exactly like a
+        # zero budget — stop the sweep, keep the partial result.
+        result = Session(
+            scenario="DNS", workers=2, deadline_s=-5.0
+        ).autoref(limit=5)
+        assert not result.found
+        assert result.stopped_early
+        assert result.resilience["deadline"]["expired"] is True
+
+    def test_negative_budget_degrades_diagnose_like_zero(self):
+        report = Session(scenario="SDN1", minimize=True,
+                         deadline_s=-1.0).diagnose()
+        assert not report.success
+        assert report.failure_category == "deadline-exceeded"
+        assert report.resilience["deadline"]["expired"]

@@ -1,0 +1,38 @@
+"""Subprocess body for the monitor kill-and-resume tests.
+
+Runs one journaled monitoring pass over a scenario stream and dumps
+the emitted records plus the summary as JSON.  The parent test kills
+this process at a deterministic hold point (REPRO_TEST_HOLD_* — see
+repro.resilience.journal) on the first run, then reruns it to resume.
+
+Usage: python _monitor_child.py SCENARIO JOURNAL OUT [FLAPS]
+"""
+
+import json
+import sys
+
+from repro.api import Session
+
+
+def main() -> int:
+    scenario, journal, out = sys.argv[1:4]
+    params = {"flaps": int(sys.argv[4])} if len(sys.argv) > 4 else {}
+    with Session(
+        scenario=scenario, journal=journal, resume=True,
+        scenario_params=params,
+    ) as session:
+        monitor = session.monitor()
+    with open(out, "w", encoding="utf-8") as handle:
+        json.dump(
+            {
+                "records": monitor.records,
+                "summary": monitor.summary().to_dict(),
+            },
+            handle,
+            sort_keys=True,
+        )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,99 @@
+"""Stream-fault chaos: the monitor degrades, it never crashes.
+
+Seeded transport faults (``event-drop``/``event-dup``/``event-reorder``/
+``clock-skew`` in :class:`repro.FaultPlan`) are applied to the FLAP-S
+feed.  Absorbable faults — duplicates, reordering within the lateness
+bound, skewed clocks — must leave the emitted records byte-identical
+to a clean run; real loss must surface as reduced-confidence records
+naming the unknown spans, not as an exception.
+"""
+
+import json
+
+import pytest
+
+from repro.faults import FaultPlan
+from repro.streaming import ScenarioStreamSource, StreamMonitor
+
+FLAPS = 12
+
+
+def _run(spec=None, flaps=FLAPS, **knobs):
+    plan = FaultPlan.parse(spec) if spec else None
+    source = ScenarioStreamSource.for_name("FLAP-S", faults=plan, flaps=flaps)
+    monitor = StreamMonitor(source, **knobs)
+    monitor.run()
+    return monitor
+
+
+def _canon(records):
+    return json.dumps(records, sort_keys=True)
+
+
+@pytest.fixture(scope="module")
+def clean():
+    return _run()
+
+
+class TestAbsorbableFaults:
+    def test_duplicates_are_invisible(self, clean):
+        chaotic = _run("event-dup=0.3,seed=5")
+        assert chaotic.ingestor.stats.duplicates > 0
+        assert _canon(chaotic.records) == _canon(clean.records)
+
+    def test_reordering_within_lateness_is_invisible(self, clean):
+        # The perturber displaces events by at most MAX_DISPLACEMENT=3;
+        # the default lateness bound (8) absorbs that entirely.
+        chaotic = _run("event-reorder=0.5,seed=5")
+        assert chaotic.ingestor.stats.reordered > 0
+        assert chaotic.ingestor.stats.gaps == 0
+        assert _canon(chaotic.records) == _canon(clean.records)
+
+    def test_clock_skew_is_invisible(self, clean):
+        # Ordering is by sequence number and latency comes from probe
+        # outcomes, so skewed timestamps change nothing downstream.
+        chaotic = _run("clock-skew=1.0,seed=5")
+        assert _canon(chaotic.records) == _canon(clean.records)
+
+
+class TestLoss:
+    def test_gaps_degrade_confidence_instead_of_crashing(self):
+        chaotic = _run("event-drop=0.08,seed=3")
+        stats = chaotic.ingestor.stats
+        assert stats.gaps > 0  # the seed really did lose events
+        uncertain = [
+            r for r in chaotic.records
+            if r["kind"] == "diagnosis" and r["confidence"] == "uncertain"
+        ]
+        assert uncertain, "no record degraded despite gaps"
+        for record in uncertain:
+            assert record["unknown"], "uncertain record names no unknowns"
+            for span in record["unknown"]:
+                assert span.startswith(("gap(seq=", "base-state("))
+        # Confidence is typed, never invented.
+        assert {r["confidence"] for r in chaotic.records} <= {
+            "confirmed", "uncertain",
+        }
+
+
+class TestNeverCrashes:
+    @pytest.mark.parametrize("seed", [1, 2, 3, 4])
+    def test_combined_fault_matrix(self, seed):
+        monitor = _run(
+            "event-drop=0.05,event-dup=0.1,event-reorder=0.2,"
+            f"clock-skew=0.5,seed={seed}",
+            flaps=10,
+        )
+        summary = monitor.summary()
+        # Whatever the transport did, the monitor finished the stream,
+        # settled every sequence number, and emitted well-formed records.
+        assert summary.watermark > 0
+        stats = monitor.ingestor.stats
+        assert stats.delivered + stats.lost == summary.watermark
+        for record in monitor.records:
+            assert record["kind"] in ("diagnosis", "shed")
+            json.dumps(record, sort_keys=True)
+
+    def test_total_loss_of_a_window_still_terminates(self):
+        monitor = _run("event-drop=0.6,seed=9", flaps=8)
+        assert monitor.summary().watermark > 0

@@ -1,0 +1,97 @@
+"""Quality scoring and incident detection over the probe feed."""
+
+from repro.scenarios import ALL_SCENARIOS
+from repro.streaming import QualityDetector, quality_score
+from repro.streaming.events import StreamEvent
+
+
+def _scenario(flaps=3, **params):
+    return ALL_SCENARIOS["FLAP"](flaps=flaps, **params).setup()
+
+
+def _probe(seq, ok=True, latency=10.0, host="service"):
+    base = _scenario().stream_events()
+    template = next(e for e in base if e.kind == "probe")
+    return StreamEvent(
+        seq, seq * 0.01, "probe", template.tuple, mutable=False,
+        outcome={"ok": ok, "host": host, "latency_ms": latency},
+    )
+
+
+class TestQualityScore:
+    def test_flap_stream_scores(self):
+        probes = [e for e in _scenario().stream_events() if e.kind == "probe"]
+        score = quality_score(probes)
+        assert score.probes == len(probes)
+        assert score.successes == sum(1 for p in probes if p.ok)
+        assert 0.0 < score.success_rate < 1.0
+        # Down-phase probes are much slower, so p95 >> p50.
+        assert score.latency_p95 > score.latency_p50
+        assert set(score.to_dict()) == {
+            "probes", "successes", "success_rate", "latency_p50",
+            "latency_p95",
+        }
+
+    def test_empty_window_has_no_score(self):
+        assert quality_score([]) is None
+
+
+class TestIncidentGrouping:
+    def test_each_down_phase_opens_exactly_one_incident(self):
+        scenario = _scenario(flaps=6)
+        detector = QualityDetector()
+        for event in scenario.stream_events():
+            detector.observe(event)
+        down_phases = scenario.down_phases()
+        # The final 1-probe down-phase follows the last flap's without a
+        # healthy probe between them, so those two merge: N incidents.
+        assert len(detector.incidents) == len(down_phases) - 1
+        # Every down-phase probe landed in some incident; no up-phase
+        # probe did (zero false positives on the seeded stream).
+        flagged = {seq for i in detector.incidents for seq in i.probe_seqs}
+        down_seqs = set()
+        for phase in down_phases:
+            for seq in range(phase["first_seq"], phase["last_seq"] + 1):
+                down_seqs.add(seq)
+        assert flagged == down_seqs
+        assert all(i.reasons == ["unhealthy"] for i in detector.incidents)
+
+    def test_healthy_probe_closes_the_incident(self):
+        detector = QualityDetector()
+        assert detector.observe(_probe(0)) is None
+        opened = detector.observe(_probe(1, ok=False))
+        assert opened is not None and opened.key == "incident-seq1"
+        assert detector.observe(_probe(2, ok=False)) is None  # extends
+        assert detector.observe(_probe(3)) is None  # closes
+        reopened = detector.observe(_probe(4, ok=False))
+        assert reopened is not None and reopened.key == "incident-seq4"
+        assert opened.probe_seqs == [1, 2]
+
+    def test_non_probe_events_are_ignored(self):
+        detector = QualityDetector()
+        setup = next(
+            e for e in _scenario().stream_events() if e.kind == "setup"
+        )
+        assert detector.observe(setup) is None
+        assert detector.incidents == []
+
+
+class TestLatencyOutlier:
+    def test_slow_probe_flags_after_baseline_established(self):
+        detector = QualityDetector(latency_factor=3.0, min_baseline=3)
+        for seq in range(3):
+            assert detector.observe(_probe(seq, latency=10.0)) is None
+        slow = detector.observe(_probe(3, latency=40.0))
+        assert slow is not None
+        assert slow.reasons == ["latency-outlier"]
+
+    def test_no_flag_before_baseline(self):
+        detector = QualityDetector(min_baseline=3)
+        assert detector.observe(_probe(0, latency=500.0)) is None
+        assert detector.incidents == []
+
+    def test_moderate_latency_stays_healthy(self):
+        detector = QualityDetector(latency_factor=3.0, min_baseline=3)
+        for seq in range(5):
+            assert detector.observe(_probe(seq, latency=10.0)) is None
+        assert detector.observe(_probe(5, latency=25.0)) is None

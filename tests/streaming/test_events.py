@@ -1,0 +1,84 @@
+"""Wire format: checksummed NDJSON round-trips, corruption by value."""
+
+import pytest
+
+from repro.errors import ReproError
+from repro.scenarios import ALL_SCENARIOS
+from repro.streaming import (
+    Gap,
+    StreamEvent,
+    decode_line,
+    dump_events,
+    encode_event,
+    load_events,
+)
+
+
+def _stream(flaps=3):
+    return ALL_SCENARIOS["FLAP"](flaps=flaps).stream_events()
+
+
+class TestRoundTrip:
+    def test_every_flap_event_round_trips(self):
+        for event in _stream():
+            assert decode_line(encode_event(event)) == event
+
+    def test_sequence_numbers_are_dense_from_zero(self):
+        events = _stream()
+        assert [event.seq for event in events] == list(range(len(events)))
+
+    def test_dump_and_load(self, tmp_path):
+        events = _stream()
+        path = str(tmp_path / "stream.ndjson")
+        assert dump_events(events, path) == len(events)
+        assert load_events(path) == events
+
+    def test_probe_events_carry_outcomes(self):
+        probes = [e for e in _stream() if e.kind == "probe"]
+        assert probes
+        for probe in probes:
+            assert probe.ok in (True, False)
+            assert probe.outcome["host"] in ("service", "sorry")
+            assert probe.outcome["latency_ms"] > 0
+        assert any(p.ok for p in probes) and any(not p.ok for p in probes)
+
+    def test_non_probe_events_have_no_outcome(self):
+        for event in _stream():
+            if event.kind != "probe":
+                assert event.outcome is None and event.ok is None
+
+
+class TestCorruption:
+    def test_bit_flip_is_reported_by_value(self):
+        line = encode_event(_stream()[0])
+        flipped = line[:-1] + ("x" if line[-1] != "x" else "y")
+        assert decode_line(flipped) is None
+
+    def test_torn_line_is_reported_by_value(self):
+        line = encode_event(_stream()[0])
+        assert decode_line(line[: len(line) // 2]) is None
+
+    def test_garbage_is_reported_by_value(self):
+        assert decode_line("deadbeef {not json}") is None
+        assert decode_line("") is None
+
+    def test_load_drops_torn_tail(self, tmp_path):
+        events = _stream()
+        path = str(tmp_path / "stream.ndjson")
+        dump_events(events, path)
+        with open(path, "a", encoding="utf-8") as handle:
+            handle.write(encode_event(events[0])[:20])  # torn final write
+        assert load_events(path) == events
+
+    def test_unknown_kind_rejected_at_construction(self):
+        event = _stream()[0]
+        with pytest.raises(ReproError):
+            StreamEvent(0, 0.0, "mystery", event.tuple)
+
+
+class TestGap:
+    def test_span_accounting(self):
+        gap = Gap(4, 7)
+        assert gap.lost == 4
+        assert gap.describe() == "gap(seq=4..7)"
+        assert gap == Gap(4, 7) and gap != Gap(4, 8)

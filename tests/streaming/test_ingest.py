@@ -1,0 +1,144 @@
+"""The ingestion front-end: dedup, reorder buffer, watermark, gaps."""
+
+import pytest
+
+from repro.errors import ReproError
+from repro.scenarios import ALL_SCENARIOS
+from repro.streaming import Gap, Ingestor, StreamEvent, encode_event
+from repro.streaming.events import iter_lines
+
+
+def _events(flaps=3):
+    return ALL_SCENARIOS["FLAP"](flaps=flaps).stream_events()
+
+
+def _ingest_all(ingestor, events):
+    out = []
+    for event in events:
+        out.extend(ingestor.push(event))
+    out.extend(ingestor.flush())
+    return out
+
+
+class TestInOrder:
+    def test_clean_stream_passes_through(self):
+        events = _events()
+        ingestor = Ingestor()
+        assert _ingest_all(ingestor, events) == events
+        stats = ingestor.stats
+        assert stats.delivered == len(events)
+        assert stats.duplicates == stats.corrupt == stats.gaps == 0
+        assert ingestor.watermark == len(events)
+
+    def test_wire_lines_pass_through(self):
+        events = _events()
+        ingestor = Ingestor()
+        out = []
+        for line in iter_lines(events):
+            out.extend(ingestor.push_line(line))
+        out.extend(ingestor.flush())
+        assert out == events
+
+
+class TestDedup:
+    def test_duplicates_absorbed_after_delivery(self):
+        events = _events()
+        ingestor = Ingestor()
+        out = []
+        for event in events:
+            out.extend(ingestor.push(event))
+            out.extend(ingestor.push(event))  # transport echoed everything
+        out.extend(ingestor.flush())
+        assert out == events
+        assert ingestor.stats.duplicates == len(events)
+
+    def test_duplicates_absorbed_while_buffered(self):
+        events = _events()
+        ingestor = Ingestor(lateness=8)
+        # Event 1 arrives early, twice; then 0 unlocks both in order.
+        assert ingestor.push(events[1]) == []
+        assert ingestor.push(events[1]) == []
+        assert ingestor.push(events[0]) == [events[0], events[1]]
+        assert ingestor.stats.duplicates == 1
+
+
+class TestReorder:
+    def test_reordering_within_lateness_is_invisible(self):
+        events = _events()
+        scrambled = list(events)
+        # Swap adjacent pairs: displacement 1, far under the bound.
+        for index in range(0, len(scrambled) - 1, 2):
+            scrambled[index], scrambled[index + 1] = (
+                scrambled[index + 1], scrambled[index],
+            )
+        ingestor = Ingestor(lateness=4)
+        assert _ingest_all(ingestor, scrambled) == events
+        assert ingestor.stats.gaps == 0
+        assert ingestor.stats.reordered > 0
+
+
+class TestGaps:
+    def test_loss_beyond_lateness_becomes_a_gap(self):
+        events = _events()
+        lossy = [event for event in events if event.seq != 5]
+        ingestor = Ingestor(lateness=3)
+        out = _ingest_all(ingestor, lossy)
+        gaps = [item for item in out if isinstance(item, Gap)]
+        assert gaps == [Gap(5, 5)]
+        assert [e for e in out if isinstance(e, StreamEvent)] == lossy
+        assert ingestor.stats.lost == 1
+
+    def test_gap_emitted_as_soon_as_lateness_exceeded(self):
+        events = _events()
+        lossy = [event for event in events if event.seq != 5]
+        ingestor = Ingestor(lateness=3)
+        out = []
+        emitted_at = None
+        for event in lossy:
+            for item in ingestor.push(event):
+                if isinstance(item, Gap) and emitted_at is None:
+                    emitted_at = event.seq
+                out.append(item)
+        # The gap surfaced when the buffer stretched `lateness` past the
+        # watermark — not at flush time.
+        assert emitted_at == 5 + 3
+
+    def test_trailing_loss_surfaces_at_flush(self):
+        events = _events()
+        lossy = events[:-3] + [events[-1]]  # two events torn off the tail
+        ingestor = Ingestor(lateness=8)
+        out = _ingest_all(ingestor, lossy)
+        gaps = [item for item in out if isinstance(item, Gap)]
+        assert gaps == [Gap(events[-3].seq, events[-2].seq)]
+
+    def test_multiple_gaps(self):
+        events = _events()
+        lossy = [e for e in events if e.seq not in (4, 5, 11)]
+        ingestor = Ingestor(lateness=2)
+        out = _ingest_all(ingestor, lossy)
+        gaps = [item for item in out if isinstance(item, Gap)]
+        assert gaps == [Gap(4, 5), Gap(11, 11)]
+        assert ingestor.stats.lost == 3
+
+
+class TestCorruptLines:
+    def test_corrupt_lines_counted_not_raised(self):
+        events = _events()
+        ingestor = Ingestor(lateness=50)
+        out = []
+        for event in events:
+            line = encode_event(event)
+            if event.seq == 3:
+                line = line[:-4] + "zzzz"  # bit rot
+            out.extend(ingestor.push_line(line))
+        out.extend(ingestor.flush())
+        assert ingestor.stats.corrupt == 1
+        # The corrupt line *is* a lost event: it surfaces as a gap.
+        gaps = [item for item in out if isinstance(item, Gap)]
+        assert gaps == [Gap(3, 3)]
+
+
+class TestValidation:
+    def test_lateness_must_be_positive(self):
+        with pytest.raises(ReproError):
+            Ingestor(lateness=0)

@@ -1,0 +1,133 @@
+"""Sliding windows: GC bound, base folding, deterministic materialize."""
+
+from repro.scenarios import ALL_SCENARIOS
+from repro.streaming import Gap, StreamWindow
+
+
+def _scenario(flaps=3):
+    return ALL_SCENARIOS["FLAP"](flaps=flaps).setup()
+
+
+def _fill(window, events):
+    for event in events:
+        window.push(event)
+    return window
+
+
+def _log_of(execution):
+    return [(e.op, str(e.tuple), e.mutable) for e in execution.log.entries]
+
+
+class TestGC:
+    def test_peak_live_is_o_window_not_o_stream(self):
+        # Doubling the stream length must leave peak memory flat: the
+        # base folds config churn in place and discards expired probes.
+        peaks = {}
+        for flaps in (20, 40):
+            scenario = _scenario(flaps=flaps)
+            window = _fill(StreamWindow(scenario.program, capacity=12),
+                           scenario.stream_events())
+            peaks[flaps] = window.peak_live
+            assert window.expired_events == len(scenario.stream) - 12
+        assert peaks[20] == peaks[40]
+        assert peaks[40] < len(_scenario(flaps=40).stream) / 4
+
+    def test_event_list_never_exceeds_capacity(self):
+        scenario = _scenario(flaps=10)
+        window = StreamWindow(scenario.program, capacity=6)
+        for event in scenario.stream_events():
+            window.push(event)
+            assert len(window.events) <= 6
+
+    def test_peak_tracks_high_water_mark(self):
+        scenario = _scenario()
+        window = _fill(StreamWindow(scenario.program, capacity=100),
+                       scenario.stream_events())
+        # Nothing expired: everything the stream carried is live.
+        assert window.peak_live == len(scenario.stream)
+        assert window.expired_events == 0
+
+
+class TestBaseFold:
+    def test_final_config_state_independent_of_capacity(self):
+        # Folding expired inserts/deletes into the base must preserve
+        # the live configuration at the right edge exactly.
+        scenario = _scenario(flaps=5)
+        events = scenario.stream_events()
+        reference = _fill(
+            StreamWindow(scenario.program, capacity=len(events)), events
+        ).materialize().graph.live_tuples("flowEntry")
+        folded = _fill(
+            StreamWindow(scenario.program, capacity=5), events
+        ).materialize().graph.live_tuples("flowEntry")
+        assert sorted(map(str, folded)) == sorted(map(str, reference))
+        # The stream ends mid-down-phase: the primary route is out.
+        assert str(scenario.primary_route) not in set(map(str, folded))
+
+    def test_expired_probes_are_collected(self):
+        scenario = _scenario(flaps=5)
+        events = scenario.stream_events()
+        window = _fill(StreamWindow(scenario.program, capacity=4), events)
+        materialized = window.materialize()
+        in_window_probes = [e for e in window.events if e.kind == "probe"]
+        logged_packets = [
+            entry for entry in materialized.log.entries
+            if entry.tuple is not None and entry.tuple.table == "packet"
+        ]
+        assert len(logged_packets) == len(in_window_probes)
+        assert len(in_window_probes) < len(
+            [e for e in events if e.kind == "probe"]
+        )
+
+
+class TestMaterialize:
+    def test_same_window_materializes_identically(self):
+        scenario = _scenario()
+        window = _fill(StreamWindow(scenario.program, capacity=8),
+                       scenario.stream_events())
+        assert _log_of(window.materialize()) == _log_of(window.materialize())
+
+    def test_base_inserted_before_events(self):
+        scenario = _scenario()
+        window = _fill(StreamWindow(scenario.program, capacity=8),
+                       scenario.stream_events())
+        log = _log_of(window.materialize())
+        event_strs = [str(e.tuple) for e in window.events]
+        assert [item[1] for item in log[-len(event_strs):]] == event_strs
+
+    def test_span(self):
+        scenario = _scenario()
+        events = scenario.stream_events()
+        window = _fill(StreamWindow(scenario.program, capacity=8), events)
+        assert window.span() == (events[-8].seq, events[-1].seq)
+        assert StreamWindow(scenario.program).span() is None
+
+
+class TestGaps:
+    def test_gap_in_window_degrades(self):
+        scenario = _scenario()
+        events = scenario.stream_events()
+        window = StreamWindow(scenario.program, capacity=50)
+        for event in events[:10]:
+            window.push(event)
+        window.push(Gap(10, 11))
+        for event in events[12:]:
+            window.push(event)
+        assert window.gapped
+        assert window.unknown_spans() == ["gap(seq=10..11)"]
+        assert not window.base_suspect
+
+    def test_expired_gap_taints_base_forever(self):
+        scenario = _scenario(flaps=10)
+        events = scenario.stream_events()
+        window = StreamWindow(scenario.program, capacity=6)
+        for event in events[:10]:
+            window.push(event)
+        window.push(Gap(10, 11))
+        for event in events[12:]:
+            window.push(event)
+        # The gap slid out of the window long ago without resolution:
+        # a config change may have been lost, so the base is suspect.
+        assert window.base_suspect
+        assert window.gapped
+        assert window.unknown_spans() == ["base-state(unresolved gap expired)"]

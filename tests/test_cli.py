@@ -27,7 +27,7 @@ class TestCommands:
     def test_scenarios_json(self, capsys):
         assert main(["--json", "scenarios"]) == 0
         rows = json.loads(capsys.readouterr().out)
-        assert len(rows) == 13
+        assert len(rows) == 14
         assert {"name", "description"} <= set(rows[0])
 
     def test_diagnose_sdn2(self, capsys):
@@ -102,3 +102,94 @@ class TestCommands:
         graph = load_graph(out)
         assert len(graph) > 0
         assert graph.live_tuples("response")
+
+
+class TestScenarioParams:
+    def test_param_coercion(self):
+        from repro.cli import _coerce_param_value, _parse_params
+
+        assert _coerce_param_value("50") == 50
+        assert _coerce_param_value("true") is True
+        assert _coerce_param_value("False") is False
+        assert _coerce_param_value("0.25") == 0.25
+        assert _coerce_param_value("edge") == "edge"
+        assert _parse_params(["flaps=5", "name=x", "rate=0.5"]) == {
+            "flaps": 5, "name": "x", "rate": 0.5,
+        }
+
+    def test_param_reaches_the_scenario(self, capsys):
+        assert main([
+            "--json", "diagnose", "FLAP",
+            "--param", "flaps=5", "--param", "probes_per_phase=3",
+        ]) == 0
+        data = json.loads(capsys.readouterr().out)
+        assert data["success"]
+
+    def test_malformed_param_is_a_usage_error(self, capsys):
+        assert main(["diagnose", "FLAP", "--param", "flaps"]) == 2
+        assert "--param wants KEY=VALUE" in capsys.readouterr().err
+
+
+class TestMonitorCommand:
+    def test_monitor_human_output(self, capsys):
+        assert main(["monitor", "FLAP-S", "--param", "flaps=4"]) == 0
+        out = capsys.readouterr().out
+        assert "incident-seq" in out
+        assert "[confirmed]" in out
+        assert "summary:" in out
+
+    def test_monitor_json_records(self, capsys):
+        assert main([
+            "--json", "monitor", "FLAP-S", "--param", "flaps=4",
+        ]) == 0
+        data = json.loads(capsys.readouterr().out)
+        assert data["scenario"] == "FLAP-S"
+        assert len(data["records"]) == 4
+        assert data["summary"]["shed"] == 0
+        assert all(r["kind"] == "diagnosis" for r in data["records"])
+
+    def test_monitor_metrics_flag(self, capsys):
+        assert main([
+            "monitor", "FLAP-S", "--param", "flaps=3", "--metrics",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "metrics:" in out
+        assert "streaming.monitor.diagnoses" in out
+
+    def test_monitor_records_out(self, capsys, tmp_path):
+        out = str(tmp_path / "records.ndjson")
+        assert main([
+            "monitor", "FLAP-S", "--param", "flaps=3",
+            "--records-out", out,
+        ]) == 0
+        lines = open(out, encoding="utf-8").read().splitlines()
+        assert len(lines) == 3
+        assert all(json.loads(line)["kind"] == "diagnosis" for line in lines)
+
+    def test_monitor_dump_stream_then_replay_file(self, capsys, tmp_path):
+        stream = str(tmp_path / "stream.ndjson")
+        assert main([
+            "--json", "monitor", "FLAP-S", "--param", "flaps=3",
+            "--dump-stream", stream,
+        ]) == 0
+        dumped = json.loads(capsys.readouterr().out)
+        assert dumped["events"] > 0
+
+        assert main([
+            "--json", "monitor", "FLAP-S", "--stream", stream,
+        ]) == 0
+        replayed = json.loads(capsys.readouterr().out)
+        assert len(replayed["records"]) == 3
+
+    def test_monitor_under_stream_faults_degrades_in_output(self, capsys):
+        assert main([
+            "monitor", "FLAP-S", "--param", "flaps=8",
+            "--faults", "event-drop=0.08,seed=3",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "[uncertain]" in out
+        assert "UNKNOWN gap(seq=" in out
+
+    def test_monitor_bad_fault_spec_is_a_usage_error(self, capsys):
+        assert main(["monitor", "FLAP-S", "--faults", "bogus=1"]) == 2
+        assert "error" in capsys.readouterr().err
