@@ -78,6 +78,7 @@ from .provenance import (
     provenance_query,
     tree_edit_distance,
 )
+from .repair import RollbackPlan, RollbackPlanner
 from .replay import Change, Checkpointer, EventLog, Execution, ReplayCache
 from .api import Session
 
@@ -146,6 +147,8 @@ __all__ = [
     "provenance_query",
     "naive_diff",
     "tree_edit_distance",
+    "RollbackPlan",
+    "RollbackPlanner",
     "Change",
     "Checkpointer",
     "EventLog",

@@ -104,6 +104,11 @@ class Session:
     ``resilience``
         A :class:`repro.resilience.ResiliencePolicy` tuning the
         self-healing candidate evaluator.
+    ``repair``
+        Run the rollback planner (:mod:`repro.repair`) after every
+        successful diagnosis and attach ranked, replay-verified fix
+        plans as ``report.repair`` (docs/repair.md).  Equivalent to
+        calling :meth:`repair` instead of :meth:`diagnose`.
     ``scenario_params``
         Extra keyword arguments forwarded to the scenario class in
         scenario mode, e.g. ``scenario_params={"background_packets":
@@ -143,6 +148,7 @@ class Session:
         cache=None,
         deadline_s: Optional[float] = None,
         resilience=None,
+        repair: bool = False,
         scenario_params: Optional[Dict] = None,
     ):
         if scenario is not None and program is not None:
@@ -192,6 +198,7 @@ class Session:
             replay_cache=replay_cache,
             deadline=deadline_s,
             resilience=resilience,
+            repair=repair,
         )
         self.journal_path = journal
         self._resume = bool(resume)
@@ -343,7 +350,11 @@ class Session:
 
     # -- diagnostics ---------------------------------------------------------
 
-    def diagnose(self, resume_from: Optional[str] = None) -> DiagnosisReport:
+    def diagnose(
+        self,
+        resume_from: Optional[str] = None,
+        repair: Optional[bool] = None,
+    ) -> DiagnosisReport:
         """Run DiffProv on the session's good/bad events.
 
         ``resume_from`` names an existing journal file to resume; it
@@ -351,18 +362,40 @@ class Session:
         this one call.  Resumed runs skip candidate replays whose
         verdicts the journal already holds and still produce a
         ``canonical_json()`` byte-identical to an uninterrupted run.
+
+        ``repair`` overrides the constructor's ``repair`` knob for this
+        one call: ``True`` attaches ranked rollback plans as
+        ``report.repair`` (docs/repair.md).
         """
         self.setup()
-        debugger = DiffProv(self.program, self.options)
-        with self._journal_scope("diagnose", resume_from):
-            return debugger.diagnose(
-                self.good,
-                self.bad,
-                self.good_event,
-                self.bad_event,
-                self.good_time,
-                self.bad_time,
-            )
+        saved_repair = self.options.repair
+        if repair is not None:
+            # Set before the journal scope opens: the fingerprint
+            # records the effective option, and repair verdicts only
+            # resume into a repair-enabled run.
+            self.options.repair = bool(repair)
+        try:
+            debugger = DiffProv(self.program, self.options)
+            with self._journal_scope("diagnose", resume_from):
+                return debugger.diagnose(
+                    self.good,
+                    self.bad,
+                    self.good_event,
+                    self.bad_event,
+                    self.good_time,
+                    self.bad_time,
+                )
+        finally:
+            self.options.repair = saved_repair
+
+    def repair(self, resume_from: Optional[str] = None) -> DiagnosisReport:
+        """Diagnose, then plan and verify rollback fixes (docs/repair.md).
+
+        Shorthand for ``diagnose(repair=True)``: the returned report's
+        ``repair`` section carries the ranked, replay-verified plans
+        (and the rejected candidates with their rejection reasons).
+        """
+        return self.diagnose(resume_from=resume_from, repair=True)
 
     def autoref(
         self, limit: int = 10, resume_from: Optional[str] = None
@@ -413,8 +446,9 @@ class Session:
         stream-fault plan (``event-drop``/``event-dup``/
         ``event-reorder``/``clock-skew``), ``engine`` the evaluation
         backend for window replays, ``deadline_s`` the per-incident
-        diagnosis budget, ``minimize`` the minimality post-pass, and
-        ``journal``/``resume`` (or ``resume_from``) the write-ahead
+        diagnosis budget, ``minimize`` the minimality post-pass,
+        ``repair`` the per-incident rollback planner (docs/repair.md),
+        and ``journal``/``resume`` (or ``resume_from``) the write-ahead
         record journal: a SIGKILL'd monitor resumed over the same
         stream re-emits the identical record sequence.
 
@@ -462,6 +496,7 @@ class Session:
                 lateness=lateness,
                 engine=self.engine_config,
                 minimize=self.options.minimize,
+                repair=self.options.repair,
                 deadline_s=self.options.deadline,
                 max_pending=max_pending,
                 diagnose_every=diagnose_every,
@@ -493,6 +528,7 @@ class Session:
             "stream_sha": source.fingerprint(),
             "options": {
                 "minimize": self.options.minimize,
+                "repair": self.options.repair,
             },
         }
         fingerprint.update(knobs)
@@ -549,6 +585,7 @@ class Session:
                 "enable_repair": opts.enable_repair,
                 "enable_inversion": opts.enable_inversion,
                 "minimize": opts.minimize,
+                "repair": opts.repair,
                 "faults": None if plan is None else plan.describe(),
             },
         }

@@ -4,6 +4,8 @@ Subcommands::
 
     diffprov scenarios                 list the built-in scenarios
     diffprov diagnose SDN1             run DiffProv on a scenario
+    diffprov repair SDN1               diagnose, then rank replay-verified
+                                       rollback plans (docs/repair.md)
     diffprov autoref DNS               diagnose with a discovered reference
     diffprov tree SDN1 --side bad      print a provenance tree (--dot for
                                        Graphviz, --diff for Figure 2 style)
@@ -68,6 +70,12 @@ def _tuning_parent() -> argparse.ArgumentParser:
         "--minimize",
         action="store_true",
         help="greedy minimality post-pass on the returned changes",
+    )
+    parent.add_argument(
+        "--repair",
+        action="store_true",
+        help="verify ranked rollback plans after a successful diagnosis "
+        "(docs/repair.md)",
     )
     parent.add_argument(
         "--faults",
@@ -158,6 +166,14 @@ def build_parser() -> argparse.ArgumentParser:
         "diagnose", help="run DiffProv on a scenario", parents=[tuning]
     )
     _scenario_argument(diagnose)
+
+    repair_cmd = commands.add_parser(
+        "repair",
+        help="diagnose, then plan and replay-verify ranked rollback "
+        "fixes (docs/repair.md)",
+        parents=[tuning],
+    )
+    _scenario_argument(repair_cmd)
 
     autoref = commands.add_parser(
         "autoref",
@@ -359,6 +375,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     handler = {
         "scenarios": _cmd_scenarios,
         "diagnose": _cmd_diagnose,
+        "repair": _cmd_repair,
         "monitor": _cmd_monitor,
         "tree": _cmd_tree,
         "autoref": _cmd_autoref,
@@ -464,6 +481,7 @@ def _session(args, **extra) -> Session:
         journal=getattr(args, "journal", None),
         resume=getattr(args, "resume", False),
         deadline_s=getattr(args, "deadline_s", None),
+        repair=getattr(args, "repair", False),
         scenario_params=params or None,
         **extra,
     )
@@ -580,6 +598,8 @@ def _cmd_diagnose(args) -> int:
         data["confidences"] = report.confidences
         data["lost_events"] = report.lost_events
         data["unknown_subtrees"] = [str(t) for t in report.unknown_subtrees]
+    if report.repair is not None:
+        data["repair"] = report.repair
     if report.resilience is not None:
         data["resilience"] = report.resilience
     extra_lines: List[str] = []
@@ -590,6 +610,19 @@ def _cmd_diagnose(args) -> int:
     if extra_lines:
         text += "\n" + "\n".join(extra_lines)
     return _emit(args, data, text)
+
+
+def _cmd_repair(args) -> int:
+    """``diffprov repair``: diagnose with rollback planning forced on.
+
+    Same output shape as ``diagnose`` (the summary gains the repair
+    lines; ``--json`` gains the ``repair`` section), same journal,
+    deadline and signal behaviour — the resume hint printed on Ctrl-C
+    names this subcommand, and a resumed run skips both the recorded
+    candidate verdicts and the recorded plan verdicts.
+    """
+    args.repair = True
+    return _cmd_diagnose(args)
 
 
 def _cmd_monitor(args) -> int:

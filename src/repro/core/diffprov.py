@@ -83,6 +83,7 @@ class DiffProvOptions:
         "journal",
         "deadline",
         "resilience",
+        "repair",
     )
 
     def __init__(
@@ -101,6 +102,7 @@ class DiffProvOptions:
         journal=None,
         deadline=None,
         resilience=None,
+        repair: bool = False,
     ):
         self.max_rounds = max_rounds
         self.enable_taint = enable_taint
@@ -142,6 +144,12 @@ class DiffProvOptions:
         # Optional ResiliencePolicy for the candidate evaluator (pool
         # respawn bound, per-candidate timeouts, hedging).
         self.resilience = resilience
+        # Rollback planning (repro.repair, docs/repair.md): after a
+        # successful diagnosis, enumerate and replay-verify ranked fix
+        # plans and attach them as report.repair.  Distinct from
+        # enable_repair, which gates the condition-repair value
+        # synthesis inside the loop itself.
+        self.repair = repair
 
     def __getstate__(self):
         # Shipped to worker processes along with the diagnosis state;
@@ -198,6 +206,7 @@ class DiffProv:
         if telemetry is None:
             try:
                 report = state.run(good_event, bad_event, good_time, bad_time)
+                state.maybe_repair(report)
             except (
                 DeadlineExceeded,
                 DiagnosisFailure,
@@ -228,6 +237,7 @@ class DiffProv:
                     report = state.run(
                         good_event, bad_event, good_time, bad_time
                     )
+                    state.maybe_repair(report)
                     root.set("success", report.success)
                     root.set("rounds", len(report.rounds))
             except (
@@ -403,6 +413,9 @@ class _DiagnosisState:
         # journal) never cross-reads another candidate's verdicts.
         self.good_event: Optional[Tuple] = None
         self.bad_event: Optional[Tuple] = None
+        # The bad seed's log anchor, recorded by run() for the
+        # post-diagnosis rollback planner (repro.repair).
+        self.anchor_index: Optional[int] = None
 
     def __getstate__(self):
         # Shipped to candidate-evaluator workers: telemetry, the
@@ -505,6 +518,7 @@ class _DiagnosisState:
 
         path = self.good_seed.path_to_root()
         anchor_index = self.bad.log.index_of_insert(self.bad_seed.tuple)
+        self.anchor_index = anchor_index
         replayed = bad_result
 
         # Rounds that produce changes count against max_rounds; under
@@ -940,6 +954,79 @@ class _DiagnosisState:
         ).hexdigest()
         self.journal.result(report.success, sha,
                             category=report.failure_category)
+
+    # ------------------------------------------------------------------
+    # Rollback planning (repro.repair, docs/repair.md).
+    # ------------------------------------------------------------------
+
+    def maybe_repair(self, report) -> None:
+        """Attach ranked, replay-verified rollback plans to the report.
+
+        Runs only after a *successful* diagnosis with ``repair=True``.
+        A degraded diagnosis (recovered provenance, UNKNOWN subtrees)
+        yields a skipped section — its Δ is not trustworthy enough to
+        plan fixes from.  Deadline expiry mid-planning degrades to
+        "diagnosis only": the diagnosis itself still succeeds, with a
+        repair section that says why it is empty.
+        """
+        if not self.options.repair or not report.success:
+            return
+        self._journal_phase("repair")
+        if report.degraded:
+            report.repair = {
+                "status": "skipped-degraded",
+                "probes": 0,
+                "replays": 0,
+                "plans": [],
+                "rejected": [],
+            }
+            return
+        # Imported lazily: repro.repair imports replay machinery that
+        # in turn imports this module.
+        from ..repair import RollbackPlanner
+
+        planner = RollbackPlanner(
+            self.program,
+            self.bad,
+            good_event=self.good_event,
+            bad_event=self.bad_event,
+            changes=report.changes,
+            anchor_index=self.anchor_index,
+            workers=self.options.workers,
+            fault_plan=self.fault_plan,
+            journal=self.journal,
+            deadline=self.deadline,
+            telemetry=self.telemetry,
+            resilience=self.options.resilience,
+        )
+        try:
+            with self._timed("repair"):
+                report.repair = planner.plan()
+        except DeadlineExceeded:
+            self.deadline_expired_in = "repair"
+            report.repair = {
+                "status": "deadline-exceeded",
+                "probes": 0,
+                "replays": planner.replays,
+                "plans": [],
+                "rejected": [],
+            }
+        finally:
+            for name, value in planner.evaluator_counters.items():
+                if value:
+                    self.evaluator_counters[name] = (
+                        self.evaluator_counters.get(name, 0) + value
+                    )
+        if self.telemetry is not None:
+            section = report.repair
+            self.telemetry.fold_counters(
+                "repair",
+                {
+                    "plans_verified": len(section.get("plans", ())),
+                    "plans_rejected": len(section.get("rejected", ())),
+                    "replays": section.get("replays", 0),
+                },
+            )
 
     # ------------------------------------------------------------------
     # FIRSTDIV: walking the seed→root branch.

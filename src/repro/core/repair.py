@@ -15,6 +15,15 @@ mutable base tuple that makes the condition hold.  Two mechanisms:
   :func:`repro.datalog.expr.invert` (Section 4.5's ``q = x + 2``
   example).  Rules whose computations cannot be inverted make DiffProv
   fail with the *attempted change* as a clue (Section 4.7).
+
+This module is **condition repair** — *value synthesis* — and runs
+inside the DiffProv loop to build the change set Δ(B→G).  It answers
+"what should this tuple say instead?", one field at a time.  The
+complementary question — *which* base tuples/config entries to revert,
+to what, and in what order, verified so the fix clears the symptom
+without breaking good behaviour — is **rollback planning**, and lives
+in :mod:`repro.repair` (docs/repair.md), which consumes the values
+synthesized here via the diagnosis's change set.
 """
 
 from __future__ import annotations

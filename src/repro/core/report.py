@@ -94,6 +94,7 @@ class DiagnosisReport:
         lost_events: int = 0,
         telemetry: Optional[Dict[str, object]] = None,
         resilience: Optional[Dict[str, object]] = None,
+        repair: Optional[Dict[str, object]] = None,
     ):
         self.success = success
         self.changes = list(changes)
@@ -128,6 +129,13 @@ class DiagnosisReport:
         # — a resumed run differs here (candidates skipped) while its
         # canonical report stays byte-identical.
         self.resilience = resilience
+        # Rollback-planning section (repro.repair, docs/repair.md):
+        # ranked, replay-verified fix plans plus the rejected
+        # candidates.  Unlike timings/telemetry/resilience it is a
+        # *conclusion*, so it IS part of canonical_dict() and must be
+        # byte-identical across workers × cache × resume.  None when
+        # planning was not requested.
+        self.repair = repair
 
     # -- derived views -----------------------------------------------------
 
@@ -237,6 +245,7 @@ class DiagnosisReport:
                 for side, stats in sorted(self.distributed_stats.items())
             },
             "lost_events": self.lost_events,
+            "repair": self.repair,
         }
 
     def canonical_json(self) -> str:
@@ -291,9 +300,39 @@ class DiagnosisReport:
             f"bad={self.bad_tree_size} vertexes; "
             f"seeds: {self.good_seed} / {self.bad_seed}"
         )
+        lines.extend(self._repair_lines())
         lines.extend(self._resilience_lines())
         lines.extend(self._phase_lines())
         return "\n".join(lines)
+
+    def _repair_lines(self) -> List[str]:
+        section = self.repair
+        if not section:
+            return []
+        status = section.get("status")
+        if status != "ok":
+            return [f"  repair: {status} (no plans)"]
+        plans = section.get("plans") or []
+        rejected = section.get("rejected") or []
+        lines = [
+            f"  repair: {len(plans)} verified plan(s), "
+            f"{len(rejected)} rejected, "
+            f"{section.get('probes', 0)} good probe(s) held "
+            f"({section.get('replays', 0)} verification replay(s))"
+        ]
+        for plan in plans:
+            lines.append(
+                f"    #{plan.get('rank')} [{plan.get('origin')}] "
+                f"edit={plan.get('edit_size')} "
+                f"blast={plan.get('blast_radius')}"
+            )
+            for step in plan.get("steps", ()):
+                lines.append(f"       {step}")
+        for entry in rejected:
+            lines.append(
+                f"    rejected [{entry.get('origin')}]: {entry.get('reason')}"
+            )
+        return lines
 
     def _resilience_lines(self) -> List[str]:
         section = self.resilience or {}

@@ -1,0 +1,504 @@
+"""Rollback plans: enumeration, counterfactual verification, ranking.
+
+A :class:`RollbackPlan` is an ordered list of base-tuple
+:class:`~repro.replay.replayer.Change` steps derived from a finished
+diagnosis.  The planner enumerates a small deterministic candidate set
+(revert-to-reference, per-change singletons, insert-only and
+delete-only narrowings of each modification), verifies each candidate
+by replaying the bad execution with the plan applied — through the
+shared :class:`~repro.replay.cache.ReplayCache` prefix forks, and over
+:class:`~repro.replay.parallel.CandidateEvaluator` waves when
+``workers > 1`` — and keeps only plans where the bad symptom is gone
+**and** every good probe still holds (:mod:`repro.repair.probes`).
+
+Survivors are ranked ascending by ``(edit size, blast radius, touched
+tuples, plan key)``; the winner is the smallest fix that lands the
+system closest to the verified reference world.  Verdicts are recorded
+in the write-ahead journal (kind ``"repair"``), so a SIGKILL'd run
+resumes without re-replaying, and the returned section is pure JSON —
+it goes into ``report.repair`` and is part of the canonical report.
+
+This module decides *which* tuples to revert; the changed values
+themselves were synthesized during the diagnosis by
+:mod:`repro.core.repair` (condition repair).  See the package
+docstring and docs/repair.md for the split.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from ..datalog.tuples import TableKind
+from ..errors import ReproError, StepLimitExceeded
+from ..faults import FaultInjector
+from ..replay.cache import ReplayCache
+from ..replay.parallel import CandidateEvaluator
+from ..replay.replayer import Change
+from .probes import alive_state, probe_suite
+
+__all__ = [
+    "RollbackPlan",
+    "RollbackPlanner",
+    "MAX_PLANS",
+    "MAX_LISTED_PROBES",
+    "REJECT_SYMPTOM",
+    "REJECT_PROBES",
+    "REJECT_REPLAY",
+]
+
+# Enumeration cap: the candidate set is quadratic-free by construction
+# (at most 1 + n + 2n plans for n changes), but a pathological
+# diagnosis with dozens of changes should not replay dozens of plans.
+MAX_PLANS = 16
+
+# Failed probes listed per rejected plan (the full count is reported).
+MAX_LISTED_PROBES = 5
+
+# Rejection reasons (machine-readable, part of the canonical section).
+REJECT_SYMPTOM = "symptom-persists"
+REJECT_PROBES = "breaks-good-probes"
+REJECT_REPLAY = "replay-failed"
+
+
+class RollbackPlan:
+    """One candidate fix: ordered base-tuple changes plus provenance.
+
+    ``origin`` records how the plan was enumerated
+    (``revert-to-reference``, ``single-change``, ``insert-missing``,
+    ``delete-spurious``) — it is display metadata; plan identity (and
+    journal keying) rests on the steps alone.
+    """
+
+    __slots__ = ("steps", "origin")
+
+    def __init__(self, steps: Sequence[Change], origin: str):
+        self.steps = list(steps)
+        if not self.steps:
+            raise ReproError("a RollbackPlan needs at least one step")
+        self.origin = origin
+
+    @property
+    def edit_size(self) -> int:
+        """Number of change steps — the primary ranking key."""
+        return len(self.steps)
+
+    @property
+    def touched(self) -> int:
+        """Base tuples the plan inserts or removes (tie-breaker)."""
+        count = 0
+        for step in self.steps:
+            if step.insert is not None:
+                count += 1
+            count += len(step.remove)
+        return count
+
+    def describe_steps(self) -> List[str]:
+        return [step.describe() for step in self.steps]
+
+    def key(self) -> str:
+        """Deterministic identity: the canonical step descriptions."""
+        return "|".join(self.describe_steps())
+
+    def __repr__(self):
+        return f"RollbackPlan({self.origin}, {self.key()})"
+
+
+def _probe_plan(shared, index):
+    """Worker-side verification of one rollback plan.
+
+    Runs in a forked process (or on a pickled clone inline — see
+    :class:`repro.replay.parallel.CandidateEvaluator`); nothing it
+    touches leaks back to the planning process.  Plan verdicts are
+    independent of each other, so unlike the minimality pass no wave
+    invalidation is needed — every plan in the wave is consumed.
+    """
+    planner, plans = shared
+    if planner.bad.replay_cache is None:
+        # Worker-local snapshot cache: plans landing on the same worker
+        # fork from shared prefixes instead of re-deriving.
+        planner.bad.replay_cache = ReplayCache()
+    return planner.verify(plans[index])
+
+
+class RollbackPlanner:
+    """Turn one successful diagnosis into ranked, replay-verified plans."""
+
+    def __init__(
+        self,
+        program,
+        bad,
+        *,
+        good_event,
+        bad_event,
+        changes: Sequence[Change],
+        anchor_index: Optional[int],
+        workers: int = 1,
+        fault_plan=None,
+        journal=None,
+        deadline=None,
+        telemetry=None,
+        resilience=None,
+    ):
+        self.program = program
+        self.bad = bad
+        self.good_event = good_event
+        self.bad_event = bad_event
+        self.changes = list(changes)
+        self.anchor_index = anchor_index
+        self.workers = workers
+        self.fault_plan = fault_plan
+        self.journal = journal
+        self.deadline = deadline
+        self.telemetry = telemetry
+        self.resilience = resilience
+        # Logical replay accounting: +1 per verdict consumed whether it
+        # came from a live replay, a snapshot restore, or a journal hit
+        # — the count is part of the canonical section, so it must be
+        # identical across workers × cache × resume.
+        self.replays = 0
+        self.evaluator_counters: Dict[str, int] = {}
+        self.probes = frozenset()
+        self.reference_alive = frozenset()
+        self.mutable_base: List = []
+        self._prepared = False
+
+    def __getstate__(self):
+        # Shipped to candidate-evaluator workers: telemetry, the
+        # journal (open file handle), and the deadline (live clock)
+        # stay behind, exactly like _DiagnosisState.
+        state = self.__dict__.copy()
+        state["telemetry"] = None
+        state["journal"] = None
+        state["deadline"] = None
+        return state
+
+    # -- the pipeline ---------------------------------------------------------
+
+    def plan(self) -> Dict[str, object]:
+        """Enumerate, verify, and rank; returns the ``repair`` section.
+
+        Raises :class:`~repro.errors.DeadlineExceeded` when the shared
+        diagnosis budget runs out — the caller degrades the section to
+        "diagnosis only" (docs/repair.md).
+        """
+        if not self.changes:
+            return {
+                "status": "no-changes",
+                "probes": 0,
+                "replays": 0,
+                "plans": [],
+                "rejected": [],
+            }
+        self._check_deadline()
+        self.prepare()
+        plans = self.enumerate()
+        verdicts = self._verify_all(plans)
+        return self._section(plans, verdicts)
+
+    def prepare(self) -> None:
+        """Build the probe suite and the reference footprint (2 replays).
+
+        ``pristine`` is the bad log replayed unchanged; ``reference``
+        is the bad log with the full diagnosis Δ applied — the world
+        the diagnosis already verified.  Both replays hit the shared
+        snapshot cache when one is attached.
+        """
+        if self._prepared:
+            return
+        pristine = self.bad.replay()
+        self.replays += 1
+        self._check_deadline()
+        reference = self.bad.replay(self.changes, self.anchor_index)
+        self.replays += 1
+        self.probes = probe_suite(pristine, reference, self.program)
+        self.reference_alive = alive_state(reference, self.program)
+        self.mutable_base = self._mutable_base(pristine)
+        self._prepared = True
+
+    def _mutable_base(self, pristine):
+        """The pristine config surface: live mutable base tuples.
+
+        The enumeration mines it for *stale counterparts* — config
+        entries one field away from a tuple the diagnosis inserts (in
+        SDN1: the original 4.3.2.0/24 flow entry next to the inserted
+        /23 one).  Sorted by rendering for deterministic plan order.
+        """
+        store = pristine.engine.store
+        base = []
+        for name in sorted(self.program.schemas):
+            schema = self.program.schemas[name]
+            if schema.kind == TableKind.EVENT or not schema.mutable:
+                continue
+            for tup in store.tuples(name):
+                record = store.record(tup)
+                if record is not None and record.is_base:
+                    base.append(tup)
+        return sorted(base, key=str)
+
+    def _counterparts(self, insert) -> List:
+        """Live mutable base tuples exactly one field away from ``insert``.
+
+        These are the entries the inserted tuple was synthesized *from*
+        (condition repair changes one field at a time), i.e. the stale
+        config the fix supersedes.
+        """
+        out = []
+        for tup in self.mutable_base:
+            if (
+                tup.table != insert.table
+                or tup.arity != insert.arity
+                or tup == insert
+            ):
+                continue
+            if sum(1 for a, b in zip(tup.args, insert.args) if a != b) == 1:
+                out.append(tup)
+        return out
+
+    def enumerate(self) -> List[RollbackPlan]:
+        """The deterministic candidate set, deduplicated by step key.
+
+        1. Revert-to-reference: the full diagnosis Δ in discovery
+           order (always verifies; blast radius 0 by construction).
+        2. Single-change plans, when the diagnosis found several
+           changes — maybe one alone already clears the symptom.
+        3. Per modification, the insert-only narrowing (add the fixed
+           entry, keep the old one) and the delete-only narrowing
+           (remove the spurious entry, add nothing).
+        4. Per inserted tuple, one *replace-stale* widening per stale
+           counterpart (insert the fix AND retire the one-field-away
+           config entry it supersedes) and the corresponding
+           delete-only plan — which usually fails verification, and
+           documents *why* in the rejected list.
+        """
+        self.prepare()
+        plans: List[RollbackPlan] = []
+        seen = set()
+
+        def add(steps, origin) -> None:
+            if len(plans) >= MAX_PLANS:
+                return
+            plan = RollbackPlan(steps, origin)
+            if plan.key() in seen:
+                return
+            seen.add(plan.key())
+            plans.append(plan)
+
+        add(self.changes, "revert-to-reference")
+        if len(self.changes) > 1:
+            for change in self.changes:
+                add([change], "single-change")
+        for change in self.changes:
+            if change.is_modification:
+                add(
+                    [Change(insert=change.insert, reason=change.reason)],
+                    "insert-missing",
+                )
+                add(
+                    [Change(remove=change.remove, reason=change.reason)],
+                    "delete-spurious",
+                )
+        for change in self.changes:
+            if change.insert is None:
+                continue
+            for stale in self._counterparts(change.insert):
+                reason = f"{stale} is superseded by {change.insert}"
+                add(
+                    [
+                        Change(
+                            insert=change.insert,
+                            remove=(stale,),
+                            reason=reason,
+                        )
+                    ],
+                    "replace-stale",
+                )
+                add([Change(remove=(stale,), reason=reason)],
+                    "delete-spurious")
+        return plans
+
+    def verify(self, plan: RollbackPlan) -> Dict[str, object]:
+        """Counterfactually verify one plan; returns a JSON verdict.
+
+        One replay of the bad log with the plan applied at the anchor;
+        the verdict records whether the symptom ever appeared, which
+        good probes failed, and the blast radius — the size of the
+        symmetric difference between the plan's final state footprint
+        and the reference's (0 = the plan lands exactly on the world
+        the diagnosis verified).
+        """
+        if not self._prepared:
+            self.prepare()
+        try:
+            replayed = self.bad.replay(plan.steps, self.anchor_index)
+        except StepLimitExceeded:
+            # A partial rollback can in principle loop the replayed
+            # system (e.g. a forwarding cycle); that rejects the plan,
+            # it never kills the planner.
+            return {
+                "symptom_gone": False,
+                "probes_failed": 0,
+                "failed_probes": [],
+                "blast_radius": -1,
+                "error": "step-limit",
+            }
+        symptom_gone = not replayed.graph.ever_existed(self.bad_event)
+        alive = alive_state(replayed, self.program)
+        failed = sorted(str(p) for p in self.probes if p not in alive)
+        return {
+            "symptom_gone": bool(symptom_gone),
+            "probes_failed": len(failed),
+            "failed_probes": failed[:MAX_LISTED_PROBES],
+            "blast_radius": len(alive ^ self.reference_alive),
+        }
+
+    # -- verification fan-out -------------------------------------------------
+
+    def _verify_all(self, plans) -> List[Dict[str, object]]:
+        verdicts: List[Optional[Dict[str, object]]] = [None] * len(plans)
+        pending: List[int] = []
+        for index, plan in enumerate(plans):
+            cached = self._journal_lookup(plan)
+            if cached is not None:
+                # Resume fast path: the verdict replaces exactly one
+                # replay — mirror the accounting.
+                self.replays += 1
+                verdicts[index] = cached
+            else:
+                pending.append(index)
+        if (
+            len(pending) > 1
+            and self.workers > 1
+            and (self.fault_plan is None or self.fault_plan.host_only())
+        ):
+            # Verdicts are independent, so (unlike minimize) a resumed
+            # journal does not force the serial path — journal hits were
+            # consumed above and only the misses fan out.  Results are
+            # consumed in plan order either way: byte-identical.
+            done = self._verify_parallel(plans, pending, verdicts)
+            pending = pending[done:]
+        for index in pending:
+            self._check_deadline()
+            verdict = self.verify(plans[index])
+            self.replays += 1
+            self._journal_record(plans[index], verdict)
+            verdicts[index] = verdict
+        return verdicts
+
+    def _verify_parallel(self, plans, pending, verdicts) -> int:
+        """One speculative wave over every unverified plan.
+
+        Returns how many of ``pending`` were consumed; the serial loop
+        finishes the rest (non-zero only when the planning context
+        cannot be pickled, e.g. an execution stand-in).
+        """
+        faults = (
+            FaultInjector(self.fault_plan, "evaluator")
+            if self.fault_plan is not None
+            else None
+        )
+        evaluator = CandidateEvaluator(
+            self.workers,
+            self.telemetry,
+            policy=self.resilience,
+            faults=faults,
+        )
+        try:
+            self._check_deadline()
+            shared = (self, [plans[i] for i in pending])
+            results = evaluator.evaluate(_probe_plan, shared, len(pending))
+            if results is None:
+                return 0
+            for position, index in enumerate(pending):
+                status, value = results[position]
+                if status == "err":
+                    raise value
+                self.replays += 1
+                self._journal_record(plans[index], value)
+                verdicts[index] = value
+            return len(pending)
+        finally:
+            for name, value in evaluator.counters().items():
+                if value:
+                    self.evaluator_counters[name] = (
+                        self.evaluator_counters.get(name, 0) + value
+                    )
+
+    # -- journal + deadline plumbing ------------------------------------------
+
+    def _plan_key(self, plan: RollbackPlan) -> str:
+        """Journal key: the exact inputs of the verification replay.
+
+        Namespaced by the queried events (an autoref sweep shares one
+        journal across candidate diagnoses) and the anchor, like the
+        minimality pass's trial keys.
+        """
+        return (
+            f"{self.good_event}~{self.bad_event}"
+            f"@{self.anchor_index}|{plan.key()}"
+        )
+
+    def _journal_lookup(self, plan) -> Optional[Dict[str, object]]:
+        if self.journal is None:
+            return None
+        cached = self.journal.lookup("repair", self._plan_key(plan))
+        return dict(cached) if isinstance(cached, dict) else None
+
+    def _journal_record(self, plan, verdict) -> None:
+        if self.journal is not None:
+            self.journal.record("repair", self._plan_key(plan), verdict)
+
+    def _check_deadline(self) -> None:
+        if self.deadline is not None:
+            self.deadline.check("repair")
+
+    # -- ranking and the canonical section ------------------------------------
+
+    def _section(self, plans, verdicts) -> Dict[str, object]:
+        verified = []
+        rejected = []
+        for plan, verdict in zip(plans, verdicts):
+            if verdict.get("error"):
+                reason = REJECT_REPLAY
+            elif not verdict["symptom_gone"]:
+                reason = REJECT_SYMPTOM
+            elif verdict["probes_failed"]:
+                reason = REJECT_PROBES
+            else:
+                verified.append((plan, verdict))
+                continue
+            rejected.append(
+                {
+                    "origin": plan.origin,
+                    "steps": plan.describe_steps(),
+                    "reason": reason,
+                    "probes_failed": verdict["probes_failed"],
+                    "failed_probes": list(verdict["failed_probes"]),
+                }
+            )
+        verified.sort(
+            key=lambda pair: (
+                pair[0].edit_size,
+                pair[1]["blast_radius"],
+                pair[0].touched,
+                pair[0].key(),
+            )
+        )
+        return {
+            "status": "ok",
+            "probes": len(self.probes),
+            "replays": self.replays,
+            "plans": [
+                {
+                    "rank": rank,
+                    "origin": plan.origin,
+                    "steps": plan.describe_steps(),
+                    "edit_size": plan.edit_size,
+                    "touched": plan.touched,
+                    "blast_radius": verdict["blast_radius"],
+                    "symptom_gone": True,
+                    "good_probes_ok": True,
+                }
+                for rank, (plan, verdict) in enumerate(verified, 1)
+            ],
+            "rejected": rejected,
+        }

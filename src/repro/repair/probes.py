@@ -1,0 +1,82 @@
+"""Good-behaviour probe suites for rollback verification.
+
+A rollback plan must clear the bad symptom *without breaking anything
+that worked*.  The regression evidence used here is the engine's state
+tables: every **derived** state tuple (a delivered packet, a computed
+forwarding decision, a reduce output) that is alive both in the
+unmodified bad replay and in the *reference* replay (the bad log with
+the full diagnosis Δ applied) demonstrably (a) held before the
+rollback and (b) is compatible with the intended fix.  A candidate
+plan that makes one of them disappear breaks good behaviour and is
+vetoed.
+
+Event tables are excluded on purpose: events are instants, not state,
+and their terminal effects (e.g. ``delivered``) are state tuples
+anyway.  Base tuples are excluded from the *probe* suite — they are
+the plan's inputs, not its observable behaviour — but they do count
+toward the blast radius (:func:`alive_state` includes them), so a plan
+that leaves stale configuration behind ranks below one that doesn't.
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet, List
+
+from ..datalog.tuples import TableKind, Tuple
+
+__all__ = [
+    "state_tables",
+    "alive_state",
+    "derived_alive_state",
+    "probe_suite",
+]
+
+
+def state_tables(program) -> List[str]:
+    """Names of the program's non-event tables, sorted (deterministic)."""
+    return sorted(
+        name
+        for name, schema in program.schemas.items()
+        if schema.kind != TableKind.EVENT
+    )
+
+
+def alive_state(result, program) -> FrozenSet[Tuple]:
+    """Every live state tuple of a replayed engine, base and derived.
+
+    This is the final-state footprint used for the blast radius: the
+    symmetric difference of two footprints counts how far apart two
+    post-fix worlds ended up.
+    """
+    store = result.engine.store
+    alive = set()
+    for table in state_tables(program):
+        alive.update(store.tuples(table))
+    return frozenset(alive)
+
+
+def derived_alive_state(result, program) -> FrozenSet[Tuple]:
+    """Live *derived* state tuples only — the observable behaviour."""
+    store = result.engine.store
+    derived = set()
+    for table in state_tables(program):
+        for tup in store.tuples(table):
+            record = store.record(tup)
+            if record is not None and not record.is_base:
+                derived.add(tup)
+    return frozenset(derived)
+
+
+def probe_suite(pristine, reference, program) -> FrozenSet[Tuple]:
+    """The good probes: derived state alive in both worlds.
+
+    ``pristine`` is the unmodified bad replay, ``reference`` the replay
+    with the full diagnosis Δ applied.  Intersecting the two excludes
+    the symptom (gone in the reference) and anything the fix itself
+    newly derives (absent pristine) — what remains is behaviour that
+    held before the incident *and* survives the intended fix, i.e.
+    exactly what no rollback plan may break.
+    """
+    return derived_alive_state(pristine, program) & derived_alive_state(
+        reference, program
+    )

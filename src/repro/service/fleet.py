@@ -162,6 +162,7 @@ def _serve_diagnosis(job: Dict):
         max_rounds=int(options.get("max_rounds", 10)),
         minimize=bool(options.get("minimize", False)),
         taint=bool(options.get("taint", True)),
+        repair=bool(options.get("repair", False)),
         faults=options.get("faults"),
         engine=options.get("engine"),
         telemetry=telemetry,
@@ -214,6 +215,10 @@ def _serve_diagnosis(job: Dict):
             "resilience": resilience or None,
             "cache": _warm_cache().stats(),
         })
+        if report.repair is not None:
+            # Convenience mirror; the section is authoritative inside
+            # "canonical" (it is part of the canonical report).
+            payload["repair"] = report.repair
         if session.telemetry is not None:
             tracer = session.telemetry.tracer
             payload["telemetry"] = {

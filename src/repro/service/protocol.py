@@ -63,7 +63,7 @@ _TRACE_KEYS = frozenset({"trace_id", "span_id", "parent_span_id", "attempt"})
 # isolation (journal paths, worker counts).
 _ALLOWED_OPTIONS = frozenset(
     {"max_rounds", "minimize", "taint", "limit", "faults", "telemetry",
-     "engine"}
+     "engine", "repair"}
 )
 
 _MAX_LINE_BYTES = 64 * 1024

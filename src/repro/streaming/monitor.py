@@ -82,6 +82,7 @@ class StreamMonitor:
         lateness: int = 8,
         engine=None,
         minimize: bool = False,
+        repair: bool = False,
         deadline_s: Optional[float] = None,
         max_pending: int = 8,
         diagnose_every: int = 1,
@@ -94,6 +95,9 @@ class StreamMonitor:
         self.telemetry = telemetry
         self.journal = journal
         self.minimize = bool(minimize)
+        # Per-incident rollback planning (docs/repair.md): incident
+        # records' embedded reports gain a "repair" section.
+        self.repair = bool(repair)
         self.deadline_s = deadline_s
         self.max_pending = int(max_pending)
         self.diagnose_every = max(1, int(diagnose_every))
@@ -217,6 +221,7 @@ class StreamMonitor:
         deadline = Deadline.of(self.deadline_s)
         options = DiffProvOptions(
             minimize=self.minimize,
+            repair=self.repair,
             telemetry=self.telemetry,
             deadline=deadline,
         )

@@ -1,0 +1,35 @@
+"""Subprocess body for the repair kill-and-resume tests.
+
+Runs one journaled repair-enabled diagnosis and dumps the canonical
+report plus the resilience section as JSON.  The parent test kills this
+process at a deterministic hold point (REPRO_TEST_HOLD_* — see
+repro.resilience.journal) on the first run, then reruns it to resume.
+
+Usage: python _repair_child.py SCENARIO JOURNAL OUT
+"""
+
+import json
+import sys
+
+from repro.api import Session
+
+
+def main() -> int:
+    scenario, journal, out = sys.argv[1:4]
+    session = Session(
+        scenario=scenario, repair=True, journal=journal, resume=True
+    )
+    report = session.diagnose()
+    with open(out, "w", encoding="utf-8") as handle:
+        json.dump(
+            {
+                "canonical": report.canonical_json(),
+                "resilience": report.resilience,
+            },
+            handle,
+        )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,78 @@
+"""The repair section is part of the canonical report — and therefore
+part of the determinism contract: byte-identical across worker counts,
+replay-cache states, and journal resume (docs/performance.md,
+docs/resilience.md)."""
+
+import pytest
+
+from repro.api import Session
+
+
+@pytest.fixture(scope="module")
+def baseline():
+    with Session(scenario="SDN1", repair=True) as session:
+        report = session.diagnose()
+    assert report.repair["status"] == "ok"
+    return report.canonical_json()
+
+
+@pytest.mark.parametrize("workers", [1, 2, 4])
+@pytest.mark.parametrize("replay_cache", [True, False])
+def test_workers_times_cache_matrix(baseline, workers, replay_cache):
+    with Session(
+        scenario="SDN1",
+        repair=True,
+        workers=workers,
+        replay_cache=replay_cache,
+    ) as session:
+        report = session.diagnose()
+    assert report.canonical_json() == baseline
+
+
+def test_journal_resume_reuses_plan_verdicts(baseline, tmp_path):
+    journal = str(tmp_path / "repair.journal")
+    with Session(scenario="SDN1", repair=True, journal=journal) as session:
+        first = session.diagnose()
+    assert first.canonical_json() == baseline
+    assert first.resilience["journal"]["resumed"] is False
+
+    with Session(scenario="SDN1", repair=True) as session:
+        resumed = session.diagnose(resume_from=journal)
+    assert resumed.canonical_json() == baseline
+    section = resumed.resilience["journal"]
+    assert section["resumed"] is True
+    # All three enumerated plans' verdicts came off the disk.
+    assert section["skipped_candidates"] >= 3
+
+
+def test_parallel_run_may_resume_a_serial_journal(baseline, tmp_path):
+    # Plan verdicts are independent of evaluation order, so unlike the
+    # minimality pass a resumed journal does not force the serial path
+    # — and a workers=4 resume of a workers=1 journal stays canonical.
+    journal = str(tmp_path / "repair.journal")
+    with Session(scenario="SDN1", repair=True, journal=journal) as session:
+        session.diagnose()
+    with Session(scenario="SDN1", repair=True, workers=4) as session:
+        resumed = session.diagnose(resume_from=journal)
+    assert resumed.canonical_json() == baseline
+
+
+def test_repair_toggle_changes_the_journal_fingerprint(tmp_path):
+    from repro.errors import JournalError
+
+    journal = str(tmp_path / "repair.journal")
+    with Session(scenario="SDN1", repair=True, journal=journal) as session:
+        session.diagnose()
+    # Resuming the repair journal into a repair-less run would replay
+    # plan verdicts into a search that never asks for them; the
+    # fingerprint mismatch rejects it up front.
+    with Session(scenario="SDN1") as session:
+        with pytest.raises(JournalError):
+            session.diagnose(resume_from=journal)
+
+
+def test_cross_backend_byte_identity(baseline):
+    for engine in ("reference", "indexed", "compiled"):
+        with Session(scenario="SDN1", repair=True, engine=engine) as session:
+            report = session.diagnose()
+        assert report.canonical_json() == baseline

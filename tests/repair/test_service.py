@@ -1,0 +1,88 @@
+"""The ``repair`` option over the service protocol, end to end.
+
+``repair`` is a whitelisted request option: a tenant asks for fix
+plans per request, the worker's Session runs the planner under the
+service's deadline/journal contract, and the ranked section comes back
+both as a convenience field and inside the canonical report.
+"""
+
+import asyncio
+import json
+
+import pytest
+
+from repro.service import DiagnosisServer, ServiceClient
+
+
+@pytest.fixture(scope="module")
+def server_loop():
+    loop = asyncio.new_event_loop()
+    server = DiagnosisServer(workers=2)
+    loop.run_until_complete(server.start())
+    yield loop, server
+    loop.run_until_complete(server.shutdown())
+    loop.close()
+
+
+def test_repair_option_returns_ranked_plans(server_loop):
+    loop, server = server_loop
+    client = ServiceClient(server)
+
+    response = loop.run_until_complete(
+        client.diagnose("SDN1", options={"repair": True})
+    )
+    assert response["status"] == "ok"
+    report = response["report"]
+    assert report["success"] is True
+
+    section = report["repair"]
+    assert section["status"] == "ok"
+    assert section["plans"][0]["rank"] == 1
+    assert section["plans"][0]["origin"] == "revert-to-reference"
+
+    # The convenience field mirrors the canonical report exactly — the
+    # repair section is a conclusion, not telemetry.
+    canonical = json.loads(report["canonical"])
+    assert canonical["repair"] == section
+
+
+def test_repair_section_matches_a_local_session(server_loop):
+    from repro.api import Session
+
+    loop, server = server_loop
+    client = ServiceClient(server)
+
+    local = Session(scenario="SDN1", repair=True).diagnose()
+    response = loop.run_until_complete(
+        client.diagnose("SDN1", options={"repair": True})
+    )
+    assert response["report"]["canonical"] == local.canonical_json()
+
+
+def test_plain_requests_stay_repair_free(server_loop):
+    loop, server = server_loop
+    client = ServiceClient(server)
+
+    response = loop.run_until_complete(client.diagnose("SDN1"))
+    assert response["status"] == "ok"
+    report = response["report"]
+    assert "repair" not in report
+    assert json.loads(report["canonical"])["repair"] is None
+
+
+def test_option_whitelist_still_rejects_typos(server_loop):
+    loop, server = server_loop
+
+    response = loop.run_until_complete(
+        server.submit(
+            {
+                "id": "typo",
+                "kind": "diagnose",
+                "scenario": "SDN1",
+                "options": {"repiar": True},
+            }
+        )
+    )
+    assert response["status"] == "error"
+    assert response["category"] == "protocol"
+    assert "repiar" in response["message"]
